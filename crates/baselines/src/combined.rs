@@ -1,0 +1,214 @@
+//! Combined TRNG (paper Section 8.4): D-RaNGe's sampling mechanism is
+//! orthogonal to the retention-based mechanisms, so both can run on one
+//! device at once — D-RaNGe hammers the banks with RNG cells while a
+//! reserved bank accumulates retention failures in the background, and
+//! each elapsed pause contributes its marginal-cell flip bits on top of
+//! the activation-failure stream.
+
+use dram_sim::retention::apply_refresh_pause;
+use dram_sim::{CellAddr, DataPattern};
+use drange_core::{DRange, DRangeConfig, DrangeError, RngCellCatalog};
+use memctrl::MemoryController;
+
+use crate::retention_trng::RetentionRegion;
+
+/// Picoseconds per second.
+const PS_PER_S: f64 = 1e12;
+
+/// Statistics of a combined run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CombinedStats {
+    /// Bits contributed by the D-RaNGe sampling loop.
+    pub drange_bits: u64,
+    /// Bits contributed by retention harvests.
+    pub retention_bits: u64,
+    /// Retention harvests completed.
+    pub retention_harvests: u64,
+}
+
+/// D-RaNGe plus a background retention TRNG on a reserved bank.
+#[derive(Debug)]
+pub struct CombinedTrng {
+    trng: DRange,
+    region: RetentionRegion,
+    pause_s: f64,
+    marginal: Vec<CellAddr>,
+    last_harvest_ps: u64,
+    stats: CombinedStats,
+}
+
+impl CombinedTrng {
+    /// Builds the combined generator: enrolls the retention region's
+    /// marginal cells, then constructs the D-RaNGe plan excluding the
+    /// reserved bank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enrollment and plan-construction errors.
+    pub fn new(
+        mut ctrl: MemoryController,
+        catalog: &RngCellCatalog,
+        region: RetentionRegion,
+        pause_s: f64,
+    ) -> Result<Self, DrangeError> {
+        // Enroll marginal retention cells with two pauses.
+        let collect = |ctrl: &mut MemoryController| {
+            for row in region.rows.clone() {
+                ctrl.device_mut().fill_row(region.bank, row, DataPattern::Solid1);
+            }
+            ctrl.advance_ps((pause_s * PS_PER_S) as u64);
+            apply_refresh_pause(ctrl.device_mut(), region.bank, region.rows.clone(), pause_s)
+                .failed
+        };
+        let a: std::collections::HashSet<CellAddr> =
+            collect(&mut ctrl).into_iter().collect();
+        let b: std::collections::HashSet<CellAddr> =
+            collect(&mut ctrl).into_iter().collect();
+        let mut marginal: Vec<CellAddr> = a.symmetric_difference(&b).copied().collect();
+        marginal.sort();
+        // Re-arm the region for the first background pause.
+        for row in region.rows.clone() {
+            ctrl.device_mut().fill_row(region.bank, row, DataPattern::Solid1);
+        }
+        let last_harvest_ps = ctrl.now_ps();
+        let trng = DRange::new(
+            ctrl,
+            catalog,
+            DRangeConfig { exclude_banks: vec![region.bank], ..DRangeConfig::default() },
+        )?;
+        Ok(CombinedTrng {
+            trng,
+            region,
+            pause_s,
+            marginal,
+            last_harvest_ps,
+            stats: CombinedStats::default(),
+        })
+    }
+
+    /// Enrolled marginal retention cells (bits per background pause).
+    pub fn marginal_cells(&self) -> usize {
+        self.marginal.len()
+    }
+
+    /// Combined statistics.
+    pub fn stats(&self) -> CombinedStats {
+        self.stats
+    }
+
+    /// Models wall-clock idle time (the application not consuming
+    /// bits): device time advances, letting background retention
+    /// pauses complete.
+    pub fn idle(&mut self, seconds: f64) {
+        self.trng.controller_mut().advance_ps((seconds * PS_PER_S) as u64);
+    }
+
+    /// Generates `n` bits: D-RaNGe bits continuously, plus the
+    /// marginal-cell flips of any retention pause that completed in the
+    /// background while the device time advanced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling errors.
+    pub fn bits(&mut self, n: usize) -> Result<Vec<bool>, DrangeError> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            // Background retention pause completed?
+            let now = self.trng.controller().now_ps();
+            if !self.marginal.is_empty()
+                && now.saturating_sub(self.last_harvest_ps)
+                    >= (self.pause_s * PS_PER_S) as u64
+            {
+                let ctrl = self.trng.controller_mut();
+                let failed: std::collections::HashSet<CellAddr> = apply_refresh_pause(
+                    ctrl.device_mut(),
+                    self.region.bank,
+                    self.region.rows.clone(),
+                    self.pause_s,
+                )
+                .failed
+                .into_iter()
+                .collect();
+                for cell in &self.marginal {
+                    out.push(failed.contains(cell));
+                }
+                self.stats.retention_bits += self.marginal.len() as u64;
+                self.stats.retention_harvests += 1;
+                // Re-arm the region.
+                for row in self.region.rows.clone() {
+                    ctrl.device_mut().fill_row(self.region.bank, row, DataPattern::Solid1);
+                }
+                self.last_harvest_ps = now;
+                continue;
+            }
+            let harvested = self.trng.sample_once()?;
+            out.extend(self.trng.bits(harvested)?);
+            self.stats.drange_bits += harvested as u64;
+        }
+        out.truncate(n);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drange_core::{IdentifySpec, ProfileSpec, Profiler};
+    use dram_sim::{DeviceConfig, Manufacturer};
+
+    fn combined() -> CombinedTrng {
+        let mut ctrl = MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A).with_seed(84).with_noise_seed(85),
+        );
+        let profile = Profiler::new(&mut ctrl)
+            .run(
+                ProfileSpec {
+                    banks: (0..7).collect(), // keep bank 7 for retention
+                    rows: 0..128,
+                    cols: 0..16,
+                    ..ProfileSpec::default()
+                }
+                .with_iterations(25),
+            )
+            .unwrap();
+        let catalog =
+            RngCellCatalog::identify(&mut ctrl, &profile, IdentifySpec::default()).unwrap();
+        CombinedTrng::new(
+            ctrl,
+            &catalog,
+            RetentionRegion { bank: 7, rows: 0..128 },
+            40.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn both_sources_contribute() {
+        let mut c = combined();
+        assert!(c.marginal_cells() > 0, "40 s pauses enroll marginal cells");
+        // Let a background pause complete while the app is idle.
+        c.idle(41.0);
+        let bits = c.bits(5_000).unwrap();
+        assert_eq!(bits.len(), 5_000);
+        let s = c.stats();
+        assert!(s.drange_bits > 0, "activation-failure bits flow");
+        assert!(s.retention_harvests >= 1, "background retention harvest occurred");
+        assert!(s.retention_bits > 0);
+    }
+
+    #[test]
+    fn combined_output_is_balanced() {
+        let mut c = combined();
+        let bits = c.bits(30_000).unwrap();
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!((ones - 0.5).abs() < 0.1, "ones fraction {ones}");
+    }
+
+    #[test]
+    fn drange_plan_excludes_reserved_bank() {
+        let c = combined();
+        // All sampling happens on banks != 7; the retention region data
+        // stays under the combined generator's control.
+        assert!(c.trng.banks_used() <= 7);
+    }
+}

@@ -1,0 +1,35 @@
+//! # trng-baselines — prior DRAM-based TRNGs (paper Section 8, Table 2)
+//!
+//! Implementations of the four previously proposed DRAM TRNG families
+//! the D-RaNGe paper compares against, on the same [`dram_sim`] /
+//! [`memctrl`] substrate:
+//!
+//! | Proposal | Entropy source | Module |
+//! |---|---|---|
+//! | Pyo+ (IET 2009) | DRAM command-schedule jitter | [`pyo`] |
+//! | Keller+ (ISCAS 2014) | Data-retention failures | [`retention_trng`] |
+//! | Tehranipoor+ (HOST 2016), Eckert+ (MWSCAS 2017) | Startup values | [`startup_trng`] |
+//! | Sutar+ (TECS 2018) | Data-retention failures + SHA-256 | [`retention_trng`] |
+//!
+//! All baselines report the same [`TrngMetrics`] (64-bit latency,
+//! energy per bit, peak throughput, streaming capability, true
+//! randomness) so the Table 2 bench can compare them directly with
+//! D-RaNGe. The [`sha256`] module is a from-scratch FIPS 180-4
+//! implementation used by the Sutar+ post-processing step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combined;
+pub mod metrics;
+pub mod pyo;
+pub mod retention_trng;
+pub mod sha256;
+pub mod startup_trng;
+
+pub use combined::CombinedTrng;
+pub use metrics::TrngMetrics;
+pub use pyo::CommandScheduleTrng;
+pub use retention_trng::{KellerTrng, SutarTrng};
+pub use sha256::Sha256;
+pub use startup_trng::StartupTrng;

@@ -1,0 +1,112 @@
+//! The Table 2 comparison metrics shared by all TRNG mechanisms.
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrngMetrics {
+    /// Proposal name.
+    pub name: &'static str,
+    /// Publication year of the proposal.
+    pub year: u32,
+    /// Entropy source description.
+    pub entropy_source: &'static str,
+    /// Whether the entropy source is fully non-deterministic.
+    pub true_random: bool,
+    /// Whether the mechanism can stream at a constant rate (no power
+    /// cycles or multi-second waits between values).
+    pub streaming: bool,
+    /// Time to deliver a 64-bit random value, ps.
+    pub latency_64bit_ps: u64,
+    /// Energy per random bit, nJ.
+    pub energy_nj_per_bit: f64,
+    /// Peak sustained throughput, bits/s.
+    pub peak_throughput_bps: f64,
+}
+
+impl TrngMetrics {
+    /// Latency formatted in a human scale.
+    pub fn latency_display(&self) -> String {
+        let ps = self.latency_64bit_ps as f64;
+        if ps >= 1e12 {
+            format!("{:.1} s", ps / 1e12)
+        } else if ps >= 1e9 {
+            format!("{:.1} ms", ps / 1e9)
+        } else if ps >= 1e6 {
+            format!("{:.1} us", ps / 1e6)
+        } else {
+            format!("{:.0} ns", ps / 1e3)
+        }
+    }
+
+    /// Throughput formatted in a human scale.
+    pub fn throughput_display(&self) -> String {
+        let bps = self.peak_throughput_bps;
+        if bps >= 1e6 {
+            format!("{:.2} Mb/s", bps / 1e6)
+        } else if bps >= 1e3 {
+            format!("{:.2} Kb/s", bps / 1e3)
+        } else {
+            format!("{bps:.2} b/s")
+        }
+    }
+}
+
+impl std::fmt::Display for TrngMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<14} {:<6} {:<22} {:^6} {:^9} {:>10} {:>14.3} {:>14}",
+            self.name,
+            self.year,
+            self.entropy_source,
+            if self.true_random { "yes" } else { "no" },
+            if self.streaming { "yes" } else { "no" },
+            self.latency_display(),
+            self.energy_nj_per_bit,
+            self.throughput_display(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> TrngMetrics {
+        TrngMetrics {
+            name: "X",
+            year: 2018,
+            entropy_source: "test",
+            true_random: true,
+            streaming: false,
+            latency_64bit_ps: 960_000,
+            energy_nj_per_bit: 4.4,
+            peak_throughput_bps: 717.4e6,
+        }
+    }
+
+    #[test]
+    fn latency_scales() {
+        let mut r = row();
+        assert_eq!(r.latency_display(), "960 ns");
+        r.latency_64bit_ps = 40_000_000_000_000;
+        assert_eq!(r.latency_display(), "40.0 s");
+        r.latency_64bit_ps = 18_000_000;
+        assert_eq!(r.latency_display(), "18.0 us");
+    }
+
+    #[test]
+    fn throughput_scales() {
+        let mut r = row();
+        assert_eq!(r.throughput_display(), "717.40 Mb/s");
+        r.peak_throughput_bps = 50.0;
+        assert_eq!(r.throughput_display(), "50.00 b/s");
+        r.peak_throughput_bps = 3400.0;
+        assert_eq!(r.throughput_display(), "3.40 Kb/s");
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let text = row().to_string();
+        assert!(text.contains('X') && text.contains("2018") && text.contains("4.4"));
+    }
+}

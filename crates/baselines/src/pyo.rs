@@ -1,0 +1,174 @@
+//! Pyo+ (IET 2009): TRNG from DRAM command-schedule nondeterminism.
+//!
+//! Harvests "randomness" from the latency jitter of DRAM accesses that
+//! contend with refresh operations (paper Section 8.1). The paper's
+//! criticism — which this implementation demonstrates — is that the
+//! entropy source is the *processor and memory controller scheduling
+//! state*, which is deterministic given the same execution: the output
+//! is predictable and even manipulable by an adversary. The tests below
+//! show two identical runs produce identical "random" bits.
+
+use dram_sim::commands::CommandKind;
+use memctrl::{MemoryController, Result};
+
+/// Command-schedule-jitter TRNG (Pyo+).
+#[derive(Debug)]
+pub struct CommandScheduleTrng {
+    ctrl: MemoryController,
+    /// Timing measurements distilled into one output bit. Models the
+    /// paper's cost of ~45000 cycles per harvested byte.
+    measurements_per_bit: usize,
+    refresh_countdown: u64,
+    row_toggle: usize,
+    bits_emitted: u64,
+    device_time_ps: u64,
+}
+
+impl CommandScheduleTrng {
+    /// Wraps a controller; `measurements_per_bit` defaults to 32.
+    pub fn new(ctrl: MemoryController) -> Self {
+        CommandScheduleTrng {
+            ctrl,
+            measurements_per_bit: 32,
+            refresh_countdown: 0,
+            row_toggle: 0,
+            bits_emitted: 0,
+            device_time_ps: 0,
+        }
+    }
+
+    /// Overrides the distillation factor.
+    pub fn with_measurements_per_bit(mut self, n: usize) -> Self {
+        self.measurements_per_bit = n.max(1);
+        self
+    }
+
+    /// One timed access: a fresh-activation read racing the refresh
+    /// schedule; returns the access latency in clock cycles.
+    fn timed_access(&mut self) -> Result<u64> {
+        let t = self.ctrl.registers().datasheet();
+        // Periodic refresh per tREFI steals slots from demand accesses.
+        if self.refresh_countdown == 0 {
+            self.ctrl.scheduler();
+            // Close everything (banks are closed between our accesses)
+            // and refresh.
+            let _ = self.ctrl.now_ps();
+            self.refresh()?;
+            self.refresh_countdown = t.trefi_ps / t.tck_ps;
+        }
+        let start = self.ctrl.now_ps();
+        let row = self.row_toggle;
+        self.row_toggle = (self.row_toggle + 1) % 2;
+        self.ctrl.read_fresh(0, row, 0)?;
+        let elapsed = self.ctrl.now_ps() - start;
+        let cycles = elapsed / t.tck_ps;
+        self.refresh_countdown = self.refresh_countdown.saturating_sub(cycles.max(1));
+        Ok(cycles)
+    }
+
+    fn refresh(&mut self) -> Result<()> {
+        // Issue a REF through the scheduler (all banks are closed
+        // between accesses).
+        let mut sched = self.ctrl.scheduler().clone();
+        sched.issue(CommandKind::Ref, 0, 0, 0).map(|_| ())?;
+        // Account the refresh stall on the real controller.
+        let t = self.ctrl.registers().datasheet();
+        self.ctrl.advance_ps(t.trfc_ps);
+        Ok(())
+    }
+
+    /// Generates `n` bits by XOR-distilling access-latency parities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn generate_bits(&mut self, n: usize) -> Result<Vec<bool>> {
+        let t0 = self.ctrl.now_ps();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut bit = false;
+            for _ in 0..self.measurements_per_bit {
+                let cycles = self.timed_access()?;
+                bit ^= cycles & 1 == 1;
+            }
+            out.push(bit);
+        }
+        self.bits_emitted += n as u64;
+        self.device_time_ps += self.ctrl.now_ps() - t0;
+        Ok(out)
+    }
+
+    /// Observed throughput, bits per second of device time.
+    pub fn throughput_bps(&self) -> f64 {
+        if self.device_time_ps == 0 {
+            0.0
+        } else {
+            self.bits_emitted as f64 / (self.device_time_ps as f64 * 1e-12)
+        }
+    }
+
+    /// Device time to produce a 64-bit value, ps (measured).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn latency_64bit_ps(&mut self) -> Result<u64> {
+        let t0 = self.ctrl.now_ps();
+        let _ = self.generate_bits(64)?;
+        Ok(self.ctrl.now_ps() - t0)
+    }
+
+    /// Consumes the generator, returning the controller.
+    pub fn into_controller(self) -> MemoryController {
+        self.ctrl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{DeviceConfig, Manufacturer};
+
+    fn trng() -> CommandScheduleTrng {
+        CommandScheduleTrng::new(MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A).with_seed(3).with_noise_seed(4),
+        ))
+    }
+
+    #[test]
+    fn output_is_deterministic_the_papers_criticism() {
+        // Identical controller state -> identical "random" output: the
+        // entropy source is not physical, exactly the paper's point.
+        let a = trng().generate_bits(256).unwrap();
+        let b = trng().generate_bits(256).unwrap();
+        assert_eq!(a, b, "command-schedule TRNG output is predictable");
+    }
+
+    #[test]
+    fn throughput_is_kilobit_to_megabit_scale() {
+        let mut t = trng();
+        let _ = t.generate_bits(512).unwrap();
+        let bps = t.throughput_bps();
+        assert!(
+            (1e4..1e8).contains(&bps),
+            "command-schedule throughput {bps} b/s"
+        );
+    }
+
+    #[test]
+    fn latency_is_orders_of_magnitude_above_drange() {
+        let mut t = trng();
+        let lat = t.latency_64bit_ps().unwrap();
+        // Paper: 18 us for 64 bits vs D-RaNGe's <= 960 ns.
+        assert!(lat > 10_000_000, "latency {lat} ps should be > 10 us");
+    }
+
+    #[test]
+    fn distillation_factor_scales_cost() {
+        let mut cheap = trng().with_measurements_per_bit(4);
+        let mut costly = trng().with_measurements_per_bit(64);
+        let _ = cheap.generate_bits(64).unwrap();
+        let _ = costly.generate_bits(64).unwrap();
+        assert!(costly.throughput_bps() < cheap.throughput_bps());
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion macro-benchmarks of the D-RaNGe pipeline stages
+//! (host-side simulation cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dram_sim::{DeviceConfig, Manufacturer};
+use drange_bench::pipeline;
+use drange_core::{DRange, DRangeConfig, ProfileSpec, Profiler};
+use memctrl::MemoryController;
+
+fn config() -> DeviceConfig {
+    DeviceConfig::new(Manufacturer::A).with_seed(5).with_noise_seed(6)
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("profile_64rows_1iter", |b| {
+        let mut ctrl = MemoryController::from_config(config());
+        b.iter(|| {
+            Profiler::new(&mut ctrl)
+                .run(
+                    ProfileSpec { rows: 0..64, ..ProfileSpec::default() }
+                        .with_iterations(1),
+                )
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let (ctrl, catalog) = pipeline(config(), 8, 256, 20, 1000);
+    let mut trng = DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
+    let bpi = trng.bits_per_iteration().max(1) as u64;
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(bpi));
+    group.bench_function("sample_once", |b| {
+        b.iter(|| trng.sample_once().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the NIST SP 800-22 implementation
+//! (host-side cost per test over a 100 Kb stream).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nist_sts::Bits;
+
+fn stream(n: usize) -> Bits {
+    let mut state = 0x1234_5678u64;
+    Bits::from_fn(n, |_| {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & 1 == 1
+    })
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let bits = stream(100_000);
+    let mut group = c.benchmark_group("nist_100kb");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("monobit", |b| {
+        b.iter(|| nist_sts::monobit::test(&bits).unwrap())
+    });
+    group.bench_function("runs", |b| b.iter(|| nist_sts::runs::test(&bits).unwrap()));
+    group.bench_function("matrix_rank", |b| {
+        b.iter(|| nist_sts::matrix_rank::test(&bits).unwrap())
+    });
+    group.bench_function("dft", |b| b.iter(|| nist_sts::dft::test(&bits).unwrap()));
+    group.bench_function("serial", |b| b.iter(|| nist_sts::serial::test(&bits).unwrap()));
+    group.bench_function("linear_complexity", |b| {
+        b.iter(|| nist_sts::linear_complexity::test(&bits).unwrap())
+    });
+    group.bench_function("cumulative_sums", |b| {
+        b.iter(|| nist_sts::cumulative_sums::test(&bits).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tests
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks of the simulation substrate: the device
+//! failure-read path and the command scheduler (host-side cost, not
+//! modeled device time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dram_sim::commands::CommandKind;
+use dram_sim::{DataPattern, DeviceConfig, DramDevice, Manufacturer, TimingParams};
+use memctrl::CommandScheduler;
+
+fn bench_device_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device");
+    group.throughput(Throughput::Elements(1));
+    let mut device = DramDevice::build(
+        DeviceConfig::new(Manufacturer::A).with_seed(1).with_noise_seed(2),
+    );
+    device.fill_bank(0, DataPattern::Solid0);
+    let mut row = 0usize;
+    group.bench_function("fresh_read_reduced_trcd", |b| {
+        b.iter(|| {
+            row = (row + 1) % 1024;
+            device.activate(0, row).unwrap();
+            let w = device.read(0, row, 3, 10.0).unwrap();
+            device.precharge(0).unwrap();
+            std::hint::black_box(w)
+        })
+    });
+    group.bench_function("fresh_read_spec_trcd", |b| {
+        b.iter(|| {
+            row = (row + 1) % 1024;
+            device.activate(0, row).unwrap();
+            let w = device.read(0, row, 3, 18.0).unwrap();
+            device.precharge(0).unwrap();
+            std::hint::black_box(w)
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.throughput(Throughput::Elements(4));
+    let mut sched = CommandScheduler::new(8, TimingParams::lpddr4_3200());
+    let mut bank = 0usize;
+    group.bench_function("act_rd_wr_pre_cycle", |b| {
+        b.iter(|| {
+            bank = (bank + 1) % 8;
+            sched.issue(CommandKind::Act, bank, 0, 0).unwrap();
+            sched.issue(CommandKind::Rd, bank, 0, 0).unwrap();
+            sched.issue(CommandKind::Wr, bank, 0, 0).unwrap();
+            sched.issue(CommandKind::Pre, bank, 0, 0).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_reads, bench_scheduler);
+criterion_main!(benches);

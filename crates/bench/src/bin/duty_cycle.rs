@@ -1,0 +1,64 @@
+//! Duty-cycle ablation (Section 7.3 "Low System Interference"): how
+//! the split between reduced-tRCD sampling windows and default-tRCD
+//! demand windows trades TRNG throughput against application latency,
+//! simulated at the command level with demand priority.
+
+use dram_sim::TimingParams;
+use drange_bench::Scale;
+use memctrl::arbiter::{demand_rate_per_us, simulate, ArbiterConfig};
+use memctrl::workloads::spec2006_suite;
+
+fn main() {
+    let scale = Scale::from_args();
+    let duration_ps = scale.pick(50_000_000, 500_000_000);
+    println!("== Duty-cycle ablation: TRNG windows vs demand latency ==\n");
+    let timing = TimingParams::lpddr4_3200();
+
+    println!("window split sweep (workload: gcc-class, 10 req/us):");
+    println!(
+        "{:>18} {:>12} {:>16} {:>14}",
+        "sample:demand", "TRNG Mb/s", "mean lat (ns)", "p95 lat (ns)"
+    );
+    let total_window = 4_000_000u64;
+    for pct in [0u64, 25, 50, 75, 100] {
+        let sample = total_window * pct / 100;
+        let config = ArbiterConfig {
+            duration_ps,
+            sample_window_ps: sample,
+            demand_window_ps: total_window - sample,
+            requests_per_us: 10.0,
+            ..ArbiterConfig::default()
+        };
+        let r = simulate(timing, 10_000, &config);
+        println!(
+            "{:>15}:{:<3} {:>12.2} {:>16.1} {:>14.1}",
+            pct,
+            100 - pct,
+            r.trng_bps / 1e6,
+            r.mean_demand_latency_ps / 1e3,
+            r.p95_demand_latency_ps as f64 / 1e3
+        );
+    }
+
+    println!("\nper-workload TRNG harvest with a 50:50 duty cycle:");
+    println!("{:>12} {:>8} {:>12} {:>16}", "workload", "MPKI", "TRNG Mb/s", "mean lat (ns)");
+    for w in spec2006_suite() {
+        let config = ArbiterConfig {
+            duration_ps,
+            requests_per_us: demand_rate_per_us(&w),
+            row_hit_rate: w.row_hit_rate,
+            ..ArbiterConfig::default()
+        };
+        let r = simulate(timing, 10_000, &config);
+        println!(
+            "{:>12} {:>8.1} {:>12.2} {:>16.1}",
+            w.name,
+            w.mpki,
+            r.trng_bps / 1e6,
+            r.mean_demand_latency_ps / 1e3
+        );
+    }
+    println!("\nshape: TRNG throughput rises with the sampling-window share and falls");
+    println!("with workload memory intensity; demand latency stays near-flat because");
+    println!("demand has strict priority (the paper's 'no significant impact')");
+}

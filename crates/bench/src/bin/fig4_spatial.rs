@@ -1,0 +1,98 @@
+//! Figure 4 — spatial distribution of activation failures in a
+//! 1024 × 1024 cell array of one chip.
+//!
+//! The paper's observations to reproduce:
+//! 1. failures are confined to a small set of bit columns per subarray,
+//!    and the failing-column sets differ between subarrays;
+//! 2. within a subarray, failure density increases with the row's
+//!    distance from the local sense amplifiers (higher row numbers).
+
+use dram_sim::{DeviceConfig, Manufacturer};
+use drange_bench::Scale;
+use drange_core::{ProfileSpec, Profiler};
+use memctrl::MemoryController;
+
+fn main() {
+    let scale = Scale::from_args();
+    let iterations = scale.pick(20, 100);
+    println!("== Figure 4: spatial distribution of activation failures ==");
+    println!("device: manufacturer A, 1024 rows x 1024 bitlines, tRCD = 10 ns, {iterations} iterations\n");
+
+    let mut ctrl = MemoryController::from_config(
+        DeviceConfig::new(Manufacturer::A).with_seed(2024).with_noise_seed(7),
+    );
+    let geometry = ctrl.device().geometry();
+    let profile = Profiler::new(&mut ctrl)
+        .run(
+            ProfileSpec::bank(0, geometry.rows, geometry.cols)
+                .with_iterations(iterations),
+        )
+        .expect("profiling succeeds");
+
+    let bitmap = profile.bitmap(0, geometry.word_bits);
+    let sub_rows = geometry.subarray_rows;
+
+    // Downsampled ASCII bitmap: 32 x 64 blocks.
+    println!("failure bitmap (rows down, bitlines across; '#' = any failure in block):");
+    let (bh, bw) = (geometry.rows / 32, geometry.bitlines() / 64);
+    for br in 0..32 {
+        let mut line = String::new();
+        for bc in 0..64 {
+            let any = (br * bh..(br + 1) * bh).any(|r| {
+                (bc * bw..(bc + 1) * bw).any(|c| bitmap[r][c])
+            });
+            line.push(if any { '#' } else { '.' });
+        }
+        let marker = if (br * bh) % sub_rows == 0 { " <- subarray boundary" } else { "" };
+        println!("{line}{marker}");
+    }
+
+    // Observation 1: failing columns per subarray.
+    println!("\nfailing bit-columns per subarray:");
+    for sub in 0..geometry.subarrays() {
+        let mut cols: Vec<usize> = (0..geometry.bitlines())
+            .filter(|&c| {
+                (sub * sub_rows..(sub + 1) * sub_rows).any(|r| bitmap[r][c])
+            })
+            .collect();
+        cols.sort_unstable();
+        println!(
+            "  subarray {sub}: {} failing bitlines {:?}",
+            cols.len(),
+            &cols[..cols.len().min(16)]
+        );
+    }
+
+    // Observation 2: row gradient within each subarray.
+    println!("\nfailure density by row quartile within subarray (cells failing / quartile):");
+    for sub in 0..geometry.subarrays() {
+        let base = sub * sub_rows;
+        let quartile = sub_rows / 4;
+        let counts: Vec<usize> = (0..4)
+            .map(|q| {
+                (base + q * quartile..base + (q + 1) * quartile)
+                    .map(|r| bitmap[r].iter().filter(|&&b| b).count())
+                    .sum()
+            })
+            .collect();
+        println!(
+            "  subarray {sub}: near-SA {:>5} | {:>5} | {:>5} | far-SA {:>5}  {}",
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            if counts[3] >= counts[0] { "(gradient: more failures far from sense amps)" } else { "" }
+        );
+    }
+
+    // Also emit the full-resolution bitmap as a PGM image artifact.
+    let pgm_path = std::env::temp_dir().join("drange_fig4.pgm");
+    if let Ok(file) = std::fs::File::create(&pgm_path) {
+        if dram_sim::pgm::write_pgm(std::io::BufWriter::new(file), &bitmap).is_ok() {
+            println!("\nfull-resolution bitmap written to {}", pgm_path.display());
+        }
+    }
+
+    println!("\ntotal failing cells: {}", profile.unique_failures());
+    println!("paper shape: column-localized failures per subarray; density grows toward far rows");
+}

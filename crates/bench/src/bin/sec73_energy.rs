@@ -1,0 +1,46 @@
+//! Section 7.3 — energy per random bit.
+//!
+//! The paper feeds Ramulator traces of Algorithm 2 to DRAMPower,
+//! subtracts idle energy, and reports 4.4 nJ per random bit. This bench
+//! records the sampling command trace and applies the same accounting
+//! with the LPDDR4 energy model.
+
+use dram_sim::{EnergyModel, Manufacturer};
+use drange_bench::{fleet, pipeline, Scale};
+use drange_core::{DRange, DRangeConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let iterations = scale.pick(1000, 10_000);
+    println!("== Section 7.3: energy per random bit ==\n");
+
+    let energy = EnergyModel::lpddr4();
+    let mut results = Vec::new();
+    for (m_idx, m) in Manufacturer::ALL.into_iter().enumerate() {
+        for config in fleet(m, scale.pick(1, 3), 900 + m_idx as u64) {
+            let (mut ctrl, catalog) = pipeline(config, 8, scale.pick(256, 1024), 30, 1000);
+            if catalog.is_empty() {
+                continue;
+            }
+            ctrl.start_recording();
+            let mut trng =
+                DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
+            let mut bits = 0u64;
+            for _ in 0..iterations {
+                bits += trng.sample_once().expect("sample") as u64;
+            }
+            let mut ctrl = trng.into_controller();
+            let trace = ctrl.stop_recording();
+            let nj = energy.nj_per_bit(&trace, bits.max(1));
+            println!(
+                "manufacturer {m}: {:>7} bits over {:>9} commands -> {nj:.2} nJ/bit",
+                bits,
+                trace.len()
+            );
+            results.push(nj);
+        }
+    }
+    let avg = results.iter().sum::<f64>() / results.len().max(1) as f64;
+    println!("\naverage energy: {avg:.2} nJ/bit");
+    println!("paper: 4.4 nJ/bit (Ramulator + DRAMPower, idle energy subtracted)");
+}

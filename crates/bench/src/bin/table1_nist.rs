@@ -1,0 +1,144 @@
+//! Table 1 — NIST SP 800-22 results for D-RaNGe bitstreams.
+//!
+//! Following the paper's method (Section 7.1): identify RNG cells, then
+//! sample each selected RNG cell ~one million times to build per-cell
+//! megabit bitstreams, and run all 15 NIST tests at α = 0.0001 on each
+//! stream. The table reports the average p-value per test across
+//! streams, plus the minimum per-cell binary Shannon entropy
+//! (paper: 0.9507).
+
+use dram_sim::Manufacturer;
+use drange_bench::{fleet, pipeline, Scale};
+use drange_core::entropy::binary_entropy;
+use nist_sts::{Bits, NistSuite, StsError};
+
+fn main() {
+    let scale = Scale::from_args();
+    let stream_bits: usize = 1_100_000;
+    let devices_per_mfr = scale.pick(1, 4);
+    let cells_per_device = scale.pick(2, 4);
+    println!("== Table 1: NIST statistical test suite on D-RaNGe output ==");
+    println!(
+        "{devices_per_mfr} device(s) per manufacturer, {cells_per_device} RNG cells per device, {stream_bits} bits per cell stream, alpha = 1e-4\n"
+    );
+
+    let mut per_test_p: std::collections::BTreeMap<&'static str, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    let mut test_order: Vec<&'static str> = Vec::new();
+    let mut streams = 0usize;
+    let mut all_passed = true;
+    let mut min_cell_entropy = f64::INFINITY;
+
+    for m in Manufacturer::ALL {
+        for config in fleet(m, devices_per_mfr, 100 + m as u64) {
+            let (mut ctrl, catalog) = pipeline(config, 8, scale.pick(256, 1024), 30, 1000);
+            if catalog.is_empty() {
+                continue;
+            }
+            // Densest words first; sample whole words so that every RNG
+            // cell in the word yields a stream from the same read pass.
+            let mut words: Vec<_> = catalog
+                .words()
+                .iter()
+                .map(|(a, b)| (*a, b.clone()))
+                .collect();
+            words.sort_by(|a, b| b.1.len().cmp(&a.1.len()));
+            // Two-stage per-cell selection, as a lab would do it:
+            // screen each candidate cell over 100k reads and keep only
+            // cells with negligible observed bias (the truly metastable
+            // ones), then extend those streams to full length.
+            const SCREEN_READS: usize = 100_000;
+            const SCREEN_BIAS: f64 = 0.0025;
+            let mut cell_streams: Vec<Vec<bool>> = Vec::new();
+            ctrl.set_trcd_ns(10.0);
+            for (addr, bits) in words {
+                if cell_streams.len() >= cells_per_device {
+                    break;
+                }
+                let expected = 0u64; // solid-zero pattern
+                ctrl.device_mut().fill_row(addr.bank, addr.row, dram_sim::DataPattern::Solid0);
+                let read_word = |ctrl: &mut memctrl::MemoryController| -> u64 {
+                    ctrl.refresh_row(addr.bank, addr.row).expect("refresh");
+                    ctrl.act(addr.bank, addr.row).expect("act");
+                    let got = ctrl.rd(addr.bank, addr.row, addr.col).expect("rd");
+                    if got != expected {
+                        ctrl.wr(addr.bank, addr.row, addr.col, expected).expect("wr");
+                    }
+                    ctrl.pre(addr.bank).expect("pre");
+                    got
+                };
+                let mut streams_here: Vec<Vec<bool>> =
+                    vec![Vec::with_capacity(stream_bits); bits.len()];
+                for _ in 0..SCREEN_READS {
+                    let got = read_word(&mut ctrl);
+                    for (s, &bit) in bits.iter().enumerate() {
+                        streams_here[s].push((got >> bit) & 1 == 1);
+                    }
+                }
+                // Keep the unbiased cells of this word.
+                let keep: Vec<usize> = (0..bits.len())
+                    .filter(|&s| {
+                        let ones =
+                            streams_here[s].iter().filter(|&&b| b).count() as f64;
+                        (ones / SCREEN_READS as f64 - 0.5).abs() < SCREEN_BIAS
+                    })
+                    .collect();
+                if keep.is_empty() {
+                    continue;
+                }
+                for _ in SCREEN_READS..stream_bits {
+                    let got = read_word(&mut ctrl);
+                    for (s, &bit) in bits.iter().enumerate() {
+                        streams_here[s].push((got >> bit) & 1 == 1);
+                    }
+                }
+                for s in keep {
+                    cell_streams.push(std::mem::take(&mut streams_here[s]));
+                }
+            }
+            ctrl.reset_trcd();
+
+            for stream in cell_streams.iter().take(cells_per_device) {
+                let ones =
+                    stream.iter().filter(|&&b| b).count() as f64 / stream.len() as f64;
+                min_cell_entropy = min_cell_entropy.min(binary_entropy(ones));
+                let bits = Bits::from_bools(stream.iter().copied());
+                let report = NistSuite::paper().run(&bits);
+                streams += 1;
+                for o in &report.outcomes {
+                    if !test_order.contains(&o.name) {
+                        test_order.push(o.name);
+                    }
+                    match &o.result {
+                        Ok(r) => {
+                            per_test_p.entry(o.name).or_default().push(r.mean_p())
+                        }
+                        Err(StsError::NotApplicable { .. }) => {}
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+                all_passed &= report.all_passed();
+            }
+            println!(
+                "manufacturer {m}: {} RNG cells in catalog; sampled {} per-cell streams",
+                catalog.len(),
+                cell_streams.len().min(cells_per_device)
+            );
+        }
+    }
+
+    println!("\n{:<42} {:>10}  Status   (average over {streams} streams)", "NIST Test Name", "P-value");
+    for name in test_order {
+        if let Some(ps) = per_test_p.get(name) {
+            let mean = ps.iter().sum::<f64>() / ps.len() as f64;
+            let pass = ps.iter().all(|&p| p >= 1e-4);
+            println!(
+                "{name:<42} {mean:>10.3}  {}",
+                if pass { "PASS" } else { "FAIL" }
+            );
+        }
+    }
+    println!("\nminimum per-RNG-cell binary Shannon entropy: {min_cell_entropy:.4}");
+    println!("all streams passed all applicable tests: {all_passed}");
+    println!("\npaper: every test passes on all 236 streams; min entropy 0.9507");
+}

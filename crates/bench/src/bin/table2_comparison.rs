@@ -1,0 +1,167 @@
+//! Table 2 — comparison of D-RaNGe with prior DRAM-based TRNGs.
+//!
+//! Runs each mechanism on the same simulated device family and reports
+//! the paper's columns: true randomness, streaming capability, 64-bit
+//! latency, energy per bit, and peak throughput.
+
+use dram_sim::{DeviceConfig, EnergyModel, Manufacturer, TimingParams};
+use drange_bench::{pipeline, Scale};
+use drange_core::latency::{latency_64bit_ns, LatencyScenario};
+use drange_core::throughput::scale_to_channels;
+use drange_core::{DRange, DRangeConfig};
+use memctrl::MemoryController;
+use trng_baselines::retention_trng::RetentionRegion;
+use trng_baselines::{CommandScheduleTrng, KellerTrng, StartupTrng, SutarTrng, TrngMetrics};
+
+fn device() -> DeviceConfig {
+    DeviceConfig::new(Manufacturer::A).with_seed(22).with_noise_seed(23)
+}
+
+fn drange_row(scale: Scale) -> TrngMetrics {
+    let (mut ctrl, catalog) = pipeline(device(), 8, scale.pick(256, 1024), 30, 1000);
+    let energy = EnergyModel::lpddr4();
+    // Record the sampling command trace for the energy model.
+    ctrl.start_recording();
+    let mut trng = DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
+    let mut inner_bits = 0u64;
+    for _ in 0..scale.pick(500, 5000) {
+        inner_bits += trng.sample_once().expect("sample") as u64;
+    }
+    let throughput = trng.stats().throughput_bps();
+    let mut ctrl = trng.into_controller();
+    let trace = ctrl.stop_recording();
+    let nj_per_bit = energy.nj_per_bit(&trace, inner_bits.max(1));
+
+    let timing = TimingParams::lpddr4_3200();
+    let worst_ns = latency_64bit_ns(timing, 10.0, LatencyScenario::worst_case());
+    TrngMetrics {
+        name: "D-RaNGe",
+        year: 2018,
+        entropy_source: "Activation Failures",
+        true_random: true,
+        streaming: true,
+        latency_64bit_ps: (worst_ns * 1000.0) as u64,
+        energy_nj_per_bit: nj_per_bit,
+        peak_throughput_bps: scale_to_channels(throughput, 4),
+    }
+}
+
+fn pyo_row(scale: Scale) -> TrngMetrics {
+    let mut t = CommandScheduleTrng::new(MemoryController::from_config(device()));
+    let _ = t.generate_bits(scale.pick(256, 2048)).expect("bits");
+    let bps = t.throughput_bps();
+    let lat = t.latency_64bit_ps().expect("latency");
+    TrngMetrics {
+        name: "Pyo+",
+        year: 2009,
+        entropy_source: "Command Schedule",
+        true_random: false, // the paper's point: deterministic source
+        streaming: true,
+        latency_64bit_ps: lat,
+        energy_nj_per_bit: f64::NAN, // N/A in the paper
+        peak_throughput_bps: scale_to_channels(bps, 4),
+    }
+}
+
+fn retention_rows(scale: Scale) -> (TrngMetrics, TrngMetrics) {
+    let pause = 40.0;
+    let region = RetentionRegion { bank: 0, rows: 0..scale.pick(256, 1024) };
+    let energy = EnergyModel::lpddr4();
+
+    let mut keller =
+        KellerTrng::enroll(MemoryController::from_config(device()), region.clone(), pause)
+            .expect("enroll");
+    let kbits = keller.harvest().expect("harvest").len().max(1) as u64;
+    let keller_bps = keller.throughput_bps();
+
+    let mut sutar =
+        SutarTrng::new(MemoryController::from_config(device()), region.clone(), pause);
+    let _ = sutar.harvest().expect("harvest");
+    let sutar_bps = sutar.throughput_bps();
+    // Energy: write + read the region once plus 40 s of background power,
+    // amortized over 256 bits (the paper's ~mJ/bit scale).
+    let words = sutar.region_words() as f64;
+    let pause_ps = 40e12;
+    let e_pj = words * (energy.wr_pj + energy.rd_pj)
+        + energy.act_pj * (region.rows.end - region.rows.start) as f64 * 2.0
+        + energy.background_mw * pause_ps * 1e-3;
+    let mj_per_bit_nj = e_pj / 256.0 * 1e-3;
+
+    let keller_m = TrngMetrics {
+        name: "Keller+",
+        year: 2014,
+        entropy_source: "Data Retention",
+        true_random: true,
+        streaming: true,
+        latency_64bit_ps: keller.latency_64bit_ps(),
+        energy_nj_per_bit: e_pj / kbits as f64 * 1e-3,
+        peak_throughput_bps: keller_bps,
+    };
+    let sutar_m = TrngMetrics {
+        name: "Sutar+",
+        year: 2018,
+        entropy_source: "Data Retention",
+        true_random: true,
+        streaming: true,
+        latency_64bit_ps: sutar.latency_64bit_ps(),
+        energy_nj_per_bit: mj_per_bit_nj,
+        peak_throughput_bps: sutar_bps,
+    };
+    (keller_m, sutar_m)
+}
+
+fn startup_row() -> TrngMetrics {
+    // A smaller device keeps enrollment quick; density is what matters.
+    let config = DeviceConfig::new(Manufacturer::A)
+        .with_seed(31)
+        .with_noise_seed(32)
+        .with_geometry(dram_sim::Geometry {
+            banks: 2,
+            rows: 256,
+            cols: 8,
+            word_bits: 64,
+            subarray_rows: 256,
+        });
+    let mut t = StartupTrng::enroll(MemoryController::from_config(config)).expect("enroll");
+    let bits = t.harvest().expect("harvest").len().max(1);
+    let energy = EnergyModel::lpddr4();
+    // Readout energy only (as the paper's optimistic estimate does).
+    let e_pj = bits as f64 / 64.0 * (energy.act_pj + energy.rd_pj + energy.pre_pj);
+    TrngMetrics {
+        name: "Tehranipoor+",
+        year: 2016,
+        entropy_source: "Startup Values",
+        true_random: true,
+        streaming: false, // requires a power cycle per harvest
+        latency_64bit_ps: t.latency_64bit_ps(),
+        energy_nj_per_bit: e_pj / bits as f64 * 1e-3,
+        peak_throughput_bps: t.throughput_bps(),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Table 2: comparison with prior DRAM-based TRNGs ==\n");
+    println!(
+        "{:<14} {:<6} {:<22} {:^6} {:^9} {:>10} {:>14} {:>14}",
+        "Proposal", "Year", "Entropy Source", "TRNG", "Stream", "64b Lat", "nJ/bit", "Peak T'put"
+    );
+    let (keller, sutar) = retention_rows(scale);
+    let rows =
+        vec![pyo_row(scale), keller, startup_row(), sutar, drange_row(scale)];
+    for r in &rows {
+        println!("{r}");
+    }
+
+    let drange = rows.last().expect("rows nonempty");
+    let best_prior = rows[..rows.len() - 1]
+        .iter()
+        .map(|r| r.peak_throughput_bps)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nD-RaNGe vs best prior throughput: {:.0}x",
+        drange.peak_throughput_bps / best_prior.max(1.0)
+    );
+    println!("paper: >100x over the best prior DRAM TRNG (211x max, 128x avg);");
+    println!("D-RaNGe 4.4 nJ/bit, 100-960 ns latency, 717.4 Mb/s peak (4 channels)");
+}

@@ -1,0 +1,163 @@
+//! Data-pattern-dependence study (paper Section 5.2, Figure 5).
+//!
+//! Runs Algorithm 1 once per data pattern and reports each pattern's
+//! *coverage*: the fraction of the union of all discovered failing
+//! cells that the pattern discovers on its own.
+
+use std::collections::HashSet;
+
+use dram_sim::{CellAddr, DataPattern};
+use memctrl::MemoryController;
+
+use crate::error::Result;
+use crate::profiler::{ProfileSpec, Profiler};
+
+/// Coverage of one data pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternCoverage {
+    /// The pattern tested.
+    pub pattern: DataPattern,
+    /// Failing cells this pattern discovered.
+    pub found: usize,
+    /// Fraction of the all-pattern union this pattern discovered.
+    pub coverage: f64,
+    /// Number of cells with empirical F_prob in the 40-60 % band —
+    /// the paper's criterion for selecting the sampling pattern.
+    pub band_cells: usize,
+}
+
+/// Result of the full study.
+#[derive(Debug, Clone)]
+pub struct DpdStudy {
+    /// Per-pattern coverage, in the order the patterns were given.
+    pub patterns: Vec<PatternCoverage>,
+    /// Size of the union of failing cells over all patterns.
+    pub union_size: usize,
+}
+
+impl DpdStudy {
+    /// The pattern with the highest coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the study is empty.
+    pub fn best_coverage(&self) -> &PatternCoverage {
+        self.patterns
+            .iter()
+            .max_by(|a, b| a.coverage.partial_cmp(&b.coverage).expect("no NaN"))
+            .expect("nonempty study")
+    }
+
+    /// The pattern that finds the most cells in the 40-60 % F_prob band
+    /// (the paper's selection criterion for the sampling pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the study is empty.
+    pub fn best_band(&self) -> &PatternCoverage {
+        self.patterns
+            .iter()
+            .max_by_key(|p| p.band_cells)
+            .expect("nonempty study")
+    }
+}
+
+/// Runs the study: one profiling pass per pattern over the same region.
+///
+/// # Errors
+///
+/// Propagates profiling errors.
+pub fn run_study(
+    ctrl: &mut MemoryController,
+    base: &ProfileSpec,
+    patterns: &[DataPattern],
+) -> Result<DpdStudy> {
+    let mut per_pattern: Vec<(DataPattern, HashSet<CellAddr>, usize)> = Vec::new();
+    let mut union: HashSet<CellAddr> = HashSet::new();
+    for &pattern in patterns {
+        let spec = base.clone().with_pattern(pattern);
+        let profile = Profiler::new(ctrl).run(spec)?;
+        let cells: HashSet<CellAddr> = profile.failing_cells().into_iter().collect();
+        let band = profile.cells_in_band(0.4, 0.6).len();
+        union.extend(cells.iter().copied());
+        per_pattern.push((pattern, cells, band));
+    }
+    let union_size = union.len().max(1);
+    let patterns = per_pattern
+        .into_iter()
+        .map(|(pattern, cells, band_cells)| PatternCoverage {
+            pattern,
+            found: cells.len(),
+            coverage: cells.len() as f64 / union_size as f64,
+            band_cells,
+        })
+        .collect();
+    Ok(DpdStudy { patterns, union_size: union.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{DeviceConfig, Manufacturer};
+
+    fn ctrl(m: Manufacturer) -> MemoryController {
+        MemoryController::from_config(
+            DeviceConfig::new(m).with_seed(7).with_noise_seed(8),
+        )
+    }
+
+    fn base_spec() -> ProfileSpec {
+        ProfileSpec {
+            rows: 0..192,
+            cols: 0..16,
+            ..ProfileSpec::default()
+        }
+        .with_iterations(12)
+    }
+
+    #[test]
+    fn different_patterns_find_different_subsets() {
+        let mut c = ctrl(Manufacturer::A);
+        let study = run_study(
+            &mut c,
+            &base_spec(),
+            &[DataPattern::Solid0, DataPattern::Solid1, DataPattern::Checkered],
+        )
+        .unwrap();
+        assert_eq!(study.patterns.len(), 3);
+        assert!(study.union_size > 0);
+        // No single pattern covers everything when patterns matter.
+        let max_cov = study.best_coverage().coverage;
+        assert!(max_cov <= 1.0);
+        let found: Vec<usize> = study.patterns.iter().map(|p| p.found).collect();
+        assert!(
+            found.iter().any(|&f| f != found[0]),
+            "pattern dependence must be visible: {found:?}"
+        );
+    }
+
+    #[test]
+    fn coverage_is_normalized() {
+        let mut c = ctrl(Manufacturer::B);
+        let study =
+            run_study(&mut c, &base_spec(), &[DataPattern::Solid0, DataPattern::ColStripe])
+                .unwrap();
+        for p in &study.patterns {
+            assert!((0.0..=1.0).contains(&p.coverage));
+            assert!(p.found <= study.union_size);
+        }
+    }
+
+    #[test]
+    fn best_selectors_return_members() {
+        let mut c = ctrl(Manufacturer::C);
+        let study = run_study(
+            &mut c,
+            &base_spec(),
+            &[DataPattern::Solid0, DataPattern::Walk1(3)],
+        )
+        .unwrap();
+        assert!(study.patterns.contains(study.best_coverage()));
+        assert!(study.patterns.contains(study.best_band()));
+    }
+}

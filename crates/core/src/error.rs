@@ -1,0 +1,74 @@
+//! Error type for the D-RaNGe mechanism.
+
+use std::fmt;
+
+use memctrl::MemError;
+
+/// Convenience alias for `Result<T, DrangeError>`.
+pub type Result<T> = std::result::Result<T, DrangeError>;
+
+/// Errors raised by the D-RaNGe pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrangeError {
+    /// The memory controller / device rejected an operation.
+    Memory(MemError),
+    /// A profiling or identification specification was invalid.
+    InvalidSpec(String),
+    /// No RNG cells were found (or none satisfy the sampling plan's
+    /// needs, e.g. two words in distinct rows per bank).
+    NoRngCells(String),
+    /// The online health tests rejected the generator's output
+    /// persistently (possible environmental attack or device fault).
+    Unhealthy(String),
+}
+
+impl fmt::Display for DrangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrangeError::Memory(e) => write!(f, "memory error: {e}"),
+            DrangeError::InvalidSpec(msg) => write!(f, "invalid specification: {msg}"),
+            DrangeError::NoRngCells(msg) => write!(f, "no usable RNG cells: {msg}"),
+            DrangeError::Unhealthy(msg) => write!(f, "health tests rejected output: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DrangeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DrangeError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for DrangeError {
+    fn from(e: MemError) -> Self {
+        DrangeError::Memory(e)
+    }
+}
+
+impl From<dram_sim::DramError> for DrangeError {
+    fn from(e: dram_sim::DramError) -> Self {
+        DrangeError::Memory(MemError::Device(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_memory_errors() {
+        use std::error::Error;
+        let e = DrangeError::from(dram_sim::DramError::BankNotOpen { bank: 1 });
+        assert!(e.to_string().contains("bank 1"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DrangeError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Latency model — Section 7.3's "Low Latency" analysis.
+//!
+//! The latency to deliver a 64-bit random value is the device time from
+//! the first command until 64 RNG-cell bits have been read, which
+//! depends on how much bank/channel parallelism and RNG-cell density
+//! per word is available.
+
+use dram_sim::commands::CommandKind;
+use dram_sim::TimingParams;
+use memctrl::{CommandScheduler, TimingRegisters};
+
+/// Scenario for a latency query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyScenario {
+    /// Banks used per channel.
+    pub banks: usize,
+    /// Independent channels.
+    pub channels: usize,
+    /// RNG cells per accessed DRAM word.
+    pub bits_per_word: usize,
+}
+
+impl LatencyScenario {
+    /// The paper's worst case: one bank, one channel, one RNG cell per
+    /// word.
+    pub fn worst_case() -> Self {
+        LatencyScenario { banks: 1, channels: 1, bits_per_word: 1 }
+    }
+
+    /// The paper's best case: 8 banks × 4 channels, 4 RNG cells per
+    /// word.
+    pub fn best_case() -> Self {
+        LatencyScenario { banks: 8, channels: 4, bits_per_word: 4 }
+    }
+}
+
+/// Device time (ps) until `target_bits` random bits have been read
+/// under a scenario, simulating the Algorithm 2 command stream.
+///
+/// Bits arrive when a read's data burst completes (`RD issue + tCL +
+/// tBL`); each channel runs an independent command stream and they are
+/// synchronized only through the final bit count.
+///
+/// # Panics
+///
+/// Panics if any scenario field is zero.
+pub fn latency_ps(
+    registers: &TimingRegisters,
+    scenario: LatencyScenario,
+    target_bits: usize,
+) -> u64 {
+    assert!(scenario.banks > 0 && scenario.channels > 0 && scenario.bits_per_word > 0);
+    assert!(target_bits > 0);
+    let t = registers.effective();
+    // Bits needed from each channel (channels run in parallel).
+    let per_channel = target_bits.div_ceil(scenario.channels);
+    let mut sched = CommandScheduler::new(scenario.banks, t);
+    sched.set_overhead_ps(registers.cmd_overhead_ps());
+    let mut harvested = 0usize;
+    let mut last_data_ps = 0u64;
+    let mut row = 0usize;
+    while harvested < per_channel {
+        for b in 0..scenario.banks {
+            if harvested >= per_channel {
+                break;
+            }
+            sched.issue(CommandKind::Act, b, row, 0).expect("legal ACT");
+            let rd = sched.issue(CommandKind::Rd, b, row, 0).expect("legal RD");
+            harvested += scenario.bits_per_word;
+            last_data_ps = last_data_ps.max(rd.at_ps + t.tcl_ps + t.tbl_ps);
+            sched.issue(CommandKind::Wr, b, row, 0).expect("legal WR");
+            sched.issue(CommandKind::Pre, b, 0, 0).expect("legal PRE");
+        }
+        row = (row + 1) % 2;
+    }
+    last_data_ps
+}
+
+/// Convenience: latency in nanoseconds for a 64-bit random value.
+pub fn latency_64bit_ns(timing: TimingParams, reduced_trcd_ns: f64, scenario: LatencyScenario) -> f64 {
+    let mut registers = TimingRegisters::new(timing);
+    registers.set_trcd_ns(reduced_trcd_ns).expect("valid tRCD");
+    latency_ps(&registers, scenario, 64) as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_case_is_fast() {
+        let ns = latency_64bit_ns(
+            TimingParams::lpddr4_3200(),
+            10.0,
+            LatencyScenario::best_case(),
+        );
+        // Paper: ~100 ns empirical minimum. Our scheduler should land
+        // within the same order of magnitude.
+        assert!(ns < 400.0, "best-case latency {ns} ns");
+        assert!(ns > 15.0, "cannot beat ACT->data: {ns} ns");
+    }
+
+    #[test]
+    fn worst_case_is_much_slower() {
+        let worst = latency_64bit_ns(
+            TimingParams::lpddr4_3200(),
+            10.0,
+            LatencyScenario::worst_case(),
+        );
+        let best = latency_64bit_ns(
+            TimingParams::lpddr4_3200(),
+            10.0,
+            LatencyScenario::best_case(),
+        );
+        assert!(worst > 8.0 * best, "worst {worst} vs best {best}");
+    }
+
+    #[test]
+    fn latency_decreases_with_density() {
+        let t = TimingParams::lpddr4_3200();
+        let one = latency_64bit_ns(t, 10.0, LatencyScenario { banks: 8, channels: 1, bits_per_word: 1 });
+        let four = latency_64bit_ns(t, 10.0, LatencyScenario { banks: 8, channels: 1, bits_per_word: 4 });
+        assert!(four < one, "4 bits/word {four} < 1 bit/word {one}");
+    }
+
+    #[test]
+    fn latency_decreases_with_channels() {
+        let t = TimingParams::lpddr4_3200();
+        let c1 = latency_64bit_ns(t, 10.0, LatencyScenario { banks: 8, channels: 1, bits_per_word: 2 });
+        let c4 = latency_64bit_ns(t, 10.0, LatencyScenario { banks: 8, channels: 4, bits_per_word: 2 });
+        assert!(c4 < c1);
+    }
+
+    #[test]
+    fn reduced_trcd_helps_latency() {
+        let t = TimingParams::lpddr4_3200();
+        let slow = latency_64bit_ns(t, 13.0, LatencyScenario::best_case());
+        let fast = latency_64bit_ns(t, 8.0, LatencyScenario::best_case());
+        assert!(fast <= slow);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scenario_panics() {
+        let mut r = TimingRegisters::new(TimingParams::lpddr4_3200());
+        r.set_trcd_ns(10.0).unwrap();
+        let _ = latency_ps(&r, LatencyScenario { banks: 0, channels: 1, bits_per_word: 1 }, 64);
+    }
+}

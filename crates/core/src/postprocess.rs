@@ -1,0 +1,128 @@
+//! Post-processing (de-biasing) stages.
+//!
+//! The paper finds RNG cells need no post-processing (Section 6.1), but
+//! describes the standard stages (Section 2.2) and quantifies their
+//! throughput cost ("up to 80 %"); this module provides the von Neumann
+//! corrector so the ablation bench can measure that trade-off.
+
+/// Von Neumann corrector: consumes bit pairs, emits the first bit of
+/// each discordant pair, drops concordant pairs.
+///
+/// Output of a (possibly biased) i.i.d. source is exactly unbiased, at
+/// the cost of a data-dependent rate of `p(1-p) ≤ 1/4` output bits per
+/// input bit.
+#[derive(Debug, Clone, Default)]
+pub struct VonNeumann {
+    pending: Option<bool>,
+    consumed: u64,
+    emitted: u64,
+}
+
+impl VonNeumann {
+    /// A fresh corrector.
+    pub fn new() -> Self {
+        VonNeumann::default()
+    }
+
+    /// Feeds one input bit; returns an output bit when a discordant
+    /// pair completes.
+    pub fn push(&mut self, bit: bool) -> Option<bool> {
+        self.consumed += 1;
+        match self.pending.take() {
+            None => {
+                self.pending = Some(bit);
+                None
+            }
+            Some(first) => {
+                if first != bit {
+                    self.emitted += 1;
+                    Some(first)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Corrects a whole slice, returning the surviving bits.
+    pub fn correct(&mut self, input: &[bool]) -> Vec<bool> {
+        input.iter().filter_map(|&b| self.push(b)).collect()
+    }
+
+    /// Input bits consumed so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Output bits emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Observed throughput ratio `emitted / consumed` (0 when nothing
+    /// has been consumed).
+    pub fn efficiency(&self) -> f64 {
+        if self.consumed == 0 {
+            0.0
+        } else {
+            self.emitted as f64 / self.consumed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discordant_pairs_emit_first_bit() {
+        let mut vn = VonNeumann::new();
+        // Pairs: (1,0) -> 1, (0,1) -> 0, (1,1) -> none, (0,0) -> none.
+        let out = vn.correct(&[true, false, false, true, true, true, false, false]);
+        assert_eq!(out, vec![true, false]);
+        assert_eq!(vn.consumed(), 8);
+        assert_eq!(vn.emitted(), 2);
+        assert!((vn.efficiency() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpaired_trailing_bit_is_held() {
+        let mut vn = VonNeumann::new();
+        assert_eq!(vn.push(true), None);
+        // Completing the pair later emits.
+        assert_eq!(vn.push(false), Some(true));
+    }
+
+    #[test]
+    fn output_of_biased_source_is_unbiased() {
+        // Deterministic biased source: 3 ones, 1 zero, repeating, but
+        // de-correlated by position mixing so pairs vary.
+        let mut state = 0x1234_5678u64;
+        let input: Vec<bool> = (0..200_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                // ~75% ones.
+                (state >> 33) % 4 != 0
+            })
+            .collect();
+        let mut vn = VonNeumann::new();
+        let out = vn.correct(&input);
+        let ones = out.iter().filter(|&&b| b).count() as f64 / out.len() as f64;
+        assert!((ones - 0.5).abs() < 0.01, "ones fraction {ones}");
+        // Efficiency ~ p(1-p) = 0.1875.
+        assert!((vn.efficiency() - 0.1875).abs() < 0.01);
+    }
+
+    #[test]
+    fn constant_input_emits_nothing() {
+        let mut vn = VonNeumann::new();
+        assert!(vn.correct(&[true; 100]).is_empty());
+        assert_eq!(vn.efficiency(), 0.0);
+        assert_eq!(vn.emitted(), 0);
+    }
+
+    #[test]
+    fn fresh_corrector_efficiency_zero() {
+        assert_eq!(VonNeumann::new().efficiency(), 0.0);
+    }
+}

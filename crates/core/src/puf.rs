@@ -1,0 +1,186 @@
+//! DRAM latency PUF — the companion mechanism the paper builds on
+//! (Kim et al., "The DRAM Latency PUF", HPCA 2018; discussed in the
+//! D-RaNGe paper's Section 9).
+//!
+//! The same reduced-`tRCD` failures that give D-RaNGe its entropy give
+//! a PUF its fingerprint: the *deterministically failing* cells
+//! (F_prob ≈ 1) are fixed by manufacturing variation, unique per chip,
+//! and reproducible across evaluations. Where D-RaNGe wants the
+//! metastable cells, the PUF wants the saturated ones.
+
+use std::collections::BTreeSet;
+
+use dram_sim::CellAddr;
+use memctrl::MemoryController;
+
+use crate::error::Result;
+use crate::profiler::{ProfileSpec, Profiler};
+
+/// A device fingerprint: the set of deterministically failing cells of
+/// a profiled region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PufResponse {
+    cells: BTreeSet<CellAddr>,
+}
+
+impl PufResponse {
+    /// Number of cells in the fingerprint.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the fingerprint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Jaccard similarity with another response: 1.0 = identical,
+    /// ~0 = unrelated. Same-device re-evaluations should score near 1;
+    /// different devices near 0.
+    pub fn similarity(&self, other: &PufResponse) -> f64 {
+        if self.cells.is_empty() && other.cells.is_empty() {
+            return 1.0;
+        }
+        let inter = self.cells.intersection(&other.cells).count() as f64;
+        let union = self.cells.union(&other.cells).count() as f64;
+        inter / union
+    }
+
+    /// Fractional Hamming-style distance: `1 - similarity`.
+    pub fn distance(&self, other: &PufResponse) -> f64 {
+        1.0 - self.similarity(other)
+    }
+
+    /// The fingerprint cells.
+    pub fn cells(&self) -> impl Iterator<Item = &CellAddr> {
+        self.cells.iter()
+    }
+}
+
+/// Evaluation parameters for the latency PUF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PufSpec {
+    /// Profiling specification (region + reduced tRCD). Fewer
+    /// iterations than RNG characterization suffice: the PUF cells are
+    /// the deterministic ones.
+    pub profile: ProfileSpec,
+    /// Minimum empirical F_prob for a cell to join the fingerprint.
+    pub threshold: f64,
+}
+
+impl Default for PufSpec {
+    fn default() -> Self {
+        PufSpec {
+            // The PUF evaluates at a *more aggressive* tRCD than the
+            // TRNG: at 8 ns every weak bitline fails deterministically
+            // (margins far below the noise), giving a large, stable
+            // fingerprint, while at the TRNG's 10 ns most failures are
+            // probabilistic and unusable as an identifier.
+            profile: ProfileSpec::default().with_trcd_ns(8.0).with_iterations(20),
+            threshold: 0.95,
+        }
+    }
+}
+
+/// Evaluates the PUF: profiles the region and returns the fingerprint
+/// of deterministically failing cells.
+///
+/// # Errors
+///
+/// Propagates profiling errors.
+pub fn evaluate(ctrl: &mut MemoryController, spec: &PufSpec) -> Result<PufResponse> {
+    let profile = Profiler::new(ctrl).run(spec.profile.clone())?;
+    let cells = profile
+        .cells_in_band(spec.threshold, 1.0)
+        .into_iter()
+        .collect();
+    Ok(PufResponse { cells })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{DeviceConfig, Manufacturer};
+
+    fn ctrl(seed: u64) -> MemoryController {
+        MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(seed)
+                .with_noise_seed(seed ^ 0x1234),
+        )
+    }
+
+    fn quick_spec() -> PufSpec {
+        PufSpec {
+            profile: ProfileSpec {
+                rows: 0..256,
+                ..ProfileSpec::default()
+            }
+            .with_trcd_ns(8.0)
+            .with_iterations(15),
+            ..PufSpec::default()
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_nonempty_and_reproducible() {
+        let mut c = ctrl(1001);
+        let a = evaluate(&mut c, &quick_spec()).unwrap();
+        assert!(!a.is_empty(), "deterministic failures exist");
+        let b = evaluate(&mut c, &quick_spec()).unwrap();
+        assert!(
+            a.similarity(&b) > 0.9,
+            "same-device similarity {} must be near 1",
+            a.similarity(&b)
+        );
+    }
+
+    #[test]
+    fn different_devices_have_distant_fingerprints() {
+        let mut c1 = ctrl(2001);
+        let mut c2 = ctrl(2002);
+        let a = evaluate(&mut c1, &quick_spec()).unwrap();
+        let b = evaluate(&mut c2, &quick_spec()).unwrap();
+        assert!(
+            a.similarity(&b) < 0.1,
+            "cross-device similarity {} must be near 0",
+            a.similarity(&b)
+        );
+        assert!(a.distance(&b) > 0.9);
+    }
+
+    #[test]
+    fn uniqueness_across_a_small_fleet() {
+        let responses: Vec<PufResponse> = (0..4)
+            .map(|i| evaluate(&mut ctrl(3000 + i), &quick_spec()).unwrap())
+            .collect();
+        for i in 0..responses.len() {
+            for j in 0..responses.len() {
+                let s = responses[i].similarity(&responses[j]);
+                if i == j {
+                    assert_eq!(s, 1.0);
+                } else {
+                    assert!(s < 0.15, "devices {i},{j} similarity {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_similarity_convention() {
+        let empty = PufResponse { cells: BTreeSet::new() };
+        assert_eq!(empty.similarity(&empty), 1.0);
+        assert_eq!(empty.len(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn puf_cells_are_high_fprob_cells() {
+        let mut c = ctrl(4001);
+        let resp = evaluate(&mut c, &quick_spec()).unwrap();
+        for cell in resp.cells().take(50) {
+            let f = c.device().failure_probability(*cell, 8.0);
+            assert!(f > 0.5, "PUF cell {cell:?} has analytic F_prob {f}");
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! Algorithm 2 — the D-RaNGe sampling loop and the TRNG front end.
+//!
+//! Selects, per bank, the two DRAM words (in distinct rows) with the
+//! highest RNG-cell density, writes the high-entropy data pattern to
+//! them and their neighbors, and then alternates reduced-`tRCD` reads
+//! between the two rows of every bank, harvesting the RNG cells' bits
+//! and restoring the original data after each read (paper Algorithm 2).
+//!
+//! The harvested random bit of a cell is its *failure indicator*
+//! (sensed value XOR written value) — identical to the raw read value
+//! for the solid-zero pattern the paper uses, and unbiased for any
+//! written value.
+
+use std::collections::VecDeque;
+
+use dram_sim::{DataPattern, WordAddr};
+use memctrl::MemoryController;
+use rand::RngCore;
+
+use crate::error::{DrangeError, Result};
+use crate::identify::RngCellCatalog;
+
+/// Configuration of the sampling mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DRangeConfig {
+    /// Reduced activation latency during sampling, ns.
+    pub trcd_ns: f64,
+    /// Data pattern written to the sampled words and their neighbors.
+    pub pattern: DataPattern,
+    /// Number of banks to sample from (best-ranked first); `None`
+    /// uses every bank with RNG cells.
+    pub banks: Option<usize>,
+    /// Banks never used for sampling (e.g. reserved for a co-resident
+    /// retention TRNG, Section 8.4's combined design).
+    pub exclude_banks: Vec<usize>,
+    /// Size of the harvested-bit queue the controller firmware keeps
+    /// (Section 6.3).
+    pub queue_capacity: usize,
+}
+
+impl Default for DRangeConfig {
+    fn default() -> Self {
+        DRangeConfig {
+            trcd_ns: 10.0,
+            pattern: DataPattern::Solid0,
+            banks: None,
+            exclude_banks: Vec::new(),
+            queue_capacity: 4096,
+        }
+    }
+}
+
+/// One selected DRAM word and its RNG-cell bit positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PlannedWord {
+    addr: WordAddr,
+    bits: Vec<usize>,
+    original: u64,
+}
+
+/// Per-bank sampling plan: the two words in distinct rows.
+#[derive(Debug, Clone)]
+struct BankPlan {
+    bank: usize,
+    words: Vec<PlannedWord>, // 1 or 2 entries
+}
+
+/// Sampling statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SampleStats {
+    /// Random bits harvested so far.
+    pub bits: u64,
+    /// Device time consumed by sampling, ps.
+    pub device_time_ps: u64,
+    /// Algorithm 2 core-loop iterations executed.
+    pub iterations: u64,
+}
+
+impl SampleStats {
+    /// Observed throughput in bits per second of device time.
+    pub fn throughput_bps(&self) -> f64 {
+        if self.device_time_ps == 0 {
+            0.0
+        } else {
+            self.bits as f64 / (self.device_time_ps as f64 * 1e-12)
+        }
+    }
+}
+
+/// The D-RaNGe true random number generator.
+///
+/// Owns a memory controller and continuously harvests random bits from
+/// the planned RNG-cell words. Implements [`rand::RngCore`], so it can
+/// drop into any API expecting a random source.
+#[derive(Debug)]
+pub struct DRange {
+    ctrl: MemoryController,
+    config: DRangeConfig,
+    plan: Vec<BankPlan>,
+    queue: VecDeque<bool>,
+    stats: SampleStats,
+    bits_per_iteration: usize,
+}
+
+impl DRange {
+    /// Builds the generator: ranks banks by RNG-cell density, selects
+    /// two words (distinct rows) per bank, and writes the data pattern
+    /// to the selected rows (Algorithm 2 lines 2-5).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrangeError::NoRngCells`] when the catalog has no
+    /// usable words, and [`DrangeError::InvalidSpec`] for bad configs.
+    pub fn new(
+        mut ctrl: MemoryController,
+        catalog: &RngCellCatalog,
+        config: DRangeConfig,
+    ) -> Result<Self> {
+        if !config.trcd_ns.is_finite() || config.trcd_ns <= 0.0 {
+            return Err(DrangeError::InvalidSpec("tRCD must be positive".into()));
+        }
+        if config.queue_capacity == 0 {
+            return Err(DrangeError::InvalidSpec("queue capacity must be nonzero".into()));
+        }
+        let geometry = ctrl.device().geometry();
+        let ranked = catalog.ranked_banks(geometry.banks);
+        let take = config.banks.unwrap_or(geometry.banks).min(geometry.banks);
+        let mut plan: Vec<BankPlan> = Vec::new();
+        let mut taken = 0usize;
+        for &(bank, rate) in &ranked {
+            if taken == take {
+                break;
+            }
+            if rate == 0 || config.exclude_banks.contains(&bank) {
+                continue;
+            }
+            taken += 1;
+            let best = catalog.best_words(bank, 2);
+            if best.is_empty() {
+                continue;
+            }
+            let words = best
+                .into_iter()
+                .map(|(addr, bits)| {
+                    let original =
+                        config.pattern.word(addr.row, addr.col, geometry.word_bits);
+                    PlannedWord { addr, bits, original }
+                })
+                .collect();
+            plan.push(BankPlan { bank, words });
+        }
+        if plan.is_empty() {
+            return Err(DrangeError::NoRngCells(
+                "catalog provides no words with RNG cells".into(),
+            ));
+        }
+        // Line 4: write the pattern to the chosen words and neighbors
+        // (the full rows, which covers the adjacent bitlines).
+        for bp in &plan {
+            for w in &bp.words {
+                ctrl.device_mut().fill_row(w.addr.bank, w.addr.row, config.pattern);
+            }
+        }
+        let bits_per_iteration = plan
+            .iter()
+            .map(|bp| bp.words.iter().map(|w| w.bits.len()).sum::<usize>())
+            .sum();
+        Ok(DRange {
+            ctrl,
+            config,
+            plan,
+            queue: VecDeque::new(),
+            stats: SampleStats::default(),
+            bits_per_iteration,
+        })
+    }
+
+    /// The sampling configuration.
+    pub fn config(&self) -> &DRangeConfig {
+        &self.config
+    }
+
+    /// Number of banks in the sampling plan.
+    pub fn banks_used(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Random bits produced per core-loop iteration (the sum over
+    /// banks of each bank's TRNG data rate, Section 7.3).
+    pub fn bits_per_iteration(&self) -> usize {
+        self.bits_per_iteration
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SampleStats {
+        self.stats
+    }
+
+    /// Borrow of the underlying controller.
+    pub fn controller(&self) -> &MemoryController {
+        &self.ctrl
+    }
+
+    /// Mutable borrow of the underlying controller, for co-resident
+    /// mechanisms operating on banks excluded from the sampling plan
+    /// (e.g. the combined D-RaNGe + retention TRNG of Section 8.4).
+    ///
+    /// Writing to the planned rows through this handle invalidates the
+    /// stored-pattern assumption of the sampling plan; restrict use to
+    /// excluded banks.
+    pub fn controller_mut(&mut self) -> &mut MemoryController {
+        &mut self.ctrl
+    }
+
+    /// Consumes the generator, returning the controller.
+    pub fn into_controller(mut self) -> MemoryController {
+        self.ctrl.reset_trcd();
+        self.ctrl
+    }
+
+    /// One iteration of the Algorithm 2 core loop (lines 7-15): for
+    /// each planned bank, alternate between the two rows, inducing an
+    /// activation failure on each word, harvesting the RNG-cell bits,
+    /// and restoring the original value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors; the `tRCD` register is reset on
+    /// the error path.
+    pub fn sample_once(&mut self) -> Result<usize> {
+        let t0 = self.ctrl.now_ps();
+        // Line 6: reduce tRCD for the sampling window.
+        self.ctrl.try_set_trcd_ns(self.config.trcd_ns)?;
+        let result = sample_pass(&mut self.ctrl, &self.plan, &mut self.queue);
+        // Line 18: restore the default tRCD.
+        self.ctrl.reset_trcd();
+        let harvested = result?;
+        self.stats.bits += harvested as u64;
+        self.stats.iterations += 1;
+        self.stats.device_time_ps += self.ctrl.now_ps() - t0;
+        // Respect the firmware queue bound.
+        while self.queue.len() > self.config.queue_capacity {
+            self.queue.pop_front();
+        }
+        Ok(harvested)
+    }
+
+    /// Harvests until at least `bits` random bits are queued
+    /// (Algorithm 2's `num_bits` argument).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn ensure_bits(&mut self, bits: usize) -> Result<()> {
+        if bits > self.config.queue_capacity {
+            return Err(DrangeError::InvalidSpec(format!(
+                "request of {bits} bits exceeds queue capacity {}",
+                self.config.queue_capacity
+            )));
+        }
+        while self.queue.len() < bits {
+            self.sample_once()?;
+        }
+        Ok(())
+    }
+
+    /// The next random bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn next_bit(&mut self) -> Result<bool> {
+        if self.queue.is_empty() {
+            self.sample_once()?;
+        }
+        Ok(self.queue.pop_front().expect("sample_once enqueues bits"))
+    }
+
+    /// The next `n` random bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn bits(&mut self, n: usize) -> Result<Vec<bool>> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.next_bit()?);
+        }
+        Ok(out)
+    }
+
+    /// The next random `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn next_word(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        for _ in 0..64 {
+            v = (v << 1) | u64::from(self.next_bit()?);
+        }
+        Ok(v)
+    }
+
+    /// Fills a byte buffer with random data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn try_fill(&mut self, buf: &mut [u8]) -> Result<()> {
+        for byte in buf.iter_mut() {
+            let mut b = 0u8;
+            for _ in 0..8 {
+                b = (b << 1) | u8::from(self.next_bit()?);
+            }
+            *byte = b;
+        }
+        Ok(())
+    }
+}
+
+/// One pass of Algorithm 2's core loop (lines 7-15) over the plan.
+fn sample_pass(
+    ctrl: &mut MemoryController,
+    plan: &[BankPlan],
+    queue: &mut VecDeque<bool>,
+) -> Result<usize> {
+    let mut harvested = 0usize;
+    for word_idx in 0..2 {
+        // Phase-interleaved issue across banks maximizes bank-level
+        // parallelism under tRRD/tFAW.
+        for bp in plan {
+            let Some(w) = bp.words.get(word_idx) else { continue };
+            ctrl.act(bp.bank, w.addr.row)?;
+            let got = ctrl.rd(bp.bank, w.addr.row, w.addr.col)?;
+            // Lines 9-10: harvest RNG bits, restore original.
+            for &bit in &w.bits {
+                queue.push_back((got >> bit) & 1 != (w.original >> bit) & 1);
+                harvested += 1;
+            }
+            if got != w.original {
+                ctrl.wr(bp.bank, w.addr.row, w.addr.col, w.original)?;
+            }
+            ctrl.pre(bp.bank)?;
+        }
+    }
+    Ok(harvested)
+}
+
+impl RngCore for DRange {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_word().expect("device sampling failed")
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.try_fill(dest).expect("device sampling failed");
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.try_fill(dest).map_err(|e| rand::Error::new(Box::new(e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::{IdentifySpec, RngCellCatalog};
+    use crate::profiler::{ProfileSpec, Profiler};
+    use dram_sim::{DeviceConfig, Manufacturer};
+
+    fn fresh_ctrl() -> MemoryController {
+        MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(4242),
+        )
+    }
+
+    /// The profile + identification steps are deterministic for fixed
+    /// seeds, so the catalog is built once and shared across tests.
+    fn catalog() -> &'static RngCellCatalog {
+        static CATALOG: std::sync::OnceLock<RngCellCatalog> = std::sync::OnceLock::new();
+        CATALOG.get_or_init(|| {
+            let mut ctrl = fresh_ctrl();
+            let profile = Profiler::new(&mut ctrl)
+                .run(
+                    ProfileSpec {
+                        banks: (0..8).collect(),
+                        rows: 0..256,
+                        cols: 0..16,
+                        ..ProfileSpec::default()
+                    }
+                    .with_iterations(30),
+                )
+                .unwrap();
+            RngCellCatalog::identify(
+                &mut ctrl,
+                &profile,
+                IdentifySpec { reads: 1000, ..IdentifySpec::default() },
+            )
+            .unwrap()
+        })
+    }
+
+    fn generator() -> DRange {
+        DRange::new(fresh_ctrl(), catalog(), DRangeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn generates_bits_with_balanced_distribution() {
+        let mut g = generator();
+        let bits = g.bits(4000).unwrap();
+        let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+        assert!((ones - 0.5).abs() < 0.05, "ones fraction {ones}");
+    }
+
+    #[test]
+    fn stats_track_bits_and_time() {
+        let mut g = generator();
+        let _ = g.bits(512).unwrap();
+        let s = g.stats();
+        assert!(s.bits >= 512);
+        assert!(s.device_time_ps > 0);
+        assert!(s.iterations > 0);
+        assert!(s.throughput_bps() > 1e6, "at least Mb/s scale: {}", s.throughput_bps());
+    }
+
+    #[test]
+    fn sampling_preserves_stored_pattern() {
+        let mut g = generator();
+        let _ = g.bits(256).unwrap();
+        // After sampling, every planned word still stores its original
+        // pattern value (the restore writes of Algorithm 2).
+        for bp in g.plan.clone() {
+            for w in &bp.words {
+                let stored = g.ctrl.device().peek(w.addr).unwrap();
+                assert_eq!(stored, w.original, "word {:?} restored", w.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn trcd_restored_after_each_batch() {
+        let mut g = generator();
+        let _ = g.next_word().unwrap();
+        assert_eq!(g.controller().registers().trcd_ns(), 18.0);
+    }
+
+    #[test]
+    fn rngcore_interface_works() {
+        let mut g = generator();
+        let a = g.next_u64();
+        let b = g.next_u64();
+        assert_ne!(a, b, "two 64-bit draws should differ (p = 2^-64)");
+        let mut buf = [0u8; 16];
+        g.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&x| x != 0), "16 random bytes are not all zero");
+    }
+
+    #[test]
+    fn bank_limit_is_respected() {
+        let g = DRange::new(
+            fresh_ctrl(),
+            catalog(),
+            DRangeConfig { banks: Some(2), ..DRangeConfig::default() },
+        )
+        .unwrap();
+        assert!(g.banks_used() <= 2);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected() {
+        let mut g = generator();
+        assert!(g.ensure_bits(1_000_000).is_err());
+    }
+
+    #[test]
+    fn empty_catalog_is_rejected() {
+        let mut ctrl = MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A).with_seed(1).with_noise_seed(2),
+        );
+        // Profile at spec timing: no failures, no candidates.
+        let profile = Profiler::new(&mut ctrl)
+            .run(
+                ProfileSpec {
+                    rows: 0..64,
+                    cols: 0..4,
+                    ..ProfileSpec::default()
+                }
+                .with_trcd_ns(18.0)
+                .with_iterations(3),
+            )
+            .unwrap();
+        let catalog = RngCellCatalog::identify(
+            &mut ctrl,
+            &profile,
+            IdentifySpec { reads: 1000, ..IdentifySpec::default() },
+        )
+        .unwrap();
+        assert!(matches!(
+            DRange::new(ctrl, &catalog, DRangeConfig::default()),
+            Err(DrangeError::NoRngCells(_))
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! The full-system integration of Section 6.3: a firmware-style
+//! randomness service with a REQUEST/RECEIVE interface, a harvested-bit
+//! queue, and continuous health monitoring.
+//!
+//! Applications `request` random bytes and later `receive` them; the
+//! service refills its queue by running the Algorithm 2 sampling loop
+//! whenever the queue drops below a low watermark ("whenever an
+//! application requests random samples and there is available DRAM
+//! bandwidth" — the paper's firmware routine), and discards output
+//! rejected by the online health tests.
+
+use std::collections::VecDeque;
+
+use crate::error::{DrangeError, Result};
+use crate::health::HealthMonitor;
+use crate::sampler::DRange;
+
+/// Identifier of a pending randomness request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+/// Configuration of the randomness service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Bits kept ready in the firmware queue.
+    pub queue_capacity: usize,
+    /// Refill when the queue drops below this many bits.
+    pub low_watermark: usize,
+    /// Claimed min-entropy for the health monitor (bits/bit).
+    pub min_entropy: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { queue_capacity: 1 << 16, low_watermark: 1 << 12, min_entropy: 0.95 }
+    }
+}
+
+/// A pending request.
+#[derive(Debug, Clone)]
+struct Pending {
+    id: RequestId,
+    bytes: usize,
+}
+
+/// The firmware randomness service (REQUEST/RECEIVE over D-RaNGe).
+#[derive(Debug)]
+pub struct RandomnessService {
+    trng: DRange,
+    config: ServiceConfig,
+    queue: VecDeque<bool>,
+    pending: VecDeque<Pending>,
+    ready: Vec<(RequestId, Vec<u8>)>,
+    next_id: u64,
+    health: HealthMonitor,
+    discarded_bits: u64,
+}
+
+impl RandomnessService {
+    /// Wraps a generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrangeError::InvalidSpec`] for inconsistent watermarks.
+    pub fn new(trng: DRange, config: ServiceConfig) -> Result<Self> {
+        if config.low_watermark > config.queue_capacity || config.queue_capacity == 0 {
+            return Err(DrangeError::InvalidSpec(format!(
+                "watermark {} exceeds capacity {}",
+                config.low_watermark, config.queue_capacity
+            )));
+        }
+        if !(0.0..=1.0).contains(&config.min_entropy) || config.min_entropy == 0.0 {
+            return Err(DrangeError::InvalidSpec("min_entropy must be in (0,1]".into()));
+        }
+        let health = HealthMonitor::new(config.min_entropy);
+        Ok(RandomnessService {
+            trng,
+            config,
+            queue: VecDeque::new(),
+            pending: VecDeque::new(),
+            ready: Vec::new(),
+            next_id: 0,
+            health,
+            discarded_bits: 0,
+        })
+    }
+
+    /// Files a request for `bytes` random bytes, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrangeError::InvalidSpec`] when a single request
+    /// exceeds the queue capacity.
+    pub fn request(&mut self, bytes: usize) -> Result<RequestId> {
+        if bytes * 8 > self.config.queue_capacity {
+            return Err(DrangeError::InvalidSpec(format!(
+                "request of {bytes} bytes exceeds queue capacity"
+            )));
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.pending.push_back(Pending { id, bytes });
+        Ok(id)
+    }
+
+    /// Runs the firmware loop: refills the queue (sampling in batches)
+    /// and fulfills pending requests in order. Returns the number of
+    /// requests completed this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling errors.
+    pub fn process(&mut self) -> Result<usize> {
+        let mut completed = 0usize;
+        loop {
+            let needed: usize =
+                self.pending.front().map(|p| p.bytes * 8).unwrap_or(0);
+            // Refill policy: satisfy the head request, and top up to the
+            // watermark when idle.
+            let target = needed.max(self.config.low_watermark).min(self.config.queue_capacity);
+            let mut rejected_batches = 0u32;
+            while self.queue.len() < target {
+                if rejected_batches > 1000 {
+                    return Err(DrangeError::Unhealthy(
+                        "more than 1000 consecutive batches failed health screening".into(),
+                    ));
+                }
+                let harvested = self.trng.sample_once()?;
+                let batch = self.trng.bits(harvested)?;
+                // Health screening: a batch that trips the monitor is
+                // discarded rather than queued.
+                let mut probe = self.health.clone();
+                if probe.feed_all(&batch) == 0 {
+                    self.health = probe;
+                    self.queue.extend(batch);
+                } else {
+                    self.health = probe;
+                    self.discarded_bits += batch.len() as u64;
+                    rejected_batches += 1;
+                }
+            }
+            let Some(head) = self.pending.front().cloned() else { break };
+            if self.queue.len() < head.bytes * 8 {
+                continue;
+            }
+            let mut out = Vec::with_capacity(head.bytes);
+            for _ in 0..head.bytes {
+                let mut b = 0u8;
+                for _ in 0..8 {
+                    b = (b << 1) | u8::from(self.queue.pop_front().expect("refilled"));
+                }
+                out.push(b);
+            }
+            self.ready.push((head.id, out));
+            self.pending.pop_front();
+            completed += 1;
+            if self.pending.is_empty() {
+                break;
+            }
+        }
+        Ok(completed)
+    }
+
+    /// Retrieves a completed request's bytes, if ready.
+    pub fn receive(&mut self, id: RequestId) -> Option<Vec<u8>> {
+        let idx = self.ready.iter().position(|(rid, _)| *rid == id)?;
+        Some(self.ready.swap_remove(idx).1)
+    }
+
+    /// Bits currently queued and ready to serve.
+    pub fn queued_bits(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Bits discarded by the health monitor.
+    pub fn discarded_bits(&self) -> u64 {
+        self.discarded_bits
+    }
+
+    /// Requests filed but not yet fulfilled.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The underlying generator (stats access).
+    pub fn trng(&self) -> &DRange {
+        &self.trng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::{IdentifySpec, RngCellCatalog};
+    use crate::profiler::{ProfileSpec, Profiler};
+    use crate::sampler::DRangeConfig;
+    use dram_sim::{DeviceConfig, Manufacturer};
+    use memctrl::MemoryController;
+
+    fn service() -> RandomnessService {
+        let mut ctrl = MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(777),
+        );
+        let profile = Profiler::new(&mut ctrl)
+            .run(
+                ProfileSpec {
+                    banks: (0..8).collect(),
+                    rows: 0..128,
+                    cols: 0..16,
+                    ..ProfileSpec::default()
+                }
+                .with_iterations(25),
+            )
+            .unwrap();
+        let catalog =
+            RngCellCatalog::identify(&mut ctrl, &profile, IdentifySpec::default()).unwrap();
+        let trng = DRange::new(ctrl, &catalog, DRangeConfig::default()).unwrap();
+        RandomnessService::new(trng, ServiceConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn request_receive_round_trip() {
+        let mut s = service();
+        let id1 = s.request(32).unwrap();
+        let id2 = s.request(16).unwrap();
+        assert_eq!(s.pending_requests(), 2);
+        let done = s.process().unwrap();
+        assert_eq!(done, 2);
+        let k1 = s.receive(id1).unwrap();
+        let k2 = s.receive(id2).unwrap();
+        assert_eq!(k1.len(), 32);
+        assert_eq!(k2.len(), 16);
+        assert!(s.receive(id1).is_none(), "a request is consumed once");
+    }
+
+    #[test]
+    fn queue_prefills_to_watermark() {
+        let mut s = service();
+        let _ = s.request(1).unwrap();
+        s.process().unwrap();
+        assert!(s.queued_bits() + 8 >= ServiceConfig::default().low_watermark);
+    }
+
+    #[test]
+    fn healthy_source_discards_nothing() {
+        let mut s = service();
+        let _ = s.request(64).unwrap();
+        s.process().unwrap();
+        assert_eq!(s.discarded_bits(), 0);
+    }
+
+    #[test]
+    fn distinct_requests_get_distinct_bytes() {
+        let mut s = service();
+        let a = s.request(16).unwrap();
+        let b = s.request(16).unwrap();
+        s.process().unwrap();
+        assert_ne!(s.receive(a).unwrap(), s.receive(b).unwrap());
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let mut s = service();
+        assert!(s.request(1 << 20).is_err());
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        let s = service();
+        let trng = s.trng; // move out via field (same module)
+        assert!(RandomnessService::new(
+            trng,
+            ServiceConfig { queue_capacity: 10, low_watermark: 100, ..Default::default() }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Stream adapters: consume the generator through standard interfaces.
+//!
+//! [`DRange`] already implements `rand::RngCore`; this module adds a
+//! [`std::io::Read`] adapter (so the TRNG can back anything that reads
+//! bytes — `io::copy`, buffered readers, encoders) and an infinite
+//! byte iterator.
+
+use std::io::{self, Read};
+
+use crate::sampler::DRange;
+
+/// A [`Read`] adapter over a [`DRange`] generator.
+///
+/// Every `read` fills the whole buffer with fresh random bytes;
+/// the stream never reaches EOF.
+#[derive(Debug)]
+pub struct DRangeReader {
+    trng: DRange,
+}
+
+impl DRangeReader {
+    /// Wraps a generator.
+    pub fn new(trng: DRange) -> Self {
+        DRangeReader { trng }
+    }
+
+    /// Returns the wrapped generator.
+    pub fn into_inner(self) -> DRange {
+        self.trng
+    }
+
+    /// Borrow of the wrapped generator (stats access).
+    pub fn get_ref(&self) -> &DRange {
+        &self.trng
+    }
+}
+
+impl Read for DRangeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.trng
+            .try_fill(buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+        Ok(buf.len())
+    }
+}
+
+/// An infinite iterator of random bytes.
+///
+/// Created by [`bytes`]; panics on device errors (use
+/// [`DRange::try_fill`] for fallible consumption).
+#[derive(Debug)]
+pub struct Bytes {
+    trng: DRange,
+}
+
+impl Iterator for Bytes {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        let mut b = [0u8; 1];
+        self.trng.try_fill(&mut b).expect("device sampling failed");
+        Some(b[0])
+    }
+}
+
+/// An infinite random-byte iterator over a generator.
+pub fn bytes(trng: DRange) -> Bytes {
+    Bytes { trng }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::{IdentifySpec, RngCellCatalog};
+    use crate::profiler::{ProfileSpec, Profiler};
+    use crate::sampler::DRangeConfig;
+    use dram_sim::{DeviceConfig, Manufacturer};
+    use memctrl::MemoryController;
+
+    fn trng() -> DRange {
+        let mut ctrl = MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(4243),
+        );
+        let profile = Profiler::new(&mut ctrl)
+            .run(
+                ProfileSpec {
+                    banks: (0..8).collect(),
+                    rows: 0..128,
+                    cols: 0..16,
+                    ..ProfileSpec::default()
+                }
+                .with_iterations(25),
+            )
+            .unwrap();
+        let catalog =
+            RngCellCatalog::identify(&mut ctrl, &profile, IdentifySpec::default()).unwrap();
+        DRange::new(ctrl, &catalog, DRangeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn reader_fills_buffers_of_any_size() {
+        let mut r = DRangeReader::new(trng());
+        let mut small = [0u8; 3];
+        assert_eq!(r.read(&mut small).unwrap(), 3);
+        let mut large = vec![0u8; 4096];
+        assert_eq!(r.read(&mut large).unwrap(), 4096);
+        let distinct: std::collections::HashSet<u8> = large.iter().copied().collect();
+        assert!(distinct.len() > 100, "4 KiB of random bytes covers most values");
+    }
+
+    #[test]
+    fn reader_works_with_io_copy() {
+        let r = DRangeReader::new(trng());
+        let mut sink = Vec::new();
+        std::io::copy(&mut r.take(1024), &mut sink).unwrap();
+        assert_eq!(sink.len(), 1024);
+    }
+
+    #[test]
+    fn reader_round_trips_inner() {
+        let r = DRangeReader::new(trng());
+        assert_eq!(r.get_ref().stats().bits, 0);
+        let inner = r.into_inner();
+        assert_eq!(inner.stats().bits, 0);
+    }
+
+    #[test]
+    fn byte_iterator_streams() {
+        let mut it = bytes(trng());
+        let first: Vec<u8> = it.by_ref().take(64).collect();
+        let second: Vec<u8> = it.take(64).collect();
+        assert_eq!(first.len(), 64);
+        assert_ne!(first, second, "consecutive draws differ");
+    }
+}

@@ -1,0 +1,154 @@
+//! Throughput model — the paper's Equation (1).
+//!
+//! `TRNG_Throughput(x banks) = Σ bank_rate / Alg2_Runtime(x banks)`,
+//! where a bank's rate is the number of RNG cells across its two
+//! selected words and the runtime is the steady-state time of one core-
+//! loop iteration of Algorithm 2, obtained from the command scheduler
+//! (the role Ramulator plays in the paper).
+
+use dram_sim::commands::CommandKind;
+use dram_sim::TimingParams;
+use memctrl::{CommandScheduler, TimingRegisters};
+
+use crate::identify::RngCellCatalog;
+
+/// Measures the steady-state runtime of one Algorithm 2 core-loop
+/// iteration over `banks` banks, in picoseconds.
+///
+/// The command stream per iteration, phase-interleaved across banks:
+/// `ACT, RD, WR, PRE` on each bank's first word, then the same on its
+/// second word (distinct row).
+///
+/// # Panics
+///
+/// Panics if `banks` is zero.
+pub fn alg2_iteration_ps(registers: &TimingRegisters, banks: usize) -> u64 {
+    assert!(banks > 0, "at least one bank required");
+    let mut sched = CommandScheduler::new(banks, registers.effective());
+    sched.set_overhead_ps(registers.cmd_overhead_ps());
+    let one_iteration = |sched: &mut CommandScheduler| {
+        for row in 0..2usize {
+            for b in 0..banks {
+                sched.issue(CommandKind::Act, b, row, 0).expect("legal ACT");
+            }
+            for b in 0..banks {
+                sched.issue(CommandKind::Rd, b, row, 0).expect("legal RD");
+            }
+            for b in 0..banks {
+                sched.issue(CommandKind::Wr, b, row, 0).expect("legal WR");
+            }
+            for b in 0..banks {
+                sched.issue(CommandKind::Pre, b, 0, 0).expect("legal PRE");
+            }
+        }
+    };
+    // Warm up to steady state, then measure.
+    const WARMUP: usize = 4;
+    const MEASURE: usize = 16;
+    for _ in 0..WARMUP {
+        one_iteration(&mut sched);
+    }
+    let t0 = sched.now_ps();
+    for _ in 0..MEASURE {
+        one_iteration(&mut sched);
+    }
+    (sched.now_ps() - t0) / MEASURE as u64
+}
+
+/// Equation (1): throughput in bits/s given each used bank's TRNG data
+/// rate (bits per iteration) and the per-iteration runtime.
+///
+/// # Panics
+///
+/// Panics if `iteration_ps` is zero.
+pub fn throughput_bps(bank_rates: &[usize], iteration_ps: u64) -> f64 {
+    assert!(iteration_ps > 0, "iteration time must be positive");
+    let bits: usize = bank_rates.iter().sum();
+    bits as f64 / (iteration_ps as f64 * 1e-12)
+}
+
+/// Projected throughput of a catalog when sampling from the best
+/// `banks` banks (Figure 8's per-point computation). Returns bits/s.
+pub fn catalog_throughput_bps(
+    catalog: &RngCellCatalog,
+    timing: TimingParams,
+    reduced_trcd_ns: f64,
+    total_banks: usize,
+    banks: usize,
+) -> f64 {
+    let mut registers = TimingRegisters::new(timing);
+    registers.set_trcd_ns(reduced_trcd_ns).expect("valid tRCD");
+    let ranked = catalog.ranked_banks(total_banks);
+    let rates: Vec<usize> =
+        ranked.iter().take(banks).map(|&(_, rate)| rate).collect();
+    if rates.iter().all(|&r| r == 0) {
+        return 0.0;
+    }
+    let iter_ps = alg2_iteration_ps(&registers, banks);
+    throughput_bps(&rates, iter_ps)
+}
+
+/// Scales a per-channel throughput to a multi-channel system (channels
+/// operate independently; the paper's 4-channel headline numbers).
+pub fn scale_to_channels(per_channel_bps: f64, channels: usize) -> f64 {
+    per_channel_bps * channels as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regs() -> TimingRegisters {
+        let mut r = TimingRegisters::new(TimingParams::lpddr4_3200());
+        r.set_trcd_ns(10.0).unwrap();
+        r
+    }
+
+    #[test]
+    fn iteration_time_is_positive_and_bounded() {
+        let t1 = alg2_iteration_ps(&regs(), 1);
+        // One bank: two row cycles, each at least tRAS + tRP.
+        let t = TimingParams::lpddr4_3200();
+        assert!(t1 >= 2 * (t.tras_ps + t.trp_ps), "t1 = {t1}");
+        assert!(t1 < 1_000_000, "sub-microsecond per iteration: {t1}");
+    }
+
+    #[test]
+    fn more_banks_amortize_better() {
+        let t1 = alg2_iteration_ps(&regs(), 1);
+        let t8 = alg2_iteration_ps(&regs(), 8);
+        // 8 banks do 8x the work in far less than 8x the time.
+        assert!(t8 < 8 * t1, "t8 = {t8}, t1 = {t1}");
+        // Normalized per-bank time shrinks.
+        assert!(t8 / 8 < t1);
+    }
+
+    #[test]
+    fn throughput_scales_linearly_with_bank_rates() {
+        let iter_ps = alg2_iteration_ps(&regs(), 8);
+        let low = throughput_bps(&[1; 8], iter_ps);
+        let high = throughput_bps(&[4; 8], iter_ps);
+        assert!((high / low - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eight_banks_reach_tens_of_mbps() {
+        // Paper Figure 8: >= 40 Mb/s at 8 banks for every device; our
+        // model should land in the same decade with realistic rates.
+        let iter_ps = alg2_iteration_ps(&regs(), 8);
+        let bps = throughput_bps(&[4; 8], iter_ps); // 2 cells/word avg
+        assert!(bps > 20e6, "throughput {bps}");
+        assert!(bps < 2e9, "throughput {bps}");
+    }
+
+    #[test]
+    fn channel_scaling_is_linear() {
+        assert_eq!(scale_to_channels(100e6, 4), 400e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = alg2_iteration_ps(&regs(), 0);
+    }
+}

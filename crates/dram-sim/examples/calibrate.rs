@@ -1,0 +1,32 @@
+//! One-off calibration probe (developer tool).
+use dram_sim::*;
+
+fn main() {
+    for m in Manufacturer::ALL {
+        let mut d = DramDevice::build(DeviceConfig::new(m).with_seed(3).with_noise_seed(4));
+        d.fill_device(DataPattern::Solid0);
+        let g = d.geometry();
+        let mut meta = 0usize; // Fprob in [0.4,0.6]
+        let mut fail_any = 0usize; // Fprob > 0.01
+        let mut words_with = [0usize; 5];
+        let mut spec_fail = 0usize;
+        for bank in 0..1 {
+            for row in 0..g.rows {
+                for col in 0..g.cols {
+                    let mut in_word = 0usize;
+                    for bit in 0..g.word_bits {
+                        let c = CellAddr::new(bank, row, col, bit);
+                        let f = d.failure_probability(c, 10.0);
+                        if f > 0.01 { fail_any += 1; }
+                        if (0.4..=0.6).contains(&f) { meta += 1; in_word += 1; }
+                        if d.failure_probability(c, 18.0) > 1e-6 { spec_fail += 1; }
+                    }
+                    words_with[in_word.min(4)] += 1;
+                }
+            }
+        }
+        let cells = g.cells_per_bank();
+        println!("mfr {m}: cells/bank={} failing(>1%)={} meta(40-60%)={} spec_risky={} words_with_1..4={:?}",
+            cells, fail_any, meta, spec_fail, &words_with[1..]);
+    }
+}

@@ -1,0 +1,127 @@
+//! DRAM command vocabulary (Section 2.1.3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a DRAM command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandKind {
+    /// Activate (open) a row: copy it into the local row buffer.
+    Act,
+    /// Precharge (close) the open row of a bank.
+    Pre,
+    /// Read one DRAM word from the open row.
+    Rd,
+    /// Write one DRAM word into the open row.
+    Wr,
+    /// Refresh (restore charge of rows due for refresh).
+    Ref,
+}
+
+impl CommandKind {
+    /// Short uppercase mnemonic as it would appear in a command trace.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CommandKind::Act => "ACT",
+            CommandKind::Pre => "PRE",
+            CommandKind::Rd => "RD",
+            CommandKind::Wr => "WR",
+            CommandKind::Ref => "REF",
+        }
+    }
+}
+
+impl std::fmt::Display for CommandKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One issued DRAM command with its issue time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Command {
+    /// What was issued.
+    pub kind: CommandKind,
+    /// Target bank.
+    pub bank: usize,
+    /// Target row (meaningful for ACT; 0 otherwise).
+    pub row: usize,
+    /// Target column (meaningful for RD/WR; 0 otherwise).
+    pub col: usize,
+    /// Issue time in picoseconds from the start of the trace.
+    pub at_ps: u64,
+}
+
+impl Command {
+    /// Constructs an ACT command.
+    pub fn act(bank: usize, row: usize, at_ps: u64) -> Self {
+        Command { kind: CommandKind::Act, bank, row, col: 0, at_ps }
+    }
+
+    /// Constructs a PRE command.
+    pub fn pre(bank: usize, at_ps: u64) -> Self {
+        Command { kind: CommandKind::Pre, bank, row: 0, col: 0, at_ps }
+    }
+
+    /// Constructs a RD command.
+    pub fn rd(bank: usize, row: usize, col: usize, at_ps: u64) -> Self {
+        Command { kind: CommandKind::Rd, bank, row, col, at_ps }
+    }
+
+    /// Constructs a WR command.
+    pub fn wr(bank: usize, row: usize, col: usize, at_ps: u64) -> Self {
+        Command { kind: CommandKind::Wr, bank, row, col, at_ps }
+    }
+
+    /// Constructs a REF command.
+    pub fn refresh(at_ps: u64) -> Self {
+        Command { kind: CommandKind::Ref, bank: 0, row: 0, col: 0, at_ps }
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>10} ps  {} b{} r{} c{}",
+            self.at_ps,
+            self.kind.mnemonic(),
+            self.bank,
+            self.row,
+            self.col
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Command::act(1, 2, 3).kind, CommandKind::Act);
+        assert_eq!(Command::pre(1, 3).kind, CommandKind::Pre);
+        assert_eq!(Command::rd(1, 2, 4, 3).kind, CommandKind::Rd);
+        assert_eq!(Command::wr(1, 2, 4, 3).kind, CommandKind::Wr);
+        assert_eq!(Command::refresh(9).kind, CommandKind::Ref);
+    }
+
+    #[test]
+    fn display_contains_mnemonic_and_time() {
+        let c = Command::rd(2, 7, 5, 1234);
+        let s = c.to_string();
+        assert!(s.contains("RD") && s.contains("1234") && s.contains("b2"));
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let all = [
+            CommandKind::Act,
+            CommandKind::Pre,
+            CommandKind::Rd,
+            CommandKind::Wr,
+            CommandKind::Ref,
+        ];
+        let set: std::collections::HashSet<_> = all.iter().map(|k| k.mnemonic()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,870 @@
+//! The DRAM device model: data storage, bank protocol state, and the
+//! activation-failure read path.
+//!
+//! ## Failure model
+//!
+//! A READ issued `tRCD` after ACT samples the bitline before it is fully
+//! amplified. The normalized bitline overdrive above the read threshold
+//! ("margin") of a cell is
+//!
+//! ```text
+//! margin = settle(tRCD) · strength(bitline) · (1 − α·rowdist) − θ
+//!        + charge_pref ± coupling(neighbors) + tempco·(45 − T)·sens + ε
+//! ```
+//!
+//! and the sensed value is wrong with probability `Φ(−margin / σ_noise)`.
+//! A failed sense is *restored into the cell* (the sense amplifier writes
+//! back what it sensed), which is why the paper's Algorithm 2 rewrites
+//! the original data after every sample.
+//!
+//! Failures only affect the first word read after an activation
+//! (Section 5.1: "activation failures occur only within the first cache
+//! line accessed immediately following an activation"); subsequent reads
+//! of the open row are clean.
+
+use crate::data_pattern::DataPattern;
+use crate::entropy::{NoiseSource, OsNoise, SeededNoise};
+use crate::error::{DramError, Result};
+use crate::geometry::{CellAddr, Geometry, WordAddr};
+use crate::manufacturer::{Manufacturer, PhysicsProfile};
+use crate::math::phi;
+use crate::temperature::Celsius;
+use crate::timing::{DramStandard, TimingParams};
+use crate::variation::{cell_latents, VariationMap};
+
+/// Margin above which the slow (per-cell, noise-sampled) path is skipped
+/// entirely: at 0.16 V over threshold with σ = 0.02 V, the failure
+/// probability is below 10⁻¹⁵ even with extreme per-cell offsets.
+const SLOW_PATH_CUTOFF_V: f64 = 0.16;
+
+/// Configuration for building a [`DramDevice`].
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    manufacturer: Manufacturer,
+    geometry: Option<Geometry>,
+    profile: Option<PhysicsProfile>,
+    standard: DramStandard,
+    seed: u64,
+    noise_seed: Option<u64>,
+    temperature: Celsius,
+}
+
+impl DeviceConfig {
+    /// Starts a configuration for a device from the given manufacturer
+    /// with default geometry, physics, LPDDR4 timing, and OS-seeded
+    /// noise.
+    pub fn new(manufacturer: Manufacturer) -> Self {
+        DeviceConfig {
+            manufacturer,
+            geometry: None,
+            profile: None,
+            standard: DramStandard::Lpddr4,
+            seed: 0,
+            noise_seed: None,
+            temperature: Celsius::DEFAULT,
+        }
+    }
+
+    /// Sets the manufacturing seed (process variation). Devices with
+    /// different seeds are "different chips" from the same manufacturer.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses a deterministic noise source (reproducible experiments).
+    /// Without this, noise is OS-seeded — the true-randomness stand-in.
+    pub fn with_noise_seed(mut self, seed: u64) -> Self {
+        self.noise_seed = Some(seed);
+        self
+    }
+
+    /// Overrides the geometry. `subarray_rows` is still taken from the
+    /// manufacturer profile unless a custom profile is also supplied.
+    pub fn with_geometry(mut self, geometry: Geometry) -> Self {
+        self.geometry = Some(geometry);
+        self
+    }
+
+    /// Overrides the physics profile (calibration experiments).
+    pub fn with_profile(mut self, profile: PhysicsProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Selects the DRAM standard (timing preset).
+    pub fn with_standard(mut self, standard: DramStandard) -> Self {
+        self.standard = standard;
+        self
+    }
+
+    /// Sets the initial device temperature.
+    pub fn with_temperature(mut self, t: Celsius) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// The manufacturer this configuration targets.
+    pub fn manufacturer(&self) -> Manufacturer {
+        self.manufacturer
+    }
+
+    /// The configured manufacturing seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// When a deterministic noise seed is configured, offsets it so that
+    /// derived devices (e.g. one per channel) get independent but still
+    /// reproducible noise streams. A no-op for OS-seeded noise.
+    pub fn with_noise_seed_offset(mut self, offset: u64) -> Self {
+        if let Some(s) = self.noise_seed {
+            self.noise_seed = Some(s.wrapping_add(offset.wrapping_mul(0x9E37_79B9)));
+        }
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BankState {
+    open_row: Option<usize>,
+    /// True if no column of the open row has been accessed yet — the
+    /// window in which activation failures can occur.
+    fresh: bool,
+}
+
+/// A simulated DRAM device (one rank's worth of banks).
+pub struct DramDevice {
+    manufacturer: Manufacturer,
+    geometry: Geometry,
+    profile: PhysicsProfile,
+    standard: DramStandard,
+    timing: TimingParams,
+    seed: u64,
+    temperature: Celsius,
+    variation: VariationMap,
+    /// Stored data: `data[bank][row * cols + col]`, low `word_bits` used.
+    data: Vec<Vec<u64>>,
+    banks: Vec<BankState>,
+    noise: Box<dyn NoiseSource>,
+}
+
+impl std::fmt::Debug for DramDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DramDevice")
+            .field("manufacturer", &self.manufacturer)
+            .field("geometry", &self.geometry)
+            .field("standard", &self.standard)
+            .field("temperature", &self.temperature)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DramDevice {
+    /// Builds the device: materializes process variation and zero-fills
+    /// the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the (possibly overridden) geometry is invalid; use
+    /// [`Geometry::validate`] beforehand when geometry comes from
+    /// untrusted input.
+    pub fn build(config: DeviceConfig) -> Self {
+        let profile =
+            config.profile.unwrap_or_else(|| config.manufacturer.profile());
+        let mut geometry = config
+            .geometry
+            .unwrap_or_else(|| Geometry::lpddr4_compact(profile.subarray_rows));
+        if config.geometry.is_none() {
+            geometry.subarray_rows = profile.subarray_rows.min(geometry.rows);
+        }
+        geometry.validate().expect("invalid device geometry");
+        let variation = VariationMap::build(config.seed, geometry, &profile);
+        let data =
+            vec![vec![0u64; geometry.rows * geometry.cols]; geometry.banks];
+        let banks =
+            vec![BankState { open_row: None, fresh: false }; geometry.banks];
+        let noise: Box<dyn NoiseSource> = match config.noise_seed {
+            Some(s) => Box::new(SeededNoise::new(s)),
+            None => Box::new(OsNoise::new()),
+        };
+        DramDevice {
+            manufacturer: config.manufacturer,
+            geometry,
+            profile,
+            standard: config.standard,
+            timing: TimingParams::for_standard(config.standard),
+            seed: config.seed,
+            temperature: config.temperature,
+            variation,
+            data,
+            banks,
+            noise,
+        }
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The physics profile in effect.
+    pub fn profile(&self) -> &PhysicsProfile {
+        &self.profile
+    }
+
+    /// The manufacturer of this device.
+    pub fn manufacturer(&self) -> Manufacturer {
+        self.manufacturer
+    }
+
+    /// The DRAM standard (timing preset family).
+    pub fn standard(&self) -> DramStandard {
+        self.standard
+    }
+
+    /// Datasheet timing parameters for this device.
+    pub fn timing(&self) -> TimingParams {
+        self.timing
+    }
+
+    /// The manufacturing seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Current device temperature.
+    pub fn temperature(&self) -> Celsius {
+        self.temperature
+    }
+
+    /// Sets the device temperature (the thermal chamber knob).
+    pub fn set_temperature(&mut self, t: Celsius) {
+        self.temperature = t;
+    }
+
+    /// The process-variation map (analysis/tests).
+    pub fn variation(&self) -> &VariationMap {
+        &self.variation
+    }
+
+    fn check_bank(&self, bank: usize) -> Result<()> {
+        if bank >= self.geometry.banks {
+            return Err(DramError::BankOutOfRange { bank, banks: self.geometry.banks });
+        }
+        Ok(())
+    }
+
+    fn check_addr(&self, bank: usize, row: usize, col: usize) -> Result<()> {
+        self.check_bank(bank)?;
+        if row >= self.geometry.rows {
+            return Err(DramError::RowOutOfRange { row, rows: self.geometry.rows });
+        }
+        if col >= self.geometry.cols {
+            return Err(DramError::ColOutOfRange { col, cols: self.geometry.cols });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn word_mask(&self) -> u64 {
+        if self.geometry.word_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.geometry.word_bits) - 1
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Direct (out-of-band) data access, used for test setup and analysis.
+    // ------------------------------------------------------------------
+
+    /// Reads a stored word directly, bypassing the command protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an addressing error if the address is outside geometry.
+    pub fn peek(&self, addr: WordAddr) -> Result<u64> {
+        self.check_addr(addr.bank, addr.row, addr.col)?;
+        Ok(self.data[addr.bank][addr.row * self.geometry.cols + addr.col])
+    }
+
+    /// Writes a stored word directly, bypassing the command protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns an addressing error if the address is outside geometry.
+    pub fn poke(&mut self, addr: WordAddr, value: u64) -> Result<()> {
+        self.check_addr(addr.bank, addr.row, addr.col)?;
+        let mask = self.word_mask();
+        self.data[addr.bank][addr.row * self.geometry.cols + addr.col] = value & mask;
+        Ok(())
+    }
+
+    /// The stored bit of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside geometry.
+    pub fn stored_bit(&self, cell: CellAddr) -> bool {
+        let w = self.peek(cell.word()).expect("cell address out of range");
+        (w >> cell.bit) & 1 == 1
+    }
+
+    /// Fills one row with a data pattern (direct access).
+    pub fn fill_row(&mut self, bank: usize, row: usize, pattern: DataPattern) {
+        for col in 0..self.geometry.cols {
+            let w = pattern.word(row, col, self.geometry.word_bits);
+            self.poke(WordAddr::new(bank, row, col), w).expect("fill_row in range");
+        }
+    }
+
+    /// Fills an entire bank with a data pattern (direct access).
+    pub fn fill_bank(&mut self, bank: usize, pattern: DataPattern) {
+        for row in 0..self.geometry.rows {
+            self.fill_row(bank, row, pattern);
+        }
+    }
+
+    /// Fills the whole device with a data pattern (direct access).
+    pub fn fill_device(&mut self, pattern: DataPattern) {
+        for bank in 0..self.geometry.banks {
+            self.fill_bank(bank, pattern);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Command protocol.
+    // ------------------------------------------------------------------
+
+    /// ACT: opens a row in a bank and arms the activation-failure window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankAlreadyOpen`] if the bank has an open row
+    /// and addressing errors for out-of-range banks/rows.
+    pub fn activate(&mut self, bank: usize, row: usize) -> Result<()> {
+        self.check_addr(bank, row, 0)?;
+        let state = &mut self.banks[bank];
+        if let Some(open) = state.open_row {
+            return Err(DramError::BankAlreadyOpen { bank, open_row: open });
+        }
+        state.open_row = Some(row);
+        state.fresh = true;
+        Ok(())
+    }
+
+    /// PRE: closes the open row of a bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotOpen`] if no row is open.
+    pub fn precharge(&mut self, bank: usize) -> Result<()> {
+        self.check_bank(bank)?;
+        let state = &mut self.banks[bank];
+        if state.open_row.is_none() {
+            return Err(DramError::BankNotOpen { bank });
+        }
+        state.open_row = None;
+        state.fresh = false;
+        Ok(())
+    }
+
+    /// The row currently open in a bank, if any.
+    pub fn open_row(&self, bank: usize) -> Option<usize> {
+        self.banks.get(bank).and_then(|s| s.open_row)
+    }
+
+    /// READ: senses one word of the open row, applying the
+    /// activation-failure path when this is the first access after ACT
+    /// and `trcd_ns` is below the amplification the cell needs.
+    ///
+    /// A failed sense corrupts the stored cell (restore writes back the
+    /// sensed value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::BankNotOpen`] / [`DramError::WrongOpenRow`]
+    /// for protocol violations and addressing errors for bad indices.
+    pub fn read(&mut self, bank: usize, row: usize, col: usize, trcd_ns: f64) -> Result<u64> {
+        self.check_addr(bank, row, col)?;
+        let state = self.banks[bank];
+        let open = state.open_row.ok_or(DramError::BankNotOpen { bank })?;
+        if open != row {
+            return Err(DramError::WrongOpenRow { bank, requested: row, open_row: open });
+        }
+        let idx = row * self.geometry.cols + col;
+        let stored = self.data[bank][idx];
+        if !state.fresh {
+            return Ok(stored);
+        }
+        self.banks[bank].fresh = false;
+        if trcd_ns >= self.profile.fail_guard_ns {
+            // Within the guard-banded operating region: datasheet-
+            // compliant (and near-compliant) reads are always correct.
+            // The paper observes failures only for tRCD in 6-13 ns.
+            return Ok(stored);
+        }
+        let sensed = self.sense_word(bank, row, col, stored, trcd_ns);
+        if sensed != stored {
+            // Restoration writes the (wrong) sensed value back.
+            self.data[bank][idx] = sensed;
+        }
+        Ok(sensed)
+    }
+
+    /// WRITE: stores one word into the open row.
+    ///
+    /// # Errors
+    ///
+    /// Same protocol and addressing errors as [`DramDevice::read`].
+    pub fn write(&mut self, bank: usize, row: usize, col: usize, value: u64) -> Result<()> {
+        self.check_addr(bank, row, col)?;
+        let state = self.banks[bank];
+        let open = state.open_row.ok_or(DramError::BankNotOpen { bank })?;
+        if open != row {
+            return Err(DramError::WrongOpenRow { bank, requested: row, open_row: open });
+        }
+        // A column write drives the sense amplifiers directly; the
+        // failure window is gone afterwards.
+        self.banks[bank].fresh = false;
+        let mask = self.word_mask();
+        self.data[bank][idx_of(&self.geometry, row, col)] = value & mask;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Failure physics.
+    // ------------------------------------------------------------------
+
+    /// Senses a word with the failure model applied.
+    fn sense_word(&mut self, bank: usize, row: usize, col: usize, stored: u64, trcd_ns: f64) -> u64 {
+        let g = self.profile.settle(trcd_ns);
+        let sub = self.geometry.subarray_of(row);
+        let d = self.geometry.row_in_subarray(row) as f64
+            / self.geometry.subarray_rows as f64;
+        let row_factor = 1.0 - self.profile.row_alpha * d;
+        let mut sensed = stored;
+        for bit in 0..self.geometry.word_bits {
+            let bl = self.geometry.bitline_of(col, bit);
+            let s = self.variation.strength(bank, sub, bl);
+            let base = g * s * row_factor - self.profile.theta_v;
+            if base > SLOW_PATH_CUTOFF_V {
+                continue;
+            }
+            let cell = CellAddr::new(bank, row, col, bit);
+            let margin = self.cell_margin(cell, base, stored);
+            let p_fail = phi(-margin * self.profile.inv_sigma);
+            if self.noise.bernoulli(p_fail) {
+                sensed ^= 1u64 << bit;
+            }
+        }
+        sensed
+    }
+
+    /// Adds the per-cell margin terms to a precomputed `base` margin.
+    ///
+    /// `row_word` is the stored word containing the cell (used for
+    /// neighbor coupling within the word); neighbors in adjacent words
+    /// are fetched from the array.
+    fn cell_margin(&self, cell: CellAddr, base: f64, row_word: u64) -> f64 {
+        let lat = cell_latents(self.seed, &self.profile, cell);
+        let anti = cell.row % 2 == 1;
+        let stored = (row_word >> cell.bit) & 1 == 1;
+        let my_charge = stored ^ anti;
+
+        // Charge-orientation preference: sensing a high-charge cell is
+        // easier or harder depending on the (per-cell, per-manufacturer)
+        // preference sign.
+        let charge_term = if my_charge { -lat.charge_pref_v } else { lat.charge_pref_v };
+
+        // Adjacent-bitline coupling: neighbors whose stored charge
+        // differs swing the opposite way and steal margin.
+        let mut couple = 0.0;
+        if let Some(left) = self.neighbor_charge(cell, -1, row_word) {
+            if left != my_charge {
+                couple += lat.coupl_left_v;
+            }
+        }
+        if let Some(right) = self.neighbor_charge(cell, 1, row_word) {
+            if right != my_charge {
+                couple += lat.coupl_right_v;
+            }
+        }
+
+        let temp_term = -(self.temperature.degrees() - Celsius::DEFAULT.degrees())
+            * self.profile.tempco_v_per_c
+            * lat.temp_sens;
+
+        let margin = base + charge_term - couple + temp_term + lat.eps_v;
+        // Metastable dead zone: margins within ±dz resolve 50/50 on
+        // thermal noise alone (true metastability); outside it, the
+        // residual margin beyond the dead zone drives the probit.
+        let dz = self.profile.metastable_deadzone_v;
+        if margin.abs() < dz {
+            0.0
+        } else {
+            margin - dz * margin.signum()
+        }
+    }
+
+    /// The physical charge (true/anti adjusted) of the cell `delta`
+    /// bitlines away in the same row, if it exists.
+    fn neighbor_charge(&self, cell: CellAddr, delta: isize, row_word: u64) -> Option<bool> {
+        let bl = self.geometry.bitline_of(cell.col, cell.bit) as isize + delta;
+        if bl < 0 || bl as usize >= self.geometry.bitlines() {
+            return None;
+        }
+        let bl = bl as usize;
+        let (ncol, nbit) = (bl / self.geometry.word_bits, bl % self.geometry.word_bits);
+        let word = if ncol == cell.col {
+            row_word
+        } else {
+            self.data[cell.bank][idx_of(&self.geometry, cell.row, ncol)]
+        };
+        let stored = (word >> nbit) & 1 == 1;
+        let anti = cell.row % 2 == 1;
+        Some(stored ^ anti)
+    }
+
+    /// Analytic activation-failure probability of a cell for a given
+    /// `tRCD`, using the *currently stored* data as the pattern context.
+    ///
+    /// This is the model's ground truth F_prob; characterization code
+    /// estimates the same quantity empirically by repeated sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell address is outside geometry.
+    pub fn failure_probability(&self, cell: CellAddr, trcd_ns: f64) -> f64 {
+        self.check_addr(cell.bank, cell.row, cell.col).expect("cell in range");
+        if trcd_ns >= self.profile.fail_guard_ns {
+            return 0.0;
+        }
+        let g = self.profile.settle(trcd_ns);
+        let sub = self.geometry.subarray_of(cell.row);
+        let d = self.geometry.row_in_subarray(cell.row) as f64
+            / self.geometry.subarray_rows as f64;
+        let bl = self.geometry.bitline_of(cell.col, cell.bit);
+        let s = self.variation.strength(cell.bank, sub, bl);
+        let base = g * s * (1.0 - self.profile.row_alpha * d) - self.profile.theta_v;
+        if base > SLOW_PATH_CUTOFF_V {
+            return 0.0;
+        }
+        let row_word = self.data[cell.bank][idx_of(&self.geometry, cell.row, cell.col)];
+        let margin = self.cell_margin(cell, base, row_word);
+        phi(-margin * self.profile.inv_sigma)
+    }
+
+    /// Whether the cell sits on a weak bitline (analysis helper).
+    pub fn on_weak_bitline(&self, cell: CellAddr) -> bool {
+        let sub = self.geometry.subarray_of(cell.row);
+        let bl = self.geometry.bitline_of(cell.col, cell.bit);
+        self.variation.is_weak(cell.bank, sub, bl)
+    }
+
+    /// Replaces the noise source (tests).
+    pub fn set_noise(&mut self, noise: Box<dyn NoiseSource>) {
+        self.noise = noise;
+    }
+
+    /// A uniform draw from this device's noise source. Used by the
+    /// retention and startup models, which share the device's single
+    /// physical-entropy stream.
+    pub fn noise_uniform(&mut self) -> f64 {
+        self.noise.uniform()
+    }
+
+    /// A Bernoulli draw from this device's noise source.
+    pub fn noise_bernoulli(&mut self, p: f64) -> bool {
+        self.noise.bernoulli(p)
+    }
+}
+
+#[inline]
+fn idx_of(geometry: &Geometry, row: usize, col: usize) -> usize {
+    row * geometry.cols + col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DramDevice {
+        DramDevice::build(
+            DeviceConfig::new(Manufacturer::A).with_seed(11).with_noise_seed(22),
+        )
+    }
+
+    #[test]
+    fn protocol_enforced() {
+        let mut d = device();
+        assert_eq!(d.read(0, 0, 0, 18.0), Err(DramError::BankNotOpen { bank: 0 }));
+        d.activate(0, 5).unwrap();
+        assert_eq!(
+            d.activate(0, 6),
+            Err(DramError::BankAlreadyOpen { bank: 0, open_row: 5 })
+        );
+        assert_eq!(
+            d.read(0, 6, 0, 18.0),
+            Err(DramError::WrongOpenRow { bank: 0, requested: 6, open_row: 5 })
+        );
+        d.read(0, 5, 0, 18.0).unwrap();
+        d.precharge(0).unwrap();
+        assert_eq!(d.precharge(0), Err(DramError::BankNotOpen { bank: 0 }));
+    }
+
+    #[test]
+    fn addressing_errors() {
+        let mut d = device();
+        let g = d.geometry();
+        assert!(matches!(
+            d.activate(g.banks, 0),
+            Err(DramError::BankOutOfRange { .. })
+        ));
+        assert!(matches!(d.activate(0, g.rows), Err(DramError::RowOutOfRange { .. })));
+        d.activate(0, 0).unwrap();
+        assert!(matches!(
+            d.read(0, 0, g.cols, 18.0),
+            Err(DramError::ColOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_trcd_reads_are_correct() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Checkered);
+        let trcd = d.timing().trcd_ns();
+        for row in (0..1024).step_by(97) {
+            for col in 0..16 {
+                d.activate(0, row).unwrap();
+                let got = d.read(0, row, col, trcd).unwrap();
+                d.precharge(0).unwrap();
+                let want = DataPattern::Checkered.word(row, col, 64);
+                assert_eq!(got, want, "row {row} col {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_trcd_induces_failures_somewhere() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Solid0);
+        let mut failures = 0usize;
+        for row in 0..1024 {
+            for col in 0..16 {
+                d.activate(0, row).unwrap();
+                let got = d.read(0, row, col, 10.0).unwrap();
+                d.precharge(0).unwrap();
+                if got != 0 {
+                    failures += got.count_ones() as usize;
+                    // restore
+                    d.activate(0, row).unwrap();
+                    d.read(0, row, col, 18.0).unwrap(); // consume fresh window
+                    d.write(0, row, col, 0).unwrap();
+                    d.precharge(0).unwrap();
+                }
+            }
+        }
+        assert!(failures > 0, "a full-bank scan at 10 ns must induce failures");
+    }
+
+    #[test]
+    fn only_first_read_after_act_fails() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Solid0);
+        // Find a cell with high failure probability.
+        let mut target = None;
+        'outer: for row in 0..1024 {
+            for col in 0..16 {
+                for bit in 0..64 {
+                    let c = CellAddr::new(0, row, col, bit);
+                    if d.failure_probability(c, 10.0) > 0.99 {
+                        target = Some(c);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let c = target.expect("the model must contain near-deterministic failures");
+        d.activate(0, c.row).unwrap();
+        let first = d.read(0, c.row, c.col, 10.0).unwrap();
+        assert_ne!((first >> c.bit) & 1, 0, "first read fails");
+        // Restore and re-read without a fresh activation: clean.
+        d.write(0, c.row, c.col, 0).unwrap();
+        let second = d.read(0, c.row, c.col, 10.0).unwrap();
+        assert_eq!(second, 0, "subsequent reads of an open row are clean");
+        d.precharge(0).unwrap();
+    }
+
+    #[test]
+    fn failure_corrupts_stored_data_until_rewritten() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Solid0);
+        let mut corrupted = None;
+        for row in 0..1024 {
+            d.activate(0, row).unwrap();
+            for col in 0..16 {
+                let got = d.read(0, row, col, 10.0).unwrap();
+                if got != 0 {
+                    corrupted = Some((row, col, got));
+                    break;
+                }
+            }
+            d.precharge(0).unwrap();
+            if corrupted.is_some() {
+                break;
+            }
+        }
+        let (row, col, got) = corrupted.expect("some failure occurs");
+        // The stored array now holds the corrupted value.
+        assert_eq!(d.peek(WordAddr::new(0, row, col)).unwrap(), got);
+    }
+
+    #[test]
+    fn failure_probability_zero_on_strong_bitlines_at_10ns() {
+        let d = device();
+        let mut checked = 0;
+        for row in [0usize, 100, 700] {
+            for col in 0..16 {
+                for bit in 0..64 {
+                    let c = CellAddr::new(1, row, col, bit);
+                    if !d.on_weak_bitline(c) {
+                        assert_eq!(d.failure_probability(c, 10.0), 0.0);
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 1000);
+    }
+
+    #[test]
+    fn fprob_increases_as_trcd_decreases() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Solid0);
+        // Average analytic F_prob over the weak cells of subarray 0.
+        let weak = d.variation().weak_bitlines(0, 0);
+        assert!(!weak.is_empty());
+        let avg = |d: &DramDevice, trcd: f64| {
+            let mut sum = 0.0;
+            let mut n = 0;
+            for &bl in &weak {
+                for row in (0..512).step_by(31) {
+                    let c = CellAddr::new(0, row, bl / 64, bl % 64);
+                    sum += d.failure_probability(c, trcd);
+                    n += 1;
+                }
+            }
+            sum / n as f64
+        };
+        let f13 = avg(&d, 13.0);
+        let f10 = avg(&d, 10.0);
+        let f8 = avg(&d, 8.0);
+        assert!(f13 <= f10 && f10 <= f8, "f13={f13} f10={f10} f8={f8}");
+        assert!(f10 > f13, "strictly more failures at 10 ns than 13 ns");
+    }
+
+    #[test]
+    fn fprob_increases_with_row_distance_on_weak_bitline() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Solid0);
+        let weak = d.variation().weak_bitlines(0, 0);
+        let &bl = weak.first().expect("weak bitline exists");
+        // Compare averages over low vs high rows of the subarray to
+        // smooth per-cell offsets.
+        let avg_rows = |d: &DramDevice, lo: usize, hi: usize| {
+            let mut s = 0.0;
+            for row in lo..hi {
+                s += d.failure_probability(CellAddr::new(0, row, bl / 64, bl % 64), 10.5);
+            }
+            s / (hi - lo) as f64
+        };
+        let near = avg_rows(&d, 0, 64);
+        let far = avg_rows(&d, 448, 512);
+        assert!(far >= near, "far rows fail at least as much: near={near} far={far}");
+    }
+
+    #[test]
+    fn temperature_raises_average_fprob() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Solid0);
+        let cells: Vec<CellAddr> = (0..512)
+            .flat_map(|row| {
+                d.variation()
+                    .weak_bitlines(0, 0)
+                    .into_iter()
+                    .map(move |bl| CellAddr::new(0, row, bl / 64, bl % 64))
+            })
+            .collect();
+        let avg = |d: &DramDevice| {
+            cells.iter().map(|&c| d.failure_probability(c, 10.0)).sum::<f64>()
+                / cells.len() as f64
+        };
+        let at55 = {
+            let mut d2 = device();
+            d2.fill_bank(0, DataPattern::Solid0);
+            d2.set_temperature(Celsius(55.0));
+            avg(&d2)
+        };
+        d.set_temperature(Celsius(70.0));
+        let at70 = avg(&d);
+        assert!(at70 > at55, "70C avg {at70} must exceed 55C avg {at55}");
+    }
+
+    #[test]
+    fn pattern_changes_fprob_for_some_cell() {
+        let mut d = device();
+        let weak = d.variation().weak_bitlines(0, 0);
+        let &bl = weak.first().unwrap();
+        let cell = CellAddr::new(0, 300, bl / 64, bl % 64);
+        d.fill_bank(0, DataPattern::Solid0);
+        let f_solid0 = d.failure_probability(cell, 10.0);
+        d.fill_bank(0, DataPattern::Checkered);
+        let f_check = d.failure_probability(cell, 10.0);
+        // The margins differ (coupling + charge terms) so probabilities
+        // differ unless both saturate.
+        if f_solid0 > 1e-9 && f_solid0 < 1.0 - 1e-9 {
+            assert_ne!(f_solid0, f_check);
+        }
+    }
+
+    #[test]
+    fn poke_peek_round_trip_and_masking() {
+        let mut d = DramDevice::build(
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(1)
+                .with_noise_seed(2)
+                .with_geometry(Geometry { banks: 1, rows: 4, cols: 2, word_bits: 8, subarray_rows: 4 }),
+        );
+        let a = WordAddr::new(0, 1, 1);
+        d.poke(a, 0xFFFF).unwrap();
+        assert_eq!(d.peek(a).unwrap(), 0xFF, "write masked to word_bits");
+    }
+
+    #[test]
+    fn write_requires_open_row() {
+        let mut d = device();
+        assert!(d.write(0, 0, 0, 1).is_err());
+        d.activate(0, 0).unwrap();
+        d.write(0, 0, 0, 0b1010).unwrap();
+        assert_eq!(d.peek(WordAddr::new(0, 0, 0)).unwrap(), 0b1010);
+        d.precharge(0).unwrap();
+    }
+
+    #[test]
+    fn deterministic_with_seeded_noise() {
+        let run = || {
+            let mut d = device();
+            d.fill_bank(0, DataPattern::Solid0);
+            let mut out = Vec::new();
+            for row in 0..256 {
+                d.activate(0, row).unwrap();
+                out.push(d.read(0, row, 3, 10.0).unwrap());
+                d.precharge(0).unwrap();
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,174 @@
+//! DRAMPower-style energy model.
+//!
+//! The paper estimates D-RaNGe's energy cost by feeding Ramulator command
+//! traces to DRAMPower and subtracting idle energy (Section 7.3,
+//! "Low Energy Consumption"). This module reproduces that abstraction:
+//! a per-command incremental energy plus background power integrated over
+//! the trace duration, with an `idle` baseline to subtract.
+
+use serde::{Deserialize, Serialize};
+
+use crate::commands::CommandKind;
+use crate::trace::CommandTrace;
+
+/// Per-command and background energy constants.
+///
+/// Defaults are LPDDR4-class figures derived from typical IDD current
+/// specifications at 1.1 V; absolute values matter less than their ratios
+/// since Table 2 compares mechanisms on the same model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Incremental energy of one ACT command (pJ).
+    pub act_pj: f64,
+    /// Incremental energy of one PRE command (pJ).
+    pub pre_pj: f64,
+    /// Incremental energy of one RD burst (pJ).
+    pub rd_pj: f64,
+    /// Incremental energy of one WR burst (pJ).
+    pub wr_pj: f64,
+    /// Incremental energy of one REF command (pJ).
+    pub ref_pj: f64,
+    /// Background (standby) power while the trace runs (mW).
+    pub background_mw: f64,
+}
+
+impl EnergyModel {
+    /// LPDDR4-class constants.
+    pub fn lpddr4() -> Self {
+        EnergyModel {
+            act_pj: 2_200.0,
+            pre_pj: 1_300.0,
+            rd_pj: 2_600.0,
+            wr_pj: 2_900.0,
+            ref_pj: 28_000.0,
+            background_mw: 55.0,
+        }
+    }
+
+    /// DDR3-class constants (higher supply voltage, higher currents).
+    pub fn ddr3() -> Self {
+        EnergyModel {
+            act_pj: 5_500.0,
+            pre_pj: 3_600.0,
+            rd_pj: 5_200.0,
+            wr_pj: 5_800.0,
+            ref_pj: 70_000.0,
+            background_mw: 130.0,
+        }
+    }
+
+    /// Incremental energy of one command of the given kind, pJ.
+    pub fn command_pj(&self, kind: CommandKind) -> f64 {
+        match kind {
+            CommandKind::Act => self.act_pj,
+            CommandKind::Pre => self.pre_pj,
+            CommandKind::Rd => self.rd_pj,
+            CommandKind::Wr => self.wr_pj,
+            CommandKind::Ref => self.ref_pj,
+        }
+    }
+
+    /// Total energy of a command trace in picojoules: the sum of
+    /// per-command increments plus background power over the trace span.
+    pub fn trace_energy_pj(&self, trace: &CommandTrace) -> f64 {
+        let incremental: f64 =
+            trace.commands().iter().map(|c| self.command_pj(c.kind)).sum();
+        // background: mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ
+        let background = self.background_mw * trace.end_ps() as f64 * 1e-3;
+        incremental + background
+    }
+
+    /// Energy of an *idle* interval of the same duration (background
+    /// power only), pJ — the quantity the paper subtracts.
+    pub fn idle_energy_pj(&self, duration_ps: u64) -> f64 {
+        self.background_mw * duration_ps as f64 * 1e-3
+    }
+
+    /// Net energy attributable to the activity in the trace:
+    /// `trace_energy - idle_energy(trace duration)`, pJ.
+    pub fn net_energy_pj(&self, trace: &CommandTrace) -> f64 {
+        self.trace_energy_pj(trace) - self.idle_energy_pj(trace.end_ps())
+    }
+
+    /// Net energy per produced random bit, in nJ/bit (the paper's 4.4
+    /// nJ/bit metric for D-RaNGe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn nj_per_bit(&self, trace: &CommandTrace, bits: u64) -> f64 {
+        assert!(bits > 0, "cannot amortize energy over zero bits");
+        self.net_energy_pj(trace) / bits as f64 * 1e-3
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::lpddr4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::Command;
+
+    fn simple_trace() -> CommandTrace {
+        [
+            Command::act(0, 0, 0),
+            Command::rd(0, 0, 0, 10_000),
+            Command::wr(0, 0, 0, 30_000),
+            Command::pre(0, 50_000),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn trace_energy_sums_commands_and_background() {
+        let m = EnergyModel::lpddr4();
+        let t = simple_trace();
+        let want_inc = m.act_pj + m.rd_pj + m.wr_pj + m.pre_pj;
+        let want_bg = m.background_mw * 50_000.0 * 1e-3;
+        assert!((m.trace_energy_pj(&t) - want_inc - want_bg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn net_energy_subtracts_idle() {
+        let m = EnergyModel::lpddr4();
+        let t = simple_trace();
+        let want_inc = m.act_pj + m.rd_pj + m.wr_pj + m.pre_pj;
+        assert!((m.net_energy_pj(&t) - want_inc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nj_per_bit_scales_inversely_with_bits() {
+        let m = EnergyModel::lpddr4();
+        let t = simple_trace();
+        let e1 = m.nj_per_bit(&t, 1);
+        let e4 = m.nj_per_bit(&t, 4);
+        assert!((e1 / e4 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bits")]
+    fn zero_bits_panics() {
+        let m = EnergyModel::lpddr4();
+        let _ = m.nj_per_bit(&simple_trace(), 0);
+    }
+
+    #[test]
+    fn ddr3_costs_more_than_lpddr4() {
+        let l = EnergyModel::lpddr4();
+        let d = EnergyModel::ddr3();
+        assert!(d.act_pj > l.act_pj);
+        assert!(d.background_mw > l.background_mw);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_energy() {
+        let m = EnergyModel::lpddr4();
+        assert_eq!(m.trace_energy_pj(&CommandTrace::new()), 0.0);
+        assert_eq!(m.net_energy_pj(&CommandTrace::new()), 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The entropy source: thermal noise at the sense amplifiers.
+//!
+//! At sampling time, the *only* nondeterministic input to the device
+//! model is a noise draw per marginal cell — the model's analogue of the
+//! physical phenomenon (sense-amplifier metastability over thermal noise)
+//! that the paper identifies as the entropy source. Production use wants
+//! [`OsNoise`]; tests and reproducible experiments want [`SeededNoise`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A source of thermal-noise draws.
+///
+/// Implementors provide uniform draws in `[0, 1)`; the device model
+/// compares them against analytically computed failure probabilities
+/// (inverse-CDF sampling of the noise-perturbed comparator).
+pub trait NoiseSource: Send {
+    /// A uniform draw in `[0, 1)`.
+    fn uniform(&mut self) -> f64;
+
+    /// A Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform() < p
+        }
+    }
+}
+
+/// OS-seeded noise: the stand-in for true physical nondeterminism.
+///
+/// Each construction draws a fresh seed from the operating system, so two
+/// devices (or two runs) never share a noise stream.
+#[derive(Debug)]
+pub struct OsNoise {
+    rng: StdRng,
+}
+
+impl OsNoise {
+    /// Creates a noise source seeded from the operating system.
+    pub fn new() -> Self {
+        OsNoise { rng: StdRng::from_entropy() }
+    }
+}
+
+impl Default for OsNoise {
+    fn default() -> Self {
+        OsNoise::new()
+    }
+}
+
+impl NoiseSource for OsNoise {
+    fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+}
+
+/// Deterministic noise for reproducible experiments and tests.
+#[derive(Debug, Clone)]
+pub struct SeededNoise {
+    rng: StdRng,
+}
+
+impl SeededNoise {
+    /// Creates a noise source with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        SeededNoise { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Raw 64-bit output (exposed for tests).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+impl NoiseSource for SeededNoise {
+    fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_noise_reproduces() {
+        let mut a = SeededNoise::new(7);
+        let mut b = SeededNoise::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeededNoise::new(1);
+        let mut b = SeededNoise::new(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut n = SeededNoise::new(3);
+        for _ in 0..10_000 {
+            let u = n.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes_are_deterministic() {
+        let mut n = SeededNoise::new(4);
+        assert!(!n.bernoulli(0.0));
+        assert!(n.bernoulli(1.0));
+        assert!(!n.bernoulli(-0.5));
+        assert!(n.bernoulli(1.5));
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut n = SeededNoise::new(5);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| n.bernoulli(0.3)).count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn os_noise_streams_differ() {
+        let mut a = OsNoise::new();
+        let mut b = OsNoise::new();
+        let same = (0..16).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 2);
+    }
+}

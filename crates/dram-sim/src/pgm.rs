@@ -1,0 +1,82 @@
+//! Plain PGM (portable graymap) writer for failure bitmaps — lets the
+//! Figure 4 bench emit an actual image of the spatial failure
+//! distribution, viewable with any image tool.
+
+use std::io::{self, Write};
+
+/// Encodes a binary bitmap (`true` = black mark, as in the paper's
+/// Figure 4) as an ASCII PGM (P2) image.
+///
+/// # Panics
+///
+/// Panics if `bitmap` is empty or ragged.
+pub fn encode_pgm(bitmap: &[Vec<bool>]) -> Vec<u8> {
+    assert!(!bitmap.is_empty(), "bitmap must have at least one row");
+    let width = bitmap[0].len();
+    assert!(width > 0, "bitmap rows must be nonempty");
+    assert!(
+        bitmap.iter().all(|r| r.len() == width),
+        "bitmap rows must all have the same width"
+    );
+    let mut out = Vec::with_capacity(bitmap.len() * (width * 2 + 1) + 32);
+    out.extend_from_slice(format!("P2\n{} {}\n255\n", width, bitmap.len()).as_bytes());
+    for row in bitmap {
+        let mut line = String::with_capacity(width * 4);
+        for (i, &marked) in row.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(if marked { "0" } else { "255" });
+        }
+        line.push('\n');
+        out.extend_from_slice(line.as_bytes());
+    }
+    out
+}
+
+/// Writes a bitmap as PGM to any writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_pgm<W: Write>(mut writer: W, bitmap: &[Vec<bool>]) -> io::Result<()> {
+    writer.write_all(&encode_pgm(bitmap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_header_and_pixels() {
+        let bitmap = vec![vec![true, false], vec![false, true]];
+        let pgm = String::from_utf8(encode_pgm(&bitmap)).unwrap();
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("2 2"));
+        assert_eq!(lines.next(), Some("255"));
+        assert_eq!(lines.next(), Some("0 255"));
+        assert_eq!(lines.next(), Some("255 0"));
+        assert_eq!(lines.next(), None);
+    }
+
+    #[test]
+    fn write_into_vec() {
+        let bitmap = vec![vec![false; 3]; 2];
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &bitmap).unwrap();
+        assert!(buf.starts_with(b"P2\n3 2\n255\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn ragged_bitmap_panics() {
+        let _ = encode_pgm(&[vec![true], vec![true, false]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_bitmap_panics() {
+        let _ = encode_pgm(&[]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Data-retention failure model.
+//!
+//! Used by the retention-based baseline TRNGs the paper compares against
+//! (Keller+ ISCAS'14, Sutar+ TECS'18 — Section 8.2). A DRAM cell left
+//! unrefreshed for longer than its retention time leaks enough charge to
+//! flip toward its discharged state. Retention times are lognormal with
+//! a very long median (most cells retain for minutes at 45 °C) and halve
+//! every ~10 °C — which is why retention TRNGs must wait tens of seconds
+//! to harvest entropy, the core of the paper's throughput argument.
+
+use crate::device::DramDevice;
+use crate::geometry::{CellAddr, WordAddr};
+
+/// Salt for the per-cell retention-time latent.
+const RETENTION_SALT: u64 = 0x52;
+
+/// Relative jitter of the effective retention threshold per trial — the
+/// noise that makes cells near the threshold truly random.
+const RETENTION_JITTER: f64 = 0.06;
+
+/// The deterministic component of a cell's retention time at the current
+/// device temperature, in seconds.
+pub fn retention_time_s(device: &DramDevice, cell: CellAddr) -> f64 {
+    let p = device.profile();
+    let g = crate::variation::cell_gauss(device.seed(), RETENTION_SALT, cell);
+    let t45 = (p.retention_ln_mean_s + p.retention_ln_sd * g).exp();
+    let dt = device.temperature().degrees() - 45.0;
+    t45 * (2f64).powf(-dt / p.retention_halving_c)
+}
+
+/// Report of one refresh-pause experiment.
+#[derive(Debug, Clone, Default)]
+pub struct RetentionReport {
+    /// Cells that flipped during the pause.
+    pub failed: Vec<CellAddr>,
+    /// Number of cells examined.
+    pub examined: usize,
+}
+
+impl RetentionReport {
+    /// Failure rate over the examined region.
+    pub fn failure_rate(&self) -> f64 {
+        if self.examined == 0 {
+            0.0
+        } else {
+            self.failed.len() as f64 / self.examined as f64
+        }
+    }
+}
+
+/// Simulates disabling refresh for `pause_s` seconds over the rows
+/// `rows` of bank `bank`, mutating stored data: every cell whose
+/// (jittered) retention time is shorter than the pause decays to its
+/// discharged value.
+///
+/// Returns the set of cells that flipped. Cells whose retention time is
+/// close to the pause flip nondeterministically (threshold jitter drawn
+/// from the device noise source) — the entropy the retention baselines
+/// harvest.
+pub fn apply_refresh_pause(
+    device: &mut DramDevice,
+    bank: usize,
+    rows: std::ops::Range<usize>,
+    pause_s: f64,
+) -> RetentionReport {
+    let g = device.geometry();
+    let mut report = RetentionReport::default();
+    for row in rows {
+        let anti = row % 2 == 1;
+        for col in 0..g.cols {
+            let addr = WordAddr::new(bank, row, col);
+            let mut word = device.peek(addr).expect("region in range");
+            let mut changed = false;
+            for bit in 0..g.word_bits {
+                report.examined += 1;
+                let cell = addr.cell(bit);
+                let stored = (word >> bit) & 1 == 1;
+                let charge_high = stored ^ anti;
+                if !charge_high {
+                    // Already at the discharged level; nothing to lose.
+                    continue;
+                }
+                let t_ret = retention_time_s(device, cell);
+                // Jitter the threshold: cells near the boundary flip
+                // randomly from trial to trial.
+                let jitter = 1.0 + RETENTION_JITTER * (device.noise_uniform() * 2.0 - 1.0);
+                if t_ret * jitter < pause_s {
+                    // Decay to discharged: physical 0, logical depends on
+                    // cell orientation.
+                    let decayed_logical = anti; // physical low ^ anti
+                    if decayed_logical != stored {
+                        word ^= 1u64 << bit;
+                        changed = true;
+                        report.failed.push(cell);
+                    }
+                }
+            }
+            if changed {
+                device.poke(addr, word).expect("region in range");
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_pattern::DataPattern;
+    use crate::device::DeviceConfig;
+    use crate::manufacturer::Manufacturer;
+    use crate::temperature::Celsius;
+
+    fn device() -> DramDevice {
+        DramDevice::build(DeviceConfig::new(Manufacturer::A).with_seed(5).with_noise_seed(6))
+    }
+
+    #[test]
+    fn retention_times_are_lognormal_scale() {
+        let d = device();
+        let mut times: Vec<f64> = (0..2000)
+            .map(|i| retention_time_s(&d, CellAddr::new(0, i % 1024, (i / 1024) % 16, i % 64)))
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = times[times.len() / 2];
+        // ln-median 4.38 => ~80 s.
+        assert!(median > 20.0 && median < 320.0, "median retention {median}");
+        assert!(times[0] < median / 10.0, "a weak tail exists");
+    }
+
+    #[test]
+    fn hotter_means_shorter_retention() {
+        let mut d = device();
+        let c = CellAddr::new(0, 3, 2, 1);
+        let cold = retention_time_s(&d, c);
+        d.set_temperature(Celsius(65.0));
+        let hot = retention_time_s(&d, c);
+        assert!((cold / hot - 4.0).abs() < 1e-6, "20C hotter = 4x shorter");
+    }
+
+    #[test]
+    fn longer_pause_flips_more_cells() {
+        let mut d1 = device();
+        d1.fill_bank(0, DataPattern::Solid1);
+        let short = apply_refresh_pause(&mut d1, 0, 0..256, 1.0);
+        let mut d2 = device();
+        d2.fill_bank(0, DataPattern::Solid1);
+        let long = apply_refresh_pause(&mut d2, 0, 0..256, 40.0);
+        assert!(long.failed.len() > short.failed.len());
+        assert!(long.failure_rate() > 0.0);
+    }
+
+    #[test]
+    fn discharged_cells_do_not_flip() {
+        // A pattern that stores the discharged level everywhere: logical
+        // value equal to `anti` per row. After any pause, nothing flips.
+        let mut d = device();
+        let g = d.geometry();
+        for row in 0..64 {
+            let word = if row % 2 == 1 { u64::MAX } else { 0 };
+            for col in 0..g.cols {
+                d.poke(WordAddr::new(0, row, col), word).unwrap();
+            }
+        }
+        let rep = apply_refresh_pause(&mut d, 0, 0..64, 1e9);
+        assert!(rep.failed.is_empty());
+    }
+
+    #[test]
+    fn failures_decay_toward_discharged_value() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Solid1);
+        let rep = apply_refresh_pause(&mut d, 0, 0..1024, 300.0);
+        assert!(!rep.failed.is_empty());
+        for cell in &rep.failed {
+            let stored = d.stored_bit(*cell);
+            let anti = cell.row % 2 == 1;
+            assert_eq!(stored, anti, "decayed logical value is the discharged one");
+        }
+    }
+
+    #[test]
+    fn report_rate_handles_empty() {
+        assert_eq!(RetentionReport::default().failure_rate(), 0.0);
+    }
+}

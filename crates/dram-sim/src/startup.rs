@@ -1,0 +1,183 @@
+//! DRAM startup-value model.
+//!
+//! Used by the startup-value baseline TRNGs the paper compares against
+//! (Tehranipoor+ HOST'16, Eckert+ MWSCAS'17 — Section 8.3). When a DRAM
+//! device powers on, each cell settles to a value determined by circuit
+//! asymmetries: most cells are strongly biased (stable 0 or stable 1),
+//! while a small fraction settles randomly on each power cycle. Only a
+//! full power cycle refreshes this entropy — the reason startup-value
+//! TRNGs cannot stream.
+
+use crate::device::DramDevice;
+use crate::geometry::{CellAddr, WordAddr};
+use crate::variation::{cell_gauss, cell_uniform};
+
+/// Salt for the per-cell startup class latent.
+const STARTUP_CLASS_SALT: u64 = 0x53;
+/// Salt for the stable startup value latent.
+const STARTUP_VALUE_SALT: u64 = 0x54;
+/// Salt for the per-cell random-bias latent.
+const STARTUP_BIAS_SALT: u64 = 0x55;
+
+/// How a cell behaves at power-on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StartupClass {
+    /// Settles to the same value on every power cycle.
+    Stable(bool),
+    /// Settles randomly with the given probability of reading 1.
+    Random {
+        /// Probability that the cell powers up as 1.
+        p_one: f64,
+    },
+}
+
+/// The startup class of a cell (fixed at manufacturing time).
+pub fn startup_class(device: &DramDevice, cell: CellAddr) -> StartupClass {
+    let p = device.profile();
+    let seed = device.seed();
+    if cell_uniform(seed, STARTUP_CLASS_SALT, cell) < p.startup_random_frac {
+        // Random cells are biased around 0.5 with a modest spread.
+        let bias = 0.5 + 0.15 * cell_gauss(seed, STARTUP_BIAS_SALT, cell);
+        StartupClass::Random { p_one: bias.clamp(0.02, 0.98) }
+    } else {
+        StartupClass::Stable(cell_uniform(seed, STARTUP_VALUE_SALT, cell) < 0.5)
+    }
+}
+
+/// Simulates a device power cycle: every cell of every bank takes its
+/// startup value (stable cells their fixed value, random cells a fresh
+/// noise draw). All previously stored data is lost.
+///
+/// Returns the number of random-class cells (the entropy inventory the
+/// startup baselines mine).
+pub fn power_cycle(device: &mut DramDevice) -> usize {
+    let g = device.geometry();
+    let mut random_cells = 0usize;
+    for bank in 0..g.banks {
+        for row in 0..g.rows {
+            for col in 0..g.cols {
+                let addr = WordAddr::new(bank, row, col);
+                let mut word = 0u64;
+                for bit in 0..g.word_bits {
+                    let value = match startup_class(device, addr.cell(bit)) {
+                        StartupClass::Stable(v) => v,
+                        StartupClass::Random { p_one } => {
+                            random_cells += 1;
+                            device.noise_bernoulli(p_one)
+                        }
+                    };
+                    if value {
+                        word |= 1u64 << bit;
+                    }
+                }
+                device.poke(addr, word).expect("in range");
+            }
+        }
+    }
+    random_cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use crate::geometry::Geometry;
+    use crate::manufacturer::Manufacturer;
+
+    fn small_device() -> DramDevice {
+        DramDevice::build(
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(9)
+                .with_noise_seed(10)
+                .with_geometry(Geometry {
+                    banks: 2,
+                    rows: 64,
+                    cols: 8,
+                    word_bits: 64,
+                    subarray_rows: 64,
+                }),
+        )
+    }
+
+    #[test]
+    fn class_is_deterministic() {
+        let d = small_device();
+        let c = CellAddr::new(0, 1, 2, 3);
+        assert_eq!(startup_class(&d, c), startup_class(&d, c));
+    }
+
+    #[test]
+    fn random_fraction_is_near_profile() {
+        let d = small_device();
+        let g = d.geometry();
+        let mut random = 0usize;
+        let mut total = 0usize;
+        for row in 0..g.rows {
+            for col in 0..g.cols {
+                for bit in 0..g.word_bits {
+                    total += 1;
+                    if matches!(
+                        startup_class(&d, CellAddr::new(0, row, col, bit)),
+                        StartupClass::Random { .. }
+                    ) {
+                        random += 1;
+                    }
+                }
+            }
+        }
+        let frac = random as f64 / total as f64;
+        let want = d.profile().startup_random_frac;
+        assert!((frac - want).abs() < 0.02, "random fraction {frac} want {want}");
+    }
+
+    #[test]
+    fn stable_cells_repeat_across_power_cycles() {
+        let mut d = small_device();
+        power_cycle(&mut d);
+        let snap1: Vec<u64> =
+            (0..8).map(|c| d.peek(WordAddr::new(0, 0, c)).unwrap()).collect();
+        power_cycle(&mut d);
+        let snap2: Vec<u64> =
+            (0..8).map(|c| d.peek(WordAddr::new(0, 0, c)).unwrap()).collect();
+        // Stable cells agree; only random-class cells may differ.
+        for col in 0..8 {
+            let diff = snap1[col] ^ snap2[col];
+            for bit in 0..64 {
+                if (diff >> bit) & 1 == 1 {
+                    assert!(matches!(
+                        startup_class(&d, CellAddr::new(0, 0, col, bit)),
+                        StartupClass::Random { .. }
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_cells_actually_vary() {
+        let mut d = small_device();
+        let n1 = power_cycle(&mut d);
+        let snap1: Vec<Vec<u64>> = (0..d.geometry().rows)
+            .map(|r| (0..8).map(|c| d.peek(WordAddr::new(0, r, c)).unwrap()).collect())
+            .collect();
+        let n2 = power_cycle(&mut d);
+        assert_eq!(n1, n2, "inventory of random cells is fixed");
+        let mut changed = 0usize;
+        for r in 0..d.geometry().rows {
+            for c in 0..8 {
+                changed +=
+                    (snap1[r][c] ^ d.peek(WordAddr::new(0, r, c)).unwrap()).count_ones() as usize;
+            }
+        }
+        assert!(changed > 0, "some random-class cells flip between cycles");
+    }
+
+    #[test]
+    fn power_cycle_reports_inventory_for_all_banks() {
+        let mut d = small_device();
+        let n = power_cycle(&mut d);
+        let cells = d.geometry().banks * d.geometry().cells_per_bank();
+        let frac = n as f64 / cells as f64;
+        assert!((frac - d.profile().startup_random_frac).abs() < 0.02);
+    }
+}

@@ -1,0 +1,77 @@
+//! Temperature representation.
+//!
+//! The paper's testing infrastructure holds DRAM at ambient + 15 °C with
+//! a PID loop and characterizes 55–70 °C in 5 °C steps (Sections 4, 5.3).
+
+use serde::{Deserialize, Serialize};
+
+/// A temperature in degrees Celsius.
+///
+/// A newtype so that temperatures cannot be confused with other `f64`
+/// quantities (margins, nanoseconds, probabilities) in the physics code.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// The paper's default DRAM test temperature (45 °C ambient chamber;
+    /// the characterization sweep runs hotter).
+    pub const DEFAULT: Celsius = Celsius(45.0);
+
+    /// The reliable characterization range of the paper's infrastructure.
+    pub const SWEEP: [Celsius; 4] =
+        [Celsius(55.0), Celsius(60.0), Celsius(65.0), Celsius(70.0)];
+
+    /// Degrees Celsius as `f64`.
+    #[inline]
+    pub fn degrees(self) -> f64 {
+        self.0
+    }
+
+    /// The temperature `delta` degrees warmer.
+    #[inline]
+    pub fn plus(self, delta: f64) -> Celsius {
+        Celsius(self.0 + delta)
+    }
+}
+
+impl Default for Celsius {
+    fn default() -> Self {
+        Celsius::DEFAULT
+    }
+}
+
+impl std::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}\u{00B0}C", self.0)
+    }
+}
+
+impl From<f64> for Celsius {
+    fn from(v: f64) -> Self {
+        Celsius(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_45c() {
+        assert_eq!(Celsius::default().degrees(), 45.0);
+    }
+
+    #[test]
+    fn sweep_is_ascending_5c_steps() {
+        for w in Celsius::SWEEP.windows(2) {
+            assert!((w[1].degrees() - w[0].degrees() - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plus_and_display() {
+        let t = Celsius(55.0).plus(5.0);
+        assert_eq!(t.degrees(), 60.0);
+        assert!(t.to_string().starts_with("60.0"));
+    }
+}

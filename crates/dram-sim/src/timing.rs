@@ -1,0 +1,176 @@
+//! JEDEC-style DRAM timing parameters.
+//!
+//! All values are stored in **picoseconds** so cycle accounting is exact.
+//! The defaults correspond to LPDDR4-3200 (the paper's primary devices)
+//! and DDR3-1600 (its SoftMC cross-validation devices).
+
+use serde::{Deserialize, Serialize};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+
+/// The DRAM standard being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramStandard {
+    /// Low-Power DDR4 (the paper's 282 primary devices).
+    Lpddr4,
+    /// DDR3 (the paper's 4 SoftMC-driven cross-validation devices).
+    Ddr3,
+}
+
+impl std::fmt::Display for DramStandard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DramStandard::Lpddr4 => write!(f, "LPDDR4"),
+            DramStandard::Ddr3 => write!(f, "DDR3"),
+        }
+    }
+}
+
+/// The set of timing parameters the model enforces (all picoseconds,
+/// except `tck_ps` which is the command-clock period).
+///
+/// The memory controller may legally program any values it likes into its
+/// timing registers — including a `trcd` below [`TimingParams::trcd`]'s
+/// datasheet value, which is exactly the violation D-RaNGe exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Command clock period.
+    pub tck_ps: u64,
+    /// ACT to internal READ/WRITE delay (row activation latency). The
+    /// datasheet value; D-RaNGe programs a smaller value at run time.
+    pub trcd_ps: u64,
+    /// ACT to PRE minimum (row active time / restoration guarantee).
+    pub tras_ps: u64,
+    /// PRE to ACT minimum (precharge time).
+    pub trp_ps: u64,
+    /// ACT to ACT minimum, different banks.
+    pub trrd_ps: u64,
+    /// Four-activate window: at most 4 ACTs per `tfaw`.
+    pub tfaw_ps: u64,
+    /// Column-to-column delay (back-to-back READ/WRITE, same bank group).
+    pub tccd_ps: u64,
+    /// CAS latency: READ command to first data.
+    pub tcl_ps: u64,
+    /// CAS write latency: WRITE command to first data.
+    pub tcwl_ps: u64,
+    /// Data burst duration on the bus.
+    pub tbl_ps: u64,
+    /// READ to PRE minimum.
+    pub trtp_ps: u64,
+    /// Write recovery: end of write data to PRE.
+    pub twr_ps: u64,
+    /// Write-to-read turnaround.
+    pub twtr_ps: u64,
+    /// Refresh cycle time (REF command duration).
+    pub trfc_ps: u64,
+    /// Average refresh interval.
+    pub trefi_ps: u64,
+}
+
+impl TimingParams {
+    /// LPDDR4-3200 class timings (18 ns tRCD as in the paper, Section 4).
+    pub fn lpddr4_3200() -> Self {
+        TimingParams {
+            tck_ps: 1_250, // 800 MHz command clock (1600 MHz DQS, 3200 MT/s)
+            trcd_ps: 18_000,
+            tras_ps: 42_000,
+            trp_ps: 18_000,
+            trrd_ps: 7_500,
+            tfaw_ps: 30_000,
+            tccd_ps: 5_000,
+            tcl_ps: 17_500,
+            tcwl_ps: 9_000,
+            tbl_ps: 5_000, // 16n prefetch burst at 3200 MT/s
+            trtp_ps: 7_500,
+            twr_ps: 18_000,
+            twtr_ps: 10_000,
+            trfc_ps: 180_000,
+            trefi_ps: 3_904_000,
+        }
+    }
+
+    /// DDR3-1600 class timings (13.75 ns tRCD, 11-11-11 grade).
+    pub fn ddr3_1600() -> Self {
+        TimingParams {
+            tck_ps: 1_250, // 800 MHz clock, 1600 MT/s
+            trcd_ps: 13_750,
+            tras_ps: 35_000,
+            trp_ps: 13_750,
+            trrd_ps: 6_000,
+            tfaw_ps: 30_000,
+            tccd_ps: 5_000,
+            tcl_ps: 13_750,
+            tcwl_ps: 10_000,
+            tbl_ps: 5_000, // 8n prefetch at 1600 MT/s
+            trtp_ps: 7_500,
+            twr_ps: 15_000,
+            twtr_ps: 7_500,
+            trfc_ps: 260_000,
+            trefi_ps: 7_800_000,
+        }
+    }
+
+    /// The preset for a standard.
+    pub fn for_standard(standard: DramStandard) -> Self {
+        match standard {
+            DramStandard::Lpddr4 => TimingParams::lpddr4_3200(),
+            DramStandard::Ddr3 => TimingParams::ddr3_1600(),
+        }
+    }
+
+    /// The datasheet tRCD in nanoseconds.
+    #[inline]
+    pub fn trcd_ns(&self) -> f64 {
+        self.trcd_ps as f64 / PS_PER_NS as f64
+    }
+
+    /// Rounds a picosecond duration up to a whole number of clock cycles,
+    /// returning picoseconds again (commands are issued on clock edges).
+    #[inline]
+    pub fn to_clock_ps(&self, ps: u64) -> u64 {
+        ps.div_ceil(self.tck_ps) * self.tck_ps
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams::lpddr4_3200()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr4_matches_paper_trcd() {
+        let t = TimingParams::lpddr4_3200();
+        assert_eq!(t.trcd_ns(), 18.0);
+        assert!(t.tras_ps > t.trcd_ps);
+    }
+
+    #[test]
+    fn ddr3_preset_differs() {
+        assert_ne!(TimingParams::ddr3_1600(), TimingParams::lpddr4_3200());
+        assert_eq!(
+            TimingParams::for_standard(DramStandard::Ddr3),
+            TimingParams::ddr3_1600()
+        );
+    }
+
+    #[test]
+    fn clock_rounding_rounds_up() {
+        let t = TimingParams::lpddr4_3200();
+        assert_eq!(t.to_clock_ps(1), t.tck_ps);
+        assert_eq!(t.to_clock_ps(t.tck_ps), t.tck_ps);
+        assert_eq!(t.to_clock_ps(t.tck_ps + 1), 2 * t.tck_ps);
+        assert_eq!(t.to_clock_ps(0), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DramStandard::Lpddr4.to_string(), "LPDDR4");
+        assert_eq!(DramStandard::Ddr3.to_string(), "DDR3");
+    }
+}

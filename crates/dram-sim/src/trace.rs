@@ -1,0 +1,123 @@
+//! Command traces: the record of issued commands that the energy model
+//! (and tests) consume, mirroring the Ramulator-trace → DRAMPower flow
+//! the paper uses for its energy evaluation (Section 7.3).
+
+use crate::commands::{Command, CommandKind};
+
+/// An append-only record of issued DRAM commands.
+#[derive(Debug, Clone, Default)]
+pub struct CommandTrace {
+    commands: Vec<Command>,
+}
+
+impl CommandTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        CommandTrace { commands: Vec::new() }
+    }
+
+    /// Appends a command. Commands should be appended in nondecreasing
+    /// time order; [`CommandTrace::is_time_ordered`] verifies.
+    pub fn push(&mut self, cmd: Command) {
+        self.commands.push(cmd);
+    }
+
+    /// The recorded commands in order.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of recorded commands.
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Number of commands of a given kind.
+    pub fn count(&self, kind: CommandKind) -> usize {
+        self.commands.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// The end time of the trace (issue time of the last command), ps.
+    pub fn end_ps(&self) -> u64 {
+        self.commands.last().map_or(0, |c| c.at_ps)
+    }
+
+    /// True when command times are nondecreasing.
+    pub fn is_time_ordered(&self) -> bool {
+        self.commands.windows(2).all(|w| w[0].at_ps <= w[1].at_ps)
+    }
+
+    /// Removes all recorded commands.
+    pub fn clear(&mut self) {
+        self.commands.clear();
+    }
+}
+
+impl Extend<Command> for CommandTrace {
+    fn extend<T: IntoIterator<Item = Command>>(&mut self, iter: T) {
+        self.commands.extend(iter);
+    }
+}
+
+impl FromIterator<Command> for CommandTrace {
+    fn from_iter<T: IntoIterator<Item = Command>>(iter: T) -> Self {
+        CommandTrace { commands: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a CommandTrace {
+    type Item = &'a Command;
+    type IntoIter = std::slice::Iter<'a, Command>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.commands.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut t = CommandTrace::new();
+        assert!(t.is_empty());
+        t.push(Command::act(0, 1, 0));
+        t.push(Command::rd(0, 1, 0, 10_000));
+        t.push(Command::pre(0, 20_000));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count(CommandKind::Act), 1);
+        assert_eq!(t.count(CommandKind::Rd), 1);
+        assert_eq!(t.count(CommandKind::Wr), 0);
+        assert_eq!(t.end_ps(), 20_000);
+        assert!(t.is_time_ordered());
+    }
+
+    #[test]
+    fn detects_out_of_order() {
+        let t: CommandTrace =
+            [Command::act(0, 1, 100), Command::pre(0, 50)].into_iter().collect();
+        assert!(!t.is_time_ordered());
+    }
+
+    #[test]
+    fn extend_and_clear() {
+        let mut t = CommandTrace::new();
+        t.extend([Command::act(0, 0, 0), Command::pre(0, 1)]);
+        assert_eq!(t.len(), 2);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.end_ps(), 0);
+    }
+
+    #[test]
+    fn iterates_by_reference() {
+        let t: CommandTrace = [Command::act(0, 0, 0)].into_iter().collect();
+        let kinds: Vec<_> = (&t).into_iter().map(|c| c.kind).collect();
+        assert_eq!(kinds, [CommandKind::Act]);
+    }
+}

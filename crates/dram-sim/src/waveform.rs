@@ -1,0 +1,186 @@
+//! Time-resolved bitline/cell waveforms — the paper's Figure 3: the
+//! state of a DRAM cell through the precharged → charge-sharing →
+//! sensing/restoration → restored → precharged sequence, and where a
+//! reduced-tRCD READ samples that trajectory.
+//!
+//! The same settling curve that drives the failure physics
+//! ([`crate::PhysicsProfile::settle`]) generates the waveform, so the
+//! plotted trajectory and the failure model are one consistent story.
+
+use crate::manufacturer::PhysicsProfile;
+
+/// Phase of the cell/bitline during a read cycle (Figure 3's ①-⑤).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// ① Precharged: bitline at Vdd/2, wordline off.
+    Precharged,
+    /// ② Charge sharing: capacitor perturbs the bitline by δ.
+    ChargeSharing,
+    /// ③ Sensing and restoration: the sense amp drives bitline and cell.
+    Sensing,
+    /// ④ Restored: full level reached; safe to precharge after tRAS.
+    Restored,
+    /// ⑤ Precharging back to Vdd/2 after PRE.
+    Precharging,
+}
+
+/// One sample of the waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Time since ACT, ns.
+    pub t_ns: f64,
+    /// Normalized bitline voltage in [0, 1] (Vdd/2 = 0.5).
+    pub v_bitline: f64,
+    /// Phase label.
+    pub phase: Phase,
+}
+
+/// Charge-sharing perturbation magnitude (δ of Figure 3), normalized.
+pub const CHARGE_SHARING_DELTA: f64 = 0.07;
+
+/// Computes the bitline trajectory for a cell storing a one, from ACT
+/// through `pre_at_ns` (PRE issue) to `end_ns`.
+///
+/// * `0 .. t0`: charge sharing ramps the bitline from 0.5 to 0.5 + δ.
+/// * `t0 .. pre_at`: the sense amp settles toward full level following
+///   the profile's settling curve (scaled onto `[0.5 + δ, 1]`).
+/// * `pre_at .. end`: precharge drives the bitline back to 0.5.
+///
+/// # Panics
+///
+/// Panics unless `0 < pre_at_ns < end_ns`.
+pub fn read_cycle(
+    profile: &PhysicsProfile,
+    pre_at_ns: f64,
+    end_ns: f64,
+    step_ns: f64,
+) -> Vec<Sample> {
+    assert!(pre_at_ns > 0.0 && end_ns > pre_at_ns && step_ns > 0.0);
+    let t0 = profile.settle_t0_ns;
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    let v_at = |t: f64| -> (f64, Phase) {
+        if t <= 0.0 {
+            (0.5, Phase::Precharged)
+        } else if t < t0 {
+            // Linear charge-sharing ramp to 0.5 + delta.
+            (0.5 + CHARGE_SHARING_DELTA * (t / t0), Phase::ChargeSharing)
+        } else if t < pre_at_ns {
+            let g = profile.settle(t); // 0 at t0, -> 1
+            let v = (0.5 + CHARGE_SHARING_DELTA) + (1.0 - (0.5 + CHARGE_SHARING_DELTA)) * g;
+            let phase = if g > 0.98 { Phase::Restored } else { Phase::Sensing };
+            (v, phase)
+        } else {
+            // Exponential precharge back to Vdd/2.
+            let v_pre = {
+                let g = profile.settle(pre_at_ns);
+                (0.5 + CHARGE_SHARING_DELTA) + (1.0 - (0.5 + CHARGE_SHARING_DELTA)) * g
+            };
+            let tau = 2.0; // ns, precharge time constant
+            let v = 0.5 + (v_pre - 0.5) * (-(t - pre_at_ns) / tau).exp();
+            (v, Phase::Precharging)
+        }
+    };
+    while t <= end_ns + 1e-9 {
+        let (v_bitline, phase) = v_at(t);
+        out.push(Sample { t_ns: t, v_bitline, phase });
+        t += step_ns;
+    }
+    out
+}
+
+/// The normalized bitline voltage at READ time for a given tRCD — the
+/// quantity the failure model thresholds against `theta_v`.
+pub fn voltage_at_read(profile: &PhysicsProfile, trcd_ns: f64) -> f64 {
+    if trcd_ns <= 0.0 {
+        return 0.5;
+    }
+    let t0 = profile.settle_t0_ns;
+    if trcd_ns < t0 {
+        0.5 + CHARGE_SHARING_DELTA * (trcd_ns / t0)
+    } else {
+        let g = profile.settle(trcd_ns);
+        (0.5 + CHARGE_SHARING_DELTA) + (1.0 - (0.5 + CHARGE_SHARING_DELTA)) * g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manufacturer::Manufacturer;
+
+    fn profile() -> PhysicsProfile {
+        Manufacturer::A.profile()
+    }
+
+    #[test]
+    fn waveform_visits_all_phases_in_order() {
+        let p = profile();
+        let wave = read_cycle(&p, 42.0, 60.0, 0.25);
+        let phases: Vec<Phase> = wave.iter().map(|s| s.phase).collect();
+        // First sample precharged, then charge sharing, sensing,
+        // restored, precharging — in that order.
+        let mut seen = Vec::new();
+        for ph in phases {
+            if seen.last() != Some(&ph) {
+                seen.push(ph);
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                Phase::Precharged,
+                Phase::ChargeSharing,
+                Phase::Sensing,
+                Phase::Restored,
+                Phase::Precharging
+            ]
+        );
+    }
+
+    #[test]
+    fn bitline_is_monotone_until_precharge() {
+        let p = profile();
+        let wave = read_cycle(&p, 42.0, 60.0, 0.1);
+        let mut prev = 0.0;
+        for s in wave.iter().filter(|s| s.t_ns <= 42.0) {
+            assert!(s.v_bitline >= prev - 1e-12, "rising until PRE at t={}", s.t_ns);
+            prev = s.v_bitline;
+        }
+        // And returns toward 0.5 afterwards.
+        let last = wave.last().unwrap();
+        assert!((last.v_bitline - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn read_voltage_matches_failure_threshold_story() {
+        let p = profile();
+        // At the datasheet tRCD the bitline is far above the threshold;
+        // at 10 ns it is near it; at 6 ns well below.
+        let v18 = voltage_at_read(&p, 18.0);
+        let v10 = voltage_at_read(&p, 10.0);
+        let v6 = voltage_at_read(&p, 6.0);
+        assert!(v18 > p.theta_v + 0.05, "v18 = {v18}");
+        assert!((v10 - p.theta_v).abs() < 0.15, "v10 = {v10} vs theta {}", p.theta_v);
+        assert!(v6 < v10 && v10 < v18);
+    }
+
+    #[test]
+    fn voltage_is_bounded_and_continuous() {
+        let p = profile();
+        let mut prev = voltage_at_read(&p, 0.0);
+        for i in 1..200 {
+            let t = i as f64 * 0.2;
+            let v = voltage_at_read(&p, t);
+            assert!((0.0..=1.0).contains(&v));
+            assert!((v - prev).abs() < 0.05, "no jumps at t={t}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_times_panic() {
+        let _ = read_cycle(&profile(), 10.0, 5.0, 0.1);
+    }
+}

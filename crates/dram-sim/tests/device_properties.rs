@@ -1,0 +1,176 @@
+//! Property-based tests of the device model's protocol state machine
+//! and physics invariants.
+
+use dram_sim::{
+    CellAddr, DataPattern, DeviceConfig, DramDevice, DramError, Geometry, Manufacturer,
+    WordAddr,
+};
+use proptest::prelude::*;
+
+fn small_device(seed: u64) -> DramDevice {
+    DramDevice::build(
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(seed)
+            .with_noise_seed(seed ^ 0xABCD)
+            .with_geometry(Geometry {
+                banks: 4,
+                rows: 64,
+                cols: 4,
+                word_bits: 64,
+                subarray_rows: 32,
+            }),
+    )
+}
+
+/// An abstract protocol operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Act(u8, u8),
+    Pre(u8),
+    Rd(u8, u8, u8),
+    Wr(u8, u8, u8, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u8..64).prop_map(|(b, r)| Op::Act(b, r)),
+        (0u8..4).prop_map(Op::Pre),
+        (0u8..4, 0u8..64, 0u8..4).prop_map(|(b, r, c)| Op::Rd(b, r, c)),
+        (0u8..4, 0u8..64, 0u8..4, any::<u64>()).prop_map(|(b, r, c, v)| Op::Wr(b, r, c, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any operation sequence either succeeds or returns a documented
+    /// protocol error — never a panic — and the device's open-row
+    /// bookkeeping exactly mirrors a reference model.
+    #[test]
+    fn protocol_state_machine_matches_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        seed in 0u64..50,
+    ) {
+        let mut device = small_device(seed);
+        let mut reference: [Option<usize>; 4] = [None; 4];
+        for op in ops {
+            match op {
+                Op::Act(b, r) => {
+                    let (b, r) = (b as usize, r as usize);
+                    let result = device.activate(b, r);
+                    match reference[b] {
+                        None => {
+                            prop_assert!(result.is_ok());
+                            reference[b] = Some(r);
+                        }
+                        Some(open) => prop_assert_eq!(
+                            result,
+                            Err(DramError::BankAlreadyOpen { bank: b, open_row: open })
+                        ),
+                    }
+                }
+                Op::Pre(b) => {
+                    let b = b as usize;
+                    let result = device.precharge(b);
+                    if reference[b].is_some() {
+                        prop_assert!(result.is_ok());
+                        reference[b] = None;
+                    } else {
+                        prop_assert_eq!(result, Err(DramError::BankNotOpen { bank: b }));
+                    }
+                }
+                Op::Rd(b, r, c) => {
+                    let (b, r, c) = (b as usize, r as usize, c as usize);
+                    let result = device.read(b, r, c, 18.0);
+                    match reference[b] {
+                        Some(open) if open == r => prop_assert!(result.is_ok()),
+                        Some(open) => prop_assert_eq!(
+                            result,
+                            Err(DramError::WrongOpenRow { bank: b, requested: r, open_row: open })
+                        ),
+                        None => prop_assert_eq!(result, Err(DramError::BankNotOpen { bank: b })),
+                    }
+                }
+                Op::Wr(b, r, c, v) => {
+                    let (b, r, c) = (b as usize, r as usize, c as usize);
+                    let result = device.write(b, r, c, v);
+                    match reference[b] {
+                        Some(open) if open == r => prop_assert!(result.is_ok()),
+                        Some(open) => prop_assert_eq!(
+                            result,
+                            Err(DramError::WrongOpenRow { bank: b, requested: r, open_row: open })
+                        ),
+                        None => prop_assert_eq!(result, Err(DramError::BankNotOpen { bank: b })),
+                    }
+                }
+            }
+            // The device agrees with the reference at every step.
+            for bank in 0..4 {
+                prop_assert_eq!(device.open_row(bank), reference[bank]);
+            }
+        }
+    }
+
+    /// poke/peek round-trips through the word mask for all addresses.
+    #[test]
+    fn poke_peek_round_trip(
+        bank in 0usize..4,
+        row in 0usize..64,
+        col in 0usize..4,
+        value in any::<u64>(),
+        seed in 0u64..20,
+    ) {
+        let mut device = small_device(seed);
+        device.poke(WordAddr::new(bank, row, col), value).unwrap();
+        prop_assert_eq!(device.peek(WordAddr::new(bank, row, col)).unwrap(), value);
+    }
+
+    /// Protocol write-then-spec-read returns the written value even
+    /// after arbitrary prior reduced-tRCD traffic on the same bank.
+    #[test]
+    fn write_survives_reduced_trcd_traffic(
+        row in 0usize..64,
+        col in 0usize..4,
+        value in any::<u64>(),
+        noise_rows in proptest::collection::vec(0usize..64, 0..10),
+        seed in 0u64..20,
+    ) {
+        let mut device = small_device(seed);
+        device.fill_bank(0, DataPattern::Checkered);
+        // Reduced-tRCD noise traffic.
+        for r in noise_rows {
+            device.activate(0, r).unwrap();
+            let _ = device.read(0, r, 0, 9.0).unwrap();
+            device.precharge(0).unwrap();
+        }
+        device.activate(0, row).unwrap();
+        device.write(0, row, col, value).unwrap();
+        device.precharge(0).unwrap();
+        device.activate(0, row).unwrap();
+        let got = device.read(0, row, col, 18.0).unwrap();
+        device.precharge(0).unwrap();
+        prop_assert_eq!(got, value);
+    }
+
+    /// Failure probabilities respect temperature monotonicity on
+    /// average over a row (the Figure 6 direction).
+    #[test]
+    fn hotter_never_reduces_row_average_fprob(row in 0usize..64, seed in 0u64..20) {
+        use dram_sim::Celsius;
+        let mut device = small_device(seed);
+        device.fill_bank(0, DataPattern::Solid0);
+        let avg = |d: &DramDevice| -> f64 {
+            (0..4)
+                .flat_map(|c| (0..64).map(move |b| (c, b)))
+                .map(|(c, b)| d.failure_probability(CellAddr::new(0, row, c, b), 10.0))
+                .sum::<f64>()
+                / 256.0
+        };
+        let cool = avg(&device);
+        device.set_temperature(Celsius(70.0));
+        let hot = avg(&device);
+        // Individual cells may go either way (negative sensitivities);
+        // the row average must not *decrease* materially.
+        prop_assert!(hot >= cool - 0.01, "cool {cool} hot {hot}");
+    }
+}

@@ -1,0 +1,332 @@
+//! Demand/TRNG arbitration — the duty-cycle integration of Section 7.3.
+//!
+//! The paper's proposed deployment alternates a channel between windows
+//! with the default `tRCD` (serving application demand) and windows
+//! with the reduced `tRCD` (harvesting random bits), and sizes the
+//! windows to trade TRNG throughput against application slowdown. This
+//! module simulates that arbitration at the command level: a synthetic
+//! demand stream (from a [`WorkloadProfile`]) is served with priority,
+//! and D-RaNGe accesses steal otherwise-idle command slots during
+//! sampling windows.
+//!
+//! Random *bits* are not produced here (the device is not involved);
+//! the simulation accounts time, latency, and harvest opportunities —
+//! the quantities the paper reports — exactly as its Ramulator study
+//! does.
+
+use dram_sim::commands::CommandKind;
+use dram_sim::TimingParams;
+
+use crate::schedule::CommandScheduler;
+use crate::workloads::WorkloadProfile;
+
+/// Configuration of an arbitration simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbiterConfig {
+    /// Simulated duration, ps.
+    pub duration_ps: u64,
+    /// Banks in the channel.
+    pub banks: usize,
+    /// Demand request rate, requests per microsecond (derived from the
+    /// workload's MPKI by [`demand_rate_per_us`]).
+    pub requests_per_us: f64,
+    /// Row-buffer hit rate of the demand stream.
+    pub row_hit_rate: f64,
+    /// Length of each D-RaNGe sampling window, ps (0 disables TRNG).
+    pub sample_window_ps: u64,
+    /// Length of each demand-only window, ps.
+    pub demand_window_ps: u64,
+    /// Bits harvested per TRNG word access (RNG cells per word).
+    pub bits_per_access: usize,
+    /// Seed for the synthetic arrival process.
+    pub seed: u64,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        ArbiterConfig {
+            duration_ps: 50_000_000, // 50 us
+            banks: 8,
+            requests_per_us: 20.0,
+            row_hit_rate: 0.5,
+            sample_window_ps: 2_000_000,
+            demand_window_ps: 2_000_000,
+            bits_per_access: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// Demand rate for a workload on a 4-core 4 GHz system: LLC misses per
+/// kilo-instruction × instructions per microsecond / 1000.
+pub fn demand_rate_per_us(profile: &WorkloadProfile) -> f64 {
+    // 4 cores x ~1.5 effective IPC x 4 GHz = 24 kilo-instructions/us;
+    // requests/us = kilo-instructions/us x MPKI. Memory-bound workloads
+    // would exceed what one channel can serve (~40 requests/us), at
+    // which point the cores stall and the offered rate saturates.
+    let kilo_instructions_per_us = 24.0;
+    (profile.mpki * kilo_instructions_per_us).min(35.0)
+}
+
+/// Result of an arbitration simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArbiterReport {
+    /// Demand requests served.
+    pub demand_served: u64,
+    /// Mean demand latency (arrival to data), ps.
+    pub mean_demand_latency_ps: f64,
+    /// 95th-percentile demand latency, ps.
+    pub p95_demand_latency_ps: u64,
+    /// Random bits harvested.
+    pub trng_bits: u64,
+    /// TRNG throughput over the simulated duration, bits/s.
+    pub trng_bps: f64,
+}
+
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Simulates the arbitration and returns the report.
+///
+/// # Panics
+///
+/// Panics if `banks` is zero or the duration is zero.
+pub fn simulate(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConfig) -> ArbiterReport {
+    assert!(config.banks > 0 && config.duration_ps > 0);
+    let mut rng = Xorshift(config.seed);
+
+    // Pre-generate Poisson arrivals.
+    let mut arrivals: Vec<u64> = Vec::new();
+    let mut t = 0f64;
+    let mean_gap_ps = if config.requests_per_us > 0.0 {
+        1.0e6 / config.requests_per_us
+    } else {
+        f64::INFINITY
+    };
+    loop {
+        let u = rng.next_f64().max(1e-12);
+        t += -mean_gap_ps * u.ln();
+        if t >= config.duration_ps as f64 {
+            break;
+        }
+        arrivals.push(t as u64);
+    }
+
+    let mut sched = CommandScheduler::new(config.banks, timing);
+    let reduced = TimingParams { trcd_ps: reduced_trcd_ps, ..timing };
+
+    let mut open_rows: Vec<Option<usize>> = vec![None; config.banks];
+    let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
+    let mut trng_bits = 0u64;
+    let mut next_arrival = 0usize;
+    let mut trng_row = 0usize;
+    let period = (config.sample_window_ps + config.demand_window_ps).max(1);
+
+    while sched.now_ps() < config.duration_ps {
+        let now = sched.now_ps();
+        // Serve pending demand first.
+        if next_arrival < arrivals.len() && arrivals[next_arrival] <= now {
+            let arrival = arrivals[next_arrival];
+            next_arrival += 1;
+            let bank = (rng.next_f64() * config.banks as f64) as usize % config.banks;
+            let hit = rng.next_f64() < config.row_hit_rate;
+            let row = if hit { open_rows[bank].unwrap_or(0) } else { trng_row + 100 };
+            // Demand runs at the safe, default timing.
+            sched.set_timing(timing);
+            if open_rows[bank] != Some(row) || !sched.is_open(bank) {
+                if sched.is_open(bank) {
+                    sched.issue(CommandKind::Pre, bank, 0, 0).expect("PRE");
+                }
+                sched.issue(CommandKind::Act, bank, row, 0).expect("ACT");
+                open_rows[bank] = Some(row);
+            }
+            let rd = sched.issue(CommandKind::Rd, bank, row, 0).expect("RD");
+            latencies.push(rd.at_ps + timing.tcl_ps + timing.tbl_ps - arrival.min(rd.at_ps));
+            continue;
+        }
+
+        // No demand pending: harvest if we are inside a sampling window
+        // AND the channel is expected to stay idle for a whole TRNG
+        // word access (demand keeps strict priority; a queued request
+        // never waits behind a TRNG chain).
+        let chain_ps = reduced.trcd_ps
+            + timing.tcl_ps
+            + timing.tbl_ps
+            + timing.twr_ps
+            + timing.trp_ps
+            + 4 * timing.tck_ps;
+        let idle_long_enough = match arrivals.get(next_arrival) {
+            Some(&a) => a > now + chain_ps,
+            None => true,
+        };
+        let in_sample_window = config.sample_window_ps > 0
+            && (now % period) < config.sample_window_ps
+            && idle_long_enough;
+        if in_sample_window {
+            // One TRNG word access on bank 0's reserved rows with the
+            // reduced tRCD.
+            sched.set_timing(reduced);
+            let bank = config.banks - 1;
+            if sched.is_open(bank) {
+                sched.issue(CommandKind::Pre, bank, 0, 0).expect("PRE");
+            }
+            trng_row = (trng_row + 1) % 2;
+            sched.issue(CommandKind::Act, bank, trng_row, 0).expect("ACT");
+            sched.issue(CommandKind::Rd, bank, trng_row, 0).expect("RD");
+            sched.issue(CommandKind::Wr, bank, trng_row, 0).expect("WR");
+            sched.issue(CommandKind::Pre, bank, 0, 0).expect("PRE");
+            open_rows[bank] = None;
+            trng_bits += config.bits_per_access as u64;
+            sched.set_timing(timing);
+        } else if next_arrival < arrivals.len() {
+            // Idle until the next arrival or the next window boundary.
+            let next_boundary = (now / period + 1) * period;
+            let target = arrivals[next_arrival].min(next_boundary);
+            sched.advance(target.saturating_sub(now).max(1));
+        } else if config.sample_window_ps > 0 {
+            let next_boundary = (now / period + 1) * period;
+            sched.advance(next_boundary.saturating_sub(now).max(1));
+        } else {
+            break; // nothing left to do
+        }
+    }
+
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().map(|&l| l as f64).sum::<f64>() / latencies.len() as f64
+    };
+    let p95 = if latencies.is_empty() {
+        0
+    } else {
+        let mut sorted = latencies.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) * 95 / 100]
+    };
+    ArbiterReport {
+        demand_served: latencies.len() as u64,
+        mean_demand_latency_ps: mean,
+        p95_demand_latency_ps: p95,
+        trng_bits,
+        trng_bps: trng_bits as f64 / (config.duration_ps as f64 * 1e-12),
+    }
+}
+
+/// Convenience: the slowdown of demand traffic caused by enabling the
+/// TRNG windows, as `(with.mean / without.mean)`.
+pub fn slowdown(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConfig) -> f64 {
+    let with = simulate(timing, reduced_trcd_ps, config);
+    let without = simulate(
+        timing,
+        reduced_trcd_ps,
+        &ArbiterConfig { sample_window_ps: 0, ..config.clone() },
+    );
+    if without.mean_demand_latency_ps == 0.0 {
+        1.0
+    } else {
+        with.mean_demand_latency_ps / without.mean_demand_latency_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::spec2006_suite;
+
+    fn timing() -> TimingParams {
+        TimingParams::lpddr4_3200()
+    }
+
+    #[test]
+    fn trng_harvests_when_idle() {
+        let config = ArbiterConfig { requests_per_us: 0.5, ..ArbiterConfig::default() };
+        let r = simulate(timing(), 10_000, &config);
+        assert!(r.trng_bits > 0, "idle channel harvests bits");
+        assert!(r.trng_bps > 1e6, "idle harvest at Mb/s scale: {}", r.trng_bps);
+    }
+
+    #[test]
+    fn no_sampling_window_means_no_bits() {
+        let config = ArbiterConfig { sample_window_ps: 0, ..ArbiterConfig::default() };
+        let r = simulate(timing(), 10_000, &config);
+        assert_eq!(r.trng_bits, 0);
+        assert!(r.demand_served > 0);
+    }
+
+    #[test]
+    fn heavier_demand_reduces_trng_throughput() {
+        let light = simulate(
+            timing(),
+            10_000,
+            &ArbiterConfig { requests_per_us: 2.0, ..ArbiterConfig::default() },
+        );
+        let heavy = simulate(
+            timing(),
+            10_000,
+            &ArbiterConfig { requests_per_us: 120.0, ..ArbiterConfig::default() },
+        );
+        assert!(heavy.trng_bits < light.trng_bits, "heavy {} light {}", heavy.trng_bits, light.trng_bits);
+        assert!(heavy.demand_served > light.demand_served);
+    }
+
+    #[test]
+    fn demand_priority_bounds_slowdown() {
+        // Demand is always served before TRNG accesses, so the added
+        // latency is at most one in-flight TRNG word access.
+        let config = ArbiterConfig { requests_per_us: 40.0, ..ArbiterConfig::default() };
+        let s = slowdown(timing(), 10_000, &config);
+        assert!(s < 1.5, "slowdown {s} must stay modest");
+        assert!(s >= 0.95, "slowdown ratio sane: {s}");
+    }
+
+    #[test]
+    fn window_sizing_trades_throughput() {
+        let narrow = simulate(
+            timing(),
+            10_000,
+            &ArbiterConfig {
+                sample_window_ps: 500_000,
+                demand_window_ps: 3_500_000,
+                requests_per_us: 10.0,
+                ..ArbiterConfig::default()
+            },
+        );
+        let wide = simulate(
+            timing(),
+            10_000,
+            &ArbiterConfig {
+                sample_window_ps: 3_500_000,
+                demand_window_ps: 500_000,
+                requests_per_us: 10.0,
+                ..ArbiterConfig::default()
+            },
+        );
+        assert!(wide.trng_bits > narrow.trng_bits);
+    }
+
+    #[test]
+    fn demand_rate_tracks_mpki() {
+        let suite = spec2006_suite();
+        let mcf = suite.iter().find(|w| w.name == "mcf").unwrap();
+        let povray = suite.iter().find(|w| w.name == "povray").unwrap();
+        assert!(demand_rate_per_us(mcf) > 10.0 * demand_rate_per_us(povray));
+        assert!(demand_rate_per_us(mcf) <= 35.0, "offered rate saturates");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = ArbiterConfig::default();
+        let a = simulate(timing(), 10_000, &c);
+        let b = simulate(timing(), 10_000, &c);
+        assert_eq!(a, b);
+    }
+}

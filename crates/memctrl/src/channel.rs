@@ -1,0 +1,123 @@
+//! Multi-channel memory system.
+//!
+//! DRAM channels operate independently (paper Section 2.1.1), so
+//! D-RaNGe's throughput scales with channel count: the paper's headline
+//! 717.4 Mb/s figure is a 4-channel projection of per-channel rates.
+
+use dram_sim::{DeviceConfig, DramDevice};
+
+use crate::controller::MemoryController;
+
+/// A memory system of independent channels, each with its own
+/// controller and device.
+#[derive(Debug)]
+pub struct MemorySystem {
+    channels: Vec<MemoryController>,
+}
+
+impl MemorySystem {
+    /// Builds `channels` channels from per-channel configurations.
+    pub fn new(configs: impl IntoIterator<Item = DeviceConfig>) -> Self {
+        MemorySystem {
+            channels: configs.into_iter().map(MemoryController::from_config).collect(),
+        }
+    }
+
+    /// Builds a system of `n` channels from one template configuration,
+    /// giving each channel a distinct device seed (different chips).
+    pub fn homogeneous(n: usize, template: DeviceConfig) -> Self {
+        let channels = (0..n)
+            .map(|i| {
+                let config = template
+                    .clone()
+                    .with_seed(device_seed(&template, i))
+                    .with_noise_seed_offset(i as u64);
+                MemoryController::from_config(config)
+            })
+            .collect();
+        MemorySystem { channels }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The controller of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel(&self, channel: usize) -> &MemoryController {
+        &self.channels[channel]
+    }
+
+    /// Mutable controller of one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn channel_mut(&mut self, channel: usize) -> &mut MemoryController {
+        &mut self.channels[channel]
+    }
+
+    /// Iterates over the channels.
+    pub fn iter(&self) -> impl Iterator<Item = &MemoryController> {
+        self.channels.iter()
+    }
+
+    /// Iterates mutably over the channels.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut MemoryController> {
+        self.channels.iter_mut()
+    }
+
+    /// Consumes the system, returning the devices.
+    pub fn into_devices(self) -> Vec<DramDevice> {
+        self.channels.into_iter().map(MemoryController::into_device).collect()
+    }
+}
+
+fn device_seed(template: &DeviceConfig, i: usize) -> u64 {
+    // Derive distinct, stable per-channel seeds from the template's seed.
+    template.seed().wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::Manufacturer;
+
+    #[test]
+    fn homogeneous_channels_have_distinct_devices() {
+        let sys = MemorySystem::homogeneous(
+            4,
+            DeviceConfig::new(Manufacturer::B).with_seed(77).with_noise_seed(1),
+        );
+        assert_eq!(sys.channels(), 4);
+        let s0 = sys.channel(0).device().seed();
+        let s1 = sys.channel(1).device().seed();
+        assert_ne!(s0, s1, "channels model different chips");
+    }
+
+    #[test]
+    fn channels_operate_independently() {
+        let mut sys = MemorySystem::homogeneous(
+            2,
+            DeviceConfig::new(Manufacturer::A).with_seed(5).with_noise_seed(2),
+        );
+        sys.channel_mut(0).act(0, 1).unwrap();
+        // Channel 1's bank 0 is unaffected by channel 0's open row.
+        sys.channel_mut(1).act(0, 2).unwrap();
+        assert_eq!(sys.channel(0).device().open_row(0), Some(1));
+        assert_eq!(sys.channel(1).device().open_row(0), Some(2));
+    }
+
+    #[test]
+    fn into_devices_returns_all() {
+        let sys = MemorySystem::homogeneous(
+            3,
+            DeviceConfig::new(Manufacturer::C).with_seed(9).with_noise_seed(3),
+        );
+        assert_eq!(sys.into_devices().len(), 3);
+    }
+}

@@ -1,0 +1,320 @@
+//! The memory controller: binds the scheduler to a device, carries the
+//! programmable timing registers, and records command traces.
+
+use dram_sim::commands::CommandKind;
+use dram_sim::{CommandTrace, DeviceConfig, DramDevice};
+
+use crate::error::Result;
+use crate::registers::TimingRegisters;
+use crate::schedule::CommandScheduler;
+
+/// A single-channel memory controller driving one [`DramDevice`].
+///
+/// All data-path operations go through the command protocol: the
+/// scheduler stamps each command at its earliest legal time (accounting
+/// wall-clock cycles) and the device executes its data/failure
+/// semantics. The controller optionally records every issued command
+/// into a [`CommandTrace`] for energy analysis.
+#[derive(Debug)]
+pub struct MemoryController {
+    device: DramDevice,
+    registers: TimingRegisters,
+    scheduler: CommandScheduler,
+    trace: CommandTrace,
+    recording: bool,
+}
+
+impl MemoryController {
+    /// Wraps an existing device.
+    pub fn new(device: DramDevice) -> Self {
+        let registers = TimingRegisters::new(device.timing());
+        let mut scheduler =
+            CommandScheduler::new(device.geometry().banks, registers.effective());
+        scheduler.set_overhead_ps(registers.cmd_overhead_ps());
+        MemoryController {
+            device,
+            registers,
+            scheduler,
+            trace: CommandTrace::new(),
+            recording: false,
+        }
+    }
+
+    /// Builds the device from a configuration and wraps it.
+    pub fn from_config(config: DeviceConfig) -> Self {
+        MemoryController::new(DramDevice::build(config))
+    }
+
+    /// The device behind this controller.
+    pub fn device(&self) -> &DramDevice {
+        &self.device
+    }
+
+    /// Mutable access to the device (temperature control, direct fills).
+    pub fn device_mut(&mut self) -> &mut DramDevice {
+        &mut self.device
+    }
+
+    /// The controller's timing registers.
+    pub fn registers(&self) -> &TimingRegisters {
+        &self.registers
+    }
+
+    /// Programs a (possibly spec-violating) `tRCD`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trcd_ns` is not a positive finite duration; use
+    /// [`TimingRegisters::set_trcd_ns`] through
+    /// [`MemoryController::try_set_trcd_ns`] for fallible programming.
+    pub fn set_trcd_ns(&mut self, trcd_ns: f64) {
+        self.try_set_trcd_ns(trcd_ns).expect("valid tRCD");
+    }
+
+    /// Fallible version of [`MemoryController::set_trcd_ns`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MemError::InvalidRegister`] for non-positive or
+    /// non-finite values.
+    pub fn try_set_trcd_ns(&mut self, trcd_ns: f64) -> Result<()> {
+        self.registers.set_trcd_ns(trcd_ns)?;
+        self.scheduler.set_timing(self.registers.effective());
+        Ok(())
+    }
+
+    /// Restores the datasheet `tRCD`.
+    pub fn reset_trcd(&mut self) {
+        self.registers.reset_trcd();
+        self.scheduler.set_timing(self.registers.effective());
+    }
+
+    /// The currently programmed `tRCD` in ns.
+    pub fn trcd_ns(&self) -> f64 {
+        self.registers.trcd_ns()
+    }
+
+    /// Sets the firmware per-command overhead.
+    pub fn set_cmd_overhead_ps(&mut self, ps: u64) {
+        self.registers.set_cmd_overhead_ps(ps);
+        self.scheduler.set_overhead_ps(ps);
+    }
+
+    /// Current scheduler time, ps.
+    pub fn now_ps(&self) -> u64 {
+        self.scheduler.now_ps()
+    }
+
+    /// Advances time without commands (host delay / refresh pause).
+    pub fn advance_ps(&mut self, ps: u64) {
+        self.scheduler.advance(ps);
+    }
+
+    /// Starts recording issued commands.
+    pub fn start_recording(&mut self) {
+        self.recording = true;
+        self.trace.clear();
+    }
+
+    /// Stops recording and returns the captured trace.
+    pub fn stop_recording(&mut self) -> CommandTrace {
+        self.recording = false;
+        std::mem::take(&mut self.trace)
+    }
+
+    /// The scheduler (analysis access).
+    pub fn scheduler(&self) -> &CommandScheduler {
+        &self.scheduler
+    }
+
+    // ------------------------------------------------------------------
+    // Command primitives.
+    // ------------------------------------------------------------------
+
+    /// ACT: opens `row` in `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Scheduling errors for illegal sequences; device errors for
+    /// addressing problems.
+    pub fn act(&mut self, bank: usize, row: usize) -> Result<()> {
+        let cmd = self.scheduler.issue(CommandKind::Act, bank, row, 0)?;
+        self.device.activate(bank, row)?;
+        if self.recording {
+            self.trace.push(cmd);
+        }
+        Ok(())
+    }
+
+    /// RD: reads one word from the open row of `bank`, with the failure
+    /// path driven by the *currently programmed* `tRCD`.
+    ///
+    /// # Errors
+    ///
+    /// Scheduling errors for illegal sequences; device errors for
+    /// addressing/row mismatches.
+    pub fn rd(&mut self, bank: usize, row: usize, col: usize) -> Result<u64> {
+        let cmd = self.scheduler.issue(CommandKind::Rd, bank, row, col)?;
+        let word = self.device.read(bank, row, col, self.registers.trcd_ns())?;
+        if self.recording {
+            self.trace.push(cmd);
+        }
+        Ok(word)
+    }
+
+    /// WR: writes one word into the open row of `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Scheduling errors for illegal sequences; device errors for
+    /// addressing/row mismatches.
+    pub fn wr(&mut self, bank: usize, row: usize, col: usize, value: u64) -> Result<()> {
+        let cmd = self.scheduler.issue(CommandKind::Wr, bank, row, col)?;
+        self.device.write(bank, row, col, value)?;
+        if self.recording {
+            self.trace.push(cmd);
+        }
+        Ok(())
+    }
+
+    /// PRE: closes the open row of `bank`.
+    ///
+    /// # Errors
+    ///
+    /// Scheduling errors for illegal sequences.
+    pub fn pre(&mut self, bank: usize) -> Result<()> {
+        let cmd = self.scheduler.issue(CommandKind::Pre, bank, 0, 0)?;
+        self.device.precharge(bank)?;
+        if self.recording {
+            self.trace.push(cmd);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience sequences used by the D-RaNGe algorithms.
+    // ------------------------------------------------------------------
+
+    /// ACT + PRE: refreshes a row's charge (Algorithm 1, lines 6-7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates command errors.
+    pub fn refresh_row(&mut self, bank: usize, row: usize) -> Result<()> {
+        self.act(bank, row)?;
+        self.pre(bank)
+    }
+
+    /// ACT + RD + PRE: one fresh-activation read of a word, returning
+    /// the (possibly failing) sensed value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates command errors.
+    pub fn read_fresh(&mut self, bank: usize, row: usize, col: usize) -> Result<u64> {
+        self.act(bank, row)?;
+        let word = self.rd(bank, row, col)?;
+        self.pre(bank)?;
+        Ok(word)
+    }
+
+    /// Consumes the controller and returns the device.
+    pub fn into_device(self) -> DramDevice {
+        self.device
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{DataPattern, Manufacturer, WordAddr};
+
+    fn ctrl() -> MemoryController {
+        MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A).with_seed(21).with_noise_seed(22),
+        )
+    }
+
+    #[test]
+    fn spec_timing_round_trip() {
+        let mut c = ctrl();
+        c.act(0, 9).unwrap();
+        c.wr(0, 9, 4, 0xDEAD_BEEF).unwrap();
+        c.pre(0).unwrap();
+        let got = c.read_fresh(0, 9, 4).unwrap();
+        assert_eq!(got, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn reduced_trcd_induces_failures_via_controller() {
+        let mut c = ctrl();
+        c.device_mut().fill_bank(0, DataPattern::Solid0);
+        c.set_trcd_ns(10.0);
+        let mut failures = 0u64;
+        for row in 0..1024 {
+            for col in 0..16 {
+                // Refresh then induce (Algorithm 1 inner loop).
+                c.refresh_row(0, row).unwrap();
+                let w = c.read_fresh(0, row, col).unwrap();
+                failures += w.count_ones() as u64;
+                if w != 0 {
+                    c.act(0, row).unwrap();
+                    c.wr(0, row, col, 0).unwrap();
+                    c.pre(0).unwrap();
+                }
+            }
+        }
+        assert!(failures > 0);
+        c.reset_trcd();
+        assert_eq!(c.trcd_ns(), 18.0);
+    }
+
+    #[test]
+    fn scheduler_time_advances_with_commands() {
+        let mut c = ctrl();
+        let t0 = c.now_ps();
+        c.read_fresh(0, 0, 0).unwrap();
+        let t1 = c.now_ps();
+        assert!(t1 > t0 + c.registers().datasheet().tras_ps);
+    }
+
+    #[test]
+    fn recording_captures_all_commands() {
+        let mut c = ctrl();
+        c.start_recording();
+        c.read_fresh(0, 3, 1).unwrap();
+        c.refresh_row(0, 5).unwrap();
+        let trace = c.stop_recording();
+        assert_eq!(trace.count(CommandKind::Act), 2);
+        assert_eq!(trace.count(CommandKind::Rd), 1);
+        assert_eq!(trace.count(CommandKind::Pre), 2);
+        assert!(trace.is_time_ordered());
+        // Recording stopped: further commands are not captured.
+        c.read_fresh(0, 3, 1).unwrap();
+        assert_eq!(c.stop_recording().len(), 0);
+    }
+
+    #[test]
+    fn try_set_trcd_rejects_garbage() {
+        let mut c = ctrl();
+        assert!(c.try_set_trcd_ns(-1.0).is_err());
+        assert!(c.try_set_trcd_ns(f64::INFINITY).is_err());
+        assert_eq!(c.trcd_ns(), 18.0);
+    }
+
+    #[test]
+    fn into_device_preserves_data() {
+        let mut c = ctrl();
+        c.device_mut().poke(WordAddr::new(0, 0, 0), 42).unwrap();
+        let d = c.into_device();
+        assert_eq!(d.peek(WordAddr::new(0, 0, 0)).unwrap(), 42);
+    }
+
+    #[test]
+    fn advance_ps_moves_time() {
+        let mut c = ctrl();
+        let t0 = c.now_ps();
+        c.advance_ps(1_000_000_000);
+        assert_eq!(c.now_ps(), t0 + 1_000_000_000);
+    }
+}

@@ -1,0 +1,80 @@
+//! Memory-controller errors.
+
+use std::fmt;
+
+use dram_sim::DramError;
+
+/// Convenience alias for `Result<T, MemError>`.
+pub type Result<T> = std::result::Result<T, MemError>;
+
+/// Errors raised by the memory controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// The underlying device rejected the operation.
+    Device(DramError),
+    /// The scheduler was asked for a command that is illegal in the
+    /// current bank state (e.g. RD to a closed bank).
+    IllegalCommand {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A timing register was programmed with an invalid value.
+    InvalidRegister {
+        /// Name of the register.
+        register: &'static str,
+        /// Description of why the value is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Device(e) => write!(f, "device error: {e}"),
+            MemError::IllegalCommand { reason } => write!(f, "illegal command: {reason}"),
+            MemError::InvalidRegister { register, reason } => {
+                write!(f, "invalid value for register {register}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MemError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for MemError {
+    fn from(e: DramError) -> Self {
+        MemError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_device_error_with_source() {
+        use std::error::Error;
+        let e = MemError::from(DramError::BankNotOpen { bank: 2 });
+        assert!(e.to_string().contains("bank 2"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+
+    #[test]
+    fn display_mentions_register_name() {
+        let e = MemError::InvalidRegister { register: "tRCD", reason: "zero".into() };
+        assert!(e.to_string().contains("tRCD"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Auto-refresh bookkeeping.
+//!
+//! JEDEC requires one REF per tREFI on average, but allows up to eight
+//! refreshes to be postponed (and later made up) — the flexibility that
+//! lets a controller keep a D-RaNGe sampling window open without
+//! violating the refresh contract. This module tracks the refresh debt
+//! and decides when a REF must be forced.
+
+use dram_sim::TimingParams;
+
+/// Maximum refreshes that may be postponed under JEDEC rules.
+pub const MAX_POSTPONED: u32 = 8;
+
+/// Refresh scheduler state for one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshScheduler {
+    trefi_ps: u64,
+    next_due_ps: u64,
+    postponed: u32,
+    issued: u64,
+}
+
+impl RefreshScheduler {
+    /// A scheduler with the rank's average refresh interval.
+    pub fn new(timing: TimingParams) -> Self {
+        RefreshScheduler {
+            trefi_ps: timing.trefi_ps,
+            next_due_ps: timing.trefi_ps,
+            postponed: 0,
+            issued: 0,
+        }
+    }
+
+    /// Whether a refresh is due at `now`.
+    pub fn due(&self, now_ps: u64) -> bool {
+        now_ps >= self.next_due_ps
+    }
+
+    /// Whether the controller **must** refresh now (postponement budget
+    /// exhausted).
+    pub fn must_refresh(&self, now_ps: u64) -> bool {
+        self.due(now_ps) && self.postponed >= MAX_POSTPONED
+    }
+
+    /// Records an issued REF; pays down postponement debt first.
+    pub fn on_refresh(&mut self) {
+        self.issued += 1;
+        if self.postponed > 0 {
+            self.postponed -= 1;
+        }
+        self.next_due_ps += self.trefi_ps;
+    }
+
+    /// Postpones the refresh that is currently due.
+    ///
+    /// Returns `false` (and changes nothing) when the postponement
+    /// budget is exhausted — the caller must refresh instead.
+    pub fn postpone(&mut self, now_ps: u64) -> bool {
+        if !self.due(now_ps) || self.postponed >= MAX_POSTPONED {
+            return false;
+        }
+        self.postponed += 1;
+        self.next_due_ps += self.trefi_ps;
+        true
+    }
+
+    /// Currently postponed refreshes (the debt to pay down).
+    pub fn postponed(&self) -> u32 {
+        self.postponed
+    }
+
+    /// Total refreshes issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The longest sampling window (ps) the controller can hold open
+    /// starting at `now` before a refresh becomes mandatory.
+    pub fn window_until_forced(&self, now_ps: u64) -> u64 {
+        let budget_refreshes = (MAX_POSTPONED - self.postponed) as u64;
+        let forced_at = self.next_due_ps + budget_refreshes * self.trefi_ps;
+        forced_at.saturating_sub(now_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> RefreshScheduler {
+        RefreshScheduler::new(TimingParams::lpddr4_3200())
+    }
+
+    #[test]
+    fn refresh_becomes_due_after_trefi() {
+        let s = sched();
+        let trefi = TimingParams::lpddr4_3200().trefi_ps;
+        assert!(!s.due(trefi - 1));
+        assert!(s.due(trefi));
+        assert!(!s.must_refresh(trefi), "postponement budget available");
+    }
+
+    #[test]
+    fn eight_postponements_then_forced() {
+        let mut s = sched();
+        let trefi = TimingParams::lpddr4_3200().trefi_ps;
+        let mut now = trefi;
+        for k in 0..MAX_POSTPONED {
+            assert!(s.postpone(now), "postpone #{k}");
+            now += trefi;
+        }
+        assert_eq!(s.postponed(), MAX_POSTPONED);
+        assert!(s.due(now));
+        assert!(s.must_refresh(now));
+        assert!(!s.postpone(now), "ninth postponement refused");
+    }
+
+    #[test]
+    fn refresh_pays_down_debt() {
+        let mut s = sched();
+        let trefi = TimingParams::lpddr4_3200().trefi_ps;
+        assert!(s.postpone(trefi));
+        assert_eq!(s.postponed(), 1);
+        s.on_refresh();
+        assert_eq!(s.postponed(), 0);
+        assert_eq!(s.issued(), 1);
+    }
+
+    #[test]
+    fn cannot_postpone_before_due() {
+        let mut s = sched();
+        assert!(!s.postpone(0));
+        assert_eq!(s.postponed(), 0);
+    }
+
+    #[test]
+    fn window_shrinks_with_debt() {
+        let mut s = sched();
+        let trefi = TimingParams::lpddr4_3200().trefi_ps;
+        let fresh_window = s.window_until_forced(0);
+        assert_eq!(fresh_window, trefi * (1 + MAX_POSTPONED as u64));
+        assert!(s.postpone(trefi));
+        assert!(s.postpone(2 * trefi));
+        let indebted_window = s.window_until_forced(2 * trefi);
+        assert!(indebted_window < fresh_window);
+    }
+
+    #[test]
+    fn steady_state_refresh_rate_matches_trefi() {
+        let mut s = sched();
+        let trefi = TimingParams::lpddr4_3200().trefi_ps;
+        let horizon = 100 * trefi;
+        let mut now = 0u64;
+        while now < horizon {
+            if s.due(now) {
+                s.on_refresh();
+            }
+            now += trefi / 4;
+        }
+        // ~one refresh per tREFI over the horizon.
+        assert!((s.issued() as i64 - 100).abs() <= 1, "issued {}", s.issued());
+    }
+}

@@ -1,0 +1,151 @@
+//! Software-visible timing registers.
+//!
+//! The paper's low-implementation-cost argument (Section 7.3) rests on
+//! memory controllers whose timing parameters live in programmable
+//! registers — some processors already expose them to software. This
+//! module models that register file: it starts from the datasheet
+//! [`dram_sim::TimingParams`] and lets software override `tRCD` (and the
+//! firmware overhead) at run time.
+
+use dram_sim::timing::PS_PER_NS;
+use dram_sim::TimingParams;
+
+use crate::error::{MemError, Result};
+
+/// The controller's programmable timing register file.
+///
+/// Only `tRCD` is programmable here because it is the parameter D-RaNGe
+/// manipulates; every other field is carried through from the datasheet
+/// parameters. `cmd_overhead_ps` models the firmware/controller
+/// processing time between dependent commands of the sampling routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingRegisters {
+    datasheet: TimingParams,
+    trcd_ps: u64,
+    cmd_overhead_ps: u64,
+}
+
+impl TimingRegisters {
+    /// Registers initialized from datasheet values.
+    pub fn new(datasheet: TimingParams) -> Self {
+        TimingRegisters {
+            datasheet,
+            trcd_ps: datasheet.trcd_ps,
+            // Firmware dispatch cost per issued command in the sampling
+            // routine (Section 6.3's "simple firmware routine").
+            cmd_overhead_ps: 2_500,
+        }
+    }
+
+    /// The datasheet parameters these registers started from.
+    pub fn datasheet(&self) -> TimingParams {
+        self.datasheet
+    }
+
+    /// The currently programmed `tRCD`, ps.
+    #[inline]
+    pub fn trcd_ps(&self) -> u64 {
+        self.trcd_ps
+    }
+
+    /// The currently programmed `tRCD`, ns.
+    #[inline]
+    pub fn trcd_ns(&self) -> f64 {
+        self.trcd_ps as f64 / PS_PER_NS as f64
+    }
+
+    /// Programs `tRCD` (possibly below the datasheet value — the
+    /// violation D-RaNGe exploits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidRegister`] if the value is not positive
+    /// or not finite.
+    pub fn set_trcd_ns(&mut self, trcd_ns: f64) -> Result<()> {
+        if !trcd_ns.is_finite() || trcd_ns <= 0.0 {
+            return Err(MemError::InvalidRegister {
+                register: "tRCD",
+                reason: format!("{trcd_ns} ns is not a positive finite duration"),
+            });
+        }
+        self.trcd_ps = (trcd_ns * PS_PER_NS as f64).round() as u64;
+        Ok(())
+    }
+
+    /// Restores the datasheet `tRCD`.
+    pub fn reset_trcd(&mut self) {
+        self.trcd_ps = self.datasheet.trcd_ps;
+    }
+
+    /// Whether the programmed `tRCD` violates the datasheet.
+    pub fn trcd_violates_spec(&self) -> bool {
+        self.trcd_ps < self.datasheet.trcd_ps
+    }
+
+    /// Firmware overhead added per issued command, ps.
+    #[inline]
+    pub fn cmd_overhead_ps(&self) -> u64 {
+        self.cmd_overhead_ps
+    }
+
+    /// Sets the firmware overhead per issued command.
+    pub fn set_cmd_overhead_ps(&mut self, ps: u64) {
+        self.cmd_overhead_ps = ps;
+    }
+
+    /// The effective parameters the scheduler enforces: datasheet values
+    /// with the programmed `tRCD` substituted.
+    pub fn effective(&self) -> TimingParams {
+        TimingParams { trcd_ps: self.trcd_ps, ..self.datasheet }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_datasheet() {
+        let r = TimingRegisters::new(TimingParams::lpddr4_3200());
+        assert_eq!(r.trcd_ns(), 18.0);
+        assert!(!r.trcd_violates_spec());
+    }
+
+    #[test]
+    fn program_and_reset_trcd() {
+        let mut r = TimingRegisters::new(TimingParams::lpddr4_3200());
+        r.set_trcd_ns(10.0).unwrap();
+        assert_eq!(r.trcd_ns(), 10.0);
+        assert!(r.trcd_violates_spec());
+        assert_eq!(r.effective().trcd_ps, 10_000);
+        r.reset_trcd();
+        assert_eq!(r.trcd_ns(), 18.0);
+    }
+
+    #[test]
+    fn rejects_nonpositive_trcd() {
+        let mut r = TimingRegisters::new(TimingParams::lpddr4_3200());
+        assert!(r.set_trcd_ns(0.0).is_err());
+        assert!(r.set_trcd_ns(-3.0).is_err());
+        assert!(r.set_trcd_ns(f64::NAN).is_err());
+        assert_eq!(r.trcd_ns(), 18.0, "failed writes leave the register unchanged");
+    }
+
+    #[test]
+    fn effective_only_changes_trcd() {
+        let mut r = TimingRegisters::new(TimingParams::lpddr4_3200());
+        r.set_trcd_ns(7.0).unwrap();
+        let eff = r.effective();
+        let spec = TimingParams::lpddr4_3200();
+        assert_eq!(eff.tras_ps, spec.tras_ps);
+        assert_eq!(eff.trp_ps, spec.trp_ps);
+        assert_eq!(eff.trcd_ps, 7_000);
+    }
+
+    #[test]
+    fn overhead_is_settable() {
+        let mut r = TimingRegisters::new(TimingParams::lpddr4_3200());
+        r.set_cmd_overhead_ps(0);
+        assert_eq!(r.cmd_overhead_ps(), 0);
+    }
+}

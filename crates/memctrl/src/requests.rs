@@ -1,0 +1,259 @@
+//! Request-level front end: a read/write request queue with an
+//! FR-FCFS (first-ready, first-come-first-served) scheduling policy —
+//! the standard memory-controller organization the paper's
+//! full-system integration slots into (Section 6.3: D-RaNGe's firmware
+//! competes with "normal memory requests" whose handling this module
+//! models).
+
+use std::collections::VecDeque;
+
+
+use crate::controller::MemoryController;
+use crate::error::Result;
+
+/// A demand memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Target bank.
+    pub bank: usize,
+    /// Target row.
+    pub row: usize,
+    /// Target column.
+    pub col: usize,
+    /// Write (with the given value) or read.
+    pub write: Option<u64>,
+    /// Arrival time, ps (used for latency accounting).
+    pub arrival_ps: u64,
+}
+
+impl Request {
+    /// A read request.
+    pub fn read(bank: usize, row: usize, col: usize, arrival_ps: u64) -> Self {
+        Request { bank, row, col, write: None, arrival_ps }
+    }
+
+    /// A write request.
+    pub fn write(bank: usize, row: usize, col: usize, value: u64, arrival_ps: u64) -> Self {
+        Request { bank, row, col, write: Some(value), arrival_ps }
+    }
+}
+
+/// A completed request with its service latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request served.
+    pub request: Request,
+    /// Data returned (reads only).
+    pub data: Option<u64>,
+    /// Arrival-to-data latency, ps.
+    pub latency_ps: u64,
+}
+
+/// FR-FCFS request queue over a [`MemoryController`].
+///
+/// Policy: among queued requests, row-buffer *hits* (requests to a
+/// bank's currently-open row) are served first in arrival order; if
+/// none hits, the oldest request is served (closing/opening rows as
+/// needed). This is the textbook FR-FCFS of Rixner et al. that the
+/// paper's scheduling citations build on.
+#[derive(Debug)]
+pub struct RequestQueue {
+    queue: VecDeque<Request>,
+    /// Tracks each bank's open row according to issued commands.
+    open_rows: Vec<Option<usize>>,
+}
+
+impl RequestQueue {
+    /// An empty queue for a controller with `banks` banks.
+    pub fn new(banks: usize) -> Self {
+        RequestQueue { queue: VecDeque::new(), open_rows: vec![None; banks] }
+    }
+
+    /// Enqueues a request.
+    pub fn push(&mut self, request: Request) {
+        self.queue.push_back(request);
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Picks the next request index per FR-FCFS.
+    fn pick(&self) -> Option<usize> {
+        // First-ready: oldest row hit.
+        if let Some(idx) = self
+            .queue
+            .iter()
+            .position(|r| self.open_rows[r.bank] == Some(r.row))
+        {
+            return Some(idx);
+        }
+        // Else: oldest overall.
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
+    /// Serves one request (if any) through the controller, returning
+    /// its completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors; on error the request is dropped
+    /// from the queue (the caller decides whether to retry).
+    pub fn service_one(&mut self, ctrl: &mut MemoryController) -> Result<Option<Completion>> {
+        let Some(idx) = self.pick() else { return Ok(None) };
+        let request = self.queue.remove(idx).expect("index valid");
+        // Row management.
+        if self.open_rows[request.bank] != Some(request.row) {
+            if self.open_rows[request.bank].is_some() {
+                ctrl.pre(request.bank)?;
+            }
+            ctrl.act(request.bank, request.row)?;
+            self.open_rows[request.bank] = Some(request.row);
+        }
+        let data = match request.write {
+            Some(value) => {
+                ctrl.wr(request.bank, request.row, request.col, value)?;
+                None
+            }
+            None => Some(ctrl.rd(request.bank, request.row, request.col)?),
+        };
+        let done_ps = ctrl.now_ps()
+            + if request.write.is_some() {
+                ctrl.registers().datasheet().tcwl_ps
+            } else {
+                ctrl.registers().datasheet().tcl_ps
+            }
+            + ctrl.registers().datasheet().tbl_ps;
+        Ok(Some(Completion {
+            request,
+            data,
+            latency_ps: done_ps.saturating_sub(request.arrival_ps),
+        }))
+    }
+
+    /// Drains the whole queue, returning completions in service order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn drain(&mut self, ctrl: &mut MemoryController) -> Result<Vec<Completion>> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(c) = self.service_one(ctrl)? {
+            out.push(c);
+        }
+        // Close any rows we left open so the controller returns to a
+        // neutral state.
+        for bank in 0..self.open_rows.len() {
+            if self.open_rows[bank].is_some() {
+                ctrl.pre(bank)?;
+                self.open_rows[bank] = None;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{DeviceConfig, Manufacturer};
+
+    fn ctrl() -> MemoryController {
+        MemoryController::from_config(
+            DeviceConfig::new(Manufacturer::A).with_seed(61).with_noise_seed(62),
+        )
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut c = ctrl();
+        let mut q = RequestQueue::new(8);
+        q.push(Request::write(0, 5, 3, 0xABCD, 0));
+        q.push(Request::read(0, 5, 3, 0));
+        let done = q.drain(&mut c).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1].data, Some(0xABCD));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn row_hits_are_served_first() {
+        let mut c = ctrl();
+        let mut q = RequestQueue::new(8);
+        // Open row 1 via the first request; then queue a row-2 request
+        // (older) and a row-1 hit (younger): the hit goes first.
+        q.push(Request::read(0, 1, 0, 0));
+        let first = q.service_one(&mut c).unwrap().unwrap();
+        assert_eq!(first.request.row, 1);
+        q.push(Request::read(0, 2, 0, 10));
+        q.push(Request::read(0, 1, 4, 20));
+        let second = q.service_one(&mut c).unwrap().unwrap();
+        assert_eq!(second.request.row, 1, "row hit bypasses the older miss");
+        assert_eq!(second.request.col, 4);
+        let third = q.service_one(&mut c).unwrap().unwrap();
+        assert_eq!(third.request.row, 2);
+        let _ = q.drain(&mut c).unwrap();
+    }
+
+    #[test]
+    fn row_hits_have_lower_latency() {
+        let mut c = ctrl();
+        let mut q = RequestQueue::new(8);
+        q.push(Request::read(0, 1, 0, 0));
+        let miss = q.service_one(&mut c).unwrap().unwrap();
+        let t = c.now_ps();
+        q.push(Request::read(0, 1, 1, t));
+        let hit = q.service_one(&mut c).unwrap().unwrap();
+        assert!(
+            hit.latency_ps < miss.latency_ps,
+            "hit {} vs miss {}",
+            hit.latency_ps,
+            miss.latency_ps
+        );
+        let _ = q.drain(&mut c).unwrap();
+    }
+
+    #[test]
+    fn empty_queue_services_nothing() {
+        let mut c = ctrl();
+        let mut q = RequestQueue::new(8);
+        assert!(q.service_one(&mut c).unwrap().is_none());
+        assert!(q.drain(&mut c).unwrap().is_empty());
+    }
+
+    #[test]
+    fn drain_closes_open_rows() {
+        let mut c = ctrl();
+        let mut q = RequestQueue::new(8);
+        q.push(Request::read(3, 7, 0, 0));
+        let _ = q.drain(&mut c).unwrap();
+        assert_eq!(c.device().open_row(3), None, "drain precharges");
+        // The controller is reusable afterwards.
+        c.act(3, 9).unwrap();
+        c.pre(3).unwrap();
+    }
+
+    #[test]
+    fn banks_interleave() {
+        let mut c = ctrl();
+        let mut q = RequestQueue::new(8);
+        for bank in 0..8 {
+            q.push(Request::read(bank, bank + 1, 0, 0));
+        }
+        let done = q.drain(&mut c).unwrap();
+        assert_eq!(done.len(), 8);
+        let banks: std::collections::HashSet<_> =
+            done.iter().map(|d| d.request.bank).collect();
+        assert_eq!(banks.len(), 8);
+    }
+}

@@ -1,0 +1,442 @@
+//! Command scheduler: issues DRAM commands at the earliest legal clock
+//! edge and accounts time — the role Ramulator plays in the paper's
+//! throughput evaluation (Equation 1 uses the runtime of Algorithm 2's
+//! core loop under real command-timing constraints).
+//!
+//! Enforced constraints:
+//!
+//! | Constraint | Between |
+//! |---|---|
+//! | `tRP`   | PRE → ACT, same bank |
+//! | `tRRD`  | ACT → ACT, any banks |
+//! | `tFAW`  | any 5 ACTs (at most 4 per window) |
+//! | `tRCD`* | ACT → RD/WR, same bank (*programmed value) |
+//! | `tCCD`  | RD/WR → RD/WR |
+//! | `tRTP`  | RD → PRE, same bank |
+//! | `tWR`   | end of WR data → PRE, same bank |
+//! | `tWTR`  | end of WR data → RD |
+//! | `tRAS`  | ACT → PRE, same bank |
+//! | RTW     | RD → WR bus turnaround |
+//! | bus     | one data burst at a time; one command per clock |
+//!
+//! The scheduler also charges a per-command firmware overhead
+//! (configurable through [`crate::TimingRegisters`]) modeling the
+//! controller routine that drives the sampling loop.
+
+use std::collections::VecDeque;
+
+use dram_sim::commands::{Command, CommandKind};
+use dram_sim::TimingParams;
+
+use crate::error::{MemError, Result};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankTiming {
+    open: bool,
+    act_at: u64,
+    pre_issued_at: u64,
+    last_rd_at: u64,
+    wr_data_end: u64,
+    has_history: bool,
+}
+
+/// Issues commands at the earliest legal time and tracks the clock.
+#[derive(Debug, Clone)]
+pub struct CommandScheduler {
+    timing: TimingParams,
+    overhead_ps: u64,
+    now_ps: u64,
+    banks: Vec<BankTiming>,
+    act_history: VecDeque<u64>,
+    last_act_any: Option<u64>,
+    last_col: Option<(CommandKind, u64)>,
+    bus_free_at: u64,
+}
+
+impl CommandScheduler {
+    /// A scheduler for `banks` banks under the given timing parameters.
+    pub fn new(banks: usize, timing: TimingParams) -> Self {
+        CommandScheduler {
+            timing,
+            overhead_ps: 0,
+            now_ps: 0,
+            banks: vec![BankTiming::default(); banks],
+            act_history: VecDeque::with_capacity(4),
+            last_act_any: None,
+            last_col: None,
+            bus_free_at: 0,
+        }
+    }
+
+    /// Replaces the effective timing parameters (register reprogram).
+    pub fn set_timing(&mut self, timing: TimingParams) {
+        self.timing = timing;
+    }
+
+    /// The effective timing parameters in force.
+    pub fn timing(&self) -> TimingParams {
+        self.timing
+    }
+
+    /// Sets the per-command firmware overhead.
+    pub fn set_overhead_ps(&mut self, ps: u64) {
+        self.overhead_ps = ps;
+    }
+
+    /// Current time: the issue instant of the last command, ps.
+    pub fn now_ps(&self) -> u64 {
+        self.now_ps
+    }
+
+    /// Advances the clock without issuing commands (refresh pauses,
+    /// host-side delays).
+    pub fn advance(&mut self, ps: u64) {
+        self.now_ps += ps;
+    }
+
+    /// Whether a bank currently has an open row (scheduler's view).
+    pub fn is_open(&self, bank: usize) -> bool {
+        self.banks.get(bank).is_some_and(|b| b.open)
+    }
+
+    fn bank(&self, bank: usize) -> Result<&BankTiming> {
+        self.banks.get(bank).ok_or_else(|| MemError::IllegalCommand {
+            reason: format!("bank {bank} out of range"),
+        })
+    }
+
+    /// Earliest legal issue time for a command, given current history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::IllegalCommand`] when the command is illegal
+    /// in the current bank state regardless of timing (e.g. RD to a
+    /// closed bank).
+    pub fn earliest(&self, kind: CommandKind, bank: usize) -> Result<u64> {
+        let t = &self.timing;
+        let b = self.bank(bank)?;
+        // Command bus: one command per clock, plus firmware overhead.
+        let mut at = self.now_ps + self.timing.tck_ps.max(self.overhead_ps);
+        match kind {
+            CommandKind::Act => {
+                if b.open {
+                    return Err(MemError::IllegalCommand {
+                        reason: format!("ACT to open bank {bank}"),
+                    });
+                }
+                if b.has_history {
+                    at = at.max(b.pre_issued_at + t.trp_ps);
+                }
+                if let Some(last) = self.last_act_any {
+                    at = at.max(last + t.trrd_ps);
+                }
+                if self.act_history.len() == 4 {
+                    at = at.max(self.act_history[0] + t.tfaw_ps);
+                }
+            }
+            CommandKind::Rd | CommandKind::Wr => {
+                if !b.open {
+                    return Err(MemError::IllegalCommand {
+                        reason: format!("{kind} to closed bank {bank}"),
+                    });
+                }
+                at = at.max(b.act_at + t.trcd_ps);
+                if let Some((prev_kind, prev_at)) = self.last_col {
+                    at = at.max(prev_at + t.tccd_ps);
+                    match (prev_kind, kind) {
+                        (CommandKind::Wr, CommandKind::Rd) => {
+                            // tWTR from end of write data (any bank).
+                            let wr_end = self
+                                .banks
+                                .iter()
+                                .map(|b| b.wr_data_end)
+                                .max()
+                                .unwrap_or(0);
+                            at = at.max(wr_end + t.twtr_ps);
+                        }
+                        (CommandKind::Rd, CommandKind::Wr) => {
+                            // Read-to-write turnaround: the write burst
+                            // must start after the read burst clears the
+                            // bus (plus one clock of turnaround).
+                            let rtw = prev_at + t.tcl_ps + t.tbl_ps + t.tck_ps;
+                            at = at.max(rtw.saturating_sub(t.tcwl_ps));
+                        }
+                        _ => {}
+                    }
+                }
+                // Data-bus occupancy.
+                let data_lat =
+                    if kind == CommandKind::Rd { t.tcl_ps } else { t.tcwl_ps };
+                at = at.max(self.bus_free_at.saturating_sub(data_lat));
+            }
+            CommandKind::Pre => {
+                if !b.open {
+                    return Err(MemError::IllegalCommand {
+                        reason: format!("PRE to closed bank {bank}"),
+                    });
+                }
+                at = at.max(b.act_at + t.tras_ps);
+                if b.last_rd_at > 0 {
+                    at = at.max(b.last_rd_at + t.trtp_ps);
+                }
+                if b.wr_data_end > 0 {
+                    at = at.max(b.wr_data_end + t.twr_ps);
+                }
+            }
+            CommandKind::Ref => {
+                if self.banks.iter().any(|b| b.open) {
+                    return Err(MemError::IllegalCommand {
+                        reason: "REF with open banks".into(),
+                    });
+                }
+                for b in &self.banks {
+                    if b.has_history {
+                        at = at.max(b.pre_issued_at + t.trp_ps);
+                    }
+                }
+            }
+        }
+        Ok(t.to_clock_ps(at))
+    }
+
+    /// Issues a command at its earliest legal time, updating the clock
+    /// and all timing history. Returns the stamped command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the legality errors of [`CommandScheduler::earliest`].
+    pub fn issue(&mut self, kind: CommandKind, bank: usize, row: usize, col: usize) -> Result<Command> {
+        let at = self.earliest(kind, bank)?;
+        let t = self.timing;
+        let b = &mut self.banks[bank];
+        match kind {
+            CommandKind::Act => {
+                b.open = true;
+                b.act_at = at;
+                b.last_rd_at = 0;
+                b.wr_data_end = 0;
+                b.has_history = true;
+                self.last_act_any = Some(at);
+                self.act_history.push_back(at);
+                if self.act_history.len() > 4 {
+                    self.act_history.pop_front();
+                }
+            }
+            CommandKind::Rd => {
+                b.last_rd_at = at;
+                self.last_col = Some((CommandKind::Rd, at));
+                self.bus_free_at = at + t.tcl_ps + t.tbl_ps;
+            }
+            CommandKind::Wr => {
+                b.wr_data_end = at + t.tcwl_ps + t.tbl_ps;
+                self.last_col = Some((CommandKind::Wr, at));
+                self.bus_free_at = at + t.tcwl_ps + t.tbl_ps;
+            }
+            CommandKind::Pre => {
+                b.open = false;
+                b.pre_issued_at = at;
+            }
+            CommandKind::Ref => {
+                // REF occupies the device for tRFC.
+                self.now_ps = at + t.trfc_ps;
+                return Ok(Command::refresh(at));
+            }
+        }
+        self.now_ps = at;
+        Ok(match kind {
+            CommandKind::Act => Command::act(bank, row, at),
+            CommandKind::Rd => Command::rd(bank, row, col, at),
+            CommandKind::Wr => Command::wr(bank, row, col, at),
+            CommandKind::Pre => Command::pre(bank, at),
+            CommandKind::Ref => unreachable!("handled above"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> CommandScheduler {
+        CommandScheduler::new(8, TimingParams::lpddr4_3200())
+    }
+
+    #[test]
+    fn act_rd_respects_trcd() {
+        let mut s = sched();
+        let act = s.issue(CommandKind::Act, 0, 5, 0).unwrap();
+        let rd = s.issue(CommandKind::Rd, 0, 5, 0).unwrap();
+        assert!(rd.at_ps >= act.at_ps + s.timing().trcd_ps);
+    }
+
+    #[test]
+    fn programmed_trcd_shrinks_act_to_rd() {
+        let mut fast = sched();
+        let t = TimingParams { trcd_ps: 10_000, ..TimingParams::lpddr4_3200() };
+        fast.set_timing(t);
+        let act = fast.issue(CommandKind::Act, 0, 5, 0).unwrap();
+        let rd = fast.issue(CommandKind::Rd, 0, 5, 0).unwrap();
+        assert_eq!(rd.at_ps - act.at_ps, 10_000);
+    }
+
+    #[test]
+    fn rd_to_closed_bank_is_illegal() {
+        let mut s = sched();
+        assert!(matches!(
+            s.issue(CommandKind::Rd, 0, 0, 0),
+            Err(MemError::IllegalCommand { .. })
+        ));
+        assert!(matches!(
+            s.issue(CommandKind::Pre, 0, 0, 0),
+            Err(MemError::IllegalCommand { .. })
+        ));
+    }
+
+    #[test]
+    fn double_act_is_illegal() {
+        let mut s = sched();
+        s.issue(CommandKind::Act, 0, 1, 0).unwrap();
+        assert!(s.issue(CommandKind::Act, 0, 2, 0).is_err());
+    }
+
+    #[test]
+    fn pre_respects_tras_and_trp() {
+        let mut s = sched();
+        let act = s.issue(CommandKind::Act, 0, 1, 0).unwrap();
+        let pre = s.issue(CommandKind::Pre, 0, 0, 0).unwrap();
+        assert!(pre.at_ps >= act.at_ps + s.timing().tras_ps);
+        let act2 = s.issue(CommandKind::Act, 0, 2, 0).unwrap();
+        assert!(act2.at_ps >= pre.at_ps + s.timing().trp_ps);
+    }
+
+    #[test]
+    fn trrd_between_different_banks() {
+        let mut s = sched();
+        let a0 = s.issue(CommandKind::Act, 0, 1, 0).unwrap();
+        let a1 = s.issue(CommandKind::Act, 1, 1, 0).unwrap();
+        assert!(a1.at_ps >= a0.at_ps + s.timing().trrd_ps);
+    }
+
+    #[test]
+    fn tfaw_limits_act_rate() {
+        let mut s = sched();
+        let times: Vec<u64> = (0..5)
+            .map(|b| s.issue(CommandKind::Act, b, 0, 0).unwrap().at_ps)
+            .collect();
+        // The 5th ACT must wait out the 4-activate window.
+        assert!(
+            times[4] >= times[0] + s.timing().tfaw_ps,
+            "5th ACT at {} vs first {} + tFAW {}",
+            times[4],
+            times[0],
+            s.timing().tfaw_ps
+        );
+    }
+
+    #[test]
+    fn tccd_between_column_commands() {
+        let mut s = sched();
+        s.issue(CommandKind::Act, 0, 0, 0).unwrap();
+        let r1 = s.issue(CommandKind::Rd, 0, 0, 0).unwrap();
+        let r2 = s.issue(CommandKind::Rd, 0, 0, 1).unwrap();
+        assert!(r2.at_ps >= r1.at_ps + s.timing().tccd_ps);
+    }
+
+    #[test]
+    fn write_then_pre_waits_twr() {
+        let mut s = sched();
+        s.issue(CommandKind::Act, 0, 0, 0).unwrap();
+        let w = s.issue(CommandKind::Wr, 0, 0, 0).unwrap();
+        let pre = s.issue(CommandKind::Pre, 0, 0, 0).unwrap();
+        let t = s.timing();
+        assert!(pre.at_ps >= w.at_ps + t.tcwl_ps + t.tbl_ps + t.twr_ps);
+    }
+
+    #[test]
+    fn write_to_read_waits_twtr() {
+        let mut s = sched();
+        s.issue(CommandKind::Act, 0, 0, 0).unwrap();
+        s.issue(CommandKind::Act, 1, 0, 0).unwrap();
+        let w = s.issue(CommandKind::Wr, 0, 0, 0).unwrap();
+        let r = s.issue(CommandKind::Rd, 1, 0, 0).unwrap();
+        let t = s.timing();
+        assert!(r.at_ps >= w.at_ps + t.tcwl_ps + t.tbl_ps + t.twtr_ps);
+    }
+
+    #[test]
+    fn read_to_write_turnaround() {
+        let mut s = sched();
+        s.issue(CommandKind::Act, 0, 0, 0).unwrap();
+        let r = s.issue(CommandKind::Rd, 0, 0, 0).unwrap();
+        let w = s.issue(CommandKind::Wr, 0, 0, 1).unwrap();
+        let t = s.timing();
+        // Write data must start after the read burst leaves the bus.
+        assert!(w.at_ps + t.tcwl_ps >= r.at_ps + t.tcl_ps + t.tbl_ps);
+    }
+
+    #[test]
+    fn refresh_requires_all_banks_closed_and_blocks() {
+        let mut s = sched();
+        s.issue(CommandKind::Act, 3, 0, 0).unwrap();
+        assert!(s.issue(CommandKind::Ref, 0, 0, 0).is_err());
+        s.issue(CommandKind::Pre, 3, 0, 0).unwrap();
+        let before = s.now_ps();
+        let r = s.issue(CommandKind::Ref, 0, 0, 0).unwrap();
+        assert!(s.now_ps() >= r.at_ps + s.timing().trfc_ps);
+        assert!(s.now_ps() > before);
+    }
+
+    #[test]
+    fn commands_are_clock_aligned() {
+        let mut s = sched();
+        for b in 0..4 {
+            let c = s.issue(CommandKind::Act, b, 0, 0).unwrap();
+            assert_eq!(c.at_ps % s.timing().tck_ps, 0);
+        }
+    }
+
+    #[test]
+    fn overhead_spaces_commands() {
+        let mut s = sched();
+        s.set_overhead_ps(5_000);
+        let a = s.issue(CommandKind::Act, 0, 0, 0).unwrap();
+        let b = s.issue(CommandKind::Act, 1, 0, 0).unwrap();
+        assert!(b.at_ps >= a.at_ps + 5_000);
+    }
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut s = sched();
+        s.advance(1_000_000);
+        assert!(s.now_ps() >= 1_000_000);
+        let c = s.issue(CommandKind::Act, 0, 0, 0).unwrap();
+        assert!(c.at_ps > 1_000_000);
+    }
+
+    #[test]
+    fn time_never_goes_backwards() {
+        let mut s = sched();
+        let mut last = 0;
+        for i in 0..50 {
+            let bank = i % 8;
+            if s.is_open(bank) {
+                let r = s.issue(CommandKind::Rd, bank, 0, 0).unwrap();
+                assert!(r.at_ps >= last);
+                last = r.at_ps;
+                let p = s.issue(CommandKind::Pre, bank, 0, 0).unwrap();
+                assert!(p.at_ps >= last);
+                last = p.at_ps;
+            } else {
+                let a = s.issue(CommandKind::Act, bank, 0, 0).unwrap();
+                assert!(a.at_ps >= last);
+                last = a.at_ps;
+            }
+        }
+    }
+
+    #[test]
+    fn bank_out_of_range_is_illegal() {
+        let mut s = sched();
+        assert!(s.issue(CommandKind::Act, 99, 0, 0).is_err());
+    }
+}

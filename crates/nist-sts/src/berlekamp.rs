@@ -1,0 +1,106 @@
+//! Berlekamp–Massey algorithm over GF(2) (for the linear-complexity
+//! test): the length of the shortest LFSR generating a bit sequence.
+
+/// Linear complexity of `bits` (each element 0 or 1): the length of the
+/// shortest linear feedback shift register that produces the sequence.
+pub fn linear_complexity(bits: &[u8]) -> usize {
+    let n = bits.len();
+    let mut c = vec![0u8; n + 1]; // connection polynomial C(D)
+    let mut b = vec![0u8; n + 1]; // previous C before last length change
+    c[0] = 1;
+    b[0] = 1;
+    let mut l = 0usize; // current LFSR length
+    let mut m: isize = -1; // index of last length change
+    for i in 0..n {
+        // Discrepancy d = s_i + sum_{j=1..L} c_j * s_{i-j} (mod 2).
+        let mut d = bits[i];
+        for j in 1..=l {
+            d ^= c[j] & bits[i - j];
+        }
+        if d == 1 {
+            let t = c.clone();
+            let shift = (i as isize - m) as usize;
+            for j in 0..=n - shift.min(n) {
+                if j + shift <= n {
+                    c[j + shift] ^= b[j];
+                }
+            }
+            if 2 * l <= i {
+                l = i + 1 - l;
+                m = i as isize;
+                b = t;
+            }
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_zeros_has_complexity_zero() {
+        assert_eq!(linear_complexity(&[0; 20]), 0);
+    }
+
+    #[test]
+    fn impulse_has_full_complexity() {
+        // 0...01: needs an LFSR as long as the run of zeros + 1.
+        let mut bits = vec![0u8; 10];
+        bits.push(1);
+        assert_eq!(linear_complexity(&bits), 11);
+    }
+
+    #[test]
+    fn alternating_sequence_is_simple() {
+        let bits: Vec<u8> = (0..40).map(|i| (i % 2) as u8).collect();
+        // 0101... satisfies s_i = s_{i-2} (and in GF(2) even s_i = s_{i-1} + 1
+        // is not linear homogeneous); complexity is small.
+        assert!(linear_complexity(&bits) <= 2);
+    }
+
+    #[test]
+    fn nist_example_sequence() {
+        // SP 800-22 section 2.10.8 example: the 13-bit sequence
+        // 1101011110001 has linear complexity 4.
+        let bits: Vec<u8> =
+            [1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 1].to_vec();
+        assert_eq!(linear_complexity(&bits), 4);
+    }
+
+    #[test]
+    fn lfsr_output_recovers_register_length() {
+        // Generate from a known LFSR: s_i = s_{i-3} ^ s_{i-4} (x^4+x^3+1,
+        // maximal length), seed 0001.
+        let mut s = vec![0u8, 0, 0, 1];
+        for i in 4..64 {
+            let bit = s[i - 3] ^ s[i - 4];
+            s.push(bit);
+        }
+        assert_eq!(linear_complexity(&s), 4);
+    }
+
+    #[test]
+    fn complexity_is_monotone_in_prefix_length() {
+        let bits: Vec<u8> = (0..64)
+            .map(|i| ((i * i * 7 + i * 3 + 1) % 5 % 2) as u8)
+            .collect();
+        let mut prev = 0;
+        for n in 1..=bits.len() {
+            let l = linear_complexity(&bits[..n]);
+            assert!(l >= prev, "complexity cannot decrease with more bits");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn random_sequence_complexity_near_half_length() {
+        // A fixed "random-looking" (non-GF(2)-linear) sequence:
+        // complexity concentrates very tightly around n/2.
+        let seq = crate::testutil::rng_bits(200, 0xFACE);
+        let bits: Vec<u8> = seq.iter().collect();
+        let l = linear_complexity(&bits);
+        assert!((95..=105).contains(&l), "complexity {l} should be near 100");
+    }
+}

@@ -1,0 +1,194 @@
+//! Bit-sequence container shared by all tests.
+
+/// A sequence of bits under test.
+///
+/// Stored one bit per byte for simple, fast random access — the suite's
+/// reference sequences are at most a few megabits, so compactness is not
+/// the constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bits {
+    data: Vec<u8>,
+}
+
+impl Bits {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        Bits { data: Vec::new() }
+    }
+
+    /// Builds a sequence by evaluating `f(i)` for `i in 0..len`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        Bits { data: (0..len).map(|i| u8::from(f(i))).collect() }
+    }
+
+    /// Builds from a slice of bytes, most-significant bit first (the
+    /// NIST convention for reading input files).
+    pub fn from_bytes_msb(bytes: &[u8]) -> Self {
+        let mut data = Vec::with_capacity(bytes.len() * 8);
+        for &b in bytes {
+            for k in (0..8).rev() {
+                data.push((b >> k) & 1);
+            }
+        }
+        Bits { data }
+    }
+
+    /// Builds from an iterator of bools.
+    pub fn from_bools(iter: impl IntoIterator<Item = bool>) -> Self {
+        Bits { data: iter.into_iter().map(u8::from).collect() }
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        self.data.push(u8::from(bit));
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bit at `i` as 0/1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn bit(&self, i: usize) -> u8 {
+        self.data[i]
+    }
+
+    /// The bit at `i` as ±1 (`1 -> +1`, `0 -> -1`).
+    #[inline]
+    pub fn pm1(&self, i: usize) -> i64 {
+        if self.data[i] == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Count of one-bits.
+    pub fn ones(&self) -> usize {
+        self.data.iter().map(|&b| b as usize).sum()
+    }
+
+    /// Iterator over bits as 0/1.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        self.data.iter().copied()
+    }
+
+    /// The raw 0/1 byte slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// A sub-range view copied into a new `Bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bits {
+        Bits { data: self.data[range].to_vec() }
+    }
+
+    /// Truncates to `len` bits (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Packs the bits into bytes, most-significant bit first; the final
+    /// partial byte (if any) is zero-padded on the right.
+    pub fn to_bytes_msb(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len().div_ceil(8));
+        for chunk in self.data.chunks(8) {
+            let mut b = 0u8;
+            for (k, &bit) in chunk.iter().enumerate() {
+                b |= bit << (7 - k);
+            }
+            out.push(b);
+        }
+        out
+    }
+}
+
+impl FromIterator<bool> for Bits {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Bits::from_bools(iter)
+    }
+}
+
+impl Extend<bool> for Bits {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        self.data.extend(iter.into_iter().map(u8::from));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_msb_order() {
+        let b = Bits::from_bytes_msb(&[0b1010_0001]);
+        assert_eq!(b.len(), 8);
+        assert_eq!(
+            b.iter().collect::<Vec<_>>(),
+            vec![1, 0, 1, 0, 0, 0, 0, 1]
+        );
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let b = Bits::from_bytes_msb(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        assert_eq!(b.to_bytes_msb(), vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn partial_byte_pads_right() {
+        let mut b = Bits::new();
+        b.push(true);
+        b.push(true);
+        b.push(false);
+        assert_eq!(b.to_bytes_msb(), vec![0b1100_0000]);
+    }
+
+    #[test]
+    fn pm1_mapping() {
+        let b = Bits::from_bools([true, false]);
+        assert_eq!(b.pm1(0), 1);
+        assert_eq!(b.pm1(1), -1);
+    }
+
+    #[test]
+    fn ones_and_slice() {
+        let b = Bits::from_fn(10, |i| i < 4);
+        assert_eq!(b.ones(), 4);
+        let s = b.slice(2..6);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut b: Bits = [true, false].into_iter().collect();
+        b.extend([true]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.ones(), 2);
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let mut b = Bits::from_fn(10, |_| true);
+        b.truncate(4);
+        assert_eq!(b.len(), 4);
+        b.truncate(100);
+        assert_eq!(b.len(), 4);
+    }
+}

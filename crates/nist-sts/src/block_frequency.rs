@@ -1,0 +1,93 @@
+//! Test 2 — Frequency within a block (SP 800-22 §2.2).
+//!
+//! Tests whether the proportion of ones within M-bit blocks is close to
+//! 1/2, catching locally biased regions a global monobit test misses.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::result::TestResult;
+use crate::special::igamc;
+
+/// Minimum recommended sequence length.
+pub const MIN_BITS: usize = 100;
+
+/// Default block size (NIST recommends M >= 20, M > 0.01 n).
+pub const DEFAULT_BLOCK: usize = 128;
+
+/// Runs the block-frequency test with block size `m`.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] when fewer than one block of
+/// data is available or the sequence is shorter than [`MIN_BITS`].
+pub fn test_with_block(bits: &Bits, m: usize) -> Result<TestResult, StsError> {
+    require_len("block_frequency", MIN_BITS.max(m), bits.len())?;
+    let n = bits.len();
+    let blocks = n / m;
+    let mut chi2 = 0.0;
+    for b in 0..blocks {
+        let ones: usize = (b * m..(b + 1) * m).map(|i| bits.bit(i) as usize).sum();
+        let pi = ones as f64 / m as f64;
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * m as f64;
+    let p = igamc(blocks as f64 / 2.0, chi2 / 2.0);
+    Ok(TestResult::single("frequency_within_block", p))
+}
+
+/// Runs the block-frequency test with the default block size.
+///
+/// # Errors
+///
+/// See [`test_with_block`].
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    test_with_block(bits, DEFAULT_BLOCK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nist_worked_example() {
+        // SP 800-22 §2.2.4: ε = 0110011010, M = 3 -> chi2 = 1,
+        // P-value = igamc(3/2, 1/2) = 0.801252.
+        let bits = Bits::from_bools(
+            [false, true, true, false, false, true, true, false, true, false],
+        );
+        // Below MIN_BITS; compute the statistic directly.
+        let m = 3;
+        let blocks = bits.len() / m;
+        let mut chi2 = 0.0;
+        for b in 0..blocks {
+            let ones: usize =
+                (b * m..(b + 1) * m).map(|i| bits.bit(i) as usize).sum();
+            let pi = ones as f64 / m as f64;
+            chi2 += (pi - 0.5) * (pi - 0.5);
+        }
+        chi2 *= 4.0 * m as f64;
+        assert!((chi2 - 1.0).abs() < 1e-12, "chi2 = {chi2}");
+        let p = igamc(blocks as f64 / 2.0, chi2 / 2.0);
+        assert!((p - 0.801252).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn balanced_blocks_pass() {
+        let bits = Bits::from_fn(12_800, |i| i % 2 == 0);
+        assert!(test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn block_biased_sequence_fails() {
+        // Alternating all-ones / all-zeros blocks: globally balanced but
+        // every block is maximally biased.
+        let bits = Bits::from_fn(12_800, |i| (i / DEFAULT_BLOCK) % 2 == 0);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        let bits = Bits::from_fn(50, |_| true);
+        assert!(test(&bits).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Test 6 — Discrete Fourier transform (spectral) test (SP 800-22 §2.6).
+//!
+//! Detects periodic features: too many DFT peaks above the 95 %
+//! threshold indicates repetitive structure.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::fft::{fft_in_place, Complex};
+use crate::result::TestResult;
+use crate::special::erfc;
+
+/// Minimum recommended sequence length.
+pub const MIN_BITS: usize = 1000;
+
+/// Runs the spectral test.
+///
+/// The radix-2 FFT requires a power-of-two length, so the sequence is
+/// truncated to the largest power of two that fits — statistically
+/// harmless since the test considers only the aggregate peak count.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] for short sequences.
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    require_len("dft", MIN_BITS, bits.len())?;
+    let n = if bits.len().is_power_of_two() {
+        bits.len()
+    } else {
+        1usize << (usize::BITS - 1 - bits.len().leading_zeros())
+    };
+    let mut buf: Vec<Complex> =
+        (0..n).map(|i| Complex::new(bits.pm1(i) as f64, 0.0)).collect();
+    fft_in_place(&mut buf);
+    // Threshold T = sqrt(ln(1/0.05) * n); expect 95% of the first n/2
+    // magnitudes below it.
+    let t = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
+    let half = n / 2;
+    let n1 = buf.iter().take(half).filter(|c| c.abs() < t).count() as f64;
+    let n0 = 0.95 * half as f64;
+    let d = (n1 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    let p = erfc(d.abs() / std::f64::consts::SQRT_2);
+    Ok(TestResult::single("dft", p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::rng_bits as xorshift_bits;
+
+    #[test]
+    fn random_bits_pass() {
+        for seed in [1u64, 99, 0xABCD] {
+            let bits = xorshift_bits(16_384, seed);
+            assert!(test(&bits).unwrap().passed(0.01), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn periodic_bits_fail() {
+        // Period-8 pattern: strong spectral line.
+        let bits = Bits::from_fn(16_384, |i| (i % 8) < 3);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn truncates_non_power_of_two() {
+        // 10_000 bits -> uses 8192; must not panic.
+        let bits = xorshift_bits(10_000, 7);
+        let r = test(&bits).unwrap();
+        assert!((0.0..=1.0).contains(&r.p_values()[0]));
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(test(&Bits::from_fn(100, |_| true)).is_err());
+    }
+}

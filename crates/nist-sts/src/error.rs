@@ -1,0 +1,73 @@
+//! Error type for the statistical tests.
+
+use std::fmt;
+
+/// Errors raised by the statistical tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StsError {
+    /// The sequence is too short for the test's requirements.
+    InsufficientData {
+        /// Name of the test.
+        test: &'static str,
+        /// Bits required by the test.
+        needed: usize,
+        /// Bits provided.
+        got: usize,
+    },
+    /// The test is not applicable to this sequence (e.g. the random
+    /// excursions tests when the number of cycles is too small).
+    NotApplicable {
+        /// Name of the test.
+        test: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StsError::InsufficientData { test, needed, got } => {
+                write!(f, "{test}: need at least {needed} bits, got {got}")
+            }
+            StsError::NotApplicable { test, reason } => {
+                write!(f, "{test}: not applicable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StsError {}
+
+/// Checks the minimum-length precondition for a test.
+pub(crate) fn require_len(test: &'static str, needed: usize, got: usize) -> Result<(), StsError> {
+    if got < needed {
+        Err(StsError::InsufficientData { test, needed, got })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_test() {
+        let e = StsError::InsufficientData { test: "runs", needed: 100, got: 3 };
+        let s = e.to_string();
+        assert!(s.contains("runs") && s.contains("100") && s.contains('3'));
+    }
+
+    #[test]
+    fn require_len_boundary() {
+        assert!(require_len("x", 10, 10).is_ok());
+        assert!(require_len("x", 10, 9).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StsError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! # nist-sts — NIST SP 800-22 statistical test suite
+//!
+//! A from-scratch implementation of all 15 tests of the NIST
+//! *Statistical Test Suite for Random and Pseudorandom Number Generators
+//! for Cryptographic Applications* (SP 800-22 rev. 1a), the suite the
+//! D-RaNGe paper uses to validate its bitstreams (Table 1):
+//!
+//! 1. Frequency (monobit)
+//! 2. Frequency within a block
+//! 3. Runs
+//! 4. Longest run of ones in a block
+//! 5. Binary matrix rank
+//! 6. Discrete Fourier transform (spectral)
+//! 7. Non-overlapping template matching
+//! 8. Overlapping template matching
+//! 9. Maurer's "universal statistical" test
+//! 10. Linear complexity
+//! 11. Serial
+//! 12. Approximate entropy
+//! 13. Cumulative sums
+//! 14. Random excursions
+//! 15. Random excursions variant
+//!
+//! Each test takes a [`Bits`] sequence and returns a [`TestResult`]
+//! carrying one or more p-values; a sequence passes at significance
+//! level `alpha` when every p-value is at least `alpha`. [`NistSuite`]
+//! runs all 15 in the paper's Table 1 order.
+//!
+//! The math substrate (complementary error function, regularized
+//! incomplete gamma, FFT, GF(2) matrix rank, Berlekamp–Massey) is
+//! implemented in this crate with no external dependencies.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use nist_sts::{Bits, NistSuite};
+//!
+//! # fn main() -> Result<(), nist_sts::StsError> {
+//! // An alternating sequence passes monobit but fails runs.
+//! let bits = Bits::from_fn(10_000, |i| i % 2 == 0);
+//! let monobit = nist_sts::monobit::test(&bits)?;
+//! assert!(monobit.passed(0.01));
+//! let runs = nist_sts::runs::test(&bits)?;
+//! assert!(!runs.passed(0.01));
+//! let _ = NistSuite::default();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approximate_entropy;
+pub mod berlekamp;
+pub mod bits;
+pub mod block_frequency;
+pub mod cumulative_sums;
+pub mod dft;
+pub mod diehard;
+pub mod error;
+pub mod fft;
+pub mod linear_complexity;
+pub mod longest_run;
+pub mod matrix_rank;
+pub mod monobit;
+pub mod non_overlapping;
+pub mod overlapping;
+pub mod random_excursions;
+pub mod random_excursions_variant;
+pub mod rank_gf2;
+pub mod result;
+pub mod runs;
+pub mod second_level;
+pub mod serial;
+pub mod special;
+pub mod suite;
+pub mod templates;
+#[doc(hidden)]
+pub mod testutil;
+pub mod universal;
+
+pub use bits::Bits;
+pub use error::StsError;
+pub use result::TestResult;
+pub use second_level::SecondLevelReport;
+pub use suite::{NistSuite, SuiteReport, TestOutcome};

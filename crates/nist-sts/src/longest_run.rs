@@ -1,0 +1,130 @@
+//! Test 4 — Longest run of ones in a block (SP 800-22 §2.4).
+//!
+//! Tests whether the longest run of ones within M-bit blocks matches
+//! the distribution expected of random data.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::result::TestResult;
+use crate::special::igamc;
+
+/// Minimum sequence length (the M = 8 regime applies from 128 bits).
+pub const MIN_BITS: usize = 128;
+
+struct Regime {
+    m: usize,
+    /// Run-length category boundaries: category i is `v <= lo + i`,
+    /// except the last which is `v >= lo + k`.
+    lo: usize,
+    k: usize,
+    pi: &'static [f64],
+}
+
+/// Category probabilities from SP 800-22 §2.4.4 / §3.4.
+fn regime(n: usize) -> Regime {
+    if n < 6272 {
+        Regime { m: 8, lo: 1, k: 3, pi: &[0.2148, 0.3672, 0.2305, 0.1875] }
+    } else if n < 750_000 {
+        Regime {
+            m: 128,
+            lo: 4,
+            k: 5,
+            pi: &[0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124],
+        }
+    } else {
+        Regime {
+            m: 10_000,
+            lo: 10,
+            k: 6,
+            pi: &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727],
+        }
+    }
+}
+
+/// Runs the longest-run-of-ones test.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] for sequences shorter than
+/// [`MIN_BITS`].
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    require_len("longest_run_ones_in_a_block", MIN_BITS, bits.len())?;
+    let n = bits.len();
+    let r = regime(n);
+    let blocks = n / r.m;
+    let mut nu = vec![0u64; r.k + 1];
+    for b in 0..blocks {
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for i in b * r.m..(b + 1) * r.m {
+            if bits.bit(i) == 1 {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let cat = longest.saturating_sub(r.lo).min(r.k);
+        nu[cat] += 1;
+    }
+    let mut chi2 = 0.0;
+    for (i, &count) in nu.iter().enumerate() {
+        let expect = blocks as f64 * r.pi[i];
+        chi2 += (count as f64 - expect) * (count as f64 - expect) / expect;
+    }
+    let p = igamc(r.k as f64 / 2.0, chi2 / 2.0);
+    Ok(TestResult::single("longest_run_ones_in_a_block", p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_switch_at_documented_sizes() {
+        assert_eq!(regime(128).m, 8);
+        assert_eq!(regime(6272).m, 128);
+        assert_eq!(regime(750_000).m, 10_000);
+    }
+
+    #[test]
+    fn category_probabilities_sum_to_one() {
+        for n in [128, 10_000, 1_000_000] {
+            let r = regime(n);
+            let sum: f64 = r.pi.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "n={n} sum={sum}");
+            assert_eq!(r.pi.len(), r.k + 1);
+        }
+    }
+
+    #[test]
+    fn all_ones_fails() {
+        let bits = Bits::from_fn(1024, |_| true);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn alternating_fails() {
+        // Longest run is always 1: far below expectation.
+        let bits = Bits::from_fn(1024, |i| i % 2 == 0);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn lcg_bits_pass() {
+        // A decent PRNG's bits should pass this test.
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        let bits = Bits::from_fn(100_000, |_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x & 1 == 1
+        });
+        assert!(test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(test(&Bits::from_fn(100, |_| true)).is_err());
+    }
+}

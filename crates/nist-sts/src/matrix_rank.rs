@@ -1,0 +1,103 @@
+//! Test 5 — Binary matrix rank test (SP 800-22 §2.5).
+//!
+//! Tests for linear dependence among fixed-length substrings: the
+//! sequence is carved into 32×32 binary matrices and their GF(2) ranks
+//! are compared against the theoretical distribution.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::rank_gf2::rank_gf2;
+use crate::result::TestResult;
+
+/// Matrix dimension (NIST uses 32×32).
+pub const M: usize = 32;
+
+/// Minimum bits: NIST recommends at least 38 matrices.
+pub const MIN_BITS: usize = 38 * M * M;
+
+/// Probabilities of rank 32, 31, and ≤30 for a random 32×32 GF(2)
+/// matrix (SP 800-22 §3.5).
+pub const P_FULL: f64 = 0.2888;
+/// Probability of rank 31.
+pub const P_MINUS1: f64 = 0.5776;
+/// Probability of rank ≤ 30.
+pub const P_REST: f64 = 0.1336;
+
+/// Runs the binary matrix rank test.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] if fewer than 38 full
+/// matrices fit in the sequence.
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    require_len("binary_matrix_rank", MIN_BITS, bits.len())?;
+    let per_matrix = M * M;
+    let n_matrices = bits.len() / per_matrix;
+    let mut f_full = 0u64;
+    let mut f_minus1 = 0u64;
+    for mat in 0..n_matrices {
+        let base = mat * per_matrix;
+        let rows: Vec<u64> = (0..M)
+            .map(|r| {
+                let mut row = 0u64;
+                for c in 0..M {
+                    if bits.bit(base + r * M + c) == 1 {
+                        row |= 1u64 << c;
+                    }
+                }
+                row
+            })
+            .collect();
+        match rank_gf2(&rows, M) {
+            r if r == M => f_full += 1,
+            r if r == M - 1 => f_minus1 += 1,
+            _ => {}
+        }
+    }
+    let n = n_matrices as f64;
+    let f_rest = n - f_full as f64 - f_minus1 as f64;
+    let chi2 = (f_full as f64 - P_FULL * n).powi(2) / (P_FULL * n)
+        + (f_minus1 as f64 - P_MINUS1 * n).powi(2) / (P_MINUS1 * n)
+        + (f_rest - P_REST * n).powi(2) / (P_REST * n);
+    // 2 degrees of freedom: P = exp(-chi2 / 2).
+    let p = (-chi2 / 2.0).exp();
+    Ok(TestResult::single("binary_matrix_rank", p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::rng_bits as xorshift_bits;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        assert!((P_FULL + P_MINUS1 + P_REST - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_bits_pass() {
+        let bits = xorshift_bits(60_000, 0x1234_5678_9ABC_DEF1);
+        assert!(test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn constant_bits_fail() {
+        // All-zero matrices have rank 0: the ≤30 bucket gets everything.
+        let bits = Bits::from_fn(60_000, |_| false);
+        let r = test(&bits).unwrap();
+        assert!(r.p_values()[0] < 1e-10);
+    }
+
+    #[test]
+    fn repeating_rows_fail() {
+        // Every matrix row identical -> rank 1.
+        let bits = Bits::from_fn(60_000, |i| (i % M) % 2 == 0);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(test(&Bits::from_fn(1024, |_| true)).is_err());
+    }
+}

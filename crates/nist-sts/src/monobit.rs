@@ -1,0 +1,70 @@
+//! Test 1 — Frequency (monobit) test (SP 800-22 §2.1).
+//!
+//! Tests whether the proportion of ones is close to 1/2.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::result::TestResult;
+use crate::special::erfc;
+
+/// Minimum recommended sequence length.
+pub const MIN_BITS: usize = 100;
+
+/// Runs the frequency (monobit) test.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] for sequences shorter than
+/// [`MIN_BITS`].
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    require_len("monobit", MIN_BITS, bits.len())?;
+    let n = bits.len();
+    let sum: i64 = (0..n).map(|i| bits.pm1(i)).sum();
+    let s_obs = (sum.abs() as f64) / (n as f64).sqrt();
+    let p = erfc(s_obs / std::f64::consts::SQRT_2);
+    Ok(TestResult::single("monobit", p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nist_worked_example() {
+        // SP 800-22 §2.1.4 worked example: ε = 1011010101 (n = 10,
+        // below MIN_BITS, so compute the statistic directly):
+        // S = 2, s_obs = 0.632456, P-value = 0.527089.
+        let bits = Bits::from_bytes_msb(&[0b1011_0101, 0b0100_0000]);
+        let n = 10;
+        let sum: i64 = (0..n).map(|i| bits.pm1(i)).sum();
+        assert_eq!(sum, 2);
+        let s_obs = sum.abs() as f64 / (n as f64).sqrt();
+        let p = erfc(s_obs / std::f64::consts::SQRT_2);
+        assert!((p - 0.527089).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn balanced_sequence_passes() {
+        let bits = Bits::from_fn(1000, |i| i % 2 == 0);
+        assert!(test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn biased_sequence_fails() {
+        let bits = Bits::from_fn(1000, |i| i % 4 != 0); // 75% ones
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn all_ones_p_is_zero_like() {
+        let bits = Bits::from_fn(1000, |_| true);
+        let p = test(&bits).unwrap().p_values()[0];
+        assert!(p < 1e-100);
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        let bits = Bits::from_fn(10, |_| true);
+        assert!(matches!(test(&bits), Err(StsError::InsufficientData { .. })));
+    }
+}

@@ -1,0 +1,147 @@
+//! Test 7 — Non-overlapping template matching (SP 800-22 §2.7).
+//!
+//! Counts non-overlapping occurrences of aperiodic m-bit templates in
+//! N blocks; too many or too few occurrences of any template indicate
+//! non-randomness. NIST's default is m = 9, giving 148 templates and
+//! one p-value per template.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::result::TestResult;
+use crate::special::igamc;
+use crate::templates::aperiodic_templates;
+
+/// Default template length.
+pub const DEFAULT_M: usize = 9;
+/// Number of blocks (NIST default).
+pub const BLOCKS: usize = 8;
+/// Minimum recommended sequence length.
+pub const MIN_BITS: usize = 100_000;
+
+/// Counts non-overlapping occurrences of `template` in `bits[start..end]`:
+/// on a match, the scan skips the whole template.
+fn count_occurrences(bits: &Bits, start: usize, end: usize, template: &[u8]) -> u64 {
+    let m = template.len();
+    let mut count = 0u64;
+    let mut i = start;
+    while i + m <= end {
+        let matched = (0..m).all(|j| bits.bit(i + j) == template[j]);
+        if matched {
+            count += 1;
+            i += m;
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Runs the non-overlapping template test for every aperiodic template
+/// of length `m`, returning one p-value per template.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] for short sequences and
+/// [`StsError::NotApplicable`] for out-of-range `m`.
+pub fn test_with_m(bits: &Bits, m: usize) -> Result<TestResult, StsError> {
+    require_len("non_overlapping_template_matching", MIN_BITS, bits.len())?;
+    if !(2..=12).contains(&m) {
+        return Err(StsError::NotApplicable {
+            test: "non_overlapping_template_matching",
+            reason: format!("template length {m} outside 2..=12"),
+        });
+    }
+    let n = bits.len();
+    let block_len = n / BLOCKS;
+    let mu = (block_len - m + 1) as f64 / (1u64 << m) as f64;
+    let sigma2 = block_len as f64
+        * (1.0 / (1u64 << m) as f64 - (2.0 * m as f64 - 1.0) / (1u128 << (2 * m)) as f64);
+    let mut p_values = Vec::new();
+    for template in aperiodic_templates(m) {
+        let mut chi2 = 0.0;
+        for b in 0..BLOCKS {
+            let w = count_occurrences(bits, b * block_len, (b + 1) * block_len, &template);
+            chi2 += (w as f64 - mu) * (w as f64 - mu) / sigma2;
+        }
+        p_values.push(igamc(BLOCKS as f64 / 2.0, chi2 / 2.0));
+    }
+    Ok(TestResult::multi("non_overlapping_template_matching", p_values))
+}
+
+/// Runs the test with the default m = 9 (148 templates).
+///
+/// # Errors
+///
+/// See [`test_with_m`].
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    test_with_m(bits, DEFAULT_M)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::rng_bits as xorshift_bits;
+
+    #[test]
+    fn nist_worked_example_counts() {
+        // SP 800-22 §2.7.4: ε = 10100100101110010110 (n = 20), m = 3,
+        // template B = 001, N = 2 blocks of M = 10.
+        // Block 1 = 1010010010: W = 2; Block 2 = 1110010110: W = 1.
+        let bits = Bits::from_bools(
+            "10100100101110010110".chars().map(|c| c == '1'),
+        );
+        let template = [0u8, 0, 1];
+        assert_eq!(count_occurrences(&bits, 0, 10, &template), 2);
+        assert_eq!(count_occurrences(&bits, 10, 20, &template), 1);
+    }
+
+    #[test]
+    fn non_overlap_skips_matched_region() {
+        // "000" in "00000": occurrences at 0 and (after skip) none more
+        // (only 2 bits remain).
+        let bits = Bits::from_fn(5, |_| false);
+        assert_eq!(count_occurrences(&bits, 0, 5, &[0, 0, 0]), 1);
+        let bits6 = Bits::from_fn(6, |_| false);
+        assert_eq!(count_occurrences(&bits6, 0, 6, &[0, 0, 0]), 2);
+    }
+
+    #[test]
+    fn random_bits_pass_all_templates() {
+        let bits = xorshift_bits(120_000, 0xC0FFEE);
+        let r = test(&bits).unwrap();
+        assert_eq!(r.p_values().len(), 148);
+        // At alpha = 1e-4 (the paper's level) every template passes.
+        assert!(r.passed(1e-4), "min p = {}", r.min_p());
+    }
+
+    #[test]
+    fn planted_template_fails() {
+        // Plant 000000001 much more often than expected.
+        let mut x = 7u64;
+        let bits = Bits::from_fn(120_000, |i| {
+            if i % 40 < 9 {
+                i % 40 == 8
+            } else {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1 == 1
+            }
+        });
+        let r = test(&bits).unwrap();
+        assert!(!r.passed(1e-4), "min p = {}", r.min_p());
+    }
+
+    #[test]
+    fn rejects_bad_m() {
+        let bits = xorshift_bits(120_000, 5);
+        assert!(test_with_m(&bits, 1).is_err());
+        assert!(test_with_m(&bits, 13).is_err());
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(test(&Bits::from_fn(1000, |_| true)).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Test 8 — Overlapping template matching (SP 800-22 §2.8).
+//!
+//! Counts *overlapping* occurrences of the all-ones m-bit template in
+//! M-bit blocks and compares the count distribution against the
+//! theoretical one (a compound-Poisson approximation).
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::result::TestResult;
+use crate::special::igamc;
+
+/// Template length (NIST default m = 9).
+pub const M_TEMPLATE: usize = 9;
+/// Block length (NIST default M = 1032).
+pub const BLOCK_LEN: usize = 1032;
+/// Number of count categories - 1 (K = 5: categories 0..=4 and ≥5).
+pub const K: usize = 5;
+/// Minimum recommended sequence length.
+pub const MIN_BITS: usize = 1_000_000;
+
+/// Category probabilities π₀..π₅ for m = 9, M = 1032 (SP 800-22 §3.8,
+/// as corrected in the reference implementation).
+pub const PI: [f64; 6] =
+    [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865];
+
+/// Runs the overlapping template matching test.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] for sequences shorter than
+/// [`MIN_BITS`].
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    require_len("overlapping_template_matching", MIN_BITS, bits.len())?;
+    let n_blocks = bits.len() / BLOCK_LEN;
+    let mut nu = [0u64; K + 1];
+    for b in 0..n_blocks {
+        let base = b * BLOCK_LEN;
+        let mut count = 0usize;
+        let mut run = 0usize;
+        // Overlapping occurrences of the all-ones template = positions
+        // where the current run of ones is at least m.
+        for i in 0..BLOCK_LEN {
+            if bits.bit(base + i) == 1 {
+                run += 1;
+                if run >= M_TEMPLATE {
+                    count += 1;
+                }
+            } else {
+                run = 0;
+            }
+        }
+        nu[count.min(K)] += 1;
+    }
+    let mut chi2 = 0.0;
+    for (i, &count) in nu.iter().enumerate() {
+        let expect = n_blocks as f64 * PI[i];
+        chi2 += (count as f64 - expect) * (count as f64 - expect) / expect;
+    }
+    let p = igamc(K as f64 / 2.0, chi2 / 2.0);
+    Ok(TestResult::single("overlapping_template_matching", p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::rng_bits as xorshift_bits;
+
+    #[test]
+    fn pi_sums_to_one() {
+        let sum: f64 = PI.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum = {sum}");
+    }
+
+    #[test]
+    fn random_bits_pass() {
+        let bits = xorshift_bits(1_100_000, 0x5EED);
+        assert!(test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn long_runs_of_ones_fail() {
+        // Insert a 16-one run every 200 bits: far too many overlapping
+        // matches of the 9-ones template.
+        let mut x = 11u64;
+        let bits = Bits::from_fn(1_100_000, |i| {
+            if i % 200 < 16 {
+                true
+            } else {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1 == 1
+            }
+        });
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn all_zeros_fails() {
+        // Every block lands in category 0: chi2 explodes.
+        let bits = Bits::from_fn(1_100_000, |_| false);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(test(&Bits::from_fn(10_000, |_| true)).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Test 15 — Random excursions variant test (SP 800-22 §2.15).
+//!
+//! For each state x ∈ {±1..±9}, compares the *total* number of visits
+//! across the whole walk against its expectation J. Produces 18
+//! p-values.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::result::TestResult;
+use crate::special::erfc;
+
+/// Minimum recommended sequence length.
+pub const MIN_BITS: usize = 100_000;
+/// Minimum number of cycles.
+pub const MIN_CYCLES: usize = 500;
+
+/// The 18 examined states, -9..=-1 then 1..=9.
+pub fn states() -> Vec<i32> {
+    (-9..=9).filter(|&x| x != 0).collect()
+}
+
+/// Runs the random excursions variant test.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] for short sequences and
+/// [`StsError::NotApplicable`] when the walk has fewer than
+/// [`MIN_CYCLES`] zero crossings.
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    require_len("random_excursion_variant", MIN_BITS, bits.len())?;
+    let mut sum: i64 = 0;
+    let mut j = 0usize;
+    let mut visits = [0u64; 19]; // index = state + 9 (state 0 unused)
+    for i in 0..bits.len() {
+        sum += bits.pm1(i);
+        if sum == 0 {
+            j += 1;
+        } else if (-9..=9).contains(&sum) {
+            visits[(sum + 9) as usize] += 1;
+        }
+    }
+    if sum != 0 {
+        j += 1; // close the final cycle
+    }
+    if j < MIN_CYCLES {
+        return Err(StsError::NotApplicable {
+            test: "random_excursion_variant",
+            reason: format!("only {j} cycles, need {MIN_CYCLES}"),
+        });
+    }
+    let jf = j as f64;
+    let mut p_values = Vec::with_capacity(18);
+    for x in states() {
+        let xi = visits[(x + 9) as usize] as f64;
+        let denom = (2.0 * jf * (4.0 * x.abs() as f64 - 2.0)).sqrt();
+        p_values.push(erfc((xi - jf).abs() / denom / std::f64::consts::SQRT_2));
+    }
+    Ok(TestResult::multi("random_excursion_variant", p_values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::rng_bits as xorshift_bits;
+
+    #[test]
+    fn eighteen_states() {
+        let s = states();
+        assert_eq!(s.len(), 18);
+        assert!(!s.contains(&0));
+        assert_eq!(*s.first().unwrap(), -9);
+        assert_eq!(*s.last().unwrap(), 9);
+    }
+
+    #[test]
+    fn random_bits_pass() {
+        let bits = xorshift_bits(1_000_000, 0xCAFE);
+        let r = test(&bits).unwrap();
+        assert_eq!(r.p_values().len(), 18);
+        assert!(r.passed(1e-4), "min p = {}", r.min_p());
+    }
+
+    #[test]
+    fn structured_walk_fails() {
+        // A walk that oscillates deterministically around +1/+2 visits
+        // low states massively more often than J.
+        let bits = Bits::from_fn(
+            400_000,
+            |i| matches!(i % 4, 0 | 1 | 3) == (i % 8 < 4) || i % 2 == 0,
+        );
+        match test(&bits) {
+            Ok(r) => assert!(!r.passed(1e-4)),
+            Err(StsError::NotApplicable { .. }) => {} // also an acceptable detection
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn drifting_walk_not_applicable() {
+        let bits = Bits::from_fn(200_000, |i| i % 3 != 0);
+        assert!(matches!(test(&bits), Err(StsError::NotApplicable { .. })));
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(test(&Bits::from_fn(1000, |_| true)).is_err());
+    }
+}

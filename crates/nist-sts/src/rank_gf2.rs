@@ -1,0 +1,75 @@
+//! Binary matrix rank over GF(2) (for the matrix-rank test).
+
+/// Computes the rank over GF(2) of a matrix given as one `u64` bitmask
+/// per row (column `j` is bit `j`; up to 64 columns).
+///
+/// Gaussian elimination with bit-parallel row operations.
+pub fn rank_gf2(rows: &[u64], cols: usize) -> usize {
+    assert!(cols <= 64, "at most 64 columns, got {cols}");
+    let mut rows = rows.to_vec();
+    let mut rank = 0usize;
+    for col in 0..cols {
+        let mask = 1u64 << col;
+        // Find a pivot row at or below `rank`.
+        let Some(pivot) = (rank..rows.len()).find(|&r| rows[r] & mask != 0) else {
+            continue;
+        };
+        rows.swap(rank, pivot);
+        let pivot_row = rows[rank];
+        for (r, row) in rows.iter_mut().enumerate() {
+            if r != rank && *row & mask != 0 {
+                *row ^= pivot_row;
+            }
+        }
+        rank += 1;
+        if rank == rows.len() {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_full_rank() {
+        let rows: Vec<u64> = (0..32).map(|i| 1u64 << i).collect();
+        assert_eq!(rank_gf2(&rows, 32), 32);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(rank_gf2(&[0; 32], 32), 0);
+    }
+
+    #[test]
+    fn duplicate_rows_reduce_rank() {
+        let rows = vec![0b101, 0b101, 0b010];
+        assert_eq!(rank_gf2(&rows, 3), 2);
+    }
+
+    #[test]
+    fn linear_combination_detected() {
+        // r3 = r1 XOR r2 -> rank 2.
+        let rows = vec![0b1100, 0b0110, 0b1010];
+        assert_eq!(rank_gf2(&rows, 4), 2);
+    }
+
+    #[test]
+    fn rank_is_invariant_under_row_permutations() {
+        let rows = vec![0b1011, 0b0111, 0b1100, 0b0001];
+        let base = rank_gf2(&rows, 4);
+        let perm = vec![rows[2], rows[0], rows[3], rows[1]];
+        assert_eq!(rank_gf2(&perm, 4), base);
+    }
+
+    #[test]
+    fn rank_bounded_by_dimensions() {
+        let rows = vec![u64::MAX; 5];
+        assert!(rank_gf2(&rows, 64) <= 5);
+        let tall: Vec<u64> = (0..64).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        assert!(rank_gf2(&tall, 16) <= 16);
+    }
+}

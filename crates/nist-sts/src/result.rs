@@ -1,0 +1,122 @@
+//! Result type shared by all tests.
+
+/// The outcome of one statistical test: one or more p-values.
+///
+/// Most tests produce a single p-value; a few (serial, cumulative sums,
+/// the template and excursion tests) produce several. A sequence passes
+/// at significance level `alpha` when **every** p-value is `>= alpha`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestResult {
+    name: &'static str,
+    p_values: Vec<f64>,
+}
+
+impl TestResult {
+    /// A result with a single p-value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the p-value is not in `[0, 1]` (NaN included).
+    pub fn single(name: &'static str, p: f64) -> Self {
+        TestResult::multi(name, vec![p])
+    }
+
+    /// A result with several p-values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_values` is empty or any value is outside `[0, 1]`.
+    pub fn multi(name: &'static str, p_values: Vec<f64>) -> Self {
+        assert!(!p_values.is_empty(), "{name}: at least one p-value required");
+        for &p in &p_values {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name}: p-value {p} outside [0,1]"
+            );
+        }
+        TestResult { name, p_values }
+    }
+
+    /// The test's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// All p-values.
+    pub fn p_values(&self) -> &[f64] {
+        &self.p_values
+    }
+
+    /// The smallest p-value (the binding one for pass/fail).
+    pub fn min_p(&self) -> f64 {
+        self.p_values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The mean p-value (what multi-p tests conventionally report).
+    pub fn mean_p(&self) -> f64 {
+        self.p_values.iter().sum::<f64>() / self.p_values.len() as f64
+    }
+
+    /// Whether every p-value is at least `alpha`.
+    pub fn passed(&self, alpha: f64) -> bool {
+        self.p_values.iter().all(|&p| p >= alpha)
+    }
+}
+
+impl std::fmt::Display for TestResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.p_values.len() == 1 {
+            write!(f, "{}: p = {:.4}", self.name, self.p_values[0])
+        } else {
+            write!(
+                f,
+                "{}: {} p-values, min = {:.4}, mean = {:.4}",
+                self.name,
+                self.p_values.len(),
+                self.min_p(),
+                self.mean_p()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_accessors() {
+        let r = TestResult::single("monobit", 0.42);
+        assert_eq!(r.name(), "monobit");
+        assert_eq!(r.p_values(), &[0.42]);
+        assert_eq!(r.min_p(), 0.42);
+        assert!(r.passed(0.01));
+        assert!(!r.passed(0.5));
+    }
+
+    #[test]
+    fn multi_min_and_mean() {
+        let r = TestResult::multi("serial", vec![0.2, 0.6]);
+        assert_eq!(r.min_p(), 0.2);
+        assert!((r.mean_p() - 0.4).abs() < 1e-15);
+        assert!(!r.passed(0.3), "one p below alpha fails the test");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_p() {
+        let _ = TestResult::single("x", 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        let _ = TestResult::multi("x", vec![]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert!(TestResult::single("runs", 0.5).to_string().contains("0.5000"));
+        assert!(TestResult::multi("cusum", vec![0.1, 0.9]).to_string().contains("min"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Test 3 — Runs test (SP 800-22 §2.3).
+//!
+//! Tests whether the number of runs (maximal same-bit substrings) is
+//! consistent with randomness: too few runs means clumping, too many
+//! means oscillation.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::result::TestResult;
+use crate::special::erfc;
+
+/// Minimum recommended sequence length.
+pub const MIN_BITS: usize = 100;
+
+/// Runs the runs test.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] for short sequences.
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    require_len("runs", MIN_BITS, bits.len())?;
+    let n = bits.len();
+    let pi = bits.ones() as f64 / n as f64;
+    // Prerequisite frequency check (SP 800-22 step 2): if the sequence
+    // already fails monobit badly, the runs statistic is meaningless and
+    // the p-value is defined as 0.
+    let tau = 2.0 / (n as f64).sqrt();
+    if (pi - 0.5).abs() >= tau {
+        return Ok(TestResult::single("runs", 0.0));
+    }
+    let mut v_obs = 1u64;
+    for i in 1..n {
+        if bits.bit(i) != bits.bit(i - 1) {
+            v_obs += 1;
+        }
+    }
+    let num = (v_obs as f64 - 2.0 * n as f64 * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n as f64).sqrt() * pi * (1.0 - pi);
+    let p = erfc(num / den);
+    Ok(TestResult::single("runs", p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nist_worked_example() {
+        // SP 800-22 §2.3.4: ε = 1001101011 (n = 10): π = 0.6,
+        // V_obs = 7, P-value = 0.147232. (Below MIN_BITS; compute the
+        // statistic directly.)
+        let bits =
+            Bits::from_bools([true, false, false, true, true, false, true, false, true, true]);
+        let n = bits.len();
+        let pi = bits.ones() as f64 / n as f64;
+        assert!((pi - 0.6).abs() < 1e-12);
+        let mut v_obs = 1u64;
+        for i in 1..n {
+            if bits.bit(i) != bits.bit(i - 1) {
+                v_obs += 1;
+            }
+        }
+        assert_eq!(v_obs, 7);
+        let num = (v_obs as f64 - 2.0 * n as f64 * pi * (1.0 - pi)).abs();
+        let den = 2.0 * (2.0 * n as f64).sqrt() * pi * (1.0 - pi);
+        let p = erfc(num / den);
+        assert!((p - 0.147232).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn alternating_sequence_fails() {
+        // 0101... has the maximum possible number of runs.
+        let bits = Bits::from_fn(1000, |i| i % 2 == 0);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn clumped_sequence_fails() {
+        // 500 ones then 500 zeros: only 2 runs.
+        let bits = Bits::from_fn(1000, |i| i < 500);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn biased_sequence_shortcircuits_to_zero() {
+        let bits = Bits::from_fn(1000, |i| i % 8 != 0);
+        let r = test(&bits).unwrap();
+        assert_eq!(r.p_values()[0], 0.0);
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(test(&Bits::from_fn(10, |_| true)).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Second-level ("two-level") testing per SP 800-22 §4: when many
+//! sequences are tested, the *proportion* of passing sequences must lie
+//! in a confidence band, and the p-values themselves must be uniformly
+//! distributed.
+//!
+//! The D-RaNGe paper uses exactly this machinery: "our proportion of
+//! passing sequences (1.0) falls within the range of acceptable
+//! proportions ([0.998, 1] calculated ... using (1−α) ± 3·√(α(1−α)/k))"
+//! (Section 7.1).
+
+use crate::special::igamc;
+
+/// The acceptable range of the passing proportion for `k` sequences at
+/// significance `alpha`: `(1−α) ± 3·√(α(1−α)/k)`, clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or `alpha` outside `(0, 1)`.
+pub fn proportion_range(alpha: f64, k: usize) -> (f64, f64) {
+    assert!(k > 0, "need at least one sequence");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha in (0,1)");
+    let p = 1.0 - alpha;
+    let half = 3.0 * (alpha * (1.0 - alpha) / k as f64).sqrt();
+    ((p - half).max(0.0), (p + half).min(1.0))
+}
+
+/// Whether the observed passing proportion is acceptable.
+pub fn proportion_acceptable(alpha: f64, passed: usize, total: usize) -> bool {
+    let (lo, hi) = proportion_range(alpha, total);
+    let prop = passed as f64 / total as f64;
+    (lo..=hi).contains(&prop)
+}
+
+/// Uniformity-of-p-values check (SP 800-22 §4.2.2): chi-square over ten
+/// equal bins of `[0,1]`; returns the uniformity p-value `P_T`
+/// (igamc(9/2, χ²/2)). NIST deems the p-values uniform when
+/// `P_T ≥ 0.0001`.
+///
+/// # Panics
+///
+/// Panics if `p_values` is empty or contains values outside `[0, 1]`.
+pub fn p_value_uniformity(p_values: &[f64]) -> f64 {
+    assert!(!p_values.is_empty(), "need at least one p-value");
+    let mut bins = [0u64; 10];
+    for &p in p_values {
+        assert!((0.0..=1.0).contains(&p), "p-value {p} outside [0,1]");
+        let idx = ((p * 10.0) as usize).min(9);
+        bins[idx] += 1;
+    }
+    let expect = p_values.len() as f64 / 10.0;
+    let chi2: f64 =
+        bins.iter().map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect).sum();
+    igamc(4.5, chi2 / 2.0)
+}
+
+/// Aggregated second-level verdict over many per-sequence p-values of
+/// one test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecondLevelReport {
+    /// Sequences that passed at `alpha`.
+    pub passed: usize,
+    /// Total sequences.
+    pub total: usize,
+    /// Lower bound of the acceptable proportion.
+    pub proportion_lo: f64,
+    /// Upper bound of the acceptable proportion.
+    pub proportion_hi: f64,
+    /// Uniformity p-value `P_T`.
+    pub uniformity_p: f64,
+}
+
+impl SecondLevelReport {
+    /// Runs the full second-level analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or invalid `alpha`.
+    pub fn analyze(alpha: f64, p_values: &[f64]) -> Self {
+        let passed = p_values.iter().filter(|&&p| p >= alpha).count();
+        let (lo, hi) = proportion_range(alpha, p_values.len());
+        SecondLevelReport {
+            passed,
+            total: p_values.len(),
+            proportion_lo: lo,
+            proportion_hi: hi,
+            uniformity_p: p_value_uniformity(p_values),
+        }
+    }
+
+    /// NIST's acceptance criterion: proportion in range and
+    /// `P_T ≥ 0.0001`.
+    pub fn acceptable(&self) -> bool {
+        let prop = self.passed as f64 / self.total as f64;
+        (self.proportion_lo..=self.proportion_hi).contains(&prop)
+            && self.uniformity_p >= 1e-4
+    }
+}
+
+impl std::fmt::Display for SecondLevelReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} passed (acceptable [{:.4}, {:.4}]), uniformity P_T = {:.4}",
+            self.passed, self.total, self.proportion_lo, self.proportion_hi, self.uniformity_p
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_proportion_range() {
+        // The paper: alpha = 1e-4, proportion range [0.998, 1] for its
+        // 236 streams (k enters through the sqrt).
+        let (lo, hi) = proportion_range(1e-4, 236);
+        assert!((lo - 0.9979).abs() < 3e-4, "lo = {lo}");
+        assert_eq!(hi, 1.0);
+        assert!(proportion_acceptable(1e-4, 236, 236));
+        assert!(!proportion_acceptable(1e-4, 230, 236));
+    }
+
+    #[test]
+    fn uniform_p_values_are_uniform() {
+        let ps: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        assert!(p_value_uniformity(&ps) > 0.99);
+    }
+
+    #[test]
+    fn clustered_p_values_fail_uniformity() {
+        let ps = vec![0.95; 200];
+        assert!(p_value_uniformity(&ps) < 1e-10);
+    }
+
+    #[test]
+    fn analyze_combines_both_criteria() {
+        let ps: Vec<f64> = (0..500).map(|i| (i as f64 + 0.5) / 500.0).collect();
+        let r = SecondLevelReport::analyze(0.01, &ps);
+        // ~1% of a uniform sample falls below alpha = 0.01: proportion
+        // ~0.99, inside the band.
+        assert!(r.acceptable(), "{r}");
+        // All-zero p-values: fails both.
+        let bad = SecondLevelReport::analyze(0.01, &vec![0.0; 100]);
+        assert!(!bad.acceptable());
+    }
+
+    #[test]
+    fn display_reports_counts() {
+        let r = SecondLevelReport::analyze(0.01, &[0.5, 0.6, 0.7]);
+        let s = r.to_string();
+        assert!(s.contains("3/3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_input_panics() {
+        let _ = p_value_uniformity(&[]);
+    }
+}

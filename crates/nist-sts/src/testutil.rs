@@ -1,0 +1,56 @@
+//! Test-support generators.
+//!
+//! Statistical-test fixtures need a "good" random source that is **not**
+//! GF(2)-linear: xorshift-style generators are linear over GF(2), so the
+//! linear-complexity test (correctly!) rejects them. SplitMix64 mixes
+//! with 64-bit multiplications, which are not GF(2)-linear, and passes
+//! the whole suite.
+
+use crate::bits::Bits;
+
+/// One SplitMix64 step.
+#[doc(hidden)]
+pub fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `n` bits from a SplitMix64 stream seeded with `seed`.
+#[doc(hidden)]
+pub fn rng_bits(n: usize, seed: u64) -> Bits {
+    let mut state = seed;
+    let mut word = 0u64;
+    let mut left = 0u32;
+    Bits::from_fn(n, |_| {
+        if left == 0 {
+            word = splitmix_next(&mut state);
+            left = 64;
+        }
+        let bit = word & 1 == 1;
+        word >>= 1;
+        left -= 1;
+        bit
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_bits_is_deterministic_and_balanced() {
+        let a = rng_bits(10_000, 7);
+        let b = rng_bits(10_000, 7);
+        assert_eq!(a, b);
+        let ones = a.ones() as f64 / 10_000.0;
+        assert!((ones - 0.5).abs() < 0.02, "ones fraction {ones}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(rng_bits(1000, 1), rng_bits(1000, 2));
+    }
+}

@@ -1,0 +1,165 @@
+//! Test 9 — Maurer's "universal statistical" test (SP 800-22 §2.9).
+//!
+//! Measures the compressibility of the sequence by tracking distances
+//! between repetitions of L-bit blocks.
+
+use crate::bits::Bits;
+use crate::error::{require_len, StsError};
+use crate::result::TestResult;
+use crate::special::erfc;
+
+/// Minimum sequence length for the smallest supported regime (L = 6).
+pub const MIN_BITS: usize = 387_840;
+
+/// `(expected value, variance)` of the per-block statistic for
+/// L = 6..=16 (SP 800-22 §2.9.4 table).
+const TABLE: [(f64, f64); 11] = [
+    (5.2177052, 2.954),   // L = 6
+    (6.1962507, 3.125),   // L = 7
+    (7.1836656, 3.238),   // L = 8
+    (8.1764248, 3.311),   // L = 9
+    (9.1723243, 3.356),   // L = 10
+    (10.170032, 3.384),   // L = 11
+    (11.168765, 3.401),   // L = 12
+    (12.168070, 3.410),   // L = 13
+    (13.167693, 3.416),   // L = 14
+    (14.167488, 3.419),   // L = 15
+    (15.167379, 3.421),   // L = 16
+];
+
+/// Chooses the block length L for a sequence length per §2.9.7.
+fn choose_l(n: usize) -> usize {
+    const THRESHOLDS: [(usize, usize); 11] = [
+        (387_840, 6),
+        (904_960, 7),
+        (2_068_480, 8),
+        (4_654_080, 9),
+        (10_342_400, 10),
+        (22_753_280, 11),
+        (49_643_520, 12),
+        (107_560_960, 13),
+        (231_669_760, 14),
+        (496_435_200, 15),
+        (1_059_061_760, 16),
+    ];
+    let mut l = 0;
+    for (min_n, ell) in THRESHOLDS {
+        if n >= min_n {
+            l = ell;
+        }
+    }
+    l
+}
+
+/// Runs Maurer's universal test with automatic parameter selection.
+///
+/// # Errors
+///
+/// Returns [`StsError::InsufficientData`] for sequences below
+/// [`MIN_BITS`].
+pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
+    require_len("maurers_universal", MIN_BITS, bits.len())?;
+    let l = choose_l(bits.len());
+    test_with_params(bits, l, 10 * (1usize << l))
+}
+
+/// Runs Maurer's universal test with explicit block length `l` and
+/// initialization-segment length `q` (in blocks).
+///
+/// # Errors
+///
+/// Returns [`StsError::NotApplicable`] for out-of-table `l` or when no
+/// test blocks remain after initialization.
+pub fn test_with_params(bits: &Bits, l: usize, q: usize) -> Result<TestResult, StsError> {
+    if !(6..=16).contains(&l) {
+        return Err(StsError::NotApplicable {
+            test: "maurers_universal",
+            reason: format!("L = {l} outside the tabulated range 6..=16"),
+        });
+    }
+    let total_blocks = bits.len() / l;
+    if total_blocks <= q {
+        return Err(StsError::NotApplicable {
+            test: "maurers_universal",
+            reason: format!("only {total_blocks} blocks for Q = {q}"),
+        });
+    }
+    let k = total_blocks - q;
+    let mut last_seen = vec![0usize; 1usize << l]; // 0 = never seen
+    let block_at = |b: usize| -> usize {
+        let mut v = 0usize;
+        for i in 0..l {
+            v = (v << 1) | bits.bit(b * l + i) as usize;
+        }
+        v
+    };
+    // Initialization segment.
+    for b in 0..q {
+        last_seen[block_at(b)] = b + 1;
+    }
+    // Test segment: sum log2 of distances to previous occurrence.
+    let mut sum = 0.0;
+    for b in q..total_blocks {
+        let v = block_at(b);
+        let dist = (b + 1) - last_seen[v];
+        sum += (dist as f64).log2();
+        last_seen[v] = b + 1;
+    }
+    let fn_stat = sum / k as f64;
+    let (expected, variance) = TABLE[l - 6];
+    // Finite-size correction factor (SP 800-22 §2.9.4).
+    let c = 0.7 - 0.8 / l as f64
+        + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let sigma = c * (variance / k as f64).sqrt();
+    let p = erfc(((fn_stat - expected) / (std::f64::consts::SQRT_2 * sigma)).abs());
+    Ok(TestResult::single("maurers_universal", p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::rng_bits as xorshift_bits;
+
+    #[test]
+    fn l_selection_matches_table() {
+        assert_eq!(choose_l(387_840), 6);
+        assert_eq!(choose_l(904_960), 7);
+        assert_eq!(choose_l(1_000_000), 7);
+        assert_eq!(choose_l(2_068_480), 8);
+    }
+
+    #[test]
+    fn random_bits_pass() {
+        let bits = xorshift_bits(400_000, 0xAA55);
+        assert!(test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn periodic_bits_fail() {
+        // Period 12: blocks repeat at tiny distances -> low f_n.
+        let bits = Bits::from_fn(400_000, |i| (i % 12) < 6);
+        assert!(!test(&bits).unwrap().passed(0.01));
+    }
+
+    #[test]
+    fn explicit_params_small_sequence() {
+        // With explicit L = 6 and a small Q, the test runs on shorter
+        // sequences (useful for unit testing).
+        let bits = xorshift_bits(60_000, 3);
+        let r = test_with_params(&bits, 6, 640).unwrap();
+        assert!((0.0..=1.0).contains(&r.p_values()[0]));
+    }
+
+    #[test]
+    fn rejects_bad_l() {
+        let bits = xorshift_bits(60_000, 3);
+        assert!(test_with_params(&bits, 5, 100).is_err());
+        assert!(test_with_params(&bits, 17, 100).is_err());
+    }
+
+    #[test]
+    fn too_short_is_error() {
+        assert!(test(&Bits::from_fn(1000, |_| true)).is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Entropy assessment — what a certification lab would do to D-RaNGe:
+//! calibrate the sampling tRCD for the specific chip, harvest a stream,
+//! credit min-entropy with SP 800-90B-style estimators, and validate
+//! with both the NIST SP 800-22 quick tests and a DIEHARD-style battery.
+//!
+//! ```sh
+//! cargo run --release --example entropy_assessment
+//! ```
+
+use d_range::drange::calibrate::{default_grid, sweep};
+use d_range::drange::estimators::{collision, credited_min_entropy, markov, most_common_value};
+use d_range::drange::{
+    DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog,
+};
+use d_range::dram_sim::{DeviceConfig, Manufacturer};
+use d_range::memctrl::MemoryController;
+use d_range::nist_sts::{self, Bits};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ctrl = MemoryController::from_config(
+        DeviceConfig::new(Manufacturer::C).with_seed(0xA55E55),
+    );
+
+    // 1. Calibrate: find the tRCD that maximizes the 40-60% band.
+    let region = ProfileSpec {
+        rows: 0..192,
+        ..ProfileSpec::default()
+    }
+    .with_iterations(20);
+    let calibration = sweep(&mut ctrl, &region, &default_grid())?;
+    println!("tRCD calibration (failures / 40-60% band cells):");
+    for p in &calibration.points {
+        println!("  {:>5.1} ns: {:>6} failing, {:>5} in band", p.trcd_ns, p.failing_cells, p.band_cells);
+    }
+    let trcd = calibration.best_trcd_ns();
+    println!("selected sampling tRCD: {trcd} ns\n");
+
+    // 2. Identify and sample at the calibrated timing.
+    let profile = Profiler::new(&mut ctrl).run(
+        ProfileSpec {
+            banks: (0..8).collect(),
+            rows: 0..192,
+            cols: 0..16,
+            ..ProfileSpec::default()
+        }
+        .with_trcd_ns(trcd)
+        .with_iterations(30),
+    )?;
+    let catalog = RngCellCatalog::identify(
+        &mut ctrl,
+        &profile,
+        IdentifySpec { trcd_ns: trcd, ..IdentifySpec::default() },
+    )?;
+    let mut trng = DRange::new(
+        ctrl,
+        &catalog,
+        DRangeConfig { trcd_ns: trcd, ..DRangeConfig::default() },
+    )?;
+    let raw = trng.bits(4_200_000)?;
+    println!("harvested {} bits from {} RNG cells", raw.len(), catalog.len());
+
+    // 3. Credit min-entropy.
+    println!("\nSP 800-90B-style estimators (bits/bit):");
+    println!("  most common value : {:.4}", most_common_value(&raw));
+    println!("  Markov            : {:.4}", markov(&raw));
+    println!("  collision         : {:.4}", collision(&raw));
+    println!("  credited          : {:.4}", credited_min_entropy(&raw));
+
+    // 4. Statistical validation.
+    let bits = Bits::from_bools(raw.into_iter());
+    println!("\nNIST quick tests:");
+    for (name, result) in [
+        ("monobit", nist_sts::monobit::test(&bits)?),
+        ("runs", nist_sts::runs::test(&bits)?),
+        ("serial", nist_sts::serial::test(&bits)?),
+        ("approximate_entropy", nist_sts::approximate_entropy::test(&bits)?),
+    ] {
+        println!("  {:<22} p = {:.4} {}", name, result.mean_p(), if result.passed(1e-4) { "PASS" } else { "FAIL" });
+    }
+
+    println!("\nDIEHARD-style battery:");
+    for result in nist_sts::diehard::battery(&bits)? {
+        println!(
+            "  {:<28} p = {:.4} {}",
+            result.name(),
+            result.min_p(),
+            if result.passed(1e-4) { "PASS" } else { "FAIL" }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Randomness audit — generate a megabit stream from the DRAM TRNG and
+//! validate it with the full NIST SP 800-22 suite (the paper's Table 1
+//! flow, as a user would run it).
+//!
+//! ```sh
+//! cargo run --release --example randomness_audit
+//! ```
+
+use d_range::drange::entropy::binary_entropy;
+use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
+use d_range::dram_sim::{DeviceConfig, Manufacturer};
+use d_range::memctrl::MemoryController;
+use d_range::nist_sts::{Bits, NistSuite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ctrl = MemoryController::from_config(
+        DeviceConfig::new(Manufacturer::C).with_seed(0xA0D17),
+    );
+    let profile = Profiler::new(&mut ctrl).run(
+        ProfileSpec {
+            banks: (0..8).collect(),
+            rows: 0..256,
+            cols: 0..16,
+            ..ProfileSpec::default()
+        }
+        .with_iterations(30),
+    )?;
+    let catalog = RngCellCatalog::identify(&mut ctrl, &profile, IdentifySpec::default())?;
+    println!("RNG cells: {}", catalog.len());
+
+    let mut trng = DRange::new(ctrl, &catalog, DRangeConfig::default())?;
+    println!("generating 1.1 Mb bitstream from DRAM activation failures...");
+    let raw = trng.bits(1_100_000)?;
+    let ones = raw.iter().filter(|&&b| b).count() as f64 / raw.len() as f64;
+    println!(
+        "stream: ones fraction {:.4}, binary entropy {:.4} bits/bit",
+        ones,
+        binary_entropy(ones)
+    );
+
+    let bits = Bits::from_bools(raw.into_iter());
+    // The paper's significance level.
+    let report = NistSuite::paper().run(&bits);
+    println!("\n{report}");
+    println!(
+        "verdict: {}",
+        if report.all_passed() { "stream passes the full NIST suite" } else { "FAILURES DETECTED" }
+    );
+    Ok(())
+}

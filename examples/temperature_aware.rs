@@ -1,0 +1,60 @@
+//! Temperature-aware operation — Section 6.1 of the paper: identify
+//! RNG-cell catalogs at several operating temperatures, store them in
+//! the controller, and select the right catalog for the current DRAM
+//! temperature before sampling.
+//!
+//! ```sh
+//! cargo run --release --example temperature_aware
+//! ```
+
+use d_range::drange::{
+    CatalogSet, DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog,
+};
+use d_range::dram_sim::{Celsius, DeviceConfig, Manufacturer};
+use d_range::memctrl::MemoryController;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = DeviceConfig::new(Manufacturer::B).with_seed(0x7E3B);
+    let mut ctrl = MemoryController::from_config(config.clone());
+
+    // Enroll a catalog at each temperature of the reliable range.
+    let mut set = CatalogSet::new();
+    for t in Celsius::SWEEP {
+        ctrl.device_mut().set_temperature(t);
+        let profile = Profiler::new(&mut ctrl).run(
+            ProfileSpec {
+                banks: (0..8).collect(),
+                rows: 0..192,
+                cols: 0..16,
+                ..ProfileSpec::default()
+            }
+            .with_iterations(25),
+        )?;
+        let catalog = RngCellCatalog::identify(&mut ctrl, &profile, IdentifySpec::default())?;
+        println!("enrolled catalog at {t}: {} RNG cells", catalog.len());
+        set.insert(catalog);
+    }
+
+    // Runtime: the DRAM is at 58 degC; pick the nearest catalog and sample.
+    let operating = Celsius(58.0);
+    ctrl.device_mut().set_temperature(operating);
+    let catalog = set
+        .select(operating)
+        .ok_or("no catalogs enrolled")?
+        .clone();
+    println!(
+        "\noperating at {operating}: selected the {} catalog ({} cells)",
+        catalog.temperature(),
+        catalog.len()
+    );
+
+    let mut trng = DRange::new(ctrl, &catalog, DRangeConfig::default())?;
+    let sample = trng.next_word()?;
+    println!("64-bit sample at {operating}: {sample:016x}");
+
+    // Verify the output stays balanced at the off-enrollment temperature.
+    let bits = trng.bits(20_000)?;
+    let ones = bits.iter().filter(|&&b| b).count() as f64 / bits.len() as f64;
+    println!("ones fraction over 20 kb at {operating}: {ones:.4}");
+    Ok(())
+}

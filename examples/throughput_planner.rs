@@ -1,0 +1,69 @@
+//! Throughput/interference planner — a system-designer tool built on
+//! the paper's Section 7.3 analysis: sweep bank counts and channel
+//! counts, and estimate D-RaNGe throughput, 64-bit latency, and the
+//! throughput available without slowing a given workload mix.
+//!
+//! ```sh
+//! cargo run --release --example throughput_planner
+//! ```
+
+use d_range::drange::latency::{latency_64bit_ns, LatencyScenario};
+use d_range::drange::throughput::{catalog_throughput_bps, scale_to_channels};
+use d_range::drange::{IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
+use d_range::dram_sim::{DeviceConfig, Manufacturer, TimingParams};
+use d_range::memctrl::workloads::spec2006_suite;
+use d_range::memctrl::MemoryController;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ctrl = MemoryController::from_config(
+        DeviceConfig::new(Manufacturer::A).with_seed(0x9147),
+    );
+    let timing = TimingParams::lpddr4_3200();
+    let profile = Profiler::new(&mut ctrl).run(
+        ProfileSpec {
+            banks: (0..8).collect(),
+            rows: 0..256,
+            cols: 0..16,
+            ..ProfileSpec::default()
+        }
+        .with_iterations(30),
+    )?;
+    let catalog = RngCellCatalog::identify(&mut ctrl, &profile, IdentifySpec::default())?;
+    println!("catalog: {} RNG cells\n", catalog.len());
+
+    println!("throughput by (banks x channels), Mb/s:");
+    print!("{:>8}", "banks");
+    for ch in [1usize, 2, 4] {
+        print!("{:>10}", format!("{ch} ch"));
+    }
+    println!();
+    for banks in [1usize, 2, 4, 8] {
+        let per_channel = catalog_throughput_bps(&catalog, timing, 10.0, 8, banks);
+        print!("{banks:>8}");
+        for ch in [1usize, 2, 4] {
+            print!("{:>10.1}", scale_to_channels(per_channel, ch) / 1e6);
+        }
+        println!();
+    }
+
+    println!("\n64-bit latency by scenario:");
+    for (name, s) in [
+        ("1 bank / 1 ch / 1 cell-word", LatencyScenario::worst_case()),
+        ("8 banks / 1 ch / 2 cells-word", LatencyScenario { banks: 8, channels: 1, bits_per_word: 2 }),
+        ("8 banks / 4 ch / 4 cells-word", LatencyScenario::best_case()),
+    ] {
+        println!("  {name:<30} {:>8.0} ns", latency_64bit_ns(timing, 10.0, s));
+    }
+
+    println!("\nthroughput without slowing each workload (8 banks, 1 channel):");
+    let base = catalog_throughput_bps(&catalog, timing, 10.0, 8, 8);
+    for w in spec2006_suite() {
+        println!(
+            "  {:<12} {:>8.1} Mb/s (idle fraction {:.2})",
+            w.name,
+            base * w.idle_fraction() / 1e6,
+            w.idle_fraction()
+        );
+    }
+    Ok(())
+}

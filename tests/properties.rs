@@ -1,0 +1,143 @@
+//! Cross-crate property-based tests (proptest): invariants that must
+//! hold for arbitrary inputs, spanning the simulator, controller, and
+//! the statistical/entropy layers.
+
+use d_range::dram_sim::commands::CommandKind;
+use d_range::dram_sim::{
+    CellAddr, DataPattern, DeviceConfig, DramDevice, Manufacturer, TimingParams, WordAddr,
+};
+use d_range::memctrl::CommandScheduler;
+use d_range::nist_sts::Bits;
+use proptest::prelude::*;
+
+fn device(seed: u64, noise: u64) -> DramDevice {
+    DramDevice::build(
+        DeviceConfig::new(Manufacturer::A).with_seed(seed).with_noise_seed(noise),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of scheduler commands (made legal by construction)
+    /// produces nondecreasing issue times and clock-aligned commands.
+    #[test]
+    fn scheduler_time_is_monotone(ops in proptest::collection::vec(0usize..32, 1..200)) {
+        let mut sched = CommandScheduler::new(8, TimingParams::lpddr4_3200());
+        let mut last = 0u64;
+        for op in ops {
+            let bank = op % 8;
+            let cmd = if sched.is_open(bank) {
+                match op / 8 {
+                    0 => CommandKind::Rd,
+                    1 => CommandKind::Wr,
+                    _ => CommandKind::Pre,
+                }
+            } else {
+                CommandKind::Act
+            };
+            let c = sched.issue(cmd, bank, 0, 0).expect("legal by construction");
+            prop_assert!(c.at_ps >= last, "time went backwards");
+            prop_assert_eq!(c.at_ps % sched.timing().tck_ps, 0, "clock aligned");
+            last = c.at_ps;
+        }
+    }
+
+    /// Reads at datasheet timing always return exactly what was written,
+    /// for arbitrary addresses and values.
+    #[test]
+    fn spec_reads_are_always_correct(
+        bank in 0usize..8,
+        row in 0usize..1024,
+        col in 0usize..16,
+        value in any::<u64>(),
+        seed in 0u64..1000,
+    ) {
+        let mut d = device(seed, seed ^ 0x99);
+        d.poke(WordAddr::new(bank, row, col), value).unwrap();
+        d.activate(bank, row).unwrap();
+        let got = d.read(bank, row, col, 18.0).unwrap();
+        d.precharge(bank).unwrap();
+        prop_assert_eq!(got, value);
+    }
+
+    /// The analytic failure probability is always a probability and is
+    /// monotone (non-increasing) in tRCD for any cell.
+    #[test]
+    fn fprob_is_probability_and_monotone_in_trcd(
+        row in 0usize..1024,
+        bit in 0usize..64,
+        seed in 0u64..200,
+    ) {
+        let mut d = device(seed, 1);
+        d.fill_bank(0, DataPattern::Solid0);
+        let cell = CellAddr::new(0, row, bit / 4, bit);
+        let mut prev = 1.0f64;
+        for trcd10 in (60..=180).step_by(5) {
+            let f = d.failure_probability(cell, trcd10 as f64 / 10.0);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f <= prev + 1e-12, "fprob must not increase with tRCD");
+            prev = f;
+        }
+        prop_assert_eq!(prev, 0.0, "no failures at datasheet timing");
+    }
+
+    /// Pattern word/bit agree for every pattern at arbitrary coordinates.
+    #[test]
+    fn pattern_word_matches_bits(row in 0usize..2048, col in 0usize..64) {
+        for p in DataPattern::all_40() {
+            let w = p.word(row, col, 64);
+            for bit in [0usize, 1, 31, 63] {
+                let expect = p.bit(row, col * 64 + bit);
+                prop_assert_eq!((w >> bit) & 1 == 1, expect);
+            }
+        }
+    }
+
+    /// Bits round-trip through MSB-first byte packing (whole bytes).
+    #[test]
+    fn bits_byte_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let bits = Bits::from_bytes_msb(&bytes);
+        prop_assert_eq!(bits.to_bytes_msb(), bytes);
+    }
+
+    /// The von Neumann corrector never emits more than half its input
+    /// and its output length equals the number of discordant pairs.
+    #[test]
+    fn von_neumann_conservation(input in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let mut vn = d_range::drange::VonNeumann::new();
+        let out = vn.correct(&input);
+        prop_assert!(out.len() <= input.len() / 2);
+        let discordant = input
+            .chunks_exact(2)
+            .filter(|p| p[0] != p[1])
+            .count();
+        prop_assert_eq!(out.len(), discordant);
+    }
+
+    /// Shannon entropy estimators are bounded by log2 of the alphabet.
+    #[test]
+    fn entropy_bounds(counts in proptest::collection::vec(0u64..1000, 2..64)) {
+        use d_range::drange::entropy::{entropy_from_counts, min_entropy_from_counts};
+        let h = entropy_from_counts(&counts);
+        let hmin = min_entropy_from_counts(&counts);
+        let max = (counts.len() as f64).log2();
+        prop_assert!(h >= -1e-12 && h <= max + 1e-9);
+        prop_assert!(hmin <= h + 1e-9, "min-entropy <= Shannon entropy");
+    }
+
+    /// Retention times are positive and strictly decrease with
+    /// temperature for every cell.
+    #[test]
+    fn retention_time_behaves(row in 0usize..1024, bit in 0usize..64, seed in 0u64..100) {
+        use d_range::dram_sim::retention::retention_time_s;
+        use d_range::dram_sim::Celsius;
+        let mut d = device(seed, 2);
+        let cell = CellAddr::new(0, row, 0, bit);
+        let cold = retention_time_s(&d, cell);
+        prop_assert!(cold > 0.0);
+        d.set_temperature(Celsius(70.0));
+        let hot = retention_time_s(&d, cell);
+        prop_assert!(hot < cold);
+    }
+}
