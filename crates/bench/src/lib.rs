@@ -20,6 +20,7 @@
 //! | `ablation_postprocess` | Section 2.2 — von Neumann throughput cost |
 //! | `duty_cycle` | Section 7.3 — sampling-window vs demand-latency trade-off |
 //! | `calibration` | per-chip sampling-tRCD calibration curves |
+//! | `engine_scaling` | Sections 6.2/7.3 — multi-channel engine throughput sweep (1–8 workers) |
 //! | `diehard_battery` | DIEHARD-style battery on D-RaNGe output |
 //!
 //! Every binary accepts `--full` for paper-scale runs and defaults to a

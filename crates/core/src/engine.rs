@@ -1,0 +1,846 @@
+//! Concurrent multi-channel harvesting engine — the parallelism story
+//! of Sections 6.2–6.3 turned into a running system.
+//!
+//! The paper's headline throughput rests on two levels of parallelism:
+//! bank-level interleaving *within* a channel (Algorithm 2's
+//! phase-interleaved command stream, already modeled by [`DRange`]) and
+//! channel-level scaling *across* independent channels
+//! ([`crate::throughput::scale_to_channels`]). This module supplies the
+//! channel level: `N` worker threads, each owning its own memory
+//! controller and [`DRange`] instance (one per simulated channel),
+//! continuously harvest health-screened bit batches and push them
+//! through a bounded [`crossbeam`] channel into a shared bit pool that
+//! many client threads drain concurrently.
+//!
+//! ## Topology
+//!
+//! ```text
+//!  worker 0 (DRange + HealthMonitor) ──┐
+//!  worker 1 (DRange + HealthMonitor) ──┤  bounded channel   collector      shared pool
+//!  ...                                 ├──────────────────▶ (hysteresis) ─▶ Mutex<VecDeque<bool>>
+//!  worker N-1                        ──┘                                        │
+//!                                                            take_bits() ◀──────┘  (many clients)
+//! ```
+//!
+//! Backpressure is two-staged: the collector stops draining the channel
+//! once the pool reaches the high watermark (and resumes below the low
+//! watermark), which lets the bounded channel fill up, which in turn
+//! blocks the workers — so an idle engine consumes no CPU beyond
+//! periodic shutdown checks. Every batch is screened by a per-worker
+//! [`HealthMonitor`] before it is published; rejected batches are
+//! discarded and counted, and a worker that rejects more than
+//! [`EngineConfig::max_consecutive_rejects`] batches *in a row* (the
+//! counter persists across requests and resets only on an accepted
+//! batch) records an [`DrangeError::Unhealthy`] error and retires.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use dram_sim::DeviceConfig;
+use memctrl::MemoryController;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{DrangeError, Result};
+use crate::health::HealthMonitor;
+use crate::identify::RngCellCatalog;
+use crate::sampler::{DRange, DRangeConfig};
+
+/// How long blocked threads sleep between shutdown checks.
+const POLL: Duration = Duration::from_millis(20);
+
+/// A source of raw random-bit batches that a worker thread can own.
+///
+/// [`DRange`] is the canonical implementation (one batch = one pass of
+/// the Algorithm 2 core loop); tests inject scripted sources to
+/// exercise the engine without the simulation cost.
+pub trait HarvestSource: Send + 'static {
+    /// Harvests one batch of raw (unscreened) bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device/controller failures; an erroring source
+    /// retires its worker.
+    fn harvest_batch(&mut self) -> Result<Vec<bool>>;
+
+    /// Cumulative device time this source has consumed, in picoseconds
+    /// (0 when the source has no notion of device time).
+    fn device_time_ps(&self) -> u64 {
+        0
+    }
+}
+
+impl HarvestSource for DRange {
+    fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+        let harvested = self.sample_once()?;
+        self.bits(harvested)
+    }
+
+    fn device_time_ps(&self) -> u64 {
+        self.stats().device_time_ps
+    }
+}
+
+/// Configuration of the harvesting engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Bits the shared pool aims to keep ready (soft bound: the pool
+    /// may overshoot by at most one in-flight batch, and by any amount
+    /// during the final shutdown drain).
+    pub queue_capacity: usize,
+    /// The collector resumes filling once the pool drops to or below
+    /// this many bits.
+    pub low_watermark: usize,
+    /// The collector pauses filling once the pool holds at least this
+    /// many bits.
+    pub high_watermark: usize,
+    /// Claimed min-entropy for the per-worker health monitors
+    /// (bits/bit).
+    pub min_entropy: f64,
+    /// Capacity of the bounded worker→collector channel, in batches.
+    pub channel_batches: usize,
+    /// A worker that rejects more than this many batches consecutively
+    /// (no accepted batch in between) records an unhealthy-source error
+    /// and retires.
+    pub max_consecutive_rejects: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue_capacity: 1 << 16,
+            low_watermark: 1 << 12,
+            high_watermark: 1 << 16,
+            min_entropy: 0.95,
+            channel_batches: 8,
+            max_consecutive_rejects: 1000,
+        }
+    }
+}
+
+impl EngineConfig {
+    fn validate(&self) -> Result<()> {
+        if self.queue_capacity == 0 {
+            return Err(DrangeError::InvalidSpec("queue capacity must be nonzero".into()));
+        }
+        if self.low_watermark > self.high_watermark
+            || self.high_watermark > self.queue_capacity
+        {
+            return Err(DrangeError::InvalidSpec(format!(
+                "watermarks must satisfy low ({}) <= high ({}) <= capacity ({})",
+                self.low_watermark, self.high_watermark, self.queue_capacity
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.min_entropy) || self.min_entropy == 0.0 {
+            return Err(DrangeError::InvalidSpec("min_entropy must be in (0,1]".into()));
+        }
+        if self.channel_batches == 0 {
+            return Err(DrangeError::InvalidSpec("channel_batches must be nonzero".into()));
+        }
+        if self.max_consecutive_rejects == 0 {
+            return Err(DrangeError::InvalidSpec(
+                "max_consecutive_rejects must be nonzero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Counters one worker thread maintains (shared via atomics so stats
+/// snapshots never block harvesting).
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    harvested_bits: AtomicU64,
+    discarded_bits: AtomicU64,
+    health_trips: AtomicU64,
+    batches: AtomicU64,
+    device_time_ps: AtomicU64,
+}
+
+/// State shared between workers, the collector, and clients.
+#[derive(Debug)]
+struct Shared {
+    pool: Mutex<VecDeque<bool>>,
+    /// Signaled when bits are added to the pool or the engine winds down.
+    bits_available: Condvar,
+    /// Signaled when bits are consumed from the pool (collector gate).
+    space_available: Condvar,
+    shutdown: AtomicBool,
+    live_workers: AtomicUsize,
+    collector_done: AtomicBool,
+    /// Bits accepted by health screening but not yet in the pool.
+    in_flight_bits: AtomicU64,
+    served_bits: AtomicU64,
+    first_error: Mutex<Option<DrangeError>>,
+}
+
+/// A point-in-time snapshot of one worker's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker (simulated channel) index.
+    pub worker: usize,
+    /// Raw bits harvested by this worker.
+    pub harvested_bits: u64,
+    /// Bits discarded by this worker's health screening (including any
+    /// undeliverable batch dropped during shutdown).
+    pub discarded_bits: u64,
+    /// Health-test firings observed by this worker.
+    pub health_trips: u64,
+    /// Batches harvested.
+    pub batches: u64,
+    /// Device time consumed by this worker's channel, ps.
+    pub device_time_ps: u64,
+}
+
+impl WorkerStats {
+    /// Harvest throughput of this channel in bits per second of
+    /// *device* time (0.0 when the source reports no device time).
+    pub fn throughput_bps(&self) -> f64 {
+        if self.device_time_ps == 0 {
+            0.0
+        } else {
+            self.harvested_bits as f64 / (self.device_time_ps as f64 * 1e-12)
+        }
+    }
+}
+
+/// A point-in-time snapshot of engine-level statistics, aggregated from
+/// the per-worker health monitors and the shared pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Raw bits harvested across all workers.
+    pub harvested_bits: u64,
+    /// Bits rejected by health screening across all workers.
+    pub discarded_bits: u64,
+    /// Health-test firings across all workers.
+    pub health_trips: u64,
+    /// Bits currently queued in the shared pool.
+    pub queued_bits: usize,
+    /// Bits handed to clients.
+    pub served_bits: u64,
+    /// Bits screened and published but not yet collected into the pool.
+    pub in_flight_bits: u64,
+    /// Per-worker (per-channel) breakdowns.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl EngineStats {
+    /// Sum of the per-channel device-time throughputs — the engine
+    /// analogue of [`crate::throughput::scale_to_channels`]: channels
+    /// are independent, so aggregate harvest rate is the sum of the
+    /// per-channel rates.
+    pub fn aggregate_device_bps(&self) -> f64 {
+        self.workers.iter().map(WorkerStats::throughput_bps).sum()
+    }
+}
+
+/// The concurrent harvesting engine.
+///
+/// Spawned over a set of [`HarvestSource`]s (one worker thread each),
+/// it keeps a shared pool of health-screened bits topped up between the
+/// configured watermarks; any number of client threads may call
+/// [`HarvestEngine::take_bits`] / [`HarvestEngine::take_bytes`]
+/// concurrently. Dropping the engine (or calling
+/// [`HarvestEngine::shutdown`]) joins every thread.
+#[derive(Debug)]
+pub struct HarvestEngine {
+    config: EngineConfig,
+    shared: Arc<Shared>,
+    counters: Vec<Arc<WorkerCounters>>,
+    workers: Vec<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+}
+
+impl HarvestEngine {
+    /// Spawns one worker thread per source plus the collector thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrangeError::InvalidSpec`] for an empty source list or
+    /// inconsistent watermarks, and [`DrangeError::Engine`] when the OS
+    /// refuses to spawn a thread.
+    pub fn spawn<S: HarvestSource>(sources: Vec<S>, config: EngineConfig) -> Result<Self> {
+        config.validate()?;
+        if sources.is_empty() {
+            return Err(DrangeError::InvalidSpec(
+                "the engine needs at least one harvest source".into(),
+            ));
+        }
+        let shared = Arc::new(Shared {
+            pool: Mutex::new(VecDeque::new()),
+            bits_available: Condvar::new(),
+            space_available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            live_workers: AtomicUsize::new(sources.len()),
+            collector_done: AtomicBool::new(false),
+            in_flight_bits: AtomicU64::new(0),
+            served_bits: AtomicU64::new(0),
+            first_error: Mutex::new(None),
+        });
+        let (tx, rx) = bounded::<Vec<bool>>(config.channel_batches);
+        let mut counters = Vec::with_capacity(sources.len());
+        let mut workers = Vec::with_capacity(sources.len());
+        for (index, source) in sources.into_iter().enumerate() {
+            let ctr = Arc::new(WorkerCounters::default());
+            counters.push(Arc::clone(&ctr));
+            let handle = std::thread::Builder::new()
+                .name(format!("drange-worker-{index}"))
+                .spawn({
+                    let shared = Arc::clone(&shared);
+                    let tx = tx.clone();
+                    let min_entropy = config.min_entropy;
+                    let max_rejects = config.max_consecutive_rejects;
+                    move || worker_loop(source, tx, shared, ctr, min_entropy, max_rejects)
+                })
+                .map_err(|e| DrangeError::Engine(format!("spawning worker {index}: {e}")))?;
+            workers.push(handle);
+        }
+        // The workers hold the only senders: when the last worker
+        // exits, the collector sees the channel disconnect and drains.
+        drop(tx);
+        let collector = std::thread::Builder::new()
+            .name("drange-collector".into())
+            .spawn({
+                let shared = Arc::clone(&shared);
+                let low = config.low_watermark;
+                let high = config.high_watermark;
+                move || collector_loop(rx, shared, low, high)
+            })
+            .map_err(|e| DrangeError::Engine(format!("spawning collector: {e}")))?;
+        Ok(HarvestEngine { config, shared, counters, workers, collector: Some(collector) })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of worker threads the engine was spawned with.
+    pub fn workers(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Bits currently queued in the shared pool.
+    pub fn queued_bits(&self) -> usize {
+        self.shared.pool.lock().len()
+    }
+
+    /// The first error any worker recorded, if one has.
+    pub fn first_error(&self) -> Option<DrangeError> {
+        self.shared.first_error.lock().clone()
+    }
+
+    /// Blocks until `bits` screened random bits are available and
+    /// removes them from the pool.
+    ///
+    /// Callable from any number of threads concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrangeError::InvalidSpec`] when `bits` exceeds the
+    /// pool capacity, the first worker error when all workers have
+    /// retired, and [`DrangeError::Engine`] when the engine stops
+    /// before the request can be served.
+    pub fn take_bits(&self, bits: usize) -> Result<Vec<bool>> {
+        if bits > self.config.queue_capacity {
+            return Err(DrangeError::InvalidSpec(format!(
+                "request of {bits} bits exceeds pool capacity {}",
+                self.config.queue_capacity
+            )));
+        }
+        let mut pool = self.shared.pool.lock();
+        loop {
+            if pool.len() >= bits {
+                let out: Vec<bool> = pool.drain(..bits).collect();
+                drop(pool);
+                self.shared.served_bits.fetch_add(bits as u64, Ordering::SeqCst);
+                self.shared.space_available.notify_all();
+                return Ok(out);
+            }
+            let workers_gone = self.shared.live_workers.load(Ordering::SeqCst) == 0
+                && self.shared.collector_done.load(Ordering::SeqCst);
+            if self.shared.shutdown.load(Ordering::SeqCst) || workers_gone {
+                drop(pool);
+                return Err(self.first_error().unwrap_or_else(|| {
+                    DrangeError::Engine(
+                        "engine stopped before the request could be served".into(),
+                    )
+                }));
+            }
+            let _ = self.shared.bits_available.wait_for(&mut pool, POLL);
+        }
+    }
+
+    /// Blocks until `bytes` screened random bytes are available
+    /// (MSB-first bit packing, matching the firmware service).
+    ///
+    /// # Errors
+    ///
+    /// As [`HarvestEngine::take_bits`]; additionally rejects byte
+    /// counts whose bit count overflows `usize`.
+    pub fn take_bytes(&self, bytes: usize) -> Result<Vec<u8>> {
+        let bits = bytes.checked_mul(8).ok_or_else(|| {
+            DrangeError::InvalidSpec(format!("request of {bytes} bytes overflows bit count"))
+        })?;
+        let raw = self.take_bits(bits)?;
+        let mut out = Vec::with_capacity(bytes);
+        for chunk in raw.chunks_exact(8) {
+            let mut b = 0u8;
+            for &bit in chunk {
+                b = (b << 1) | u8::from(bit);
+            }
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Snapshot of the engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        let workers: Vec<WorkerStats> = self
+            .counters
+            .iter()
+            .enumerate()
+            .map(|(worker, c)| WorkerStats {
+                worker,
+                harvested_bits: c.harvested_bits.load(Ordering::SeqCst),
+                discarded_bits: c.discarded_bits.load(Ordering::SeqCst),
+                health_trips: c.health_trips.load(Ordering::SeqCst),
+                batches: c.batches.load(Ordering::SeqCst),
+                device_time_ps: c.device_time_ps.load(Ordering::SeqCst),
+            })
+            .collect();
+        EngineStats {
+            harvested_bits: workers.iter().map(|w| w.harvested_bits).sum(),
+            discarded_bits: workers.iter().map(|w| w.discarded_bits).sum(),
+            health_trips: workers.iter().map(|w| w.health_trips).sum(),
+            queued_bits: self.queued_bits(),
+            served_bits: self.shared.served_bits.load(Ordering::SeqCst),
+            in_flight_bits: self.shared.in_flight_bits.load(Ordering::SeqCst),
+            workers,
+        }
+    }
+
+    /// Stops harvesting, joins every worker and the collector, and
+    /// returns the final statistics. After the join, no bits are in
+    /// flight: everything harvested is queued, served, or discarded.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.halt();
+        self.stats()
+    }
+
+    /// Idempotent stop-and-join.
+    fn halt(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.bits_available.notify_all();
+        self.shared.space_available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.collector.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HarvestEngine {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Body of one worker thread: harvest, screen, publish, repeat.
+fn worker_loop<S: HarvestSource>(
+    source: S,
+    tx: Sender<Vec<bool>>,
+    shared: Arc<Shared>,
+    counters: Arc<WorkerCounters>,
+    min_entropy: f64,
+    max_rejects: u32,
+) {
+    let error = worker_run(source, &tx, &shared, &counters, min_entropy, max_rejects);
+    if let Some(e) = error {
+        let mut slot = shared.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+    // Dropping `tx` (by returning) disconnects the channel once the
+    // last worker exits; wake anyone waiting so they observe the state.
+    shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+    shared.bits_available.notify_all();
+    shared.space_available.notify_all();
+}
+
+fn worker_run<S: HarvestSource>(
+    mut source: S,
+    tx: &Sender<Vec<bool>>,
+    shared: &Shared,
+    counters: &WorkerCounters,
+    min_entropy: f64,
+    max_rejects: u32,
+) -> Option<DrangeError> {
+    let mut health = HealthMonitor::new(min_entropy);
+    let mut consecutive_rejects = 0u32;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let batch = match source.harvest_batch() {
+            Ok(b) => b,
+            Err(e) => return Some(e),
+        };
+        counters.device_time_ps.store(source.device_time_ps(), Ordering::SeqCst);
+        counters.batches.fetch_add(1, Ordering::SeqCst);
+        counters.harvested_bits.fetch_add(batch.len() as u64, Ordering::SeqCst);
+        let trips = health.feed_all(&batch);
+        if trips > 0 {
+            counters.health_trips.fetch_add(trips, Ordering::SeqCst);
+            counters.discarded_bits.fetch_add(batch.len() as u64, Ordering::SeqCst);
+            // The guard is persistent worker state: it spans request
+            // boundaries and resets only when a batch is accepted.
+            consecutive_rejects += 1;
+            if consecutive_rejects > max_rejects {
+                return Some(DrangeError::Unhealthy(format!(
+                    "more than {max_rejects} consecutive batches failed health screening"
+                )));
+            }
+            continue;
+        }
+        consecutive_rejects = 0;
+        shared.in_flight_bits.fetch_add(batch.len() as u64, Ordering::SeqCst);
+        let mut message = batch;
+        loop {
+            match tx.send_timeout(message, POLL) {
+                Ok(()) => break,
+                Err(SendTimeoutError::Timeout(m)) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        // Undeliverable during shutdown: account the
+                        // batch as discarded so no bits go missing.
+                        shared.in_flight_bits.fetch_sub(m.len() as u64, Ordering::SeqCst);
+                        counters.discarded_bits.fetch_add(m.len() as u64, Ordering::SeqCst);
+                        return None;
+                    }
+                    message = m;
+                }
+                Err(SendTimeoutError::Disconnected(m)) => {
+                    shared.in_flight_bits.fetch_sub(m.len() as u64, Ordering::SeqCst);
+                    counters.discarded_bits.fetch_add(m.len() as u64, Ordering::SeqCst);
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Body of the collector thread: gate on the watermarks, drain batches
+/// into the pool, and on disconnect (all workers gone) stop.
+fn collector_loop(rx: Receiver<Vec<bool>>, shared: Arc<Shared>, low: usize, high: usize) {
+    let mut filling = true;
+    loop {
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        if !shutting_down {
+            // Hysteresis gate: pause at the high watermark, resume at
+            // the low one. During shutdown the gate is bypassed so
+            // workers blocked on the channel always drain out.
+            let mut pool = shared.pool.lock();
+            loop {
+                let len = pool.len();
+                if len >= high {
+                    filling = false;
+                } else if len <= low {
+                    filling = true;
+                }
+                if filling || shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let _ = shared.space_available.wait_for(&mut pool, POLL);
+            }
+        }
+        match rx.recv_timeout(POLL) {
+            Ok(batch) => {
+                let n = batch.len() as u64;
+                {
+                    let mut pool = shared.pool.lock();
+                    pool.extend(batch);
+                }
+                shared.in_flight_bits.fetch_sub(n, Ordering::SeqCst);
+                shared.bits_available.notify_all();
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            // All senders dropped: every worker has exited and every
+            // published batch has been received. Nothing is in flight.
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shared.collector_done.store(true, Ordering::SeqCst);
+    shared.bits_available.notify_all();
+}
+
+/// Builds one [`DRange`] per simulated channel from a base device
+/// configuration: every channel shares the manufacturing seed (so one
+/// RNG-cell catalog applies to all of them) but derives an independent
+/// thermal-noise stream, mirroring the paper's independent-channel
+/// scaling. With an OS-seeded base configuration the channels are
+/// independent by construction.
+///
+/// # Errors
+///
+/// Propagates [`DRange::new`] errors (e.g. an empty catalog).
+pub fn channel_sources(
+    base: &DeviceConfig,
+    catalog: &RngCellCatalog,
+    config: &DRangeConfig,
+    channels: usize,
+) -> Result<Vec<DRange>> {
+    (0..channels)
+        .map(|channel| {
+            let device = base.clone().with_noise_seed_offset(channel as u64);
+            DRange::new(MemoryController::from_config(device), catalog, config.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic healthy source: splitmix64-derived bits.
+    #[derive(Debug)]
+    struct PrngSource {
+        state: u64,
+        batch: usize,
+    }
+
+    impl PrngSource {
+        fn new(seed: u64, batch: usize) -> Self {
+            PrngSource { state: seed, batch }
+        }
+
+        fn next_bit(&mut self) -> bool {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) & 1 == 1
+        }
+    }
+
+    impl HarvestSource for PrngSource {
+        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+            Ok((0..self.batch).map(|_| self.next_bit()).collect())
+        }
+    }
+
+    /// A stuck source: every batch is all-zero, so health screening
+    /// rejects every batch.
+    #[derive(Debug)]
+    struct StuckSource {
+        batch: usize,
+    }
+
+    impl HarvestSource for StuckSource {
+        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+            Ok(vec![false; self.batch])
+        }
+    }
+
+    /// Unhealthy in stretches: `reject_run` all-zero batches, then one
+    /// healthy batch, repeating.
+    #[derive(Debug)]
+    struct StretchSource {
+        healthy: PrngSource,
+        reject_run: u32,
+        position: u32,
+    }
+
+    impl HarvestSource for StretchSource {
+        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+            self.position = (self.position + 1) % (self.reject_run + 1);
+            if self.position == 0 {
+                // Lead with a one so the zero-run of the preceding
+                // rejected stretch cannot spill into this batch's
+                // repetition count.
+                let mut batch = self.healthy.harvest_batch()?;
+                batch[0] = true;
+                Ok(batch)
+            } else {
+                Ok(vec![false; self.healthy.batch])
+            }
+        }
+    }
+
+    fn small_config() -> EngineConfig {
+        EngineConfig {
+            queue_capacity: 1 << 12,
+            low_watermark: 1 << 8,
+            high_watermark: 1 << 11,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HarvestEngine>();
+        assert_send_sync::<EngineStats>();
+    }
+
+    #[test]
+    fn serves_bits_and_bytes() {
+        let engine =
+            HarvestEngine::spawn(vec![PrngSource::new(7, 128)], small_config()).unwrap();
+        let bits = engine.take_bits(100).unwrap();
+        assert_eq!(bits.len(), 100);
+        let bytes = engine.take_bytes(32).unwrap();
+        assert_eq!(bytes.len(), 32);
+        let stats = engine.shutdown();
+        assert!(stats.harvested_bits >= 100 + 256);
+        assert_eq!(stats.served_bits, 100 + 256);
+    }
+
+    #[test]
+    fn accounting_balances_after_shutdown() {
+        let sources = (0..3).map(|i| PrngSource::new(11 + i, 64)).collect();
+        let engine = HarvestEngine::spawn(sources, small_config()).unwrap();
+        for _ in 0..10 {
+            let _ = engine.take_bits(200).unwrap();
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.in_flight_bits, 0, "graceful shutdown leaves nothing in flight");
+        assert_eq!(
+            stats.harvested_bits,
+            stats.queued_bits as u64 + stats.served_bits + stats.discarded_bits,
+            "{stats:?}"
+        );
+        assert_eq!(stats.served_bits, 2000);
+    }
+
+    #[test]
+    fn backpressure_bounds_the_pool() {
+        let config = EngineConfig {
+            queue_capacity: 1 << 10,
+            low_watermark: 1 << 6,
+            high_watermark: 1 << 9,
+            channel_batches: 2,
+            ..EngineConfig::default()
+        };
+        let batch = 64usize;
+        let engine = HarvestEngine::spawn(vec![PrngSource::new(3, batch)], config).unwrap();
+        // Let the engine idle-fill, then check the pool respects the
+        // high watermark (+ at most one batch of overshoot).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while engine.queued_bits() < config.high_watermark
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let queued = engine.queued_bits();
+        assert!(
+            queued <= config.high_watermark + batch,
+            "pool {queued} exceeds high watermark {} + one batch",
+            config.high_watermark
+        );
+        let stats = engine.shutdown();
+        // Idle harvesting stopped: harvested is bounded by what fits in
+        // the pool plus the channel, not unbounded.
+        let bound = (config.queue_capacity
+            + (config.channel_batches + 2) * batch
+            + 2 * batch) as u64;
+        assert!(stats.harvested_bits <= bound, "{} > {bound}", stats.harvested_bits);
+    }
+
+    #[test]
+    fn permanently_unhealthy_source_errors_instead_of_spinning() {
+        let config = EngineConfig { max_consecutive_rejects: 50, ..small_config() };
+        let engine = HarvestEngine::spawn(vec![StuckSource { batch: 64 }], config).unwrap();
+        let err = engine.take_bits(64).unwrap_err();
+        assert!(matches!(err, DrangeError::Unhealthy(_)), "got {err:?}");
+        let stats = engine.shutdown();
+        assert_eq!(stats.harvested_bits, stats.discarded_bits);
+        assert!(stats.health_trips > 0);
+    }
+
+    #[test]
+    fn rejection_guard_resets_on_accepted_batch() {
+        // 10-batch unhealthy stretches separated by single healthy
+        // batches: the persistent counter resets on every acceptance,
+        // so the engine keeps serving rather than erroring — without
+        // the reset, ten periods would blow far past the limit. The
+        // limit leaves a wide margin because an adaptive-proportion
+        // window can straddle from a rejected zero-stretch into a
+        // healthy batch and occasionally reject it too.
+        let config = EngineConfig { max_consecutive_rejects: 100, ..small_config() };
+        let source = StretchSource {
+            healthy: PrngSource::new(5, 256),
+            reject_run: 10,
+            position: 0,
+        };
+        let engine = HarvestEngine::spawn(vec![source], config).unwrap();
+        let bits = engine.take_bits(1024).unwrap();
+        assert_eq!(bits.len(), 1024);
+        assert!(engine.first_error().is_none(), "{:?}", engine.first_error());
+        let stats = engine.shutdown();
+        assert!(stats.discarded_bits > 0, "unhealthy stretches were screened out");
+    }
+
+    #[test]
+    fn erroring_source_propagates_to_clients() {
+        #[derive(Debug)]
+        struct FailingSource;
+        impl HarvestSource for FailingSource {
+            fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+                Err(DrangeError::Engine("synthetic device fault".into()))
+            }
+        }
+        let engine = HarvestEngine::spawn(vec![FailingSource], small_config()).unwrap();
+        let err = engine.take_bits(8).unwrap_err();
+        assert!(matches!(err, DrangeError::Engine(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn oversized_take_rejected() {
+        let engine =
+            HarvestEngine::spawn(vec![PrngSource::new(1, 32)], small_config()).unwrap();
+        assert!(engine.take_bits(1 << 20).is_err());
+        assert!(engine.take_bytes(usize::MAX / 4).is_err(), "bit count overflow");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad_watermarks = EngineConfig {
+            low_watermark: 100,
+            high_watermark: 10,
+            ..EngineConfig::default()
+        };
+        assert!(HarvestEngine::spawn(vec![PrngSource::new(1, 32)], bad_watermarks).is_err());
+        let no_sources: Vec<PrngSource> = Vec::new();
+        assert!(HarvestEngine::spawn(no_sources, EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn concurrent_clients_each_get_full_buffers() {
+        let sources = (0..2).map(|i| PrngSource::new(100 + i, 128)).collect();
+        let engine =
+            Arc::new(HarvestEngine::spawn::<PrngSource>(sources, small_config()).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                let mut total = 0usize;
+                for i in 0..8 {
+                    let n = 16 + (t * 8 + i) % 32;
+                    let bytes = engine.take_bytes(n).unwrap();
+                    assert_eq!(bytes.len(), n);
+                    total += n;
+                }
+                total
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let engine = Arc::try_unwrap(engine).expect("all clients done");
+        let stats = engine.shutdown();
+        assert_eq!(stats.served_bits, total as u64 * 8);
+    }
+}

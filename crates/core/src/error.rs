@@ -20,6 +20,10 @@ pub enum DrangeError {
     /// The online health tests rejected the generator's output
     /// persistently (possible environmental attack or device fault).
     Unhealthy(String),
+    /// The concurrent harvesting engine failed or stopped (worker
+    /// thread could not be spawned, or the engine wound down before a
+    /// request could be served).
+    Engine(String),
 }
 
 impl fmt::Display for DrangeError {
@@ -29,6 +33,7 @@ impl fmt::Display for DrangeError {
             DrangeError::InvalidSpec(msg) => write!(f, "invalid specification: {msg}"),
             DrangeError::NoRngCells(msg) => write!(f, "no usable RNG cells: {msg}"),
             DrangeError::Unhealthy(msg) => write!(f, "health tests rejected output: {msg}"),
+            DrangeError::Engine(msg) => write!(f, "harvesting engine failed: {msg}"),
         }
     }
 }

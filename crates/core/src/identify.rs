@@ -168,6 +168,28 @@ impl RngCellCatalog {
         Ok(words)
     }
 
+    /// Assembles a catalog from already-known RNG-cell locations —
+    /// e.g. one loaded from storage, or a hand-built fixture for tests
+    /// that need precise control over word placement. Words mapped to
+    /// an empty bit list are dropped (the catalog never stores words
+    /// without RNG cells).
+    pub fn from_parts(
+        spec: IdentifySpec,
+        temperature: Celsius,
+        words: BTreeMap<WordAddr, Vec<usize>>,
+    ) -> Self {
+        let words = words
+            .into_iter()
+            .filter(|(_, bits)| !bits.is_empty())
+            .map(|(addr, mut bits)| {
+                bits.sort_unstable();
+                bits.dedup();
+                (addr, bits)
+            })
+            .collect();
+        RngCellCatalog { spec, temperature, words }
+    }
+
     /// The identification spec.
     pub fn spec(&self) -> &IdentifySpec {
         &self.spec
@@ -399,6 +421,22 @@ mod tests {
         let picked = set.select(Celsius(70.0)).unwrap();
         assert_eq!(picked.temperature().degrees(), 65.0);
         assert!(CatalogSet::new().select(Celsius(60.0)).is_none());
+    }
+
+    #[test]
+    fn from_parts_normalizes_words() {
+        let mut words = BTreeMap::new();
+        words.insert(WordAddr::new(0, 1, 2), vec![5, 3, 5, 1]);
+        words.insert(WordAddr::new(1, 0, 0), Vec::new());
+        let catalog =
+            RngCellCatalog::from_parts(quick_spec(), Celsius::DEFAULT, words);
+        assert_eq!(catalog.len(), 3, "duplicates removed, empty words dropped");
+        assert_eq!(
+            catalog.words().get(&WordAddr::new(0, 1, 2)),
+            Some(&vec![1, 3, 5]),
+            "bit positions sorted"
+        );
+        assert!(catalog.words().get(&WordAddr::new(1, 0, 0)).is_none());
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! estimators ([`entropy`]), the data-pattern-dependence study
 //! ([`dpd`]), and a von Neumann post-processor ([`postprocess`]).
 //!
+//! For serving many client threads, the [`engine`] module runs one
+//! sampling loop per simulated channel on its own worker thread behind
+//! a watermarked, health-screened bit pool ([`HarvestEngine`]), and
+//! [`RandomnessService`] layers the firmware REQUEST/RECEIVE interface
+//! of Section 6.3 on top of it.
+//!
 //! ## Example
 //!
 //! ```rust,no_run
@@ -47,6 +53,7 @@
 
 pub mod calibrate;
 pub mod dpd;
+pub mod engine;
 pub mod estimators;
 pub mod entropy;
 pub mod error;
@@ -62,6 +69,9 @@ pub mod spatial;
 pub mod stream;
 pub mod throughput;
 
+pub use engine::{
+    channel_sources, EngineConfig, EngineStats, HarvestEngine, HarvestSource, WorkerStats,
+};
 pub use error::{DrangeError, Result};
 pub use health::HealthMonitor;
 pub use identify::{CatalogSet, IdentifySpec, RngCellCatalog};
@@ -70,4 +80,4 @@ pub use postprocess::VonNeumann;
 pub use profiler::{FailureProfile, ProfileSpec, Profiler};
 pub use sampler::{DRange, DRangeConfig, SampleStats};
 pub use service::{RandomnessService, RequestId, ServiceConfig};
-pub use stream::DRangeReader;
+pub use stream::{DRangeReader, EngineReader};

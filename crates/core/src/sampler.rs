@@ -134,7 +134,6 @@ impl DRange {
             if rate == 0 || config.exclude_banks.contains(&bank) {
                 continue;
             }
-            taken += 1;
             let best = catalog.best_words(bank, 2);
             if best.is_empty() {
                 continue;
@@ -148,6 +147,10 @@ impl DRange {
                 })
                 .collect();
             plan.push(BankPlan { bank, words });
+            // A bank only consumes one of the `take` slots once a word
+            // plan was actually added for it; a bank whose best-word
+            // query comes back empty must not waste a slot.
+            taken += 1;
         }
         if plan.is_empty() {
             return Err(DrangeError::NoRngCells(
@@ -468,6 +471,68 @@ mod tests {
         )
         .unwrap();
         assert!(g.banks_used() <= 2);
+    }
+
+    /// A hand-built catalog with RNG cells only in the given banks
+    /// (two words in distinct rows each), for precise slot-accounting
+    /// checks on the bank-selection loop.
+    fn sparse_catalog(banks: &[usize]) -> RngCellCatalog {
+        use dram_sim::{Celsius, WordAddr};
+        let mut words = std::collections::BTreeMap::new();
+        for &bank in banks {
+            words.insert(WordAddr::new(bank, 0, 0), vec![0, 1, 2]);
+            words.insert(WordAddr::new(bank, 1, 0), vec![3, 4]);
+        }
+        RngCellCatalog::from_parts(IdentifySpec::default(), Celsius::DEFAULT, words)
+    }
+
+    #[test]
+    fn bank_slots_only_consumed_by_planned_banks() {
+        // Only banks 0, 3, and 5 hold RNG cells: a request for two
+        // banks must yield exactly two planned banks — banks without a
+        // word plan (zero rate) must not eat selection slots.
+        let catalog = sparse_catalog(&[0, 3, 5]);
+        let g = DRange::new(
+            fresh_ctrl(),
+            &catalog,
+            DRangeConfig { banks: Some(2), ..DRangeConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(g.banks_used(), 2);
+        assert_eq!(g.bits_per_iteration(), 2 * 5);
+    }
+
+    #[test]
+    fn bank_limit_above_populated_banks_uses_them_all() {
+        let catalog = sparse_catalog(&[1, 6]);
+        let g = DRange::new(
+            fresh_ctrl(),
+            &catalog,
+            DRangeConfig { banks: Some(5), ..DRangeConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(g.banks_used(), 2, "only populated banks can be planned");
+    }
+
+    #[test]
+    fn excluded_banks_do_not_consume_slots() {
+        // Bank 0 is excluded (e.g. reserved for a retention TRNG); the
+        // two slots must go to the remaining populated banks.
+        let catalog = sparse_catalog(&[0, 3, 5]);
+        let g = DRange::new(
+            fresh_ctrl(),
+            &catalog,
+            DRangeConfig {
+                banks: Some(2),
+                exclude_banks: vec![0],
+                ..DRangeConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(g.banks_used(), 2);
+        for bp in &g.plan {
+            assert_ne!(bp.bank, 0, "excluded bank must not be planned");
+        }
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Stream adapters: consume the generator through standard interfaces.
 //!
-//! [`DRange`] already implements `rand::RngCore`; this module adds a
-//! [`std::io::Read`] adapter (so the TRNG can back anything that reads
+//! [`DRange`] already implements `rand::RngCore`; this module adds
+//! [`std::io::Read`] adapters (so the TRNG can back anything that reads
 //! bytes — `io::copy`, buffered readers, encoders) and an infinite
-//! byte iterator.
+//! byte iterator. [`EngineReader`] is the multi-channel counterpart:
+//! it drains a shared [`HarvestEngine`], so the bytes come from all
+//! worker channels with harvesting overlapped across reads.
 
 use std::io::{self, Read};
 
+use crate::engine::HarvestEngine;
 use crate::sampler::DRange;
 
 /// A [`Read`] adapter over a [`DRange`] generator.
@@ -41,6 +44,51 @@ impl Read for DRangeReader {
             .try_fill(buf)
             .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
         Ok(buf.len())
+    }
+}
+
+/// A [`Read`] adapter over a [`HarvestEngine`].
+///
+/// Blocks until the engine's workers have screened enough bits, then
+/// fills the whole buffer; oversized reads are served in pool-capacity
+/// chunks. The stream never reaches EOF, but a read fails once the
+/// engine has stopped (all workers retired).
+#[derive(Debug)]
+pub struct EngineReader {
+    engine: HarvestEngine,
+}
+
+impl EngineReader {
+    /// Wraps an engine.
+    pub fn new(engine: HarvestEngine) -> Self {
+        EngineReader { engine }
+    }
+
+    /// Returns the wrapped engine.
+    pub fn into_inner(self) -> HarvestEngine {
+        self.engine
+    }
+
+    /// Borrow of the wrapped engine (stats access).
+    pub fn get_ref(&self) -> &HarvestEngine {
+        &self.engine
+    }
+}
+
+impl Read for EngineReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let max_chunk = (self.engine.config().queue_capacity / 8).max(1);
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let n = (buf.len() - filled).min(max_chunk);
+            let bytes = self
+                .engine
+                .take_bytes(n)
+                .map_err(|e| io::Error::new(io::ErrorKind::Other, e))?;
+            buf[filled..filled + n].copy_from_slice(&bytes);
+            filled += n;
+        }
+        Ok(filled)
     }
 }
 
@@ -122,6 +170,28 @@ mod tests {
         assert_eq!(r.get_ref().stats().bits, 0);
         let inner = r.into_inner();
         assert_eq!(inner.stats().bits, 0);
+    }
+
+    #[test]
+    fn engine_reader_spans_multiple_pool_refills() {
+        use crate::engine::{EngineConfig, HarvestEngine};
+
+        let config = EngineConfig {
+            queue_capacity: 1 << 10,
+            low_watermark: 1 << 6,
+            high_watermark: 1 << 9,
+            ..EngineConfig::default()
+        };
+        let engine = HarvestEngine::spawn(vec![trng()], config).unwrap();
+        let mut r = EngineReader::new(engine);
+        // 1 KiB = 8192 bits, far beyond the 1024-bit pool: the read is
+        // served in chunks across several refills.
+        let mut buf = vec![0u8; 1024];
+        assert_eq!(r.read(&mut buf).unwrap(), 1024);
+        let distinct: std::collections::HashSet<u8> = buf.iter().copied().collect();
+        assert!(distinct.len() > 100, "1 KiB of random bytes covers most values");
+        let stats = r.into_inner().shutdown();
+        assert_eq!(stats.served_bits, 8192);
     }
 
     #[test]

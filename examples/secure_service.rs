@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let catalog = RngCellCatalog::identify(&mut ctrl, &profile, IdentifySpec::default())?;
     let trng = DRange::new(ctrl, &catalog, DRangeConfig::default())?;
-    let mut service = RandomnessService::new(trng, ServiceConfig::default())?;
+    let service = RandomnessService::new(trng, ServiceConfig::default())?;
 
     // Applications file requests...
     let tls_key = service.request(32)?;
@@ -53,12 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{name:<8}: {hex}");
     }
 
-    let stats = service.trng().stats();
+    let stats = service.shutdown();
     println!(
-        "\nsampler: {} bits over {} iterations, {:.1} Mb/s of device time",
-        stats.bits,
-        stats.iterations,
-        stats.throughput_bps() / 1e6
+        "\nengine: {} bits harvested ({} discarded), {:.1} Mb/s of device time",
+        stats.harvested_bits,
+        stats.discarded_bits,
+        stats.aggregate_device_bps() / 1e6
     );
     Ok(())
 }
