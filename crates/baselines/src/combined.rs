@@ -54,27 +54,29 @@ impl CombinedTrng {
         // Enroll marginal retention cells with two pauses.
         let collect = |ctrl: &mut MemoryController| {
             for row in region.rows.clone() {
-                ctrl.device_mut().fill_row(region.bank, row, DataPattern::Solid1);
+                ctrl.device_mut()
+                    .fill_row(region.bank, row, DataPattern::Solid1);
             }
             ctrl.advance_ps((pause_s * PS_PER_S) as u64);
-            apply_refresh_pause(ctrl.device_mut(), region.bank, region.rows.clone(), pause_s)
-                .failed
+            apply_refresh_pause(ctrl.device_mut(), region.bank, region.rows.clone(), pause_s).failed
         };
-        let a: std::collections::HashSet<CellAddr> =
-            collect(&mut ctrl).into_iter().collect();
-        let b: std::collections::HashSet<CellAddr> =
-            collect(&mut ctrl).into_iter().collect();
+        let a: std::collections::HashSet<CellAddr> = collect(&mut ctrl).into_iter().collect();
+        let b: std::collections::HashSet<CellAddr> = collect(&mut ctrl).into_iter().collect();
         let mut marginal: Vec<CellAddr> = a.symmetric_difference(&b).copied().collect();
         marginal.sort();
         // Re-arm the region for the first background pause.
         for row in region.rows.clone() {
-            ctrl.device_mut().fill_row(region.bank, row, DataPattern::Solid1);
+            ctrl.device_mut()
+                .fill_row(region.bank, row, DataPattern::Solid1);
         }
         let last_harvest_ps = ctrl.now_ps();
         let trng = DRange::new(
             ctrl,
             catalog,
-            DRangeConfig { exclude_banks: vec![region.bank], ..DRangeConfig::default() },
+            DRangeConfig {
+                exclude_banks: vec![region.bank],
+                ..DRangeConfig::default()
+            },
         )?;
         Ok(CombinedTrng {
             trng,
@@ -100,7 +102,9 @@ impl CombinedTrng {
     /// bits): device time advances, letting background retention
     /// pauses complete.
     pub fn idle(&mut self, seconds: f64) {
-        self.trng.controller_mut().advance_ps((seconds * PS_PER_S) as u64);
+        self.trng
+            .controller_mut()
+            .advance_ps((seconds * PS_PER_S) as u64);
     }
 
     /// Generates `n` bits: D-RaNGe bits continuously, plus the
@@ -116,8 +120,7 @@ impl CombinedTrng {
             // Background retention pause completed?
             let now = self.trng.controller().now_ps();
             if !self.marginal.is_empty()
-                && now.saturating_sub(self.last_harvest_ps)
-                    >= (self.pause_s * PS_PER_S) as u64
+                && now.saturating_sub(self.last_harvest_ps) >= (self.pause_s * PS_PER_S) as u64
             {
                 let ctrl = self.trng.controller_mut();
                 let failed: std::collections::HashSet<CellAddr> = apply_refresh_pause(
@@ -136,7 +139,8 @@ impl CombinedTrng {
                 self.stats.retention_harvests += 1;
                 // Re-arm the region.
                 for row in self.region.rows.clone() {
-                    ctrl.device_mut().fill_row(self.region.bank, row, DataPattern::Solid1);
+                    ctrl.device_mut()
+                        .fill_row(self.region.bank, row, DataPattern::Solid1);
                 }
                 self.last_harvest_ps = now;
                 continue;
@@ -153,12 +157,14 @@ impl CombinedTrng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drange_core::{IdentifySpec, ProfileSpec, Profiler};
     use dram_sim::{DeviceConfig, Manufacturer};
+    use drange_core::{IdentifySpec, ProfileSpec, Profiler};
 
     fn combined() -> CombinedTrng {
         let mut ctrl = MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(84).with_noise_seed(85),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(84)
+                .with_noise_seed(85),
         );
         let profile = Profiler::new(&mut ctrl)
             .run(
@@ -176,7 +182,10 @@ mod tests {
         CombinedTrng::new(
             ctrl,
             &catalog,
-            RetentionRegion { bank: 7, rows: 0..128 },
+            RetentionRegion {
+                bank: 7,
+                rows: 0..128,
+            },
             40.0,
         )
         .unwrap()
@@ -192,7 +201,10 @@ mod tests {
         assert_eq!(bits.len(), 5_000);
         let s = c.stats();
         assert!(s.drange_bits > 0, "activation-failure bits flow");
-        assert!(s.retention_harvests >= 1, "background retention harvest occurred");
+        assert!(
+            s.retention_harvests >= 1,
+            "background retention harvest occurred"
+        );
         assert!(s.retention_bits > 0);
     }
 

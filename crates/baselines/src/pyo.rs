@@ -131,7 +131,9 @@ mod tests {
 
     fn trng() -> CommandScheduleTrng {
         CommandScheduleTrng::new(MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(3).with_noise_seed(4),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(3)
+                .with_noise_seed(4),
         ))
     }
 

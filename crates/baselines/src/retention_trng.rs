@@ -33,7 +33,10 @@ pub struct RetentionRegion {
 
 impl Default for RetentionRegion {
     fn default() -> Self {
-        RetentionRegion { bank: 0, rows: 0..256 }
+        RetentionRegion {
+            bank: 0,
+            rows: 0..256,
+        }
     }
 }
 
@@ -46,7 +49,8 @@ fn pause_and_collect(
     pause_s: f64,
 ) -> Vec<CellAddr> {
     for row in region.rows.clone() {
-        ctrl.device_mut().fill_row(region.bank, row, DataPattern::Solid1);
+        ctrl.device_mut()
+            .fill_row(region.bank, row, DataPattern::Solid1);
     }
     ctrl.advance_ps((pause_s * PS_PER_S) as u64);
     apply_refresh_pause(ctrl.device_mut(), region.bank, region.rows.clone(), pause_s).failed
@@ -76,12 +80,13 @@ impl KellerTrng {
         region: RetentionRegion,
         pause_s: f64,
     ) -> Result<Self> {
-        let a: std::collections::HashSet<CellAddr> =
-            pause_and_collect(&mut ctrl, &region, pause_s).into_iter().collect();
-        let b: std::collections::HashSet<CellAddr> =
-            pause_and_collect(&mut ctrl, &region, pause_s).into_iter().collect();
-        let mut marginal: Vec<CellAddr> =
-            a.symmetric_difference(&b).copied().collect();
+        let a: std::collections::HashSet<CellAddr> = pause_and_collect(&mut ctrl, &region, pause_s)
+            .into_iter()
+            .collect();
+        let b: std::collections::HashSet<CellAddr> = pause_and_collect(&mut ctrl, &region, pause_s)
+            .into_iter()
+            .collect();
+        let mut marginal: Vec<CellAddr> = a.symmetric_difference(&b).copied().collect();
         marginal.sort();
         Ok(KellerTrng {
             ctrl,
@@ -109,8 +114,7 @@ impl KellerTrng {
             pause_and_collect(&mut self.ctrl, &self.region, self.pause_s)
                 .into_iter()
                 .collect();
-        let bits: Vec<bool> =
-            self.marginal.iter().map(|c| failed.contains(c)).collect();
+        let bits: Vec<bool> = self.marginal.iter().map(|c| failed.contains(c)).collect();
         self.bits_emitted += bits.len() as u64;
         self.device_time_ps += self.ctrl.now_ps() - t0;
         Ok(bits)
@@ -144,7 +148,13 @@ pub struct SutarTrng {
 impl SutarTrng {
     /// A Sutar+ generator over a region with the given pause.
     pub fn new(ctrl: MemoryController, region: RetentionRegion, pause_s: f64) -> Self {
-        SutarTrng { ctrl, region, pause_s, bits_emitted: 0, device_time_ps: 0 }
+        SutarTrng {
+            ctrl,
+            region,
+            pause_s,
+            bits_emitted: 0,
+            device_time_ps: 0,
+        }
     }
 
     /// One pause: SHA-256 of the decayed region content = 256 bits.
@@ -187,8 +197,7 @@ impl SutarTrng {
 
     /// Words in the region (for energy accounting).
     pub fn region_words(&self) -> usize {
-        (self.region.rows.end - self.region.rows.start)
-            * self.ctrl.device().geometry().cols
+        (self.region.rows.end - self.region.rows.start) * self.ctrl.device().geometry().cols
     }
 }
 
@@ -199,14 +208,15 @@ mod tests {
 
     fn ctrl() -> MemoryController {
         MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(17).with_noise_seed(18),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(17)
+                .with_noise_seed(18),
         )
     }
 
     #[test]
     fn keller_enrolls_marginal_cells_and_streams_slowly() {
-        let mut k =
-            KellerTrng::enroll(ctrl(), RetentionRegion::default(), 40.0).unwrap();
+        let mut k = KellerTrng::enroll(ctrl(), RetentionRegion::default(), 40.0).unwrap();
         assert!(k.marginal_cells() > 0, "40 s pause yields marginal cells");
         let bits = k.harvest().unwrap();
         assert_eq!(bits.len(), k.marginal_cells());
@@ -219,8 +229,7 @@ mod tests {
 
     #[test]
     fn keller_flip_indicators_vary_between_pauses() {
-        let mut k =
-            KellerTrng::enroll(ctrl(), RetentionRegion::default(), 40.0).unwrap();
+        let mut k = KellerTrng::enroll(ctrl(), RetentionRegion::default(), 40.0).unwrap();
         if k.marginal_cells() < 4 {
             return; // not enough marginal cells at this seed to compare
         }

@@ -135,7 +135,10 @@ fn snapshot(ctrl: &MemoryController) -> Result<Vec<Vec<u64>>> {
         let mut words = Vec::with_capacity(g.rows * g.cols);
         for row in 0..g.rows {
             for col in 0..g.cols {
-                words.push(ctrl.device().peek(dram_sim::WordAddr::new(bank, row, col))?);
+                words.push(
+                    ctrl.device()
+                        .peek(dram_sim::WordAddr::new(bank, row, col))?,
+                );
             }
         }
         out.push(words);
@@ -171,10 +174,7 @@ mod tests {
         let frac = t.inventory_size() as f64 / cells as f64;
         // Two cycles find a random cell when the two draws differ:
         // P ~ 2 p (1-p) averaged over bias ~ 0.4-0.5 of the 5% class.
-        assert!(
-            (0.01..0.05).contains(&frac),
-            "inventory fraction {frac}"
-        );
+        assert!((0.01..0.05).contains(&frac), "inventory fraction {frac}");
     }
 
     #[test]
@@ -202,11 +202,14 @@ mod tests {
 
     #[test]
     fn throughput_is_limited_by_power_cycles() {
-        let mut t = StartupTrng::enroll(ctrl()).unwrap().with_power_cycle_ps(10_000_000_000);
+        let mut t = StartupTrng::enroll(ctrl())
+            .unwrap()
+            .with_power_cycle_ps(10_000_000_000);
         let _ = t.harvest().unwrap();
         let with_slow_cycle = t.throughput_bps();
-        let mut fast =
-            StartupTrng::enroll(ctrl()).unwrap().with_power_cycle_ps(1_000_000);
+        let mut fast = StartupTrng::enroll(ctrl())
+            .unwrap()
+            .with_power_cycle_ps(1_000_000);
         let _ = fast.harvest().unwrap();
         assert!(fast.throughput_bps() > with_slow_cycle);
     }

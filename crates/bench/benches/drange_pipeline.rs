@@ -8,7 +8,9 @@ use drange_core::{DRange, DRangeConfig, ProfileSpec, Profiler};
 use memctrl::MemoryController;
 
 fn config() -> DeviceConfig {
-    DeviceConfig::new(Manufacturer::A).with_seed(5).with_noise_seed(6)
+    DeviceConfig::new(Manufacturer::A)
+        .with_seed(5)
+        .with_noise_seed(6)
 }
 
 fn bench_profiling(c: &mut Criterion) {
@@ -19,8 +21,11 @@ fn bench_profiling(c: &mut Criterion) {
         b.iter(|| {
             Profiler::new(&mut ctrl)
                 .run(
-                    ProfileSpec { rows: 0..64, ..ProfileSpec::default() }
-                        .with_iterations(1),
+                    ProfileSpec {
+                        rows: 0..64,
+                        ..ProfileSpec::default()
+                    }
+                    .with_iterations(1),
                 )
                 .unwrap()
         })
@@ -34,9 +39,7 @@ fn bench_sampling(c: &mut Criterion) {
     let bpi = trng.bits_per_iteration().max(1) as u64;
     let mut group = c.benchmark_group("pipeline");
     group.throughput(Throughput::Elements(bpi));
-    group.bench_function("sample_once", |b| {
-        b.iter(|| trng.sample_once().unwrap())
-    });
+    group.bench_function("sample_once", |b| b.iter(|| trng.sample_once().unwrap()));
     group.finish();
 }
 

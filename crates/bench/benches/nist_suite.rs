@@ -27,7 +27,9 @@ fn bench_tests(c: &mut Criterion) {
         b.iter(|| nist_sts::matrix_rank::test(&bits).unwrap())
     });
     group.bench_function("dft", |b| b.iter(|| nist_sts::dft::test(&bits).unwrap()));
-    group.bench_function("serial", |b| b.iter(|| nist_sts::serial::test(&bits).unwrap()));
+    group.bench_function("serial", |b| {
+        b.iter(|| nist_sts::serial::test(&bits).unwrap())
+    });
     group.bench_function("linear_complexity", |b| {
         b.iter(|| nist_sts::linear_complexity::test(&bits).unwrap())
     });

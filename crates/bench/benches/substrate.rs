@@ -11,7 +11,9 @@ fn bench_device_reads(c: &mut Criterion) {
     let mut group = c.benchmark_group("device");
     group.throughput(Throughput::Elements(1));
     let mut device = DramDevice::build(
-        DeviceConfig::new(Manufacturer::A).with_seed(1).with_noise_seed(2),
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(1)
+            .with_noise_seed(2),
     );
     device.fill_bank(0, DataPattern::Solid0);
     let mut row = 0usize;

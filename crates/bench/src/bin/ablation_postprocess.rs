@@ -17,7 +17,9 @@ fn main() {
     println!("== Ablation: post-processing throughput cost ==\n");
 
     let (ctrl, catalog) = pipeline(
-        DeviceConfig::new(Manufacturer::B).with_seed(88).with_noise_seed(89),
+        DeviceConfig::new(Manufacturer::B)
+            .with_seed(88)
+            .with_noise_seed(89),
         8,
         scale.pick(256, 1024),
         30,
@@ -27,7 +29,10 @@ fn main() {
     let raw = trng.bits(n).expect("bits");
     let raw_bps = trng.stats().throughput_bps();
     let ones = raw.iter().filter(|&&b| b).count() as f64 / raw.len() as f64;
-    println!("raw D-RaNGe stream: {} bits, ones fraction {ones:.4}", raw.len());
+    println!(
+        "raw D-RaNGe stream: {} bits, ones fraction {ones:.4}",
+        raw.len()
+    );
     println!("raw throughput: {:.2} Mb/s (device time)\n", raw_bps / 1e6);
 
     // Von Neumann on the (already unbiased) D-RaNGe output.
@@ -50,7 +55,9 @@ fn main() {
     let mut state = 0x1234u64;
     let biased: Vec<bool> = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % 5 != 0 // 80% ones
         })
         .collect();

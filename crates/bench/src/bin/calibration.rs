@@ -16,13 +16,24 @@ fn main() {
     println!("== tRCD calibration: 40-60% band population vs sampling tRCD ==\n");
 
     for m in Manufacturer::ALL {
-        for (i, config) in fleet(m, scale.pick(1, 3), 0xCA1 + m as u64).into_iter().enumerate() {
+        for (i, config) in fleet(m, scale.pick(1, 3), 0xCA1 + m as u64)
+            .into_iter()
+            .enumerate()
+        {
             let mut ctrl = MemoryController::from_config(config);
-            let region = ProfileSpec { rows: 0..rows, ..ProfileSpec::default() }
-                .with_iterations(iterations);
+            let region = ProfileSpec {
+                rows: 0..rows,
+                ..ProfileSpec::default()
+            }
+            .with_iterations(iterations);
             let cal = sweep(&mut ctrl, &region, &default_grid()).expect("sweep");
-            let max_band =
-                cal.points.iter().map(|p| p.band_cells).max().unwrap_or(1).max(1);
+            let max_band = cal
+                .points
+                .iter()
+                .map(|p| p.band_cells)
+                .max()
+                .unwrap_or(1)
+                .max(1);
             println!("manufacturer {m}, device {i}:");
             for p in &cal.points {
                 println!(

@@ -41,7 +41,10 @@ fn main() {
         let catalog = RngCellCatalog::identify(
             &mut ctrl,
             &profile,
-            IdentifySpec { trcd_ns: reduced, ..IdentifySpec::default() },
+            IdentifySpec {
+                trcd_ns: reduced,
+                ..IdentifySpec::default()
+            },
         )
         .expect("identification succeeds");
         let tput = catalog_throughput_bps(&catalog, timing, reduced, 8, 8);
@@ -56,7 +59,10 @@ fn main() {
             let mut trng = DRange::new(
                 ctrl,
                 &catalog,
-                DRangeConfig { trcd_ns: reduced, ..DRangeConfig::default() },
+                DRangeConfig {
+                    trcd_ns: reduced,
+                    ..DRangeConfig::default()
+                },
             )
             .expect("plan");
             let raw = trng.bits(scale.pick(20_000, 200_000)).expect("bits");

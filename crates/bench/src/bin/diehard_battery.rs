@@ -14,7 +14,9 @@ fn main() {
 
     for m in Manufacturer::ALL {
         let (ctrl, catalog) = pipeline(
-            dram_sim::DeviceConfig::new(m).with_seed(0xD1E + m as u64).with_noise_seed(m as u64),
+            dram_sim::DeviceConfig::new(m)
+                .with_seed(0xD1E + m as u64)
+                .with_noise_seed(m as u64),
             8,
             scale.pick(256, 1024),
             30,

@@ -41,7 +41,10 @@ fn main() {
     }
 
     println!("\nper-workload TRNG harvest with a 50:50 duty cycle:");
-    println!("{:>12} {:>8} {:>12} {:>16}", "workload", "MPKI", "TRNG Mb/s", "mean lat (ns)");
+    println!(
+        "{:>12} {:>8} {:>12} {:>16}",
+        "workload", "MPKI", "TRNG Mb/s", "mean lat (ns)"
+    );
     for w in spec2006_suite() {
         let config = ArbiterConfig {
             duration_ps,

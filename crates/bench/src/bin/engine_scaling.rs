@@ -15,9 +15,12 @@
 //! cargo run -p drange-bench --release --bin engine_scaling [--full]
 //! ```
 
-use drange_bench::{mbps, pipeline, Scale};
-use drange_core::{channel_sources, DRangeConfig, EngineConfig, HarvestEngine};
 use dram_sim::{DeviceConfig, Manufacturer};
+use drange_bench::{mbps, pipeline, Scale};
+use drange_core::telemetry::{fmt_ns, MetricValue, MetricsRegistry};
+use drange_core::{
+    channel_sources, channel_sources_with_telemetry, DRangeConfig, EngineConfig, HarvestEngine,
+};
 
 fn main() {
     let scale = Scale::from_args();
@@ -26,8 +29,9 @@ fn main() {
     let profile_iters = scale.pick(20, 40);
     let take_bits = scale.pick(1 << 15, 1 << 18);
 
-    let base =
-        DeviceConfig::new(Manufacturer::A).with_seed(0xE21).with_noise_seed(0xFA11);
+    let base = DeviceConfig::new(Manufacturer::A)
+        .with_seed(0xE21)
+        .with_noise_seed(0xFA11);
     println!("profiling + identification ({banks} banks, {rows} rows)...");
     let (_, catalog) = pipeline(base.clone(), banks, rows, profile_iters, 1000);
     println!("catalog: {} RNG cells\n", catalog.len());
@@ -39,8 +43,7 @@ fn main() {
     for workers in 1..=8usize {
         let sources = channel_sources(&base, &catalog, &DRangeConfig::default(), workers)
             .expect("channel sources");
-        let engine =
-            HarvestEngine::spawn(sources, EngineConfig::default()).expect("engine");
+        let engine = HarvestEngine::spawn(sources, EngineConfig::default()).expect("engine");
         let t0 = std::time::Instant::now();
         let mut remaining = take_bits;
         while remaining > 0 {
@@ -66,5 +69,77 @@ fn main() {
         "\ndevice throughput is the sum of per-channel harvest rates \
          (bits per second of DRAM device time), the engine analogue of \
          the paper's independent-channel scaling."
+    );
+
+    // One more run at 4 workers with the telemetry registry attached:
+    // per-stage latency quantiles for the harvest → health → publish →
+    // collect pipeline, plus the client-side take_bits latency.
+    let workers = 4usize;
+    println!("\ninstrumented run ({workers} workers) — per-stage latency:\n");
+    let registry = MetricsRegistry::new();
+    let sources = channel_sources_with_telemetry(
+        &base,
+        &catalog,
+        &DRangeConfig::default(),
+        workers,
+        Some(&registry),
+    )
+    .expect("channel sources");
+    let engine =
+        HarvestEngine::spawn_with_telemetry(sources, EngineConfig::default(), Some(&registry))
+            .expect("engine");
+    let mut remaining = take_bits;
+    while remaining > 0 {
+        let chunk = remaining.min(4096);
+        engine.take_bits(chunk).expect("screened bits");
+        remaining -= chunk;
+    }
+    let stats = engine.shutdown();
+
+    // Merge each stage's per-worker histograms into one distribution.
+    println!("stage    |     p50 |     p99 |     max | samples");
+    println!("---------|---------|---------|---------|--------");
+    for stage in ["harvest", "health", "publish", "collect"] {
+        let mut merged: Option<drange_core::telemetry::HistogramSnapshot> = None;
+        for sample in registry.samples() {
+            if sample.name == "drange_stage_latency_ns"
+                && sample
+                    .labels
+                    .iter()
+                    .any(|(k, v)| k == "stage" && v == stage)
+            {
+                if let MetricValue::Histogram(h) = sample.value {
+                    match &mut merged {
+                        Some(m) => m.merge(&h),
+                        None => merged = Some(h),
+                    }
+                }
+            }
+        }
+        let h = merged.expect("stage histogram registered");
+        println!(
+            "{stage:<8} | {:>7} | {:>7} | {:>7} | {:>7}",
+            fmt_ns(h.p50()),
+            fmt_ns(h.p99()),
+            fmt_ns(h.max),
+            h.count
+        );
+    }
+    for sample in registry.samples() {
+        if sample.name == "drange_take_bits_latency_ns" {
+            if let MetricValue::Histogram(h) = sample.value {
+                println!(
+                    "take_bits: p50 {} / p99 {} over {} calls",
+                    fmt_ns(h.p50()),
+                    fmt_ns(h.p99()),
+                    h.count
+                );
+            }
+        }
+    }
+    println!(
+        "aggregate: {} of device time, {} bits harvested",
+        mbps(stats.aggregate_device_bps()),
+        stats.harvested_bits
     );
 }

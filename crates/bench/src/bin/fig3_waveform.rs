@@ -20,8 +20,7 @@ fn main() {
         grid[y.min(rows - 1)][x] = '*';
     }
     // Threshold line.
-    let theta_y =
-        ((1.0 - (profile.theta_v - 0.45) / 0.55) * (rows - 1) as f64).round() as usize;
+    let theta_y = ((1.0 - (profile.theta_v - 0.45) / 0.55) * (rows - 1) as f64).round() as usize;
     for x in 0..wave.len() {
         if grid[theta_y][x] == ' ' {
             grid[theta_y][x] = '-';
@@ -57,7 +56,10 @@ fn main() {
     println!("        P=precharged c=charge-sharing s=sensing R=restored p=precharging");
     println!("        ACT at t=0; PRE at t={pre_at} ns (tRAS); x step 0.5 ns\n");
 
-    println!("bitline voltage at READ time vs tRCD (threshold Vread = {:.2}):", profile.theta_v);
+    println!(
+        "bitline voltage at READ time vs tRCD (threshold Vread = {:.2}):",
+        profile.theta_v
+    );
     for trcd in [6.0, 8.0, 10.0, 13.0, 18.0] {
         let v = voltage_at_read(&profile, trcd);
         println!(

@@ -19,14 +19,13 @@ fn main() {
     println!("device: manufacturer A, 1024 rows x 1024 bitlines, tRCD = 10 ns, {iterations} iterations\n");
 
     let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::A).with_seed(2024).with_noise_seed(7),
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(2024)
+            .with_noise_seed(7),
     );
     let geometry = ctrl.device().geometry();
     let profile = Profiler::new(&mut ctrl)
-        .run(
-            ProfileSpec::bank(0, geometry.rows, geometry.cols)
-                .with_iterations(iterations),
-        )
+        .run(ProfileSpec::bank(0, geometry.rows, geometry.cols).with_iterations(iterations))
         .expect("profiling succeeds");
 
     let bitmap = profile.bitmap(0, geometry.word_bits);
@@ -38,12 +37,15 @@ fn main() {
     for br in 0..32 {
         let mut line = String::new();
         for bc in 0..64 {
-            let any = (br * bh..(br + 1) * bh).any(|r| {
-                (bc * bw..(bc + 1) * bw).any(|c| bitmap[r][c])
-            });
+            let any =
+                (br * bh..(br + 1) * bh).any(|r| (bc * bw..(bc + 1) * bw).any(|c| bitmap[r][c]));
             line.push(if any { '#' } else { '.' });
         }
-        let marker = if (br * bh) % sub_rows == 0 { " <- subarray boundary" } else { "" };
+        let marker = if (br * bh) % sub_rows == 0 {
+            " <- subarray boundary"
+        } else {
+            ""
+        };
         println!("{line}{marker}");
     }
 
@@ -51,9 +53,7 @@ fn main() {
     println!("\nfailing bit-columns per subarray:");
     for sub in 0..geometry.subarrays() {
         let mut cols: Vec<usize> = (0..geometry.bitlines())
-            .filter(|&c| {
-                (sub * sub_rows..(sub + 1) * sub_rows).any(|r| bitmap[r][c])
-            })
+            .filter(|&c| (sub * sub_rows..(sub + 1) * sub_rows).any(|r| bitmap[r][c]))
             .collect();
         cols.sort_unstable();
         println!(
@@ -81,7 +81,11 @@ fn main() {
             counts[1],
             counts[2],
             counts[3],
-            if counts[3] >= counts[0] { "(gradient: more failures far from sense amps)" } else { "" }
+            if counts[3] >= counts[0] {
+                "(gradient: more failures far from sense amps)"
+            } else {
+                ""
+            }
         );
     }
 

@@ -21,9 +21,8 @@ fn main() {
     println!("40 patterns x {iterations} iterations, rows 0..{rows}, tRCD = 10 ns\n");
 
     for m in Manufacturer::ALL {
-        let mut ctrl = MemoryController::from_config(
-            DeviceConfig::new(m).with_seed(555).with_noise_seed(11),
-        );
+        let mut ctrl =
+            MemoryController::from_config(DeviceConfig::new(m).with_seed(555).with_noise_seed(11));
         let base = ProfileSpec {
             rows: 0..rows,
             ..ProfileSpec::default()
@@ -32,7 +31,10 @@ fn main() {
         let patterns = DataPattern::all_40();
         let study = run_study(&mut ctrl, &base, &patterns).expect("study succeeds");
 
-        println!("manufacturer {m} (union of failing cells: {}):", study.union_size);
+        println!(
+            "manufacturer {m} (union of failing cells: {}):",
+            study.union_size
+        );
         // Aggregate the walking patterns as the paper's figure does.
         let mut walk1 = Vec::new();
         let mut walk0 = Vec::new();

@@ -12,10 +12,21 @@ use drange_bench::{box_stats, Scale};
 use drange_core::{FailureProfile, ProfileSpec, Profiler};
 use memctrl::MemoryController;
 
-fn profile_at(ctrl: &mut MemoryController, t: Celsius, iterations: usize, rows: usize) -> FailureProfile {
+fn profile_at(
+    ctrl: &mut MemoryController,
+    t: Celsius,
+    iterations: usize,
+    rows: usize,
+) -> FailureProfile {
     ctrl.device_mut().set_temperature(t);
     Profiler::new(ctrl)
-        .run(ProfileSpec { rows: 0..rows, ..ProfileSpec::default() }.with_iterations(iterations))
+        .run(
+            ProfileSpec {
+                rows: 0..rows,
+                ..ProfileSpec::default()
+            }
+            .with_iterations(iterations),
+        )
         .expect("profiling succeeds")
 }
 
@@ -27,9 +38,8 @@ fn main() {
     println!("{iterations} iterations per temperature, rows 0..{rows}, sweep 55-70 C\n");
 
     for m in Manufacturer::ALL {
-        let mut ctrl = MemoryController::from_config(
-            DeviceConfig::new(m).with_seed(666).with_noise_seed(13),
-        );
+        let mut ctrl =
+            MemoryController::from_config(DeviceConfig::new(m).with_seed(666).with_noise_seed(13));
         let mut pairs: Vec<(f64, f64)> = Vec::new();
         for t in [55.0, 60.0, 65.0] {
             let base = profile_at(&mut ctrl, Celsius(t), iterations, rows);
@@ -62,7 +72,11 @@ fn main() {
                 "  [{lo:.1},{hi:.1}): n={:<5} {} {}",
                 ys.len(),
                 s,
-                if s.median >= (lo + hi) / 2.0 { "(above x=y)" } else { "" }
+                if s.median >= (lo + hi) / 2.0 {
+                    "(above x=y)"
+                } else {
+                    ""
+                }
             );
         }
         // Mean delta: the headline direction.

@@ -15,7 +15,10 @@ fn main() {
     let devices_per_mfr = scale.pick(2, 8);
     let rows = scale.pick(256, 1024);
     println!("== Figure 7: RNG cells per DRAM word, per bank ==");
-    println!("{} devices x 8 banks per manufacturer, rows 0..{rows}\n", devices_per_mfr);
+    println!(
+        "{} devices x 8 banks per manufacturer, rows 0..{rows}\n",
+        devices_per_mfr
+    );
 
     for m in Manufacturer::ALL {
         let mut per_k: Vec<Vec<f64>> = vec![Vec::new(); 5]; // counts per bank for k=1..4

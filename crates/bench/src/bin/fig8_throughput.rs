@@ -15,7 +15,10 @@ fn main() {
     let devices_per_mfr = scale.pick(2, 8);
     let rows = scale.pick(256, 1024);
     println!("== Figure 8: TRNG throughput vs banks used ==");
-    println!("{} devices per manufacturer, Equation (1) over scheduler runtime\n", devices_per_mfr);
+    println!(
+        "{} devices per manufacturer, Equation (1) over scheduler runtime\n",
+        devices_per_mfr
+    );
 
     let timing = TimingParams::lpddr4_3200();
     let mut device_max_1ch: Vec<f64> = Vec::new();
@@ -47,7 +50,11 @@ fn main() {
 
     let max_1ch = device_max_1ch.iter().copied().fold(0.0f64, f64::max);
     let avg_1ch = device_avg_1ch.iter().sum::<f64>() / device_avg_1ch.len().max(1) as f64;
-    println!("single-channel, 8 banks: max {}, average {}", mbps(max_1ch), mbps(avg_1ch));
+    println!(
+        "single-channel, 8 banks: max {}, average {}",
+        mbps(max_1ch),
+        mbps(avg_1ch)
+    );
     println!(
         "4-channel projection:     max {}, average {}",
         mbps(scale_to_channels(max_1ch, 4)),

@@ -20,21 +20,33 @@ fn main() {
     println!("{rounds} rounds x {iterations} iterations, rows 0..{rows}\n");
 
     let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::A).with_seed(54).with_noise_seed(15),
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(54)
+            .with_noise_seed(15),
     );
     // Track cells that failed in round 0 with mid-range probability.
-    let spec = ProfileSpec { rows: 0..rows, ..ProfileSpec::default() }
-        .with_iterations(iterations);
-    let first = Profiler::new(&mut ctrl).run(spec.clone()).expect("profiling succeeds");
+    let spec = ProfileSpec {
+        rows: 0..rows,
+        ..ProfileSpec::default()
+    }
+    .with_iterations(iterations);
+    let first = Profiler::new(&mut ctrl)
+        .run(spec.clone())
+        .expect("profiling succeeds");
     let tracked = first.cells_in_band(0.2, 0.8);
-    println!("tracking {} cells with round-0 F_prob in [0.2, 0.8]", tracked.len());
+    println!(
+        "tracking {} cells with round-0 F_prob in [0.2, 0.8]",
+        tracked.len()
+    );
 
     let mut series: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); tracked.len()];
     for (i, &c) in tracked.iter().enumerate() {
         series[i].push(first.fprob(c));
     }
     for _ in 1..rounds {
-        let p = Profiler::new(&mut ctrl).run(spec.clone()).expect("profiling succeeds");
+        let p = Profiler::new(&mut ctrl)
+            .run(spec.clone())
+            .expect("profiling succeeds");
         for (i, &c) in tracked.iter().enumerate() {
             series[i].push(p.fprob(c));
         }
@@ -56,8 +68,10 @@ fn main() {
     }
     let mean_excess = excess.iter().sum::<f64>() / excess.len().max(1) as f64;
     let mean_drift = drifts.iter().sum::<f64>() / drifts.len().max(1) as f64;
-    let max_drift =
-        drifts.iter().copied().fold(0.0f64, |acc, d| acc.max(d.abs()));
+    let max_drift = drifts
+        .iter()
+        .copied()
+        .fold(0.0f64, |acc, d| acc.max(d.abs()));
 
     println!("observed variance / binomial sampling variance (mean): {mean_excess:.2}");
     println!("  (1.0 means the only round-to-round variation is sampling noise)");

@@ -23,8 +23,7 @@ fn main() {
                 continue;
             }
             ctrl.start_recording();
-            let mut trng =
-                DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
+            let mut trng = DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
             let mut bits = 0u64;
             for _ in 0..iterations {
                 bits += trng.sample_once().expect("sample") as u64;

@@ -13,10 +13,18 @@ fn main() {
     println!("== Section 7.3: 64-bit random value latency ==\n");
     let timing = TimingParams::lpddr4_3200();
     let scenarios = [
-        ("worst: 1 bank, 1 channel, 1 cell/word", LatencyScenario::worst_case(), "960 ns"),
+        (
+            "worst: 1 bank, 1 channel, 1 cell/word",
+            LatencyScenario::worst_case(),
+            "960 ns",
+        ),
         (
             "parallel: 8 banks, 4 channels, 1 cell/word",
-            LatencyScenario { banks: 8, channels: 4, bits_per_word: 1 },
+            LatencyScenario {
+                banks: 8,
+                channels: 4,
+                bits_per_word: 1,
+            },
             "220 ns",
         ),
         (

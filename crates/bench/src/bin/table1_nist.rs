@@ -56,13 +56,15 @@ fn main() {
                     break;
                 }
                 let expected = 0u64; // solid-zero pattern
-                ctrl.device_mut().fill_row(addr.bank, addr.row, dram_sim::DataPattern::Solid0);
+                ctrl.device_mut()
+                    .fill_row(addr.bank, addr.row, dram_sim::DataPattern::Solid0);
                 let read_word = |ctrl: &mut memctrl::MemoryController| -> u64 {
                     ctrl.refresh_row(addr.bank, addr.row).expect("refresh");
                     ctrl.act(addr.bank, addr.row).expect("act");
                     let got = ctrl.rd(addr.bank, addr.row, addr.col).expect("rd");
                     if got != expected {
-                        ctrl.wr(addr.bank, addr.row, addr.col, expected).expect("wr");
+                        ctrl.wr(addr.bank, addr.row, addr.col, expected)
+                            .expect("wr");
                     }
                     ctrl.pre(addr.bank).expect("pre");
                     got
@@ -78,8 +80,7 @@ fn main() {
                 // Keep the unbiased cells of this word.
                 let keep: Vec<usize> = (0..bits.len())
                     .filter(|&s| {
-                        let ones =
-                            streams_here[s].iter().filter(|&&b| b).count() as f64;
+                        let ones = streams_here[s].iter().filter(|&&b| b).count() as f64;
                         (ones / SCREEN_READS as f64 - 0.5).abs() < SCREEN_BIAS
                     })
                     .collect();
@@ -99,8 +100,7 @@ fn main() {
             ctrl.reset_trcd();
 
             for stream in cell_streams.iter().take(cells_per_device) {
-                let ones =
-                    stream.iter().filter(|&&b| b).count() as f64 / stream.len() as f64;
+                let ones = stream.iter().filter(|&&b| b).count() as f64 / stream.len() as f64;
                 min_cell_entropy = min_cell_entropy.min(binary_entropy(ones));
                 let bits = Bits::from_bools(stream.iter().copied());
                 let report = NistSuite::paper().run(&bits);
@@ -110,9 +110,7 @@ fn main() {
                         test_order.push(o.name);
                     }
                     match &o.result {
-                        Ok(r) => {
-                            per_test_p.entry(o.name).or_default().push(r.mean_p())
-                        }
+                        Ok(r) => per_test_p.entry(o.name).or_default().push(r.mean_p()),
                         Err(StsError::NotApplicable { .. }) => {}
                         Err(e) => panic!("{e}"),
                     }
@@ -127,7 +125,10 @@ fn main() {
         }
     }
 
-    println!("\n{:<42} {:>10}  Status   (average over {streams} streams)", "NIST Test Name", "P-value");
+    println!(
+        "\n{:<42} {:>10}  Status   (average over {streams} streams)",
+        "NIST Test Name", "P-value"
+    );
     for name in test_order {
         if let Some(ps) = per_test_p.get(name) {
             let mean = ps.iter().sum::<f64>() / ps.len() as f64;

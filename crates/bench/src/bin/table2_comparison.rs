@@ -14,7 +14,9 @@ use trng_baselines::retention_trng::RetentionRegion;
 use trng_baselines::{CommandScheduleTrng, KellerTrng, StartupTrng, SutarTrng, TrngMetrics};
 
 fn device() -> DeviceConfig {
-    DeviceConfig::new(Manufacturer::A).with_seed(22).with_noise_seed(23)
+    DeviceConfig::new(Manufacturer::A)
+        .with_seed(22)
+        .with_noise_seed(23)
 }
 
 fn drange_row(scale: Scale) -> TrngMetrics {
@@ -65,17 +67,26 @@ fn pyo_row(scale: Scale) -> TrngMetrics {
 
 fn retention_rows(scale: Scale) -> (TrngMetrics, TrngMetrics) {
     let pause = 40.0;
-    let region = RetentionRegion { bank: 0, rows: 0..scale.pick(256, 1024) };
+    let region = RetentionRegion {
+        bank: 0,
+        rows: 0..scale.pick(256, 1024),
+    };
     let energy = EnergyModel::lpddr4();
 
-    let mut keller =
-        KellerTrng::enroll(MemoryController::from_config(device()), region.clone(), pause)
-            .expect("enroll");
+    let mut keller = KellerTrng::enroll(
+        MemoryController::from_config(device()),
+        region.clone(),
+        pause,
+    )
+    .expect("enroll");
     let kbits = keller.harvest().expect("harvest").len().max(1) as u64;
     let keller_bps = keller.throughput_bps();
 
-    let mut sutar =
-        SutarTrng::new(MemoryController::from_config(device()), region.clone(), pause);
+    let mut sutar = SutarTrng::new(
+        MemoryController::from_config(device()),
+        region.clone(),
+        pause,
+    );
     let _ = sutar.harvest().expect("harvest");
     let sutar_bps = sutar.throughput_bps();
     // Energy: write + read the region once plus 40 s of background power,
@@ -147,8 +158,13 @@ fn main() {
         "Proposal", "Year", "Entropy Source", "TRNG", "Stream", "64b Lat", "nJ/bit", "Peak T'put"
     );
     let (keller, sutar) = retention_rows(scale);
-    let rows =
-        vec![pyo_row(scale), keller, startup_row(), sutar, drange_row(scale)];
+    let rows = vec![
+        pyo_row(scale),
+        keller,
+        startup_row(),
+        sutar,
+        drange_row(scale),
+    ];
     for r in &rows {
         println!("{r}");
     }

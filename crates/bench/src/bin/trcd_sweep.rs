@@ -17,7 +17,9 @@ fn main() {
     println!("rows 0..{rows}, {iterations} iteration(s) per point, datasheet tRCD = 18 ns\n");
 
     let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::A).with_seed(613).with_noise_seed(14),
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(613)
+            .with_noise_seed(14),
     );
     println!("{:>8} {:>12} {:>12}", "tRCD", "fail cells", "fail events");
     let mut max_cells = 1usize;
@@ -26,9 +28,12 @@ fn main() {
         let trcd = trcd10 as f64 / 10.0;
         let profile = Profiler::new(&mut ctrl)
             .run(
-                ProfileSpec { rows: 0..rows, ..ProfileSpec::default() }
-                    .with_trcd_ns(trcd)
-                    .with_iterations(iterations),
+                ProfileSpec {
+                    rows: 0..rows,
+                    ..ProfileSpec::default()
+                }
+                .with_trcd_ns(trcd)
+                .with_iterations(iterations),
             )
             .expect("profiling succeeds");
         max_cells = max_cells.max(profile.unique_failures());
@@ -37,10 +42,16 @@ fn main() {
     for (trcd, cells, events) in &rowsdata {
         // Log-scaled bar: failure counts span orders of magnitude.
         let scaled = (1.0 + *cells as f64).ln() / (1.0 + max_cells as f64).ln();
-        println!("{trcd:>6.1}ns {cells:>12} {events:>12}  {}", bar(scaled, 30));
+        println!(
+            "{trcd:>6.1}ns {cells:>12} {events:>12}  {}",
+            bar(scaled, 30)
+        );
     }
 
-    let first_zero = rowsdata.iter().find(|(_, c, _)| *c == 0).map(|(t, _, _)| *t);
+    let first_zero = rowsdata
+        .iter()
+        .find(|(_, c, _)| *c == 0)
+        .map(|(t, _, _)| *t);
     println!(
         "\nfailures vanish at tRCD >= {:.1} ns; paper: inducible for 6-13 ns",
         first_zero.unwrap_or(f64::NAN)

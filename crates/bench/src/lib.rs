@@ -21,6 +21,7 @@
 //! | `duty_cycle` | Section 7.3 — sampling-window vs demand-latency trade-off |
 //! | `calibration` | per-chip sampling-tRCD calibration curves |
 //! | `engine_scaling` | Sections 6.2/7.3 — multi-channel engine throughput sweep (1–8 workers) |
+//! | `telemetry_overhead` | no-op-handle cost check: bare vs noop vs live instrumentation |
 //! | `diehard_battery` | DIEHARD-style battery on D-RaNGe output |
 //!
 //! Every binary accepts `--full` for paper-scale runs and defaults to a
@@ -93,18 +94,23 @@ pub fn pipeline(
     let mut ctrl = MemoryController::from_config(config);
     let cols = ctrl.device().geometry().cols;
     let profile = Profiler::new(&mut ctrl)
-        .run(ProfileSpec {
-            banks: (0..banks).collect(),
-            rows: 0..rows,
-            cols: 0..cols,
-            ..ProfileSpec::default()
-        }
-        .with_iterations(profile_iters))
+        .run(
+            ProfileSpec {
+                banks: (0..banks).collect(),
+                rows: 0..rows,
+                cols: 0..cols,
+                ..ProfileSpec::default()
+            }
+            .with_iterations(profile_iters),
+        )
         .expect("profiling succeeds");
     let catalog = RngCellCatalog::identify(
         &mut ctrl,
         &profile,
-        IdentifySpec { reads: identify_reads, ..IdentifySpec::default() },
+        IdentifySpec {
+            reads: identify_reads,
+            ..IdentifySpec::default()
+        },
     )
     .expect("identification succeeds");
     (ctrl, catalog)
@@ -144,7 +150,13 @@ pub fn box_stats(values: &[f64]) -> BoxStats {
             v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
         }
     };
-    BoxStats { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: v[v.len() - 1] }
+    BoxStats {
+        min: v[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: v[v.len() - 1],
+    }
 }
 
 impl std::fmt::Display for BoxStats {
@@ -218,7 +230,9 @@ mod tests {
     #[test]
     fn pipeline_produces_catalog() {
         let (ctrl, catalog) = pipeline(
-            DeviceConfig::new(Manufacturer::A).with_seed(9).with_noise_seed(10),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(9)
+                .with_noise_seed(10),
             2,
             128,
             20,

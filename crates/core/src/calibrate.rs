@@ -101,11 +101,12 @@ pub fn sweep(
         });
     }
     points.sort_by(|a, b| a.trcd_ns.partial_cmp(&b.trcd_ns).expect("no NaN"));
-    let region_cells = base.banks.len()
-        * base.rows.len()
-        * base.cols.len()
-        * ctrl.device().geometry().word_bits;
-    Ok(Calibration { points, region_cells })
+    let region_cells =
+        base.banks.len() * base.rows.len() * base.cols.len() * ctrl.device().geometry().word_bits;
+    Ok(Calibration {
+        points,
+        region_cells,
+    })
 }
 
 /// The default sweep grid: 6 to 13 ns in 1 ns steps (the paper's
@@ -121,12 +122,18 @@ mod tests {
 
     fn ctrl() -> MemoryController {
         MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(99).with_noise_seed(98),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(99)
+                .with_noise_seed(98),
         )
     }
 
     fn region() -> ProfileSpec {
-        ProfileSpec { rows: 0..192, ..ProfileSpec::default() }.with_iterations(20)
+        ProfileSpec {
+            rows: 0..192,
+            ..ProfileSpec::default()
+        }
+        .with_iterations(20)
     }
 
     #[test]

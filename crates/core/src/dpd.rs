@@ -92,7 +92,10 @@ pub fn run_study(
             band_cells,
         })
         .collect();
-    Ok(DpdStudy { patterns, union_size: union.len() })
+    Ok(DpdStudy {
+        patterns,
+        union_size: union.len(),
+    })
 }
 
 #[cfg(test)]
@@ -101,9 +104,7 @@ mod tests {
     use dram_sim::{DeviceConfig, Manufacturer};
 
     fn ctrl(m: Manufacturer) -> MemoryController {
-        MemoryController::from_config(
-            DeviceConfig::new(m).with_seed(7).with_noise_seed(8),
-        )
+        MemoryController::from_config(DeviceConfig::new(m).with_seed(7).with_noise_seed(8))
     }
 
     fn base_spec() -> ProfileSpec {
@@ -121,7 +122,11 @@ mod tests {
         let study = run_study(
             &mut c,
             &base_spec(),
-            &[DataPattern::Solid0, DataPattern::Solid1, DataPattern::Checkered],
+            &[
+                DataPattern::Solid0,
+                DataPattern::Solid1,
+                DataPattern::Checkered,
+            ],
         )
         .unwrap();
         assert_eq!(study.patterns.len(), 3);
@@ -139,9 +144,12 @@ mod tests {
     #[test]
     fn coverage_is_normalized() {
         let mut c = ctrl(Manufacturer::B);
-        let study =
-            run_study(&mut c, &base_spec(), &[DataPattern::Solid0, DataPattern::ColStripe])
-                .unwrap();
+        let study = run_study(
+            &mut c,
+            &base_spec(),
+            &[DataPattern::Solid0, DataPattern::ColStripe],
+        )
+        .unwrap();
         for p in &study.patterns {
             assert!((0.0..=1.0).contains(&p.coverage));
             assert!(p.found <= study.union_size);

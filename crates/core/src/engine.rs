@@ -41,6 +41,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use dram_sim::DeviceConfig;
+use drange_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use memctrl::MemoryController;
 use parking_lot::{Condvar, Mutex};
 
@@ -124,21 +125,25 @@ impl Default for EngineConfig {
 impl EngineConfig {
     fn validate(&self) -> Result<()> {
         if self.queue_capacity == 0 {
-            return Err(DrangeError::InvalidSpec("queue capacity must be nonzero".into()));
+            return Err(DrangeError::InvalidSpec(
+                "queue capacity must be nonzero".into(),
+            ));
         }
-        if self.low_watermark > self.high_watermark
-            || self.high_watermark > self.queue_capacity
-        {
+        if self.low_watermark > self.high_watermark || self.high_watermark > self.queue_capacity {
             return Err(DrangeError::InvalidSpec(format!(
                 "watermarks must satisfy low ({}) <= high ({}) <= capacity ({})",
                 self.low_watermark, self.high_watermark, self.queue_capacity
             )));
         }
         if !(0.0..=1.0).contains(&self.min_entropy) || self.min_entropy == 0.0 {
-            return Err(DrangeError::InvalidSpec("min_entropy must be in (0,1]".into()));
+            return Err(DrangeError::InvalidSpec(
+                "min_entropy must be in (0,1]".into(),
+            ));
         }
         if self.channel_batches == 0 {
-            return Err(DrangeError::InvalidSpec("channel_batches must be nonzero".into()));
+            return Err(DrangeError::InvalidSpec(
+                "channel_batches must be nonzero".into(),
+            ));
         }
         if self.max_consecutive_rejects == 0 {
             return Err(DrangeError::InvalidSpec(
@@ -156,8 +161,105 @@ struct WorkerCounters {
     harvested_bits: AtomicU64,
     discarded_bits: AtomicU64,
     health_trips: AtomicU64,
+    repetition_trips: AtomicU64,
+    adaptive_trips: AtomicU64,
     batches: AtomicU64,
     device_time_ps: AtomicU64,
+}
+
+/// Telemetry handles one worker thread records into. All handles are
+/// no-ops (and the stage timers never read the clock) when the engine
+/// was spawned without a registry.
+#[derive(Debug, Clone, Default)]
+struct WorkerTelemetry {
+    harvest_ns: Histogram,
+    health_ns: Histogram,
+    publish_ns: Histogram,
+    harvested_bits: Counter,
+    discarded_bits: Counter,
+    batches: Counter,
+    repetition_trips: Counter,
+    adaptive_trips: Counter,
+    throughput_bps: Gauge,
+}
+
+impl WorkerTelemetry {
+    fn new(registry: Option<&MetricsRegistry>, worker: usize) -> Self {
+        let Some(reg) = registry else {
+            return WorkerTelemetry::default();
+        };
+        let w = worker.to_string();
+        let stage = |stage: &str| {
+            reg.histogram(
+                "drange_stage_latency_ns",
+                &[("stage", stage), ("worker", &w)],
+            )
+        };
+        WorkerTelemetry {
+            harvest_ns: stage("harvest"),
+            health_ns: stage("health"),
+            publish_ns: stage("publish"),
+            harvested_bits: reg.counter("drange_worker_harvested_bits_total", &[("worker", &w)]),
+            discarded_bits: reg.counter("drange_worker_discarded_bits_total", &[("worker", &w)]),
+            batches: reg.counter("drange_worker_batches_total", &[("worker", &w)]),
+            repetition_trips: reg.counter(
+                "drange_health_trips_total",
+                &[("test", "repetition"), ("worker", &w)],
+            ),
+            adaptive_trips: reg.counter(
+                "drange_health_trips_total",
+                &[("test", "adaptive"), ("worker", &w)],
+            ),
+            throughput_bps: reg.gauge("drange_worker_throughput_bps", &[("worker", &w)]),
+        }
+    }
+}
+
+/// Telemetry handles for the collector thread.
+#[derive(Debug, Clone, Default)]
+struct CollectorTelemetry {
+    collect_ns: Histogram,
+    pool_bits: Gauge,
+}
+
+impl CollectorTelemetry {
+    fn new(registry: Option<&MetricsRegistry>) -> Self {
+        let Some(reg) = registry else {
+            return CollectorTelemetry::default();
+        };
+        CollectorTelemetry {
+            collect_ns: reg.histogram(
+                "drange_stage_latency_ns",
+                &[("stage", "collect"), ("worker", "collector")],
+            ),
+            pool_bits: reg.gauge("drange_pool_bits", &[]),
+        }
+    }
+}
+
+/// Client-side telemetry handles held by the engine itself.
+#[derive(Debug, Clone, Default)]
+struct EngineTelemetry {
+    take_bits_ns: Histogram,
+    pool_wait_ns: Histogram,
+    pool_bits: Gauge,
+    pool_waiters: Gauge,
+    served_bits: Counter,
+}
+
+impl EngineTelemetry {
+    fn new(registry: Option<&MetricsRegistry>) -> Self {
+        let Some(reg) = registry else {
+            return EngineTelemetry::default();
+        };
+        EngineTelemetry {
+            take_bits_ns: reg.histogram("drange_take_bits_latency_ns", &[]),
+            pool_wait_ns: reg.histogram("drange_pool_wait_ns", &[]),
+            pool_bits: reg.gauge("drange_pool_bits", &[]),
+            pool_waiters: reg.gauge("drange_pool_waiters", &[]),
+            served_bits: reg.counter("drange_served_bits_total", &[]),
+        }
+    }
 }
 
 /// State shared between workers, the collector, and clients.
@@ -187,8 +289,12 @@ pub struct WorkerStats {
     /// Bits discarded by this worker's health screening (including any
     /// undeliverable batch dropped during shutdown).
     pub discarded_bits: u64,
-    /// Health-test firings observed by this worker.
+    /// Health-test firings observed by this worker (both tests).
     pub health_trips: u64,
+    /// Repetition-count-test firings alone (stuck-source signal).
+    pub repetition_trips: u64,
+    /// Adaptive-proportion-test firings alone (bias signal).
+    pub adaptive_trips: u64,
     /// Batches harvested.
     pub batches: u64,
     /// Device time consumed by this worker's channel, ps.
@@ -215,8 +321,12 @@ pub struct EngineStats {
     pub harvested_bits: u64,
     /// Bits rejected by health screening across all workers.
     pub discarded_bits: u64,
-    /// Health-test firings across all workers.
+    /// Health-test firings across all workers (both tests).
     pub health_trips: u64,
+    /// Repetition-count-test firings across all workers.
+    pub repetition_trips: u64,
+    /// Adaptive-proportion-test firings across all workers.
+    pub adaptive_trips: u64,
     /// Bits currently queued in the shared pool.
     pub queued_bits: usize,
     /// Bits handed to clients.
@@ -250,12 +360,14 @@ pub struct HarvestEngine {
     config: EngineConfig,
     shared: Arc<Shared>,
     counters: Vec<Arc<WorkerCounters>>,
+    telemetry: EngineTelemetry,
     workers: Vec<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
 }
 
 impl HarvestEngine {
-    /// Spawns one worker thread per source plus the collector thread.
+    /// Spawns one worker thread per source plus the collector thread,
+    /// without telemetry (instrumentation runs in no-op mode).
     ///
     /// # Errors
     ///
@@ -263,6 +375,23 @@ impl HarvestEngine {
     /// inconsistent watermarks, and [`DrangeError::Engine`] when the OS
     /// refuses to spawn a thread.
     pub fn spawn<S: HarvestSource>(sources: Vec<S>, config: EngineConfig) -> Result<Self> {
+        Self::spawn_with_telemetry(sources, config, None)
+    }
+
+    /// As [`HarvestEngine::spawn`], additionally registering the
+    /// engine's metrics (per-stage latency histograms, per-worker
+    /// counters, pool gauges, per-test health-trip counters) in
+    /// `registry` when one is given. See the `DESIGN.md` Observability
+    /// section for the metric names.
+    ///
+    /// # Errors
+    ///
+    /// As [`HarvestEngine::spawn`].
+    pub fn spawn_with_telemetry<S: HarvestSource>(
+        sources: Vec<S>,
+        config: EngineConfig,
+        registry: Option<&MetricsRegistry>,
+    ) -> Result<Self> {
         config.validate()?;
         if sources.is_empty() {
             return Err(DrangeError::InvalidSpec(
@@ -286,6 +415,7 @@ impl HarvestEngine {
         for (index, source) in sources.into_iter().enumerate() {
             let ctr = Arc::new(WorkerCounters::default());
             counters.push(Arc::clone(&ctr));
+            let tel = WorkerTelemetry::new(registry, index);
             let handle = std::thread::Builder::new()
                 .name(format!("drange-worker-{index}"))
                 .spawn({
@@ -293,7 +423,7 @@ impl HarvestEngine {
                     let tx = tx.clone();
                     let min_entropy = config.min_entropy;
                     let max_rejects = config.max_consecutive_rejects;
-                    move || worker_loop(source, tx, shared, ctr, min_entropy, max_rejects)
+                    move || worker_loop(source, tx, shared, ctr, tel, min_entropy, max_rejects)
                 })
                 .map_err(|e| DrangeError::Engine(format!("spawning worker {index}: {e}")))?;
             workers.push(handle);
@@ -301,16 +431,24 @@ impl HarvestEngine {
         // The workers hold the only senders: when the last worker
         // exits, the collector sees the channel disconnect and drains.
         drop(tx);
+        let collector_tel = CollectorTelemetry::new(registry);
         let collector = std::thread::Builder::new()
             .name("drange-collector".into())
             .spawn({
                 let shared = Arc::clone(&shared);
                 let low = config.low_watermark;
                 let high = config.high_watermark;
-                move || collector_loop(rx, shared, low, high)
+                move || collector_loop(rx, shared, collector_tel, low, high)
             })
             .map_err(|e| DrangeError::Engine(format!("spawning collector: {e}")))?;
-        Ok(HarvestEngine { config, shared, counters, workers, collector: Some(collector) })
+        Ok(HarvestEngine {
+            config,
+            shared,
+            counters,
+            telemetry: EngineTelemetry::new(registry),
+            workers,
+            collector: Some(collector),
+        })
     }
 
     /// The engine configuration.
@@ -345,6 +483,16 @@ impl HarvestEngine {
     /// retired, and [`DrangeError::Engine`] when the engine stops
     /// before the request can be served.
     pub fn take_bits(&self, bits: usize) -> Result<Vec<bool>> {
+        let t0 = self.telemetry.take_bits_ns.start();
+        let out = self.take_bits_inner(bits);
+        self.telemetry.take_bits_ns.observe_since(t0);
+        if out.is_ok() {
+            self.telemetry.served_bits.add(bits as u64);
+        }
+        out
+    }
+
+    fn take_bits_inner(&self, bits: usize) -> Result<Vec<bool>> {
         if bits > self.config.queue_capacity {
             return Err(DrangeError::InvalidSpec(format!(
                 "request of {bits} bits exceeds pool capacity {}",
@@ -352,11 +500,26 @@ impl HarvestEngine {
             )));
         }
         let mut pool = self.shared.pool.lock();
+        // `wait_t0` stays None until (unless) the request actually has
+        // to block, so the fast path never reads the clock.
+        let mut wait_t0 = None;
+        let mut waiting = false;
+        let finish_wait = |tel: &EngineTelemetry, waiting: bool, wait_t0| {
+            if waiting {
+                tel.pool_waiters.sub(1);
+                tel.pool_wait_ns.observe_since(wait_t0);
+            }
+        };
         loop {
             if pool.len() >= bits {
                 let out: Vec<bool> = pool.drain(..bits).collect();
+                let remaining = pool.len();
                 drop(pool);
-                self.shared.served_bits.fetch_add(bits as u64, Ordering::SeqCst);
+                finish_wait(&self.telemetry, waiting, wait_t0);
+                self.telemetry.pool_bits.set(remaining as u64);
+                self.shared
+                    .served_bits
+                    .fetch_add(bits as u64, Ordering::SeqCst);
                 self.shared.space_available.notify_all();
                 return Ok(out);
             }
@@ -364,11 +527,15 @@ impl HarvestEngine {
                 && self.shared.collector_done.load(Ordering::SeqCst);
             if self.shared.shutdown.load(Ordering::SeqCst) || workers_gone {
                 drop(pool);
+                finish_wait(&self.telemetry, waiting, wait_t0);
                 return Err(self.first_error().unwrap_or_else(|| {
-                    DrangeError::Engine(
-                        "engine stopped before the request could be served".into(),
-                    )
+                    DrangeError::Engine("engine stopped before the request could be served".into())
                 }));
+            }
+            if !waiting {
+                waiting = true;
+                wait_t0 = self.telemetry.pool_wait_ns.start();
+                self.telemetry.pool_waiters.add(1);
             }
             let _ = self.shared.bits_available.wait_for(&mut pool, POLL);
         }
@@ -408,6 +575,8 @@ impl HarvestEngine {
                 harvested_bits: c.harvested_bits.load(Ordering::SeqCst),
                 discarded_bits: c.discarded_bits.load(Ordering::SeqCst),
                 health_trips: c.health_trips.load(Ordering::SeqCst),
+                repetition_trips: c.repetition_trips.load(Ordering::SeqCst),
+                adaptive_trips: c.adaptive_trips.load(Ordering::SeqCst),
                 batches: c.batches.load(Ordering::SeqCst),
                 device_time_ps: c.device_time_ps.load(Ordering::SeqCst),
             })
@@ -416,6 +585,8 @@ impl HarvestEngine {
             harvested_bits: workers.iter().map(|w| w.harvested_bits).sum(),
             discarded_bits: workers.iter().map(|w| w.discarded_bits).sum(),
             health_trips: workers.iter().map(|w| w.health_trips).sum(),
+            repetition_trips: workers.iter().map(|w| w.repetition_trips).sum(),
+            adaptive_trips: workers.iter().map(|w| w.adaptive_trips).sum(),
             queued_bits: self.queued_bits(),
             served_bits: self.shared.served_bits.load(Ordering::SeqCst),
             in_flight_bits: self.shared.in_flight_bits.load(Ordering::SeqCst),
@@ -457,10 +628,19 @@ fn worker_loop<S: HarvestSource>(
     tx: Sender<Vec<bool>>,
     shared: Arc<Shared>,
     counters: Arc<WorkerCounters>,
+    tel: WorkerTelemetry,
     min_entropy: f64,
     max_rejects: u32,
 ) {
-    let error = worker_run(source, &tx, &shared, &counters, min_entropy, max_rejects);
+    let error = worker_run(
+        source,
+        &tx,
+        &shared,
+        &counters,
+        &tel,
+        min_entropy,
+        max_rejects,
+    );
     if let Some(e) = error {
         let mut slot = shared.first_error.lock();
         if slot.is_none() {
@@ -479,23 +659,53 @@ fn worker_run<S: HarvestSource>(
     tx: &Sender<Vec<bool>>,
     shared: &Shared,
     counters: &WorkerCounters,
+    tel: &WorkerTelemetry,
     min_entropy: f64,
     max_rejects: u32,
 ) -> Option<DrangeError> {
     let mut health = HealthMonitor::new(min_entropy);
     let mut consecutive_rejects = 0u32;
     while !shared.shutdown.load(Ordering::SeqCst) {
+        let harvest_t0 = tel.harvest_ns.start();
         let batch = match source.harvest_batch() {
             Ok(b) => b,
             Err(e) => return Some(e),
         };
-        counters.device_time_ps.store(source.device_time_ps(), Ordering::SeqCst);
+        tel.harvest_ns.observe_since(harvest_t0);
+        let device_time_ps = source.device_time_ps();
+        counters
+            .device_time_ps
+            .store(device_time_ps, Ordering::SeqCst);
         counters.batches.fetch_add(1, Ordering::SeqCst);
-        counters.harvested_bits.fetch_add(batch.len() as u64, Ordering::SeqCst);
-        let trips = health.feed_all(&batch);
-        if trips > 0 {
-            counters.health_trips.fetch_add(trips, Ordering::SeqCst);
-            counters.discarded_bits.fetch_add(batch.len() as u64, Ordering::SeqCst);
+        counters
+            .harvested_bits
+            .fetch_add(batch.len() as u64, Ordering::SeqCst);
+        tel.batches.inc();
+        tel.harvested_bits.add(batch.len() as u64);
+        if tel.throughput_bps.is_live() && device_time_ps > 0 {
+            let harvested = counters.harvested_bits.load(Ordering::SeqCst);
+            let bps = harvested as f64 / (device_time_ps as f64 * 1e-12);
+            tel.throughput_bps.set(bps as u64);
+        }
+        let health_t0 = tel.health_ns.start();
+        let trips = health.feed_all_counted(&batch);
+        tel.health_ns.observe_since(health_t0);
+        if trips.total() > 0 {
+            counters
+                .health_trips
+                .fetch_add(trips.total(), Ordering::SeqCst);
+            counters
+                .repetition_trips
+                .fetch_add(trips.repetition, Ordering::SeqCst);
+            counters
+                .adaptive_trips
+                .fetch_add(trips.adaptive, Ordering::SeqCst);
+            counters
+                .discarded_bits
+                .fetch_add(batch.len() as u64, Ordering::SeqCst);
+            tel.repetition_trips.add(trips.repetition);
+            tel.adaptive_trips.add(trips.adaptive);
+            tel.discarded_bits.add(batch.len() as u64);
             // The guard is persistent worker state: it spans request
             // boundaries and resets only when a batch is accepted.
             consecutive_rejects += 1;
@@ -507,24 +717,40 @@ fn worker_run<S: HarvestSource>(
             continue;
         }
         consecutive_rejects = 0;
-        shared.in_flight_bits.fetch_add(batch.len() as u64, Ordering::SeqCst);
+        shared
+            .in_flight_bits
+            .fetch_add(batch.len() as u64, Ordering::SeqCst);
+        let publish_t0 = tel.publish_ns.start();
         let mut message = batch;
         loop {
             match tx.send_timeout(message, POLL) {
-                Ok(()) => break,
+                Ok(()) => {
+                    tel.publish_ns.observe_since(publish_t0);
+                    break;
+                }
                 Err(SendTimeoutError::Timeout(m)) => {
                     if shared.shutdown.load(Ordering::SeqCst) {
                         // Undeliverable during shutdown: account the
                         // batch as discarded so no bits go missing.
-                        shared.in_flight_bits.fetch_sub(m.len() as u64, Ordering::SeqCst);
-                        counters.discarded_bits.fetch_add(m.len() as u64, Ordering::SeqCst);
+                        shared
+                            .in_flight_bits
+                            .fetch_sub(m.len() as u64, Ordering::SeqCst);
+                        counters
+                            .discarded_bits
+                            .fetch_add(m.len() as u64, Ordering::SeqCst);
+                        tel.discarded_bits.add(m.len() as u64);
                         return None;
                     }
                     message = m;
                 }
                 Err(SendTimeoutError::Disconnected(m)) => {
-                    shared.in_flight_bits.fetch_sub(m.len() as u64, Ordering::SeqCst);
-                    counters.discarded_bits.fetch_add(m.len() as u64, Ordering::SeqCst);
+                    shared
+                        .in_flight_bits
+                        .fetch_sub(m.len() as u64, Ordering::SeqCst);
+                    counters
+                        .discarded_bits
+                        .fetch_add(m.len() as u64, Ordering::SeqCst);
+                    tel.discarded_bits.add(m.len() as u64);
                     return None;
                 }
             }
@@ -535,7 +761,13 @@ fn worker_run<S: HarvestSource>(
 
 /// Body of the collector thread: gate on the watermarks, drain batches
 /// into the pool, and on disconnect (all workers gone) stop.
-fn collector_loop(rx: Receiver<Vec<bool>>, shared: Arc<Shared>, low: usize, high: usize) {
+fn collector_loop(
+    rx: Receiver<Vec<bool>>,
+    shared: Arc<Shared>,
+    tel: CollectorTelemetry,
+    low: usize,
+    high: usize,
+) {
     let mut filling = true;
     loop {
         let shutting_down = shared.shutdown.load(Ordering::SeqCst);
@@ -560,10 +792,14 @@ fn collector_loop(rx: Receiver<Vec<bool>>, shared: Arc<Shared>, low: usize, high
         match rx.recv_timeout(POLL) {
             Ok(batch) => {
                 let n = batch.len() as u64;
-                {
+                let collect_t0 = tel.collect_ns.start();
+                let queued = {
                     let mut pool = shared.pool.lock();
                     pool.extend(batch);
-                }
+                    pool.len()
+                };
+                tel.collect_ns.observe_since(collect_t0);
+                tel.pool_bits.set(queued as u64);
                 shared.in_flight_bits.fetch_sub(n, Ordering::SeqCst);
                 shared.bits_available.notify_all();
             }
@@ -593,10 +829,31 @@ pub fn channel_sources(
     config: &DRangeConfig,
     channels: usize,
 ) -> Result<Vec<DRange>> {
+    channel_sources_with_telemetry(base, catalog, config, channels, None)
+}
+
+/// As [`channel_sources`], additionally attaching each channel's memory
+/// controller to `registry` (command counts and tRCD timing-register
+/// writes, labeled by channel) when one is given.
+///
+/// # Errors
+///
+/// As [`channel_sources`].
+pub fn channel_sources_with_telemetry(
+    base: &DeviceConfig,
+    catalog: &RngCellCatalog,
+    config: &DRangeConfig,
+    channels: usize,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Vec<DRange>> {
     (0..channels)
         .map(|channel| {
             let device = base.clone().with_noise_seed_offset(channel as u64);
-            DRange::new(MemoryController::from_config(device), catalog, config.clone())
+            let mut ctrl = MemoryController::from_config(device);
+            if let Some(reg) = registry {
+                ctrl.attach_telemetry(reg, &channel.to_string());
+            }
+            DRange::new(ctrl, catalog, config.clone())
         })
         .collect()
 }
@@ -688,8 +945,7 @@ mod tests {
 
     #[test]
     fn serves_bits_and_bytes() {
-        let engine =
-            HarvestEngine::spawn(vec![PrngSource::new(7, 128)], small_config()).unwrap();
+        let engine = HarvestEngine::spawn(vec![PrngSource::new(7, 128)], small_config()).unwrap();
         let bits = engine.take_bits(100).unwrap();
         assert_eq!(bits.len(), 100);
         let bytes = engine.take_bytes(32).unwrap();
@@ -707,7 +963,10 @@ mod tests {
             let _ = engine.take_bits(200).unwrap();
         }
         let stats = engine.shutdown();
-        assert_eq!(stats.in_flight_bits, 0, "graceful shutdown leaves nothing in flight");
+        assert_eq!(
+            stats.in_flight_bits, 0,
+            "graceful shutdown leaves nothing in flight"
+        );
         assert_eq!(
             stats.harvested_bits,
             stats.queued_bits as u64 + stats.served_bits + stats.discarded_bits,
@@ -730,9 +989,7 @@ mod tests {
         // Let the engine idle-fill, then check the pool respects the
         // high watermark (+ at most one batch of overshoot).
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while engine.queued_bits() < config.high_watermark
-            && std::time::Instant::now() < deadline
-        {
+        while engine.queued_bits() < config.high_watermark && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         std::thread::sleep(Duration::from_millis(100));
@@ -745,15 +1002,21 @@ mod tests {
         let stats = engine.shutdown();
         // Idle harvesting stopped: harvested is bounded by what fits in
         // the pool plus the channel, not unbounded.
-        let bound = (config.queue_capacity
-            + (config.channel_batches + 2) * batch
-            + 2 * batch) as u64;
-        assert!(stats.harvested_bits <= bound, "{} > {bound}", stats.harvested_bits);
+        let bound =
+            (config.queue_capacity + (config.channel_batches + 2) * batch + 2 * batch) as u64;
+        assert!(
+            stats.harvested_bits <= bound,
+            "{} > {bound}",
+            stats.harvested_bits
+        );
     }
 
     #[test]
     fn permanently_unhealthy_source_errors_instead_of_spinning() {
-        let config = EngineConfig { max_consecutive_rejects: 50, ..small_config() };
+        let config = EngineConfig {
+            max_consecutive_rejects: 50,
+            ..small_config()
+        };
         let engine = HarvestEngine::spawn(vec![StuckSource { batch: 64 }], config).unwrap();
         let err = engine.take_bits(64).unwrap_err();
         assert!(matches!(err, DrangeError::Unhealthy(_)), "got {err:?}");
@@ -771,7 +1034,10 @@ mod tests {
         // limit leaves a wide margin because an adaptive-proportion
         // window can straddle from a rejected zero-stretch into a
         // healthy batch and occasionally reject it too.
-        let config = EngineConfig { max_consecutive_rejects: 100, ..small_config() };
+        let config = EngineConfig {
+            max_consecutive_rejects: 100,
+            ..small_config()
+        };
         let source = StretchSource {
             healthy: PrngSource::new(5, 256),
             reject_run: 10,
@@ -782,7 +1048,10 @@ mod tests {
         assert_eq!(bits.len(), 1024);
         assert!(engine.first_error().is_none(), "{:?}", engine.first_error());
         let stats = engine.shutdown();
-        assert!(stats.discarded_bits > 0, "unhealthy stretches were screened out");
+        assert!(
+            stats.discarded_bits > 0,
+            "unhealthy stretches were screened out"
+        );
     }
 
     #[test]
@@ -801,10 +1070,12 @@ mod tests {
 
     #[test]
     fn oversized_take_rejected() {
-        let engine =
-            HarvestEngine::spawn(vec![PrngSource::new(1, 32)], small_config()).unwrap();
+        let engine = HarvestEngine::spawn(vec![PrngSource::new(1, 32)], small_config()).unwrap();
         assert!(engine.take_bits(1 << 20).is_err());
-        assert!(engine.take_bytes(usize::MAX / 4).is_err(), "bit count overflow");
+        assert!(
+            engine.take_bytes(usize::MAX / 4).is_err(),
+            "bit count overflow"
+        );
     }
 
     #[test]
@@ -820,10 +1091,97 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_records_stages_counters_and_pool() {
+        let registry = MetricsRegistry::new();
+        let engine = HarvestEngine::spawn_with_telemetry(
+            vec![PrngSource::new(42, 128)],
+            small_config(),
+            Some(&registry),
+        )
+        .unwrap();
+        let _ = engine.take_bits(512).unwrap();
+        let stats = engine.shutdown();
+
+        let text = registry.render_prometheus();
+        for series in [
+            "drange_stage_latency_ns_count{stage=\"harvest\",worker=\"0\"}",
+            "drange_stage_latency_ns_count{stage=\"health\",worker=\"0\"}",
+            "drange_stage_latency_ns_count{stage=\"publish\",worker=\"0\"}",
+            "drange_stage_latency_ns_count{stage=\"collect\",worker=\"collector\"}",
+            "drange_take_bits_latency_ns_count",
+            "drange_pool_bits",
+            "drange_health_trips_total{test=\"adaptive\",worker=\"0\"}",
+            "drange_health_trips_total{test=\"repetition\",worker=\"0\"}",
+        ] {
+            assert!(text.contains(series), "missing series {series} in:\n{text}");
+        }
+        // Counters mirror the atomic stats exactly.
+        let find = |name: &str, labels: &[(&str, &str)]| -> u64 {
+            registry
+                .samples()
+                .into_iter()
+                .find(|s| {
+                    s.name == name
+                        && s.labels
+                            == labels
+                                .iter()
+                                .map(|(k, v)| (k.to_string(), v.to_string()))
+                                .collect::<Vec<_>>()
+                })
+                .and_then(|s| match s.value {
+                    drange_telemetry::MetricValue::Counter(v) => Some(v),
+                    _ => None,
+                })
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+        };
+        assert_eq!(
+            find("drange_worker_harvested_bits_total", &[("worker", "0")]),
+            stats.harvested_bits
+        );
+        assert_eq!(find("drange_served_bits_total", &[]), stats.served_bits);
+        assert_eq!(
+            stats.repetition_trips + stats.adaptive_trips,
+            stats.health_trips
+        );
+    }
+
+    #[test]
+    fn spawn_without_registry_keeps_telemetry_noop() {
+        let engine = HarvestEngine::spawn(vec![PrngSource::new(9, 64)], small_config()).unwrap();
+        assert!(!engine.telemetry.take_bits_ns.is_live());
+        assert!(
+            engine.telemetry.take_bits_ns.start().is_none(),
+            "noop skips the clock"
+        );
+        let _ = engine.take_bits(32).unwrap();
+        engine.shutdown();
+    }
+
+    #[test]
+    fn unhealthy_trips_are_split_by_test_in_stats() {
+        let config = EngineConfig {
+            max_consecutive_rejects: 50,
+            ..small_config()
+        };
+        let engine = HarvestEngine::spawn(vec![StuckSource { batch: 64 }], config).unwrap();
+        let _ = engine.take_bits(64).unwrap_err();
+        let stats = engine.shutdown();
+        assert_eq!(
+            stats.repetition_trips + stats.adaptive_trips,
+            stats.health_trips
+        );
+        assert!(
+            stats.repetition_trips > 0,
+            "stuck source must fire the RCT: {stats:?}"
+        );
+        assert_eq!(stats.workers[0].repetition_trips, stats.repetition_trips);
+        assert_eq!(stats.workers[0].adaptive_trips, stats.adaptive_trips);
+    }
+
+    #[test]
     fn concurrent_clients_each_get_full_buffers() {
         let sources = (0..2).map(|i| PrngSource::new(100 + i, 128)).collect();
-        let engine =
-            Arc::new(HarvestEngine::spawn::<PrngSource>(sources, small_config()).unwrap());
+        let engine = Arc::new(HarvestEngine::spawn::<PrngSource>(sources, small_config()).unwrap());
         let mut handles = Vec::new();
         for t in 0..4 {
             let engine = Arc::clone(&engine);

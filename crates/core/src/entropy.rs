@@ -56,7 +56,10 @@ pub fn min_entropy_from_counts(counts: &[u64]) -> f64 {
 ///
 /// Panics if `symbol_bits` is 0 or greater than 16.
 pub fn symbol_counts(stream: &[bool], symbol_bits: usize) -> Vec<u64> {
-    assert!(symbol_bits >= 1 && symbol_bits <= 16, "symbol_bits must be 1..=16");
+    assert!(
+        symbol_bits >= 1 && symbol_bits <= 16,
+        "symbol_bits must be 1..=16"
+    );
     let mut counts = vec![0u64; 1usize << symbol_bits];
     for chunk in stream.chunks_exact(symbol_bits) {
         let mut v = 0usize;
@@ -78,7 +81,10 @@ pub fn symbol_counts(stream: &[bool], symbol_bits: usize) -> Vec<u64> {
 ///
 /// Panics if `symbol_bits` is 0 or greater than 16.
 pub fn symbol_counts_overlapping(stream: &[bool], symbol_bits: usize) -> Vec<u64> {
-    assert!(symbol_bits >= 1 && symbol_bits <= 16, "symbol_bits must be 1..=16");
+    assert!(
+        symbol_bits >= 1 && symbol_bits <= 16,
+        "symbol_bits must be 1..=16"
+    );
     let mut counts = vec![0u64; 1usize << symbol_bits];
     if stream.len() < symbol_bits {
         return counts;

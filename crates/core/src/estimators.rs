@@ -114,7 +114,9 @@ pub fn collision(bits: &[bool]) -> f64 {
 ///
 /// Panics if `bits` has fewer than 8 samples.
 pub fn credited_min_entropy(bits: &[bool]) -> f64 {
-    most_common_value(bits).min(markov(bits)).min(collision(bits))
+    most_common_value(bits)
+        .min(markov(bits))
+        .min(collision(bits))
 }
 
 #[cfg(test)]

@@ -162,6 +162,35 @@ impl AdaptiveProportionTest {
     }
 }
 
+/// Per-test breakdown of health-test firings, so a tripping source can
+/// be diagnosed: a rising repetition count points at a stuck cell, a
+/// rising adaptive proportion at bias/entropy loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TripCounts {
+    /// Repetition count test (SP 800-90B §4.4.1) firings.
+    pub repetition: u64,
+    /// Adaptive proportion test (SP 800-90B §4.4.2) firings.
+    pub adaptive: u64,
+}
+
+impl TripCounts {
+    /// Firings across both tests.
+    pub fn total(&self) -> u64 {
+        self.repetition + self.adaptive
+    }
+}
+
+impl std::ops::Sub for TripCounts {
+    type Output = TripCounts;
+
+    fn sub(self, rhs: TripCounts) -> TripCounts {
+        TripCounts {
+            repetition: self.repetition - rhs.repetition,
+            adaptive: self.adaptive - rhs.adaptive,
+        }
+    }
+}
+
 /// Both continuous health tests bundled, as firmware would run them.
 #[derive(Debug, Clone)]
 pub struct HealthMonitor {
@@ -187,16 +216,40 @@ impl HealthMonitor {
 
     /// Feeds a slice and returns how many health failures occurred.
     pub fn feed_all(&mut self, bits: &[bool]) -> u64 {
-        let before = self.failures();
+        self.feed_all_counted(bits).total()
+    }
+
+    /// Feeds a slice and returns the per-test breakdown of the health
+    /// failures it caused.
+    pub fn feed_all_counted(&mut self, bits: &[bool]) -> TripCounts {
+        let before = self.trip_counts();
         for &b in bits {
             let _ = self.feed(b);
         }
-        self.failures() - before
+        self.trip_counts() - before
     }
 
     /// Total failures across both tests.
     pub fn failures(&self) -> u64 {
         self.rct.failures() + self.apt.failures()
+    }
+
+    /// Repetition-count-test failures alone.
+    pub fn repetition_failures(&self) -> u64 {
+        self.rct.failures()
+    }
+
+    /// Adaptive-proportion-test failures alone.
+    pub fn adaptive_failures(&self) -> u64 {
+        self.apt.failures()
+    }
+
+    /// Cumulative per-test failure breakdown.
+    pub fn trip_counts(&self) -> TripCounts {
+        TripCounts {
+            repetition: self.rct.failures(),
+            adaptive: self.apt.failures(),
+        }
     }
 }
 
@@ -270,6 +323,40 @@ mod tests {
         let mut m = HealthMonitor::new(1.0);
         let _ = m.feed_all(&vec![true; 1000]);
         assert!(m.failures() > 0);
+    }
+
+    #[test]
+    fn stuck_source_trips_split_by_test() {
+        // An all-one stream fires both tests; the split must attribute
+        // each firing to its test and sum back to the lump total.
+        let mut m = HealthMonitor::new(1.0);
+        let trips = m.feed_all_counted(&vec![true; 5000]);
+        assert!(trips.repetition > 0, "stuck stream must fire the RCT");
+        assert!(trips.adaptive > 0, "all-one windows must fire the APT");
+        assert_eq!(trips.total(), m.failures());
+        assert_eq!(m.repetition_failures(), trips.repetition);
+        assert_eq!(m.adaptive_failures(), trips.adaptive);
+        assert_eq!(m.trip_counts(), trips);
+    }
+
+    #[test]
+    fn biased_source_trips_mostly_adaptive() {
+        // 90% ones with period-10 breaks: runs stay below the RCT
+        // cutoff (21) but the APT window count blows past its cutoff,
+        // so the breakdown isolates the bias signal.
+        let bits: Vec<bool> = (0..50_000).map(|i| i % 10 != 0).collect();
+        let mut m = HealthMonitor::new(1.0);
+        let trips = m.feed_all_counted(&bits);
+        assert_eq!(trips.repetition, 0, "no run reaches the RCT cutoff");
+        assert!(trips.adaptive > 0, "bias must fire the APT");
+    }
+
+    #[test]
+    fn feed_all_matches_counted_total() {
+        let bits: Vec<bool> = (0..2000).map(|i| i % 40 < 39).collect();
+        let mut a = HealthMonitor::new(0.95);
+        let mut b = HealthMonitor::new(0.95);
+        assert_eq!(a.feed_all(&bits), b.feed_all_counted(&bits).total());
     }
 
     #[test]

@@ -60,7 +60,9 @@ impl IdentifySpec {
             return Err(DrangeError::InvalidSpec("symbol_bits must be 1..=8".into()));
         }
         if !(0.0..1.0).contains(&self.tolerance) {
-            return Err(DrangeError::InvalidSpec("tolerance must be in [0,1)".into()));
+            return Err(DrangeError::InvalidSpec(
+                "tolerance must be in [0,1)".into(),
+            ));
         }
         if !self.trcd_ns.is_finite() || self.trcd_ns <= 0.0 {
             return Err(DrangeError::InvalidSpec("tRCD must be positive".into()));
@@ -114,7 +116,8 @@ impl RngCellCatalog {
         let mut rows_done: HashMap<(usize, usize), ()> = HashMap::new();
         for addr in candidates.keys() {
             if rows_done.insert((addr.bank, addr.row), ()).is_none() {
-                ctrl.device_mut().fill_row(addr.bank, addr.row, spec.pattern);
+                ctrl.device_mut()
+                    .fill_row(addr.bank, addr.row, spec.pattern);
             }
         }
         ctrl.try_set_trcd_ns(spec.trcd_ns)?;
@@ -137,8 +140,7 @@ impl RngCellCatalog {
         let mut words: BTreeMap<WordAddr, Vec<usize>> = BTreeMap::new();
         for (&addr, bits) in candidates {
             let expected = spec.pattern.word(addr.row, addr.col, word_bits);
-            let mut streams: Vec<Vec<bool>> =
-                vec![Vec::with_capacity(spec.reads); bits.len()];
+            let mut streams: Vec<Vec<bool>> = vec![Vec::with_capacity(spec.reads); bits.len()];
             for _ in 0..spec.reads {
                 // Refresh, then induce (Algorithm 1 inner sequence).
                 ctrl.refresh_row(addr.bank, addr.row)?;
@@ -187,7 +189,11 @@ impl RngCellCatalog {
                 (addr, bits)
             })
             .collect();
-        RngCellCatalog { spec, temperature, words }
+        RngCellCatalog {
+            spec,
+            temperature,
+            words,
+        }
     }
 
     /// The identification spec.
@@ -262,8 +268,7 @@ impl RngCellCatalog {
     pub fn ranked_banks(&self, total_banks: usize) -> Vec<(usize, usize)> {
         let mut ranked: Vec<(usize, usize)> = (0..total_banks)
             .map(|bank| {
-                let rate: usize =
-                    self.best_words(bank, 2).iter().map(|(_, b)| b.len()).sum();
+                let rate: usize = self.best_words(bank, 2).iter().map(|(_, b)| b.len()).sum();
                 (bank, rate)
             })
             .collect();
@@ -319,7 +324,9 @@ mod tests {
 
     fn ctrl() -> MemoryController {
         MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(43),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(42)
+                .with_noise_seed(43),
         )
     }
 
@@ -337,7 +344,10 @@ mod tests {
     }
 
     fn quick_spec() -> IdentifySpec {
-        IdentifySpec { reads: 1000, ..IdentifySpec::default() }
+        IdentifySpec {
+            reads: 1000,
+            ..IdentifySpec::default()
+        }
     }
 
     #[test]
@@ -362,8 +372,7 @@ mod tests {
         let mut c = ctrl();
         let p = profile(&mut c);
         let catalog = RngCellCatalog::identify(&mut c, &p, quick_spec()).unwrap();
-        let band: std::collections::HashSet<_> =
-            p.cells_in_band(0.05, 0.95).into_iter().collect();
+        let band: std::collections::HashSet<_> = p.cells_in_band(0.05, 0.95).into_iter().collect();
         for cell in catalog.cells() {
             assert!(band.contains(&cell));
         }
@@ -375,8 +384,7 @@ mod tests {
         let p = profile(&mut c);
         let catalog = RngCellCatalog::identify(&mut c, &p, quick_spec()).unwrap();
         let hist = catalog.density_histogram(0, 4);
-        let words_in_bank =
-            catalog.words().keys().filter(|w| w.bank == 0).count();
+        let words_in_bank = catalog.words().keys().filter(|w| w.bank == 0).count();
         assert_eq!(hist.iter().skip(1).sum::<usize>(), words_in_bank);
         assert_eq!(hist[0], 0, "words with zero cells are not stored");
     }
@@ -428,8 +436,7 @@ mod tests {
         let mut words = BTreeMap::new();
         words.insert(WordAddr::new(0, 1, 2), vec![5, 3, 5, 1]);
         words.insert(WordAddr::new(1, 0, 0), Vec::new());
-        let catalog =
-            RngCellCatalog::from_parts(quick_spec(), Celsius::DEFAULT, words);
+        let catalog = RngCellCatalog::from_parts(quick_spec(), Celsius::DEFAULT, words);
         assert_eq!(catalog.len(), 3, "duplicates removed, empty words dropped");
         assert_eq!(
             catalog.words().get(&WordAddr::new(0, 1, 2)),
@@ -443,9 +450,15 @@ mod tests {
     fn invalid_specs_rejected() {
         let mut c = ctrl();
         let p = profile(&mut c);
-        let bad = IdentifySpec { reads: 10, ..IdentifySpec::default() };
+        let bad = IdentifySpec {
+            reads: 10,
+            ..IdentifySpec::default()
+        };
         assert!(RngCellCatalog::identify(&mut c, &p, bad).is_err());
-        let bad = IdentifySpec { tolerance: 1.0, ..quick_spec() };
+        let bad = IdentifySpec {
+            tolerance: 1.0,
+            ..quick_spec()
+        };
         assert!(RngCellCatalog::identify(&mut c, &p, bad).is_err());
     }
 }

@@ -24,13 +24,21 @@ impl LatencyScenario {
     /// The paper's worst case: one bank, one channel, one RNG cell per
     /// word.
     pub fn worst_case() -> Self {
-        LatencyScenario { banks: 1, channels: 1, bits_per_word: 1 }
+        LatencyScenario {
+            banks: 1,
+            channels: 1,
+            bits_per_word: 1,
+        }
     }
 
     /// The paper's best case: 8 banks × 4 channels, 4 RNG cells per
     /// word.
     pub fn best_case() -> Self {
-        LatencyScenario { banks: 8, channels: 4, bits_per_word: 4 }
+        LatencyScenario {
+            banks: 8,
+            channels: 4,
+            bits_per_word: 4,
+        }
     }
 }
 
@@ -77,7 +85,11 @@ pub fn latency_ps(
 }
 
 /// Convenience: latency in nanoseconds for a 64-bit random value.
-pub fn latency_64bit_ns(timing: TimingParams, reduced_trcd_ns: f64, scenario: LatencyScenario) -> f64 {
+pub fn latency_64bit_ns(
+    timing: TimingParams,
+    reduced_trcd_ns: f64,
+    scenario: LatencyScenario,
+) -> f64 {
     let mut registers = TimingRegisters::new(timing);
     registers.set_trcd_ns(reduced_trcd_ns).expect("valid tRCD");
     latency_ps(&registers, scenario, 64) as f64 / 1_000.0
@@ -118,16 +130,48 @@ mod tests {
     #[test]
     fn latency_decreases_with_density() {
         let t = TimingParams::lpddr4_3200();
-        let one = latency_64bit_ns(t, 10.0, LatencyScenario { banks: 8, channels: 1, bits_per_word: 1 });
-        let four = latency_64bit_ns(t, 10.0, LatencyScenario { banks: 8, channels: 1, bits_per_word: 4 });
+        let one = latency_64bit_ns(
+            t,
+            10.0,
+            LatencyScenario {
+                banks: 8,
+                channels: 1,
+                bits_per_word: 1,
+            },
+        );
+        let four = latency_64bit_ns(
+            t,
+            10.0,
+            LatencyScenario {
+                banks: 8,
+                channels: 1,
+                bits_per_word: 4,
+            },
+        );
         assert!(four < one, "4 bits/word {four} < 1 bit/word {one}");
     }
 
     #[test]
     fn latency_decreases_with_channels() {
         let t = TimingParams::lpddr4_3200();
-        let c1 = latency_64bit_ns(t, 10.0, LatencyScenario { banks: 8, channels: 1, bits_per_word: 2 });
-        let c4 = latency_64bit_ns(t, 10.0, LatencyScenario { banks: 8, channels: 4, bits_per_word: 2 });
+        let c1 = latency_64bit_ns(
+            t,
+            10.0,
+            LatencyScenario {
+                banks: 8,
+                channels: 1,
+                bits_per_word: 2,
+            },
+        );
+        let c4 = latency_64bit_ns(
+            t,
+            10.0,
+            LatencyScenario {
+                banks: 8,
+                channels: 4,
+                bits_per_word: 2,
+            },
+        );
         assert!(c4 < c1);
     }
 
@@ -144,6 +188,14 @@ mod tests {
     fn zero_scenario_panics() {
         let mut r = TimingRegisters::new(TimingParams::lpddr4_3200());
         r.set_trcd_ns(10.0).unwrap();
-        let _ = latency_ps(&r, LatencyScenario { banks: 0, channels: 1, bits_per_word: 1 }, 64);
+        let _ = latency_ps(
+            &r,
+            LatencyScenario {
+                banks: 0,
+                channels: 1,
+                bits_per_word: 1,
+            },
+            64,
+        );
     }
 }

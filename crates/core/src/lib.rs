@@ -54,9 +54,9 @@
 pub mod calibrate;
 pub mod dpd;
 pub mod engine;
-pub mod estimators;
 pub mod entropy;
 pub mod error;
+pub mod estimators;
 pub mod health;
 pub mod identify;
 pub mod latency;
@@ -69,11 +69,13 @@ pub mod spatial;
 pub mod stream;
 pub mod throughput;
 
+pub use drange_telemetry as telemetry;
 pub use engine::{
-    channel_sources, EngineConfig, EngineStats, HarvestEngine, HarvestSource, WorkerStats,
+    channel_sources, channel_sources_with_telemetry, EngineConfig, EngineStats, HarvestEngine,
+    HarvestSource, WorkerStats,
 };
 pub use error::{DrangeError, Result};
-pub use health::HealthMonitor;
+pub use health::{HealthMonitor, TripCounts};
 pub use identify::{CatalogSet, IdentifySpec, RngCellCatalog};
 pub use latency::LatencyScenario;
 pub use postprocess::VonNeumann;

@@ -100,7 +100,9 @@ mod tests {
         let mut state = 0x1234_5678u64;
         let input: Vec<bool> = (0..200_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 // ~75% ones.
                 (state >> 33) % 4 != 0
             })

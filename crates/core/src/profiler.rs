@@ -74,7 +74,10 @@ impl ProfileSpec {
             return Err(DrangeError::InvalidSpec("zero iterations".into()));
         }
         if !self.trcd_ns.is_finite() || self.trcd_ns <= 0.0 {
-            return Err(DrangeError::InvalidSpec(format!("bad tRCD {} ns", self.trcd_ns)));
+            return Err(DrangeError::InvalidSpec(format!(
+                "bad tRCD {} ns",
+                self.trcd_ns
+            )));
         }
         if self.banks.iter().any(|&b| b >= g.banks)
             || self.rows.end > g.rows
@@ -272,7 +275,9 @@ mod tests {
 
     fn ctrl() -> MemoryController {
         MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(43),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(42)
+                .with_noise_seed(43),
         )
     }
 
@@ -291,7 +296,10 @@ mod tests {
     fn profiling_finds_failures_and_restores_trcd() {
         let mut c = ctrl();
         let profile = Profiler::new(&mut c).run(small_spec()).unwrap();
-        assert!(profile.unique_failures() > 0, "10 ns scans must find failures");
+        assert!(
+            profile.unique_failures() > 0,
+            "10 ns scans must find failures"
+        );
         assert_eq!(c.trcd_ns(), 18.0, "tRCD restored after profiling");
     }
 
@@ -320,8 +328,9 @@ mod tests {
     #[test]
     fn band_selection_is_subset_of_failures() {
         let mut c = ctrl();
-        let profile =
-            Profiler::new(&mut c).run(small_spec().with_iterations(50)).unwrap();
+        let profile = Profiler::new(&mut c)
+            .run(small_spec().with_iterations(50))
+            .unwrap();
         let band = profile.cells_in_band(0.4, 0.6);
         let all = profile.failing_cells();
         for cell in &band {
@@ -360,8 +369,7 @@ mod tests {
         let map = profile.bitmap(0, 64);
         assert_eq!(map.len(), 64);
         assert_eq!(map[0].len(), 256);
-        let marked: usize =
-            map.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
+        let marked: usize = map.iter().map(|r| r.iter().filter(|&&b| b).count()).sum();
         assert_eq!(marked, profile.unique_failures());
     }
 
@@ -369,11 +377,31 @@ mod tests {
     fn invalid_specs_are_rejected() {
         let mut c = ctrl();
         let mut p = Profiler::new(&mut c);
-        assert!(p.run(ProfileSpec { banks: vec![], ..small_spec() }).is_err());
-        assert!(p.run(ProfileSpec { iterations: 0, ..small_spec() }).is_err());
-        assert!(p.run(ProfileSpec { banks: vec![99], ..small_spec() }).is_err());
+        assert!(p
+            .run(ProfileSpec {
+                banks: vec![],
+                ..small_spec()
+            })
+            .is_err());
+        assert!(p
+            .run(ProfileSpec {
+                iterations: 0,
+                ..small_spec()
+            })
+            .is_err());
+        assert!(p
+            .run(ProfileSpec {
+                banks: vec![99],
+                ..small_spec()
+            })
+            .is_err());
         assert!(p.run(small_spec().with_trcd_ns(-1.0)).is_err());
-        assert!(p.run(ProfileSpec { rows: 0..9999, ..small_spec() }).is_err());
+        assert!(p
+            .run(ProfileSpec {
+                rows: 0..9999,
+                ..small_spec()
+            })
+            .is_err());
     }
 
     #[test]

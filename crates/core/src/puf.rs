@@ -168,7 +168,9 @@ mod tests {
 
     #[test]
     fn empty_similarity_convention() {
-        let empty = PufResponse { cells: BTreeSet::new() };
+        let empty = PufResponse {
+            cells: BTreeSet::new(),
+        };
         assert_eq!(empty.similarity(&empty), 1.0);
         assert_eq!(empty.len(), 0);
         assert!(empty.is_empty());

@@ -120,7 +120,9 @@ impl DRange {
             return Err(DrangeError::InvalidSpec("tRCD must be positive".into()));
         }
         if config.queue_capacity == 0 {
-            return Err(DrangeError::InvalidSpec("queue capacity must be nonzero".into()));
+            return Err(DrangeError::InvalidSpec(
+                "queue capacity must be nonzero".into(),
+            ));
         }
         let geometry = ctrl.device().geometry();
         let ranked = catalog.ranked_banks(geometry.banks);
@@ -141,9 +143,12 @@ impl DRange {
             let words = best
                 .into_iter()
                 .map(|(addr, bits)| {
-                    let original =
-                        config.pattern.word(addr.row, addr.col, geometry.word_bits);
-                    PlannedWord { addr, bits, original }
+                    let original = config.pattern.word(addr.row, addr.col, geometry.word_bits);
+                    PlannedWord {
+                        addr,
+                        bits,
+                        original,
+                    }
                 })
                 .collect();
             plan.push(BankPlan { bank, words });
@@ -161,7 +166,8 @@ impl DRange {
         // (the full rows, which covers the adjacent bitlines).
         for bp in &plan {
             for w in &bp.words {
-                ctrl.device_mut().fill_row(w.addr.bank, w.addr.row, config.pattern);
+                ctrl.device_mut()
+                    .fill_row(w.addr.bank, w.addr.row, config.pattern);
             }
         }
         let bits_per_iteration = plan
@@ -333,7 +339,9 @@ fn sample_pass(
         // Phase-interleaved issue across banks maximizes bank-level
         // parallelism under tRRD/tFAW.
         for bp in plan {
-            let Some(w) = bp.words.get(word_idx) else { continue };
+            let Some(w) = bp.words.get(word_idx) else {
+                continue;
+            };
             ctrl.act(bp.bank, w.addr.row)?;
             let got = ctrl.rd(bp.bank, w.addr.row, w.addr.col)?;
             // Lines 9-10: harvest RNG bits, restore original.
@@ -364,7 +372,8 @@ impl RngCore for DRange {
     }
 
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
-        self.try_fill(dest).map_err(|e| rand::Error::new(Box::new(e)))
+        self.try_fill(dest)
+            .map_err(|e| rand::Error::new(Box::new(e)))
     }
 }
 
@@ -377,7 +386,9 @@ mod tests {
 
     fn fresh_ctrl() -> MemoryController {
         MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(4242),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(42)
+                .with_noise_seed(4242),
         )
     }
 
@@ -401,7 +412,10 @@ mod tests {
             RngCellCatalog::identify(
                 &mut ctrl,
                 &profile,
-                IdentifySpec { reads: 1000, ..IdentifySpec::default() },
+                IdentifySpec {
+                    reads: 1000,
+                    ..IdentifySpec::default()
+                },
             )
             .unwrap()
         })
@@ -427,7 +441,11 @@ mod tests {
         assert!(s.bits >= 512);
         assert!(s.device_time_ps > 0);
         assert!(s.iterations > 0);
-        assert!(s.throughput_bps() > 1e6, "at least Mb/s scale: {}", s.throughput_bps());
+        assert!(
+            s.throughput_bps() > 1e6,
+            "at least Mb/s scale: {}",
+            s.throughput_bps()
+        );
     }
 
     #[test]
@@ -459,7 +477,10 @@ mod tests {
         assert_ne!(a, b, "two 64-bit draws should differ (p = 2^-64)");
         let mut buf = [0u8; 16];
         g.fill_bytes(&mut buf);
-        assert!(buf.iter().any(|&x| x != 0), "16 random bytes are not all zero");
+        assert!(
+            buf.iter().any(|&x| x != 0),
+            "16 random bytes are not all zero"
+        );
     }
 
     #[test]
@@ -467,7 +488,10 @@ mod tests {
         let g = DRange::new(
             fresh_ctrl(),
             catalog(),
-            DRangeConfig { banks: Some(2), ..DRangeConfig::default() },
+            DRangeConfig {
+                banks: Some(2),
+                ..DRangeConfig::default()
+            },
         )
         .unwrap();
         assert!(g.banks_used() <= 2);
@@ -495,7 +519,10 @@ mod tests {
         let g = DRange::new(
             fresh_ctrl(),
             &catalog,
-            DRangeConfig { banks: Some(2), ..DRangeConfig::default() },
+            DRangeConfig {
+                banks: Some(2),
+                ..DRangeConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(g.banks_used(), 2);
@@ -508,7 +535,10 @@ mod tests {
         let g = DRange::new(
             fresh_ctrl(),
             &catalog,
-            DRangeConfig { banks: Some(5), ..DRangeConfig::default() },
+            DRangeConfig {
+                banks: Some(5),
+                ..DRangeConfig::default()
+            },
         )
         .unwrap();
         assert_eq!(g.banks_used(), 2, "only populated banks can be planned");
@@ -544,7 +574,9 @@ mod tests {
     #[test]
     fn empty_catalog_is_rejected() {
         let mut ctrl = MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(1).with_noise_seed(2),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(1)
+                .with_noise_seed(2),
         );
         // Profile at spec timing: no failures, no candidates.
         let profile = Profiler::new(&mut ctrl)
@@ -561,7 +593,10 @@ mod tests {
         let catalog = RngCellCatalog::identify(
             &mut ctrl,
             &profile,
-            IdentifySpec { reads: 1000, ..IdentifySpec::default() },
+            IdentifySpec {
+                reads: 1000,
+                ..IdentifySpec::default()
+            },
         )
         .unwrap();
         assert!(matches!(

@@ -17,6 +17,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use drange_telemetry::{Counter, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::engine::{EngineConfig, EngineStats, HarvestEngine, HarvestSource};
@@ -40,7 +41,11 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { queue_capacity: 1 << 16, low_watermark: 1 << 12, min_entropy: 0.95 }
+        ServiceConfig {
+            queue_capacity: 1 << 16,
+            low_watermark: 1 << 12,
+            min_entropy: 0.95,
+        }
     }
 }
 
@@ -63,6 +68,30 @@ struct ServiceInner {
     ready: HashMap<RequestId, Vec<u8>>,
 }
 
+/// Telemetry handles for the request front-end. All handles are no-ops
+/// when the service was built without a registry.
+#[derive(Debug, Clone, Default)]
+struct ServiceTelemetry {
+    requests: Counter,
+    request_bytes: Counter,
+    completed: Counter,
+    wait_receive_ns: Histogram,
+}
+
+impl ServiceTelemetry {
+    fn new(registry: Option<&MetricsRegistry>) -> Self {
+        let Some(reg) = registry else {
+            return ServiceTelemetry::default();
+        };
+        ServiceTelemetry {
+            requests: reg.counter("drange_requests_total", &[]),
+            request_bytes: reg.counter("drange_request_bytes_total", &[]),
+            completed: reg.counter("drange_requests_completed_total", &[]),
+            wait_receive_ns: reg.histogram("drange_wait_receive_latency_ns", &[]),
+        }
+    }
+}
+
 /// The firmware randomness service (REQUEST/RECEIVE over the
 /// multi-channel harvesting engine).
 ///
@@ -75,6 +104,7 @@ pub struct RandomnessService {
     ready_cv: Condvar,
     next_id: AtomicU64,
     config: ServiceConfig,
+    telemetry: ServiceTelemetry,
 }
 
 impl RandomnessService {
@@ -96,9 +126,22 @@ impl RandomnessService {
     ///
     /// Returns [`DrangeError::InvalidSpec`] for inconsistent watermarks
     /// or an empty source list; propagates engine spawn failures.
-    pub fn with_sources<S: HarvestSource>(
+    pub fn with_sources<S: HarvestSource>(sources: Vec<S>, config: ServiceConfig) -> Result<Self> {
+        Self::with_sources_telemetry(sources, config, None)
+    }
+
+    /// As [`RandomnessService::with_sources`], additionally registering
+    /// service-level metrics (request counts/bytes, completion count,
+    /// `wait_receive` latency) and the engine's full metric set in
+    /// `registry` when one is given.
+    ///
+    /// # Errors
+    ///
+    /// As [`RandomnessService::with_sources`].
+    pub fn with_sources_telemetry<S: HarvestSource>(
         sources: Vec<S>,
         config: ServiceConfig,
+        registry: Option<&MetricsRegistry>,
     ) -> Result<Self> {
         if config.low_watermark > config.queue_capacity || config.queue_capacity == 0 {
             return Err(DrangeError::InvalidSpec(format!(
@@ -107,9 +150,11 @@ impl RandomnessService {
             )));
         }
         if !(0.0..=1.0).contains(&config.min_entropy) || config.min_entropy == 0.0 {
-            return Err(DrangeError::InvalidSpec("min_entropy must be in (0,1]".into()));
+            return Err(DrangeError::InvalidSpec(
+                "min_entropy must be in (0,1]".into(),
+            ));
         }
-        let engine = HarvestEngine::spawn(
+        let engine = HarvestEngine::spawn_with_telemetry(
             sources,
             EngineConfig {
                 queue_capacity: config.queue_capacity,
@@ -118,6 +163,7 @@ impl RandomnessService {
                 min_entropy: config.min_entropy,
                 ..EngineConfig::default()
             },
+            registry,
         )?;
         Ok(RandomnessService {
             engine,
@@ -125,6 +171,7 @@ impl RandomnessService {
             ready_cv: Condvar::new(),
             next_id: AtomicU64::new(0),
             config,
+            telemetry: ServiceTelemetry::new(registry),
         })
     }
 
@@ -146,6 +193,8 @@ impl RandomnessService {
             )));
         }
         let id = RequestId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        self.telemetry.requests.inc();
+        self.telemetry.request_bytes.add(bytes as u64);
         let mut inner = self.inner.lock();
         inner.outstanding.insert(id);
         inner.pending.push_back(Pending { id, bytes });
@@ -174,6 +223,7 @@ impl RandomnessService {
                         inner.ready.insert(head.id, bytes);
                     }
                     self.ready_cv.notify_all();
+                    self.telemetry.completed.inc();
                     completed += 1;
                 }
                 Err(e) => {
@@ -204,6 +254,13 @@ impl RandomnessService {
     /// [`DrangeError::InvalidSpec`] for an id that was never filed on
     /// this service or was already received.
     pub fn wait_receive(&self, id: RequestId) -> Result<Vec<u8>> {
+        let t0 = self.telemetry.wait_receive_ns.start();
+        let out = self.wait_receive_inner(id);
+        self.telemetry.wait_receive_ns.observe_since(t0);
+        out
+    }
+
+    fn wait_receive_inner(&self, id: RequestId) -> Result<Vec<u8>> {
         loop {
             self.process()?;
             let mut inner = self.inner.lock();
@@ -268,7 +325,9 @@ mod tests {
 
     fn fresh_ctrl() -> MemoryController {
         MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(777),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(42)
+                .with_noise_seed(777),
         )
     }
 
@@ -338,7 +397,10 @@ mod tests {
         // The engine refills continuously, without any request filed.
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
         while s.queued_bits() < ServiceConfig::default().low_watermark {
-            assert!(std::time::Instant::now() < deadline, "queue never reached watermark");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "queue never reached watermark"
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
     }
@@ -350,7 +412,11 @@ mod tests {
         // stretch of the stream rather than racing a 64 Kibit fill.
         let s = RandomnessService::new(
             generator(),
-            ServiceConfig { queue_capacity: 2048, low_watermark: 256, ..Default::default() },
+            ServiceConfig {
+                queue_capacity: 2048,
+                low_watermark: 256,
+                ..Default::default()
+            },
         )
         .unwrap();
         let id = s.request(64).unwrap();
@@ -380,14 +446,21 @@ mod tests {
         // the capacity check must reject it via checked arithmetic.
         let s = service();
         assert!(s.request(usize::MAX / 4).is_err());
-        assert!(s.request(usize::MAX / 8 + 1).is_err(), "wraps to a tiny bit count");
+        assert!(
+            s.request(usize::MAX / 8 + 1).is_err(),
+            "wraps to a tiny bit count"
+        );
     }
 
     #[test]
     fn bad_config_rejected() {
         assert!(RandomnessService::new(
             generator(),
-            ServiceConfig { queue_capacity: 10, low_watermark: 100, ..Default::default() }
+            ServiceConfig {
+                queue_capacity: 10,
+                low_watermark: 100,
+                ..Default::default()
+            }
         )
         .is_err());
     }
@@ -397,16 +470,64 @@ mod tests {
         // The consecutive-rejection guard is persistent worker state:
         // it spans request boundaries and trips even though each
         // individual request never sees 1000 rejections itself.
-        let s = RandomnessService::with_sources(
-            vec![StuckSource],
-            ServiceConfig::default(),
-        )
-        .unwrap();
+        let s =
+            RandomnessService::with_sources(vec![StuckSource], ServiceConfig::default()).unwrap();
         let _ = s.request(16).unwrap();
         let err = s.process().unwrap_err();
         assert!(matches!(err, DrangeError::Unhealthy(_)), "got {err:?}");
         // The failed request is requeued, not lost.
         assert_eq!(s.pending_requests(), 1);
+    }
+
+    /// Deterministic healthy source (splitmix64 bits), cheap enough for
+    /// telemetry assertions without the simulator.
+    #[derive(Debug)]
+    struct PrngSource {
+        state: u64,
+    }
+
+    impl HarvestSource for PrngSource {
+        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+            Ok((0..128)
+                .map(|_| {
+                    self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = self.state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    (z ^ (z >> 31)) & 1 == 1
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_requests_and_completions() {
+        let registry = MetricsRegistry::new();
+        let s = RandomnessService::with_sources_telemetry(
+            vec![PrngSource { state: 31 }],
+            ServiceConfig {
+                queue_capacity: 2048,
+                low_watermark: 256,
+                ..Default::default()
+            },
+            Some(&registry),
+        )
+        .unwrap();
+        let a = s.request(16).unwrap();
+        let b = s.request(48).unwrap();
+        assert_eq!(s.wait_receive(a).unwrap().len(), 16);
+        assert_eq!(s.wait_receive(b).unwrap().len(), 48);
+        let text = registry.render_prometheus();
+        assert!(text.contains("drange_requests_total 2"), "{text}");
+        assert!(text.contains("drange_request_bytes_total 64"), "{text}");
+        assert!(text.contains("drange_requests_completed_total 2"), "{text}");
+        assert!(
+            text.contains("drange_wait_receive_latency_ns_count 2"),
+            "{text}"
+        );
+        // The engine's metrics ride along on the same registry.
+        assert!(text.contains("drange_stage_latency_ns"), "{text}");
+        s.shutdown();
     }
 
     #[test]

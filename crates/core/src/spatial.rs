@@ -79,8 +79,7 @@ pub fn analyze(
     // Greedy segmentation on Jaccard similarity of adjacent blocks.
     let mut segments: Vec<InferredSegment> = Vec::new();
     let mut seg_start_block = 0usize;
-    let mut seg_cols: BTreeSet<usize> =
-        block_columns.first().cloned().unwrap_or_default();
+    let mut seg_cols: BTreeSet<usize> = block_columns.first().cloned().unwrap_or_default();
     for (b, cols) in block_columns.iter().enumerate().skip(1) {
         if jaccard(&seg_cols, cols) < min_jaccard {
             segments.push(InferredSegment {
@@ -121,7 +120,10 @@ pub fn analyze(
         correlations.iter().sum::<f64>() / correlations.len() as f64
     };
 
-    SpatialAnalysis { segments, row_gradient_correlation }
+    SpatialAnalysis {
+        segments,
+        row_gradient_correlation,
+    }
 }
 
 fn jaccard(a: &BTreeSet<usize>, b: &BTreeSet<usize>) -> f64 {
@@ -161,7 +163,9 @@ mod tests {
 
     fn profile() -> (MemoryController, FailureProfile) {
         let mut ctrl = MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(31).with_noise_seed(32),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(31)
+                .with_noise_seed(32),
         );
         let p = Profiler::new(&mut ctrl)
             .run(ProfileSpec::default().with_iterations(25))
@@ -180,8 +184,7 @@ mod tests {
             "segments: {:?}",
             analysis.segments.len()
         );
-        let boundaries: Vec<usize> =
-            analysis.segments.iter().map(|s| s.start_row).collect();
+        let boundaries: Vec<usize> = analysis.segments.iter().map(|s| s.start_row).collect();
         assert!(
             boundaries.iter().any(|&b| (480..=544).contains(&b)),
             "a boundary near row 512 must be found: {boundaries:?}"

@@ -9,6 +9,8 @@
 
 use std::io::{self, Read};
 
+use drange_telemetry::{Histogram, MetricsRegistry};
+
 use crate::engine::HarvestEngine;
 use crate::sampler::DRange;
 
@@ -56,12 +58,25 @@ impl Read for DRangeReader {
 #[derive(Debug)]
 pub struct EngineReader {
     engine: HarvestEngine,
+    read_ns: Histogram,
 }
 
 impl EngineReader {
-    /// Wraps an engine.
+    /// Wraps an engine (reads are not instrumented).
     pub fn new(engine: HarvestEngine) -> Self {
-        EngineReader { engine }
+        EngineReader {
+            engine,
+            read_ns: Histogram::noop(),
+        }
+    }
+
+    /// Wraps an engine and records whole-`read` latency into the
+    /// `drange_reader_read_latency_ns` histogram of `registry`.
+    pub fn with_telemetry(engine: HarvestEngine, registry: &MetricsRegistry) -> Self {
+        EngineReader {
+            engine,
+            read_ns: registry.histogram("drange_reader_read_latency_ns", &[]),
+        }
     }
 
     /// Returns the wrapped engine.
@@ -77,6 +92,7 @@ impl EngineReader {
 
 impl Read for EngineReader {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let t0 = self.read_ns.start();
         let max_chunk = (self.engine.config().queue_capacity / 8).max(1);
         let mut filled = 0usize;
         while filled < buf.len() {
@@ -88,6 +104,7 @@ impl Read for EngineReader {
             buf[filled..filled + n].copy_from_slice(&bytes);
             filled += n;
         }
+        self.read_ns.observe_since(t0);
         Ok(filled)
     }
 }
@@ -127,7 +144,9 @@ mod tests {
 
     fn trng() -> DRange {
         let mut ctrl = MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(42).with_noise_seed(4243),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(42)
+                .with_noise_seed(4243),
         );
         let profile = Profiler::new(&mut ctrl)
             .run(
@@ -153,7 +172,10 @@ mod tests {
         let mut large = vec![0u8; 4096];
         assert_eq!(r.read(&mut large).unwrap(), 4096);
         let distinct: std::collections::HashSet<u8> = large.iter().copied().collect();
-        assert!(distinct.len() > 100, "4 KiB of random bytes covers most values");
+        assert!(
+            distinct.len() > 100,
+            "4 KiB of random bytes covers most values"
+        );
     }
 
     #[test]
@@ -189,9 +211,60 @@ mod tests {
         let mut buf = vec![0u8; 1024];
         assert_eq!(r.read(&mut buf).unwrap(), 1024);
         let distinct: std::collections::HashSet<u8> = buf.iter().copied().collect();
-        assert!(distinct.len() > 100, "1 KiB of random bytes covers most values");
+        assert!(
+            distinct.len() > 100,
+            "1 KiB of random bytes covers most values"
+        );
         let stats = r.into_inner().shutdown();
         assert_eq!(stats.served_bits, 8192);
+    }
+
+    #[test]
+    fn engine_reader_records_read_latency() {
+        use crate::engine::{EngineConfig, HarvestEngine, HarvestSource};
+        use crate::error::Result;
+
+        #[derive(Debug)]
+        struct PrngSource {
+            state: u64,
+        }
+        impl HarvestSource for PrngSource {
+            fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+                Ok((0..128)
+                    .map(|_| {
+                        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                        let mut z = self.state;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                        (z ^ (z >> 31)) & 1 == 1
+                    })
+                    .collect())
+            }
+        }
+
+        let registry = MetricsRegistry::new();
+        let config = EngineConfig {
+            queue_capacity: 1 << 12,
+            low_watermark: 1 << 8,
+            high_watermark: 1 << 11,
+            ..EngineConfig::default()
+        };
+        let engine = HarvestEngine::spawn_with_telemetry(
+            vec![PrngSource { state: 77 }],
+            config,
+            Some(&registry),
+        )
+        .unwrap();
+        let mut r = EngineReader::with_telemetry(engine, &registry);
+        let mut buf = vec![0u8; 64];
+        r.read_exact(&mut buf).unwrap();
+        r.read_exact(&mut buf).unwrap();
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("drange_reader_read_latency_ns_count 2"),
+            "{text}"
+        );
+        r.into_inner().shutdown();
     }
 
     #[test]

@@ -79,8 +79,7 @@ pub fn catalog_throughput_bps(
     let mut registers = TimingRegisters::new(timing);
     registers.set_trcd_ns(reduced_trcd_ns).expect("valid tRCD");
     let ranked = catalog.ranked_banks(total_banks);
-    let rates: Vec<usize> =
-        ranked.iter().take(banks).map(|&(_, rate)| rate).collect();
+    let rates: Vec<usize> = ranked.iter().take(banks).map(|&(_, rate)| rate).collect();
     if rates.iter().all(|&r| r == 0) {
         return 0.0;
     }

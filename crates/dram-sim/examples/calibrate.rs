@@ -17,9 +17,16 @@ fn main() {
                     for bit in 0..g.word_bits {
                         let c = CellAddr::new(bank, row, col, bit);
                         let f = d.failure_probability(c, 10.0);
-                        if f > 0.01 { fail_any += 1; }
-                        if (0.4..=0.6).contains(&f) { meta += 1; in_word += 1; }
-                        if d.failure_probability(c, 18.0) > 1e-6 { spec_fail += 1; }
+                        if f > 0.01 {
+                            fail_any += 1;
+                        }
+                        if (0.4..=0.6).contains(&f) {
+                            meta += 1;
+                            in_word += 1;
+                        }
+                        if d.failure_probability(c, 18.0) > 1e-6 {
+                            spec_fail += 1;
+                        }
                     }
                     words_with[in_word.min(4)] += 1;
                 }

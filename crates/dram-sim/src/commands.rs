@@ -54,27 +54,57 @@ pub struct Command {
 impl Command {
     /// Constructs an ACT command.
     pub fn act(bank: usize, row: usize, at_ps: u64) -> Self {
-        Command { kind: CommandKind::Act, bank, row, col: 0, at_ps }
+        Command {
+            kind: CommandKind::Act,
+            bank,
+            row,
+            col: 0,
+            at_ps,
+        }
     }
 
     /// Constructs a PRE command.
     pub fn pre(bank: usize, at_ps: u64) -> Self {
-        Command { kind: CommandKind::Pre, bank, row: 0, col: 0, at_ps }
+        Command {
+            kind: CommandKind::Pre,
+            bank,
+            row: 0,
+            col: 0,
+            at_ps,
+        }
     }
 
     /// Constructs a RD command.
     pub fn rd(bank: usize, row: usize, col: usize, at_ps: u64) -> Self {
-        Command { kind: CommandKind::Rd, bank, row, col, at_ps }
+        Command {
+            kind: CommandKind::Rd,
+            bank,
+            row,
+            col,
+            at_ps,
+        }
     }
 
     /// Constructs a WR command.
     pub fn wr(bank: usize, row: usize, col: usize, at_ps: u64) -> Self {
-        Command { kind: CommandKind::Wr, bank, row, col, at_ps }
+        Command {
+            kind: CommandKind::Wr,
+            bank,
+            row,
+            col,
+            at_ps,
+        }
     }
 
     /// Constructs a REF command.
     pub fn refresh(at_ps: u64) -> Self {
-        Command { kind: CommandKind::Ref, bank: 0, row: 0, col: 0, at_ps }
+        Command {
+            kind: CommandKind::Ref,
+            bank: 0,
+            row: 0,
+            col: 0,
+            at_ps,
+        }
     }
 }
 

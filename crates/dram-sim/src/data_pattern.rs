@@ -83,7 +83,10 @@ impl DataPattern {
     ///
     /// Panics if `word_bits` is zero or exceeds 64.
     pub fn word(&self, row: usize, col: usize, word_bits: usize) -> u64 {
-        assert!(word_bits >= 1 && word_bits <= 64, "word_bits must be 1..=64");
+        assert!(
+            word_bits >= 1 && word_bits <= 64,
+            "word_bits must be 1..=64"
+        );
         let mut w = 0u64;
         for bit in 0..word_bits {
             if self.bit(row, col * word_bits + bit) {
@@ -159,7 +162,11 @@ mod tests {
         for p in DataPattern::all_40() {
             for row in 0..4 {
                 for bl in 0..40 {
-                    assert_ne!(p.bit(row, bl), p.inverse().bit(row, bl), "{p} at ({row},{bl})");
+                    assert_ne!(
+                        p.bit(row, bl),
+                        p.inverse().bit(row, bl),
+                        "{p} at ({row},{bl})"
+                    );
                 }
             }
         }
@@ -169,8 +176,7 @@ mod tests {
     fn walking_one_has_one_hot_per_period() {
         for k in 0..WALK_PERIOD as u8 {
             let p = DataPattern::Walk1(k);
-            let ones: usize =
-                (0..WALK_PERIOD).filter(|&bl| p.bit(0, bl)).count();
+            let ones: usize = (0..WALK_PERIOD).filter(|&bl| p.bit(0, bl)).count();
             assert_eq!(ones, 1);
             assert!(p.bit(0, k as usize));
         }
@@ -207,8 +213,10 @@ mod tests {
 
     #[test]
     fn display_is_unique() {
-        let names: std::collections::HashSet<String> =
-            DataPattern::all_40().iter().map(|p| p.to_string()).collect();
+        let names: std::collections::HashSet<String> = DataPattern::all_40()
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
         assert_eq!(names.len(), 40);
     }
 }

@@ -170,8 +170,9 @@ impl DramDevice {
     /// [`Geometry::validate`] beforehand when geometry comes from
     /// untrusted input.
     pub fn build(config: DeviceConfig) -> Self {
-        let profile =
-            config.profile.unwrap_or_else(|| config.manufacturer.profile());
+        let profile = config
+            .profile
+            .unwrap_or_else(|| config.manufacturer.profile());
         let mut geometry = config
             .geometry
             .unwrap_or_else(|| Geometry::lpddr4_compact(profile.subarray_rows));
@@ -180,10 +181,14 @@ impl DramDevice {
         }
         geometry.validate().expect("invalid device geometry");
         let variation = VariationMap::build(config.seed, geometry, &profile);
-        let data =
-            vec![vec![0u64; geometry.rows * geometry.cols]; geometry.banks];
-        let banks =
-            vec![BankState { open_row: None, fresh: false }; geometry.banks];
+        let data = vec![vec![0u64; geometry.rows * geometry.cols]; geometry.banks];
+        let banks = vec![
+            BankState {
+                open_row: None,
+                fresh: false
+            };
+            geometry.banks
+        ];
         let noise: Box<dyn NoiseSource> = match config.noise_seed {
             Some(s) => Box::new(SeededNoise::new(s)),
             None => Box::new(OsNoise::new()),
@@ -250,7 +255,10 @@ impl DramDevice {
 
     fn check_bank(&self, bank: usize) -> Result<()> {
         if bank >= self.geometry.banks {
-            return Err(DramError::BankOutOfRange { bank, banks: self.geometry.banks });
+            return Err(DramError::BankOutOfRange {
+                bank,
+                banks: self.geometry.banks,
+            });
         }
         Ok(())
     }
@@ -258,10 +266,16 @@ impl DramDevice {
     fn check_addr(&self, bank: usize, row: usize, col: usize) -> Result<()> {
         self.check_bank(bank)?;
         if row >= self.geometry.rows {
-            return Err(DramError::RowOutOfRange { row, rows: self.geometry.rows });
+            return Err(DramError::RowOutOfRange {
+                row,
+                rows: self.geometry.rows,
+            });
         }
         if col >= self.geometry.cols {
-            return Err(DramError::ColOutOfRange { col, cols: self.geometry.cols });
+            return Err(DramError::ColOutOfRange {
+                col,
+                cols: self.geometry.cols,
+            });
         }
         Ok(())
     }
@@ -315,7 +329,8 @@ impl DramDevice {
     pub fn fill_row(&mut self, bank: usize, row: usize, pattern: DataPattern) {
         for col in 0..self.geometry.cols {
             let w = pattern.word(row, col, self.geometry.word_bits);
-            self.poke(WordAddr::new(bank, row, col), w).expect("fill_row in range");
+            self.poke(WordAddr::new(bank, row, col), w)
+                .expect("fill_row in range");
         }
     }
 
@@ -347,7 +362,10 @@ impl DramDevice {
         self.check_addr(bank, row, 0)?;
         let state = &mut self.banks[bank];
         if let Some(open) = state.open_row {
-            return Err(DramError::BankAlreadyOpen { bank, open_row: open });
+            return Err(DramError::BankAlreadyOpen {
+                bank,
+                open_row: open,
+            });
         }
         state.open_row = Some(row);
         state.fresh = true;
@@ -391,7 +409,11 @@ impl DramDevice {
         let state = self.banks[bank];
         let open = state.open_row.ok_or(DramError::BankNotOpen { bank })?;
         if open != row {
-            return Err(DramError::WrongOpenRow { bank, requested: row, open_row: open });
+            return Err(DramError::WrongOpenRow {
+                bank,
+                requested: row,
+                open_row: open,
+            });
         }
         let idx = row * self.geometry.cols + col;
         let stored = self.data[bank][idx];
@@ -423,7 +445,11 @@ impl DramDevice {
         let state = self.banks[bank];
         let open = state.open_row.ok_or(DramError::BankNotOpen { bank })?;
         if open != row {
-            return Err(DramError::WrongOpenRow { bank, requested: row, open_row: open });
+            return Err(DramError::WrongOpenRow {
+                bank,
+                requested: row,
+                open_row: open,
+            });
         }
         // A column write drives the sense amplifiers directly; the
         // failure window is gone afterwards.
@@ -438,11 +464,17 @@ impl DramDevice {
     // ------------------------------------------------------------------
 
     /// Senses a word with the failure model applied.
-    fn sense_word(&mut self, bank: usize, row: usize, col: usize, stored: u64, trcd_ns: f64) -> u64 {
+    fn sense_word(
+        &mut self,
+        bank: usize,
+        row: usize,
+        col: usize,
+        stored: u64,
+        trcd_ns: f64,
+    ) -> u64 {
         let g = self.profile.settle(trcd_ns);
         let sub = self.geometry.subarray_of(row);
-        let d = self.geometry.row_in_subarray(row) as f64
-            / self.geometry.subarray_rows as f64;
+        let d = self.geometry.row_in_subarray(row) as f64 / self.geometry.subarray_rows as f64;
         let row_factor = 1.0 - self.profile.row_alpha * d;
         let mut sensed = stored;
         for bit in 0..self.geometry.word_bits {
@@ -476,7 +508,11 @@ impl DramDevice {
         // Charge-orientation preference: sensing a high-charge cell is
         // easier or harder depending on the (per-cell, per-manufacturer)
         // preference sign.
-        let charge_term = if my_charge { -lat.charge_pref_v } else { lat.charge_pref_v };
+        let charge_term = if my_charge {
+            -lat.charge_pref_v
+        } else {
+            lat.charge_pref_v
+        };
 
         // Adjacent-bitline coupling: neighbors whose stored charge
         // differs swing the opposite way and steal margin.
@@ -537,14 +573,14 @@ impl DramDevice {
     ///
     /// Panics if the cell address is outside geometry.
     pub fn failure_probability(&self, cell: CellAddr, trcd_ns: f64) -> f64 {
-        self.check_addr(cell.bank, cell.row, cell.col).expect("cell in range");
+        self.check_addr(cell.bank, cell.row, cell.col)
+            .expect("cell in range");
         if trcd_ns >= self.profile.fail_guard_ns {
             return 0.0;
         }
         let g = self.profile.settle(trcd_ns);
         let sub = self.geometry.subarray_of(cell.row);
-        let d = self.geometry.row_in_subarray(cell.row) as f64
-            / self.geometry.subarray_rows as f64;
+        let d = self.geometry.row_in_subarray(cell.row) as f64 / self.geometry.subarray_rows as f64;
         let bl = self.geometry.bitline_of(cell.col, cell.bit);
         let s = self.variation.strength(cell.bank, sub, bl);
         let base = g * s * (1.0 - self.profile.row_alpha * d) - self.profile.theta_v;
@@ -592,22 +628,34 @@ mod tests {
 
     fn device() -> DramDevice {
         DramDevice::build(
-            DeviceConfig::new(Manufacturer::A).with_seed(11).with_noise_seed(22),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(11)
+                .with_noise_seed(22),
         )
     }
 
     #[test]
     fn protocol_enforced() {
         let mut d = device();
-        assert_eq!(d.read(0, 0, 0, 18.0), Err(DramError::BankNotOpen { bank: 0 }));
+        assert_eq!(
+            d.read(0, 0, 0, 18.0),
+            Err(DramError::BankNotOpen { bank: 0 })
+        );
         d.activate(0, 5).unwrap();
         assert_eq!(
             d.activate(0, 6),
-            Err(DramError::BankAlreadyOpen { bank: 0, open_row: 5 })
+            Err(DramError::BankAlreadyOpen {
+                bank: 0,
+                open_row: 5
+            })
         );
         assert_eq!(
             d.read(0, 6, 0, 18.0),
-            Err(DramError::WrongOpenRow { bank: 0, requested: 6, open_row: 5 })
+            Err(DramError::WrongOpenRow {
+                bank: 0,
+                requested: 6,
+                open_row: 5
+            })
         );
         d.read(0, 5, 0, 18.0).unwrap();
         d.precharge(0).unwrap();
@@ -622,7 +670,10 @@ mod tests {
             d.activate(g.banks, 0),
             Err(DramError::BankOutOfRange { .. })
         ));
-        assert!(matches!(d.activate(0, g.rows), Err(DramError::RowOutOfRange { .. })));
+        assert!(matches!(
+            d.activate(0, g.rows),
+            Err(DramError::RowOutOfRange { .. })
+        ));
         d.activate(0, 0).unwrap();
         assert!(matches!(
             d.read(0, 0, g.cols, 18.0),
@@ -666,7 +717,10 @@ mod tests {
                 }
             }
         }
-        assert!(failures > 0, "a full-bank scan at 10 ns must induce failures");
+        assert!(
+            failures > 0,
+            "a full-bank scan at 10 ns must induce failures"
+        );
     }
 
     #[test]
@@ -782,7 +836,10 @@ mod tests {
         };
         let near = avg_rows(&d, 0, 64);
         let far = avg_rows(&d, 448, 512);
-        assert!(far >= near, "far rows fail at least as much: near={near} far={far}");
+        assert!(
+            far >= near,
+            "far rows fail at least as much: near={near} far={far}"
+        );
     }
 
     #[test]
@@ -798,7 +855,10 @@ mod tests {
             })
             .collect();
         let avg = |d: &DramDevice| {
-            cells.iter().map(|&c| d.failure_probability(c, 10.0)).sum::<f64>()
+            cells
+                .iter()
+                .map(|&c| d.failure_probability(c, 10.0))
+                .sum::<f64>()
                 / cells.len() as f64
         };
         let at55 = {
@@ -835,7 +895,13 @@ mod tests {
             DeviceConfig::new(Manufacturer::A)
                 .with_seed(1)
                 .with_noise_seed(2)
-                .with_geometry(Geometry { banks: 1, rows: 4, cols: 2, word_bits: 8, subarray_rows: 4 }),
+                .with_geometry(Geometry {
+                    banks: 1,
+                    rows: 4,
+                    cols: 2,
+                    word_bits: 8,
+                    subarray_rows: 4,
+                }),
         );
         let a = WordAddr::new(0, 1, 1);
         d.poke(a, 0xFFFF).unwrap();

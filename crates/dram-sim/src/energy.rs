@@ -71,8 +71,11 @@ impl EnergyModel {
     /// Total energy of a command trace in picojoules: the sum of
     /// per-command increments plus background power over the trace span.
     pub fn trace_energy_pj(&self, trace: &CommandTrace) -> f64 {
-        let incremental: f64 =
-            trace.commands().iter().map(|c| self.command_pj(c.kind)).sum();
+        let incremental: f64 = trace
+            .commands()
+            .iter()
+            .map(|c| self.command_pj(c.kind))
+            .sum();
         // background: mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ
         let background = self.background_mw * trace.end_ps() as f64 * 1e-3;
         incremental + background

@@ -42,7 +42,9 @@ pub struct OsNoise {
 impl OsNoise {
     /// Creates a noise source seeded from the operating system.
     pub fn new() -> Self {
-        OsNoise { rng: StdRng::from_entropy() }
+        OsNoise {
+            rng: StdRng::from_entropy(),
+        }
     }
 }
 
@@ -67,7 +69,9 @@ pub struct SeededNoise {
 impl SeededNoise {
     /// Creates a noise source with a fixed seed.
     pub fn new(seed: u64) -> Self {
-        SeededNoise { rng: StdRng::seed_from_u64(seed) }
+        SeededNoise {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Raw 64-bit output (exposed for tests).

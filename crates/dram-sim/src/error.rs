@@ -73,12 +73,19 @@ impl fmt::Display for DramError {
                 write!(f, "column {col} out of range (row has {cols} columns)")
             }
             DramError::BankAlreadyOpen { bank, open_row } => {
-                write!(f, "activate to bank {bank} which already has row {open_row} open")
+                write!(
+                    f,
+                    "activate to bank {bank} which already has row {open_row} open"
+                )
             }
             DramError::BankNotOpen { bank } => {
                 write!(f, "access to bank {bank} with no open row")
             }
-            DramError::WrongOpenRow { bank, requested, open_row } => write!(
+            DramError::WrongOpenRow {
+                bank,
+                requested,
+                open_row,
+            } => write!(
                 f,
                 "access to row {requested} in bank {bank} but row {open_row} is open"
             ),
@@ -108,7 +115,11 @@ mod tests {
 
     #[test]
     fn wrong_open_row_mentions_both_rows() {
-        let err = DramError::WrongOpenRow { bank: 1, requested: 5, open_row: 3 };
+        let err = DramError::WrongOpenRow {
+            bank: 1,
+            requested: 5,
+            open_row: 3,
+        };
         let text = err.to_string();
         assert!(text.contains('5') && text.contains('3'));
     }

@@ -34,7 +34,13 @@ impl Geometry {
     /// 8 banks × 1024 rows × 16 words (= 1024 bitlines, matching the
     /// 1024 × 1024 cell array of Figure 4).
     pub fn lpddr4_compact(subarray_rows: usize) -> Self {
-        Geometry { banks: 8, rows: 1024, cols: 16, word_bits: 64, subarray_rows }
+        Geometry {
+            banks: 8,
+            rows: 1024,
+            cols: 16,
+            word_bits: 64,
+            subarray_rows,
+        }
     }
 
     /// Validates internal consistency.
@@ -45,7 +51,9 @@ impl Geometry {
     /// `word_bits` exceeds 64, or `subarray_rows` does not divide `rows`.
     pub fn validate(&self) -> Result<()> {
         if self.banks == 0 || self.rows == 0 || self.cols == 0 || self.word_bits == 0 {
-            return Err(DramError::InvalidConfig("geometry dimensions must be nonzero".into()));
+            return Err(DramError::InvalidConfig(
+                "geometry dimensions must be nonzero".into(),
+            ));
         }
         if self.word_bits > 64 {
             return Err(DramError::InvalidConfig(format!(
@@ -109,8 +117,7 @@ impl Geometry {
     /// (the access order of the paper's Algorithm 1, Lines 4-5).
     pub fn words_col_major(&self, bank: usize) -> impl Iterator<Item = WordAddr> + '_ {
         let rows = self.rows;
-        (0..self.cols)
-            .flat_map(move |col| (0..rows).map(move |row| WordAddr { bank, row, col }))
+        (0..self.cols).flat_map(move |col| (0..rows).map(move |row| WordAddr { bank, row, col }))
     }
 }
 
@@ -139,7 +146,12 @@ impl WordAddr {
 
     /// The address of bit `bit` within this word.
     pub fn cell(&self, bit: usize) -> CellAddr {
-        CellAddr { bank: self.bank, row: self.row, col: self.col, bit }
+        CellAddr {
+            bank: self.bank,
+            row: self.row,
+            col: self.col,
+            bit,
+        }
     }
 }
 
@@ -159,12 +171,21 @@ pub struct CellAddr {
 impl CellAddr {
     /// Constructs a cell address.
     pub fn new(bank: usize, row: usize, col: usize, bit: usize) -> Self {
-        CellAddr { bank, row, col, bit }
+        CellAddr {
+            bank,
+            row,
+            col,
+            bit,
+        }
     }
 
     /// The word containing this cell.
     pub fn word(&self) -> WordAddr {
-        WordAddr { bank: self.bank, row: self.row, col: self.col }
+        WordAddr {
+            bank: self.bank,
+            row: self.row,
+            col: self.col,
+        }
     }
 }
 
@@ -223,7 +244,13 @@ mod tests {
 
     #[test]
     fn col_major_iteration_order() {
-        let g = Geometry { banks: 1, rows: 3, cols: 2, word_bits: 8, subarray_rows: 3 };
+        let g = Geometry {
+            banks: 1,
+            rows: 3,
+            cols: 2,
+            word_bits: 8,
+            subarray_rows: 3,
+        };
         let order: Vec<_> = g.words_col_major(0).collect();
         // Column-order: all rows of col 0, then all rows of col 1.
         assert_eq!(order[0], WordAddr::new(0, 0, 0));

@@ -247,7 +247,10 @@ mod tests {
             assert!((0.0..=1.0).contains(&g));
             prev = g;
         }
-        assert!(p.settle(18.0) > 0.97, "near-full amplification at spec tRCD");
+        assert!(
+            p.settle(18.0) > 0.97,
+            "near-full amplification at spec tRCD"
+        );
         assert!(p.settle(10.0) < 0.90, "visibly degraded at 10 ns");
         assert!(p.settle(6.0) < 0.55, "strongly degraded at 6 ns");
     }

@@ -137,15 +137,15 @@ pub fn phi_inv(p: f64) -> f64 {
             let r = 0.180625 - q * q;
             q * (((2509.080928730122 * r + 33430.57558358813) * r + 67265.7709270087) * r
                 + 45921.95393154987)
-                / (((28729.08573572194 * r + 39307.89580009271) * r + 21213.79430158816) * r
-                    + 1.0)
+                / (((28729.08573572194 * r + 39307.89580009271) * r + 21213.79430158816) * r + 1.0)
                 * 1e-4
                 + q * 2.0
         } else {
             let r = if q < 0.0 { p } else { 1.0 - p };
             let t = (-2.0 * r.ln()).sqrt();
-            let v = t - (2.515517 + 0.802853 * t + 0.010328 * t * t)
-                / (1.0 + 1.432788 * t + 0.189269 * t * t + 0.001308 * t * t * t);
+            let v = t
+                - (2.515517 + 0.802853 * t + 0.010328 * t * t)
+                    / (1.0 + 1.432788 * t + 0.189269 * t * t + 0.001308 * t * t * t);
             if q < 0.0 {
                 -v
             } else {
@@ -218,7 +218,11 @@ mod tests {
             (-1.0, -0.8427007929497149),
         ];
         for (x, want) in cases {
-            assert!((erf(x) - want).abs() < 1e-10, "erf({x}) = {} want {want}", erf(x));
+            assert!(
+                (erf(x) - want).abs() < 1e-10,
+                "erf({x}) = {} want {want}",
+                erf(x)
+            );
         }
     }
 

@@ -112,7 +112,11 @@ mod tests {
     use crate::temperature::Celsius;
 
     fn device() -> DramDevice {
-        DramDevice::build(DeviceConfig::new(Manufacturer::A).with_seed(5).with_noise_seed(6))
+        DramDevice::build(
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(5)
+                .with_noise_seed(6),
+        )
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub fn startup_class(device: &DramDevice, cell: CellAddr) -> StartupClass {
     if cell_uniform(seed, STARTUP_CLASS_SALT, cell) < p.startup_random_frac {
         // Random cells are biased around 0.5 with a modest spread.
         let bias = 0.5 + 0.15 * cell_gauss(seed, STARTUP_BIAS_SALT, cell);
-        StartupClass::Random { p_one: bias.clamp(0.02, 0.98) }
+        StartupClass::Random {
+            p_one: bias.clamp(0.02, 0.98),
+        }
     } else {
         StartupClass::Stable(cell_uniform(seed, STARTUP_VALUE_SALT, cell) < 0.5)
     }
@@ -127,18 +129,23 @@ mod tests {
         }
         let frac = random as f64 / total as f64;
         let want = d.profile().startup_random_frac;
-        assert!((frac - want).abs() < 0.02, "random fraction {frac} want {want}");
+        assert!(
+            (frac - want).abs() < 0.02,
+            "random fraction {frac} want {want}"
+        );
     }
 
     #[test]
     fn stable_cells_repeat_across_power_cycles() {
         let mut d = small_device();
         power_cycle(&mut d);
-        let snap1: Vec<u64> =
-            (0..8).map(|c| d.peek(WordAddr::new(0, 0, c)).unwrap()).collect();
+        let snap1: Vec<u64> = (0..8)
+            .map(|c| d.peek(WordAddr::new(0, 0, c)).unwrap())
+            .collect();
         power_cycle(&mut d);
-        let snap2: Vec<u64> =
-            (0..8).map(|c| d.peek(WordAddr::new(0, 0, c)).unwrap()).collect();
+        let snap2: Vec<u64> = (0..8)
+            .map(|c| d.peek(WordAddr::new(0, 0, c)).unwrap())
+            .collect();
         // Stable cells agree; only random-class cells may differ.
         for col in 0..8 {
             let diff = snap1[col] ^ snap2[col];
@@ -158,7 +165,11 @@ mod tests {
         let mut d = small_device();
         let n1 = power_cycle(&mut d);
         let snap1: Vec<Vec<u64>> = (0..d.geometry().rows)
-            .map(|r| (0..8).map(|c| d.peek(WordAddr::new(0, r, c)).unwrap()).collect())
+            .map(|r| {
+                (0..8)
+                    .map(|c| d.peek(WordAddr::new(0, r, c)).unwrap())
+                    .collect()
+            })
             .collect();
         let n2 = power_cycle(&mut d);
         assert_eq!(n1, n2, "inventory of random cells is fixed");

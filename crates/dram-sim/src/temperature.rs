@@ -18,8 +18,7 @@ impl Celsius {
     pub const DEFAULT: Celsius = Celsius(45.0);
 
     /// The reliable characterization range of the paper's infrastructure.
-    pub const SWEEP: [Celsius; 4] =
-        [Celsius(55.0), Celsius(60.0), Celsius(65.0), Celsius(70.0)];
+    pub const SWEEP: [Celsius; 4] = [Celsius(55.0), Celsius(60.0), Celsius(65.0), Celsius(70.0)];
 
     /// Degrees Celsius as `f64`.
     #[inline]

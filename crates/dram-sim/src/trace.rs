@@ -13,7 +13,9 @@ pub struct CommandTrace {
 impl CommandTrace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        CommandTrace { commands: Vec::new() }
+        CommandTrace {
+            commands: Vec::new(),
+        }
     }
 
     /// Appends a command. Commands should be appended in nondecreasing
@@ -66,7 +68,9 @@ impl Extend<Command> for CommandTrace {
 
 impl FromIterator<Command> for CommandTrace {
     fn from_iter<T: IntoIterator<Item = Command>>(iter: T) -> Self {
-        CommandTrace { commands: iter.into_iter().collect() }
+        CommandTrace {
+            commands: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -99,8 +103,9 @@ mod tests {
 
     #[test]
     fn detects_out_of_order() {
-        let t: CommandTrace =
-            [Command::act(0, 1, 100), Command::pre(0, 50)].into_iter().collect();
+        let t: CommandTrace = [Command::act(0, 1, 100), Command::pre(0, 50)]
+            .into_iter()
+            .collect();
         assert!(!t.is_time_ordered());
     }
 

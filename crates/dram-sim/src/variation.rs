@@ -69,28 +69,18 @@ impl VariationMap {
                 // produces the multi-RNG-cell words of Figure 7.
                 let mut picked = 0usize;
                 let mut attempt = 0u64;
-                let mark_weak = |weak: &mut Vec<bool>,
-                                     strengths: &mut Vec<f32>,
-                                     bl: usize,
-                                     key: u64|
-                 -> bool {
-                    if weak[base + bl] {
-                        return false;
-                    }
-                    weak[base + bl] = true;
-                    let s = profile.weak_mean + profile.weak_sd * gauss_for_key(key);
-                    strengths[base + bl] = s.max(profile.weak_floor) as f32;
-                    true
-                };
+                let mark_weak =
+                    |weak: &mut Vec<bool>, strengths: &mut Vec<f32>, bl: usize, key: u64| -> bool {
+                        if weak[base + bl] {
+                            return false;
+                        }
+                        weak[base + bl] = true;
+                        let s = profile.weak_mean + profile.weak_sd * gauss_for_key(key);
+                        strengths[base + bl] = s.max(profile.weak_floor) as f32;
+                        true
+                    };
                 while picked < count && attempt < 64 * count as u64 + 64 {
-                    let k = cell_key(
-                        seed,
-                        salt::WEAK_PICK,
-                        bank as u64,
-                        sub as u64,
-                        attempt,
-                        0,
-                    );
+                    let k = cell_key(seed, salt::WEAK_PICK, bank as u64, sub as u64, attempt, 0);
                     let bl = (splitmix64(k) % bitlines as u64) as usize;
                     attempt += 1;
                     if !mark_weak(&mut weak, &mut strengths, bl, splitmix64(k)) {
@@ -125,7 +115,12 @@ impl VariationMap {
             }
         }
 
-        VariationMap { geometry, subarrays, strengths, weak }
+        VariationMap {
+            geometry,
+            subarrays,
+            strengths,
+            weak,
+        }
     }
 
     #[inline]
@@ -154,7 +149,9 @@ impl VariationMap {
     /// The weak bitline indices of one subarray, ascending.
     pub fn weak_bitlines(&self, bank: usize, sub: usize) -> Vec<usize> {
         let bitlines = self.geometry.bitlines();
-        (0..bitlines).filter(|&bl| self.is_weak(bank, sub, bl)).collect()
+        (0..bitlines)
+            .filter(|&bl| self.is_weak(bank, sub, bl))
+            .collect()
     }
 }
 
@@ -194,8 +191,22 @@ pub struct CellLatents {
 
 /// Derives the latent parameters of one cell.
 pub fn cell_latents(seed: u64, profile: &PhysicsProfile, cell: CellAddr) -> CellLatents {
-    let (b, r, c, i) = (cell.bank as u64, cell.row as u64, cell.col as u64, cell.bit as u64);
-    let g = |s: u64| gauss_for_key(cell_key(seed, s, b, r, c.wrapping_mul(64).wrapping_add(i), 0));
+    let (b, r, c, i) = (
+        cell.bank as u64,
+        cell.row as u64,
+        cell.col as u64,
+        cell.bit as u64,
+    );
+    let g = |s: u64| {
+        gauss_for_key(cell_key(
+            seed,
+            s,
+            b,
+            r,
+            c.wrapping_mul(64).wrapping_add(i),
+            0,
+        ))
+    };
     CellLatents {
         eps_v: profile.cell_sd_v * g(salt::EPS),
         coupl_left_v: (profile.adj_coupling_v + profile.adj_coupling_sd_v * g(salt::COUPL_L))
@@ -210,14 +221,38 @@ pub fn cell_latents(seed: u64, profile: &PhysicsProfile, cell: CellAddr) -> Cell
 /// Deterministic uniform draw in `[0,1)` for a cell and salt — used by
 /// the retention and startup models.
 pub fn cell_uniform(seed: u64, salt: u64, cell: CellAddr) -> f64 {
-    let (b, r, c, i) = (cell.bank as u64, cell.row as u64, cell.col as u64, cell.bit as u64);
-    unit_for_key(cell_key(seed, salt, b, r, c.wrapping_mul(64).wrapping_add(i), 1))
+    let (b, r, c, i) = (
+        cell.bank as u64,
+        cell.row as u64,
+        cell.col as u64,
+        cell.bit as u64,
+    );
+    unit_for_key(cell_key(
+        seed,
+        salt,
+        b,
+        r,
+        c.wrapping_mul(64).wrapping_add(i),
+        1,
+    ))
 }
 
 /// Deterministic standard-normal draw for a cell and salt.
 pub fn cell_gauss(seed: u64, salt: u64, cell: CellAddr) -> f64 {
-    let (b, r, c, i) = (cell.bank as u64, cell.row as u64, cell.col as u64, cell.bit as u64);
-    gauss_for_key(cell_key(seed, salt, b, r, c.wrapping_mul(64).wrapping_add(i), 2))
+    let (b, r, c, i) = (
+        cell.bank as u64,
+        cell.row as u64,
+        cell.col as u64,
+        cell.bit as u64,
+    );
+    gauss_for_key(cell_key(
+        seed,
+        salt,
+        b,
+        r,
+        c.wrapping_mul(64).wrapping_add(i),
+        2,
+    ))
 }
 
 #[cfg(test)]
@@ -265,8 +300,14 @@ mod tests {
         let per_sub = total as f64 / (g.banks * m.subarrays()) as f64;
         // Poisson(7) primaries plus clustered neighbors (~×1.55) plus
         // ~1 cluster site of width 4 per subarray: expect roughly 15.
-        assert!(per_sub > 6.0 && per_sub < 25.0, "mean weak per subarray {per_sub}");
-        assert!(subarrays_with_weak >= g.banks, "most subarrays have weak bitlines");
+        assert!(
+            per_sub > 6.0 && per_sub < 25.0,
+            "mean weak per subarray {per_sub}"
+        );
+        assert!(
+            subarrays_with_weak >= g.banks,
+            "most subarrays have weak bitlines"
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ pub fn read_cycle(
         } else if t < pre_at_ns {
             let g = profile.settle(t); // 0 at t0, -> 1
             let v = (0.5 + CHARGE_SHARING_DELTA) + (1.0 - (0.5 + CHARGE_SHARING_DELTA)) * g;
-            let phase = if g > 0.98 { Phase::Restored } else { Phase::Sensing };
+            let phase = if g > 0.98 {
+                Phase::Restored
+            } else {
+                Phase::Sensing
+            };
             (v, phase)
         } else {
             // Exponential precharge back to Vdd/2.
@@ -83,7 +87,11 @@ pub fn read_cycle(
     };
     while t <= end_ns + 1e-9 {
         let (v_bitline, phase) = v_at(t);
-        out.push(Sample { t_ns: t, v_bitline, phase });
+        out.push(Sample {
+            t_ns: t,
+            v_bitline,
+            phase,
+        });
         t += step_ns;
     }
     out
@@ -144,7 +152,11 @@ mod tests {
         let wave = read_cycle(&p, 42.0, 60.0, 0.1);
         let mut prev = 0.0;
         for s in wave.iter().filter(|s| s.t_ns <= 42.0) {
-            assert!(s.v_bitline >= prev - 1e-12, "rising until PRE at t={}", s.t_ns);
+            assert!(
+                s.v_bitline >= prev - 1e-12,
+                "rising until PRE at t={}",
+                s.t_ns
+            );
             prev = s.v_bitline;
         }
         // And returns toward 0.5 afterwards.
@@ -161,7 +173,11 @@ mod tests {
         let v10 = voltage_at_read(&p, 10.0);
         let v6 = voltage_at_read(&p, 6.0);
         assert!(v18 > p.theta_v + 0.05, "v18 = {v18}");
-        assert!((v10 - p.theta_v).abs() < 0.15, "v10 = {v10} vs theta {}", p.theta_v);
+        assert!(
+            (v10 - p.theta_v).abs() < 0.15,
+            "v10 = {v10} vs theta {}",
+            p.theta_v
+        );
         assert!(v6 < v10 && v10 < v18);
     }
 

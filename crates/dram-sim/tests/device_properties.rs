@@ -2,8 +2,7 @@
 //! and physics invariants.
 
 use dram_sim::{
-    CellAddr, DataPattern, DeviceConfig, DramDevice, DramError, Geometry, Manufacturer,
-    WordAddr,
+    CellAddr, DataPattern, DeviceConfig, DramDevice, DramError, Geometry, Manufacturer, WordAddr,
 };
 use proptest::prelude::*;
 

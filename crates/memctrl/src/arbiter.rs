@@ -100,7 +100,11 @@ impl Xorshift {
 /// # Panics
 ///
 /// Panics if `banks` is zero or the duration is zero.
-pub fn simulate(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConfig) -> ArbiterReport {
+pub fn simulate(
+    timing: TimingParams,
+    reduced_trcd_ps: u64,
+    config: &ArbiterConfig,
+) -> ArbiterReport {
     assert!(config.banks > 0 && config.duration_ps > 0);
     let mut rng = Xorshift(config.seed);
 
@@ -122,7 +126,10 @@ pub fn simulate(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConf
     }
 
     let mut sched = CommandScheduler::new(config.banks, timing);
-    let reduced = TimingParams { trcd_ps: reduced_trcd_ps, ..timing };
+    let reduced = TimingParams {
+        trcd_ps: reduced_trcd_ps,
+        ..timing
+    };
 
     let mut open_rows: Vec<Option<usize>> = vec![None; config.banks];
     let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
@@ -139,7 +146,11 @@ pub fn simulate(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConf
             next_arrival += 1;
             let bank = (rng.next_f64() * config.banks as f64) as usize % config.banks;
             let hit = rng.next_f64() < config.row_hit_rate;
-            let row = if hit { open_rows[bank].unwrap_or(0) } else { trng_row + 100 };
+            let row = if hit {
+                open_rows[bank].unwrap_or(0)
+            } else {
+                trng_row + 100
+            };
             // Demand runs at the safe, default timing.
             sched.set_timing(timing);
             if open_rows[bank] != Some(row) || !sched.is_open(bank) {
@@ -180,7 +191,9 @@ pub fn simulate(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConf
                 sched.issue(CommandKind::Pre, bank, 0, 0).expect("PRE");
             }
             trng_row = (trng_row + 1) % 2;
-            sched.issue(CommandKind::Act, bank, trng_row, 0).expect("ACT");
+            sched
+                .issue(CommandKind::Act, bank, trng_row, 0)
+                .expect("ACT");
             sched.issue(CommandKind::Rd, bank, trng_row, 0).expect("RD");
             sched.issue(CommandKind::Wr, bank, trng_row, 0).expect("WR");
             sched.issue(CommandKind::Pre, bank, 0, 0).expect("PRE");
@@ -228,7 +241,10 @@ pub fn slowdown(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConf
     let without = simulate(
         timing,
         reduced_trcd_ps,
-        &ArbiterConfig { sample_window_ps: 0, ..config.clone() },
+        &ArbiterConfig {
+            sample_window_ps: 0,
+            ..config.clone()
+        },
     );
     if without.mean_demand_latency_ps == 0.0 {
         1.0
@@ -248,15 +264,25 @@ mod tests {
 
     #[test]
     fn trng_harvests_when_idle() {
-        let config = ArbiterConfig { requests_per_us: 0.5, ..ArbiterConfig::default() };
+        let config = ArbiterConfig {
+            requests_per_us: 0.5,
+            ..ArbiterConfig::default()
+        };
         let r = simulate(timing(), 10_000, &config);
         assert!(r.trng_bits > 0, "idle channel harvests bits");
-        assert!(r.trng_bps > 1e6, "idle harvest at Mb/s scale: {}", r.trng_bps);
+        assert!(
+            r.trng_bps > 1e6,
+            "idle harvest at Mb/s scale: {}",
+            r.trng_bps
+        );
     }
 
     #[test]
     fn no_sampling_window_means_no_bits() {
-        let config = ArbiterConfig { sample_window_ps: 0, ..ArbiterConfig::default() };
+        let config = ArbiterConfig {
+            sample_window_ps: 0,
+            ..ArbiterConfig::default()
+        };
         let r = simulate(timing(), 10_000, &config);
         assert_eq!(r.trng_bits, 0);
         assert!(r.demand_served > 0);
@@ -267,14 +293,25 @@ mod tests {
         let light = simulate(
             timing(),
             10_000,
-            &ArbiterConfig { requests_per_us: 2.0, ..ArbiterConfig::default() },
+            &ArbiterConfig {
+                requests_per_us: 2.0,
+                ..ArbiterConfig::default()
+            },
         );
         let heavy = simulate(
             timing(),
             10_000,
-            &ArbiterConfig { requests_per_us: 120.0, ..ArbiterConfig::default() },
+            &ArbiterConfig {
+                requests_per_us: 120.0,
+                ..ArbiterConfig::default()
+            },
         );
-        assert!(heavy.trng_bits < light.trng_bits, "heavy {} light {}", heavy.trng_bits, light.trng_bits);
+        assert!(
+            heavy.trng_bits < light.trng_bits,
+            "heavy {} light {}",
+            heavy.trng_bits,
+            light.trng_bits
+        );
         assert!(heavy.demand_served > light.demand_served);
     }
 
@@ -282,7 +319,10 @@ mod tests {
     fn demand_priority_bounds_slowdown() {
         // Demand is always served before TRNG accesses, so the added
         // latency is at most one in-flight TRNG word access.
-        let config = ArbiterConfig { requests_per_us: 40.0, ..ArbiterConfig::default() };
+        let config = ArbiterConfig {
+            requests_per_us: 40.0,
+            ..ArbiterConfig::default()
+        };
         let s = slowdown(timing(), 10_000, &config);
         assert!(s < 1.5, "slowdown {s} must stay modest");
         assert!(s >= 0.95, "slowdown ratio sane: {s}");

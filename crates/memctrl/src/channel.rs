@@ -19,7 +19,10 @@ impl MemorySystem {
     /// Builds `channels` channels from per-channel configurations.
     pub fn new(configs: impl IntoIterator<Item = DeviceConfig>) -> Self {
         MemorySystem {
-            channels: configs.into_iter().map(MemoryController::from_config).collect(),
+            channels: configs
+                .into_iter()
+                .map(MemoryController::from_config)
+                .collect(),
         }
     }
 
@@ -73,13 +76,19 @@ impl MemorySystem {
 
     /// Consumes the system, returning the devices.
     pub fn into_devices(self) -> Vec<DramDevice> {
-        self.channels.into_iter().map(MemoryController::into_device).collect()
+        self.channels
+            .into_iter()
+            .map(MemoryController::into_device)
+            .collect()
     }
 }
 
 fn device_seed(template: &DeviceConfig, i: usize) -> u64 {
     // Derive distinct, stable per-channel seeds from the template's seed.
-    template.seed().wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1)
+    template
+        .seed()
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(i as u64 + 1)
 }
 
 #[cfg(test)]
@@ -91,7 +100,9 @@ mod tests {
     fn homogeneous_channels_have_distinct_devices() {
         let sys = MemorySystem::homogeneous(
             4,
-            DeviceConfig::new(Manufacturer::B).with_seed(77).with_noise_seed(1),
+            DeviceConfig::new(Manufacturer::B)
+                .with_seed(77)
+                .with_noise_seed(1),
         );
         assert_eq!(sys.channels(), 4);
         let s0 = sys.channel(0).device().seed();
@@ -103,7 +114,9 @@ mod tests {
     fn channels_operate_independently() {
         let mut sys = MemorySystem::homogeneous(
             2,
-            DeviceConfig::new(Manufacturer::A).with_seed(5).with_noise_seed(2),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(5)
+                .with_noise_seed(2),
         );
         sys.channel_mut(0).act(0, 1).unwrap();
         // Channel 1's bank 0 is unaffected by channel 0's open row.
@@ -116,7 +129,9 @@ mod tests {
     fn into_devices_returns_all() {
         let sys = MemorySystem::homogeneous(
             3,
-            DeviceConfig::new(Manufacturer::C).with_seed(9).with_noise_seed(3),
+            DeviceConfig::new(Manufacturer::C)
+                .with_seed(9)
+                .with_noise_seed(3),
         );
         assert_eq!(sys.into_devices().len(), 3);
     }

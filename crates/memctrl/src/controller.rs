@@ -3,10 +3,43 @@
 
 use dram_sim::commands::CommandKind;
 use dram_sim::{CommandTrace, DeviceConfig, DramDevice};
+use drange_telemetry::{Counter, Gauge, MetricsRegistry};
 
 use crate::error::Result;
 use crate::registers::TimingRegisters;
 use crate::schedule::CommandScheduler;
+
+/// Telemetry handles for one controller (one channel). All handles
+/// default to no-ops; [`MemoryController::attach_telemetry`] swaps in
+/// live ones.
+#[derive(Debug, Clone, Default)]
+struct ControllerTelemetry {
+    act: Counter,
+    rd: Counter,
+    wr: Counter,
+    pre: Counter,
+    trcd_writes: Counter,
+    trcd_ps: Gauge,
+}
+
+impl ControllerTelemetry {
+    fn attach(registry: &MetricsRegistry, channel: &str) -> Self {
+        let cmd = |kind: &str| {
+            registry.counter(
+                "memctrl_commands_total",
+                &[("kind", kind), ("channel", channel)],
+            )
+        };
+        ControllerTelemetry {
+            act: cmd("act"),
+            rd: cmd("rd"),
+            wr: cmd("wr"),
+            pre: cmd("pre"),
+            trcd_writes: registry.counter("memctrl_trcd_writes_total", &[("channel", channel)]),
+            trcd_ps: registry.gauge("memctrl_trcd_ps", &[("channel", channel)]),
+        }
+    }
+}
 
 /// A single-channel memory controller driving one [`DramDevice`].
 ///
@@ -22,14 +55,14 @@ pub struct MemoryController {
     scheduler: CommandScheduler,
     trace: CommandTrace,
     recording: bool,
+    telemetry: ControllerTelemetry,
 }
 
 impl MemoryController {
     /// Wraps an existing device.
     pub fn new(device: DramDevice) -> Self {
         let registers = TimingRegisters::new(device.timing());
-        let mut scheduler =
-            CommandScheduler::new(device.geometry().banks, registers.effective());
+        let mut scheduler = CommandScheduler::new(device.geometry().banks, registers.effective());
         scheduler.set_overhead_ps(registers.cmd_overhead_ps());
         MemoryController {
             device,
@@ -37,7 +70,17 @@ impl MemoryController {
             scheduler,
             trace: CommandTrace::new(),
             recording: false,
+            telemetry: ControllerTelemetry::default(),
         }
+    }
+
+    /// Registers this controller's metrics (per-kind command counts,
+    /// tRCD timing-register writes, current tRCD) in `registry`,
+    /// labeled by `channel`. Without this call all instrumentation is
+    /// no-op.
+    pub fn attach_telemetry(&mut self, registry: &MetricsRegistry, channel: &str) {
+        self.telemetry = ControllerTelemetry::attach(registry, channel);
+        self.telemetry.trcd_ps.set(self.registers.trcd_ps());
     }
 
     /// Builds the device from a configuration and wraps it.
@@ -80,6 +123,8 @@ impl MemoryController {
     pub fn try_set_trcd_ns(&mut self, trcd_ns: f64) -> Result<()> {
         self.registers.set_trcd_ns(trcd_ns)?;
         self.scheduler.set_timing(self.registers.effective());
+        self.telemetry.trcd_writes.inc();
+        self.telemetry.trcd_ps.set(self.registers.trcd_ps());
         Ok(())
     }
 
@@ -87,6 +132,8 @@ impl MemoryController {
     pub fn reset_trcd(&mut self) {
         self.registers.reset_trcd();
         self.scheduler.set_timing(self.registers.effective());
+        self.telemetry.trcd_writes.inc();
+        self.telemetry.trcd_ps.set(self.registers.trcd_ps());
     }
 
     /// The currently programmed `tRCD` in ns.
@@ -140,6 +187,7 @@ impl MemoryController {
     pub fn act(&mut self, bank: usize, row: usize) -> Result<()> {
         let cmd = self.scheduler.issue(CommandKind::Act, bank, row, 0)?;
         self.device.activate(bank, row)?;
+        self.telemetry.act.inc();
         if self.recording {
             self.trace.push(cmd);
         }
@@ -156,6 +204,7 @@ impl MemoryController {
     pub fn rd(&mut self, bank: usize, row: usize, col: usize) -> Result<u64> {
         let cmd = self.scheduler.issue(CommandKind::Rd, bank, row, col)?;
         let word = self.device.read(bank, row, col, self.registers.trcd_ns())?;
+        self.telemetry.rd.inc();
         if self.recording {
             self.trace.push(cmd);
         }
@@ -171,6 +220,7 @@ impl MemoryController {
     pub fn wr(&mut self, bank: usize, row: usize, col: usize, value: u64) -> Result<()> {
         let cmd = self.scheduler.issue(CommandKind::Wr, bank, row, col)?;
         self.device.write(bank, row, col, value)?;
+        self.telemetry.wr.inc();
         if self.recording {
             self.trace.push(cmd);
         }
@@ -185,6 +235,7 @@ impl MemoryController {
     pub fn pre(&mut self, bank: usize) -> Result<()> {
         let cmd = self.scheduler.issue(CommandKind::Pre, bank, 0, 0)?;
         self.device.precharge(bank)?;
+        self.telemetry.pre.inc();
         if self.recording {
             self.trace.push(cmd);
         }
@@ -231,7 +282,9 @@ mod tests {
 
     fn ctrl() -> MemoryController {
         MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(21).with_noise_seed(22),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(21)
+                .with_noise_seed(22),
         )
     }
 
@@ -308,6 +361,51 @@ mod tests {
         c.device_mut().poke(WordAddr::new(0, 0, 0), 42).unwrap();
         let d = c.into_device();
         assert_eq!(d.peek(WordAddr::new(0, 0, 0)).unwrap(), 42);
+    }
+
+    #[test]
+    fn telemetry_counts_commands_and_trcd_writes() {
+        let registry = MetricsRegistry::new();
+        let mut c = ctrl();
+        c.attach_telemetry(&registry, "0");
+        c.set_trcd_ns(10.0);
+        c.refresh_row(0, 3).unwrap(); // ACT + PRE
+        let _ = c.read_fresh(0, 3, 1).unwrap(); // ACT + RD + PRE
+        c.wr(0, 0, 0, 0).unwrap_err(); // no open row: must NOT count
+        c.reset_trcd();
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("memctrl_commands_total{channel=\"0\",kind=\"act\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("memctrl_commands_total{channel=\"0\",kind=\"rd\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("memctrl_commands_total{channel=\"0\",kind=\"pre\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("memctrl_commands_total{channel=\"0\",kind=\"wr\"} 0"),
+            "failed commands are not counted: {text}"
+        );
+        assert!(
+            text.contains("memctrl_trcd_writes_total{channel=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("memctrl_trcd_ps{channel=\"0\"} 18000"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn telemetry_defaults_to_noop() {
+        let mut c = ctrl();
+        c.set_trcd_ns(12.0);
+        let _ = c.read_fresh(0, 0, 0).unwrap();
+        assert!(!c.telemetry.act.is_live());
     }
 
     #[test]

@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn display_mentions_register_name() {
-        let e = MemError::InvalidRegister { register: "tRCD", reason: "zero".into() };
+        let e = MemError::InvalidRegister {
+            register: "tRCD",
+            reason: "zero".into(),
+        };
         assert!(e.to_string().contains("tRCD"));
     }
 }

@@ -57,8 +57,8 @@ pub mod workloads;
 pub use channel::MemorySystem;
 pub use controller::MemoryController;
 pub use error::{MemError, Result};
-pub use registers::TimingRegisters;
 pub use refresh::RefreshScheduler;
+pub use registers::TimingRegisters;
 pub use requests::{Completion, Request, RequestQueue};
 pub use schedule::CommandScheduler;
 pub use workloads::WorkloadProfile;

@@ -158,6 +158,10 @@ mod tests {
             now += trefi / 4;
         }
         // ~one refresh per tREFI over the horizon.
-        assert!((s.issued() as i64 - 100).abs() <= 1, "issued {}", s.issued());
+        assert!(
+            (s.issued() as i64 - 100).abs() <= 1,
+            "issued {}",
+            s.issued()
+        );
     }
 }

@@ -96,7 +96,10 @@ impl TimingRegisters {
     /// The effective parameters the scheduler enforces: datasheet values
     /// with the programmed `tRCD` substituted.
     pub fn effective(&self) -> TimingParams {
-        TimingParams { trcd_ps: self.trcd_ps, ..self.datasheet }
+        TimingParams {
+            trcd_ps: self.trcd_ps,
+            ..self.datasheet
+        }
     }
 }
 
@@ -128,7 +131,11 @@ mod tests {
         assert!(r.set_trcd_ns(0.0).is_err());
         assert!(r.set_trcd_ns(-3.0).is_err());
         assert!(r.set_trcd_ns(f64::NAN).is_err());
-        assert_eq!(r.trcd_ns(), 18.0, "failed writes leave the register unchanged");
+        assert_eq!(
+            r.trcd_ns(),
+            18.0,
+            "failed writes leave the register unchanged"
+        );
     }
 
     #[test]

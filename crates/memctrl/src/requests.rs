@@ -7,7 +7,6 @@
 
 use std::collections::VecDeque;
 
-
 use crate::controller::MemoryController;
 use crate::error::Result;
 
@@ -29,12 +28,24 @@ pub struct Request {
 impl Request {
     /// A read request.
     pub fn read(bank: usize, row: usize, col: usize, arrival_ps: u64) -> Self {
-        Request { bank, row, col, write: None, arrival_ps }
+        Request {
+            bank,
+            row,
+            col,
+            write: None,
+            arrival_ps,
+        }
     }
 
     /// A write request.
     pub fn write(bank: usize, row: usize, col: usize, value: u64, arrival_ps: u64) -> Self {
-        Request { bank, row, col, write: Some(value), arrival_ps }
+        Request {
+            bank,
+            row,
+            col,
+            write: Some(value),
+            arrival_ps,
+        }
     }
 }
 
@@ -66,7 +77,10 @@ pub struct RequestQueue {
 impl RequestQueue {
     /// An empty queue for a controller with `banks` banks.
     pub fn new(banks: usize) -> Self {
-        RequestQueue { queue: VecDeque::new(), open_rows: vec![None; banks] }
+        RequestQueue {
+            queue: VecDeque::new(),
+            open_rows: vec![None; banks],
+        }
     }
 
     /// Enqueues a request.
@@ -110,7 +124,9 @@ impl RequestQueue {
     /// Propagates controller errors; on error the request is dropped
     /// from the queue (the caller decides whether to retry).
     pub fn service_one(&mut self, ctrl: &mut MemoryController) -> Result<Option<Completion>> {
-        let Some(idx) = self.pick() else { return Ok(None) };
+        let Some(idx) = self.pick() else {
+            return Ok(None);
+        };
         let request = self.queue.remove(idx).expect("index valid");
         // Row management.
         if self.open_rows[request.bank] != Some(request.row) {
@@ -170,7 +186,9 @@ mod tests {
 
     fn ctrl() -> MemoryController {
         MemoryController::from_config(
-            DeviceConfig::new(Manufacturer::A).with_seed(61).with_noise_seed(62),
+            DeviceConfig::new(Manufacturer::A)
+                .with_seed(61)
+                .with_noise_seed(62),
         )
     }
 
@@ -252,8 +270,7 @@ mod tests {
         }
         let done = q.drain(&mut c).unwrap();
         assert_eq!(done.len(), 8);
-        let banks: std::collections::HashSet<_> =
-            done.iter().map(|d| d.request.bank).collect();
+        let banks: std::collections::HashSet<_> = done.iter().map(|d| d.request.bank).collect();
         assert_eq!(banks.len(), 8);
     }
 }

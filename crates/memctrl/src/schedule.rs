@@ -100,9 +100,11 @@ impl CommandScheduler {
     }
 
     fn bank(&self, bank: usize) -> Result<&BankTiming> {
-        self.banks.get(bank).ok_or_else(|| MemError::IllegalCommand {
-            reason: format!("bank {bank} out of range"),
-        })
+        self.banks
+            .get(bank)
+            .ok_or_else(|| MemError::IllegalCommand {
+                reason: format!("bank {bank} out of range"),
+            })
     }
 
     /// Earliest legal issue time for a command, given current history.
@@ -146,12 +148,8 @@ impl CommandScheduler {
                     match (prev_kind, kind) {
                         (CommandKind::Wr, CommandKind::Rd) => {
                             // tWTR from end of write data (any bank).
-                            let wr_end = self
-                                .banks
-                                .iter()
-                                .map(|b| b.wr_data_end)
-                                .max()
-                                .unwrap_or(0);
+                            let wr_end =
+                                self.banks.iter().map(|b| b.wr_data_end).max().unwrap_or(0);
                             at = at.max(wr_end + t.twtr_ps);
                         }
                         (CommandKind::Rd, CommandKind::Wr) => {
@@ -165,8 +163,11 @@ impl CommandScheduler {
                     }
                 }
                 // Data-bus occupancy.
-                let data_lat =
-                    if kind == CommandKind::Rd { t.tcl_ps } else { t.tcwl_ps };
+                let data_lat = if kind == CommandKind::Rd {
+                    t.tcl_ps
+                } else {
+                    t.tcwl_ps
+                };
                 at = at.max(self.bus_free_at.saturating_sub(data_lat));
             }
             CommandKind::Pre => {
@@ -205,7 +206,13 @@ impl CommandScheduler {
     /// # Errors
     ///
     /// Propagates the legality errors of [`CommandScheduler::earliest`].
-    pub fn issue(&mut self, kind: CommandKind, bank: usize, row: usize, col: usize) -> Result<Command> {
+    pub fn issue(
+        &mut self,
+        kind: CommandKind,
+        bank: usize,
+        row: usize,
+        col: usize,
+    ) -> Result<Command> {
         let at = self.earliest(kind, bank)?;
         let t = self.timing;
         let b = &mut self.banks[bank];
@@ -272,7 +279,10 @@ mod tests {
     #[test]
     fn programmed_trcd_shrinks_act_to_rd() {
         let mut fast = sched();
-        let t = TimingParams { trcd_ps: 10_000, ..TimingParams::lpddr4_3200() };
+        let t = TimingParams {
+            trcd_ps: 10_000,
+            ..TimingParams::lpddr4_3200()
+        };
         fast.set_timing(t);
         let act = fast.issue(CommandKind::Act, 0, 5, 0).unwrap();
         let rd = fast.issue(CommandKind::Rd, 0, 5, 0).unwrap();

@@ -35,7 +35,11 @@ impl WorkloadProfile {
     pub fn new(name: &'static str, mpki: f64, row_hit_rate: f64) -> Self {
         assert!(mpki >= 0.0, "mpki must be nonnegative");
         assert!((0.0..=1.0).contains(&row_hit_rate), "row_hit_rate in [0,1]");
-        WorkloadProfile { name, mpki, row_hit_rate }
+        WorkloadProfile {
+            name,
+            mpki,
+            row_hit_rate,
+        }
     }
 
     /// DRAM data-bus utilization of this workload on a 4-core system:
@@ -138,8 +142,16 @@ mod tests {
         // of roughly 0.45/0.76/0.90.
         let stats = idle_stats(&spec2006_suite());
         assert!(stats.min > 0.3 && stats.min < 0.6, "min idle {}", stats.min);
-        assert!(stats.mean > 0.6 && stats.mean < 0.9, "mean idle {}", stats.mean);
-        assert!(stats.max > 0.85 && stats.max < 0.99, "max idle {}", stats.max);
+        assert!(
+            stats.mean > 0.6 && stats.mean < 0.9,
+            "mean idle {}",
+            stats.mean
+        );
+        assert!(
+            stats.max > 0.85 && stats.max < 0.99,
+            "max idle {}",
+            stats.max
+        );
         assert!(stats.min <= stats.mean && stats.mean <= stats.max);
     }
 

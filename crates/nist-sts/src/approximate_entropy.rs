@@ -83,9 +83,9 @@ mod tests {
         // m = 3: φ3 = −1.643418, φ4 = −1.834372, ApEn = 0.190954,
         // chi2 = 2·10·(ln 2 − ApEn) = 10.043859,
         // P-value = igamc(4, chi2/2) = 0.261961.
-        let bits = Bits::from_bools(
-            [false, true, false, false, true, true, false, true, false, true],
-        );
+        let bits = Bits::from_bools([
+            false, true, false, false, true, true, false, true, false, true,
+        ]);
         let ap_en = phi(&bits, 3) - phi(&bits, 4);
         let chi2 = 2.0 * 10.0 * (std::f64::consts::LN_2 - ap_en);
         let p = igamc(4.0, chi2 / 2.0);

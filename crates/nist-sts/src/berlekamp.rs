@@ -64,8 +64,7 @@ mod tests {
     fn nist_example_sequence() {
         // SP 800-22 section 2.10.8 example: the 13-bit sequence
         // 1101011110001 has linear complexity 4.
-        let bits: Vec<u8> =
-            [1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 1].to_vec();
+        let bits: Vec<u8> = [1, 1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 0, 1].to_vec();
         assert_eq!(linear_complexity(&bits), 4);
     }
 

@@ -18,7 +18,9 @@ impl Bits {
 
     /// Builds a sequence by evaluating `f(i)` for `i in 0..len`.
     pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
-        Bits { data: (0..len).map(|i| u8::from(f(i))).collect() }
+        Bits {
+            data: (0..len).map(|i| u8::from(f(i))).collect(),
+        }
     }
 
     /// Builds from a slice of bytes, most-significant bit first (the
@@ -35,7 +37,9 @@ impl Bits {
 
     /// Builds from an iterator of bools.
     pub fn from_bools(iter: impl IntoIterator<Item = bool>) -> Self {
-        Bits { data: iter.into_iter().map(u8::from).collect() }
+        Bits {
+            data: iter.into_iter().map(u8::from).collect(),
+        }
     }
 
     /// Appends one bit.
@@ -96,7 +100,9 @@ impl Bits {
     ///
     /// Panics if the range is out of bounds.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bits {
-        Bits { data: self.data[range].to_vec() }
+        Bits {
+            data: self.data[range].to_vec(),
+        }
     }
 
     /// Truncates to `len` bits (no-op if already shorter).
@@ -139,10 +145,7 @@ mod tests {
     fn from_bytes_msb_order() {
         let b = Bits::from_bytes_msb(&[0b1010_0001]);
         assert_eq!(b.len(), 8);
-        assert_eq!(
-            b.iter().collect::<Vec<_>>(),
-            vec![1, 0, 1, 0, 0, 0, 0, 1]
-        );
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 0, 1, 0, 0, 0, 0, 1]);
     }
 
     #[test]

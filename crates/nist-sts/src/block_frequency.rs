@@ -52,16 +52,15 @@ mod tests {
     fn nist_worked_example() {
         // SP 800-22 §2.2.4: ε = 0110011010, M = 3 -> chi2 = 1,
         // P-value = igamc(3/2, 1/2) = 0.801252.
-        let bits = Bits::from_bools(
-            [false, true, true, false, false, true, true, false, true, false],
-        );
+        let bits = Bits::from_bools([
+            false, true, true, false, false, true, true, false, true, false,
+        ]);
         // Below MIN_BITS; compute the statistic directly.
         let m = 3;
         let blocks = bits.len() / m;
         let mut chi2 = 0.0;
         for b in 0..blocks {
-            let ones: usize =
-                (b * m..(b + 1) * m).map(|i| bits.bit(i) as usize).sum();
+            let ones: usize = (b * m..(b + 1) * m).map(|i| bits.bit(i) as usize).sum();
             let pi = ones as f64 / m as f64;
             chi2 += (pi - 0.5) * (pi - 0.5);
         }

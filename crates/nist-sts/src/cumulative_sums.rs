@@ -43,15 +43,13 @@ fn p_value(bits: &Bits, dir: Direction) -> f64 {
     let k_hi = ((nf / z - 1.0) / 4.0).floor() as i64;
     for k in k_lo..=k_hi {
         let kf = k as f64;
-        p -= normal_cdf((4.0 * kf + 1.0) * z / sqrt_n)
-            - normal_cdf((4.0 * kf - 1.0) * z / sqrt_n);
+        p -= normal_cdf((4.0 * kf + 1.0) * z / sqrt_n) - normal_cdf((4.0 * kf - 1.0) * z / sqrt_n);
     }
     let k_lo2 = ((-nf / z - 3.0) / 4.0).floor() as i64;
     let k_hi2 = ((nf / z - 1.0) / 4.0).floor() as i64;
     for k in k_lo2..=k_hi2 {
         let kf = k as f64;
-        p += normal_cdf((4.0 * kf + 3.0) * z / sqrt_n)
-            - normal_cdf((4.0 * kf + 1.0) * z / sqrt_n);
+        p += normal_cdf((4.0 * kf + 3.0) * z / sqrt_n) - normal_cdf((4.0 * kf + 1.0) * z / sqrt_n);
     }
     p.clamp(0.0, 1.0)
 }
@@ -65,7 +63,10 @@ pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
     require_len("cumulative_sums", MIN_BITS, bits.len())?;
     let forward = p_value(bits, Direction::Forward);
     let backward = p_value(bits, Direction::Backward);
-    Ok(TestResult::multi("cumulative_sums", vec![forward, backward]))
+    Ok(TestResult::multi(
+        "cumulative_sums",
+        vec![forward, backward],
+    ))
 }
 
 #[cfg(test)]
@@ -78,9 +79,9 @@ mod tests {
         // The document reports P = 0.4116588 with rounded Φ values; the
         // exact evaluation of the §2.13.5 formula (cross-checked against
         // an independent Python implementation) is 0.4115847.
-        let bits = Bits::from_bools(
-            [true, false, true, true, false, true, false, true, true, true],
-        );
+        let bits = Bits::from_bools([
+            true, false, true, true, false, true, false, true, true, true,
+        ]);
         let p = p_value(&bits, Direction::Forward);
         assert!((p - 0.4115847).abs() < 1e-6, "p = {p}");
     }

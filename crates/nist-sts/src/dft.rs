@@ -28,8 +28,9 @@ pub fn test(bits: &Bits) -> Result<TestResult, StsError> {
     } else {
         1usize << (usize::BITS - 1 - bits.len().leading_zeros())
     };
-    let mut buf: Vec<Complex> =
-        (0..n).map(|i| Complex::new(bits.pm1(i) as f64, 0.0)).collect();
+    let mut buf: Vec<Complex> = (0..n)
+        .map(|i| Complex::new(bits.pm1(i) as f64, 0.0))
+        .collect();
     fft_in_place(&mut buf);
     // Threshold T = sqrt(ln(1/0.05) * n); expect 95% of the first n/2
     // magnitudes below it.

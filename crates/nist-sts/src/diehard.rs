@@ -96,15 +96,14 @@ pub fn birthday_spacings(bits: &Bits, trials: usize) -> Result<TestResult, StsEr
     stream.require("birthday_spacings", trials * M)?;
 
     let lambda = (M as f64).powi(3) / (4.0 * 2f64.powi(DAY_BITS as i32)); // = 2.0
-    // Histogram of duplicate counts, binned 0..=7+.
+                                                                          // Histogram of duplicate counts, binned 0..=7+.
     let mut hist = [0u64; 8];
     for _ in 0..trials {
         let mut days: Vec<u32> = (0..M)
             .map(|_| stream.next_u32().expect("checked") >> (32 - DAY_BITS))
             .collect();
         days.sort_unstable();
-        let mut spacings: Vec<u32> =
-            days.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut spacings: Vec<u32> = days.windows(2).map(|w| w[1] - w[0]).collect();
         spacings.sort_unstable();
         let duplicates = spacings.windows(2).filter(|w| w[0] == w[1]).count();
         hist[duplicates.min(7)] += 1;
@@ -180,7 +179,9 @@ pub fn rank_6x8(bits: &Bits, matrices: usize) -> Result<TestResult, StsError> {
 pub fn runs_up_down(bits: &Bits, n: usize) -> Result<TestResult, StsError> {
     let mut stream = WordStream::new(bits);
     stream.require("diehard_runs_up_down", n)?;
-    let values: Vec<u32> = (0..n).map(|_| stream.next_u32().expect("checked")).collect();
+    let values: Vec<u32> = (0..n)
+        .map(|_| stream.next_u32().expect("checked"))
+        .collect();
     let mut runs = 1u64;
     for i in 2..n {
         let prev_up = values[i - 1] > values[i - 2];
@@ -212,8 +213,9 @@ pub fn permutations5(bits: &Bits, tuples: usize) -> Result<TestResult, StsError>
     stream.require("diehard_permutations5", tuples * 5)?;
     let mut counts = vec![0u64; 120];
     for _ in 0..tuples {
-        let vals: Vec<u32> =
-            (0..5).map(|_| stream.next_u32().expect("checked")).collect();
+        let vals: Vec<u32> = (0..5)
+            .map(|_| stream.next_u32().expect("checked"))
+            .collect();
         // Lehmer code of the tuple's ordering.
         let mut code = 0usize;
         for i in 0..5 {
@@ -229,8 +231,10 @@ pub fn permutations5(bits: &Bits, tuples: usize) -> Result<TestResult, StsError>
         counts[code] += 1;
     }
     let expect = tuples as f64 / 120.0;
-    let chi2: f64 =
-        counts.iter().map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect).sum();
+    let chi2: f64 = counts
+        .iter()
+        .map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect)
+        .sum();
     let p = igamc(119.0 / 2.0, chi2 / 2.0);
     Ok(TestResult::single("diehard_permutations5", p))
 }
@@ -380,16 +384,23 @@ pub fn minimum_distance(bits: &Bits, rounds: usize, n: usize) -> Result<TestResu
         hist[((u * 10.0) as usize).min(9)] += 1;
     }
     let expect = rounds as f64 / 10.0;
-    let chi2: f64 =
-        hist.iter().map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect).sum();
+    let chi2: f64 = hist
+        .iter()
+        .map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect)
+        .sum();
     let p = igamc(4.5, chi2 / 2.0);
     Ok(TestResult::single("diehard_minimum_distance", p))
 }
 
 /// Letter probabilities of the count-the-1s mapping: a byte maps to a
 /// letter by its ones count bucketed {0-2, 3, 4, 5, 6-8}.
-pub const LETTER_P: [f64; 5] =
-    [37.0 / 256.0, 56.0 / 256.0, 70.0 / 256.0, 56.0 / 256.0, 37.0 / 256.0];
+pub const LETTER_P: [f64; 5] = [
+    37.0 / 256.0,
+    56.0 / 256.0,
+    70.0 / 256.0,
+    56.0 / 256.0,
+    37.0 / 256.0,
+];
 
 /// Count-the-1s (stream variant, non-overlapping words): bytes become
 /// five-valued letters by ones count; non-overlapping 4-letter words
@@ -533,9 +544,17 @@ mod tests {
             }
         });
         let park = parking_lot(&bits).unwrap();
-        assert!(!park.passed(1e-4), "clustered points crash more: p = {}", park.min_p());
+        assert!(
+            !park.passed(1e-4),
+            "clustered points crash more: p = {}",
+            park.min_p()
+        );
         let dist = minimum_distance(&bits, 20, 1000).unwrap();
-        assert!(!dist.passed(1e-4), "clustered points sit closer: p = {}", dist.min_p());
+        assert!(
+            !dist.passed(1e-4),
+            "clustered points sit closer: p = {}",
+            dist.min_p()
+        );
     }
 
     #[test]
@@ -638,6 +657,9 @@ mod tests {
             birthday_spacings(&bits, 100),
             Err(StsError::InsufficientData { .. })
         ));
-        assert!(matches!(craps(&bits, 1000), Err(StsError::InsufficientData { .. })));
+        assert!(matches!(
+            craps(&bits, 1000),
+            Err(StsError::InsufficientData { .. })
+        ));
     }
 }

@@ -54,7 +54,11 @@ mod tests {
 
     #[test]
     fn display_names_test() {
-        let e = StsError::InsufficientData { test: "runs", needed: 100, got: 3 };
+        let e = StsError::InsufficientData {
+            test: "runs",
+            needed: 100,
+            got: 3,
+        };
         let s = e.to_string();
         assert!(s.contains("runs") && s.contains("100") && s.contains('3'));
     }

@@ -30,11 +30,17 @@ impl Complex {
     }
 
     fn add(self, other: Complex) -> Complex {
-        Complex { re: self.re + other.re, im: self.im + other.im }
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
     }
 
     fn sub(self, other: Complex) -> Complex {
-        Complex { re: self.re - other.re, im: self.im - other.im }
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
     }
 }
 
@@ -45,7 +51,10 @@ impl Complex {
 /// Panics if the length is not a power of two.
 pub fn fft_in_place(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -86,8 +95,7 @@ pub fn fft_in_place(data: &mut [Complex]) {
 /// responsible for choosing a power-of-two length (the spectral test
 /// truncates its input).
 pub fn real_fft_magnitudes(signal: &[f64]) -> Vec<f64> {
-    let mut buf: Vec<Complex> =
-        signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
     fft_in_place(&mut buf);
     buf.iter().take(signal.len() / 2).map(|c| c.abs()).collect()
 }
@@ -134,7 +142,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_preserved() {
-        let signal: Vec<f64> = (0..64).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let signal: Vec<f64> = (0..64)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
         fft_in_place(&mut buf);
         let time_energy: f64 = signal.iter().map(|x| x * x).sum();
@@ -154,8 +164,9 @@ mod tests {
     fn single_cosine_concentrates_energy() {
         let n = 256;
         let f = 16;
-        let signal: Vec<f64> =
-            (0..n).map(|t| (2.0 * PI * (f * t) as f64 / n as f64).cos()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|t| (2.0 * PI * (f * t) as f64 / n as f64).cos())
+            .collect();
         let mags = real_fft_magnitudes(&signal);
         let peak = mags
             .iter()

@@ -19,8 +19,7 @@ pub const K: usize = 6;
 pub const MIN_BITS: usize = 100_000;
 
 /// Category probabilities π₀..π₆ (SP 800-22 §3.10).
-pub const PI: [f64; 7] =
-    [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
+pub const PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
 
 /// Runs the linear-complexity test with block length `m`.
 ///

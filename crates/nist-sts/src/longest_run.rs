@@ -23,7 +23,12 @@ struct Regime {
 /// Category probabilities from SP 800-22 §2.4.4 / §3.4.
 fn regime(n: usize) -> Regime {
     if n < 6272 {
-        Regime { m: 8, lo: 1, k: 3, pi: &[0.2148, 0.3672, 0.2305, 0.1875] }
+        Regime {
+            m: 8,
+            lo: 1,
+            k: 3,
+            pi: &[0.2148, 0.3672, 0.2305, 0.1875],
+        }
     } else if n < 750_000 {
         Regime {
             m: 128,

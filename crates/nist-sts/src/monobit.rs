@@ -65,6 +65,9 @@ mod tests {
     #[test]
     fn too_short_is_error() {
         let bits = Bits::from_fn(10, |_| true);
-        assert!(matches!(test(&bits), Err(StsError::InsufficientData { .. })));
+        assert!(matches!(
+            test(&bits),
+            Err(StsError::InsufficientData { .. })
+        ));
     }
 }

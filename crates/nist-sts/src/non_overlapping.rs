@@ -65,7 +65,10 @@ pub fn test_with_m(bits: &Bits, m: usize) -> Result<TestResult, StsError> {
         }
         p_values.push(igamc(BLOCKS as f64 / 2.0, chi2 / 2.0));
     }
-    Ok(TestResult::multi("non_overlapping_template_matching", p_values))
+    Ok(TestResult::multi(
+        "non_overlapping_template_matching",
+        p_values,
+    ))
 }
 
 /// Runs the test with the default m = 9 (148 templates).
@@ -88,9 +91,7 @@ mod tests {
         // SP 800-22 §2.7.4: ε = 10100100101110010110 (n = 20), m = 3,
         // template B = 001, N = 2 blocks of M = 10.
         // Block 1 = 1010010010: W = 2; Block 2 = 1110010110: W = 1.
-        let bits = Bits::from_bools(
-            "10100100101110010110".chars().map(|c| c == '1'),
-        );
+        let bits = Bits::from_bools("10100100101110010110".chars().map(|c| c == '1'));
         let template = [0u8, 0, 1];
         assert_eq!(count_occurrences(&bits, 0, 10, &template), 2);
         assert_eq!(count_occurrences(&bits, 10, 20, &template), 1);

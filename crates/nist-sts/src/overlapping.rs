@@ -20,8 +20,7 @@ pub const MIN_BITS: usize = 1_000_000;
 
 /// Category probabilities π₀..π₅ for m = 9, M = 1032 (SP 800-22 §3.8,
 /// as corrected in the reference implementation).
-pub const PI: [f64; 6] =
-    [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865];
+pub const PI: [f64; 6] = [0.364091, 0.185659, 0.139381, 0.100571, 0.070432, 0.139865];
 
 /// Runs the overlapping template matching test.
 ///

@@ -23,9 +23,7 @@ pub fn pi_k(x: i32, k: usize) -> f64 {
     let ax = x.abs() as f64;
     match k {
         0 => 1.0 - 1.0 / (2.0 * ax),
-        1..=4 => {
-            (1.0 / (4.0 * ax * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(k as i32 - 1)
-        }
+        1..=4 => (1.0 / (4.0 * ax * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(k as i32 - 1),
         _ => (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)).powi(4),
     }
 }
@@ -122,9 +120,9 @@ mod tests {
     fn nist_example_cycle_structure() {
         // SP 800-22 §2.14.4: ε = 0110110101 gives the walk
         // -1,0,1,0,1,2,1,2,1,0 (then close): J = 3 cycles.
-        let bits = Bits::from_bools(
-            [false, true, true, false, true, true, false, true, false, true],
-        );
+        let bits = Bits::from_bools([
+            false, true, true, false, true, true, false, true, false, true,
+        ]);
         let (j, counts) = cycle_visit_counts(&bits);
         assert_eq!(j, 3);
         // State +1 is visited 4 times total: cycle1 {-1}: 0 visits of +1;

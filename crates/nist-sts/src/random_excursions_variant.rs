@@ -85,10 +85,9 @@ mod tests {
     fn structured_walk_fails() {
         // A walk that oscillates deterministically around +1/+2 visits
         // low states massively more often than J.
-        let bits = Bits::from_fn(
-            400_000,
-            |i| matches!(i % 4, 0 | 1 | 3) == (i % 8 < 4) || i % 2 == 0,
-        );
+        let bits = Bits::from_fn(400_000, |i| {
+            matches!(i % 4, 0 | 1 | 3) == (i % 8 < 4) || i % 2 == 0
+        });
         match test(&bits) {
             Ok(r) => assert!(!r.passed(1e-4)),
             Err(StsError::NotApplicable { .. }) => {} // also an acceptable detection

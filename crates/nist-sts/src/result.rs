@@ -27,7 +27,10 @@ impl TestResult {
     ///
     /// Panics if `p_values` is empty or any value is outside `[0, 1]`.
     pub fn multi(name: &'static str, p_values: Vec<f64>) -> Self {
-        assert!(!p_values.is_empty(), "{name}: at least one p-value required");
+        assert!(
+            !p_values.is_empty(),
+            "{name}: at least one p-value required"
+        );
         for &p in &p_values {
             assert!(
                 (0.0..=1.0).contains(&p),
@@ -116,7 +119,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert!(TestResult::single("runs", 0.5).to_string().contains("0.5000"));
-        assert!(TestResult::multi("cusum", vec![0.1, 0.9]).to_string().contains("min"));
+        assert!(TestResult::single("runs", 0.5)
+            .to_string()
+            .contains("0.5000"));
+        assert!(TestResult::multi("cusum", vec![0.1, 0.9])
+            .to_string()
+            .contains("min"));
     }
 }

@@ -49,8 +49,9 @@ mod tests {
         // SP 800-22 §2.3.4: ε = 1001101011 (n = 10): π = 0.6,
         // V_obs = 7, P-value = 0.147232. (Below MIN_BITS; compute the
         // statistic directly.)
-        let bits =
-            Bits::from_bools([true, false, false, true, true, false, true, false, true, true]);
+        let bits = Bits::from_bools([
+            true, false, false, true, true, false, true, false, true, true,
+        ]);
         let n = bits.len();
         let pi = bits.ones() as f64 / n as f64;
         assert!((pi - 0.6).abs() < 1e-12);

@@ -48,8 +48,10 @@ pub fn p_value_uniformity(p_values: &[f64]) -> f64 {
         bins[idx] += 1;
     }
     let expect = p_values.len() as f64 / 10.0;
-    let chi2: f64 =
-        bins.iter().map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect).sum();
+    let chi2: f64 = bins
+        .iter()
+        .map(|&c| (c as f64 - expect) * (c as f64 - expect) / expect)
+        .sum();
     igamc(4.5, chi2 / 2.0)
 }
 
@@ -91,8 +93,7 @@ impl SecondLevelReport {
     /// `P_T ≥ 0.0001`.
     pub fn acceptable(&self) -> bool {
         let prop = self.passed as f64 / self.total as f64;
-        (self.proportion_lo..=self.proportion_hi).contains(&prop)
-            && self.uniformity_p >= 1e-4
+        (self.proportion_lo..=self.proportion_hi).contains(&prop) && self.uniformity_p >= 1e-4
     }
 }
 

@@ -82,9 +82,9 @@ mod tests {
         // ψ²_3 = 2.8, ψ²_2 = 1.2, ψ²_1 = 0.4,
         // ∇ψ² = 1.6, ∇²ψ² = 0.8,
         // P1 = igamc(2, 0.8) = 0.808792, P2 = igamc(1, 0.4) = 0.670320.
-        let bits = Bits::from_bools(
-            [false, false, true, true, false, true, true, true, false, true],
-        );
+        let bits = Bits::from_bools([
+            false, false, true, true, false, true, true, true, false, true,
+        ]);
         let psi3 = psi_squared(&bits, 3);
         let psi2 = psi_squared(&bits, 2);
         let psi1 = psi_squared(&bits, 1);

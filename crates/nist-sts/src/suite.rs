@@ -4,8 +4,8 @@ use crate::bits::Bits;
 use crate::error::StsError;
 use crate::result::TestResult;
 use crate::{
-    approximate_entropy, block_frequency, cumulative_sums, dft, linear_complexity,
-    longest_run, matrix_rank, monobit, non_overlapping, overlapping, random_excursions,
+    approximate_entropy, block_frequency, cumulative_sums, dft, linear_complexity, longest_run,
+    matrix_rank, monobit, non_overlapping, overlapping, random_excursions,
     random_excursions_variant, runs, serial, universal,
 };
 
@@ -63,7 +63,11 @@ impl SuiteReport {
 
 impl std::fmt::Display for SuiteReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:<42} {:>10}  {}", "NIST Test Name", "P-value", "Status")?;
+        writeln!(
+            f,
+            "{:<42} {:>10}  {}",
+            "NIST Test Name", "P-value", "Status"
+        )?;
         for o in &self.outcomes {
             match &o.result {
                 Ok(r) => writeln!(
@@ -107,18 +111,30 @@ impl NistSuite {
     /// Runs all 15 tests on `bits`, in the paper's Table 1 order.
     pub fn run(&self, bits: &Bits) -> SuiteReport {
         let outcomes = vec![
-            TestOutcome { name: "monobit", result: monobit::test(bits) },
+            TestOutcome {
+                name: "monobit",
+                result: monobit::test(bits),
+            },
             TestOutcome {
                 name: "frequency_within_block",
                 result: block_frequency::test(bits),
             },
-            TestOutcome { name: "runs", result: runs::test(bits) },
+            TestOutcome {
+                name: "runs",
+                result: runs::test(bits),
+            },
             TestOutcome {
                 name: "longest_run_ones_in_a_block",
                 result: longest_run::test(bits),
             },
-            TestOutcome { name: "binary_matrix_rank", result: matrix_rank::test(bits) },
-            TestOutcome { name: "dft", result: dft::test(bits) },
+            TestOutcome {
+                name: "binary_matrix_rank",
+                result: matrix_rank::test(bits),
+            },
+            TestOutcome {
+                name: "dft",
+                result: dft::test(bits),
+            },
             TestOutcome {
                 name: "non_overlapping_template_matching",
                 result: non_overlapping::test(bits),
@@ -127,24 +143,39 @@ impl NistSuite {
                 name: "overlapping_template_matching",
                 result: overlapping::test(bits),
             },
-            TestOutcome { name: "maurers_universal", result: universal::test(bits) },
+            TestOutcome {
+                name: "maurers_universal",
+                result: universal::test(bits),
+            },
             TestOutcome {
                 name: "linear_complexity",
                 result: linear_complexity::test(bits),
             },
-            TestOutcome { name: "serial", result: serial::test(bits) },
+            TestOutcome {
+                name: "serial",
+                result: serial::test(bits),
+            },
             TestOutcome {
                 name: "approximate_entropy",
                 result: approximate_entropy::test(bits),
             },
-            TestOutcome { name: "cumulative_sums", result: cumulative_sums::test(bits) },
-            TestOutcome { name: "random_excursion", result: random_excursions::test(bits) },
+            TestOutcome {
+                name: "cumulative_sums",
+                result: cumulative_sums::test(bits),
+            },
+            TestOutcome {
+                name: "random_excursion",
+                result: random_excursions::test(bits),
+            },
             TestOutcome {
                 name: "random_excursion_variant",
                 result: random_excursions_variant::test(bits),
             },
         ];
-        SuiteReport { outcomes, alpha: self.alpha }
+        SuiteReport {
+            outcomes,
+            alpha: self.alpha,
+        }
     }
 }
 
@@ -173,7 +204,11 @@ mod tests {
     fn megabit_random_stream_passes_everything() {
         let bits = xorshift_bits(1_100_000, 0x0123_4567_89AB_CDEF);
         let report = NistSuite::paper().run(&bits);
-        assert_eq!(report.tests_run(), 15, "all tests applicable at 1.1 Mb:\n{report}");
+        assert_eq!(
+            report.tests_run(),
+            15,
+            "all tests applicable at 1.1 Mb:\n{report}"
+        );
         assert!(report.all_passed(), "{report}");
     }
 
@@ -189,7 +224,10 @@ mod tests {
         let bits = xorshift_bits(200, 1);
         let report = NistSuite::default().run(&bits);
         assert!(report.tests_run() < 15);
-        assert!(!report.all_passed(), "insufficient data cannot count as pass");
+        assert!(
+            !report.all_passed(),
+            "insufficient data cannot count as pass"
+        );
     }
 
     #[test]

@@ -29,8 +29,7 @@ pub fn aperiodic_templates(m: usize) -> Vec<Vec<u8>> {
     assert!(m >= 1 && m <= 20, "template length must be 1..=20, got {m}");
     let mut out = Vec::new();
     for value in 0u32..(1 << m) {
-        let bits: Vec<u8> =
-            (0..m).map(|i| ((value >> (m - 1 - i)) & 1) as u8).collect();
+        let bits: Vec<u8> = (0..m).map(|i| ((value >> (m - 1 - i)) & 1) as u8).collect();
         if is_aperiodic(&bits) {
             out.push(bits);
         }

@@ -14,17 +14,17 @@ pub const MIN_BITS: usize = 387_840;
 /// `(expected value, variance)` of the per-block statistic for
 /// L = 6..=16 (SP 800-22 §2.9.4 table).
 const TABLE: [(f64, f64); 11] = [
-    (5.2177052, 2.954),   // L = 6
-    (6.1962507, 3.125),   // L = 7
-    (7.1836656, 3.238),   // L = 8
-    (8.1764248, 3.311),   // L = 9
-    (9.1723243, 3.356),   // L = 10
-    (10.170032, 3.384),   // L = 11
-    (11.168765, 3.401),   // L = 12
-    (12.168070, 3.410),   // L = 13
-    (13.167693, 3.416),   // L = 14
-    (14.167488, 3.419),   // L = 15
-    (15.167379, 3.421),   // L = 16
+    (5.2177052, 2.954), // L = 6
+    (6.1962507, 3.125), // L = 7
+    (7.1836656, 3.238), // L = 8
+    (8.1764248, 3.311), // L = 9
+    (9.1723243, 3.356), // L = 10
+    (10.170032, 3.384), // L = 11
+    (11.168765, 3.401), // L = 12
+    (12.168070, 3.410), // L = 13
+    (13.167693, 3.416), // L = 14
+    (14.167488, 3.419), // L = 15
+    (15.167379, 3.421), // L = 16
 ];
 
 /// Chooses the block length L for a sequence length per §2.9.7.
@@ -108,8 +108,8 @@ pub fn test_with_params(bits: &Bits, l: usize, q: usize) -> Result<TestResult, S
     let fn_stat = sum / k as f64;
     let (expected, variance) = TABLE[l - 6];
     // Finite-size correction factor (SP 800-22 §2.9.4).
-    let c = 0.7 - 0.8 / l as f64
-        + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let c =
+        0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
     let sigma = c * (variance / k as f64).sqrt();
     let p = erfc(((fn_stat - expected) / (std::f64::consts::SQRT_2 * sigma)).abs());
     Ok(TestResult::single("maurers_universal", p))

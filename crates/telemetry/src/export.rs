@@ -1,0 +1,341 @@
+//! Export surfaces: Prometheus text format, JSON snapshots, and the
+//! one-line summary used by the periodic reporter.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_bound, fmt_ns, HistogramSnapshot};
+use crate::registry::{MetricSample, MetricValue, MetricsRegistry};
+
+/// Escapes a Prometheus label value (`\`, `"`, newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Renders a label set as `{k="v",...}` (empty string for no labels),
+/// with `extra` appended last when given.
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn render_histogram_prometheus(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    h: &HistogramSnapshot,
+) {
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = bucket_bound(i).to_string();
+        let lb = label_block(labels, Some(("le", &le)));
+        let _ = writeln!(out, "{name}_bucket{lb} {cumulative}");
+    }
+    cumulative += h.overflow;
+    let lb = label_block(labels, Some(("le", "+Inf")));
+    let _ = writeln!(out, "{name}_bucket{lb} {cumulative}");
+    let lb = label_block(labels, None);
+    let _ = writeln!(out, "{name}_sum{lb} {}", h.sum);
+    let _ = writeln!(out, "{name}_count{lb} {}", h.count);
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// Histograms use nanosecond `le` bounds (the crate-wide latency unit);
+/// one `# TYPE` line precedes each metric name. Output is
+/// deterministic: series are ordered by (name, sorted labels).
+#[must_use]
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut current_name: Option<String> = None;
+    for sample in registry.samples() {
+        if current_name.as_deref() != Some(sample.name.as_str()) {
+            let _ = writeln!(
+                out,
+                "# TYPE {} {}",
+                sample.name,
+                sample.value.kind().prometheus_type()
+            );
+            current_name = Some(sample.name.clone());
+        }
+        match &sample.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                let lb = label_block(&sample.labels, None);
+                let _ = writeln!(out, "{}{lb} {v}", sample.name);
+            }
+            MetricValue::Histogram(h) => {
+                render_histogram_prometheus(&mut out, &sample.name, &sample.labels, h);
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn escape_json(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn json_sample(sample: &MetricSample) -> String {
+    let head = format!(
+        "{{\"name\":\"{}\",\"kind\":\"{}\",\"labels\":{}",
+        escape_json(&sample.name),
+        sample.value.kind().prometheus_type(),
+        json_labels(&sample.labels)
+    );
+    match &sample.value {
+        MetricValue::Counter(v) | MetricValue::Gauge(v) => format!("{head},\"value\":{v}}}"),
+        MetricValue::Histogram(h) => {
+            let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+            format!(
+                "{head},\"count\":{},\"sum_ns\":{},\"max_ns\":{},\"p50_ns\":{},\
+                 \"p95_ns\":{},\"p99_ns\":{},\"overflow\":{},\"buckets\":[{}]}}",
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.overflow,
+                buckets.join(",")
+            )
+        }
+    }
+}
+
+/// Renders the registry as one JSON document:
+/// `{"metrics":[{"name":...,"kind":...,"labels":{...},...}]}`.
+///
+/// Counters and gauges carry `"value"`; histograms carry
+/// `"count"`/`"sum_ns"`/`"max_ns"`, the p50/p95/p99 upper-bound
+/// estimates, and the raw (non-cumulative) bucket array.
+#[must_use]
+pub fn render_json(registry: &MetricsRegistry) -> String {
+    let entries: Vec<String> = registry.samples().iter().map(json_sample).collect();
+    format!("{{\"metrics\":[{}]}}", entries.join(","))
+}
+
+/// Renders a one-line summary: per metric *name*, label sets are
+/// aggregated (counters and gauges summed, histogram buckets merged)
+/// and reported as `name=value` or `name:p50/p99/n`. This is what the
+/// periodic [`crate::Reporter`] logs.
+#[must_use]
+pub fn summary_line(registry: &MetricsRegistry) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut current: Option<(String, MetricValue)> = None;
+    let flush = |entry: &Option<(String, MetricValue)>, parts: &mut Vec<String>| {
+        if let Some((name, value)) = entry {
+            match value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    parts.push(format!("{name}={v}"));
+                }
+                MetricValue::Histogram(h) => parts.push(format!(
+                    "{name}:p50={}/p99={}/n={}",
+                    fmt_ns(h.p50()),
+                    fmt_ns(h.p99()),
+                    h.count
+                )),
+            }
+        }
+    };
+    for sample in registry.samples() {
+        match &mut current {
+            Some((name, value)) if *name == sample.name => match (value, sample.value) {
+                (MetricValue::Counter(a), MetricValue::Counter(b))
+                | (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(&b),
+                _ => unreachable!("a metric name has one kind"),
+            },
+            _ => {
+                flush(&current, &mut parts);
+                current = Some((sample.name, sample.value));
+            }
+        }
+    }
+    flush(&current, &mut parts);
+    if parts.is_empty() {
+        "no metrics registered".to_string()
+    } else {
+        parts.join(" | ")
+    }
+}
+
+impl MetricsRegistry {
+    /// Prometheus text-format rendering; see
+    /// [`render_prometheus`](crate::export::render_prometheus).
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(self)
+    }
+
+    /// JSON snapshot rendering; see
+    /// [`render_json`](crate::export::render_json).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        render_json(self)
+    }
+
+    /// One-line cross-label summary; see
+    /// [`summary_line`](crate::export::summary_line).
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        summary_line(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HISTOGRAM_BUCKETS;
+
+    #[test]
+    fn prometheus_golden_output() {
+        let reg = MetricsRegistry::new();
+        reg.counter("drange_served_bits_total", &[]).add(800);
+        reg.gauge("drange_pool_bits", &[]).set(4096);
+        let h = reg.histogram(
+            "drange_stage_latency_ns",
+            &[("stage", "harvest"), ("worker", "0")],
+        );
+        h.record_ns(1);
+        h.record_ns(3);
+        h.record_ns(3);
+
+        let text = reg.render_prometheus();
+        let expected_head = "\
+# TYPE drange_pool_bits gauge
+drange_pool_bits 4096
+# TYPE drange_served_bits_total counter
+drange_served_bits_total 800
+# TYPE drange_stage_latency_ns histogram
+drange_stage_latency_ns_bucket{stage=\"harvest\",worker=\"0\",le=\"1\"} 1
+drange_stage_latency_ns_bucket{stage=\"harvest\",worker=\"0\",le=\"2\"} 1
+drange_stage_latency_ns_bucket{stage=\"harvest\",worker=\"0\",le=\"4\"} 3
+drange_stage_latency_ns_bucket{stage=\"harvest\",worker=\"0\",le=\"8\"} 3";
+        assert!(
+            text.starts_with(expected_head),
+            "unexpected prefix:\n{}",
+            &text[..expected_head.len().min(text.len())]
+        );
+        let expected_tail = "\
+drange_stage_latency_ns_bucket{stage=\"harvest\",worker=\"0\",le=\"+Inf\"} 3
+drange_stage_latency_ns_sum{stage=\"harvest\",worker=\"0\"} 7
+drange_stage_latency_ns_count{stage=\"harvest\",worker=\"0\"} 3
+";
+        assert!(text.ends_with(expected_tail), "unexpected suffix:\n{text}");
+        // One bucket line per finite bucket plus +Inf.
+        let bucket_lines = text.lines().filter(|l| l.contains("_bucket{")).count();
+        assert_eq!(bucket_lines, HISTOGRAM_BUCKETS + 1);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[]);
+        h.record_ns(1);
+        h.record_ns(100);
+        h.record_ns(u64::MAX);
+        let text = reg.render_prometheus();
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"128\"} 2"));
+        let last_finite = bucket_bound(HISTOGRAM_BUCKETS - 1);
+        assert!(text.contains(&format!("lat_bucket{{le=\"{last_finite}\"}} 2")));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_count 3"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("k", "a\"b\\c\nd")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"c{k="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("bits_total", &[("worker", "1")]).add(42);
+        let h = reg.histogram("lat_ns", &[]);
+        h.record_ns(100);
+        let json = reg.render_json();
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains(
+            "{\"name\":\"bits_total\",\"kind\":\"counter\",\"labels\":{\"worker\":\"1\"},\"value\":42}"
+        ));
+        assert!(json.contains("\"name\":\"lat_ns\""));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"p50_ns\":128"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("k", "a\"b\\c\nd")]).inc();
+        let json = reg.render_json();
+        assert!(json.contains(r#""k":"a\"b\\c\nd""#), "{json}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.render_prometheus(), "");
+        assert_eq!(reg.render_json(), "{\"metrics\":[]}");
+        assert_eq!(reg.summary_line(), "no metrics registered");
+    }
+
+    #[test]
+    fn summary_aggregates_across_labels() {
+        let reg = MetricsRegistry::new();
+        reg.counter("bits_total", &[("worker", "0")]).add(10);
+        reg.counter("bits_total", &[("worker", "1")]).add(5);
+        reg.histogram("lat_ns", &[("stage", "a")]).record_ns(100);
+        reg.histogram("lat_ns", &[("stage", "b")]).record_ns(100);
+        let line = reg.summary_line();
+        assert!(line.contains("bits_total=15"), "{line}");
+        assert!(line.contains("lat_ns:p50=128ns"), "{line}");
+        assert!(line.contains("n=2"), "{line}");
+    }
+}

@@ -1,0 +1,313 @@
+//! The metrics registry: names and labels map to shared atomic cells.
+//!
+//! A [`MetricsRegistry`] is a cheap cloneable handle (`Arc` inside);
+//! clone it into every thread that registers or exports metrics. The
+//! registry's interior mutex guards *registration and snapshots only* —
+//! the [`Counter`]/[`Gauge`]/[`Histogram`] handles returned by the
+//! `counter`/`gauge`/`histogram` methods operate on lock-free atomics
+//! and never contend with each other or with exports.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCore, HistogramSnapshot};
+
+/// The kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Settable gauge.
+    Gauge,
+    /// Log2-bucketed latency histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    #[must_use]
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One time series: a metric name plus its sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+#[derive(Debug, Default)]
+struct Tables {
+    /// name -> kind; one metric name has exactly one kind across all
+    /// label sets.
+    kinds: BTreeMap<String, MetricKind>,
+    /// (name, labels) -> storage cell. BTreeMap ordering makes exports
+    /// deterministic.
+    series: BTreeMap<SeriesKey, Slot>,
+}
+
+/// A point-in-time value of one series, produced by
+/// [`MetricsRegistry::samples`].
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+/// The value part of a [`MetricSample`].
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(u64),
+    /// Histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The kind this value belongs to.
+    #[must_use]
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A shared, cloneable metrics registry.
+///
+/// Registering the same name + label set twice returns a handle to the
+/// same cell, so independent components can meet on a series without
+/// coordination. Label pairs are sorted by key at registration, making
+/// label order irrelevant.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    tables: Arc<Mutex<Tables>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> SeriesKey {
+    assert!(!name.is_empty(), "metric name must be nonempty");
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+        .collect();
+    labels.sort();
+    SeriesKey {
+        name: name.to_string(),
+        labels,
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn check_kind(tables: &mut Tables, name: &str, kind: MetricKind) {
+        match tables.kinds.get(name) {
+            None => {
+                tables.kinds.insert(name.to_string(), kind);
+            }
+            Some(existing) => assert!(
+                *existing == kind,
+                "metric {name} already registered as {existing:?}, not {kind:?}"
+            ),
+        }
+    }
+
+    /// Registers (or re-opens) a counter series and returns a live
+    /// handle to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is empty or already registered with a
+    /// different kind.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = key(name, labels);
+        let mut tables = self.tables.lock().expect("registry lock");
+        Self::check_kind(&mut tables, name, MetricKind::Counter);
+        let slot = tables
+            .series
+            .entry(key)
+            .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))));
+        match slot {
+            Slot::Counter(cell) => Counter::live(Arc::clone(cell)),
+            _ => unreachable!("kind table guarantees counter storage"),
+        }
+    }
+
+    /// Registers (or re-opens) a gauge series and returns a live handle
+    /// to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is empty or already registered with a
+    /// different kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = key(name, labels);
+        let mut tables = self.tables.lock().expect("registry lock");
+        Self::check_kind(&mut tables, name, MetricKind::Gauge);
+        let slot = tables
+            .series
+            .entry(key)
+            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicU64::new(0))));
+        match slot {
+            Slot::Gauge(cell) => Gauge::live(Arc::clone(cell)),
+            _ => unreachable!("kind table guarantees gauge storage"),
+        }
+    }
+
+    /// Registers (or re-opens) a histogram series and returns a live
+    /// handle to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is empty or already registered with a
+    /// different kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = key(name, labels);
+        let mut tables = self.tables.lock().expect("registry lock");
+        Self::check_kind(&mut tables, name, MetricKind::Histogram);
+        let slot = tables
+            .series
+            .entry(key)
+            .or_insert_with(|| Slot::Histogram(Arc::new(HistogramCore::new())));
+        match slot {
+            Slot::Histogram(core) => Histogram::live(Arc::clone(core)),
+            _ => unreachable!("kind table guarantees histogram storage"),
+        }
+    }
+
+    /// Number of registered series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.lock().expect("registry lock").series.len()
+    }
+
+    /// Whether no series are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Samples every series in deterministic (name, labels) order.
+    #[must_use]
+    pub fn samples(&self) -> Vec<MetricSample> {
+        let tables = self.tables.lock().expect("registry lock");
+        tables
+            .series
+            .iter()
+            .map(|(key, slot)| MetricSample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_series_shares_the_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("bits_total", &[("worker", "0")]);
+        let b = reg.counter("bits_total", &[("worker", "0")]);
+        a.add(5);
+        b.add(7);
+        assert_eq!(a.get(), 12);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn label_order_is_irrelevant() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x", &[("worker", "0")]);
+        let b = reg.counter("x", &[("worker", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 0);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("x", &[]);
+        let _ = reg.gauge("x", &[("other", "labels")]);
+    }
+
+    #[test]
+    fn registry_clones_share_series() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        let c = reg.counter("shared", &[]);
+        c.add(3);
+        assert_eq!(clone.counter("shared", &[]).get(), 3);
+    }
+
+    #[test]
+    fn samples_are_sorted_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("b_gauge", &[]).set(9);
+        reg.counter("a_counter", &[]).inc();
+        reg.histogram("c_hist", &[]).record_ns(4);
+        let samples = reg.samples();
+        let names: Vec<&str> = samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a_counter", "b_gauge", "c_hist"]);
+        assert!(matches!(samples[0].value, MetricValue::Counter(1)));
+        assert!(matches!(samples[1].value, MetricValue::Gauge(9)));
+        match &samples[2].value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn registry_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricsRegistry>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Periodic reporter: a background thread that logs a one-line
+//! registry summary at a configurable interval.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::MetricsRegistry;
+
+/// Handle to the periodic reporter thread.
+///
+/// The thread emits [`MetricsRegistry::summary_line`] to the given sink
+/// every interval until [`Reporter::stop`] is called or the handle is
+/// dropped (both join the thread promptly — the interval sleep is
+/// interruptible).
+#[derive(Debug)]
+pub struct Reporter {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawns the reporter thread.
+    ///
+    /// `sink` receives one summary line per interval tick; pass e.g.
+    /// `|line| eprintln!("[metrics] {line}")`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `every` is zero or the OS refuses to spawn the
+    /// thread.
+    #[must_use]
+    pub fn spawn<F>(registry: MetricsRegistry, every: Duration, sink: F) -> Self
+    where
+        F: Fn(&str) + Send + 'static,
+    {
+        assert!(!every.is_zero(), "reporter interval must be nonzero");
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let handle = std::thread::Builder::new()
+            .name("drange-metrics-reporter".into())
+            .spawn({
+                let stop = Arc::clone(&stop);
+                move || {
+                    let (lock, cv) = &*stop;
+                    let mut stopped = lock.lock().expect("reporter lock");
+                    loop {
+                        // Checked under the lock before every wait: a stop
+                        // requested before this thread first parks would
+                        // otherwise lose its wakeup and stall the join
+                        // until the interval elapses.
+                        if *stopped {
+                            return;
+                        }
+                        let (guard, timeout) =
+                            cv.wait_timeout(stopped, every).expect("reporter lock");
+                        stopped = guard;
+                        if *stopped {
+                            return;
+                        }
+                        if timeout.timed_out() {
+                            sink(&registry.summary_line());
+                        }
+                    }
+                }
+            })
+            .expect("spawning the metrics reporter thread");
+        Reporter {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the reporter and joins its thread.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().expect("reporter lock") = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn reporter_ticks_and_stops() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ticks_seen_total", &[]).add(7);
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink_lines = Arc::clone(&lines);
+        let reporter = Reporter::spawn(reg, Duration::from_millis(10), move |line| {
+            sink_lines.lock().unwrap().push(line.to_string());
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while lines.lock().unwrap().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "reporter never ticked"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        reporter.stop();
+        let seen = lines.lock().unwrap();
+        assert!(
+            seen.iter().all(|l| l.contains("ticks_seen_total=7")),
+            "{seen:?}"
+        );
+    }
+
+    #[test]
+    fn drop_joins_quickly() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let sink_count = Arc::clone(&count);
+        let reporter = Reporter::spawn(
+            MetricsRegistry::new(),
+            Duration::from_secs(3600),
+            move |_| {
+                sink_count.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        let t0 = std::time::Instant::now();
+        drop(reporter);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "drop must not wait the interval"
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be nonzero")]
+    fn zero_interval_rejected() {
+        let _ = Reporter::spawn(MetricsRegistry::new(), Duration::ZERO, |_| {});
+    }
+}

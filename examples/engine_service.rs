@@ -8,18 +8,23 @@
 //! cargo run --release --example engine_service
 //! ```
 
+use std::time::Duration;
+
+use d_range::dram_sim::{DeviceConfig, Manufacturer};
 use d_range::drange::{
-    channel_sources, DRangeConfig, IdentifySpec, ProfileSpec, Profiler,
+    channel_sources_with_telemetry, DRangeConfig, IdentifySpec, ProfileSpec, Profiler,
     RandomnessService, RngCellCatalog, ServiceConfig,
 };
-use d_range::dram_sim::{DeviceConfig, Manufacturer};
 use d_range::memctrl::MemoryController;
+use d_range::telemetry::{MetricsRegistry, Reporter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One profiling + identification pass; the catalog is valid for
     // every channel because channels share the manufacturing process
     // (only their runtime noise differs).
-    let base = DeviceConfig::new(Manufacturer::A).with_seed(0xC4A7).with_noise_seed(0x11);
+    let base = DeviceConfig::new(Manufacturer::A)
+        .with_seed(0xC4A7)
+        .with_noise_seed(0x11);
     let mut ctrl = MemoryController::from_config(base.clone());
     let profile = Profiler::new(&mut ctrl).run(
         ProfileSpec {
@@ -34,8 +39,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("catalog: {} RNG cells", catalog.len());
 
     // Two simulated channels, each harvested by its own worker thread.
-    let sources = channel_sources(&base, &catalog, &DRangeConfig::default(), 2)?;
-    let service = RandomnessService::with_sources(sources, ServiceConfig::default())?;
+    // Everything registers into one metrics registry: the controllers'
+    // command counters, the engine's stage histograms, and the
+    // service's request counters.
+    let registry = MetricsRegistry::new();
+    let sources = channel_sources_with_telemetry(
+        &base,
+        &catalog,
+        &DRangeConfig::default(),
+        2,
+        Some(&registry),
+    )?;
+    let service = RandomnessService::with_sources_telemetry(
+        sources,
+        ServiceConfig::default(),
+        Some(&registry),
+    )?;
+
+    // A background reporter logs a one-line summary while clients run.
+    let reporter = Reporter::spawn(registry.clone(), Duration::from_millis(250), |line| {
+        eprintln!("[metrics] {line}");
+    });
 
     // Four application threads file and collect requests concurrently.
     std::thread::scope(|scope| {
@@ -46,20 +70,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let len = 16 + 8 * client + round;
                     let id = service.request(len).expect("request");
                     let bytes = service.wait_receive(id).expect("receive");
-                    let hex: String =
-                        bytes.iter().take(8).map(|b| format!("{b:02x}")).collect();
+                    let hex: String = bytes.iter().take(8).map(|b| format!("{b:02x}")).collect();
                     println!("client {client} round {round}: {len:>2} bytes  {hex}...");
                 }
             });
         }
     });
 
+    reporter.stop();
     let stats = service.shutdown();
     println!("\nengine statistics after graceful shutdown:");
     println!("  harvested : {} bits", stats.harvested_bits);
     println!("  served    : {} bits", stats.served_bits);
     println!("  queued    : {} bits", stats.queued_bits);
-    println!("  discarded : {} bits (health screening)", stats.discarded_bits);
+    println!(
+        "  discarded : {} bits (health screening)",
+        stats.discarded_bits
+    );
+    println!(
+        "  health    : {} trips ({} repetition-count, {} adaptive-proportion)",
+        stats.health_trips, stats.repetition_trips, stats.adaptive_trips
+    );
     for w in &stats.workers {
         println!(
             "  channel {} : {} bits at {:.1} Mb/s of device time",
@@ -72,5 +103,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  aggregate : {:.1} Mb/s of device time across channels",
         stats.aggregate_device_bps() / 1e6
     );
+
+    println!("\nPrometheus exposition of the full metric set:\n");
+    print!("{}", registry.render_prometheus());
     Ok(())
 }

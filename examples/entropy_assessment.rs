@@ -7,19 +7,16 @@
 //! cargo run --release --example entropy_assessment
 //! ```
 
+use d_range::dram_sim::{DeviceConfig, Manufacturer};
 use d_range::drange::calibrate::{default_grid, sweep};
 use d_range::drange::estimators::{collision, credited_min_entropy, markov, most_common_value};
-use d_range::drange::{
-    DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog,
-};
-use d_range::dram_sim::{DeviceConfig, Manufacturer};
+use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use d_range::memctrl::MemoryController;
 use d_range::nist_sts::{self, Bits};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::C).with_seed(0xA55E55),
-    );
+    let mut ctrl =
+        MemoryController::from_config(DeviceConfig::new(Manufacturer::C).with_seed(0xA55E55));
 
     // 1. Calibrate: find the tRCD that maximizes the 40-60% band.
     let region = ProfileSpec {
@@ -30,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let calibration = sweep(&mut ctrl, &region, &default_grid())?;
     println!("tRCD calibration (failures / 40-60% band cells):");
     for p in &calibration.points {
-        println!("  {:>5.1} ns: {:>6} failing, {:>5} in band", p.trcd_ns, p.failing_cells, p.band_cells);
+        println!(
+            "  {:>5.1} ns: {:>6} failing, {:>5} in band",
+            p.trcd_ns, p.failing_cells, p.band_cells
+        );
     }
     let trcd = calibration.best_trcd_ns();
     println!("selected sampling tRCD: {trcd} ns\n");
@@ -49,15 +49,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = RngCellCatalog::identify(
         &mut ctrl,
         &profile,
-        IdentifySpec { trcd_ns: trcd, ..IdentifySpec::default() },
+        IdentifySpec {
+            trcd_ns: trcd,
+            ..IdentifySpec::default()
+        },
     )?;
     let mut trng = DRange::new(
         ctrl,
         &catalog,
-        DRangeConfig { trcd_ns: trcd, ..DRangeConfig::default() },
+        DRangeConfig {
+            trcd_ns: trcd,
+            ..DRangeConfig::default()
+        },
     )?;
     let raw = trng.bits(4_200_000)?;
-    println!("harvested {} bits from {} RNG cells", raw.len(), catalog.len());
+    println!(
+        "harvested {} bits from {} RNG cells",
+        raw.len(),
+        catalog.len()
+    );
 
     // 3. Credit min-entropy.
     println!("\nSP 800-90B-style estimators (bits/bit):");
@@ -73,9 +83,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("monobit", nist_sts::monobit::test(&bits)?),
         ("runs", nist_sts::runs::test(&bits)?),
         ("serial", nist_sts::serial::test(&bits)?),
-        ("approximate_entropy", nist_sts::approximate_entropy::test(&bits)?),
+        (
+            "approximate_entropy",
+            nist_sts::approximate_entropy::test(&bits)?,
+        ),
     ] {
-        println!("  {:<22} p = {:.4} {}", name, result.mean_p(), if result.passed(1e-4) { "PASS" } else { "FAIL" });
+        println!(
+            "  {:<22} p = {:.4} {}",
+            name,
+            result.mean_p(),
+            if result.passed(1e-4) { "PASS" } else { "FAIL" }
+        );
     }
 
     println!("\nDIEHARD-style battery:");

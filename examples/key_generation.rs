@@ -6,8 +6,8 @@
 //! cargo run --release --example key_generation
 //! ```
 
-use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use d_range::dram_sim::{DeviceConfig, Manufacturer};
+use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use d_range::memctrl::MemoryController;
 use rand::{Rng, RngCore};
 
@@ -16,9 +16,8 @@ fn hex(bytes: &[u8]) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::B).with_seed(0x5EC0_0001),
-    );
+    let mut ctrl =
+        MemoryController::from_config(DeviceConfig::new(Manufacturer::B).with_seed(0x5EC0_0001));
     let profile = Profiler::new(&mut ctrl).run(
         ProfileSpec {
             banks: (0..8).collect(),
@@ -53,6 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.device_time_ps as f64 / 1e6,
         stats.throughput_bps() / 1e6
     );
-    println!("entropy source: sense-amplifier metastability on {} RNG cells", catalog.len());
+    println!(
+        "entropy source: sense-amplifier metastability on {} RNG cells",
+        catalog.len()
+    );
     Ok(())
 }

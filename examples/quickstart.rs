@@ -5,17 +5,20 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use d_range::dram_sim::{DeviceConfig, Manufacturer};
+use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use d_range::memctrl::MemoryController;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A commodity LPDDR4 device (simulated; seed = which chip you got)
     //    behind a memory controller with programmable timing registers.
-    let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::A).with_seed(0xC0FFEE),
+    let mut ctrl =
+        MemoryController::from_config(DeviceConfig::new(Manufacturer::A).with_seed(0xC0FFEE));
+    println!(
+        "device: {} {}",
+        ctrl.device().standard(),
+        ctrl.device().manufacturer()
     );
-    println!("device: {} {}", ctrl.device().standard(), ctrl.device().manufacturer());
     println!("datasheet tRCD: {} ns", ctrl.trcd_ns());
 
     // 2. Profile: scan part of the device with tRCD = 10 ns (Algorithm 1).
@@ -36,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Identify RNG cells: 1000 reads each, 3-bit-symbol uniformity.
     let catalog = RngCellCatalog::identify(&mut ctrl, &profile, IdentifySpec::default())?;
-    println!("identified {} RNG cells in {} words", catalog.len(), catalog.words().len());
+    println!(
+        "identified {} RNG cells in {} words",
+        catalog.len(),
+        catalog.words().len()
+    );
 
     // 4. Sample: Algorithm 2 across all banks.
     let mut trng = DRange::new(ctrl, &catalog, DRangeConfig::default())?;

@@ -6,16 +6,15 @@
 //! cargo run --release --example randomness_audit
 //! ```
 
+use d_range::dram_sim::{DeviceConfig, Manufacturer};
 use d_range::drange::entropy::binary_entropy;
 use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
-use d_range::dram_sim::{DeviceConfig, Manufacturer};
 use d_range::memctrl::MemoryController;
 use d_range::nist_sts::{Bits, NistSuite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::C).with_seed(0xA0D17),
-    );
+    let mut ctrl =
+        MemoryController::from_config(DeviceConfig::new(Manufacturer::C).with_seed(0xA0D17));
     let profile = Profiler::new(&mut ctrl).run(
         ProfileSpec {
             banks: (0..8).collect(),
@@ -44,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n{report}");
     println!(
         "verdict: {}",
-        if report.all_passed() { "stream passes the full NIST suite" } else { "FAILURES DETECTED" }
+        if report.all_passed() {
+            "stream passes the full NIST suite"
+        } else {
+            "FAILURES DETECTED"
+        }
     );
     Ok(())
 }

@@ -7,17 +7,16 @@
 //! cargo run --release --example secure_service
 //! ```
 
-use d_range::drange::{
-    DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RandomnessService,
-    RngCellCatalog, ServiceConfig,
-};
 use d_range::dram_sim::{DeviceConfig, Manufacturer};
+use d_range::drange::{
+    DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RandomnessService, RngCellCatalog,
+    ServiceConfig,
+};
 use d_range::memctrl::MemoryController;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::A).with_seed(0x5E21),
-    );
+    let mut ctrl =
+        MemoryController::from_config(DeviceConfig::new(Manufacturer::A).with_seed(0x5E21));
     let profile = Profiler::new(&mut ctrl).run(
         ProfileSpec {
             banks: (0..8).collect(),
@@ -47,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ...and applications collect their bytes.
-    for (name, id) in [("TLS key", tls_key), ("DH nonce", dh_nonce), ("salt", session_salt)] {
+    for (name, id) in [
+        ("TLS key", tls_key),
+        ("DH nonce", dh_nonce),
+        ("salt", session_salt),
+    ] {
         let bytes = service.receive(id).expect("completed");
         let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
         println!("{name:<8}: {hex}");

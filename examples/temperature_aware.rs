@@ -7,10 +7,10 @@
 //! cargo run --release --example temperature_aware
 //! ```
 
+use d_range::dram_sim::{Celsius, DeviceConfig, Manufacturer};
 use d_range::drange::{
     CatalogSet, DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog,
 };
-use d_range::dram_sim::{Celsius, DeviceConfig, Manufacturer};
 use d_range::memctrl::MemoryController;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Runtime: the DRAM is at 58 degC; pick the nearest catalog and sample.
     let operating = Celsius(58.0);
     ctrl.device_mut().set_temperature(operating);
-    let catalog = set
-        .select(operating)
-        .ok_or("no catalogs enrolled")?
-        .clone();
+    let catalog = set.select(operating).ok_or("no catalogs enrolled")?.clone();
     println!(
         "\noperating at {operating}: selected the {} catalog ({} cells)",
         catalog.temperature(),

@@ -7,17 +7,16 @@
 //! cargo run --release --example throughput_planner
 //! ```
 
+use d_range::dram_sim::{DeviceConfig, Manufacturer, TimingParams};
 use d_range::drange::latency::{latency_64bit_ns, LatencyScenario};
 use d_range::drange::throughput::{catalog_throughput_bps, scale_to_channels};
 use d_range::drange::{IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
-use d_range::dram_sim::{DeviceConfig, Manufacturer, TimingParams};
 use d_range::memctrl::workloads::spec2006_suite;
 use d_range::memctrl::MemoryController;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::A).with_seed(0x9147),
-    );
+    let mut ctrl =
+        MemoryController::from_config(DeviceConfig::new(Manufacturer::A).with_seed(0x9147));
     let timing = TimingParams::lpddr4_3200();
     let profile = Profiler::new(&mut ctrl).run(
         ProfileSpec {
@@ -49,8 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n64-bit latency by scenario:");
     for (name, s) in [
         ("1 bank / 1 ch / 1 cell-word", LatencyScenario::worst_case()),
-        ("8 banks / 1 ch / 2 cells-word", LatencyScenario { banks: 8, channels: 1, bits_per_word: 2 }),
-        ("8 banks / 4 ch / 4 cells-word", LatencyScenario::best_case()),
+        (
+            "8 banks / 1 ch / 2 cells-word",
+            LatencyScenario {
+                banks: 8,
+                channels: 1,
+                bits_per_word: 2,
+            },
+        ),
+        (
+            "8 banks / 4 ch / 4 cells-word",
+            LatencyScenario::best_case(),
+        ),
     ] {
         println!("  {name:<30} {:>8.0} ns", latency_64bit_ns(timing, 10.0, s));
     }

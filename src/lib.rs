@@ -3,14 +3,16 @@
 //! Re-exports the whole D-RaNGe reproduction workspace behind one
 //! dependency: the DRAM device substrate ([`dram_sim`]), the memory
 //! controller ([`memctrl`]), the NIST SP 800-22 suite ([`nist_sts`]),
-//! the D-RaNGe mechanism itself ([`drange_core`]), and the prior-work
-//! baseline TRNGs ([`trng_baselines`]).
+//! the D-RaNGe mechanism itself ([`drange_core`]), the metrics
+//! substrate ([`drange_telemetry`]), and the prior-work baseline TRNGs
+//! ([`trng_baselines`]).
 //!
 //! See the repository `README.md` for a quickstart and the `examples/`
 //! directory for runnable scenarios.
 
-pub use drange_core as drange;
 pub use dram_sim;
+pub use drange_core as drange;
+pub use drange_telemetry as telemetry;
 pub use memctrl;
 pub use nist_sts;
 pub use trng_baselines as baselines;

@@ -4,12 +4,14 @@
 
 use d_range::baselines::retention_trng::RetentionRegion;
 use d_range::baselines::{CommandScheduleTrng, KellerTrng, StartupTrng, SutarTrng};
-use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use d_range::dram_sim::{DeviceConfig, Manufacturer};
+use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use d_range::memctrl::MemoryController;
 
 fn config(seed: u64) -> DeviceConfig {
-    DeviceConfig::new(Manufacturer::A).with_seed(seed).with_noise_seed(seed ^ 0x11)
+    DeviceConfig::new(Manufacturer::A)
+        .with_seed(seed)
+        .with_noise_seed(seed ^ 0x11)
 }
 
 fn drange_throughput() -> f64 {
@@ -72,8 +74,7 @@ fn drange_beats_every_baseline_by_an_order_of_magnitude() {
             word_bits: 64,
             subarray_rows: 128,
         });
-    let mut startup =
-        StartupTrng::enroll(MemoryController::from_config(small)).expect("enroll");
+    let mut startup = StartupTrng::enroll(MemoryController::from_config(small)).expect("enroll");
     let _ = startup.harvest().expect("harvest");
     let startup_bps = startup.throughput_bps();
 

@@ -2,16 +2,16 @@
 //! (profile → identify → sample → statistical validation) across the
 //! workspace crates.
 
-use d_range::drange::{
-    DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog,
-};
 use d_range::dram_sim::{DataPattern, DeviceConfig, Manufacturer, WordAddr};
+use d_range::drange::{DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use d_range::memctrl::MemoryController;
 use d_range::nist_sts::{self, Bits};
 
 fn build_pipeline(seed: u64) -> (MemoryController, RngCellCatalog) {
     let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::A).with_seed(seed).with_noise_seed(seed ^ 0xFF),
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(seed)
+            .with_noise_seed(seed ^ 0xFF),
     );
     let profile = Profiler::new(&mut ctrl)
         .run(
@@ -37,14 +37,37 @@ fn pipeline_produces_statistically_random_bits() {
     let raw = trng.bits(120_000).expect("bits");
     let bits = Bits::from_bools(raw.into_iter());
     // The fast NIST subset that applies at 120 kb.
-    assert!(nist_sts::monobit::test(&bits).unwrap().passed(1e-4), "monobit");
-    assert!(nist_sts::block_frequency::test(&bits).unwrap().passed(1e-4), "block freq");
+    assert!(
+        nist_sts::monobit::test(&bits).unwrap().passed(1e-4),
+        "monobit"
+    );
+    assert!(
+        nist_sts::block_frequency::test(&bits).unwrap().passed(1e-4),
+        "block freq"
+    );
     assert!(nist_sts::runs::test(&bits).unwrap().passed(1e-4), "runs");
-    assert!(nist_sts::longest_run::test(&bits).unwrap().passed(1e-4), "longest run");
-    assert!(nist_sts::serial::test(&bits).unwrap().passed(1e-4), "serial");
-    assert!(nist_sts::cumulative_sums::test(&bits).unwrap().passed(1e-4), "cusum");
-    assert!(nist_sts::matrix_rank::test(&bits).unwrap().passed(1e-4), "rank");
-    assert!(nist_sts::approximate_entropy::test(&bits).unwrap().passed(1e-4), "apen");
+    assert!(
+        nist_sts::longest_run::test(&bits).unwrap().passed(1e-4),
+        "longest run"
+    );
+    assert!(
+        nist_sts::serial::test(&bits).unwrap().passed(1e-4),
+        "serial"
+    );
+    assert!(
+        nist_sts::cumulative_sums::test(&bits).unwrap().passed(1e-4),
+        "cusum"
+    );
+    assert!(
+        nist_sts::matrix_rank::test(&bits).unwrap().passed(1e-4),
+        "rank"
+    );
+    assert!(
+        nist_sts::approximate_entropy::test(&bits)
+            .unwrap()
+            .passed(1e-4),
+        "apen"
+    );
 }
 
 #[test]
@@ -86,7 +109,8 @@ fn sampling_does_not_corrupt_unrelated_memory() {
     let bystander_rows = 300..320;
     for row in bystander_rows.clone() {
         for bank in 0..8 {
-            ctrl.device_mut().fill_row(bank, row, DataPattern::Checkered);
+            ctrl.device_mut()
+                .fill_row(bank, row, DataPattern::Checkered);
         }
     }
     let mut trng = DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
@@ -124,7 +148,11 @@ fn trcd_register_is_restored_after_every_stage() {
     assert_eq!(ctrl.trcd_ns(), 18.0, "after profile+identify");
     let mut trng = DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
     let _ = trng.bits(1000).expect("bits");
-    assert_eq!(trng.controller().registers().trcd_ns(), 18.0, "after sampling");
+    assert_eq!(
+        trng.controller().registers().trcd_ns(),
+        18.0,
+        "after sampling"
+    );
 }
 
 #[test]

@@ -12,7 +12,9 @@ use proptest::prelude::*;
 
 fn device(seed: u64, noise: u64) -> DramDevice {
     DramDevice::build(
-        DeviceConfig::new(Manufacturer::A).with_seed(seed).with_noise_seed(noise),
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(seed)
+            .with_noise_seed(noise),
     )
 }
 

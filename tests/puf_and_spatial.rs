@@ -2,23 +2,28 @@
 //! inference, exercising the same activation-failure substrate from
 //! two non-TRNG angles.
 
+use d_range::dram_sim::{DeviceConfig, Manufacturer};
 use d_range::drange::puf::{evaluate, PufSpec};
 use d_range::drange::spatial::analyze;
 use d_range::drange::{ProfileSpec, Profiler};
-use d_range::dram_sim::{DeviceConfig, Manufacturer};
 use d_range::memctrl::MemoryController;
 
 fn ctrl(seed: u64) -> MemoryController {
     MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::A).with_seed(seed).with_noise_seed(seed ^ 0x77),
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(seed)
+            .with_noise_seed(seed ^ 0x77),
     )
 }
 
 fn quick_puf_spec() -> PufSpec {
     PufSpec {
-        profile: ProfileSpec { rows: 0..256, ..ProfileSpec::default() }
-            .with_trcd_ns(8.0)
-            .with_iterations(12),
+        profile: ProfileSpec {
+            rows: 0..256,
+            ..ProfileSpec::default()
+        }
+        .with_trcd_ns(8.0)
+        .with_iterations(12),
         ..PufSpec::default()
     }
 }
@@ -33,8 +38,16 @@ fn puf_distinguishes_devices_while_trng_does_not() {
     let f1a = evaluate(&mut c1, &quick_puf_spec()).unwrap();
     let f1b = evaluate(&mut c1, &quick_puf_spec()).unwrap();
     let f2 = evaluate(&mut c2, &quick_puf_spec()).unwrap();
-    assert!(f1a.similarity(&f1b) > 0.9, "same device: {}", f1a.similarity(&f1b));
-    assert!(f1a.similarity(&f2) < 0.1, "different devices: {}", f1a.similarity(&f2));
+    assert!(
+        f1a.similarity(&f1b) > 0.9,
+        "same device: {}",
+        f1a.similarity(&f1b)
+    );
+    assert!(
+        f1a.similarity(&f2) < 0.1,
+        "different devices: {}",
+        f1a.similarity(&f2)
+    );
 }
 
 #[test]
@@ -72,15 +85,22 @@ fn puf_and_trng_cells_are_disjoint_populations() {
     // more aggressive 8 ns, the RNG cells fail deterministically too
     // and join the fingerprint — which is why the PUF runs there.)
     let same_trcd_spec = PufSpec {
-        profile: ProfileSpec { rows: 0..256, ..ProfileSpec::default() }
-            .with_trcd_ns(10.0)
-            .with_iterations(12),
+        profile: ProfileSpec {
+            rows: 0..256,
+            ..ProfileSpec::default()
+        }
+        .with_trcd_ns(10.0)
+        .with_iterations(12),
         ..PufSpec::default()
     };
     let fingerprint = evaluate(&mut c, &same_trcd_spec).unwrap();
     let profile = Profiler::new(&mut c)
         .run(
-            ProfileSpec { rows: 0..256, ..ProfileSpec::default() }.with_iterations(30),
+            ProfileSpec {
+                rows: 0..256,
+                ..ProfileSpec::default()
+            }
+            .with_iterations(30),
         )
         .unwrap();
     let catalog = RngCellCatalog::identify(&mut c, &profile, IdentifySpec::default()).unwrap();

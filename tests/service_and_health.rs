@@ -3,17 +3,19 @@
 
 use d_range::baselines::retention_trng::RetentionRegion;
 use d_range::baselines::CombinedTrng;
-use d_range::drange::{
-    DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RandomnessService,
-    RngCellCatalog, ServiceConfig,
-};
 use d_range::dram_sim::{DeviceConfig, Manufacturer};
+use d_range::drange::{
+    DRange, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RandomnessService, RngCellCatalog,
+    ServiceConfig,
+};
 use d_range::memctrl::MemoryController;
 use d_range::nist_sts::second_level::SecondLevelReport;
 
 fn pipeline(seed: u64, banks: usize) -> (MemoryController, RngCellCatalog) {
     let mut ctrl = MemoryController::from_config(
-        DeviceConfig::new(Manufacturer::B).with_seed(seed).with_noise_seed(seed ^ 0x33),
+        DeviceConfig::new(Manufacturer::B)
+            .with_seed(seed)
+            .with_noise_seed(seed ^ 0x33),
     );
     let profile = Profiler::new(&mut ctrl)
         .run(
@@ -37,18 +39,27 @@ fn service_fulfills_interleaved_requests() {
     let trng = DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
     // A small pool bounds the background prefill, keeping the
     // zero-discard assertion over a short, seed-fixed stream stretch.
-    let config =
-        ServiceConfig { queue_capacity: 4096, low_watermark: 512, ..Default::default() };
+    let config = ServiceConfig {
+        queue_capacity: 4096,
+        low_watermark: 512,
+        ..Default::default()
+    };
     let service = RandomnessService::new(trng, config).expect("svc");
 
-    let ids: Vec<_> = (1..=5).map(|i| service.request(i * 8).expect("req")).collect();
+    let ids: Vec<_> = (1..=5)
+        .map(|i| service.request(i * 8).expect("req"))
+        .collect();
     service.process().expect("process");
     for (i, id) in ids.into_iter().enumerate() {
         let bytes = service.receive(id).expect("ready");
         assert_eq!(bytes.len(), (i + 1) * 8);
     }
     assert_eq!(service.pending_requests(), 0);
-    assert_eq!(service.discarded_bits(), 0, "healthy device discards nothing");
+    assert_eq!(
+        service.discarded_bits(),
+        0,
+        "healthy device discards nothing"
+    );
 }
 
 #[test]
@@ -86,10 +97,7 @@ fn service_serves_concurrent_clients() {
                     let id = service.request(len).expect("req");
                     let bytes = service.wait_receive(id).expect("serve");
                     assert_eq!(bytes.len(), len);
-                    assert!(
-                        service.receive(id).is_none(),
-                        "an id resolves exactly once"
-                    );
+                    assert!(service.receive(id).is_none(), "an id resolves exactly once");
                     total += len;
                 }
                 total
@@ -108,7 +116,10 @@ fn combined_trng_streams_and_reports() {
     let mut combined = CombinedTrng::new(
         ctrl,
         &catalog,
-        RetentionRegion { bank: 7, rows: 0..96 },
+        RetentionRegion {
+            bank: 7,
+            rows: 0..96,
+        },
         40.0,
     )
     .expect("combined");
@@ -132,7 +143,9 @@ fn second_level_analysis_accepts_drange_pvalues() {
         let raw = trng.bits(2_000).expect("bits");
         let bits = d_range::nist_sts::Bits::from_bools(raw.into_iter());
         p_values.push(
-            d_range::nist_sts::monobit::test(&bits).expect("monobit").p_values()[0],
+            d_range::nist_sts::monobit::test(&bits)
+                .expect("monobit")
+                .p_values()[0],
         );
     }
     let report = SecondLevelReport::analyze(0.01, &p_values);
