@@ -46,7 +46,7 @@ fn main() {
             }
             println!(
                 "  best sampling tRCD: {:.1} ns; failures vanish above {:.1} ns\n",
-                cal.best_trcd_ns(),
+                cal.best_trcd_ns().expect("nonempty sweep"),
                 cal.max_failing_trcd_ns().unwrap_or(f64::NAN)
             );
         }

@@ -29,7 +29,7 @@ fn main() {
             requests_per_us: 10.0,
             ..ArbiterConfig::default()
         };
-        let r = simulate(timing, 10_000, &config);
+        let r = simulate(timing, 10_000, &config).expect("arbiter simulation");
         println!(
             "{:>15}:{:<3} {:>12.2} {:>16.1} {:>14.1}",
             pct,
@@ -52,7 +52,7 @@ fn main() {
             row_hit_rate: w.row_hit_rate,
             ..ArbiterConfig::default()
         };
-        let r = simulate(timing, 10_000, &config);
+        let r = simulate(timing, 10_000, &config).expect("arbiter simulation");
         println!(
             "{:>12} {:>8.1} {:>12.2} {:>16.1}",
             w.name,

@@ -70,9 +70,9 @@ fn main() {
         );
         println!(
             "  best coverage pattern: {}; best 40-60% band pattern: {} ({} cells)",
-            study.best_coverage().pattern,
-            study.best_band().pattern,
-            study.best_band().band_cells
+            study.best_coverage().expect("nonempty study").pattern,
+            study.best_band().expect("nonempty study").pattern,
+            study.best_band().expect("nonempty study").band_cells
         );
         println!();
     }

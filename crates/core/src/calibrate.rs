@@ -44,25 +44,21 @@ impl Calibration {
     /// points whose overall failure fraction stays below
     /// [`Calibration::MAX_FAILING_FRACTION`] (ties go to the larger
     /// tRCD: gentler timing stresses the device less). Falls back to
-    /// the global band maximum if no point satisfies the constraint.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the sweep is empty.
-    pub fn best_trcd_ns(&self) -> f64 {
+    /// the global band maximum if no point satisfies the constraint;
+    /// `None` when the sweep is empty.
+    pub fn best_trcd_ns(&self) -> Option<f64> {
         let limit = (self.region_cells as f64 * Self::MAX_FAILING_FRACTION) as usize;
         let ordering = |a: &&CalibrationPoint, b: &&CalibrationPoint| {
             a.band_cells
                 .cmp(&b.band_cells)
-                .then(a.trcd_ns.partial_cmp(&b.trcd_ns).expect("no NaN"))
+                .then(a.trcd_ns.total_cmp(&b.trcd_ns))
         };
         self.points
             .iter()
             .filter(|p| p.failing_cells <= limit)
             .max_by(ordering)
             .or_else(|| self.points.iter().max_by(ordering))
-            .expect("nonempty sweep")
-            .trcd_ns
+            .map(|p| p.trcd_ns)
     }
 
     /// The largest swept tRCD at which any failures occur (the top of
@@ -100,7 +96,7 @@ pub fn sweep(
             band_cells: profile.cells_in_band(0.4, 0.6).len(),
         });
     }
-    points.sort_by(|a, b| a.trcd_ns.partial_cmp(&b.trcd_ns).expect("no NaN"));
+    points.sort_by(|a, b| a.trcd_ns.total_cmp(&b.trcd_ns));
     let region_cells =
         base.banks.len() * base.rows.len() * base.cols.len() * ctrl.device().geometry().word_bits;
     Ok(Calibration {
@@ -150,7 +146,7 @@ mod tests {
     fn best_trcd_lands_inside_inducible_range() {
         let mut c = ctrl();
         let cal = sweep(&mut c, &region(), &default_grid()).unwrap();
-        let best = cal.best_trcd_ns();
+        let best = cal.best_trcd_ns().expect("nonempty sweep");
         assert!((6.0..=13.0).contains(&best), "best tRCD {best}");
         // It is a point with a nonzero band population and sparse
         // failures (usable for Algorithm 2).

@@ -36,29 +36,19 @@ pub struct DpdStudy {
 }
 
 impl DpdStudy {
-    /// The pattern with the highest coverage.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the study is empty.
-    pub fn best_coverage(&self) -> &PatternCoverage {
+    /// The pattern with the highest coverage, or `None` for an empty
+    /// study.
+    pub fn best_coverage(&self) -> Option<&PatternCoverage> {
         self.patterns
             .iter()
-            .max_by(|a, b| a.coverage.partial_cmp(&b.coverage).expect("no NaN"))
-            .expect("nonempty study")
+            .max_by(|a, b| a.coverage.total_cmp(&b.coverage))
     }
 
     /// The pattern that finds the most cells in the 40-60 % F_prob band
-    /// (the paper's selection criterion for the sampling pattern).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the study is empty.
-    pub fn best_band(&self) -> &PatternCoverage {
-        self.patterns
-            .iter()
-            .max_by_key(|p| p.band_cells)
-            .expect("nonempty study")
+    /// (the paper's selection criterion for the sampling pattern), or
+    /// `None` for an empty study.
+    pub fn best_band(&self) -> Option<&PatternCoverage> {
+        self.patterns.iter().max_by_key(|p| p.band_cells)
     }
 }
 
@@ -132,7 +122,7 @@ mod tests {
         assert_eq!(study.patterns.len(), 3);
         assert!(study.union_size > 0);
         // No single pattern covers everything when patterns matter.
-        let max_cov = study.best_coverage().coverage;
+        let max_cov = study.best_coverage().unwrap().coverage;
         assert!(max_cov <= 1.0);
         let found: Vec<usize> = study.patterns.iter().map(|p| p.found).collect();
         assert!(
@@ -165,7 +155,7 @@ mod tests {
             &[DataPattern::Solid0, DataPattern::Walk1(3)],
         )
         .unwrap();
-        assert!(study.patterns.contains(study.best_coverage()));
-        assert!(study.patterns.contains(study.best_band()));
+        assert!(study.patterns.contains(study.best_coverage().unwrap()));
+        assert!(study.patterns.contains(study.best_band().unwrap()));
     }
 }

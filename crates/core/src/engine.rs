@@ -34,7 +34,6 @@
 //! batch) records an [`DrangeError::Unhealthy`] error and retires.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -49,6 +48,7 @@ use crate::error::{DrangeError, Result};
 use crate::health::HealthMonitor;
 use crate::identify::RngCellCatalog;
 use crate::sampler::{DRange, DRangeConfig};
+use crate::sync::{BitLedger, CounterCell, Flag, LiveCount, WatermarkGate};
 
 /// How long blocked threads sleep between shutdown checks.
 const POLL: Duration = Duration::from_millis(20);
@@ -154,17 +154,17 @@ impl EngineConfig {
     }
 }
 
-/// Counters one worker thread maintains (shared via atomics so stats
-/// snapshots never block harvesting).
+/// Counters one worker thread maintains (shared lock-free cells — see
+/// [`crate::sync`] — so stats snapshots never block harvesting).
 #[derive(Debug, Default)]
 struct WorkerCounters {
-    harvested_bits: AtomicU64,
-    discarded_bits: AtomicU64,
-    health_trips: AtomicU64,
-    repetition_trips: AtomicU64,
-    adaptive_trips: AtomicU64,
-    batches: AtomicU64,
-    device_time_ps: AtomicU64,
+    harvested_bits: CounterCell,
+    discarded_bits: CounterCell,
+    health_trips: CounterCell,
+    repetition_trips: CounterCell,
+    adaptive_trips: CounterCell,
+    batches: CounterCell,
+    device_time_ps: CounterCell,
 }
 
 /// Telemetry handles one worker thread records into. All handles are
@@ -270,12 +270,20 @@ struct Shared {
     bits_available: Condvar,
     /// Signaled when bits are consumed from the pool (collector gate).
     space_available: Condvar,
-    shutdown: AtomicBool,
-    live_workers: AtomicUsize,
-    collector_done: AtomicBool,
+    shutdown: Flag,
+    live_workers: LiveCount,
+    collector_done: Flag,
     /// Bits accepted by health screening but not yet in the pool.
-    in_flight_bits: AtomicU64,
-    served_bits: AtomicU64,
+    in_flight_bits: BitLedger,
+    /// Bits wanted by clients currently blocked in `take_bits`. While
+    /// this is non-zero the collector bypasses the watermark gate:
+    /// a request larger than `high_watermark` can otherwise never be
+    /// served, because the gate stops the pool at `high` and only
+    /// reopens at `low` — with no demand signal the client and the
+    /// collector wait on each other forever (found by the loom model
+    /// `oversized_request_is_served_via_demand_bypass`).
+    demand_bits: BitLedger,
+    served_bits: CounterCell,
     first_error: Mutex<Option<DrangeError>>,
 }
 
@@ -402,11 +410,12 @@ impl HarvestEngine {
             pool: Mutex::new(VecDeque::new()),
             bits_available: Condvar::new(),
             space_available: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            live_workers: AtomicUsize::new(sources.len()),
-            collector_done: AtomicBool::new(false),
-            in_flight_bits: AtomicU64::new(0),
-            served_bits: AtomicU64::new(0),
+            shutdown: Flag::new(),
+            live_workers: LiveCount::new(sources.len()),
+            collector_done: Flag::new(),
+            in_flight_bits: BitLedger::new(),
+            demand_bits: BitLedger::new(),
+            served_bits: CounterCell::new(),
             first_error: Mutex::new(None),
         });
         let (tx, rx) = bounded::<Vec<bool>>(config.channel_batches);
@@ -504,8 +513,9 @@ impl HarvestEngine {
         // to block, so the fast path never reads the clock.
         let mut wait_t0 = None;
         let mut waiting = false;
-        let finish_wait = |tel: &EngineTelemetry, waiting: bool, wait_t0| {
+        let finish_wait = |shared: &Shared, tel: &EngineTelemetry, waiting: bool, wait_t0| {
             if waiting {
+                shared.demand_bits.retire(bits as u64);
                 tel.pool_waiters.sub(1);
                 tel.pool_wait_ns.observe_since(wait_t0);
             }
@@ -515,25 +525,30 @@ impl HarvestEngine {
                 let out: Vec<bool> = pool.drain(..bits).collect();
                 let remaining = pool.len();
                 drop(pool);
-                finish_wait(&self.telemetry, waiting, wait_t0);
+                finish_wait(&self.shared, &self.telemetry, waiting, wait_t0);
                 self.telemetry.pool_bits.set(remaining as u64);
-                self.shared
-                    .served_bits
-                    .fetch_add(bits as u64, Ordering::SeqCst);
+                self.shared.served_bits.add(bits as u64);
                 self.shared.space_available.notify_all();
                 return Ok(out);
             }
-            let workers_gone = self.shared.live_workers.load(Ordering::SeqCst) == 0
-                && self.shared.collector_done.load(Ordering::SeqCst);
-            if self.shared.shutdown.load(Ordering::SeqCst) || workers_gone {
+            let workers_gone =
+                self.shared.live_workers.all_retired() && self.shared.collector_done.is_raised();
+            if self.shared.shutdown.is_raised() || workers_gone {
                 drop(pool);
-                finish_wait(&self.telemetry, waiting, wait_t0);
+                finish_wait(&self.shared, &self.telemetry, waiting, wait_t0);
                 return Err(self.first_error().unwrap_or_else(|| {
                     DrangeError::Engine("engine stopped before the request could be served".into())
                 }));
             }
             if !waiting {
                 waiting = true;
+                // Publish the unmet request so the collector bypasses
+                // the watermark gate until it is served. The pool mutex
+                // is held here, which doubles as the lock barrier: the
+                // collector's gate check runs under the same mutex, so
+                // this notify cannot land in its check-to-park window.
+                self.shared.demand_bits.publish(bits as u64);
+                self.shared.space_available.notify_all();
                 wait_t0 = self.telemetry.pool_wait_ns.start();
                 self.telemetry.pool_waiters.add(1);
             }
@@ -572,13 +587,13 @@ impl HarvestEngine {
             .enumerate()
             .map(|(worker, c)| WorkerStats {
                 worker,
-                harvested_bits: c.harvested_bits.load(Ordering::SeqCst),
-                discarded_bits: c.discarded_bits.load(Ordering::SeqCst),
-                health_trips: c.health_trips.load(Ordering::SeqCst),
-                repetition_trips: c.repetition_trips.load(Ordering::SeqCst),
-                adaptive_trips: c.adaptive_trips.load(Ordering::SeqCst),
-                batches: c.batches.load(Ordering::SeqCst),
-                device_time_ps: c.device_time_ps.load(Ordering::SeqCst),
+                harvested_bits: c.harvested_bits.get(),
+                discarded_bits: c.discarded_bits.get(),
+                health_trips: c.health_trips.get(),
+                repetition_trips: c.repetition_trips.get(),
+                adaptive_trips: c.adaptive_trips.get(),
+                batches: c.batches.get(),
+                device_time_ps: c.device_time_ps.get(),
             })
             .collect();
         EngineStats {
@@ -588,8 +603,8 @@ impl HarvestEngine {
             repetition_trips: workers.iter().map(|w| w.repetition_trips).sum(),
             adaptive_trips: workers.iter().map(|w| w.adaptive_trips).sum(),
             queued_bits: self.queued_bits(),
-            served_bits: self.shared.served_bits.load(Ordering::SeqCst),
-            in_flight_bits: self.shared.in_flight_bits.load(Ordering::SeqCst),
+            served_bits: self.shared.served_bits.get(),
+            in_flight_bits: self.shared.in_flight_bits.outstanding(),
             workers,
         }
     }
@@ -604,7 +619,15 @@ impl HarvestEngine {
 
     /// Idempotent stop-and-join.
     fn halt(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.raise();
+        // Lock barrier: a waiter that checked the shutdown flag just
+        // before it was raised still holds the pool mutex until it
+        // parks, so acquiring (and releasing) the mutex here orders
+        // this notify after that park — without it the wakeup can land
+        // in the check-to-park window and be lost (a POLL stall in
+        // real time, a deadlock under the timeout-free loom model; see
+        // tests/loom_engine.rs).
+        drop(self.shared.pool.lock());
         self.shared.bits_available.notify_all();
         self.shared.space_available.notify_all();
         for handle in self.workers.drain(..) {
@@ -649,7 +672,10 @@ fn worker_loop<S: HarvestSource>(
     }
     // Dropping `tx` (by returning) disconnects the channel once the
     // last worker exits; wake anyone waiting so they observe the state.
-    shared.live_workers.fetch_sub(1, Ordering::SeqCst);
+    // The lock barrier orders the notify after any in-progress
+    // predicate check parks (see `HarvestEngine::halt`).
+    shared.live_workers.retire();
+    drop(shared.pool.lock());
     shared.bits_available.notify_all();
     shared.space_available.notify_all();
 }
@@ -665,7 +691,7 @@ fn worker_run<S: HarvestSource>(
 ) -> Option<DrangeError> {
     let mut health = HealthMonitor::new(min_entropy);
     let mut consecutive_rejects = 0u32;
-    while !shared.shutdown.load(Ordering::SeqCst) {
+    while !shared.shutdown.is_raised() {
         let harvest_t0 = tel.harvest_ns.start();
         let batch = match source.harvest_batch() {
             Ok(b) => b,
@@ -673,17 +699,13 @@ fn worker_run<S: HarvestSource>(
         };
         tel.harvest_ns.observe_since(harvest_t0);
         let device_time_ps = source.device_time_ps();
-        counters
-            .device_time_ps
-            .store(device_time_ps, Ordering::SeqCst);
-        counters.batches.fetch_add(1, Ordering::SeqCst);
-        counters
-            .harvested_bits
-            .fetch_add(batch.len() as u64, Ordering::SeqCst);
+        counters.device_time_ps.set(device_time_ps);
+        counters.batches.add(1);
+        counters.harvested_bits.add(batch.len() as u64);
         tel.batches.inc();
         tel.harvested_bits.add(batch.len() as u64);
         if tel.throughput_bps.is_live() && device_time_ps > 0 {
-            let harvested = counters.harvested_bits.load(Ordering::SeqCst);
+            let harvested = counters.harvested_bits.get();
             let bps = harvested as f64 / (device_time_ps as f64 * 1e-12);
             tel.throughput_bps.set(bps as u64);
         }
@@ -691,18 +713,10 @@ fn worker_run<S: HarvestSource>(
         let trips = health.feed_all_counted(&batch);
         tel.health_ns.observe_since(health_t0);
         if trips.total() > 0 {
-            counters
-                .health_trips
-                .fetch_add(trips.total(), Ordering::SeqCst);
-            counters
-                .repetition_trips
-                .fetch_add(trips.repetition, Ordering::SeqCst);
-            counters
-                .adaptive_trips
-                .fetch_add(trips.adaptive, Ordering::SeqCst);
-            counters
-                .discarded_bits
-                .fetch_add(batch.len() as u64, Ordering::SeqCst);
+            counters.health_trips.add(trips.total());
+            counters.repetition_trips.add(trips.repetition);
+            counters.adaptive_trips.add(trips.adaptive);
+            counters.discarded_bits.add(batch.len() as u64);
             tel.repetition_trips.add(trips.repetition);
             tel.adaptive_trips.add(trips.adaptive);
             tel.discarded_bits.add(batch.len() as u64);
@@ -717,9 +731,7 @@ fn worker_run<S: HarvestSource>(
             continue;
         }
         consecutive_rejects = 0;
-        shared
-            .in_flight_bits
-            .fetch_add(batch.len() as u64, Ordering::SeqCst);
+        shared.in_flight_bits.publish(batch.len() as u64);
         let publish_t0 = tel.publish_ns.start();
         let mut message = batch;
         loop {
@@ -729,27 +741,19 @@ fn worker_run<S: HarvestSource>(
                     break;
                 }
                 Err(SendTimeoutError::Timeout(m)) => {
-                    if shared.shutdown.load(Ordering::SeqCst) {
+                    if shared.shutdown.is_raised() {
                         // Undeliverable during shutdown: account the
                         // batch as discarded so no bits go missing.
-                        shared
-                            .in_flight_bits
-                            .fetch_sub(m.len() as u64, Ordering::SeqCst);
-                        counters
-                            .discarded_bits
-                            .fetch_add(m.len() as u64, Ordering::SeqCst);
+                        shared.in_flight_bits.retire(m.len() as u64);
+                        counters.discarded_bits.add(m.len() as u64);
                         tel.discarded_bits.add(m.len() as u64);
                         return None;
                     }
                     message = m;
                 }
                 Err(SendTimeoutError::Disconnected(m)) => {
-                    shared
-                        .in_flight_bits
-                        .fetch_sub(m.len() as u64, Ordering::SeqCst);
-                    counters
-                        .discarded_bits
-                        .fetch_add(m.len() as u64, Ordering::SeqCst);
+                    shared.in_flight_bits.retire(m.len() as u64);
+                    counters.discarded_bits.add(m.len() as u64);
                     tel.discarded_bits.add(m.len() as u64);
                     return None;
                 }
@@ -768,24 +772,21 @@ fn collector_loop(
     low: usize,
     high: usize,
 ) {
-    let mut filling = true;
+    let mut gate = WatermarkGate::new(low, high);
     loop {
-        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        let shutting_down = shared.shutdown.is_raised();
         if !shutting_down {
             // Hysteresis gate: pause at the high watermark, resume at
-            // the low one. During shutdown the gate is bypassed so
+            // the low one (see [`WatermarkGate`]). The gate is bypassed
+            // while a blocked client wants more bits than the pool
+            // holds (`demand_bits`) — the gate alone would wedge any
+            // request larger than `high` — and during shutdown, so
             // workers blocked on the channel always drain out.
             let mut pool = shared.pool.lock();
-            loop {
-                let len = pool.len();
-                if len >= high {
-                    filling = false;
-                } else if len <= low {
-                    filling = true;
-                }
-                if filling || shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
+            while !gate.admit(pool.len())
+                && (pool.len() as u64) >= shared.demand_bits.outstanding()
+                && !shared.shutdown.is_raised()
+            {
                 let _ = shared.space_available.wait_for(&mut pool, POLL);
             }
         }
@@ -800,7 +801,7 @@ fn collector_loop(
                 };
                 tel.collect_ns.observe_since(collect_t0);
                 tel.pool_bits.set(queued as u64);
-                shared.in_flight_bits.fetch_sub(n, Ordering::SeqCst);
+                shared.in_flight_bits.retire(n);
                 shared.bits_available.notify_all();
             }
             Err(RecvTimeoutError::Timeout) => continue,
@@ -809,7 +810,10 @@ fn collector_loop(
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    shared.collector_done.store(true, Ordering::SeqCst);
+    // The lock barrier orders the notify after any in-progress
+    // predicate check parks (see `HarvestEngine::halt`).
+    shared.collector_done.raise();
+    drop(shared.pool.lock());
     shared.bits_available.notify_all();
 }
 

@@ -311,7 +311,7 @@ impl CatalogSet {
         self.catalogs.iter().min_by(|a, b| {
             let da = (a.temperature().degrees() - temperature.degrees()).abs();
             let db = (b.temperature().degrees() - temperature.degrees()).abs();
-            da.partial_cmp(&db).expect("no NaN temperatures")
+            da.total_cmp(&db)
         })
     }
 }

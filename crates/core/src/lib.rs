@@ -67,6 +67,7 @@ pub mod sampler;
 pub mod service;
 pub mod spatial;
 pub mod stream;
+pub mod sync;
 pub mod throughput;
 
 pub use drange_telemetry as telemetry;

@@ -282,7 +282,9 @@ impl DRange {
         if self.queue.is_empty() {
             self.sample_once()?;
         }
-        Ok(self.queue.pop_front().expect("sample_once enqueues bits"))
+        self.queue
+            .pop_front()
+            .ok_or_else(|| DrangeError::NoRngCells("sampling pass produced no bits".into()))
     }
 
     /// The next `n` random bits.
@@ -364,10 +366,12 @@ impl RngCore for DRange {
     }
 
     fn next_u64(&mut self) -> u64 {
+        // xtask:allow(no-panic) -- RngCore's infallible signature; use try_fill_bytes to handle device errors
         self.next_word().expect("device sampling failed")
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // xtask:allow(no-panic) -- RngCore's infallible signature; use try_fill_bytes to handle device errors
         self.try_fill(dest).expect("device sampling failed");
     }
 

@@ -14,7 +14,6 @@
 //! available DRAM bandwidth", generalized to a multi-channel system).
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use drange_telemetry::{Counter, Histogram, MetricsRegistry};
@@ -23,6 +22,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::engine::{EngineConfig, EngineStats, HarvestEngine, HarvestSource};
 use crate::error::{DrangeError, Result};
 use crate::sampler::DRange;
+use crate::sync::SequenceCounter;
 
 /// Identifier of a pending randomness request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -102,7 +102,7 @@ pub struct RandomnessService {
     engine: HarvestEngine,
     inner: Mutex<ServiceInner>,
     ready_cv: Condvar,
-    next_id: AtomicU64,
+    next_id: SequenceCounter,
     config: ServiceConfig,
     telemetry: ServiceTelemetry,
 }
@@ -169,7 +169,7 @@ impl RandomnessService {
             engine,
             inner: Mutex::new(ServiceInner::default()),
             ready_cv: Condvar::new(),
-            next_id: AtomicU64::new(0),
+            next_id: SequenceCounter::new(),
             config,
             telemetry: ServiceTelemetry::new(registry),
         })
@@ -192,7 +192,7 @@ impl RandomnessService {
                 "request of {bytes} bytes exceeds queue capacity"
             )));
         }
-        let id = RequestId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        let id = RequestId(self.next_id.next());
         self.telemetry.requests.inc();
         self.telemetry.request_bytes.add(bytes as u64);
         let mut inner = self.inner.lock();

@@ -109,10 +109,11 @@ impl Read for EngineReader {
     }
 }
 
-/// An infinite iterator of random bytes.
+/// An iterator of random bytes, unbounded while the device is
+/// healthy.
 ///
-/// Created by [`bytes`]; panics on device errors (use
-/// [`DRange::try_fill`] for fallible consumption).
+/// Created by [`bytes`]; ends (`None`) on a device error (use
+/// [`DRange::try_fill`] to observe the cause).
 #[derive(Debug)]
 pub struct Bytes {
     trng: DRange,
@@ -123,7 +124,10 @@ impl Iterator for Bytes {
 
     fn next(&mut self) -> Option<u8> {
         let mut b = [0u8; 1];
-        self.trng.try_fill(&mut b).expect("device sampling failed");
+        // The stream ends if the device fails — iterators cannot
+        // surface errors, and callers needing the cause should use
+        // `DRange::try_fill` directly.
+        self.trng.try_fill(&mut b).ok()?;
         Some(b[0])
     }
 }

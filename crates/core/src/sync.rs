@@ -1,0 +1,312 @@
+//! The engine's cross-thread protocol state, wrapped in
+//! intent-revealing types.
+//!
+//! This module is the only place in `drange-core` that touches raw
+//! atomics — a boundary enforced by the `no-raw-atomics` rule of
+//! `cargo xtask lint`. [`crate::engine`] and [`crate::service`]
+//! express their shared state through these domain-named wrappers
+//! instead of bare `AtomicU64` cells, which buys two things:
+//!
+//! * every call site names the protocol action (`ledger.publish(n)`,
+//!   `live.retire()`, `shutdown.raise()`) rather than the memory
+//!   operation, so the bit-accounting invariant — *harvested = served
+//!   + queued + discarded + in flight* — reads directly out of the
+//!   code; and
+//! * under `RUSTFLAGS="--cfg loom"` the wrappers switch to the
+//!   [`loomlite`] model-checking shims, making every access a
+//!   scheduling point so `tests/loom_engine.rs` can explore the
+//!   engine's shutdown handshake and watermark gate exhaustively.
+//!
+//! All operations are sequentially consistent. The engine's counters
+//! are far off the memory-bandwidth-bound hot path (one update per
+//! *batch*, not per bit), so the stronger ordering costs nothing
+//! measurable and keeps the model and the real execution identical.
+
+#[cfg(loom)]
+use loomlite::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// A monotonically increasing event tally (bits harvested, batches
+/// published, health trips, …) that writers bump and stats snapshots
+/// read without blocking.
+#[derive(Debug, Default)]
+pub struct CounterCell(AtomicU64);
+
+impl CounterCell {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        CounterCell::default()
+    }
+
+    /// Adds `n` events to the tally.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Overwrites the tally with an externally tracked total (used for
+    /// cumulative readings the source reports, e.g. device time).
+    pub fn set(&self, total: u64) {
+        self.0.store(total, Ordering::SeqCst);
+    }
+
+    /// Current tally.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A one-way latch: starts lowered, can only be raised, never lowered
+/// again. Models irreversible protocol transitions (shutdown requested,
+/// collector finished).
+#[derive(Debug, Default)]
+pub struct Flag(AtomicBool);
+
+impl Flag {
+    /// Creates a lowered flag.
+    #[must_use]
+    pub fn new() -> Self {
+        Flag::default()
+    }
+
+    /// Raises the flag (idempotent).
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the flag has been raised.
+    #[must_use]
+    pub fn is_raised(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A source of process-unique, strictly increasing identifiers
+/// (request ids).
+#[derive(Debug, Default)]
+pub struct SequenceCounter(AtomicU64);
+
+impl SequenceCounter {
+    /// Creates a sequence starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SequenceCounter::default()
+    }
+
+    /// Claims and returns the next identifier.
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::SeqCst)
+    }
+}
+
+/// A count of still-running worker threads. Each worker retires exactly
+/// once on exit; clients poll [`LiveCount::all_retired`] to distinguish
+/// "no bits *yet*" from "no bits *ever again*".
+#[derive(Debug)]
+pub struct LiveCount(AtomicUsize);
+
+impl LiveCount {
+    /// Creates the count with `workers` live members.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        LiveCount(AtomicUsize::new(workers))
+    }
+
+    /// Records one member's exit, returning how many remain live.
+    pub fn retire(&self) -> usize {
+        // A retire below zero is a protocol bug (a worker exiting
+        // twice); saturating keeps the count meaningful rather than
+        // wrapping to usize::MAX and wedging `all_retired`.
+        let prev = self
+            .0
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                Some(v.saturating_sub(1))
+            })
+            .unwrap_or(0);
+        prev.saturating_sub(1)
+    }
+
+    /// Number of still-live members.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Whether every member has retired.
+    #[must_use]
+    pub fn all_retired(&self) -> bool {
+        self.live() == 0
+    }
+}
+
+/// Accounting for bits that have been accepted by health screening but
+/// not yet landed in the shared pool (published into the channel,
+/// in-flight). The engine's conservation invariant — after a graceful
+/// shutdown, *harvested = served + queued + discarded* — holds exactly
+/// when this ledger drains to zero.
+#[derive(Debug, Default)]
+pub struct BitLedger(AtomicU64);
+
+impl BitLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        BitLedger::default()
+    }
+
+    /// Records `bits` entering flight (screened and handed to the
+    /// channel).
+    pub fn publish(&self, bits: u64) {
+        self.0.fetch_add(bits, Ordering::SeqCst);
+    }
+
+    /// Records `bits` leaving flight (collected into the pool, or
+    /// discarded because they became undeliverable during shutdown).
+    ///
+    /// Saturates at zero: retiring more bits than are outstanding is an
+    /// accounting bug, and a ledger stuck at `u64::MAX - ε` after a
+    /// wrap would silently poison every later stats snapshot, so the
+    /// ledger clamps instead.
+    pub fn retire(&self, bits: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                Some(v.saturating_sub(bits))
+            });
+    }
+
+    /// Bits currently in flight.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// The collector's hysteresis gate (Section 6.3's "available DRAM
+/// bandwidth" policy): stop filling the pool at the high watermark,
+/// resume once it has drained to the low one. Pure state machine — the
+/// caller owns the locking and waiting — so the policy is unit-testable
+/// and model-checkable in isolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatermarkGate {
+    low: usize,
+    high: usize,
+    filling: bool,
+}
+
+impl WatermarkGate {
+    /// Creates a gate that fills until `high` and resumes at `low`.
+    /// Starts in the filling state (an empty pool wants bits).
+    #[must_use]
+    pub fn new(low: usize, high: usize) -> Self {
+        WatermarkGate {
+            low,
+            high,
+            filling: true,
+        }
+    }
+
+    /// Advances the hysteresis with the current pool size and returns
+    /// whether the collector should admit more bits right now.
+    pub fn admit(&mut self, pool_bits: usize) -> bool {
+        if pool_bits >= self.high {
+            self.filling = false;
+        } else if pool_bits <= self.low {
+            self.filling = true;
+        }
+        self.filling
+    }
+
+    /// Whether the gate is currently in the filling state (without
+    /// advancing it).
+    #[must_use]
+    pub fn is_filling(&self) -> bool {
+        self.filling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_cell_adds_and_sets() {
+        let c = CounterCell::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.set(100);
+        assert_eq!(c.get(), 100);
+    }
+
+    #[test]
+    fn flag_latches() {
+        let f = Flag::new();
+        assert!(!f.is_raised());
+        f.raise();
+        f.raise();
+        assert!(f.is_raised());
+    }
+
+    #[test]
+    fn sequence_counter_is_strictly_increasing() {
+        let s = SequenceCounter::new();
+        assert_eq!(s.next(), 0);
+        assert_eq!(s.next(), 1);
+        assert_eq!(s.next(), 2);
+    }
+
+    #[test]
+    fn live_count_retires_to_zero_and_saturates() {
+        let l = LiveCount::new(2);
+        assert_eq!(l.live(), 2);
+        assert!(!l.all_retired());
+        assert_eq!(l.retire(), 1);
+        assert_eq!(l.retire(), 0);
+        assert!(l.all_retired());
+        // A buggy double-retire must not wrap the count back up.
+        assert_eq!(l.retire(), 0);
+        assert!(l.all_retired());
+    }
+
+    #[test]
+    fn bit_ledger_balances_and_saturates() {
+        let b = BitLedger::new();
+        b.publish(64);
+        b.publish(64);
+        b.retire(64);
+        assert_eq!(b.outstanding(), 64);
+        b.retire(64);
+        assert_eq!(b.outstanding(), 0);
+        // Over-retiring clamps at zero instead of wrapping.
+        b.retire(1);
+        assert_eq!(b.outstanding(), 0);
+    }
+
+    #[test]
+    fn watermark_gate_hysteresis() {
+        let mut g = WatermarkGate::new(4, 16);
+        assert!(g.is_filling(), "an empty pool wants bits");
+        assert!(g.admit(0));
+        assert!(g.admit(15), "below high: keep filling");
+        assert!(!g.admit(16), "at high: pause");
+        assert!(!g.admit(10), "between the watermarks: stay paused");
+        assert!(!g.admit(5), "still above low: stay paused");
+        assert!(g.admit(4), "at low: resume");
+        assert!(g.admit(10), "between the watermarks: keep filling");
+        assert!(!g.admit(20), "overshoot past high: pause");
+        assert!(g.admit(0), "drained: resume");
+    }
+
+    #[test]
+    fn watermark_gate_degenerate_equal_marks() {
+        // low == high: the gate toggles exactly at the mark, never
+        // wedges.
+        let mut g = WatermarkGate::new(8, 8);
+        assert!(g.admit(0));
+        assert!(!g.admit(8), "at the mark: high wins the tie, pause");
+        assert!(g.admit(7), "below the mark: resume");
+    }
+}

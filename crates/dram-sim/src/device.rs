@@ -179,6 +179,7 @@ impl DramDevice {
         if config.geometry.is_none() {
             geometry.subarray_rows = profile.subarray_rows.min(geometry.rows);
         }
+        // xtask:allow(no-panic) -- documented constructor contract; validate geometry beforehand for untrusted input
         geometry.validate().expect("invalid device geometry");
         let variation = VariationMap::build(config.seed, geometry, &profile);
         let data = vec![vec![0u64; geometry.rows * geometry.cols]; geometry.banks];
@@ -321,6 +322,7 @@ impl DramDevice {
     ///
     /// Panics if the address is outside geometry.
     pub fn stored_bit(&self, cell: CellAddr) -> bool {
+        // xtask:allow(no-panic) -- documented # Panics contract of this accessor
         let w = self.peek(cell.word()).expect("cell address out of range");
         (w >> cell.bit) & 1 == 1
     }
@@ -330,6 +332,7 @@ impl DramDevice {
         for col in 0..self.geometry.cols {
             let w = pattern.word(row, col, self.geometry.word_bits);
             self.poke(WordAddr::new(bank, row, col), w)
+                // xtask:allow(no-panic) -- col iterates the device's own geometry, always in range
                 .expect("fill_row in range");
         }
     }
@@ -574,6 +577,7 @@ impl DramDevice {
     /// Panics if the cell address is outside geometry.
     pub fn failure_probability(&self, cell: CellAddr, trcd_ns: f64) -> f64 {
         self.check_addr(cell.bank, cell.row, cell.col)
+            // xtask:allow(no-panic) -- documented # Panics contract of this accessor
             .expect("cell in range");
         if trcd_ns >= self.profile.fail_guard_ns {
             return 0.0;

@@ -1,0 +1,370 @@
+//! The execution engine: one controlled thread runs at a time; every
+//! visible operation is a *yield point* where the scheduler consults a
+//! decision tape. Exhausting the tape depth-first explores every
+//! interleaving of yield points.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Panic payload used to unwind controlled threads out of an execution
+/// that has already failed (deadlock or a panic elsewhere). Filtered by
+/// the panic hook and swallowed by thread trampolines.
+pub(crate) struct AbortExecution;
+
+/// Globally unique ids for model objects (mutexes, condvars). Ids only
+/// need to be unique, not dense: per-execution state is keyed lazily.
+static NEXT_OBJECT_ID: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn fresh_object_id() -> usize {
+    NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Scheduling state of one controlled thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Waiting to acquire the mutex with this object id.
+    BlockedMutex(usize),
+    /// Parked on the condvar with this object id (no notify seen yet).
+    BlockedCondvar(usize),
+    /// Waiting for the thread with this tid to finish.
+    BlockedJoin(usize),
+    /// Done (normally, or unwound during an abort).
+    Finished,
+}
+
+/// One recorded scheduling decision: which of the enabled threads ran.
+/// Only branching points (more than one enabled thread) are recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub(crate) chosen: usize,
+    pub(crate) enabled: Vec<usize>,
+}
+
+pub(crate) struct ExecState {
+    pub(crate) runs: Vec<Run>,
+    pub(crate) current: usize,
+    mutexes: HashMap<usize, bool>,
+    cv_waiters: HashMap<usize, VecDeque<usize>>,
+    pub(crate) tape: Vec<Choice>,
+    pub(crate) pos: usize,
+    pub(crate) failure: Option<String>,
+    pub(crate) finished: usize,
+    pub(crate) real_handles: Vec<std::thread::JoinHandle<()>>,
+    /// CHESS-style preemption bound: once `preemptions` reaches the
+    /// bound, a runnable current thread keeps running (no choice point).
+    bound: Option<usize>,
+    preemptions: usize,
+}
+
+pub(crate) struct Execution {
+    pub(crate) state: StdMutex<ExecState>,
+    pub(crate) cv: StdCondvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(exec: Arc<Execution>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Yield point for a non-blocking visible op (atomic access, notify,
+/// spawn). No-op outside a model execution so the shims degrade to
+/// plain std behavior in ordinary tests.
+pub(crate) fn op_yield() {
+    if let Some((exec, me)) = current_ctx() {
+        if exec.switch(me, Run::Runnable).is_err() {
+            std::panic::panic_any(AbortExecution);
+        }
+    }
+}
+
+impl Execution {
+    pub(crate) fn new(tape: Vec<Choice>, bound: Option<usize>) -> Self {
+        Execution {
+            state: StdMutex::new(ExecState {
+                runs: vec![Run::Runnable],
+                current: 0,
+                mutexes: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                tape,
+                pos: 0,
+                failure: None,
+                finished: 0,
+                real_handles: Vec::new(),
+                bound,
+                preemptions: 0,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn enabled(st: &ExecState) -> Vec<usize> {
+        st.runs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Picks the next thread to run, consulting/extending the decision
+    /// tape at branching points. Sets `failure` on deadlock.
+    fn advance(&self, st: &mut ExecState) {
+        let enabled = Self::enabled(st);
+        if enabled.is_empty() {
+            if st.finished < st.runs.len() {
+                st.failure = Some(format!(
+                    "deadlock: no runnable thread; thread states: {:?}",
+                    st.runs
+                ));
+            }
+            return;
+        }
+        // `current` is the thread that just yielded: it stayed runnable
+        // (plain yield point) or blocked/finished (then this is not a
+        // preemption however we schedule).
+        let current_runnable = st.runs[st.current] == Run::Runnable;
+        if current_runnable && st.bound.is_some_and(|b| st.preemptions >= b) {
+            // Preemption budget exhausted: no choice point, the current
+            // thread keeps running.
+            return;
+        }
+        let next = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            let idx = if st.pos < st.tape.len() {
+                let choice = &st.tape[st.pos];
+                assert!(
+                    choice.enabled == enabled,
+                    "loomlite: nondeterministic model (replay mismatch at decision {}: \
+                     recorded enabled {:?}, got {:?}); models must not depend on real \
+                     time, randomness, or ambient global state",
+                    st.pos,
+                    choice.enabled,
+                    enabled
+                );
+                choice.chosen
+            } else {
+                st.tape.push(Choice {
+                    chosen: 0,
+                    enabled: enabled.clone(),
+                });
+                0
+            };
+            st.pos += 1;
+            enabled[idx]
+        };
+        if current_runnable && next != st.current {
+            st.preemptions += 1;
+        }
+        st.current = next;
+    }
+
+    /// Core scheduling primitive: record `me`'s new state, hand the
+    /// token to the next thread, and block until `me` is scheduled
+    /// again. `Err` means the execution has failed and `me` must unwind.
+    pub(crate) fn switch(&self, me: usize, new_run: Run) -> Result<(), ()> {
+        let mut st = self.lock_state();
+        if st.failure.is_some() {
+            return Err(());
+        }
+        st.runs[me] = new_run;
+        self.advance(&mut st);
+        self.cv.notify_all();
+        loop {
+            if st.failure.is_some() {
+                return Err(());
+            }
+            if st.current == me && st.runs[me] == Run::Runnable {
+                return Ok(());
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// First schedule of a freshly spawned thread: wait for the token
+    /// without changing any state.
+    pub(crate) fn wait_first_schedule(&self, me: usize) -> Result<(), ()> {
+        let mut st = self.lock_state();
+        loop {
+            if st.failure.is_some() {
+                return Err(());
+            }
+            if st.current == me && st.runs[me] == Run::Runnable {
+                return Ok(());
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Registers a new controlled thread; returns its tid. The new
+    /// thread is immediately eligible for scheduling.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.runs.push(Run::Runnable);
+        st.runs.len() - 1
+    }
+
+    pub(crate) fn push_real_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock_state().real_handles.push(handle);
+    }
+
+    /// Acquires model mutex `id` for `me`, yielding/blocking as needed.
+    /// `pre_yield` inserts the standard before-op choice point (false
+    /// when re-acquiring after a condvar wait, which is already at a
+    /// fresh schedule slot).
+    pub(crate) fn lock_mutex(&self, me: usize, id: usize, pre_yield: bool) -> Result<(), ()> {
+        if pre_yield {
+            self.switch(me, Run::Runnable)?;
+        }
+        loop {
+            {
+                let mut st = self.lock_state();
+                if st.failure.is_some() {
+                    return Err(());
+                }
+                let locked = st.mutexes.entry(id).or_insert(false);
+                if !*locked {
+                    *locked = true;
+                    return Ok(());
+                }
+            }
+            // Held by someone else: park until a release makes us
+            // runnable, then retry (another thread may steal the lock
+            // in between — that is a real interleaving).
+            self.switch(me, Run::BlockedMutex(id))?;
+        }
+    }
+
+    /// Releases model mutex `id`: marks it free and wakes every thread
+    /// blocked on it (they contend again when scheduled). Deliberately
+    /// not a choice point — the releaser's next visible op is.
+    pub(crate) fn release_mutex(&self, id: usize) {
+        let mut st = self.lock_state();
+        st.mutexes.insert(id, false);
+        for r in &mut st.runs {
+            if *r == Run::BlockedMutex(id) {
+                *r = Run::Runnable;
+            }
+        }
+    }
+
+    /// Atomically releases `mutex_id` and parks `me` on condvar
+    /// `cv_id`; on wakeup, re-acquires the mutex before returning.
+    ///
+    /// Deliberately models a *timeout-free* wait: `wait_timeout` under
+    /// loomlite never times out, so any protocol that relies on the
+    /// timeout (rather than an explicit notify) for forward progress
+    /// shows up as a deadlock. That is exactly the lost-wakeup class of
+    /// bug. Spurious wakeups are not modeled.
+    pub(crate) fn condvar_wait(&self, me: usize, cv_id: usize, mutex_id: usize) -> Result<(), ()> {
+        {
+            let mut st = self.lock_state();
+            if st.failure.is_some() {
+                return Err(());
+            }
+            st.mutexes.insert(mutex_id, false);
+            for r in &mut st.runs {
+                if *r == Run::BlockedMutex(mutex_id) {
+                    *r = Run::Runnable;
+                }
+            }
+            st.cv_waiters.entry(cv_id).or_default().push_back(me);
+        }
+        self.switch(me, Run::BlockedCondvar(cv_id))?;
+        self.lock_mutex(me, mutex_id, false)
+    }
+
+    /// Wakes parked waiters of condvar `cv_id` (`all` = notify_all).
+    /// A notify with no parked waiter is lost, exactly like the real
+    /// primitive. The caller must have passed a choice point already.
+    pub(crate) fn notify(&self, cv_id: usize, all: bool) {
+        let mut st = self.lock_state();
+        if let Some(q) = st.cv_waiters.get_mut(&cv_id) {
+            let woken: Vec<usize> = if all {
+                q.drain(..).collect()
+            } else {
+                q.pop_front().into_iter().collect()
+            };
+            for t in woken {
+                st.runs[t] = Run::Runnable;
+            }
+        }
+    }
+
+    /// Records a real (non-abort) panic from thread `tid` as the
+    /// execution failure.
+    pub(crate) fn record_panic(&self, tid: usize, payload: &(dyn Any + Send)) {
+        let text = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut st = self.lock_state();
+        if st.failure.is_none() {
+            st.failure = Some(format!("thread {tid} panicked: {text}"));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands the token on.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.runs[me] = Run::Finished;
+        st.finished += 1;
+        for r in &mut st.runs {
+            if *r == Run::BlockedJoin(me) {
+                *r = Run::Runnable;
+            }
+        }
+        if st.failure.is_none() {
+            self.advance(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks `me` until thread `tid` finishes.
+    pub(crate) fn join_thread(&self, me: usize, tid: usize) -> Result<(), ()> {
+        self.switch(me, Run::Runnable)?;
+        loop {
+            {
+                let st = self.lock_state();
+                if st.failure.is_some() {
+                    return Err(());
+                }
+                if st.runs[tid] == Run::Finished {
+                    return Ok(());
+                }
+            }
+            self.switch(me, Run::BlockedJoin(tid))?;
+        }
+    }
+
+    /// Driver side: wait until every controlled thread has finished
+    /// (including threads unwound by an abort).
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = self.lock_state();
+        while st.finished < st.runs.len() {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}

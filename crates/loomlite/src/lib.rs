@@ -1,0 +1,481 @@
+//! # loomlite — minimal exhaustive-interleaving model checker
+//!
+//! A dependency-free, loom-style concurrency model checker used by the
+//! workspace's `cfg(loom)` tests. The real [`loom`] crate cannot be
+//! assumed present (this workspace must build in hermetic environments
+//! with no crate registry), so this crate reimplements the slice of it
+//! the D-RaNGe verification layer needs:
+//!
+//! * [`model`] runs a closure repeatedly, exploring **every**
+//!   interleaving of its visible operations across the threads it
+//!   spawns (depth-first over scheduling decisions, with deterministic
+//!   replay).
+//! * [`thread`], [`sync::Mutex`], [`sync::Condvar`], and
+//!   [`sync::atomic`] are drop-in shims for their `std` counterparts.
+//!   Outside a model execution they degrade to plain `std` behavior, so
+//!   code compiled with `--cfg loom` still runs its ordinary unit
+//!   tests.
+//! * Deadlocks (every thread blocked), lost wakeups (a notify with no
+//!   parked waiter is dropped, and modeled waits **never time out** —
+//!   so any protocol that needs the timeout for progress deadlocks
+//!   visibly), and panics in any thread fail the check with the
+//!   decision tape that reproduces them.
+//!
+//! ## Scope and limitations
+//!
+//! * Sequential consistency only: every atomic access is performed
+//!   `SeqCst` regardless of the ordering argument. loomlite explores
+//!   interleavings, not weak-memory reorderings.
+//! * `Condvar::notify_one` wakes the longest-parked waiter (FIFO)
+//!   rather than exploring every choice of waiter; spurious wakeups are
+//!   not modeled.
+//! * State space is explored exhaustively with no partial-order
+//!   reduction beyond "thread-local ops are invisible", so keep models
+//!   small: a handful of threads with a handful of visible ops each.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use loomlite::sync::atomic::{AtomicU64, Ordering};
+//! use loomlite::sync::Arc;
+//!
+//! loomlite::model(|| {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loomlite::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().expect("model thread");
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! [`loom`]: https://docs.rs/loom
+
+// This crate is test infrastructure: panicking is its reporting
+// mechanism, and its shims wrap raw std primitives by design. Both are
+// waived in xtask/lint_policy.toml rather than worked around.
+
+mod exec;
+pub mod sync;
+pub mod thread;
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once, PoisonError};
+
+use exec::{AbortExecution, Execution};
+
+/// Default cap on explored schedules; override with the
+/// `LOOMLITE_MAX_ITERATIONS` environment variable.
+pub const DEFAULT_MAX_ITERATIONS: u64 = 200_000;
+
+/// Statistics from a completed exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub iterations: u64,
+}
+
+/// Exploration configuration (mirrors `loom::model::Builder`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Builder {
+    /// CHESS-style preemption bound: explore only schedules with at
+    /// most this many preemptions (switches away from a still-runnable
+    /// thread). `None` (the default) explores exhaustively. Most
+    /// concurrency bugs manifest within 2 preemptions, and the bound
+    /// turns combinatorial state spaces (e.g. a 40-bucket histogram
+    /// snapshot racing a recorder) into tractable ones.
+    pub preemption_bound: Option<usize>,
+    /// Per-call override of the schedule cap (defaults to
+    /// [`DEFAULT_MAX_ITERATIONS`] / `LOOMLITE_MAX_ITERATIONS`).
+    pub max_iterations: Option<u64>,
+}
+
+impl Builder {
+    /// Default configuration: exhaustive search.
+    #[must_use]
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Checks `f` under every schedule admitted by this configuration;
+    /// panics on the first failing one (see [`explore`]).
+    pub fn check<F: Fn()>(&self, f: F) -> Report {
+        run_exploration(self, f)
+    }
+}
+
+fn max_iterations() -> u64 {
+    std::env::var("LOOMLITE_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_ITERATIONS)
+}
+
+/// Installs a panic-hook filter (once, process-wide) that silences the
+/// internal `AbortExecution` unwind used to tear down controlled
+/// threads of a failed execution.
+fn install_hook_filter() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortExecution>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Explores every schedule of `f` and returns statistics.
+///
+/// # Panics
+///
+/// Panics when any schedule deadlocks or panics (the message includes
+/// the failing decision tape), when the model behaves
+/// nondeterministically across replays, or when the iteration cap is
+/// exceeded.
+pub fn explore<F: Fn()>(f: F) -> Report {
+    Builder::new().check(f)
+}
+
+fn run_exploration<F: Fn()>(builder: &Builder, f: F) -> Report {
+    assert!(
+        exec::current_ctx().is_none(),
+        "loomlite: nested model() calls are not supported"
+    );
+    install_hook_filter();
+    let cap = builder.max_iterations.unwrap_or_else(max_iterations);
+    let mut tape = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= cap,
+            "loomlite: exceeded {cap} schedules without exhausting the state space; \
+             shrink the model or raise LOOMLITE_MAX_ITERATIONS"
+        );
+        let execution = Arc::new(Execution::new(tape, builder.preemption_bound));
+        exec::set_ctx(Arc::clone(&execution), 0);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(&f));
+        if let Err(payload) = outcome {
+            if !payload.is::<AbortExecution>() {
+                execution.record_panic(0, payload.as_ref());
+            }
+        }
+        execution.finish(0);
+        execution.wait_all_finished();
+        exec::clear_ctx();
+        let (failure, final_tape) = {
+            let mut st = execution
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let handles = std::mem::take(&mut st.real_handles);
+            let failure = st.failure.clone();
+            let final_tape = std::mem::take(&mut st.tape);
+            drop(st);
+            for handle in handles {
+                let _ = handle.join();
+            }
+            (failure, final_tape)
+        };
+        if let Some(message) = failure {
+            panic!(
+                "loomlite: model failed on schedule {iterations}: {message}\n\
+                 failing decision tape: {final_tape:?}"
+            );
+        }
+        tape = final_tape;
+        // Depth-first backtrack: advance the deepest branching decision
+        // that still has unexplored alternatives.
+        loop {
+            match tape.pop() {
+                None => return Report { iterations },
+                Some(mut choice) => {
+                    if choice.chosen + 1 < choice.enabled.len() {
+                        choice.chosen += 1;
+                        tape.push(choice);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks `f` under every schedule; panics on the first failing one.
+/// See [`explore`] for details and the crate docs for limitations.
+pub fn model<F: Fn()>(f: F) {
+    let _ = explore(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::*;
+
+    fn failure_message<F: Fn() + Send + 'static>(f: F) -> String {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| model(f)));
+        let payload = result.expect_err("model should have failed");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn single_thread_runs_once() {
+        let report = explore(|| {
+            let n = AtomicU64::new(1);
+            assert_eq!(n.load(Ordering::SeqCst), 1);
+        });
+        assert_eq!(report.iterations, 1);
+    }
+
+    #[test]
+    fn atomic_increments_never_lose_updates() {
+        model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().expect("model thread");
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn racy_read_modify_write_is_caught() {
+        // load-then-store is not atomic: some schedule interleaves the
+        // two threads' loads and loses an update. The checker must find
+        // that schedule and surface the assertion failure.
+        let message = failure_message(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                let v = n2.load(Ordering::SeqCst);
+                n2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = n.load(Ordering::SeqCst);
+            n.store(v + 1, Ordering::SeqCst);
+            t.join().expect("model thread");
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        });
+        assert!(message.contains("lost update"), "{message}");
+    }
+
+    #[test]
+    fn exploration_visits_multiple_schedules() {
+        let report = explore(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(2, Ordering::SeqCst);
+            t.join().expect("model thread");
+        });
+        assert!(report.iterations > 1, "{report:?}");
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        model(|| {
+            let cell = Arc::new(Mutex::new(0u64));
+            let cell2 = Arc::clone(&cell);
+            let t = thread::spawn(move || {
+                let mut guard = cell2.lock().expect("model lock");
+                let v = *guard;
+                *guard = v + 1;
+            });
+            {
+                let mut guard = cell.lock().expect("model lock");
+                let v = *guard;
+                *guard = v + 1;
+            }
+            t.join().expect("model thread");
+            assert_eq!(*cell.lock().expect("model lock"), 2);
+        });
+    }
+
+    #[test]
+    fn lost_wakeup_deadlocks_and_is_reported() {
+        // Classic lost wakeup: the waiter checks no predicate before
+        // parking, so a notify that lands first is dropped and the wait
+        // never returns. The no-timeout wait model turns this into a
+        // deadlock on the schedule where the notifier runs first.
+        let message = failure_message(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*pair2;
+                let guard = lock.lock().expect("model lock");
+                // BUG under test: parks without re-checking the flag.
+                let _guard = cv.wait(guard).expect("model wait");
+            });
+            let (lock, cv) = &*pair;
+            *lock.lock().expect("model lock") = true;
+            cv.notify_all();
+            t.join().expect("model thread");
+        });
+        assert!(message.contains("deadlock"), "{message}");
+    }
+
+    #[test]
+    fn predicate_checked_wait_never_deadlocks() {
+        // The fixed shape: check the flag under the lock before every
+        // park. No schedule deadlocks.
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*pair2;
+                let mut guard = lock.lock().expect("model lock");
+                while !*guard {
+                    guard = cv.wait(guard).expect("model wait");
+                }
+            });
+            let (lock, cv) = &*pair;
+            *lock.lock().expect("model lock") = true;
+            cv.notify_all();
+            t.join().expect("model thread");
+        });
+    }
+
+    #[test]
+    fn wait_timeout_reports_not_timed_out_in_model() {
+        model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*pair2;
+                let mut guard = lock.lock().expect("model lock");
+                while !*guard {
+                    let (g, timeout) = cv
+                        .wait_timeout(guard, std::time::Duration::from_secs(1))
+                        .expect("model wait");
+                    guard = g;
+                    assert!(!timeout.timed_out());
+                }
+            });
+            let (lock, cv) = &*pair;
+            *lock.lock().expect("model lock") = true;
+            cv.notify_all();
+            t.join().expect("model thread");
+        });
+    }
+
+    #[test]
+    fn shims_degrade_to_std_outside_models() {
+        // No model() wrapper: the shims must behave like plain std.
+        let n = Arc::new(AtomicU64::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(5, Ordering::SeqCst);
+        });
+        t.join().expect("real thread");
+        assert_eq!(n.load(Ordering::SeqCst), 5);
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock().expect("lock") = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut guard = lock.lock().expect("lock");
+        while !*guard {
+            let (g, _timeout) = cv
+                .wait_timeout(guard, std::time::Duration::from_millis(50))
+                .expect("wait");
+            guard = g;
+        }
+        drop(guard);
+        t.join().expect("real thread");
+    }
+
+    #[test]
+    fn preemption_bound_still_catches_single_preemption_races() {
+        // The lost-update race needs exactly one preemption (between
+        // the load and the store), so a bound of 2 must still find it —
+        // while exploring far fewer schedules than the exhaustive run.
+        let bounded = Builder {
+            preemption_bound: Some(2),
+            max_iterations: None,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            bounded.check(|| {
+                let n = Arc::new(AtomicU64::new(0));
+                let n2 = Arc::clone(&n);
+                let t = thread::spawn(move || {
+                    let v = n2.load(Ordering::SeqCst);
+                    n2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                t.join().expect("model thread");
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            })
+        }));
+        assert!(result.is_err(), "bounded search must still find the race");
+    }
+
+    #[test]
+    fn preemption_bound_shrinks_the_state_space() {
+        let work = || {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                for _ in 0..4 {
+                    n2.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            for _ in 0..4 {
+                n.fetch_add(1, Ordering::SeqCst);
+            }
+            t.join().expect("model thread");
+            assert_eq!(n.load(Ordering::SeqCst), 8);
+        };
+        let full = explore(work);
+        let bounded = Builder {
+            preemption_bound: Some(1),
+            max_iterations: None,
+        }
+        .check(work);
+        assert!(
+            bounded.iterations < full.iterations,
+            "bounded {} vs full {}",
+            bounded.iterations,
+            full.iterations
+        );
+    }
+
+    #[test]
+    fn three_thread_interleavings_are_exhaustive() {
+        // 2 spawned threads + the root each do one visible op; the
+        // checker must visit more than one schedule and keep the
+        // invariant in all of them.
+        let report = explore(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let a = Arc::clone(&n);
+            let b = Arc::clone(&n);
+            let ta = thread::spawn(move || {
+                a.fetch_add(1, Ordering::SeqCst);
+            });
+            let tb = thread::spawn(move || {
+                b.fetch_add(10, Ordering::SeqCst);
+            });
+            ta.join().expect("model thread");
+            tb.join().expect("model thread");
+            assert_eq!(n.load(Ordering::SeqCst), 11);
+        });
+        assert!(report.iterations >= 2, "{report:?}");
+    }
+}

@@ -1,0 +1,452 @@
+//! `std::sync`-shaped shims: sequentially-consistent atomics whose
+//! every access is a scheduling point, plus a Mutex/Condvar pair whose
+//! blocking is modeled by the scheduler (timeouts never fire, so
+//! protocols that rely on them for progress deadlock visibly).
+
+pub use std::sync::Arc;
+use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+use crate::exec::{self, AbortExecution};
+
+/// Atomic shims. Orderings are accepted for API compatibility but every
+/// access is performed `SeqCst`: loomlite explores interleavings of
+/// sequentially consistent executions only (weaker orderings are out of
+/// scope — use the real `loom` for memory-model exploration).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::exec;
+
+    macro_rules! atomic_shim {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $int:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                #[must_use]
+                pub fn new(v: $int) -> Self {
+                    Self(std::sync::atomic::$std::new(v))
+                }
+
+                /// Loads the value (modeled as a scheduling point).
+                pub fn load(&self, _order: Ordering) -> $int {
+                    exec::op_yield();
+                    self.0.load(Ordering::SeqCst)
+                }
+
+                /// Stores a value (modeled as a scheduling point).
+                pub fn store(&self, v: $int, _order: Ordering) {
+                    exec::op_yield();
+                    self.0.store(v, Ordering::SeqCst);
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                    exec::op_yield();
+                    self.0.swap(v, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange.
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it differs from
+                /// `current`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    exec::op_yield();
+                    self.0
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Compare-and-exchange (weak form; never fails
+                /// spuriously under the model).
+                ///
+                /// # Errors
+                ///
+                /// Returns the actual value when it differs from
+                /// `current`.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    macro_rules! atomic_int_ops {
+        ($name:ident, $int:ty) => {
+            impl $name {
+                /// Adds to the value, returning the previous one.
+                pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                    exec::op_yield();
+                    self.0.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Subtracts from the value, returning the previous one.
+                pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                    exec::op_yield();
+                    self.0.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Maximum with the value, returning the previous one.
+                pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                    exec::op_yield();
+                    self.0.fetch_max(v, Ordering::SeqCst)
+                }
+
+                /// Minimum with the value, returning the previous one.
+                pub fn fetch_min(&self, v: $int, _order: Ordering) -> $int {
+                    exec::op_yield();
+                    self.0.fetch_min(v, Ordering::SeqCst)
+                }
+
+                /// Fetch-and-update loop (modeled as one atomic step:
+                /// the closure's retries are invisible to the
+                /// scheduler, which is sound because `fetch_update` is
+                /// linearizable).
+                ///
+                /// # Errors
+                ///
+                /// Returns the current value when the closure returns
+                /// `None`.
+                pub fn fetch_update<F>(
+                    &self,
+                    _set_order: Ordering,
+                    _fetch_order: Ordering,
+                    f: F,
+                ) -> Result<$int, $int>
+                where
+                    F: FnMut($int) -> Option<$int>,
+                {
+                    exec::op_yield();
+                    self.0.fetch_update(Ordering::SeqCst, Ordering::SeqCst, f)
+                }
+            }
+        };
+    }
+
+    atomic_shim!(
+        /// `AtomicU32` shim.
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    atomic_shim!(
+        /// `AtomicU64` shim.
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    atomic_shim!(
+        /// `AtomicUsize` shim.
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    atomic_shim!(
+        /// `AtomicBool` shim.
+        AtomicBool,
+        AtomicBool,
+        bool
+    );
+    atomic_int_ops!(AtomicU32, u32);
+    atomic_int_ops!(AtomicU64, u64);
+    atomic_int_ops!(AtomicUsize, usize);
+
+    impl AtomicBool {
+        /// Logical OR with the value, returning the previous one.
+        pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+            exec::op_yield();
+            self.0.fetch_or(v, Ordering::SeqCst)
+        }
+
+        /// Logical AND with the value, returning the previous one.
+        pub fn fetch_and(&self, v: bool, _order: Ordering) -> bool {
+            exec::op_yield();
+            self.0.fetch_and(v, Ordering::SeqCst)
+        }
+    }
+}
+
+/// `std::sync::Mutex` shim: blocking is modeled by the scheduler inside
+/// an execution; plain std locking outside one. Always returns `Ok`
+/// inside a model (model threads that panic abort the whole execution,
+/// so poisoning cannot be observed).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+    id: OnceLock<usize>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    #[must_use]
+    pub fn new(t: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(t),
+            id: OnceLock::new(),
+        }
+    }
+
+    fn model_id(&self) -> usize {
+        *self.id.get_or_init(exec::fresh_object_id)
+    }
+
+    /// Acquires the mutex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std poisoning in the real-thread fallback; never
+    /// errors inside a model execution.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match exec::current_ctx() {
+            Some((exec, me)) => {
+                if exec.lock_mutex(me, self.model_id(), true).is_err() {
+                    std::panic::panic_any(AbortExecution);
+                }
+                // Uncontended by construction: the scheduler granted us
+                // the model lock, so no controlled thread holds the
+                // inner lock.
+                let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: true,
+                })
+            }
+            None => match self.inner.lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: false,
+                }),
+                Err(poisoned) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(poisoned.into_inner()),
+                    model: false,
+                })),
+            },
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    model: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("loomlite: dereferenced a relinquished guard")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("loomlite: dereferenced a relinquished guard")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            drop(inner);
+            if self.model {
+                if let Some((exec, _)) = exec::current_ctx() {
+                    exec.release_mutex(self.lock.model_id());
+                }
+            }
+        }
+    }
+}
+
+/// Result of a [`Condvar::wait_timeout`]: inside a model execution the
+/// timeout never fires (`timed_out()` is always false).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait returned because the timeout elapsed.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.timed
+    }
+}
+
+/// `std::sync::Condvar` shim. A notify with no parked waiter is lost,
+/// and modeled waits never time out — together these surface
+/// lost-wakeup protocol bugs as deadlocks the checker reports.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    fn model_id(&self) -> usize {
+        *self.id.get_or_init(exec::fresh_object_id)
+    }
+
+    /// Parks until notified, atomically releasing the guard's mutex.
+    ///
+    /// # Errors
+    ///
+    /// Propagates std poisoning in the real-thread fallback; never
+    /// errors inside a model execution.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match exec::current_ctx() {
+            Some((exec, me)) => Ok(self.model_wait(&exec, me, guard)),
+            None => {
+                let (mutex, inner) = relinquish(guard);
+                match self.inner.wait(inner) {
+                    Ok(g) => Ok(reattach(mutex, g)),
+                    Err(poisoned) => Err(PoisonError::new(reattach(mutex, poisoned.into_inner()))),
+                }
+            }
+        }
+    }
+
+    /// Parks until notified or the timeout elapses. Inside a model
+    /// execution the timeout is ignored (see the type-level docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates std poisoning in the real-thread fallback; never
+    /// errors inside a model execution.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match exec::current_ctx() {
+            Some((exec, me)) => Ok((
+                self.model_wait(&exec, me, guard),
+                WaitTimeoutResult { timed: false },
+            )),
+            None => {
+                let (mutex, inner) = relinquish(guard);
+                match self.inner.wait_timeout(inner, dur) {
+                    Ok((g, r)) => Ok((
+                        reattach(mutex, g),
+                        WaitTimeoutResult {
+                            timed: r.timed_out(),
+                        },
+                    )),
+                    Err(poisoned) => {
+                        let (g, r) = poisoned.into_inner();
+                        Err(PoisonError::new((
+                            reattach(mutex, g),
+                            WaitTimeoutResult {
+                                timed: r.timed_out(),
+                            },
+                        )))
+                    }
+                }
+            }
+        }
+    }
+
+    fn model_wait<'a, T>(
+        &self,
+        exec: &std::sync::Arc<crate::exec::Execution>,
+        me: usize,
+        guard: MutexGuard<'a, T>,
+    ) -> MutexGuard<'a, T> {
+        // Scheduling point *before* the park, while the caller still
+        // holds the mutex: a real condvar has exactly this window —
+        // `notify_all` does not need the mutex, so a notify that fires
+        // between the caller's last predicate check and its park finds
+        // no parked waiter and is lost. Without this yield the model
+        // would fuse check-and-park into one atomic step and miss
+        // every lost-wakeup bug of that shape (the release-and-park
+        // itself *is* atomic, as POSIX guarantees).
+        exec::op_yield();
+        let (mutex, inner) = relinquish(guard);
+        drop(inner);
+        if exec
+            .condvar_wait(me, self.model_id(), mutex.model_id())
+            .is_err()
+        {
+            std::panic::panic_any(AbortExecution);
+        }
+        let inner = mutex.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            lock: mutex,
+            inner: Some(inner),
+            model: true,
+        }
+    }
+
+    /// Wakes one parked waiter (lost if none are parked).
+    pub fn notify_one(&self) {
+        match exec::current_ctx() {
+            Some((exec, _)) => {
+                exec::op_yield();
+                exec.notify(self.model_id(), false);
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Wakes all parked waiters (lost if none are parked).
+    pub fn notify_all(&self) {
+        match exec::current_ctx() {
+            Some((exec, _)) => {
+                exec::op_yield();
+                exec.notify(self.model_id(), true);
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+/// Takes the inner std guard out of a shim guard without running the
+/// shim release protocol (the caller takes over the lock's lifecycle).
+fn relinquish<'a, T>(mut guard: MutexGuard<'a, T>) -> (&'a Mutex<T>, StdMutexGuard<'a, T>) {
+    let mutex = guard.lock;
+    let inner = guard
+        .inner
+        .take()
+        .expect("loomlite: guard already relinquished");
+    // `guard` now drops inert (inner is None).
+    (mutex, inner)
+}
+
+fn reattach<'a, T>(mutex: &'a Mutex<T>, inner: StdMutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    MutexGuard {
+        lock: mutex,
+        inner: Some(inner),
+        model: false,
+    }
+}

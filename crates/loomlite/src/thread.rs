@@ -1,0 +1,145 @@
+//! `std::thread`-shaped shims. Inside a [`crate::model`] execution,
+//! spawned threads are controlled by the scheduler; outside one they
+//! degrade to plain `std::thread`.
+
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::exec::{self, AbortExecution};
+
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+enum Inner<T> {
+    Model {
+        tid: usize,
+        slot: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (controlled or real) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Inner::Model { tid, .. } => write!(f, "JoinHandle(model tid {tid})"),
+            Inner::Real(_) => write!(f, "JoinHandle(real)"),
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Real(handle) => handle.join(),
+            Inner::Model { tid, slot } => {
+                let (exec, me) = exec::current_ctx()
+                    .expect("loomlite: joining a model thread outside its execution");
+                if exec.join_thread(me, tid).is_err() {
+                    panic::panic_any(AbortExecution);
+                }
+                slot.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("loomlite: finished thread has no result")
+            }
+        }
+    }
+}
+
+/// `std::thread::Builder` shim. The thread name is accepted for API
+/// compatibility; model threads are identified by tid instead.
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// New builder with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Sets the thread name (used only by the real-thread fallback).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns the thread; see [`spawn`].
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if exec::current_ctx().is_some() {
+            return Ok(spawn(f));
+        }
+        let mut builder = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            builder = builder.name(name);
+        }
+        builder.spawn(f).map(|h| JoinHandle(Inner::Real(h)))
+    }
+}
+
+/// Spawns a controlled thread inside a model execution, or a real
+/// thread outside one.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((exec, me)) = exec::current_ctx() else {
+        return JoinHandle(Inner::Real(std::thread::spawn(f)));
+    };
+    // Spawning is a visible op: allow a preemption before it.
+    if exec.switch(me, crate::exec::Run::Runnable).is_err() {
+        panic::panic_any(AbortExecution);
+    }
+    let tid = exec.register_thread();
+    let slot: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let trampoline_slot = Arc::clone(&slot);
+    let trampoline_exec = Arc::clone(&exec);
+    let real = std::thread::Builder::new()
+        .name(format!("loomlite-{tid}"))
+        .spawn(move || {
+            exec::set_ctx(Arc::clone(&trampoline_exec), tid);
+            let result: std::thread::Result<T> =
+                if trampoline_exec.wait_first_schedule(tid).is_ok() {
+                    match panic::catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => Ok(v),
+                        Err(payload) => {
+                            if !payload.is::<AbortExecution>() {
+                                trampoline_exec.record_panic(tid, payload.as_ref());
+                            }
+                            Err(payload)
+                        }
+                    }
+                } else {
+                    Err(Box::new(AbortExecution) as PanicPayload)
+                };
+            *trampoline_slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(result);
+            trampoline_exec.finish(tid);
+            exec::clear_ctx();
+        })
+        .expect("loomlite: OS refused to spawn a model thread");
+    exec.push_real_handle(real);
+    JoinHandle(Inner::Model { tid, slot })
+}
+
+/// Yield point with no side effect (maps to `std::thread::yield_now`).
+pub fn yield_now() {
+    if exec::current_ctx().is_some() {
+        exec::op_yield();
+    } else {
+        std::thread::yield_now();
+    }
+}

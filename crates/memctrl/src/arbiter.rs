@@ -17,6 +17,8 @@
 use dram_sim::commands::CommandKind;
 use dram_sim::TimingParams;
 
+use crate::error::Result;
+use crate::registers::TimingRegisters;
 use crate::schedule::CommandScheduler;
 use crate::workloads::WorkloadProfile;
 
@@ -97,6 +99,11 @@ impl Xorshift {
 
 /// Simulates the arbitration and returns the report.
 ///
+/// # Errors
+///
+/// Returns [`crate::MemError::InvalidRegister`] for a zero reduced
+/// `tRCD` and propagates scheduler errors.
+///
 /// # Panics
 ///
 /// Panics if `banks` is zero or the duration is zero.
@@ -104,7 +111,7 @@ pub fn simulate(
     timing: TimingParams,
     reduced_trcd_ps: u64,
     config: &ArbiterConfig,
-) -> ArbiterReport {
+) -> Result<ArbiterReport> {
     assert!(config.banks > 0 && config.duration_ps > 0);
     let mut rng = Xorshift(config.seed);
 
@@ -126,10 +133,11 @@ pub fn simulate(
     }
 
     let mut sched = CommandScheduler::new(config.banks, timing);
-    let reduced = TimingParams {
-        trcd_ps: reduced_trcd_ps,
-        ..timing
-    };
+    // The reduced parameters go through the register file so the same
+    // legality checks cover them as any software-programmed tRCD.
+    let mut registers = TimingRegisters::new(timing);
+    registers.set_trcd_ps(reduced_trcd_ps)?;
+    let reduced = registers.effective();
 
     let mut open_rows: Vec<Option<usize>> = vec![None; config.banks];
     let mut latencies: Vec<u64> = Vec::with_capacity(arrivals.len());
@@ -152,15 +160,16 @@ pub fn simulate(
                 trng_row + 100
             };
             // Demand runs at the safe, default timing.
-            sched.set_timing(timing);
+            // xtask:allow(timing-writes) -- datasheet parameters from the register file
+            sched.set_timing(registers.datasheet());
             if open_rows[bank] != Some(row) || !sched.is_open(bank) {
                 if sched.is_open(bank) {
-                    sched.issue(CommandKind::Pre, bank, 0, 0).expect("PRE");
+                    sched.issue(CommandKind::Pre, bank, 0, 0)?;
                 }
-                sched.issue(CommandKind::Act, bank, row, 0).expect("ACT");
+                sched.issue(CommandKind::Act, bank, row, 0)?;
                 open_rows[bank] = Some(row);
             }
-            let rd = sched.issue(CommandKind::Rd, bank, row, 0).expect("RD");
+            let rd = sched.issue(CommandKind::Rd, bank, row, 0)?;
             latencies.push(rd.at_ps + timing.tcl_ps + timing.tbl_ps - arrival.min(rd.at_ps));
             continue;
         }
@@ -185,21 +194,21 @@ pub fn simulate(
         if in_sample_window {
             // One TRNG word access on bank 0's reserved rows with the
             // reduced tRCD.
+            // xtask:allow(timing-writes) -- legality-checked effective parameters from the register file
             sched.set_timing(reduced);
             let bank = config.banks - 1;
             if sched.is_open(bank) {
-                sched.issue(CommandKind::Pre, bank, 0, 0).expect("PRE");
+                sched.issue(CommandKind::Pre, bank, 0, 0)?;
             }
             trng_row = (trng_row + 1) % 2;
-            sched
-                .issue(CommandKind::Act, bank, trng_row, 0)
-                .expect("ACT");
-            sched.issue(CommandKind::Rd, bank, trng_row, 0).expect("RD");
-            sched.issue(CommandKind::Wr, bank, trng_row, 0).expect("WR");
-            sched.issue(CommandKind::Pre, bank, 0, 0).expect("PRE");
+            sched.issue(CommandKind::Act, bank, trng_row, 0)?;
+            sched.issue(CommandKind::Rd, bank, trng_row, 0)?;
+            sched.issue(CommandKind::Wr, bank, trng_row, 0)?;
+            sched.issue(CommandKind::Pre, bank, 0, 0)?;
             open_rows[bank] = None;
             trng_bits += config.bits_per_access as u64;
-            sched.set_timing(timing);
+            // xtask:allow(timing-writes) -- datasheet parameters from the register file
+            sched.set_timing(registers.datasheet());
         } else if next_arrival < arrivals.len() {
             // Idle until the next arrival or the next window boundary.
             let next_boundary = (now / period + 1) * period;
@@ -225,19 +234,23 @@ pub fn simulate(
         sorted.sort_unstable();
         sorted[(sorted.len() - 1) * 95 / 100]
     };
-    ArbiterReport {
+    Ok(ArbiterReport {
         demand_served: latencies.len() as u64,
         mean_demand_latency_ps: mean,
         p95_demand_latency_ps: p95,
         trng_bits,
         trng_bps: trng_bits as f64 / (config.duration_ps as f64 * 1e-12),
-    }
+    })
 }
 
 /// Convenience: the slowdown of demand traffic caused by enabling the
 /// TRNG windows, as `(with.mean / without.mean)`.
-pub fn slowdown(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConfig) -> f64 {
-    let with = simulate(timing, reduced_trcd_ps, config);
+///
+/// # Errors
+///
+/// Propagates [`simulate`] errors.
+pub fn slowdown(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConfig) -> Result<f64> {
+    let with = simulate(timing, reduced_trcd_ps, config)?;
     let without = simulate(
         timing,
         reduced_trcd_ps,
@@ -245,12 +258,12 @@ pub fn slowdown(timing: TimingParams, reduced_trcd_ps: u64, config: &ArbiterConf
             sample_window_ps: 0,
             ..config.clone()
         },
-    );
-    if without.mean_demand_latency_ps == 0.0 {
+    )?;
+    Ok(if without.mean_demand_latency_ps == 0.0 {
         1.0
     } else {
         with.mean_demand_latency_ps / without.mean_demand_latency_ps
-    }
+    })
 }
 
 #[cfg(test)]
@@ -268,7 +281,7 @@ mod tests {
             requests_per_us: 0.5,
             ..ArbiterConfig::default()
         };
-        let r = simulate(timing(), 10_000, &config);
+        let r = simulate(timing(), 10_000, &config).unwrap();
         assert!(r.trng_bits > 0, "idle channel harvests bits");
         assert!(
             r.trng_bps > 1e6,
@@ -283,7 +296,7 @@ mod tests {
             sample_window_ps: 0,
             ..ArbiterConfig::default()
         };
-        let r = simulate(timing(), 10_000, &config);
+        let r = simulate(timing(), 10_000, &config).unwrap();
         assert_eq!(r.trng_bits, 0);
         assert!(r.demand_served > 0);
     }
@@ -297,7 +310,8 @@ mod tests {
                 requests_per_us: 2.0,
                 ..ArbiterConfig::default()
             },
-        );
+        )
+        .unwrap();
         let heavy = simulate(
             timing(),
             10_000,
@@ -305,7 +319,8 @@ mod tests {
                 requests_per_us: 120.0,
                 ..ArbiterConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             heavy.trng_bits < light.trng_bits,
             "heavy {} light {}",
@@ -323,7 +338,7 @@ mod tests {
             requests_per_us: 40.0,
             ..ArbiterConfig::default()
         };
-        let s = slowdown(timing(), 10_000, &config);
+        let s = slowdown(timing(), 10_000, &config).unwrap();
         assert!(s < 1.5, "slowdown {s} must stay modest");
         assert!(s >= 0.95, "slowdown ratio sane: {s}");
     }
@@ -339,7 +354,8 @@ mod tests {
                 requests_per_us: 10.0,
                 ..ArbiterConfig::default()
             },
-        );
+        )
+        .unwrap();
         let wide = simulate(
             timing(),
             10_000,
@@ -349,7 +365,8 @@ mod tests {
                 requests_per_us: 10.0,
                 ..ArbiterConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(wide.trng_bits > narrow.trng_bits);
     }
 
@@ -365,8 +382,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let c = ArbiterConfig::default();
-        let a = simulate(timing(), 10_000, &c);
-        let b = simulate(timing(), 10_000, &c);
+        let a = simulate(timing(), 10_000, &c).unwrap();
+        let b = simulate(timing(), 10_000, &c).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -111,6 +111,7 @@ impl MemoryController {
     /// [`TimingRegisters::set_trcd_ns`] through
     /// [`MemoryController::try_set_trcd_ns`] for fallible programming.
     pub fn set_trcd_ns(&mut self, trcd_ns: f64) {
+        // xtask:allow(no-panic) -- documented panicking convenience; try_set_trcd_ns is the fallible form
         self.try_set_trcd_ns(trcd_ns).expect("valid tRCD");
     }
 

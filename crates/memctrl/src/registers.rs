@@ -72,6 +72,23 @@ impl TimingRegisters {
         Ok(())
     }
 
+    /// Programs `tRCD` directly in picoseconds (possibly below the
+    /// datasheet value — the violation D-RaNGe exploits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::InvalidRegister`] if the value is zero.
+    pub fn set_trcd_ps(&mut self, trcd_ps: u64) -> Result<()> {
+        if trcd_ps == 0 {
+            return Err(MemError::InvalidRegister {
+                register: "tRCD",
+                reason: "0 ps is not a positive duration".into(),
+            });
+        }
+        self.trcd_ps = trcd_ps;
+        Ok(())
+    }
+
     /// Restores the datasheet `tRCD`.
     pub fn reset_trcd(&mut self) {
         self.trcd_ps = self.datasheet.trcd_ps;

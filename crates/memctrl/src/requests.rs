@@ -127,7 +127,9 @@ impl RequestQueue {
         let Some(idx) = self.pick() else {
             return Ok(None);
         };
-        let request = self.queue.remove(idx).expect("index valid");
+        let Some(request) = self.queue.remove(idx) else {
+            return Ok(None);
+        };
         // Row management.
         if self.open_rows[request.bank] != Some(request.row) {
             if self.open_rows[request.bank].is_some() {

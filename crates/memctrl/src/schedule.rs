@@ -255,7 +255,9 @@ impl CommandScheduler {
             CommandKind::Rd => Command::rd(bank, row, col, at),
             CommandKind::Wr => Command::wr(bank, row, col, at),
             CommandKind::Pre => Command::pre(bank, at),
-            CommandKind::Ref => unreachable!("handled above"),
+            // Already returned above; kept symmetric so this match
+            // stays total without a panic path.
+            CommandKind::Ref => Command::refresh(at),
         })
     }
 }

@@ -79,6 +79,20 @@ impl<'a> WordStream<'a> {
             Ok(())
         }
     }
+
+    /// [`WordStream::next_u32`] with exhaustion as a typed error.
+    fn take_u32(&mut self, test: &'static str) -> Result<u32, StsError> {
+        self.next_u32().ok_or(StsError::InsufficientData {
+            test,
+            needed: 32,
+            got: self.bits.len() - self.pos,
+        })
+    }
+
+    /// [`WordStream::next_unit`] with exhaustion as a typed error.
+    fn take_unit(&mut self, test: &'static str) -> Result<f64, StsError> {
+        self.take_u32(test).map(|w| w as f64 / 4_294_967_296.0)
+    }
 }
 
 /// Birthday spacings: `trials` rounds of 512 birthdays in a 2²⁴-day
@@ -100,8 +114,12 @@ pub fn birthday_spacings(bits: &Bits, trials: usize) -> Result<TestResult, StsEr
     let mut hist = [0u64; 8];
     for _ in 0..trials {
         let mut days: Vec<u32> = (0..M)
-            .map(|_| stream.next_u32().expect("checked") >> (32 - DAY_BITS))
-            .collect();
+            .map(|_| {
+                stream
+                    .take_u32("birthday_spacings")
+                    .map(|w| w >> (32 - DAY_BITS))
+            })
+            .collect::<Result<_, _>>()?;
         days.sort_unstable();
         let mut spacings: Vec<u32> = days.windows(2).map(|w| w[1] - w[0]).collect();
         spacings.sort_unstable();
@@ -145,8 +163,8 @@ pub fn rank_6x8(bits: &Bits, matrices: usize) -> Result<TestResult, StsError> {
     stream.require("diehard_rank_6x8", matrices * 2)?;
     let mut counts = [0u64; 3];
     for _ in 0..matrices {
-        let a = stream.next_u32().expect("checked");
-        let b = stream.next_u32().expect("checked");
+        let a = stream.take_u32("diehard_rank_6x8")?;
+        let b = stream.take_u32("diehard_rank_6x8")?;
         // Six 8-bit rows from the 64 drawn bits.
         let rows: Vec<u64> = (0..6)
             .map(|i| {
@@ -180,8 +198,8 @@ pub fn runs_up_down(bits: &Bits, n: usize) -> Result<TestResult, StsError> {
     let mut stream = WordStream::new(bits);
     stream.require("diehard_runs_up_down", n)?;
     let values: Vec<u32> = (0..n)
-        .map(|_| stream.next_u32().expect("checked"))
-        .collect();
+        .map(|_| stream.take_u32("diehard_runs_up_down"))
+        .collect::<Result<_, _>>()?;
     let mut runs = 1u64;
     for i in 2..n {
         let prev_up = values[i - 1] > values[i - 2];
@@ -214,8 +232,8 @@ pub fn permutations5(bits: &Bits, tuples: usize) -> Result<TestResult, StsError>
     let mut counts = vec![0u64; 120];
     for _ in 0..tuples {
         let vals: Vec<u32> = (0..5)
-            .map(|_| stream.next_u32().expect("checked"))
-            .collect();
+            .map(|_| stream.take_u32("diehard_permutations5"))
+            .collect::<Result<_, _>>()?;
         // Lehmer code of the tuple's ordering.
         let mut code = 0usize;
         for i in 0..5 {
@@ -313,8 +331,8 @@ pub fn parking_lot(bits: &Bits) -> Result<TestResult, StsError> {
     let mut buckets: Vec<Vec<(f64, f64)>> = vec![Vec::new(); GRID * GRID];
     let mut parked = 0u64;
     for _ in 0..ATTEMPTS {
-        let x = stream.next_unit().expect("checked") * 100.0;
-        let y = stream.next_unit().expect("checked") * 100.0;
+        let x = stream.take_unit("diehard_parking_lot")? * 100.0;
+        let y = stream.take_unit("diehard_parking_lot")? * 100.0;
         let bx = ((x / 10.0) as usize).min(GRID - 1);
         let by = ((y / 10.0) as usize).min(GRID - 1);
         let mut ok = true;
@@ -358,14 +376,14 @@ pub fn minimum_distance(bits: &Bits, rounds: usize, n: usize) -> Result<TestResu
     for _ in 0..rounds {
         let mut pts: Vec<(f64, f64)> = (0..n)
             .map(|_| {
-                (
-                    stream.next_unit().expect("checked") * side,
-                    stream.next_unit().expect("checked") * side,
-                )
+                Ok((
+                    stream.take_unit("diehard_minimum_distance")? * side,
+                    stream.take_unit("diehard_minimum_distance")? * side,
+                ))
             })
-            .collect();
+            .collect::<Result<_, StsError>>()?;
         // Closest pair by x-sweep.
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut best = f64::INFINITY;
         for i in 0..pts.len() {
             for j in (i + 1)..pts.len() {
@@ -470,7 +488,9 @@ pub fn sums_of_uniforms(bits: &Bits, batches: usize) -> Result<TestResult, StsEr
     let sd = (100.0f64 / 12.0).sqrt();
     let mut chi2 = 0.0;
     for _ in 0..batches {
-        let s: f64 = (0..100).map(|_| stream.next_unit().expect("checked")).sum();
+        let s: f64 = (0..100)
+            .map(|_| stream.take_unit("diehard_sums"))
+            .sum::<Result<f64, _>>()?;
         let z = (s - 50.0) / sd;
         chi2 += z * z;
     }

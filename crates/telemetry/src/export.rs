@@ -181,12 +181,20 @@ pub fn summary_line(registry: &MetricsRegistry) -> String {
     };
     for sample in registry.samples() {
         match &mut current {
-            Some((name, value)) if *name == sample.name => match (value, sample.value) {
-                (MetricValue::Counter(a), MetricValue::Counter(b))
-                | (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
-                (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(&b),
-                _ => unreachable!("a metric name has one kind"),
-            },
+            Some((name, value))
+                if *name == sample.name
+                    && std::mem::discriminant(value) == std::mem::discriminant(&sample.value) =>
+            {
+                match (value, sample.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b))
+                    | (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a += b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(&b),
+                    // The guard pins matching kinds; a mismatched name
+                    // (impossible via the registry API) falls through to
+                    // the flush arm below instead of aborting.
+                    _ => {}
+                }
+            }
             _ => {
                 flush(&current, &mut parts);
                 current = Some((sample.name, sample.value));

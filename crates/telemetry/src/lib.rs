@@ -50,6 +50,7 @@ pub mod export;
 pub mod metrics;
 pub mod registry;
 pub mod reporter;
+mod sync_shim;
 
 pub use export::{render_json, render_prometheus, summary_line};
 pub use metrics::{

@@ -8,9 +8,9 @@
 //! near nothing when no registry is attached. Handles are `Clone`
 //! (cloning a live handle shares the cell) and `Send + Sync`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
+
+use crate::sync_shim::{Arc, AtomicU64, Ordering};
 
 /// Number of finite histogram buckets. Bucket `i` counts values `v`
 /// (nanoseconds, by convention) with `2^(i-1) < v <= 2^i`; bucket 0
@@ -312,8 +312,7 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0;
         }
-        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
-        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let target = saturating_f64_to_u64((q * self.count as f64).ceil()).max(1);
         let mut cumulative = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
             cumulative += n;
@@ -362,6 +361,23 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+    }
+}
+
+/// Explicitly saturating `f64 → u64` conversion for bucket/quantile
+/// targets: NaN and negatives map to 0, anything at or above `2^64`
+/// maps to `u64::MAX`. Rust's `as` cast has saturated since 1.45, but
+/// spelling the boundary cases out keeps them testable and keeps the
+/// hot quantile path free of `#[allow(clippy::cast_*)]` waivers.
+fn saturating_f64_to_u64(v: f64) -> u64 {
+    if v.is_nan() || v <= 0.0 {
+        0
+    } else if v >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        // In (0, 2^64): exact-range cast, no sign loss or truncation
+        // beyond the intended float→int floor.
+        v as u64
     }
 }
 
@@ -521,6 +537,66 @@ mod tests {
         assert_eq!(m.buckets[2], 2);
         assert_eq!(m.overflow, 1);
         assert_eq!(m.max, 1 << 50);
+    }
+
+    #[test]
+    fn saturating_cast_boundaries() {
+        // Negative and NaN inputs clamp to zero rather than wrapping.
+        assert_eq!(saturating_f64_to_u64(-1.0), 0);
+        assert_eq!(saturating_f64_to_u64(-1e300), 0);
+        assert_eq!(saturating_f64_to_u64(f64::NEG_INFINITY), 0);
+        assert_eq!(saturating_f64_to_u64(f64::NAN), 0);
+        // Values beyond u64 range clamp to u64::MAX.
+        assert_eq!(saturating_f64_to_u64(1e300), u64::MAX);
+        assert_eq!(saturating_f64_to_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(saturating_f64_to_u64(u64::MAX as f64), u64::MAX);
+        // In-range values floor as usual.
+        assert_eq!(saturating_f64_to_u64(0.0), 0);
+        assert_eq!(saturating_f64_to_u64(0.9), 0);
+        assert_eq!(saturating_f64_to_u64(1.0), 1);
+        assert_eq!(saturating_f64_to_u64(4096.7), 4096);
+    }
+
+    #[test]
+    fn quantile_target_saturates_at_huge_counts() {
+        // A snapshot whose count is at the u64 ceiling: q * count
+        // rounds above 2^64 in f64, which must clamp instead of wrap.
+        let mut s = HistogramSnapshot::empty();
+        s.count = u64::MAX;
+        s.buckets[0] = u64::MAX;
+        assert_eq!(s.quantile(1.0), bucket_bound(0));
+        assert_eq!(s.quantile(0.999), bucket_bound(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1]")]
+    fn quantile_rejects_nan() {
+        let _ = HistogramSnapshot::empty().quantile(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1]")]
+    fn quantile_rejects_negative() {
+        let _ = HistogramSnapshot::empty().quantile(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1]")]
+    fn quantile_rejects_above_one() {
+        let _ = HistogramSnapshot::empty().quantile(1.5);
+    }
+
+    #[test]
+    fn values_past_the_last_bucket_overflow() {
+        // > max-bucket inputs: beyond the last finite bound they land
+        // in the overflow bucket and quantiles fall back to max.
+        let h = Histogram::live(Arc::new(HistogramCore::new()));
+        let past_last = bucket_bound(HISTOGRAM_BUCKETS - 1) + 1;
+        h.record_ns(past_last);
+        let s = h.snapshot();
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 0);
+        assert_eq!(s.p50(), past_last, "overflow quantile reports max");
     }
 
     #[test]

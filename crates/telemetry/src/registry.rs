@@ -8,10 +8,10 @@
 //! and never contend with each other or with exports.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::PoisonError;
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramCore, HistogramSnapshot};
+use crate::sync_shim::{Arc, AtomicU64, Mutex, Ordering};
 
 /// The kind of a registered metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,21 +43,19 @@ struct SeriesKey {
     labels: Vec<(String, String)>,
 }
 
-#[derive(Debug)]
-enum Slot {
-    Counter(Arc<AtomicU64>),
-    Gauge(Arc<AtomicU64>),
-    Histogram(Arc<HistogramCore>),
-}
-
+/// Storage tables. Each kind gets its own typed map, so looking up a
+/// series never needs a "wrong variant" branch — the `kinds` map is
+/// checked first and is the single source of truth for name→kind.
 #[derive(Debug, Default)]
 struct Tables {
     /// name -> kind; one metric name has exactly one kind across all
     /// label sets.
     kinds: BTreeMap<String, MetricKind>,
-    /// (name, labels) -> storage cell. BTreeMap ordering makes exports
-    /// deterministic.
-    series: BTreeMap<SeriesKey, Slot>,
+    /// (name, labels) -> cell, per kind. BTreeMap ordering makes
+    /// exports deterministic.
+    counters: BTreeMap<SeriesKey, Arc<AtomicU64>>,
+    gauges: BTreeMap<SeriesKey, Arc<AtomicU64>>,
+    histograms: BTreeMap<SeriesKey, Arc<HistogramCore>>,
 }
 
 /// A point-in-time value of one series, produced by
@@ -126,10 +124,10 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    fn check_kind(tables: &mut Tables, name: &str, kind: MetricKind) {
-        match tables.kinds.get(name) {
+    fn check_kind(kinds: &mut BTreeMap<String, MetricKind>, name: &str, kind: MetricKind) {
+        match kinds.get(name) {
             None => {
-                tables.kinds.insert(name.to_string(), kind);
+                kinds.insert(name.to_string(), kind);
             }
             Some(existing) => assert!(
                 *existing == kind,
@@ -148,16 +146,13 @@ impl MetricsRegistry {
     #[must_use]
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = key(name, labels);
-        let mut tables = self.tables.lock().expect("registry lock");
-        Self::check_kind(&mut tables, name, MetricKind::Counter);
-        let slot = tables
-            .series
+        let mut tables = self.tables.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::check_kind(&mut tables.kinds, name, MetricKind::Counter);
+        let cell = tables
+            .counters
             .entry(key)
-            .or_insert_with(|| Slot::Counter(Arc::new(AtomicU64::new(0))));
-        match slot {
-            Slot::Counter(cell) => Counter::live(Arc::clone(cell)),
-            _ => unreachable!("kind table guarantees counter storage"),
-        }
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter::live(Arc::clone(cell))
     }
 
     /// Registers (or re-opens) a gauge series and returns a live handle
@@ -170,16 +165,13 @@ impl MetricsRegistry {
     #[must_use]
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let key = key(name, labels);
-        let mut tables = self.tables.lock().expect("registry lock");
-        Self::check_kind(&mut tables, name, MetricKind::Gauge);
-        let slot = tables
-            .series
+        let mut tables = self.tables.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::check_kind(&mut tables.kinds, name, MetricKind::Gauge);
+        let cell = tables
+            .gauges
             .entry(key)
-            .or_insert_with(|| Slot::Gauge(Arc::new(AtomicU64::new(0))));
-        match slot {
-            Slot::Gauge(cell) => Gauge::live(Arc::clone(cell)),
-            _ => unreachable!("kind table guarantees gauge storage"),
-        }
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge::live(Arc::clone(cell))
     }
 
     /// Registers (or re-opens) a histogram series and returns a live
@@ -192,22 +184,20 @@ impl MetricsRegistry {
     #[must_use]
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
         let key = key(name, labels);
-        let mut tables = self.tables.lock().expect("registry lock");
-        Self::check_kind(&mut tables, name, MetricKind::Histogram);
-        let slot = tables
-            .series
+        let mut tables = self.tables.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::check_kind(&mut tables.kinds, name, MetricKind::Histogram);
+        let core = tables
+            .histograms
             .entry(key)
-            .or_insert_with(|| Slot::Histogram(Arc::new(HistogramCore::new())));
-        match slot {
-            Slot::Histogram(core) => Histogram::live(Arc::clone(core)),
-            _ => unreachable!("kind table guarantees histogram storage"),
-        }
+            .or_insert_with(|| Arc::new(HistogramCore::new()));
+        Histogram::live(Arc::clone(core))
     }
 
     /// Number of registered series.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.tables.lock().expect("registry lock").series.len()
+        let tables = self.tables.lock().unwrap_or_else(PoisonError::into_inner);
+        tables.counters.len() + tables.gauges.len() + tables.histograms.len()
     }
 
     /// Whether no series are registered.
@@ -219,20 +209,28 @@ impl MetricsRegistry {
     /// Samples every series in deterministic (name, labels) order.
     #[must_use]
     pub fn samples(&self) -> Vec<MetricSample> {
-        let tables = self.tables.lock().expect("registry lock");
-        tables
-            .series
+        let tables = self.tables.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut samples: Vec<MetricSample> = tables
+            .counters
             .iter()
-            .map(|(key, slot)| MetricSample {
+            .map(|(key, c)| MetricSample {
                 name: key.name.clone(),
                 labels: key.labels.clone(),
-                value: match slot {
-                    Slot::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
-                    Slot::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
-                    Slot::Histogram(h) => MetricValue::Histogram(h.snapshot()),
-                },
+                value: MetricValue::Counter(c.load(Ordering::Relaxed)),
             })
-            .collect()
+            .chain(tables.gauges.iter().map(|(key, g)| MetricSample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: MetricValue::Gauge(g.load(Ordering::Relaxed)),
+            }))
+            .chain(tables.histograms.iter().map(|(key, h)| MetricSample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: MetricValue::Histogram(h.snapshot()),
+            }))
+            .collect();
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        samples
     }
 }
 

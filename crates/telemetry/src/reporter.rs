@@ -1,11 +1,12 @@
 //! Periodic reporter: a background thread that logs a one-line
 //! registry summary at a configurable interval.
 
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::PoisonError;
 use std::time::Duration;
 
 use crate::registry::MetricsRegistry;
+use crate::sync_shim::thread::JoinHandle;
+use crate::sync_shim::{thread, Arc, Condvar, Mutex};
 
 /// Handle to the periodic reporter thread.
 ///
@@ -36,23 +37,25 @@ impl Reporter {
     {
         assert!(!every.is_zero(), "reporter interval must be nonzero");
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
-        let handle = std::thread::Builder::new()
+        let handle = thread::Builder::new()
             .name("drange-metrics-reporter".into())
             .spawn({
                 let stop = Arc::clone(&stop);
                 move || {
                     let (lock, cv) = &*stop;
-                    let mut stopped = lock.lock().expect("reporter lock");
+                    let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
                     loop {
                         // Checked under the lock before every wait: a stop
                         // requested before this thread first parks would
                         // otherwise lose its wakeup and stall the join
-                        // until the interval elapses.
+                        // until the interval elapses. Verified by the
+                        // tests/loom_reporter.rs models.
                         if *stopped {
                             return;
                         }
-                        let (guard, timeout) =
-                            cv.wait_timeout(stopped, every).expect("reporter lock");
+                        let (guard, timeout) = cv
+                            .wait_timeout(stopped, every)
+                            .unwrap_or_else(PoisonError::into_inner);
                         stopped = guard;
                         if *stopped {
                             return;
@@ -63,6 +66,7 @@ impl Reporter {
                     }
                 }
             })
+            // xtask:allow(no-panic) -- documented panic contract: OS spawn failure is fatal
             .expect("spawning the metrics reporter thread");
         Reporter {
             stop,
@@ -77,7 +81,7 @@ impl Reporter {
 
     fn halt(&mut self) {
         let (lock, cv) = &*self.stop;
-        *lock.lock().expect("reporter lock") = true;
+        *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
         cv.notify_all();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();

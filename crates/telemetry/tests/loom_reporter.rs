@@ -1,0 +1,99 @@
+//! Model checks for the [`Reporter`] stop/drop protocol.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p drange-telemetry
+//! --test loom_reporter`. Under `--cfg loom` the crate's sync_shim
+//! swaps its std primitives for the `loomlite` model-checking shims,
+//! so these tests execute the *real* `Reporter` code under every
+//! thread interleaving. Modeled condvar waits never time out, which
+//! makes "the join relies on the interval elapsing" — the PR 2
+//! lost-wakeup bug — show up as a hard deadlock instead of a silent
+//! stall.
+
+#![cfg(loom)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use drange_telemetry::{MetricsRegistry, Reporter};
+use loomlite::sync::{Arc, Condvar, Mutex};
+
+/// Regression model for the lost-wakeup race fixed in the telemetry
+/// PR. The pre-fix reporter loop had this shape:
+///
+/// ```text
+/// let mut stopped = lock.lock();
+/// loop {
+///     let (guard, timeout) = cv.wait_timeout(stopped, every);  // parks FIRST
+///     stopped = guard;
+///     if *stopped { return; }
+///     if timeout.timed_out() { sink(..); }
+/// }
+/// ```
+///
+/// It parks *before* checking the stop flag, so on the schedule where
+/// `stop()` runs to completion before the reporter thread first
+/// acquires the lock, the `notify_all` finds no parked waiter and is
+/// dropped — the reporter then parks with nobody left to wake it and
+/// only the (real-world) timeout unstalls the join. The model below
+/// reproduces that shape and asserts the checker reports the deadlock.
+#[test]
+fn pre_fix_reporter_shape_loses_the_wakeup() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loomlite::model(|| {
+            let stop = Arc::new((Mutex::new(false), Condvar::new()));
+            let reporter = loomlite::thread::spawn({
+                let stop = Arc::clone(&stop);
+                move || {
+                    let (lock, cv) = &*stop;
+                    let mut stopped = lock.lock().expect("model lock");
+                    loop {
+                        // BUG under test: no `if *stopped { return; }`
+                        // before the first park.
+                        let (guard, _timeout) = cv
+                            .wait_timeout(stopped, Duration::from_secs(3600))
+                            .expect("model wait");
+                        stopped = guard;
+                        if *stopped {
+                            return;
+                        }
+                    }
+                }
+            });
+            // Reporter::stop(): set the flag and notify.
+            let (lock, cv) = &*stop;
+            *lock.lock().expect("model lock") = true;
+            cv.notify_all();
+            reporter.join().expect("reporter thread");
+        });
+    }));
+    let message = result
+        .expect_err("the pre-fix shape must fail the model check")
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("deadlock"),
+        "expected a deadlock report, got: {message}"
+    );
+}
+
+/// The shipped `Reporter` checks the stop flag under the lock before
+/// every park, so no schedule may deadlock: `stop()` must join without
+/// ever relying on the wait timeout.
+#[test]
+fn reporter_stop_joins_under_every_schedule() {
+    loomlite::model(|| {
+        let reporter = Reporter::spawn(MetricsRegistry::new(), Duration::from_secs(3600), |_| {});
+        reporter.stop();
+    });
+}
+
+/// Same protocol via the `Drop` impl (the PR 2 regression surfaced as
+/// `drop_joins_quickly` flakiness).
+#[test]
+fn reporter_drop_joins_under_every_schedule() {
+    loomlite::model(|| {
+        let reporter = Reporter::spawn(MetricsRegistry::new(), Duration::from_secs(3600), |_| {});
+        drop(reporter);
+    });
+}

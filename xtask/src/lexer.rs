@@ -1,0 +1,314 @@
+//! A minimal Rust token scanner for the lint pass.
+//!
+//! This is not a full lexer: it only needs to (a) never mistake the
+//! inside of a string, char literal, or comment for code, and (b)
+//! report identifiers and punctuation with line numbers. It handles
+//! line comments, nested block comments, string/byte-string literals
+//! with escapes, raw strings with arbitrary `#` fences, char literals
+//! vs. lifetimes, and numeric literals (so `1e6` never yields an
+//! `e6` identifier).
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, `{`, ...).
+    Punct,
+    /// Numeric literal (consumed so suffixes don't look like idents).
+    Number,
+    /// Lifetime such as `'a` (distinct so `'static` is not an ident).
+    Lifetime,
+}
+
+/// One scanned token: its text, kind, and 1-based source line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'a> {
+    /// The token's source text.
+    pub text: &'a str,
+    /// What kind of token it is.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && {
+            let mut buf = [0u8; 4];
+            self.text == ch.encode_utf8(&mut buf)
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans `src` into tokens, discarding comments and literal contents.
+pub fn scan(src: &str) -> Vec<Token<'_>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Advances `idx` past a quoted literal body (after the opening
+    // quote), honoring backslash escapes, and returns the new index
+    // (past the closing quote) plus newlines seen.
+    fn skip_quoted(bytes: &[u8], mut idx: usize, quote: u8, line: &mut u32) -> usize {
+        while idx < bytes.len() {
+            match bytes[idx] {
+                b'\\' => idx += 2,
+                b'\n' => {
+                    *line += 1;
+                    idx += 1;
+                }
+                b if b == quote => return idx + 1,
+                _ => idx += 1,
+            }
+        }
+        idx
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b if b.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, per the Rust grammar.
+                let mut depth = 1u32;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_quoted(bytes, i + 1, b'"', &mut line),
+            b'\'' => {
+                // Char literal or lifetime. `'\...'` and `'x'` are
+                // literals; anything else (`'a` with no closing quote,
+                // `'static`) is a lifetime.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    i = skip_quoted(bytes, i + 1, b'\'', &mut line);
+                } else if bytes.get(i + 1).is_some_and(|&c| is_ident_start(c))
+                    && bytes.get(i + 2) != Some(&b'\'')
+                {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    toks.push(Token {
+                        text: &src[start..i],
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                } else {
+                    i = skip_quoted(bytes, i + 1, b'\'', &mut line);
+                }
+            }
+            b'r' | b'b' if looks_like_raw_or_byte_literal(bytes, i) => {
+                i = skip_raw_or_byte_literal(bytes, i, &mut line);
+            }
+            b if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                toks.push(Token {
+                    text: &src[start..i],
+                    kind: TokKind::Ident,
+                    line,
+                });
+            }
+            b if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (is_ident_continue(bytes[i])
+                        || (bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())))
+                {
+                    i += 1;
+                }
+                toks.push(Token {
+                    text: &src[start..i],
+                    kind: TokKind::Number,
+                    line,
+                });
+            }
+            _ => {
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                toks.push(Token {
+                    text: &src[i..i + ch_len],
+                    kind: TokKind::Punct,
+                    line,
+                });
+                i += ch_len;
+            }
+        }
+    }
+    toks
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw string, byte
+/// string, or byte char literal rather than an identifier.
+fn looks_like_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    // Reject when we're in the middle of an identifier (`attr`, `curb`).
+    if i > 0 && is_ident_continue(bytes[i - 1]) {
+        return false;
+    }
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) && raw_fence_len(bytes, i + 1).is_some(),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => raw_fence_len(bytes, i + 2).is_some(),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// If `idx` points at `#*"`, returns the number of `#`s.
+fn raw_fence_len(bytes: &[u8], mut idx: usize) -> Option<usize> {
+    let mut hashes = 0usize;
+    while bytes.get(idx) == Some(&b'#') {
+        hashes += 1;
+        idx += 1;
+    }
+    (bytes.get(idx) == Some(&b'"')).then_some(hashes)
+}
+
+/// Skips a raw string / byte string / byte char starting at `i`.
+fn skip_raw_or_byte_literal(bytes: &[u8], i: usize, line: &mut u32) -> usize {
+    let (fence_at, is_raw) = match bytes[i] {
+        b'r' => (i + 1, true),
+        b'b' if bytes.get(i + 1) == Some(&b'r') => (i + 2, true),
+        b'b' if bytes.get(i + 1) == Some(&b'"') => (i + 1, false),
+        _ => (i + 1, false), // b'...'
+    };
+    if !is_raw {
+        let quote = bytes[fence_at];
+        let mut idx = fence_at + 1;
+        while idx < bytes.len() {
+            match bytes[idx] {
+                b'\\' => idx += 2,
+                b'\n' => {
+                    *line += 1;
+                    idx += 1;
+                }
+                b if b == quote => return idx + 1,
+                _ => idx += 1,
+            }
+        }
+        return idx;
+    }
+    let hashes = raw_fence_len(bytes, fence_at).unwrap_or(0);
+    let mut idx = fence_at + hashes + 1; // past the opening quote
+    while idx < bytes.len() {
+        if bytes[idx] == b'\n' {
+            *line += 1;
+            idx += 1;
+        } else if bytes[idx] == b'"' && bytes[idx + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+            return idx + 1 + hashes;
+        } else {
+            idx += 1;
+        }
+    }
+    idx
+}
+
+/// Marks every token that belongs to test-only code: an item annotated
+/// `#[test]`, `#[bench]`, or any `#[cfg(...)]` whose argument mentions
+/// `test` (covers `cfg(test)`, `cfg(all(test, ...))`). Returns a mask
+/// parallel to `toks`; masked tokens are exempt from the lint rules.
+pub fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute to its matching `]`.
+        let attr_start = i;
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut mentions_test = false;
+        while j < toks.len() {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if toks[j].is_ident("test") || toks[j].is_ident("bench") {
+                // `#[cfg(not(test))]` guards *production* code.
+                let negated = j >= 2
+                    && toks[j - 1].is_punct('(')
+                    && toks[j - 2].is_ident("not");
+                if !negated {
+                    mentions_test = true;
+                }
+            }
+            j += 1;
+        }
+        if !mentions_test {
+            i = j + 1;
+            continue;
+        }
+        // Mask from the attribute through the end of the annotated
+        // item: the matching `}` of its first brace, or the first `;`
+        // seen before any brace (e.g. `#[cfg(test)] use ...;`).
+        let mut k = j + 1;
+        let mut braces = 0i32;
+        let end = loop {
+            match toks.get(k) {
+                None => break toks.len(),
+                Some(t) if t.is_punct('{') => braces += 1,
+                Some(t) if t.is_punct('}') => {
+                    braces -= 1;
+                    if braces == 0 {
+                        break k + 1;
+                    }
+                }
+                Some(t) if t.is_punct(';') && braces == 0 => break k + 1,
+                _ => {}
+            }
+            k += 1;
+        };
+        for m in mask.iter_mut().take(end).skip(attr_start) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}

@@ -1,0 +1,281 @@
+//! Workspace automation: `cargo xtask lint`.
+//!
+//! A dependency-free, token-level lint pass enforcing the domain rules
+//! the compiler cannot see (see [`rules`] for the rule set and
+//! `xtask/lint_policy.toml` for the allowlists). Scope: library code
+//! under `crates/*/src/`, excluding binaries (`src/bin/`, `src/main.rs`)
+//! and anything behind `#[cfg(test)]` / `#[test]`.
+//!
+//! Individual findings can be waived at the call site with
+//! `// xtask:allow(<rule>) -- <reason>` on the same line or the line
+//! above; a waiver without a reason is itself an error.
+
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+pub use policy::Policy;
+pub use rules::{Diagnostic, RULE_NAMES};
+
+/// Entry point for the `xtask` binary. Returns the process exit code.
+pub fn run<I: IntoIterator<Item = String>>(args: I) -> i32 {
+    let args: Vec<String> = args.into_iter().collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_command(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n{USAGE}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--root DIR]   run the domain lint pass over crates/*/src
+                      (policy: xtask/lint_policy.toml)";
+
+fn lint_command(args: &[String]) -> i32 {
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("xtask lint: --root needs a directory");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("xtask lint: unknown argument `{other}`");
+                return 2;
+            }
+        }
+    }
+    match lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            eprintln!("xtask lint: clean");
+            0
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+            }
+            eprintln!("xtask lint: {} finding(s)", diags.len());
+            1
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            2
+        }
+    }
+}
+
+/// Lints every in-scope file under `root`, returning the surviving
+/// diagnostics (waived findings removed, bad waivers added).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let policy_path = root.join("xtask/lint_policy.toml");
+    let policy_text = std::fs::read_to_string(&policy_path)
+        .map_err(|e| format!("cannot read {}: {e}", policy_path.display()))?;
+    let policy = Policy::parse(&policy_text)
+        .map_err(|e| format!("{}: {e}", policy_path.display()))?;
+
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut diags = Vec::new();
+    for file in &files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let relpath = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diags.extend(lint_source(&relpath, &source, &policy));
+    }
+    Ok(diags)
+}
+
+/// Lints one file's source text (pure; used by the fixture tests).
+pub fn lint_source(relpath: &str, source: &str, policy: &Policy) -> Vec<Diagnostic> {
+    let toks = lexer::scan(source);
+    let mask = lexer::test_mask(&toks);
+    let mut raw = Vec::new();
+    rules::check_file(relpath, &toks, &mask, policy, &mut raw);
+    apply_waivers(relpath, source, raw)
+}
+
+/// In-scope: `.rs` files under a crate's `src/`, excluding binary
+/// roots — the rules target library code that other crates link.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name != "bin" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") && name != "main.rs" {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Applies `// xtask:allow(<rule>) -- reason` waivers: a finding is
+/// waived by a matching comment on its own line or the line directly
+/// above. Waivers without a reason, naming an unknown rule, or waiving
+/// nothing are reported as findings themselves.
+fn apply_waivers(relpath: &str, source: &str, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    // (line, rule) → whether some finding actually used the waiver.
+    let mut waivers: BTreeMap<(u32, String), bool> = BTreeMap::new();
+    let mut out = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let Some(pos) = line.find("xtask:allow(") else {
+            continue;
+        };
+        if !line[..pos].contains("//") {
+            continue; // the marker only counts inside a comment
+        }
+        let rest = &line[pos + "xtask:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            out.push(Diagnostic {
+                file: relpath.to_string(),
+                line: lineno,
+                rule: "no-panic",
+                message: "malformed waiver: missing `)`".into(),
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let Some(matched) = RULE_NAMES.iter().find(|r| **r == rule) else {
+            out.push(Diagnostic {
+                file: relpath.to_string(),
+                line: lineno,
+                rule: "no-panic",
+                message: format!(
+                    "waiver names unknown rule `{rule}` (known: {})",
+                    RULE_NAMES.join(", ")
+                ),
+            });
+            continue;
+        };
+        let reason = rest[close + 1..].trim();
+        let reason_ok = reason
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().is_empty());
+        if !reason_ok {
+            out.push(Diagnostic {
+                file: relpath.to_string(),
+                line: lineno,
+                rule: matched,
+                message: "waiver has no justification: write \
+                          `// xtask:allow(rule) -- why this site is safe`"
+                    .into(),
+            });
+            continue;
+        }
+        waivers.insert((lineno, rule), false);
+    }
+
+    for d in raw {
+        let mut waived = false;
+        for probe in [d.line, d.line.saturating_sub(1)] {
+            if let Some(used) = waivers.get_mut(&(probe, d.rule.to_string())) {
+                *used = true;
+                waived = true;
+                break;
+            }
+        }
+        if !waived {
+            out.push(d);
+        }
+    }
+
+    for ((lineno, rule), used) in waivers {
+        if !used {
+            out.push(Diagnostic {
+                file: relpath.to_string(),
+                line: lineno,
+                rule: RULE_NAMES
+                    .iter()
+                    .find(|r| **r == rule)
+                    .copied()
+                    .unwrap_or("no-panic"),
+                message: format!("waiver for `{rule}` matches no finding; remove it"),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> Policy {
+        Policy::parse("[instant-hot-path]\nhot = [\"crates/core/src/engine.rs\"]\n")
+            .expect("test policy")
+    }
+
+    #[test]
+    fn waiver_suppresses_and_unused_waiver_reports() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    // xtask:allow(no-panic) -- caller guarantees Some\n    x.unwrap()\n}\n";
+        assert!(lint_source("crates/a/src/lib.rs", src, &policy()).is_empty());
+
+        let unused = "fn f() {}\n// xtask:allow(no-panic) -- nothing here\n";
+        let d = lint_source("crates/a/src/lib.rs", unused, &policy());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("matches no finding"));
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_finding() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // xtask:allow(no-panic)\n}\n";
+        let d = lint_source("crates/a/src/lib.rs", src, &policy());
+        assert!(d.iter().any(|d| d.message.contains("no justification")));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(lint_source("crates/a/src/lib.rs", src, &policy()).is_empty());
+    }
+
+    #[test]
+    fn hot_path_scoping_is_per_file() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(
+            lint_source("crates/core/src/engine.rs", src, &policy()).len(),
+            1
+        );
+        assert!(lint_source("crates/core/src/other.rs", src, &policy()).is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+//! Workspace automation entry point (`cargo xtask <command>`).
+
+fn main() {
+    std::process::exit(xtask::run(std::env::args().skip(1)));
+}

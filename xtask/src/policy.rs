@@ -1,0 +1,149 @@
+//! The lint policy file (`xtask/lint_policy.toml`).
+//!
+//! A deliberately tiny TOML subset — `[section]` headers, `#` comments,
+//! and `key = [ "string", ... ]` arrays (single- or multi-line) — so the
+//! crate stays dependency-free. Anything else in the file is a hard
+//! error: a policy that cannot be parsed must not silently allow code.
+
+use std::collections::BTreeMap;
+
+/// Parsed policy: per-rule path lists.
+#[derive(Debug, Default, Clone)]
+pub struct Policy {
+    /// `section.key` → list of workspace-relative path prefixes.
+    entries: BTreeMap<String, Vec<String>>,
+}
+
+impl Policy {
+    /// The path list for `section` / `key`, empty if absent.
+    pub fn paths(&self, section: &str, key: &str) -> &[String] {
+        self.entries
+            .get(&format!("{section}.{key}"))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `relpath` (workspace-relative, `/`-separated) matches an
+    /// entry in `section.key`. An entry matches exactly, or as a
+    /// directory prefix (`crates/loomlite/src` covers every file under
+    /// it).
+    pub fn matches(&self, section: &str, key: &str, relpath: &str) -> bool {
+        self.paths(section, key).iter().any(|p| {
+            relpath == p || relpath.strip_prefix(p.as_str()).is_some_and(|rest| rest.starts_with('/'))
+        })
+    }
+
+    /// Parses the policy text. Returns `Err` with a description of the
+    /// first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if section.is_empty() {
+                    return Err(format!("line {}: empty section header", idx + 1));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = [...]`", idx + 1));
+            };
+            let key = key.trim();
+            if section.is_empty() || key.is_empty() {
+                return Err(format!("line {}: key outside a [section]", idx + 1));
+            }
+            // Gather the array text, consuming further lines until the
+            // closing bracket.
+            let mut array = value.trim().to_string();
+            while !array.ends_with(']') {
+                let Some((_, more)) = lines.next() else {
+                    return Err(format!("line {}: unterminated array", idx + 1));
+                };
+                array.push(' ');
+                array.push_str(strip_comment(more).trim());
+            }
+            let inner = array
+                .strip_prefix('[')
+                .and_then(|a| a.strip_suffix(']'))
+                .ok_or_else(|| format!("line {}: value must be a [...] array", idx + 1))?;
+            let mut paths = Vec::new();
+            for piece in inner.split(',') {
+                let piece = piece.trim();
+                if piece.is_empty() {
+                    continue; // trailing comma
+                }
+                let unquoted = piece
+                    .strip_prefix('"')
+                    .and_then(|p| p.strip_suffix('"'))
+                    .ok_or_else(|| {
+                        format!("line {}: array items must be \"quoted\" ({piece})", idx + 1)
+                    })?;
+                paths.push(unquoted.to_string());
+            }
+            entries.insert(format!("{section}.{key}"), paths);
+        }
+        Ok(Policy { entries })
+    }
+}
+
+/// Drops a `#` comment, respecting `#` inside quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let p = Policy::parse(
+            r#"
+# policy
+[raw-atomics]
+allow = ["crates/loomlite/src", "crates/core/src/sync.rs"]
+
+[instant-hot-path]
+hot = [
+    "crates/core/src/engine.rs",  # the hot path
+    "crates/core/src/sampler.rs",
+]
+"#,
+        )
+        .expect("valid policy");
+        assert_eq!(p.paths("raw-atomics", "allow").len(), 2);
+        assert_eq!(p.paths("instant-hot-path", "hot").len(), 2);
+        assert!(p.paths("missing", "key").is_empty());
+    }
+
+    #[test]
+    fn prefix_matching_covers_directories_not_substrings() {
+        let p = Policy::parse("[r]\nallow = [\"crates/core/src/sync.rs\", \"crates/loomlite/src\"]\n")
+            .expect("valid policy");
+        assert!(p.matches("r", "allow", "crates/core/src/sync.rs"));
+        assert!(p.matches("r", "allow", "crates/loomlite/src/sync.rs"));
+        assert!(!p.matches("r", "allow", "crates/loomlite/src2/x.rs"));
+        assert!(!p.matches("r", "allow", "crates/core/src/sync.rs.bak"));
+    }
+
+    #[test]
+    fn malformed_lines_are_hard_errors() {
+        assert!(Policy::parse("key = [\"a\"]\n").is_err(), "key outside section");
+        assert!(Policy::parse("[s]\nkey [\"a\"]\n").is_err(), "missing =");
+        assert!(Policy::parse("[s]\nkey = [\"a\"\n").is_err(), "unterminated");
+        assert!(Policy::parse("[s]\nkey = [unquoted]\n").is_err(), "unquoted");
+    }
+}

@@ -1,0 +1,59 @@
+//! Known-good fixture: everything here must lint clean.
+//! (Not compiled — parsed by the lint pass only.)
+
+use std::time::Instant; // importing is fine; calling `now` in a hot file is not
+
+/// Errors propagate instead of aborting.
+pub fn parse(input: &str) -> Result<u64, std::num::ParseIntError> {
+    input.trim().parse()
+}
+
+/// `unwrap_or`-family methods are not `unwrap`.
+pub fn fallback(v: Option<u64>) -> u64 {
+    v.unwrap_or_default().max(v.unwrap_or(7))
+}
+
+/// Strings and comments never trip the rules: "x.unwrap() panic!()".
+/// Neither does /* sched.set_timing(t) inside a block comment */.
+pub fn strings() -> &'static str {
+    let s = "AtomicU64 Ordering::SeqCst .unwrap() trcd_ps: 7";
+    let r = r#"panic!("not code") Instant::now()"#;
+    if s.len() > r.len() {
+        s
+    } else {
+        r
+    }
+}
+
+/// Assert-family macros remain legal in library code.
+pub fn checked_add(a: u32, b: u32) -> u32 {
+    assert!(a < 1 << 30, "precondition");
+    debug_assert_ne!(b, u32::MAX);
+    a + b
+}
+
+/// A justified waiver suppresses its finding.
+pub fn waived(v: Option<u64>) -> u64 {
+    // xtask:allow(no-panic) -- fixture: value is Some by construction
+    v.unwrap()
+}
+
+/// Reads of timing state (`x.trcd_ps`, no `:`) are not writes, and
+/// paths like `timing::constants` don't resemble field inits.
+pub fn read_only(reduced_trcd_ps: u64) -> u64 {
+    reduced_trcd_ps + 1
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may unwrap, panic, and poke timing freely.
+    #[test]
+    fn tests_are_exempt() {
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        if v.is_none() {
+            panic!("unreachable in the fixture");
+        }
+        let _t = std::time::Instant::now();
+    }
+}

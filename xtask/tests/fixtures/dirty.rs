@@ -1,0 +1,51 @@
+//! Known-bad fixture: every construct here must produce exactly the
+//! findings the fixture test pins (it locates them by the trailing
+//! marker comments — rule name, optional xN count — so the assertions
+//! survive edits). Not compiled — parsed by the lint pass only.
+
+use std::sync::atomic::{AtomicU64, Ordering}; // FINDING raw-atomics x2
+
+pub fn aborts(v: Option<u64>) -> u64 {
+    v.unwrap() // FINDING no-panic
+}
+
+pub fn aborts_with_message(v: Option<u64>) -> u64 {
+    v.expect("always present") // FINDING no-panic
+}
+
+pub fn gives_up() {
+    todo!("later") // FINDING no-panic
+}
+
+pub fn counts(c: &AtomicU64) -> u64 { // FINDING raw-atomics
+    c.load(Ordering::Relaxed)
+}
+
+pub fn hot_loop_timing() {
+    let _start = std::time::Instant::now(); // FINDING instant-hot-path
+}
+
+pub struct FakeScheduler;
+
+impl FakeScheduler {
+    fn set_timing(&mut self) {}
+}
+
+pub fn bypasses_registers(sched: &mut FakeScheduler, base_trcd: u64) -> u64 {
+    sched.set_timing(); // FINDING timing-writes
+    let params = TimingLike {
+        trcd_ps: base_trcd / 2, // FINDING timing-writes
+    };
+    params.trcd_ps
+}
+
+pub struct TimingLike {
+    pub trcd_ps: u64, // FINDING timing-writes
+}
+
+pub fn unjustified(v: Option<u64>) -> u64 {
+    v.unwrap() // xtask:allow(no-panic) FINDING no-panic x2
+}
+
+// xtask:allow(no-panic) -- this waiver matches no finding FINDING no-panic
+pub fn nothing_to_waive() {}

@@ -1,0 +1,74 @@
+//! Fixture tests: the lint pass must accept `fixtures/clean.rs`
+//! verbatim and report exactly the `FINDING` markers in
+//! `fixtures/dirty.rs`.
+
+use xtask::{lint_source, Policy};
+
+const CLEAN: &str = include_str!("fixtures/clean.rs");
+const DIRTY: &str = include_str!("fixtures/dirty.rs");
+
+/// Both fixtures are linted under a hot-path name so the
+/// `instant-hot-path` rule is active.
+const HOT_FILE: &str = "crates/core/src/engine.rs";
+
+fn policy() -> Policy {
+    Policy::parse(&format!("[instant-hot-path]\nhot = [\"{HOT_FILE}\"]\n")).expect("fixture policy")
+}
+
+/// The expected findings, read off the fixture's own `FINDING <rule>
+/// [xN]` markers: (line, rule) pairs, one per expected finding.
+fn expected(marked: &str) -> Vec<(u32, String)> {
+    let mut want = Vec::new();
+    for (idx, line) in marked.lines().enumerate() {
+        let Some(pos) = line.find("FINDING ") else {
+            continue;
+        };
+        let mut parts = line[pos + "FINDING ".len()..].split_whitespace();
+        let rule = parts.next().expect("marker names a rule").to_string();
+        let count = parts
+            .next()
+            .and_then(|c| c.strip_prefix('x'))
+            .and_then(|c| c.parse::<usize>().ok())
+            .unwrap_or(1);
+        for _ in 0..count {
+            want.push((idx as u32 + 1, rule.clone()));
+        }
+    }
+    want.sort();
+    want
+}
+
+#[test]
+fn clean_fixture_lints_clean() {
+    let diags = lint_source(HOT_FILE, CLEAN, &policy());
+    assert!(
+        diags.is_empty(),
+        "clean fixture produced findings: {diags:#?}"
+    );
+}
+
+#[test]
+fn dirty_fixture_matches_its_markers() {
+    let mut got: Vec<(u32, String)> = lint_source(HOT_FILE, DIRTY, &policy())
+        .into_iter()
+        .map(|d| (d.line, d.rule.to_string()))
+        .collect();
+    got.sort();
+    assert_eq!(
+        got,
+        expected(DIRTY),
+        "dirty fixture findings diverge from its FINDING markers"
+    );
+}
+
+#[test]
+fn dirty_fixture_covers_every_rule() {
+    let rules: std::collections::BTreeSet<String> =
+        expected(DIRTY).into_iter().map(|(_, r)| r).collect();
+    for rule in xtask::RULE_NAMES {
+        assert!(
+            rules.contains(*rule),
+            "dirty fixture exercises no `{rule}` finding"
+        );
+    }
+}
