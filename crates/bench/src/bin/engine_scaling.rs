@@ -16,7 +16,7 @@
 //! ```
 
 use dram_sim::{DeviceConfig, Manufacturer};
-use drange_bench::{mbps, pipeline, Scale};
+use drange_bench::{bench_report_path, mbps, pipeline, BenchReport, Scale};
 use drange_core::telemetry::{fmt_ns, MetricValue, MetricsRegistry};
 use drange_core::{
     channel_sources, channel_sources_with_telemetry, DRangeConfig, EngineConfig, HarvestEngine,
@@ -40,6 +40,7 @@ fn main() {
     println!("workers | harvested bits | device throughput | wall throughput | speedup");
     println!("--------|----------------|-------------------|-----------------|--------");
     let mut single_channel_bps = 0.0f64;
+    let mut report = BenchReport::new();
     for workers in 1..=8usize {
         let sources = channel_sources(&base, &catalog, &DRangeConfig::default(), workers)
             .expect("channel sources");
@@ -57,14 +58,41 @@ fn main() {
         if workers == 1 {
             single_channel_bps = device_bps;
         }
+        let wall_bps = take_bits as f64 / wall;
         println!(
             "{workers:>7} | {:>14} | {:>17} | {:>15} | {:>6.2}x",
             stats.harvested_bits,
             mbps(device_bps),
-            mbps(take_bits as f64 / wall),
+            mbps(wall_bps),
             device_bps / single_channel_bps,
         );
+        report.set(
+            "engine_scaling",
+            &format!("workers_{workers}_device_bits_per_sec"),
+            device_bps,
+        );
+        if workers == 8 {
+            // Headline metrics for the tracked report come from the
+            // widest configuration.
+            let sensed = stats.cache_skip_reads + stats.cache_hit_reads + stats.cache_resolve_reads;
+            report.set("engine_scaling", "bits_per_sec", wall_bps);
+            report.set(
+                "engine_scaling",
+                "ns_per_read",
+                wall * 1e9 / sensed.max(1) as f64,
+            );
+            report.set("engine_scaling", "cache_hit_rate", stats.cache_hit_rate());
+            report.set("engine_scaling", "device_bits_per_sec", device_bps);
+            report.set(
+                "engine_scaling",
+                "harvested_bits",
+                stats.harvested_bits as f64,
+            );
+        }
     }
+    let path = bench_report_path();
+    report.update_file(&path).expect("write bench report");
+    println!("\nwrote {}", path.display());
     println!(
         "\ndevice throughput is the sum of per-channel harvest rates \
          (bits per second of DRAM device time), the engine analogue of \

@@ -32,6 +32,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
+pub use report::{bench_report_path, BenchReport};
+
 use dram_sim::{DeviceConfig, Manufacturer};
 use drange_core::{IdentifySpec, ProfileSpec, Profiler, RngCellCatalog};
 use memctrl::MemoryController;

@@ -1,0 +1,362 @@
+//! Machine-readable benchmark reports (`BENCH_harvest.json`).
+//!
+//! The workspace has no JSON dependency, so this module hand-rolls the
+//! one shape the benches need: a flat two-level object mapping section
+//! names to `{key: number}` metric maps. Several binaries share one
+//! report file — [`BenchReport::update_file`] merges at section
+//! granularity, so `fig8_throughput` and `engine_scaling` can each
+//! refresh their own section without clobbering the other's.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default location of the shared report file: `$DRANGE_BENCH_REPORT`
+/// if set, otherwise `BENCH_harvest.json` in the current directory
+/// (the repository root when running `cargo run -p drange-bench`).
+pub fn bench_report_path() -> PathBuf {
+    std::env::var_os("DRANGE_BENCH_REPORT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_harvest.json"))
+}
+
+/// An ordered, two-level `{section: {key: number}}` report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchReport {
+    sections: Vec<(String, Vec<(String, f64)>)>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        BenchReport::default()
+    }
+
+    /// Sets `section.key = value`, replacing any previous value and
+    /// creating the section on first use. Insertion order is preserved
+    /// in the emitted JSON.
+    pub fn set(&mut self, section: &str, key: &str, value: f64) {
+        let entries = match self.sections.iter_mut().find(|(s, _)| s == section) {
+            Some((_, entries)) => entries,
+            None => {
+                self.sections.push((section.to_string(), Vec::new()));
+                // xtask:allow(no-panic) -- the section was pushed on the line above
+                &mut self.sections.last_mut().expect("just pushed").1
+            }
+        };
+        match entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => entries.push((key.to_string(), value)),
+        }
+    }
+
+    /// Reads `section.key` back, if present.
+    pub fn get(&self, section: &str, key: &str) -> Option<f64> {
+        self.sections
+            .iter()
+            .find(|(s, _)| s == section)
+            .and_then(|(_, entries)| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| *v)
+    }
+
+    /// Replaces every section of `self` that `other` also has and
+    /// appends `other`'s new sections (section-level override).
+    pub fn merge_sections_from(&mut self, other: &BenchReport) {
+        for (section, entries) in &other.sections {
+            match self.sections.iter_mut().find(|(s, _)| s == section) {
+                Some((_, mine)) => *mine = entries.clone(),
+                None => self.sections.push((section.clone(), entries.clone())),
+            }
+        }
+    }
+
+    /// Serializes to pretty-printed JSON. Non-finite values are emitted
+    /// as `null` (JSON has no NaN/Infinity).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (si, (section, entries)) in self.sections.iter().enumerate() {
+            out.push_str("  \"");
+            out.push_str(&escape(section));
+            out.push_str("\": {\n");
+            for (ki, (key, value)) in entries.iter().enumerate() {
+                out.push_str("    \"");
+                out.push_str(&escape(key));
+                out.push_str("\": ");
+                if value.is_finite() {
+                    out.push_str(&format!("{value}"));
+                } else {
+                    out.push_str("null");
+                }
+                out.push_str(if ki + 1 < entries.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(if si + 1 < self.sections.len() {
+                "  },\n"
+            } else {
+                "  }\n"
+            });
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses JSON previously produced by [`BenchReport::to_json`]
+    /// (flat two-level object, numeric or null leaves — null leaves are
+    /// dropped). Returns `None` on any structural mismatch.
+    pub fn from_json(text: &str) -> Option<BenchReport> {
+        let mut p = Parser {
+            chars: text.chars().collect(),
+            pos: 0,
+        };
+        let mut report = BenchReport::new();
+        p.skip_ws();
+        p.eat('{')?;
+        p.skip_ws();
+        if p.peek() == Some('}') {
+            p.eat('}')?;
+            return Some(report);
+        }
+        loop {
+            p.skip_ws();
+            let section = p.string()?;
+            p.skip_ws();
+            p.eat(':')?;
+            p.skip_ws();
+            p.eat('{')?;
+            p.skip_ws();
+            if p.peek() == Some('}') {
+                p.eat('}')?;
+                // Preserve empty sections so merge semantics see them.
+                if !report.sections.iter().any(|(s, _)| *s == section) {
+                    report.sections.push((section.clone(), Vec::new()));
+                }
+            } else {
+                loop {
+                    p.skip_ws();
+                    let key = p.string()?;
+                    p.skip_ws();
+                    p.eat(':')?;
+                    p.skip_ws();
+                    if let Some(v) = p.number_or_null()? {
+                        report.set(&section, &key, v);
+                    } else if !report.sections.iter().any(|(s, _)| *s == section) {
+                        report.sections.push((section.clone(), Vec::new()));
+                    }
+                    p.skip_ws();
+                    match p.next() {
+                        Some(',') => continue,
+                        Some('}') => break,
+                        _ => return None,
+                    }
+                }
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(',') => continue,
+                Some('}') => break,
+                _ => return None,
+            }
+        }
+        p.skip_ws();
+        if p.pos == p.chars.len() {
+            Some(report)
+        } else {
+            None
+        }
+    }
+
+    /// Merges this report's sections over whatever `path` already holds
+    /// (unparseable or missing files are treated as empty) and writes
+    /// the result back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem write errors.
+    pub fn update_file(&self, path: &Path) -> io::Result<()> {
+        let mut merged = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| BenchReport::from_json(&text))
+            .unwrap_or_default();
+        merged.merge_sections_from(self);
+        std::fs::write(path, merged.to_json())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, want: char) -> Option<()> {
+        if self.next()? == want {
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                '"' => return Some(out),
+                '\\' => match self.next()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + self.next()?.to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// `Some(Some(v))` for a number, `Some(None)` for `null`, `None`
+    /// for anything else.
+    fn number_or_null(&mut self) -> Option<Option<f64>> {
+        if self.peek() == Some('n') {
+            for want in ['n', 'u', 'l', 'l'] {
+                self.eat(want)?;
+            }
+            return Some(None);
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some('0'..='9' | '-' | '+' | '.' | 'e' | 'E')) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>().ok().map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_order() {
+        let mut r = BenchReport::new();
+        r.set("fig8", "fast_bits_per_sec", 2.5e8);
+        r.set("fig8", "speedup", 7.0);
+        r.set("engine", "cache_hit_rate", 0.93);
+        r.set("fig8", "speedup", 8.0); // overwrite
+        assert_eq!(r.get("fig8", "speedup"), Some(8.0));
+        assert_eq!(r.get("engine", "cache_hit_rate"), Some(0.93));
+        assert_eq!(r.get("engine", "missing"), None);
+        assert_eq!(r.get("nope", "x"), None);
+        let json = r.to_json();
+        let fig8_at = json.find("fig8").unwrap();
+        let engine_at = json.find("engine").unwrap();
+        assert!(fig8_at < engine_at, "insertion order preserved:\n{json}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = BenchReport::new();
+        r.set("fig8_throughput", "slow_bits_per_sec", 1.25e7);
+        r.set("fig8_throughput", "fast_bits_per_sec", 2.5e8);
+        r.set("fig8_throughput", "ns_per_read", 43.21);
+        r.set("engine_scaling", "bits_per_sec", 9.5e7);
+        let back = BenchReport::from_json(&r.to_json()).expect("own output parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn non_finite_becomes_null_and_is_dropped_on_parse() {
+        let mut r = BenchReport::new();
+        r.set("s", "bad", f64::NAN);
+        r.set("s", "good", 1.0);
+        let json = r.to_json();
+        assert!(json.contains("null"), "{json}");
+        let back = BenchReport::from_json(&json).expect("parses");
+        assert_eq!(back.get("s", "bad"), None);
+        assert_eq!(back.get("s", "good"), Some(1.0));
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        for bad in ["", "{", "[1,2]", "{\"a\": 1}", "{\"a\": {\"b\": }}", "x{}"] {
+            assert!(BenchReport::from_json(bad).is_none(), "accepted {bad:?}");
+        }
+        assert_eq!(
+            BenchReport::from_json("{}"),
+            Some(BenchReport::new()),
+            "empty object is a valid empty report"
+        );
+    }
+
+    #[test]
+    fn merge_overrides_matching_sections_and_keeps_others() {
+        let mut old = BenchReport::new();
+        old.set("fig8_throughput", "speedup", 1.0);
+        old.set("engine_scaling", "bits_per_sec", 5.0);
+        let mut new = BenchReport::new();
+        new.set("fig8_throughput", "speedup", 9.0);
+        old.merge_sections_from(&new);
+        assert_eq!(old.get("fig8_throughput", "speedup"), Some(9.0));
+        assert_eq!(old.get("engine_scaling", "bits_per_sec"), Some(5.0));
+    }
+
+    #[test]
+    fn update_file_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("drange-bench-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_harvest.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut a = BenchReport::new();
+        a.set("fig8_throughput", "speedup", 6.5);
+        a.update_file(&path).expect("first write");
+        let mut b = BenchReport::new();
+        b.set("engine_scaling", "cache_hit_rate", 0.97);
+        b.update_file(&path).expect("merge write");
+
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let merged = BenchReport::from_json(&text).expect("parses");
+        assert_eq!(merged.get("fig8_throughput", "speedup"), Some(6.5));
+        assert_eq!(merged.get("engine_scaling", "cache_hit_rate"), Some(0.97));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn escaped_keys_survive() {
+        let mut r = BenchReport::new();
+        r.set("se\"ct", "k\\ey", 1.0);
+        let back = BenchReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(back.get("se\"ct", "k\\ey"), Some(1.0));
+    }
+}

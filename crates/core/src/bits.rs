@@ -1,0 +1,513 @@
+//! Packed bit containers for the harvest pipeline.
+//!
+//! Harvested random bits flow sampler → worker → pool → client. The
+//! original pipeline moved them one `bool` at a time (one byte of
+//! memory traffic and one `VecDeque` operation per bit); these types
+//! move them as `u64` words with a bit-count watermark instead.
+//!
+//! Bit order is MSB-first everywhere: the first bit pushed into a word
+//! is its most significant bit. This matches the `(acc << 1) | bit`
+//! packing the byte/word drain paths have always used, so a packed
+//! word can be emitted verbatim (`u64::to_be_bytes` yields bytes in
+//! FIFO order).
+
+use std::collections::VecDeque;
+
+/// An immutable-once-built batch of packed bits, the unit of
+/// worker→pool transfer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitBlock {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitBlock {
+    /// An empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty block with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitBlock {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits in the block.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(0);
+        }
+        if bit {
+            if let Some(last) = self.words.last_mut() {
+                *last |= 1u64 << (63 - off);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Appends the top `n` bits of `frag` (MSB-first). Bits of `frag`
+    /// below the top `n` are ignored. `n` must be at most 64.
+    pub fn push_bits(&mut self, frag: u64, n: usize) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let frag = frag & (u64::MAX << (64 - n));
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(frag);
+        } else {
+            if let Some(last) = self.words.last_mut() {
+                *last |= frag >> off;
+            }
+            let spill = n.saturating_sub(64 - off);
+            if spill > 0 {
+                self.words.push(frag << (64 - off));
+            }
+        }
+        self.len += n;
+    }
+
+    /// Builds a block from a slice of bools (FIFO order).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut block = BitBlock::with_capacity(bits.len());
+        for &b in bits {
+            block.push_bit(b);
+        }
+        block
+    }
+
+    /// The bit at position `i` (0 = first pushed), or `None` past the
+    /// end.
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if i >= self.len {
+            return None;
+        }
+        self.words
+            .get(i / 64)
+            .map(|w| (w >> (63 - i % 64)) & 1 == 1)
+    }
+
+    /// Iterates the bits in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| {
+            self.words
+                .get(i / 64)
+                .is_some_and(|w| (w >> (63 - i % 64)) & 1 == 1)
+        })
+    }
+
+    /// The packed words (last one partially filled when `len` is not a
+    /// multiple of 64; unused low bits are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl FromIterator<bool> for BitBlock {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut block = BitBlock::new();
+        for b in iter {
+            block.push_bit(b);
+        }
+        block
+    }
+}
+
+/// A FIFO queue of packed bits with word- and byte-granular drains —
+/// the harvest queue and the engine pool.
+#[derive(Debug, Default)]
+pub struct BitQueue {
+    /// Packed storage; the queue's oldest bit is bit `63 - front` of
+    /// `words[0]`.
+    words: VecDeque<u64>,
+    /// Offset of the oldest live bit within `words[0]` (0..64).
+    front: usize,
+    /// Live bits.
+    len: usize,
+}
+
+impl BitQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.front = 0;
+        self.len = 0;
+    }
+
+    /// Restores the invariants after consuming bits: drop exhausted
+    /// leading words and reset entirely when empty (so stale consumed
+    /// bits can never alias future pushes).
+    fn normalize(&mut self) {
+        if self.len == 0 {
+            self.clear();
+            return;
+        }
+        while self.front >= 64 {
+            self.words.pop_front();
+            self.front -= 64;
+        }
+    }
+
+    /// Appends one bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let pos = self.front + self.len;
+        if pos / 64 == self.words.len() {
+            self.words.push_back(0);
+        }
+        if bit {
+            if let Some(w) = self.words.get_mut(pos / 64) {
+                *w |= 1u64 << (63 - pos % 64);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Appends the top `n` bits of `frag` (MSB-first; `n` ≤ 64). Bits
+    /// of `frag` below the top `n` are ignored.
+    pub fn push_bits(&mut self, frag: u64, n: usize) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let frag = frag & (u64::MAX << (64 - n));
+        let pos = self.front + self.len;
+        let (idx, off) = (pos / 64, pos % 64);
+        if idx == self.words.len() {
+            self.words.push_back(0);
+        }
+        if let Some(w) = self.words.get_mut(idx) {
+            *w |= frag >> off;
+        }
+        if off > 0 && n > 64 - off {
+            self.words.push_back(frag << (64 - off));
+        }
+        self.len += n;
+    }
+
+    /// Appends a whole block (FIFO order preserved).
+    pub fn push_block(&mut self, block: &BitBlock) {
+        let mut remaining = block.len();
+        for &w in block.words() {
+            let n = remaining.min(64);
+            self.push_bits(w, n);
+            remaining -= n;
+        }
+    }
+
+    /// Pops the oldest bit.
+    pub fn pop_bit(&mut self) -> Option<bool> {
+        if self.len == 0 {
+            return None;
+        }
+        let bit = self
+            .words
+            .front()
+            .is_some_and(|w| (w >> (63 - self.front)) & 1 == 1);
+        self.front += 1;
+        self.len -= 1;
+        self.normalize();
+        Some(bit)
+    }
+
+    /// Pops the oldest 64 bits as one word (first-out bit in the MSB),
+    /// or `None` when fewer than 64 bits are queued.
+    pub fn pop_word(&mut self) -> Option<u64> {
+        if self.len < 64 {
+            return None;
+        }
+        let w0 = self.words.front().copied().unwrap_or(0);
+        let word = if self.front == 0 {
+            w0
+        } else {
+            let w1 = self.words.get(1).copied().unwrap_or(0);
+            (w0 << self.front) | (w1 >> (64 - self.front))
+        };
+        self.words.pop_front();
+        self.len -= 64;
+        self.normalize();
+        Some(word)
+    }
+
+    /// Pops the oldest 8 bits as one byte (first-out bit in the MSB),
+    /// or `None` when fewer than 8 bits are queued.
+    pub fn pop_byte(&mut self) -> Option<u8> {
+        if self.len < 8 {
+            return None;
+        }
+        let mut b = 0u8;
+        for _ in 0..8 {
+            let bit = self
+                .words
+                .front()
+                .is_some_and(|w| (w >> (63 - self.front)) & 1 == 1);
+            b = (b << 1) | u8::from(bit);
+            self.front += 1;
+            self.len -= 1;
+            if self.front == 64 {
+                self.words.pop_front();
+                self.front = 0;
+            }
+        }
+        self.normalize();
+        Some(b)
+    }
+
+    /// Drops the `n` oldest bits (or everything when fewer are queued).
+    pub fn drop_front(&mut self, n: usize) {
+        let n = n.min(self.len);
+        self.front += n;
+        self.len -= n;
+        self.normalize();
+    }
+
+    /// Pops up to `n` oldest bits into a `Vec<bool>` (FIFO order).
+    pub fn pop_bools(&mut self, n: usize) -> Vec<bool> {
+        let n = n.min(self.len);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.pop_bit() {
+                Some(b) => out.push(b),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Pops the oldest `bits` bits as a block (FIFO order). Requires
+    /// `bits ≤ len`; pops everything available otherwise.
+    pub fn pop_block(&mut self, bits: usize) -> BitBlock {
+        let bits = bits.min(self.len);
+        let mut block = BitBlock::with_capacity(bits);
+        let mut remaining = bits;
+        while remaining >= 64 {
+            if let Some(w) = self.pop_word() {
+                block.push_bits(w, 64);
+                remaining -= 64;
+            } else {
+                break;
+            }
+        }
+        while remaining > 0 {
+            match self.pop_bit() {
+                Some(b) => {
+                    block.push_bit(b);
+                    remaining -= 1;
+                }
+                None => break,
+            }
+        }
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_bools(seed: u64, n: usize) -> Vec<bool> {
+        let mut s = seed;
+        (0..n).map(|_| splitmix(&mut s) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn block_round_trips_bools() {
+        let bits = random_bools(1, 517);
+        let block = BitBlock::from_bools(&bits);
+        assert_eq!(block.len(), 517);
+        let back: Vec<bool> = block.iter().collect();
+        assert_eq!(back, bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(block.get(i), Some(b), "bit {i}");
+        }
+        assert_eq!(block.get(517), None);
+    }
+
+    #[test]
+    fn block_push_bits_matches_per_bit_pushes() {
+        let bits = random_bools(2, 300);
+        let mut packed = BitBlock::new();
+        let mut i = 0;
+        let mut s = 7u64;
+        while i < bits.len() {
+            let n = (splitmix(&mut s) as usize % 64 + 1).min(bits.len() - i);
+            let mut frag = 0u64;
+            for (k, &b) in bits[i..i + n].iter().enumerate() {
+                frag |= u64::from(b) << (63 - k);
+            }
+            packed.push_bits(frag, n);
+            i += n;
+        }
+        assert_eq!(packed, BitBlock::from_bools(&bits));
+    }
+
+    #[test]
+    fn push_bits_ignores_low_garbage() {
+        let mut a = BitBlock::new();
+        a.push_bits(u64::MAX, 3); // only top 3 bits may land
+        let mut b = BitBlock::new();
+        b.push_bits(0b111u64 << 61, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.words(), &[0b111u64 << 61]);
+    }
+
+    #[test]
+    fn queue_fifo_matches_vecdeque_model() {
+        // Randomized interleaving of pushes and pops against a
+        // VecDeque<bool> oracle.
+        let mut s = 3u64;
+        let mut q = BitQueue::new();
+        let mut model: VecDeque<bool> = VecDeque::new();
+        for _ in 0..20_000 {
+            match splitmix(&mut s) % 6 {
+                0 | 1 => {
+                    let b = splitmix(&mut s) & 1 == 1;
+                    q.push_bit(b);
+                    model.push_back(b);
+                }
+                2 => {
+                    let n = splitmix(&mut s) as usize % 65;
+                    let frag = splitmix(&mut s);
+                    q.push_bits(frag, n);
+                    for k in 0..n {
+                        model.push_back((frag >> (63 - k)) & 1 == 1);
+                    }
+                }
+                3 => {
+                    assert_eq!(q.pop_bit(), model.pop_front());
+                }
+                4 => {
+                    if model.len() >= 64 {
+                        let mut want = 0u64;
+                        for _ in 0..64 {
+                            want = (want << 1) | u64::from(model.pop_front().unwrap_or(false));
+                        }
+                        assert_eq!(q.pop_word(), Some(want));
+                    } else {
+                        assert_eq!(q.pop_word(), None);
+                    }
+                }
+                _ => {
+                    if model.len() >= 8 {
+                        let mut want = 0u8;
+                        for _ in 0..8 {
+                            want = (want << 1) | u8::from(model.pop_front().unwrap_or(false));
+                        }
+                        assert_eq!(q.pop_byte(), Some(want));
+                    } else {
+                        assert_eq!(q.pop_byte(), None);
+                    }
+                }
+            }
+            assert_eq!(q.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn drain_to_empty_then_refill_is_clean() {
+        // The stale-bit hazard: consume everything at an odd offset,
+        // then push again — consumed bits must not resurface.
+        let mut q = BitQueue::new();
+        q.push_bits(u64::MAX, 64);
+        q.drop_front(37);
+        let tail = q.pop_bools(27);
+        assert!(tail.iter().all(|&b| b));
+        assert!(q.is_empty());
+        q.push_bits(0, 64);
+        assert_eq!(q.pop_word(), Some(0), "no stale set bits leak back");
+    }
+
+    #[test]
+    fn drop_front_discards_oldest() {
+        let bits = random_bools(9, 200);
+        let mut q = BitQueue::new();
+        for &b in &bits {
+            q.push_bit(b);
+        }
+        q.drop_front(77);
+        assert_eq!(q.len(), 123);
+        assert_eq!(q.pop_bools(123), bits[77..].to_vec());
+        // Over-dropping empties without panicking.
+        q.push_bit(true);
+        q.drop_front(100);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_block_and_pop_block_preserve_order() {
+        let bits = random_bools(11, 400);
+        let mut q = BitQueue::new();
+        // Seed the queue with a 13-bit prefix so the block push and
+        // the block pop both straddle word boundaries.
+        let prefix = random_bools(12, 13);
+        for &b in &prefix {
+            q.push_bit(b);
+        }
+        q.push_block(&BitBlock::from_bools(&bits));
+        assert_eq!(q.len(), 13 + 400);
+        assert_eq!(q.pop_bools(13), prefix);
+        let block = q.pop_block(400);
+        assert_eq!(block.len(), 400);
+        assert_eq!(block.iter().collect::<Vec<_>>(), bits);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_word_matches_msb_first_packing() {
+        let mut q = BitQueue::new();
+        let bits = random_bools(21, 64);
+        for &b in &bits {
+            q.push_bit(b);
+        }
+        let mut want = 0u64;
+        for &b in &bits {
+            want = (want << 1) | u64::from(b);
+        }
+        assert_eq!(q.pop_word(), Some(want));
+        let packed = want.to_be_bytes();
+        let mut q2 = BitQueue::new();
+        for &b in &bits {
+            q2.push_bit(b);
+        }
+        for (i, &byte) in packed.iter().enumerate() {
+            assert_eq!(q2.pop_byte(), Some(byte), "byte {i} in FIFO order");
+        }
+    }
+}

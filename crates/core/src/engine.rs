@@ -17,10 +17,20 @@
 //! ```text
 //!  worker 0 (DRange + HealthMonitor) ──┐
 //!  worker 1 (DRange + HealthMonitor) ──┤  bounded channel   collector      shared pool
-//!  ...                                 ├──────────────────▶ (hysteresis) ─▶ Mutex<VecDeque<bool>>
-//!  worker N-1                        ──┘                                        │
+//!  ...                                 ├──────────────────▶ (hysteresis) ─▶ Mutex<BitQueue>
+//!  worker N-1                        ──┘   (BitBlock)                            │
 //!                                                            take_bits() ◀──────┘  (many clients)
 //! ```
+//!
+//! Bits travel packed end to end: a worker harvests one [`BitBlock`]
+//! (64 bits per `u64` word) per batch, the channel moves whole blocks,
+//! and the collector splices them into the pool's [`BitQueue`] word by
+//! word — the worker→pool transfer copies words, never individual
+//! bools. Clients unpack only at the API boundary ([`take_bits`]) or
+//! not at all ([`take_bytes`] emits the pool words big-endian).
+//!
+//! [`take_bits`]: HarvestEngine::take_bits
+//! [`take_bytes`]: HarvestEngine::take_bytes
 //!
 //! Backpressure is two-staged: the collector stops draining the channel
 //! once the pool reaches the high watermark (and resumes below the low
@@ -33,17 +43,17 @@
 //! counter persists across requests and resets only on an accepted
 //! batch) records an [`DrangeError::Unhealthy`] error and retires.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
-use dram_sim::DeviceConfig;
+use dram_sim::{DeviceConfig, SenseCacheStats};
 use drange_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use memctrl::MemoryController;
 use parking_lot::{Condvar, Mutex};
 
+use crate::bits::{BitBlock, BitQueue};
 use crate::error::{DrangeError, Result};
 use crate::health::HealthMonitor;
 use crate::identify::RngCellCatalog;
@@ -59,29 +69,39 @@ const POLL: Duration = Duration::from_millis(20);
 /// the Algorithm 2 core loop); tests inject scripted sources to
 /// exercise the engine without the simulation cost.
 pub trait HarvestSource: Send + 'static {
-    /// Harvests one batch of raw (unscreened) bits.
+    /// Harvests one batch of raw (unscreened) bits, packed 64 to a
+    /// word.
     ///
     /// # Errors
     ///
     /// Propagates device/controller failures; an erroring source
     /// retires its worker.
-    fn harvest_batch(&mut self) -> Result<Vec<bool>>;
+    fn harvest_batch(&mut self) -> Result<BitBlock>;
 
     /// Cumulative device time this source has consumed, in picoseconds
     /// (0 when the source has no notion of device time).
     fn device_time_ps(&self) -> u64 {
         0
     }
+
+    /// Cumulative sensing-cache counters of the underlying device, when
+    /// the source has one (`None` for scripted test sources).
+    fn sense_cache_stats(&self) -> Option<SenseCacheStats> {
+        None
+    }
 }
 
 impl HarvestSource for DRange {
-    fn harvest_batch(&mut self) -> Result<Vec<bool>> {
-        let harvested = self.sample_once()?;
-        self.bits(harvested)
+    fn harvest_batch(&mut self) -> Result<BitBlock> {
+        self.harvest_block()
     }
 
     fn device_time_ps(&self) -> u64 {
         self.stats().device_time_ps
+    }
+
+    fn sense_cache_stats(&self) -> Option<SenseCacheStats> {
+        Some(DRange::sense_cache_stats(self))
     }
 }
 
@@ -165,6 +185,9 @@ struct WorkerCounters {
     adaptive_trips: CounterCell,
     batches: CounterCell,
     device_time_ps: CounterCell,
+    cache_skip_reads: CounterCell,
+    cache_hit_reads: CounterCell,
+    cache_resolve_reads: CounterCell,
 }
 
 /// Telemetry handles one worker thread records into. All handles are
@@ -181,6 +204,9 @@ struct WorkerTelemetry {
     repetition_trips: Counter,
     adaptive_trips: Counter,
     throughput_bps: Gauge,
+    cache_skip_reads: Counter,
+    cache_hit_reads: Counter,
+    cache_resolve_reads: Counter,
 }
 
 impl WorkerTelemetry {
@@ -211,6 +237,18 @@ impl WorkerTelemetry {
                 &[("test", "adaptive"), ("worker", &w)],
             ),
             throughput_bps: reg.gauge("drange_worker_throughput_bps", &[("worker", &w)]),
+            cache_skip_reads: reg.counter(
+                "drange_cache_reads_total",
+                &[("kind", "skip"), ("worker", &w)],
+            ),
+            cache_hit_reads: reg.counter(
+                "drange_cache_reads_total",
+                &[("kind", "hit"), ("worker", &w)],
+            ),
+            cache_resolve_reads: reg.counter(
+                "drange_cache_reads_total",
+                &[("kind", "resolve"), ("worker", &w)],
+            ),
         }
     }
 }
@@ -265,7 +303,7 @@ impl EngineTelemetry {
 /// State shared between workers, the collector, and clients.
 #[derive(Debug)]
 struct Shared {
-    pool: Mutex<VecDeque<bool>>,
+    pool: Mutex<BitQueue>,
     /// Signaled when bits are added to the pool or the engine winds down.
     bits_available: Condvar,
     /// Signaled when bits are consumed from the pool (collector gate).
@@ -307,6 +345,13 @@ pub struct WorkerStats {
     pub batches: u64,
     /// Device time consumed by this worker's channel, ps.
     pub device_time_ps: u64,
+    /// Sensing READs answered entirely by the skip mask on this
+    /// worker's channel (0 for sources without a sensing cache).
+    pub cache_skip_reads: u64,
+    /// Sensing READs served from memoized probabilities.
+    pub cache_hit_reads: u64,
+    /// Sensing READs that re-resolved per-cell probabilities.
+    pub cache_resolve_reads: u64,
 }
 
 impl WorkerStats {
@@ -317,6 +362,18 @@ impl WorkerStats {
             0.0
         } else {
             self.harvested_bits as f64 / (self.device_time_ps as f64 * 1e-12)
+        }
+    }
+
+    /// Fraction of this channel's sensing READs answered from memoized
+    /// cache state (0.0 when the source reports no cache activity).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_skip_reads + self.cache_hit_reads;
+        let total = hits + self.cache_resolve_reads;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
         }
     }
 }
@@ -341,11 +398,29 @@ pub struct EngineStats {
     pub served_bits: u64,
     /// Bits screened and published but not yet collected into the pool.
     pub in_flight_bits: u64,
+    /// Sensing READs answered by skip masks, across all workers.
+    pub cache_skip_reads: u64,
+    /// Sensing READs served from memoized probabilities, all workers.
+    pub cache_hit_reads: u64,
+    /// Sensing READs that re-resolved probabilities, all workers.
+    pub cache_resolve_reads: u64,
     /// Per-worker (per-channel) breakdowns.
     pub workers: Vec<WorkerStats>,
 }
 
 impl EngineStats {
+    /// Fraction of sensing READs across all workers answered from
+    /// memoized cache state (0.0 with no cache activity).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_skip_reads + self.cache_hit_reads;
+        let total = hits + self.cache_resolve_reads;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
     /// Sum of the per-channel device-time throughputs — the engine
     /// analogue of [`crate::throughput::scale_to_channels`]: channels
     /// are independent, so aggregate harvest rate is the sum of the
@@ -407,7 +482,7 @@ impl HarvestEngine {
             ));
         }
         let shared = Arc::new(Shared {
-            pool: Mutex::new(VecDeque::new()),
+            pool: Mutex::new(BitQueue::new()),
             bits_available: Condvar::new(),
             space_available: Condvar::new(),
             shutdown: Flag::new(),
@@ -418,7 +493,7 @@ impl HarvestEngine {
             served_bits: CounterCell::new(),
             first_error: Mutex::new(None),
         });
-        let (tx, rx) = bounded::<Vec<bool>>(config.channel_batches);
+        let (tx, rx) = bounded::<BitBlock>(config.channel_batches);
         let mut counters = Vec::with_capacity(sources.len());
         let mut workers = Vec::with_capacity(sources.len());
         for (index, source) in sources.into_iter().enumerate() {
@@ -502,6 +577,14 @@ impl HarvestEngine {
     }
 
     fn take_bits_inner(&self, bits: usize) -> Result<Vec<bool>> {
+        self.drain_pool(bits, |pool| pool.pop_bools(bits))
+    }
+
+    /// Blocks until `bits` bits are pooled, then removes them with
+    /// `drain` under the pool lock. All client-facing accessors funnel
+    /// through here so the waiting/demand/accounting protocol exists
+    /// exactly once.
+    fn drain_pool<T>(&self, bits: usize, drain: impl FnOnce(&mut BitQueue) -> T) -> Result<T> {
         if bits > self.config.queue_capacity {
             return Err(DrangeError::InvalidSpec(format!(
                 "request of {bits} bits exceeds pool capacity {}",
@@ -522,7 +605,7 @@ impl HarvestEngine {
         };
         loop {
             if pool.len() >= bits {
-                let out: Vec<bool> = pool.drain(..bits).collect();
+                let out = drain(&mut pool);
                 let remaining = pool.len();
                 drop(pool);
                 finish_wait(&self.shared, &self.telemetry, waiting, wait_t0);
@@ -567,16 +650,31 @@ impl HarvestEngine {
         let bits = bytes.checked_mul(8).ok_or_else(|| {
             DrangeError::InvalidSpec(format!("request of {bytes} bytes overflows bit count"))
         })?;
-        let raw = self.take_bits(bits)?;
-        let mut out = Vec::with_capacity(bytes);
-        for chunk in raw.chunks_exact(8) {
-            let mut b = 0u8;
-            for &bit in chunk {
-                b = (b << 1) | u8::from(bit);
+        let t0 = self.telemetry.take_bits_ns.start();
+        // Drain straight from the packed pool: whole words big-endian
+        // while at least 8 bytes remain, then byte-sized pops — the
+        // same MSB-first packing `take_bits` + manual packing produced.
+        let out = self.drain_pool(bits, |pool| {
+            let mut out = Vec::with_capacity(bytes);
+            while out.len() + 8 <= bytes {
+                match pool.pop_word() {
+                    Some(w) => out.extend_from_slice(&w.to_be_bytes()),
+                    None => break,
+                }
             }
-            out.push(b);
+            while out.len() < bytes {
+                match pool.pop_byte() {
+                    Some(b) => out.push(b),
+                    None => break,
+                }
+            }
+            out
+        });
+        self.telemetry.take_bits_ns.observe_since(t0);
+        if out.is_ok() {
+            self.telemetry.served_bits.add(bits as u64);
         }
-        Ok(out)
+        out
     }
 
     /// Snapshot of the engine statistics.
@@ -594,6 +692,9 @@ impl HarvestEngine {
                 adaptive_trips: c.adaptive_trips.get(),
                 batches: c.batches.get(),
                 device_time_ps: c.device_time_ps.get(),
+                cache_skip_reads: c.cache_skip_reads.get(),
+                cache_hit_reads: c.cache_hit_reads.get(),
+                cache_resolve_reads: c.cache_resolve_reads.get(),
             })
             .collect();
         EngineStats {
@@ -605,6 +706,9 @@ impl HarvestEngine {
             queued_bits: self.queued_bits(),
             served_bits: self.shared.served_bits.get(),
             in_flight_bits: self.shared.in_flight_bits.outstanding(),
+            cache_skip_reads: workers.iter().map(|w| w.cache_skip_reads).sum(),
+            cache_hit_reads: workers.iter().map(|w| w.cache_hit_reads).sum(),
+            cache_resolve_reads: workers.iter().map(|w| w.cache_resolve_reads).sum(),
             workers,
         }
     }
@@ -648,7 +752,7 @@ impl Drop for HarvestEngine {
 /// Body of one worker thread: harvest, screen, publish, repeat.
 fn worker_loop<S: HarvestSource>(
     source: S,
-    tx: Sender<Vec<bool>>,
+    tx: Sender<BitBlock>,
     shared: Arc<Shared>,
     counters: Arc<WorkerCounters>,
     tel: WorkerTelemetry,
@@ -682,7 +786,7 @@ fn worker_loop<S: HarvestSource>(
 
 fn worker_run<S: HarvestSource>(
     mut source: S,
-    tx: &Sender<Vec<bool>>,
+    tx: &Sender<BitBlock>,
     shared: &Shared,
     counters: &WorkerCounters,
     tel: &WorkerTelemetry,
@@ -691,6 +795,9 @@ fn worker_run<S: HarvestSource>(
 ) -> Option<DrangeError> {
     let mut health = HealthMonitor::new(min_entropy);
     let mut consecutive_rejects = 0u32;
+    // Sensing-cache counters are cumulative on the device; diff against
+    // the previous snapshot so the shared counters stay additive.
+    let mut last_cache = SenseCacheStats::default();
     while !shared.shutdown.is_raised() {
         let harvest_t0 = tel.harvest_ns.start();
         let batch = match source.harvest_batch() {
@@ -704,13 +811,27 @@ fn worker_run<S: HarvestSource>(
         counters.harvested_bits.add(batch.len() as u64);
         tel.batches.inc();
         tel.harvested_bits.add(batch.len() as u64);
+        if let Some(cache) = source.sense_cache_stats() {
+            let skip = cache
+                .skip_word_reads
+                .saturating_sub(last_cache.skip_word_reads);
+            let hit = cache.hit_reads.saturating_sub(last_cache.hit_reads);
+            let resolve = cache.resolve_reads.saturating_sub(last_cache.resolve_reads);
+            counters.cache_skip_reads.add(skip);
+            counters.cache_hit_reads.add(hit);
+            counters.cache_resolve_reads.add(resolve);
+            tel.cache_skip_reads.add(skip);
+            tel.cache_hit_reads.add(hit);
+            tel.cache_resolve_reads.add(resolve);
+            last_cache = cache;
+        }
         if tel.throughput_bps.is_live() && device_time_ps > 0 {
             let harvested = counters.harvested_bits.get();
             let bps = harvested as f64 / (device_time_ps as f64 * 1e-12);
             tel.throughput_bps.set(bps as u64);
         }
         let health_t0 = tel.health_ns.start();
-        let trips = health.feed_all_counted(&batch);
+        let trips = health.feed_bits(batch.iter());
         tel.health_ns.observe_since(health_t0);
         if trips.total() > 0 {
             counters.health_trips.add(trips.total());
@@ -766,7 +887,7 @@ fn worker_run<S: HarvestSource>(
 /// Body of the collector thread: gate on the watermarks, drain batches
 /// into the pool, and on disconnect (all workers gone) stop.
 fn collector_loop(
-    rx: Receiver<Vec<bool>>,
+    rx: Receiver<BitBlock>,
     shared: Arc<Shared>,
     tel: CollectorTelemetry,
     low: usize,
@@ -796,7 +917,7 @@ fn collector_loop(
                 let collect_t0 = tel.collect_ns.start();
                 let queued = {
                     let mut pool = shared.pool.lock();
-                    pool.extend(batch);
+                    pool.push_block(&batch);
                     pool.len()
                 };
                 tel.collect_ns.observe_since(collect_t0);
@@ -888,7 +1009,7 @@ mod tests {
     }
 
     impl HarvestSource for PrngSource {
-        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+        fn harvest_batch(&mut self) -> Result<BitBlock> {
             Ok((0..self.batch).map(|_| self.next_bit()).collect())
         }
     }
@@ -901,8 +1022,8 @@ mod tests {
     }
 
     impl HarvestSource for StuckSource {
-        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
-            Ok(vec![false; self.batch])
+        fn harvest_batch(&mut self) -> Result<BitBlock> {
+            Ok((0..self.batch).map(|_| false).collect())
         }
     }
 
@@ -916,17 +1037,19 @@ mod tests {
     }
 
     impl HarvestSource for StretchSource {
-        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+        fn harvest_batch(&mut self) -> Result<BitBlock> {
             self.position = (self.position + 1) % (self.reject_run + 1);
             if self.position == 0 {
                 // Lead with a one so the zero-run of the preceding
                 // rejected stretch cannot spill into this batch's
                 // repetition count.
-                let mut batch = self.healthy.harvest_batch()?;
-                batch[0] = true;
-                Ok(batch)
+                let mut bits: Vec<bool> = (0..self.healthy.batch)
+                    .map(|_| self.healthy.next_bit())
+                    .collect();
+                bits[0] = true;
+                Ok(BitBlock::from_bools(&bits))
             } else {
-                Ok(vec![false; self.healthy.batch])
+                Ok((0..self.healthy.batch).map(|_| false).collect())
             }
         }
     }
@@ -1063,7 +1186,7 @@ mod tests {
         #[derive(Debug)]
         struct FailingSource;
         impl HarvestSource for FailingSource {
-            fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+            fn harvest_batch(&mut self) -> Result<BitBlock> {
                 Err(DrangeError::Engine("synthetic device fault".into()))
             }
         }
@@ -1116,6 +1239,9 @@ mod tests {
             "drange_pool_bits",
             "drange_health_trips_total{test=\"adaptive\",worker=\"0\"}",
             "drange_health_trips_total{test=\"repetition\",worker=\"0\"}",
+            "drange_cache_reads_total{kind=\"hit\",worker=\"0\"}",
+            "drange_cache_reads_total{kind=\"skip\",worker=\"0\"}",
+            "drange_cache_reads_total{kind=\"resolve\",worker=\"0\"}",
         ] {
             assert!(text.contains(series), "missing series {series} in:\n{text}");
         }
@@ -1180,6 +1306,54 @@ mod tests {
         );
         assert_eq!(stats.workers[0].repetition_trips, stats.repetition_trips);
         assert_eq!(stats.workers[0].adaptive_trips, stats.adaptive_trips);
+    }
+
+    #[test]
+    fn cache_stats_flow_into_worker_and_engine_stats() {
+        /// Healthy source that reports synthetic cumulative cache
+        /// counters: 6 skips, 3 hits, 1 resolve per batch (hit rate
+        /// 0.9), so the worker's per-batch diffing is checkable.
+        #[derive(Debug)]
+        struct CachedPrngSource {
+            inner: PrngSource,
+            stats: SenseCacheStats,
+        }
+        impl HarvestSource for CachedPrngSource {
+            fn harvest_batch(&mut self) -> Result<BitBlock> {
+                self.stats.skip_word_reads += 6;
+                self.stats.hit_reads += 3;
+                self.stats.resolve_reads += 1;
+                self.inner.harvest_batch()
+            }
+            fn sense_cache_stats(&self) -> Option<SenseCacheStats> {
+                Some(self.stats)
+            }
+        }
+        let source = CachedPrngSource {
+            inner: PrngSource::new(21, 128),
+            stats: SenseCacheStats::default(),
+        };
+        let engine = HarvestEngine::spawn(vec![source], small_config()).unwrap();
+        let _ = engine.take_bits(256).unwrap();
+        let stats = engine.shutdown();
+        let w = stats.workers[0];
+        assert!(w.batches > 0);
+        assert_eq!(w.cache_skip_reads, 6 * w.batches);
+        assert_eq!(w.cache_hit_reads, 3 * w.batches);
+        assert_eq!(w.cache_resolve_reads, w.batches);
+        assert_eq!(stats.cache_skip_reads, w.cache_skip_reads);
+        assert_eq!(stats.cache_hit_reads, w.cache_hit_reads);
+        assert_eq!(stats.cache_resolve_reads, w.cache_resolve_reads);
+        assert!((w.cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((stats.cache_hit_rate() - 0.9).abs() < 1e-12);
+        // A stats snapshot with no cache activity reports a 0.0 rate.
+        let inactive = WorkerStats {
+            cache_skip_reads: 0,
+            cache_hit_reads: 0,
+            cache_resolve_reads: 0,
+            ..w
+        };
+        assert_eq!(inactive.cache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -222,8 +222,16 @@ impl HealthMonitor {
     /// Feeds a slice and returns the per-test breakdown of the health
     /// failures it caused.
     pub fn feed_all_counted(&mut self, bits: &[bool]) -> TripCounts {
+        self.feed_bits(bits.iter().copied())
+    }
+
+    /// Feeds every bit of an iterator (e.g. a packed
+    /// [`crate::bits::BitBlock`]'s bits, without unpacking to a slice
+    /// first) and returns the per-test breakdown of the health failures
+    /// it caused.
+    pub fn feed_bits(&mut self, bits: impl Iterator<Item = bool>) -> TripCounts {
         let before = self.trip_counts();
-        for &b in bits {
+        for b in bits {
             let _ = self.feed(b);
         }
         self.trip_counts() - before

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bits;
 pub mod calibrate;
 pub mod dpd;
 pub mod engine;
@@ -70,6 +71,7 @@ pub mod stream;
 pub mod sync;
 pub mod throughput;
 
+pub use bits::{BitBlock, BitQueue};
 pub use drange_telemetry as telemetry;
 pub use engine::{
     channel_sources, channel_sources_with_telemetry, EngineConfig, EngineStats, HarvestEngine,

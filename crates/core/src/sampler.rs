@@ -11,12 +11,11 @@
 //! for the solid-zero pattern the paper uses, and unbiased for any
 //! written value.
 
-use std::collections::VecDeque;
-
-use dram_sim::{DataPattern, WordAddr};
+use dram_sim::{DataPattern, SenseCacheStats, WordAddr};
 use memctrl::MemoryController;
 use rand::RngCore;
 
+use crate::bits::{BitBlock, BitQueue};
 use crate::error::{DrangeError, Result};
 use crate::identify::RngCellCatalog;
 
@@ -97,7 +96,7 @@ pub struct DRange {
     ctrl: MemoryController,
     config: DRangeConfig,
     plan: Vec<BankPlan>,
-    queue: VecDeque<bool>,
+    queue: BitQueue,
     stats: SampleStats,
     bits_per_iteration: usize,
 }
@@ -178,7 +177,7 @@ impl DRange {
             ctrl,
             config,
             plan,
-            queue: VecDeque::new(),
+            queue: BitQueue::new(),
             stats: SampleStats::default(),
             bits_per_iteration,
         })
@@ -247,11 +246,40 @@ impl DRange {
         self.stats.bits += harvested as u64;
         self.stats.iterations += 1;
         self.stats.device_time_ps += self.ctrl.now_ps() - t0;
-        // Respect the firmware queue bound.
-        while self.queue.len() > self.config.queue_capacity {
-            self.queue.pop_front();
+        // Respect the firmware queue bound (drop the oldest bits).
+        let over = self.queue.len().saturating_sub(self.config.queue_capacity);
+        if over > 0 {
+            self.queue.drop_front(over);
         }
         Ok(harvested)
+    }
+
+    /// Runs one sampling pass and drains the harvest as a packed block
+    /// — the engine's batch unit (worker→pool transfer copies words,
+    /// not bools).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn harvest_block(&mut self) -> Result<BitBlock> {
+        let harvested = self.sample_once()?;
+        Ok(self.queue.pop_block(harvested))
+    }
+
+    /// Sensing-cache effectiveness counters of the underlying device.
+    pub fn sense_cache_stats(&self) -> SenseCacheStats {
+        self.ctrl.device().sense_cache_stats()
+    }
+
+    /// Whether draining `n` bits at once from the queue yields the same
+    /// stream as the historical bit-at-a-time drain. Bulk draining may
+    /// leave up to `n − 1` bits queued before a sampling pass tops it
+    /// up, so the queue bound must absorb `bits_per_iteration + n − 1`
+    /// without trimming (a trim would drop bits the per-bit path, which
+    /// only samples on an empty queue, would have delivered).
+    fn bulk_ok(&self, n: usize) -> bool {
+        self.config.queue_capacity >= n
+            && self.bits_per_iteration + n - 1 <= self.config.queue_capacity
     }
 
     /// Harvests until at least `bits` random bits are queued
@@ -283,7 +311,7 @@ impl DRange {
             self.sample_once()?;
         }
         self.queue
-            .pop_front()
+            .pop_bit()
             .ok_or_else(|| DrangeError::NoRngCells("sampling pass produced no bits".into()))
     }
 
@@ -300,12 +328,20 @@ impl DRange {
         Ok(out)
     }
 
-    /// The next random `u64`.
+    /// The next random `u64`, drained in bulk from the packed queue
+    /// when the queue bound allows (falling back to the historical
+    /// bit-at-a-time path otherwise, with an identical output stream).
     ///
     /// # Errors
     ///
     /// Propagates controller errors.
     pub fn next_word(&mut self) -> Result<u64> {
+        if self.bulk_ok(64) {
+            self.ensure_bits(64)?;
+            if let Some(w) = self.queue.pop_word() {
+                return Ok(w);
+            }
+        }
         let mut v = 0u64;
         for _ in 0..64 {
             v = (v << 1) | u64::from(self.next_bit()?);
@@ -313,12 +349,39 @@ impl DRange {
         Ok(v)
     }
 
-    /// Fills a byte buffer with random data.
+    /// Fills a byte buffer with random data, draining whole words and
+    /// bytes from the packed queue when the queue bound allows.
     ///
     /// # Errors
     ///
     /// Propagates controller errors.
     pub fn try_fill(&mut self, buf: &mut [u8]) -> Result<()> {
+        if self.bulk_ok(64) {
+            let mut chunks = buf.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                self.ensure_bits(64)?;
+                match self.queue.pop_word() {
+                    Some(w) => chunk.copy_from_slice(&w.to_be_bytes()),
+                    None => {
+                        return Err(DrangeError::NoRngCells(
+                            "sampling pass produced no bits".into(),
+                        ))
+                    }
+                }
+            }
+            for byte in chunks.into_remainder() {
+                self.ensure_bits(8)?;
+                match self.queue.pop_byte() {
+                    Some(b) => *byte = b,
+                    None => {
+                        return Err(DrangeError::NoRngCells(
+                            "sampling pass produced no bits".into(),
+                        ))
+                    }
+                }
+            }
+            return Ok(());
+        }
         for byte in buf.iter_mut() {
             let mut b = 0u8;
             for _ in 0..8 {
@@ -334,7 +397,7 @@ impl DRange {
 fn sample_pass(
     ctrl: &mut MemoryController,
     plan: &[BankPlan],
-    queue: &mut VecDeque<bool>,
+    queue: &mut BitQueue,
 ) -> Result<usize> {
     let mut harvested = 0usize;
     for word_idx in 0..2 {
@@ -346,11 +409,15 @@ fn sample_pass(
             };
             ctrl.act(bp.bank, w.addr.row)?;
             let got = ctrl.rd(bp.bank, w.addr.row, w.addr.col)?;
-            // Lines 9-10: harvest RNG bits, restore original.
-            for &bit in &w.bits {
-                queue.push_back((got >> bit) & 1 != (w.original >> bit) & 1);
-                harvested += 1;
+            // Lines 9-10: harvest the RNG bits (failure indicators,
+            // sensed XOR written) packed MSB-first, restore original.
+            let diff = got ^ w.original;
+            let mut frag = 0u64;
+            for (k, &bit) in w.bits.iter().enumerate() {
+                frag |= ((diff >> bit) & 1) << (63 - k);
             }
+            queue.push_bits(frag, w.bits.len());
+            harvested += w.bits.len();
             if got != w.original {
                 ctrl.wr(bp.bank, w.addr.row, w.addr.col, w.original)?;
             }
@@ -573,6 +640,80 @@ mod tests {
     fn oversized_request_is_rejected() {
         let mut g = generator();
         assert!(g.ensure_bits(1_000_000).is_err());
+    }
+
+    #[test]
+    fn bulk_drains_match_per_bit_stream() {
+        // Same seeds: two generators produce identical harvest streams,
+        // so the bulk word/byte drains must reproduce exactly what a
+        // bit-at-a-time consumer sees.
+        let mut bulk = generator();
+        let mut serial = generator();
+        for _ in 0..4 {
+            let w = bulk.next_word().unwrap();
+            let mut v = 0u64;
+            for _ in 0..64 {
+                v = (v << 1) | u64::from(serial.next_bit().unwrap());
+            }
+            assert_eq!(w, v);
+        }
+        let mut buf = [0u8; 27];
+        bulk.try_fill(&mut buf).unwrap();
+        let mut want = [0u8; 27];
+        for byte in want.iter_mut() {
+            let mut x = 0u8;
+            for _ in 0..8 {
+                x = (x << 1) | u8::from(serial.next_bit().unwrap());
+            }
+            *byte = x;
+        }
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn tiny_queue_capacity_falls_back_to_per_bit_path() {
+        let mut g = DRange::new(
+            fresh_ctrl(),
+            catalog(),
+            DRangeConfig {
+                queue_capacity: 16,
+                ..DRangeConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!g.bulk_ok(64));
+        let a = g.next_word().unwrap();
+        let b = g.next_word().unwrap();
+        assert_ne!(a, b, "two 64-bit draws should differ (p = 2^-64)");
+        let mut buf = [0u8; 9];
+        g.try_fill(&mut buf).unwrap();
+    }
+
+    #[test]
+    fn harvest_block_drains_one_pass() {
+        let mut g = generator();
+        let block = g.harvest_block().unwrap();
+        assert_eq!(block.len(), g.bits_per_iteration());
+        assert_eq!(g.queue.len(), 0, "harvest drains what the pass queued");
+        // A second pass, drained serially, matches a block-drained twin.
+        let mut twin = generator();
+        let _ = twin.harvest_block().unwrap();
+        let block2 = g.harvest_block().unwrap();
+        let serial = twin.bits(block2.len()).unwrap();
+        assert_eq!(block2.iter().collect::<Vec<_>>(), serial);
+    }
+
+    #[test]
+    fn sampler_reports_sense_cache_activity() {
+        let mut g = generator();
+        let _ = g.bits(256).unwrap();
+        let stats = g.sense_cache_stats();
+        assert!(stats.sensed_reads() > 0);
+        assert!(
+            stats.hit_rate() > 0.5,
+            "steady-state sampling mostly hits the cache: {}",
+            stats.hit_rate()
+        );
     }
 
     #[test]

@@ -317,6 +317,7 @@ impl RandomnessService {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bits::BitBlock;
     use crate::identify::{IdentifySpec, RngCellCatalog};
     use crate::profiler::{ProfileSpec, Profiler};
     use crate::sampler::DRangeConfig;
@@ -365,8 +366,8 @@ mod tests {
     struct StuckSource;
 
     impl HarvestSource for StuckSource {
-        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
-            Ok(vec![false; 64])
+        fn harvest_batch(&mut self) -> Result<BitBlock> {
+            Ok((0..64).map(|_| false).collect())
         }
     }
 
@@ -487,7 +488,7 @@ mod tests {
     }
 
     impl HarvestSource for PrngSource {
-        fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+        fn harvest_batch(&mut self) -> Result<BitBlock> {
             Ok((0..128)
                 .map(|_| {
                     self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -233,7 +233,7 @@ mod tests {
             state: u64,
         }
         impl HarvestSource for PrngSource {
-            fn harvest_batch(&mut self) -> Result<Vec<bool>> {
+            fn harvest_batch(&mut self) -> Result<crate::bits::BitBlock> {
                 Ok((0..128)
                     .map(|_| {
                         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

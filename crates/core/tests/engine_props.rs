@@ -4,7 +4,7 @@
 //! harvested bit must end up queued, served, or discarded — none lost,
 //! none duplicated into two places.
 
-use drange_core::{EngineConfig, HarvestEngine, HarvestSource};
+use drange_core::{BitBlock, EngineConfig, HarvestEngine, HarvestSource};
 use proptest::prelude::*;
 
 /// Scripted harvest source: either a deterministic healthy PRNG stream
@@ -27,12 +27,12 @@ impl ScriptedSource {
 }
 
 impl HarvestSource for ScriptedSource {
-    fn harvest_batch(&mut self) -> drange_core::Result<Vec<bool>> {
+    fn harvest_batch(&mut self) -> drange_core::Result<BitBlock> {
         match self {
             ScriptedSource::Prng { state, batch } => {
                 Ok((0..*batch).map(|_| Self::next_bit(state)).collect())
             }
-            ScriptedSource::Stuck { batch } => Ok(vec![false; *batch]),
+            ScriptedSource::Stuck { batch } => Ok((0..*batch).map(|_| false).collect()),
         }
     }
 }

@@ -28,9 +28,11 @@ use crate::error::{DramError, Result};
 use crate::geometry::{CellAddr, Geometry, WordAddr};
 use crate::manufacturer::{Manufacturer, PhysicsProfile};
 use crate::math::phi;
+use crate::probit::fast_phi;
+use crate::sense_cache::{FastCell, SenseCache, SenseCacheStats};
 use crate::temperature::Celsius;
 use crate::timing::{DramStandard, TimingParams};
-use crate::variation::{cell_latents, VariationMap};
+use crate::variation::{cell_latents, CellLatents, VariationMap};
 
 /// Margin above which the slow (per-cell, noise-sampled) path is skipped
 /// entirely: at 0.16 V over threshold with σ = 0.02 V, the failure
@@ -147,6 +149,11 @@ pub struct DramDevice {
     data: Vec<Vec<u64>>,
     banks: Vec<BankState>,
     noise: Box<dyn NoiseSource>,
+    /// Memoized per-word bit classification for the sensing hot path.
+    cache: SenseCache,
+    /// Whether READs sense through the cache (default) or the original
+    /// per-cell slow path (the equivalence oracle).
+    sense_fast: bool,
 }
 
 impl std::fmt::Debug for DramDevice {
@@ -206,6 +213,8 @@ impl DramDevice {
             data,
             banks,
             noise,
+            cache: SenseCache::default(),
+            sense_fast: true,
         }
     }
 
@@ -245,8 +254,49 @@ impl DramDevice {
     }
 
     /// Sets the device temperature (the thermal chamber knob).
+    ///
+    /// Invalidates every memoized sensing probability: the margin's
+    /// temperature term changes, the bit classification (which is
+    /// temperature-independent) does not.
     pub fn set_temperature(&mut self, t: Celsius) {
+        if t.degrees().to_bits() != self.temperature.degrees().to_bits() {
+            self.cache.invalidate_resolved();
+        }
         self.temperature = t;
+    }
+
+    /// Selects the sensing implementation: `true` (default) senses
+    /// through the sense-cache fast path, `false` runs the original
+    /// per-cell slow path.
+    ///
+    /// Both consume the device's noise stream identically, so the
+    /// toggle exists for equivalence testing and benchmarking, not
+    /// correctness.
+    pub fn set_sense_fast_path(&mut self, fast: bool) {
+        self.sense_fast = fast;
+    }
+
+    /// Whether the sensing fast path is active.
+    pub fn sense_fast_path(&self) -> bool {
+        self.sense_fast
+    }
+
+    /// Snapshot of the sensing-cache effectiveness counters.
+    pub fn sense_cache_stats(&self) -> SenseCacheStats {
+        self.cache.stats
+    }
+
+    /// Timing-register hook: tells the device a new tRCD is in effect.
+    ///
+    /// Values at or above the fail guard never reach the sensing path
+    /// and are ignored; a *changed* sub-guard value re-keys the
+    /// classification epoch. Each READ also carries its tRCD and the
+    /// cache double-checks it per word, so this hook is the explicit
+    /// invalidation path, not the only one.
+    pub fn notify_timing_change(&mut self, trcd_ns: f64) {
+        if trcd_ns < self.profile.fail_guard_ns {
+            self.cache.rekey_trcd(trcd_ns.to_bits());
+        }
     }
 
     /// The process-variation map (analysis/tests).
@@ -430,9 +480,17 @@ impl DramDevice {
             // The paper observes failures only for tRCD in 6-13 ns.
             return Ok(stored);
         }
-        let sensed = self.sense_word(bank, row, col, stored, trcd_ns);
+        let sensed = if self.sense_fast {
+            self.sense_word_fast(bank, row, col, stored, trcd_ns)
+        } else {
+            self.sense_word(bank, row, col, stored, trcd_ns)
+        };
         if sensed != stored {
-            // Restoration writes the (wrong) sensed value back.
+            // Restoration writes the (wrong) sensed value back. The
+            // sense cache needs no explicit hook: every non-skip sense
+            // re-reads the live coupling context, and when Algorithm 2
+            // rewrites the original data the context round-trips, so
+            // the memoized probabilities become valid again for free.
             self.data[bank][idx] = sensed;
         }
         Ok(sensed)
@@ -497,6 +555,119 @@ impl DramDevice {
         sensed
     }
 
+    /// Senses a word through the sense cache: one map lookup plus a
+    /// skip-mask test in the common case, memoized latents and
+    /// probabilities otherwise. Draws from the noise stream in the same
+    /// order (and, up to the [`crate::probit`] error bound, with the
+    /// same probabilities) as [`DramDevice::sense_word`].
+    fn sense_word_fast(
+        &mut self,
+        bank: usize,
+        row: usize,
+        col: usize,
+        stored: u64,
+        trcd_ns: f64,
+    ) -> u64 {
+        // Detach the cache so its word states can be borrowed mutably
+        // alongside the device's data/profile/variation/noise fields.
+        let mut cache = std::mem::take(&mut self.cache);
+        let sensed = self.sense_word_cached(&mut cache, bank, row, col, stored, trcd_ns);
+        self.cache = cache;
+        sensed
+    }
+
+    fn sense_word_cached(
+        &mut self,
+        cache: &mut SenseCache,
+        bank: usize,
+        row: usize,
+        col: usize,
+        stored: u64,
+        trcd_ns: f64,
+    ) -> u64 {
+        let trcd_bits = trcd_ns.to_bits();
+        let state = cache
+            .words
+            .entry(WordAddr::new(bank, row, col))
+            .or_default();
+        if !state.classified
+            || state.class_epoch != cache.class_epoch
+            || state.trcd_bits != trcd_bits
+        {
+            // Classification: replicate sense_word's per-bit prefix so
+            // `base` is computed by the identical expression tree.
+            let g = self.profile.settle(trcd_ns);
+            let sub = self.geometry.subarray_of(row);
+            let d = self.geometry.row_in_subarray(row) as f64 / self.geometry.subarray_rows as f64;
+            let row_factor = 1.0 - self.profile.row_alpha * d;
+            state.skip_mask = 0;
+            state.active.clear();
+            for bit in 0..self.geometry.word_bits {
+                let bl = self.geometry.bitline_of(col, bit);
+                let s = self.variation.strength(bank, sub, bl);
+                let base = g * s * row_factor - self.profile.theta_v;
+                if base > SLOW_PATH_CUTOFF_V {
+                    state.skip_mask |= 1u64 << bit;
+                } else {
+                    let cell = CellAddr::new(bank, row, col, bit);
+                    let lat = cell_latents(self.seed, &self.profile, cell);
+                    state.active.push(FastCell {
+                        bit,
+                        base,
+                        lat,
+                        p: 0.0,
+                    });
+                }
+            }
+            state.classified = true;
+            state.class_epoch = cache.class_epoch;
+            state.trcd_bits = trcd_bits;
+            state.resolved = false;
+            cache.stats.classified_words += 1;
+        }
+        if state.active.is_empty() {
+            // Every bit always-correct at this tRCD: the whole-word
+            // common case is this one mask-backed early return.
+            cache.stats.skip_word_reads += 1;
+            return stored;
+        }
+        // Coupling-context snapshot: the margins of this word's cells
+        // depend only on the stored word itself and its column
+        // neighbors (bitline b±1 leaves the word only at bits 0 and
+        // word_bits−1). Missing neighbors use a constant sentinel.
+        let left = if col > 0 {
+            self.data[bank][idx_of(&self.geometry, row, col - 1)]
+        } else {
+            0
+        };
+        let right = if col + 1 < self.geometry.cols {
+            self.data[bank][idx_of(&self.geometry, row, col + 1)]
+        } else {
+            0
+        };
+        let ctx = [left, stored, right];
+        if !state.resolved || state.resolve_epoch != cache.resolve_epoch || state.ctx != ctx {
+            for fc in &mut state.active {
+                let cell = CellAddr::new(bank, row, col, fc.bit);
+                let margin = self.cell_margin_with(cell, fc.base, stored, &fc.lat);
+                fc.p = fast_phi(-margin * self.profile.inv_sigma);
+            }
+            state.resolved = true;
+            state.resolve_epoch = cache.resolve_epoch;
+            state.ctx = ctx;
+            cache.stats.resolve_reads += 1;
+        } else {
+            cache.stats.hit_reads += 1;
+        }
+        let mut sensed = stored;
+        for fc in &state.active {
+            if self.noise.bernoulli(fc.p) {
+                sensed ^= 1u64 << fc.bit;
+            }
+        }
+        sensed
+    }
+
     /// Adds the per-cell margin terms to a precomputed `base` margin.
     ///
     /// `row_word` is the stored word containing the cell (used for
@@ -504,6 +675,14 @@ impl DramDevice {
     /// are fetched from the array.
     fn cell_margin(&self, cell: CellAddr, base: f64, row_word: u64) -> f64 {
         let lat = cell_latents(self.seed, &self.profile, cell);
+        self.cell_margin_with(cell, base, row_word, &lat)
+    }
+
+    /// [`DramDevice::cell_margin`] with the latents supplied by the
+    /// caller — the single margin expression both sensing paths share,
+    /// so cached and freshly-derived latents produce bit-identical
+    /// margins.
+    fn cell_margin_with(&self, cell: CellAddr, base: f64, row_word: u64, lat: &CellLatents) -> f64 {
         let anti = cell.row % 2 == 1;
         let stored = (row_word >> cell.bit) & 1 == 1;
         let my_charge = stored ^ anti;
@@ -936,5 +1115,204 @@ mod tests {
             out
         };
         assert_eq!(run(), run());
+    }
+
+    /// Two devices built identically except for the sensing path: the
+    /// fast path must emit the oracle's exact output stream for the
+    /// same noise seed.
+    fn oracle_pair(man: Manufacturer, seed: u64, noise: u64) -> (DramDevice, DramDevice) {
+        let build = |fast: bool| {
+            let mut d = DramDevice::build(
+                DeviceConfig::new(man)
+                    .with_seed(seed)
+                    .with_noise_seed(noise),
+            );
+            d.set_sense_fast_path(fast);
+            d.fill_bank(0, DataPattern::Checkered);
+            d
+        };
+        (build(true), build(false))
+    }
+
+    fn scan_both(
+        fast: &mut DramDevice,
+        slow: &mut DramDevice,
+        rows: std::ops::Range<usize>,
+        trcd: f64,
+        tag: &str,
+    ) {
+        let cols = fast.geometry().cols;
+        for row in rows {
+            for col in 0..cols {
+                fast.activate(0, row).unwrap();
+                slow.activate(0, row).unwrap();
+                let a = fast.read(0, row, col, trcd).unwrap();
+                let b = slow.read(0, row, col, trcd).unwrap();
+                fast.precharge(0).unwrap();
+                slow.precharge(0).unwrap();
+                assert_eq!(a, b, "{tag}: row {row} col {col} trcd {trcd}");
+            }
+        }
+    }
+
+    fn assert_same_stored_and_fprob(fast: &DramDevice, slow: &DramDevice, tag: &str) {
+        let g = fast.geometry();
+        for row in (0..g.rows).step_by(17) {
+            for col in 0..g.cols {
+                let a = WordAddr::new(0, row, col);
+                assert_eq!(fast.peek(a), slow.peek(a), "{tag}: stored {row}/{col}");
+                for bit in (0..g.word_bits).step_by(13) {
+                    let c = CellAddr::new(0, row, col, bit);
+                    assert_eq!(
+                        fast.failure_probability(c, 10.0),
+                        slow.failure_probability(c, 10.0),
+                        "{tag}: fprob {row}/{col}/{bit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_equivalent_across_manufacturers_temps_and_trcd() {
+        for man in [Manufacturer::A, Manufacturer::B, Manufacturer::C] {
+            let (mut fast, mut slow) = oracle_pair(man, 31, 77);
+            // Interleave temperature and tRCD changes so the scan also
+            // exercises re-keying and re-resolution mid-stream.
+            let schedule = [
+                (45.0, 10.0),
+                (45.0, 9.0),
+                (70.0, 10.0),
+                (25.0, 11.0),
+                (45.0, 13.0),
+            ];
+            for (step, (temp, trcd)) in schedule.iter().enumerate() {
+                fast.set_temperature(Celsius(*temp));
+                slow.set_temperature(Celsius(*temp));
+                let lo = step * 24;
+                scan_both(
+                    &mut fast,
+                    &mut slow,
+                    lo..lo + 96,
+                    *trcd,
+                    &format!("{man:?}"),
+                );
+            }
+            assert_same_stored_and_fprob(&fast, &slow, &format!("{man:?}"));
+            let stats = fast.sense_cache_stats();
+            assert!(stats.sensed_reads() > 0, "fast path actually sensed");
+            assert!(stats.skip_word_reads > 0, "skip mask engaged");
+        }
+    }
+
+    #[test]
+    fn fast_path_equivalent_under_random_op_interleaving() {
+        let (mut fast, mut slow) = oracle_pair(Manufacturer::A, 7, 9);
+        let g = fast.geometry();
+        let mut k = 0xD15E_A5ED_u64;
+        let mut rng = move || {
+            k = crate::math::splitmix64(k);
+            k
+        };
+        for step in 0..4000 {
+            match rng() % 10 {
+                // Data writes (protocol-bypassing poke) invalidate the
+                // written word and its column neighbors.
+                0 | 1 => {
+                    let a = WordAddr::new(0, rng() as usize % 64, rng() as usize % g.cols);
+                    let v = rng();
+                    fast.poke(a, v).unwrap();
+                    slow.poke(a, v).unwrap();
+                }
+                // Temperature changes invalidate all resolutions.
+                2 => {
+                    let t = Celsius(25.0 + (rng() % 5) as f64 * 10.0);
+                    fast.set_temperature(t);
+                    slow.set_temperature(t);
+                }
+                // Timing-register hook (mirrors what memctrl drives).
+                3 => {
+                    let trcd = [9.5, 10.0, 18.0][rng() as usize % 3];
+                    fast.notify_timing_change(trcd);
+                    slow.notify_timing_change(trcd);
+                }
+                // Reduced-latency reads, including repeats of the same
+                // words so memoized probabilities actually get reused.
+                _ => {
+                    let row = rng() as usize % 64;
+                    let col = rng() as usize % g.cols;
+                    let trcd = [9.5, 10.0][rng() as usize % 2];
+                    fast.activate(0, row).unwrap();
+                    slow.activate(0, row).unwrap();
+                    let a = fast.read(0, row, col, trcd).unwrap();
+                    let b = slow.read(0, row, col, trcd).unwrap();
+                    fast.precharge(0).unwrap();
+                    slow.precharge(0).unwrap();
+                    assert_eq!(a, b, "step {step}: row {row} col {col} trcd {trcd}");
+                }
+            }
+        }
+        assert_same_stored_and_fprob(&fast, &slow, "interleaved");
+        assert!(
+            fast.sense_cache_stats().hit_reads > 0,
+            "memoization engaged"
+        );
+    }
+
+    #[test]
+    fn cache_stats_track_classification_and_invalidation() {
+        let mut d = device();
+        d.fill_bank(0, DataPattern::Solid0);
+        let read_once = |d: &mut DramDevice, row: usize, col: usize, trcd: f64| {
+            d.activate(0, row).unwrap();
+            let w = d.read(0, row, col, trcd).unwrap();
+            d.precharge(0).unwrap();
+            w
+        };
+        // Pick a word whose first read stays clean (so repeat reads keep
+        // an unchanged coupling context) but which has stochastic bits.
+        // Each probe uses a fresh device, so the chosen word behaves
+        // identically on `d`, whose noise stream is at the same point.
+        let (row, col) = (0..64)
+            .flat_map(|r| (0..16).map(move |c| (r, c)))
+            .find(|&(r, c)| {
+                let mut probe = device();
+                probe.activate(0, r).unwrap();
+                let w = probe.read(0, r, c, 10.0).unwrap();
+                probe.precharge(0).unwrap();
+                w == 0 && probe.sense_cache_stats().resolve_reads > 0
+            })
+            .expect("a clean stochastic word exists");
+
+        read_once(&mut d, row, col, 10.0);
+        let s1 = d.sense_cache_stats();
+        assert_eq!(s1.classified_words, 1);
+        assert_eq!(s1.resolve_reads, 1);
+
+        read_once(&mut d, row, col, 10.0);
+        let s2 = d.sense_cache_stats();
+        assert_eq!(s2.classified_words, 1, "same tRCD: no reclassification");
+        assert_eq!(s2.hit_reads, 1, "unchanged context reuses p");
+
+        // A write to the column neighbor forces re-resolution but not
+        // reclassification.
+        let ncol = if col == 0 { 1 } else { col - 1 };
+        d.poke(WordAddr::new(0, row, ncol), 1).unwrap();
+        read_once(&mut d, row, col, 10.0);
+        let s3 = d.sense_cache_stats();
+        assert_eq!(s3.classified_words, 1);
+        assert_eq!(s3.resolve_reads, 2, "neighbor write re-resolves");
+
+        // Temperature change: re-resolution, no reclassification.
+        d.set_temperature(Celsius(55.0));
+        read_once(&mut d, row, col, 10.0);
+        let s4 = d.sense_cache_stats();
+        assert_eq!(s4.classified_words, 1);
+        assert_eq!(s4.resolve_reads, 3, "temperature change re-resolves");
+
+        // tRCD change: full reclassification.
+        read_once(&mut d, row, col, 9.5);
+        let s5 = d.sense_cache_stats();
+        assert_eq!(s5.classified_words, 2, "new tRCD reclassifies");
     }
 }

@@ -62,7 +62,9 @@ pub mod geometry;
 pub mod manufacturer;
 pub mod math;
 pub mod pgm;
+pub mod probit;
 pub mod retention;
+mod sense_cache;
 pub mod startup;
 pub mod temperature;
 pub mod timing;
@@ -78,6 +80,7 @@ pub use entropy::{NoiseSource, OsNoise, SeededNoise};
 pub use error::{DramError, Result};
 pub use geometry::{CellAddr, Geometry, WordAddr};
 pub use manufacturer::{Manufacturer, PhysicsProfile};
+pub use sense_cache::SenseCacheStats;
 pub use temperature::Celsius;
 pub use timing::{DramStandard, TimingParams};
 pub use trace::CommandTrace;

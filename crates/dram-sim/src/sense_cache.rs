@@ -1,0 +1,224 @@
+//! Per-device sensing cache: memoized bit classification for the READ
+//! hot path.
+//!
+//! The activation-failure model splits a word's bits into three classes
+//! on first touch of a `(bank, row, col)` word at a given tRCD:
+//!
+//! * **always-correct** — `base > SLOW_PATH_CUTOFF_V`: the bitline is
+//!   strong enough at this tRCD that the failure probability is below
+//!   10⁻¹⁵; these bits are recorded in a 64-bit skip mask and never
+//!   touched again. The whole-word common case (all bits skippable)
+//!   collapses to a single map lookup.
+//! * **deterministic-flip** — margin so negative that `p == 1.0`; the
+//!   memoized probability saturates and the Bernoulli draw consumes no
+//!   entropy, exactly like the slow path.
+//! * **stochastic** — everything in between; the resolved
+//!   [`CellLatents`] and the pattern-independent `base` margin term are
+//!   memoized, so a repeat READ only needs the data-dependent
+//!   charge/coupling terms, one Φ (the rational [`crate::probit`]
+//!   kernel), and one Bernoulli draw — and when the data context is
+//!   unchanged, not even that: the resolved `p` itself is reused.
+//!
+//! ## Invalidation rules
+//!
+//! Classification (skip mask + latents) depends on tRCD, process
+//! variation, and geometry — never on stored data or temperature. It is
+//! invalidated by timing-register changes, via a per-word tRCD
+//! bit-pattern check (the backstop — READ carries tRCD as an argument)
+//! and a cache-wide `class_epoch` bumped by
+//! `DramDevice::notify_timing_change` (the explicit path driven by the
+//! memory controller's timing writes).
+//!
+//! Resolution (the memoized `p` per stochastic cell) additionally
+//! depends on temperature and on the stored data of the word and its
+//! column neighbors (adjacent-bitline coupling reaches across word
+//! boundaries at bits 0 and `word_bits − 1`). It is invalidated two
+//! ways:
+//!
+//! * `set_temperature` bumps the cache-wide `resolve_epoch`;
+//! * every non-skip READ compares a `[left, this, right]` snapshot of
+//!   the coupling context against the one the memoized `p` was
+//!   resolved under, which covers *every* data mutation — `write`,
+//!   `poke`, and the in-read restore of a failed sense — exactly and
+//!   only when the margins actually changed.
+//!
+//! The snapshot compare is deliberately the *only* data-invalidation
+//! mechanism: an explicit mark-dirty hook on writes would force a
+//! re-resolve on every Algorithm 2 pass (harvest corrupts the word,
+//! the restore write puts the original back), even though the context
+//! round-trips to exactly the state the probabilities were resolved
+//! under. With the snapshot compare, the restore makes the memoized
+//! values valid again for free and steady-state sampling stays on the
+//! hit path.
+//!
+//! The epoch counters make cache-wide invalidation O(1): no vectors are
+//! cleared, stale entries simply fail their epoch check on next touch.
+
+use std::collections::HashMap;
+
+use crate::geometry::WordAddr;
+use crate::variation::CellLatents;
+
+/// Effectiveness counters of a device's sensing cache.
+///
+/// Monotone over the device's lifetime; harvest engines snapshot and
+/// diff them to derive per-batch rates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SenseCacheStats {
+    /// Word classification events (first touch or reclassification
+    /// after a tRCD change).
+    pub classified_words: u64,
+    /// READs fully answered by the skip mask (every bit always-correct
+    /// at this tRCD): no latents, no Φ, no noise draw.
+    pub skip_word_reads: u64,
+    /// READs of words with stochastic bits whose memoized probabilities
+    /// were reused (context snapshot and epochs matched).
+    pub hit_reads: u64,
+    /// READs that had to re-resolve per-cell probabilities (first
+    /// touch, data-context change, or invalidation).
+    pub resolve_reads: u64,
+    /// Cache-wide invalidation events (timing re-key or temperature
+    /// change).
+    pub flushes: u64,
+}
+
+impl SenseCacheStats {
+    /// Fraction of sensing READs answered from memoized state
+    /// (skip-mask or resolved-probability hits). 0.0 when no sensing
+    /// READ has happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.skip_word_reads + self.hit_reads;
+        let total = hits + self.resolve_reads;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Total sensing READs that consulted the cache.
+    pub fn sensed_reads(&self) -> u64 {
+        self.skip_word_reads + self.hit_reads + self.resolve_reads
+    }
+}
+
+/// A stochastic (or deterministic-flip) cell within a cached word.
+#[derive(Debug, Clone)]
+pub(crate) struct FastCell {
+    /// Bit index within the word.
+    pub(crate) bit: usize,
+    /// Pattern- and temperature-independent margin term
+    /// (`settle(tRCD) · strength · row_factor − θ`).
+    pub(crate) base: f64,
+    /// Resolved per-cell latents (five Gaussians — the expensive part).
+    pub(crate) lat: CellLatents,
+    /// Memoized failure probability under the current context snapshot.
+    /// Only meaningful when the owning word is resolved.
+    pub(crate) p: f64,
+}
+
+/// Cached classification and resolution state of one DRAM word.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WordState {
+    /// Whether classification has ever run for this word.
+    pub(crate) classified: bool,
+    /// `SenseCache::class_epoch` at classification time.
+    pub(crate) class_epoch: u32,
+    /// Bit pattern of the tRCD the classification was computed for.
+    pub(crate) trcd_bits: u64,
+    /// Bits that are always-correct at this tRCD.
+    pub(crate) skip_mask: u64,
+    /// The non-skippable cells, ascending bit order (the order the
+    /// slow path draws noise in).
+    pub(crate) active: Vec<FastCell>,
+    /// Whether the `p` values in `active` are valid.
+    pub(crate) resolved: bool,
+    /// `SenseCache::resolve_epoch` at resolution time.
+    pub(crate) resolve_epoch: u32,
+    /// `[left col word, this word, right col word]` snapshot the
+    /// probabilities were resolved under (0 for missing neighbors).
+    pub(crate) ctx: [u64; 3],
+}
+
+/// The per-device sensing cache. See the module docs for the
+/// classification and invalidation contract.
+#[derive(Debug, Default)]
+pub(crate) struct SenseCache {
+    /// Cached state per touched word.
+    pub(crate) words: HashMap<WordAddr, WordState>,
+    /// Bumped when timing registers change: classifications from older
+    /// epochs are stale.
+    pub(crate) class_epoch: u32,
+    /// Bumped when temperature changes: resolutions from older epochs
+    /// are stale.
+    pub(crate) resolve_epoch: u32,
+    /// Last sub-guard tRCD the timing hook saw, for dedup (the sampler
+    /// re-writes the same reduced tRCD every pass).
+    last_trcd_bits: Option<u64>,
+    /// Effectiveness counters.
+    pub(crate) stats: SenseCacheStats,
+}
+
+impl SenseCache {
+    /// Timing-register hook: re-keys the classification epoch when the
+    /// sub-guard tRCD actually changes (idempotent for repeated writes
+    /// of the same value).
+    pub(crate) fn rekey_trcd(&mut self, trcd_bits: u64) {
+        if self.last_trcd_bits == Some(trcd_bits) {
+            return;
+        }
+        self.last_trcd_bits = Some(trcd_bits);
+        self.class_epoch = self.class_epoch.wrapping_add(1);
+        self.stats.flushes += 1;
+    }
+
+    /// Temperature hook: invalidates every memoized probability.
+    pub(crate) fn invalidate_resolved(&mut self) {
+        self.resolve_epoch = self.resolve_epoch.wrapping_add(1);
+        self.stats.flushes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rekey_is_idempotent_for_repeated_trcd() {
+        let mut cache = SenseCache::default();
+        let e0 = cache.class_epoch;
+        cache.rekey_trcd(10.0f64.to_bits());
+        let e1 = cache.class_epoch;
+        assert_ne!(e0, e1, "first sub-guard write re-keys");
+        cache.rekey_trcd(10.0f64.to_bits());
+        assert_eq!(cache.class_epoch, e1, "same value again: no re-key");
+        cache.rekey_trcd(9.5f64.to_bits());
+        assert_ne!(cache.class_epoch, e1, "different value re-keys");
+        assert_eq!(cache.stats.flushes, 2);
+    }
+
+    #[test]
+    fn temperature_invalidation_bumps_resolve_epoch_only() {
+        let mut cache = SenseCache::default();
+        let class = cache.class_epoch;
+        let resolve = cache.resolve_epoch;
+        cache.invalidate_resolved();
+        assert_eq!(cache.class_epoch, class);
+        assert_ne!(cache.resolve_epoch, resolve);
+        assert_eq!(cache.stats.flushes, 1);
+    }
+
+    #[test]
+    fn hit_rate_counts_skip_and_hit_over_sensed() {
+        let stats = SenseCacheStats {
+            classified_words: 3,
+            skip_word_reads: 60,
+            hit_reads: 30,
+            resolve_reads: 10,
+            flushes: 0,
+        };
+        assert!((stats.hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(stats.sensed_reads(), 100);
+        assert_eq!(SenseCacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests of the sensing cache: under arbitrary
+//! interleavings of data writes, temperature changes, timing-register
+//! changes, and reduced-tRCD sensing, the memoizing fast path must stay
+//! bit-identical to the uncached oracle, and each invalidation source
+//! (write, temperature, tRCD) must actually force fresh state.
+
+use dram_sim::{CellAddr, DeviceConfig, DramDevice, Geometry, Manufacturer, WordAddr};
+use proptest::prelude::*;
+
+const TRCDS: [f64; 3] = [9.5, 10.0, 10.5];
+
+fn small_geometry() -> Geometry {
+    Geometry {
+        banks: 2,
+        rows: 32,
+        cols: 4,
+        word_bits: 64,
+        subarray_rows: 16,
+    }
+}
+
+/// A fast-path device and its uncached oracle twin: same manufacturing
+/// seed, same noise seed, so their output streams must stay identical.
+fn device_pair(man: Manufacturer, seed: u64) -> (DramDevice, DramDevice) {
+    let config = DeviceConfig::new(man)
+        .with_seed(seed)
+        .with_noise_seed(seed ^ 0x5EED)
+        .with_geometry(small_geometry());
+    let fast = DramDevice::build(config.clone());
+    let mut slow = DramDevice::build(config);
+    slow.set_sense_fast_path(false);
+    (fast, slow)
+}
+
+/// One abstract step of the interleaving.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Direct data mutation (no protocol constraints).
+    Poke(u8, u8, u8, u64),
+    /// Temperature step (resolve-epoch invalidation).
+    Temp(u8),
+    /// Timing-register change (classification re-key).
+    Trcd(u8),
+    /// One ACT → READ-all-columns → PRE burst at a reduced tRCD.
+    Sense(u8, u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..2, 0u8..32, 0u8..4, any::<u64>()).prop_map(|(b, r, c, v)| Op::Poke(b, r, c, v)),
+        (0u8..5).prop_map(Op::Temp),
+        (0u8..3).prop_map(Op::Trcd),
+        (0u8..2, 0u8..32, 0u8..3).prop_map(|(b, r, t)| Op::Sense(b, r, t)),
+    ]
+}
+
+fn apply(device: &mut DramDevice, op: Op) -> Vec<u64> {
+    match op {
+        Op::Poke(b, r, c, v) => {
+            device
+                .poke(WordAddr::new(b as usize, r as usize, c as usize), v)
+                .expect("in-range poke");
+            Vec::new()
+        }
+        Op::Temp(k) => {
+            device.set_temperature((25.0 + 10.0 * k as f64).into());
+            Vec::new()
+        }
+        Op::Trcd(k) => {
+            device.notify_timing_change(TRCDS[k as usize]);
+            Vec::new()
+        }
+        Op::Sense(b, r, t) => {
+            // One ACT per column: sensing happens only on the first
+            // READ after ACT, so this drives the failure path (and the
+            // cache) for every word of the row.
+            let (b, r) = (b as usize, r as usize);
+            (0..small_geometry().cols)
+                .map(|c| {
+                    device.activate(b, r).expect("bank closed");
+                    let word = device.read(b, r, c, TRCDS[t as usize]).expect("open row");
+                    device.precharge(b).expect("bank open");
+                    word
+                })
+                .collect()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Seed-for-seed equivalence under arbitrary interleavings: every
+    /// sensed word, every stored word, and every ground-truth failure
+    /// probability must match the uncached oracle exactly.
+    #[test]
+    fn fast_path_matches_oracle_under_random_interleavings(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        seed in 0u64..24,
+        man_pick in 0usize..3,
+    ) {
+        let man = [Manufacturer::A, Manufacturer::B, Manufacturer::C][man_pick];
+        let (mut fast, mut slow) = device_pair(man, seed);
+        for (i, &op) in ops.iter().enumerate() {
+            let a = apply(&mut fast, op);
+            let b = apply(&mut slow, op);
+            prop_assert_eq!(a, b, "divergence at step {} ({:?})", i, op);
+        }
+        let g = small_geometry();
+        for bank in 0..g.banks {
+            for row in 0..g.rows {
+                for col in 0..g.cols {
+                    let addr = WordAddr::new(bank, row, col);
+                    prop_assert_eq!(fast.peek(addr), slow.peek(addr));
+                }
+            }
+        }
+        for bit in (0..64).step_by(11) {
+            let cell = CellAddr::new(0, 3, 1, bit);
+            let pf = fast.failure_probability(cell, 10.0);
+            let ps = slow.failure_probability(cell, 10.0);
+            prop_assert_eq!(pf.to_bits(), ps.to_bits(), "ground truth moved");
+        }
+    }
+
+    /// Each invalidation source forces fresh cache state: a sub-guard
+    /// tRCD change forces reclassification of a previously classified
+    /// word, and a temperature change or neighbor write forces the next
+    /// non-skip READ off the memoized-hit path.
+    #[test]
+    fn write_temp_and_trcd_changes_each_force_reclassification(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        seed in 0u64..24,
+        row in 0u8..32,
+    ) {
+        let (mut fast, _slow) = device_pair(Manufacturer::A, seed);
+        for &op in &ops {
+            let _ = apply(&mut fast, op);
+        }
+        let row = row as usize;
+        // Sensing happens only on the first READ after ACT, so touch
+        // every column of the row with its own activation burst.
+        let sense = |d: &mut DramDevice, trcd: f64| {
+            for c in 0..small_geometry().cols {
+                d.activate(0, row).expect("bank closed");
+                d.read(0, row, c, trcd).expect("open row");
+                d.precharge(0).expect("bank open");
+            }
+        };
+        // Establish classification + resolution at 10 ns.
+        fast.notify_timing_change(10.0);
+        sense(&mut fast, 10.0);
+        sense(&mut fast, 10.0);
+
+        // tRCD change → the whole row reclassifies on next touch.
+        let before = fast.sense_cache_stats();
+        fast.notify_timing_change(9.5);
+        sense(&mut fast, 9.5);
+        let after = fast.sense_cache_stats();
+        prop_assert!(
+            after.classified_words >= before.classified_words + small_geometry().cols as u64,
+            "tRCD change must reclassify every word of the row: {before:?} -> {after:?}"
+        );
+
+        // Temperature change → no READ may be served as a memoized hit
+        // until re-resolved (skip-mask answers are temperature-free and
+        // legitimately survive).
+        let before = fast.sense_cache_stats();
+        fast.set_temperature(85.0.into());
+        sense(&mut fast, 9.5);
+        let after = fast.sense_cache_stats();
+        prop_assert_eq!(after.hit_reads, before.hit_reads, "stale hit after temp change");
+        prop_assert_eq!(after.classified_words, before.classified_words);
+
+        // Data write next to a word → context snapshot mismatch forces
+        // re-resolution; again no stale memoized hit may be served.
+        sense(&mut fast, 9.5); // settle back onto the hit/skip path
+        let before = fast.sense_cache_stats();
+        for c in 0..small_geometry().cols {
+            fast.poke(WordAddr::new(0, row, c), 0xDEAD_BEEF_0BAD_F00D)
+                .expect("in-range poke");
+        }
+        sense(&mut fast, 9.5);
+        let after = fast.sense_cache_stats();
+        prop_assert_eq!(after.hit_reads, before.hit_reads, "stale hit after data write");
+    }
+}

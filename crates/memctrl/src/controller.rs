@@ -124,6 +124,7 @@ impl MemoryController {
     pub fn try_set_trcd_ns(&mut self, trcd_ns: f64) -> Result<()> {
         self.registers.set_trcd_ns(trcd_ns)?;
         self.scheduler.set_timing(self.registers.effective());
+        self.device.notify_timing_change(self.registers.trcd_ns());
         self.telemetry.trcd_writes.inc();
         self.telemetry.trcd_ps.set(self.registers.trcd_ps());
         Ok(())
@@ -133,6 +134,7 @@ impl MemoryController {
     pub fn reset_trcd(&mut self) {
         self.registers.reset_trcd();
         self.scheduler.set_timing(self.registers.effective());
+        self.device.notify_timing_change(self.registers.trcd_ns());
         self.telemetry.trcd_writes.inc();
         self.telemetry.trcd_ps.set(self.registers.trcd_ps());
     }
