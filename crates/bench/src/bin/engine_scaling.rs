@@ -91,8 +91,12 @@ fn main() {
         }
     }
     let path = bench_report_path();
-    report.update_file(&path).expect("write bench report");
-    println!("\nwrote {}", path.display());
+    // A read-only checkout or a corrupted report file must not wedge
+    // the bench after the measurements already ran: report and move on.
+    match report.update_file(&path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nwarning: could not write {}: {e}", path.display()),
+    }
     println!(
         "\ndevice throughput is the sum of per-channel harvest rates \
          (bits per second of DRAM device time), the engine analogue of \

@@ -5,25 +5,48 @@
 //! This bench runs many profiling rounds at identical conditions and
 //! reports the per-cell round-to-round F_prob spread: it should match
 //! binomial sampling noise with no drift trend.
+//!
+//! With `--ramp`, a slow thermal excursion (+10 °C across the first
+//! half of the rounds, back to baseline across the second half) is
+//! applied through the environmental fault schedule instead of holding
+//! conditions fixed. The drift figures then quantify how much an
+//! uncompensated temperature swing moves F_prob — the situation the
+//! self-healing lifecycle and periodic re-identification guard against.
+//! The nightly chaos tier runs this mode at full scale.
 
-use dram_sim::{DeviceConfig, Manufacturer};
+use dram_sim::{DeviceConfig, EnvSchedule, Manufacturer};
 use drange_bench::Scale;
 use drange_core::{ProfileSpec, Profiler};
 use memctrl::MemoryController;
 
 fn main() {
     let scale = Scale::from_args();
+    let ramp = std::env::args().any(|a| a == "--ramp");
     let rounds = scale.pick(25, 250);
     let iterations = scale.pick(50, 100);
     let rows = scale.pick(256, 1024);
     println!("== Section 5.4: F_prob stability over time ==");
-    println!("{rounds} rounds x {iterations} iterations, rows 0..{rows}\n");
+    println!("{rounds} rounds x {iterations} iterations, rows 0..{rows}");
+    if ramp {
+        println!("environment: slow +10 degC ramp up and back down across the run\n");
+    } else {
+        println!("environment: fixed conditions\n");
+    }
 
     let mut ctrl = MemoryController::from_config(
         DeviceConfig::new(Manufacturer::A)
             .with_seed(54)
             .with_noise_seed(15),
     );
+    // One schedule step per profiling round: up for the first half,
+    // back down for the second, so the run ends at baseline.
+    let half = (rounds / 2).max(1);
+    let mut schedule = ramp.then(|| {
+        EnvSchedule::new(54)
+            .ramp(10.0, half)
+            .ramp(-10.0, rounds - half)
+    });
+
     // Track cells that failed in round 0 with mid-range probability.
     let spec = ProfileSpec {
         rows: 0..rows,
@@ -44,6 +67,9 @@ fn main() {
         series[i].push(first.fprob(c));
     }
     for _ in 1..rounds {
+        if let Some(s) = schedule.as_mut() {
+            let _ = s.step(ctrl.device_mut()).expect("schedule step succeeds");
+        }
         let p = Profiler::new(&mut ctrl)
             .run(spec.clone())
             .expect("profiling succeeds");
@@ -78,6 +104,12 @@ fn main() {
     println!("mean first-half vs second-half drift: {mean_drift:+.4}");
     println!("max per-cell drift magnitude:        {max_drift:.4}");
     println!();
-    println!("paper shape: F_prob does not change significantly over 250 rounds /");
-    println!("15 days — re-identification intervals of >= 15 days are safe");
+    if ramp {
+        println!("ramp shape: the excursion peaks mid-run and returns to baseline,");
+        println!("so first-half/second-half means stay close while the variance");
+        println!("excess above 1.0 exposes the temperature-driven F_prob swing");
+    } else {
+        println!("paper shape: F_prob does not change significantly over 250 rounds /");
+        println!("15 days — re-identification intervals of >= 15 days are safe");
+    }
 }

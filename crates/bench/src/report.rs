@@ -353,6 +353,71 @@ mod tests {
     }
 
     #[test]
+    fn update_file_tolerates_corrupted_existing_report() {
+        let dir = std::env::temp_dir().join(format!("drange-bench-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_harvest.json");
+
+        // Truncated, non-JSON, and binary junk: each must be treated as
+        // an empty report — the new sections are written out and the
+        // file is valid JSON again afterwards.
+        for junk in [
+            "{\"fig8_throughput\": {\"speedup\"",
+            "not json at all",
+            "\u{0}\u{1}\u{2}\u{ff}",
+        ] {
+            std::fs::write(&path, junk).expect("seed corruption");
+            let mut r = BenchReport::new();
+            r.set("engine_scaling", "bits_per_sec", 4.2e7);
+            r.update_file(&path).expect("overwrite corrupted file");
+            let text = std::fs::read_to_string(&path).expect("file exists");
+            let back = BenchReport::from_json(&text).expect("file is valid JSON again");
+            assert_eq!(back.get("engine_scaling", "bits_per_sec"), Some(4.2e7));
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn update_file_keeps_parseable_sections_of_a_partial_report() {
+        let dir = std::env::temp_dir().join(format!("drange-bench-partial-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_harvest.json");
+
+        // A well-formed report with a null leaf (e.g. a NaN metric from
+        // an earlier run) still merges: the null is dropped, the other
+        // sections survive the round trip.
+        std::fs::write(
+            &path,
+            "{\n  \"fig8_throughput\": {\"speedup\": 6.5, \"bad\": null},\n  \"old\": {}\n}\n",
+        )
+        .expect("seed partial report");
+        let mut r = BenchReport::new();
+        r.set("engine_scaling", "cache_hit_rate", 0.97);
+        r.update_file(&path).expect("merge write");
+        let text = std::fs::read_to_string(&path).expect("file exists");
+        let back = BenchReport::from_json(&text).expect("parses");
+        assert_eq!(back.get("fig8_throughput", "speedup"), Some(6.5));
+        assert_eq!(back.get("fig8_throughput", "bad"), None);
+        assert_eq!(back.get("engine_scaling", "cache_hit_rate"), Some(0.97));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn update_file_propagates_unwritable_destination() {
+        // The destination is a directory: the write must surface an
+        // io::Error instead of panicking (the bench bins log and
+        // continue).
+        let dir = std::env::temp_dir().join(format!("drange-bench-dir-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut r = BenchReport::new();
+        r.set("s", "k", 1.0);
+        assert!(r.update_file(&dir).is_err());
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
     fn escaped_keys_survive() {
         let mut r = BenchReport::new();
         r.set("se\"ct", "k\\ey", 1.0);

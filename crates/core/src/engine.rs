@@ -48,7 +48,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
-use dram_sim::{DeviceConfig, SenseCacheStats};
+use dram_sim::{DeviceConfig, FaultStats, SenseCacheStats};
 use drange_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use memctrl::MemoryController;
 use parking_lot::{Condvar, Mutex};
@@ -57,6 +57,7 @@ use crate::bits::{BitBlock, BitQueue};
 use crate::error::{DrangeError, Result};
 use crate::health::HealthMonitor;
 use crate::identify::RngCellCatalog;
+use crate::lifecycle::{LifecycleStats, ResilientDRange};
 use crate::sampler::{DRange, DRangeConfig};
 use crate::sync::{BitLedger, CounterCell, Flag, LiveCount, WatermarkGate};
 
@@ -89,6 +90,18 @@ pub trait HarvestSource: Send + 'static {
     fn sense_cache_stats(&self) -> Option<SenseCacheStats> {
         None
     }
+
+    /// Snapshot of the source's cell-lifecycle counters, when it runs
+    /// one (`None` for plain samplers and scripted test sources).
+    fn lifecycle_stats(&self) -> Option<LifecycleStats> {
+        None
+    }
+
+    /// Cumulative injected-fault counters of the underlying device,
+    /// when the source has one (`None` for scripted test sources).
+    fn fault_stats(&self) -> Option<FaultStats> {
+        None
+    }
 }
 
 impl HarvestSource for DRange {
@@ -102,6 +115,32 @@ impl HarvestSource for DRange {
 
     fn sense_cache_stats(&self) -> Option<SenseCacheStats> {
         Some(DRange::sense_cache_stats(self))
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        Some(self.controller().device().fault_stats())
+    }
+}
+
+impl HarvestSource for ResilientDRange {
+    fn harvest_batch(&mut self) -> Result<BitBlock> {
+        self.next_batch()
+    }
+
+    fn device_time_ps(&self) -> u64 {
+        self.generator().stats().device_time_ps
+    }
+
+    fn sense_cache_stats(&self) -> Option<SenseCacheStats> {
+        Some(self.generator().sense_cache_stats())
+    }
+
+    fn lifecycle_stats(&self) -> Option<LifecycleStats> {
+        Some(ResilientDRange::lifecycle_stats(self))
+    }
+
+    fn fault_stats(&self) -> Option<FaultStats> {
+        Some(ResilientDRange::fault_stats(self))
     }
 }
 
@@ -188,6 +227,13 @@ struct WorkerCounters {
     cache_skip_reads: CounterCell,
     cache_hit_reads: CounterCell,
     cache_resolve_reads: CounterCell,
+    /// Latest lifecycle snapshot (sources without a lifecycle leave it
+    /// `None`). Snapshots are whole structs, so they live behind a
+    /// mutex rather than in counter cells; workers only ever `lock`
+    /// briefly to store, stats readers to load.
+    lifecycle: Mutex<Option<LifecycleStats>>,
+    /// Latest injected-fault snapshot, same protocol.
+    faults: Mutex<Option<FaultStats>>,
 }
 
 /// Telemetry handles one worker thread records into. All handles are
@@ -207,6 +253,18 @@ struct WorkerTelemetry {
     cache_skip_reads: Counter,
     cache_hit_reads: Counter,
     cache_resolve_reads: Counter,
+    lifecycle_live: Gauge,
+    lifecycle_quarantined: Gauge,
+    lifecycle_retired: Gauge,
+    degraded: Gauge,
+    quarantine_events: Counter,
+    reinstated_cells: Counter,
+    promoted_words: Counter,
+    recharacterizations: Counter,
+    fault_temperature: Counter,
+    fault_noise: Counter,
+    fault_aging: Counter,
+    fault_stuck: Counter,
 }
 
 impl WorkerTelemetry {
@@ -248,6 +306,51 @@ impl WorkerTelemetry {
             cache_resolve_reads: reg.counter(
                 "drange_cache_reads_total",
                 &[("kind", "resolve"), ("worker", &w)],
+            ),
+            lifecycle_live: reg.gauge(
+                "drange_lifecycle_cells",
+                &[("state", "live"), ("worker", &w)],
+            ),
+            lifecycle_quarantined: reg.gauge(
+                "drange_lifecycle_cells",
+                &[("state", "quarantined"), ("worker", &w)],
+            ),
+            lifecycle_retired: reg.gauge(
+                "drange_lifecycle_cells",
+                &[("state", "retired"), ("worker", &w)],
+            ),
+            degraded: reg.gauge("drange_degraded", &[("worker", &w)]),
+            quarantine_events: reg.counter(
+                "drange_lifecycle_events_total",
+                &[("event", "quarantine"), ("worker", &w)],
+            ),
+            reinstated_cells: reg.counter(
+                "drange_lifecycle_events_total",
+                &[("event", "reinstate"), ("worker", &w)],
+            ),
+            promoted_words: reg.counter(
+                "drange_lifecycle_events_total",
+                &[("event", "promote"), ("worker", &w)],
+            ),
+            recharacterizations: reg.counter(
+                "drange_lifecycle_events_total",
+                &[("event", "recharacterize"), ("worker", &w)],
+            ),
+            fault_temperature: reg.counter(
+                "drange_injected_faults_total",
+                &[("kind", "temperature"), ("worker", &w)],
+            ),
+            fault_noise: reg.counter(
+                "drange_injected_faults_total",
+                &[("kind", "noise"), ("worker", &w)],
+            ),
+            fault_aging: reg.counter(
+                "drange_injected_faults_total",
+                &[("kind", "aging"), ("worker", &w)],
+            ),
+            fault_stuck: reg.counter(
+                "drange_injected_faults_total",
+                &[("kind", "stuck"), ("worker", &w)],
             ),
         }
     }
@@ -352,6 +455,12 @@ pub struct WorkerStats {
     pub cache_hit_reads: u64,
     /// Sensing READs that re-resolved per-cell probabilities.
     pub cache_resolve_reads: u64,
+    /// Latest cell-lifecycle snapshot (`None` for sources without a
+    /// lifecycle).
+    pub lifecycle: Option<LifecycleStats>,
+    /// Latest injected-fault snapshot (`None` for sources without a
+    /// fault-capable device).
+    pub faults: Option<FaultStats>,
 }
 
 impl WorkerStats {
@@ -404,6 +513,12 @@ pub struct EngineStats {
     pub cache_hit_reads: u64,
     /// Sensing READs that re-resolved probabilities, all workers.
     pub cache_resolve_reads: u64,
+    /// Cell-lifecycle counters merged across all lifecycle-running
+    /// workers (`None` when no worker runs one).
+    pub lifecycle: Option<LifecycleStats>,
+    /// Injected-fault counters merged across all fault-capable workers
+    /// (`None` when no worker reports them).
+    pub faults: Option<FaultStats>,
     /// Per-worker (per-channel) breakdowns.
     pub workers: Vec<WorkerStats>,
 }
@@ -427,6 +542,13 @@ impl EngineStats {
     /// per-channel rates.
     pub fn aggregate_device_bps(&self) -> f64 {
         self.workers.iter().map(WorkerStats::throughput_bps).sum()
+    }
+
+    /// Whether any lifecycle-running channel reports degraded (reduced
+    /// but honest) throughput. Always `false` for engines without a
+    /// cell lifecycle.
+    pub fn is_degraded(&self) -> bool {
+        self.lifecycle.is_some_and(|l| l.degraded)
     }
 }
 
@@ -695,6 +817,8 @@ impl HarvestEngine {
                 cache_skip_reads: c.cache_skip_reads.get(),
                 cache_hit_reads: c.cache_hit_reads.get(),
                 cache_resolve_reads: c.cache_resolve_reads.get(),
+                lifecycle: *c.lifecycle.lock(),
+                faults: *c.faults.lock(),
             })
             .collect();
         EngineStats {
@@ -709,6 +833,14 @@ impl HarvestEngine {
             cache_skip_reads: workers.iter().map(|w| w.cache_skip_reads).sum(),
             cache_hit_reads: workers.iter().map(|w| w.cache_hit_reads).sum(),
             cache_resolve_reads: workers.iter().map(|w| w.cache_resolve_reads).sum(),
+            lifecycle: workers
+                .iter()
+                .filter_map(|w| w.lifecycle)
+                .reduce(LifecycleStats::merge),
+            faults: workers
+                .iter()
+                .filter_map(|w| w.faults)
+                .reduce(FaultStats::merge),
             workers,
         }
     }
@@ -824,6 +956,43 @@ fn worker_run<S: HarvestSource>(
             tel.cache_hit_reads.add(hit);
             tel.cache_resolve_reads.add(resolve);
             last_cache = cache;
+        }
+        if let Some(lc) = source.lifecycle_stats() {
+            // Gauges mirror the snapshot; event counters are diffed
+            // against the previous snapshot (the source's counters are
+            // cumulative) so the telemetry counters stay additive.
+            let prev = counters.lifecycle.lock().replace(lc).unwrap_or_default();
+            tel.lifecycle_live.set(lc.live_cells);
+            tel.lifecycle_quarantined.set(lc.quarantined_cells);
+            tel.lifecycle_retired.set(lc.retired_cells);
+            tel.degraded.set(u64::from(lc.degraded));
+            tel.quarantine_events
+                .add(lc.quarantine_events.saturating_sub(prev.quarantine_events));
+            tel.reinstated_cells
+                .add(lc.reinstated_cells.saturating_sub(prev.reinstated_cells));
+            tel.promoted_words
+                .add(lc.promoted_words.saturating_sub(prev.promoted_words));
+            tel.recharacterizations.add(
+                lc.recharacterizations
+                    .saturating_sub(prev.recharacterizations),
+            );
+        }
+        if let Some(faults) = source.fault_stats() {
+            let prev = counters.faults.lock().replace(faults).unwrap_or_default();
+            tel.fault_temperature.add(
+                faults
+                    .temperature_events
+                    .saturating_sub(prev.temperature_events),
+            );
+            tel.fault_noise.add(
+                faults
+                    .noise_bias_events
+                    .saturating_sub(prev.noise_bias_events),
+            );
+            tel.fault_aging
+                .add(faults.cells_aged.saturating_sub(prev.cells_aged));
+            tel.fault_stuck
+                .add(faults.cells_stuck.saturating_sub(prev.cells_stuck));
         }
         if tel.throughput_bps.is_live() && device_time_ps > 0 {
             let harvested = counters.harvested_bits.get();
@@ -979,6 +1148,44 @@ pub fn channel_sources_with_telemetry(
                 ctrl.attach_telemetry(reg, &channel.to_string());
             }
             DRange::new(ctrl, catalog, config.clone())
+        })
+        .collect()
+}
+
+/// As [`channel_sources_with_telemetry`], but wrapping every channel's
+/// sampler in the self-healing cell lifecycle ([`ResilientDRange`]).
+/// When `schedule` is given, each channel gets its own clone of the
+/// environmental fault schedule — all channels experience the same
+/// scripted environment, as boards in one enclosure would.
+///
+/// # Errors
+///
+/// As [`channel_sources`]; additionally rejects invalid lifecycle
+/// configurations.
+pub fn resilient_channel_sources(
+    base: &DeviceConfig,
+    catalog: &RngCellCatalog,
+    config: &DRangeConfig,
+    lifecycle: &crate::lifecycle::LifecycleConfig,
+    schedule: Option<&dram_sim::EnvSchedule>,
+    channels: usize,
+    registry: Option<&MetricsRegistry>,
+) -> Result<Vec<ResilientDRange>> {
+    (0..channels)
+        .map(|channel| {
+            let device = base.clone().with_noise_seed_offset(channel as u64);
+            let mut ctrl = MemoryController::from_config(device);
+            if let Some(reg) = registry {
+                ctrl.attach_telemetry(reg, &channel.to_string());
+            }
+            let mut source = ResilientDRange::new(ctrl, catalog, config.clone(), *lifecycle)?;
+            if let Some(reg) = registry {
+                source.attach_telemetry(reg, &channel.to_string());
+            }
+            if let Some(s) = schedule {
+                source = source.with_schedule(s.clone());
+            }
+            Ok(source)
         })
         .collect()
 }
@@ -1354,6 +1561,90 @@ mod tests {
             ..w
         };
         assert_eq!(inactive.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lifecycle_and_fault_stats_flow_into_engine_stats() {
+        /// Healthy source reporting scripted lifecycle + fault
+        /// snapshots (cumulative event counters tick once per batch),
+        /// toggleable so one worker can run without them.
+        #[derive(Debug)]
+        struct LifecycleSource {
+            inner: PrngSource,
+            batches: u64,
+            enabled: bool,
+        }
+        impl HarvestSource for LifecycleSource {
+            fn harvest_batch(&mut self) -> Result<BitBlock> {
+                self.batches += 1;
+                self.inner.harvest_batch()
+            }
+            fn lifecycle_stats(&self) -> Option<LifecycleStats> {
+                self.enabled.then_some(LifecycleStats {
+                    live_cells: 100,
+                    quarantined_cells: 3,
+                    retired_cells: 1,
+                    quarantine_events: self.batches,
+                    reinstated_cells: 0,
+                    promoted_words: 1,
+                    recharacterizations: 2,
+                    degraded: true,
+                })
+            }
+            fn fault_stats(&self) -> Option<FaultStats> {
+                self.enabled.then_some(FaultStats {
+                    temperature_events: self.batches,
+                    ..FaultStats::default()
+                })
+            }
+        }
+        let registry = MetricsRegistry::new();
+        let sources = vec![
+            LifecycleSource {
+                inner: PrngSource::new(31, 128),
+                batches: 0,
+                enabled: true,
+            },
+            LifecycleSource {
+                inner: PrngSource::new(32, 128),
+                batches: 0,
+                enabled: false,
+            },
+        ];
+        let engine =
+            HarvestEngine::spawn_with_telemetry(sources, small_config(), Some(&registry)).unwrap();
+        let _ = engine.take_bits(512).unwrap();
+        let stats = engine.shutdown();
+        // Aggregation covers exactly the lifecycle-running worker.
+        assert!(stats.is_degraded());
+        let lc = stats.lifecycle.expect("worker 0 runs a lifecycle");
+        assert_eq!(lc.live_cells, 100);
+        assert_eq!(lc.quarantined_cells, 3);
+        assert_eq!(lc.quarantine_events, stats.workers[0].batches);
+        assert!(stats.workers[1].lifecycle.is_none());
+        let faults = stats.faults.expect("worker 0 reports fault counters");
+        assert_eq!(faults.temperature_events, stats.workers[0].batches);
+        // The diffed telemetry counters and snapshot gauges export the
+        // same numbers under the documented series names.
+        let text = registry.render_prometheus();
+        for series in [
+            "drange_lifecycle_cells{state=\"live\",worker=\"0\"}",
+            "drange_lifecycle_cells{state=\"quarantined\",worker=\"0\"}",
+            "drange_lifecycle_cells{state=\"retired\",worker=\"0\"}",
+            "drange_degraded{worker=\"0\"}",
+            "drange_lifecycle_events_total{event=\"quarantine\",worker=\"0\"}",
+            "drange_lifecycle_events_total{event=\"recharacterize\",worker=\"0\"}",
+            "drange_injected_faults_total{kind=\"temperature\",worker=\"0\"}",
+        ] {
+            assert!(text.contains(series), "missing series {series} in:\n{text}");
+        }
+        // An engine of plain sources reports no lifecycle at all.
+        let plain = HarvestEngine::spawn(vec![PrngSource::new(33, 64)], small_config()).unwrap();
+        let _ = plain.take_bits(64).unwrap();
+        let stats = plain.shutdown();
+        assert!(stats.lifecycle.is_none());
+        assert!(stats.faults.is_none());
+        assert!(!stats.is_degraded());
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod estimators;
 pub mod health;
 pub mod identify;
 pub mod latency;
+pub mod lifecycle;
 pub mod postprocess;
 pub mod profiler;
 pub mod puf;
@@ -74,13 +75,14 @@ pub mod throughput;
 pub use bits::{BitBlock, BitQueue};
 pub use drange_telemetry as telemetry;
 pub use engine::{
-    channel_sources, channel_sources_with_telemetry, EngineConfig, EngineStats, HarvestEngine,
-    HarvestSource, WorkerStats,
+    channel_sources, channel_sources_with_telemetry, resilient_channel_sources, EngineConfig,
+    EngineStats, HarvestEngine, HarvestSource, WorkerStats,
 };
 pub use error::{DrangeError, Result};
 pub use health::{HealthMonitor, TripCounts};
 pub use identify::{CatalogSet, IdentifySpec, RngCellCatalog};
 pub use latency::LatencyScenario;
+pub use lifecycle::{LifecycleConfig, LifecycleStats, ResilientDRange};
 pub use postprocess::VonNeumann;
 pub use profiler::{FailureProfile, ProfileSpec, Profiler};
 pub use sampler::{DRange, DRangeConfig, SampleStats};

@@ -11,7 +11,7 @@
 //! for the solid-zero pattern the paper uses, and unbiased for any
 //! written value.
 
-use dram_sim::{DataPattern, SenseCacheStats, WordAddr};
+use dram_sim::{CellAddr, DataPattern, SenseCacheStats, WordAddr};
 use memctrl::MemoryController;
 use rand::RngCore;
 
@@ -53,7 +53,12 @@ impl Default for DRangeConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct PlannedWord {
     addr: WordAddr,
+    /// Actively harvested bit positions, sorted ascending.
     bits: Vec<usize>,
+    /// Bit positions benched by the cell lifecycle (quarantined cells
+    /// awaiting re-characterization); excluded from harvesting but
+    /// remembered so they can be resumed in place.
+    suspended: Vec<usize>,
     original: u64,
 }
 
@@ -146,6 +151,7 @@ impl DRange {
                     PlannedWord {
                         addr,
                         bits,
+                        suspended: Vec::new(),
                         original,
                     }
                 })
@@ -224,6 +230,180 @@ impl DRange {
     pub fn into_controller(mut self) -> MemoryController {
         self.ctrl.reset_trcd();
         self.ctrl
+    }
+
+    /// The actively harvested RNG cells in exact harvest order: bit
+    /// `k` of a [`DRange::harvest_block`] batch (equivalently the
+    /// `k`-th bit queued by one [`DRange::sample_once`] pass) came
+    /// from the `k`-th cell of this list. The cell lifecycle uses this
+    /// mapping to attribute health trips to individual cells.
+    pub fn active_cells(&self) -> Vec<CellAddr> {
+        let mut cells = Vec::with_capacity(self.bits_per_iteration);
+        for word_idx in 0..2 {
+            for bp in &self.plan {
+                let Some(w) = bp.words.get(word_idx) else {
+                    continue;
+                };
+                cells.extend(w.bits.iter().map(|&b| w.addr.cell(b)));
+            }
+        }
+        cells
+    }
+
+    /// Addresses of every planned word (active or fully suspended).
+    pub fn planned_word_addrs(&self) -> Vec<WordAddr> {
+        self.plan
+            .iter()
+            .flat_map(|bp| bp.words.iter().map(|w| w.addr))
+            .collect()
+    }
+
+    fn word_mut(&mut self, addr: WordAddr) -> Option<&mut PlannedWord> {
+        self.plan
+            .iter_mut()
+            .flat_map(|bp| bp.words.iter_mut())
+            .find(|w| w.addr == addr)
+    }
+
+    fn refresh_rate(&mut self) {
+        self.bits_per_iteration = self
+            .plan
+            .iter()
+            .map(|bp| bp.words.iter().map(|w| w.bits.len()).sum::<usize>())
+            .sum();
+    }
+
+    /// Benches a cell: its bit is no longer harvested (honest reduced
+    /// throughput, never a silently biased stream) but its slot in the
+    /// plan is remembered for [`DRange::resume_cell`]. Returns whether
+    /// the cell was actively planned.
+    pub fn suspend_cell(&mut self, cell: CellAddr) -> bool {
+        let Some(w) = self.word_mut(cell.word()) else {
+            return false;
+        };
+        let Some(pos) = w.bits.iter().position(|&b| b == cell.bit) else {
+            return false;
+        };
+        w.bits.remove(pos);
+        w.suspended.push(cell.bit);
+        self.refresh_rate();
+        true
+    }
+
+    /// Returns a suspended cell to active harvesting (in its original
+    /// sorted position within the word). Returns whether the cell was
+    /// suspended.
+    pub fn resume_cell(&mut self, cell: CellAddr) -> bool {
+        let Some(w) = self.word_mut(cell.word()) else {
+            return false;
+        };
+        let Some(pos) = w.suspended.iter().position(|&b| b == cell.bit) else {
+            return false;
+        };
+        w.suspended.remove(pos);
+        let at = w.bits.partition_point(|&b| b < cell.bit);
+        w.bits.insert(at, cell.bit);
+        self.refresh_rate();
+        true
+    }
+
+    /// Permanently removes a cell (active or suspended) from the plan.
+    /// A word whose last cell retires is dropped from its bank's plan
+    /// (and an emptied bank from the plan entirely), freeing the slot
+    /// for [`DRange::promote_word`]. Returns whether the cell was
+    /// planned.
+    pub fn retire_cell(&mut self, cell: CellAddr) -> bool {
+        let addr = cell.word();
+        let Some(w) = self.word_mut(addr) else {
+            return false;
+        };
+        let removed = if let Some(pos) = w.bits.iter().position(|&b| b == cell.bit) {
+            w.bits.remove(pos);
+            true
+        } else if let Some(pos) = w.suspended.iter().position(|&b| b == cell.bit) {
+            w.suspended.remove(pos);
+            true
+        } else {
+            false
+        };
+        if !removed {
+            return false;
+        }
+        let emptied = w.bits.is_empty() && w.suspended.is_empty();
+        if emptied {
+            for bp in &mut self.plan {
+                bp.words.retain(|w| w.addr != addr);
+            }
+            self.plan.retain(|bp| !bp.words.is_empty());
+        }
+        self.refresh_rate();
+        true
+    }
+
+    /// Adds a spare word (typically the next-best catalog word not in
+    /// the original plan) to the sampling plan, writing the configured
+    /// data pattern to its row. Respects Algorithm 2's structure: at
+    /// most two words per bank, in distinct rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DrangeError::InvalidSpec`] when the word is already
+    /// planned, its bank already samples two words, its row collides
+    /// with a planned word of the same bank, or `bits` is empty or out
+    /// of range for the device's word width.
+    pub fn promote_word(&mut self, addr: WordAddr, bits: &[usize]) -> Result<()> {
+        let word_bits = self.ctrl.device().geometry().word_bits;
+        let mut bits: Vec<usize> = bits.to_vec();
+        bits.sort_unstable();
+        bits.dedup();
+        if bits.is_empty() {
+            return Err(DrangeError::InvalidSpec(
+                "a promoted word needs at least one RNG cell".into(),
+            ));
+        }
+        if bits.iter().any(|&b| b >= word_bits) {
+            return Err(DrangeError::InvalidSpec(format!(
+                "bit positions exceed the {word_bits}-bit word width"
+            )));
+        }
+        if self.planned_word_addrs().contains(&addr) {
+            return Err(DrangeError::InvalidSpec(format!(
+                "word {addr:?} is already in the sampling plan"
+            )));
+        }
+        if let Some(bp) = self.plan.iter().find(|bp| bp.bank == addr.bank) {
+            if bp.words.len() >= 2 {
+                return Err(DrangeError::InvalidSpec(format!(
+                    "bank {} already samples two words",
+                    addr.bank
+                )));
+            }
+            if bp.words.iter().any(|w| w.addr.row == addr.row) {
+                return Err(DrangeError::InvalidSpec(format!(
+                    "bank {} already samples a word in row {}",
+                    addr.bank, addr.row
+                )));
+            }
+        }
+        self.ctrl
+            .device_mut()
+            .fill_row(addr.bank, addr.row, self.config.pattern);
+        let original = self.config.pattern.word(addr.row, addr.col, word_bits);
+        let word = PlannedWord {
+            addr,
+            bits,
+            suspended: Vec::new(),
+            original,
+        };
+        match self.plan.iter_mut().find(|bp| bp.bank == addr.bank) {
+            Some(bp) => bp.words.push(word),
+            None => self.plan.push(BankPlan {
+                bank: addr.bank,
+                words: vec![word],
+            }),
+        }
+        self.refresh_rate();
+        Ok(())
     }
 
     /// One iteration of the Algorithm 2 core loop (lines 7-15): for
@@ -407,6 +587,12 @@ fn sample_pass(
             let Some(w) = bp.words.get(word_idx) else {
                 continue;
             };
+            // A fully suspended word (every cell benched by the
+            // lifecycle) is skipped outright — no point burning an
+            // ACT/PRE cycle that harvests nothing.
+            if w.bits.is_empty() {
+                continue;
+            }
             ctrl.act(bp.bank, w.addr.row)?;
             let got = ctrl.rd(bp.bank, w.addr.row, w.addr.col)?;
             // Lines 9-10: harvest the RNG bits (failure indicators,
@@ -714,6 +900,145 @@ mod tests {
             "steady-state sampling mostly hits the cache: {}",
             stats.hit_rate()
         );
+    }
+
+    #[test]
+    fn active_cells_match_harvest_order() {
+        let mut g = generator();
+        let cells = g.active_cells();
+        assert_eq!(cells.len(), g.bits_per_iteration());
+        // Suspend the third harvest-order cell: the stream from a twin
+        // generator with that cell still active must equal the reduced
+        // stream with the third bit of every pass deleted.
+        let victim = cells[2];
+        let mut full = generator();
+        assert!(g.suspend_cell(victim));
+        assert_eq!(g.bits_per_iteration(), cells.len() - 1);
+        let reduced = g.harvest_block().unwrap();
+        let baseline = full.harvest_block().unwrap();
+        let mut expect: Vec<bool> = baseline.iter().collect();
+        expect.remove(2);
+        assert_eq!(reduced.iter().collect::<Vec<_>>(), expect);
+        // The cell no longer appears in the harvest-order map.
+        assert!(!g.active_cells().contains(&victim));
+    }
+
+    #[test]
+    fn suspend_resume_restores_exact_stream() {
+        let mut g = generator();
+        let mut twin = generator();
+        // Pick a victim from a word with other live cells: the word is
+        // still ACT/RD'd while the victim is benched, so both devices
+        // see an identical command stream and stay in lockstep. (A
+        // fully suspended word is skipped, which would desynchronize
+        // the per-read noise draws between the twins.)
+        let victim = g
+            .plan
+            .iter()
+            .flat_map(|bp| bp.words.iter())
+            .find(|w| w.bits.len() >= 2)
+            .map(|w| w.addr.cell(w.bits[0]))
+            .expect("catalog has a multi-bit word");
+        assert!(g.suspend_cell(victim));
+        assert!(!g.suspend_cell(victim), "double suspend is a no-op");
+        let _ = g.harvest_block().unwrap();
+        let _ = twin.harvest_block().unwrap();
+        assert!(g.resume_cell(victim));
+        assert!(!g.resume_cell(victim), "double resume is a no-op");
+        assert_eq!(g.active_cells(), twin.active_cells());
+        // Post-resume the full streams coincide again (same seeds, same
+        // pass count, identical plans).
+        let a = g.harvest_block().unwrap();
+        let b = twin.harvest_block().unwrap();
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retire_last_cell_drops_word_and_bank() {
+        let catalog = sparse_catalog(&[0, 3]);
+        let mut g = DRange::new(fresh_ctrl(), &catalog, DRangeConfig::default()).unwrap();
+        assert_eq!(g.banks_used(), 2);
+        let word = dram_sim::WordAddr::new(3, 0, 0);
+        for bit in [0, 1, 2] {
+            assert!(g.retire_cell(word.cell(bit)));
+        }
+        assert!(!g.retire_cell(word.cell(0)), "already retired");
+        assert!(!g.planned_word_addrs().contains(&word));
+        // Retiring the second word's cells empties bank 3 entirely.
+        let word2 = dram_sim::WordAddr::new(3, 1, 0);
+        assert!(g.retire_cell(word2.cell(3)));
+        assert!(g.retire_cell(word2.cell(4)));
+        assert_eq!(g.banks_used(), 1);
+        assert_eq!(g.bits_per_iteration(), 5);
+        // Sampling still works on the surviving bank.
+        let block = g.harvest_block().unwrap();
+        assert_eq!(block.len(), 5);
+    }
+
+    #[test]
+    fn fully_suspended_plan_harvests_nothing_without_error() {
+        let catalog = sparse_catalog(&[2]);
+        let mut g = DRange::new(fresh_ctrl(), &catalog, DRangeConfig::default()).unwrap();
+        for cell in g.active_cells() {
+            assert!(g.suspend_cell(cell));
+        }
+        assert_eq!(g.bits_per_iteration(), 0);
+        let block = g.harvest_block().unwrap();
+        assert_eq!(block.len(), 0, "benched plan yields an empty batch");
+        // Words stay planned so the cells can be resumed in place.
+        assert_eq!(g.planned_word_addrs().len(), 2);
+    }
+
+    #[test]
+    fn promote_word_extends_the_plan() {
+        let catalog = sparse_catalog(&[0]);
+        let mut g = DRange::new(fresh_ctrl(), &catalog, DRangeConfig::default()).unwrap();
+        let before = g.bits_per_iteration();
+        let spare = dram_sim::WordAddr::new(4, 7, 2);
+        g.promote_word(spare, &[5, 1, 5, 9]).unwrap();
+        assert_eq!(g.banks_used(), 2);
+        assert_eq!(g.bits_per_iteration(), before + 3, "deduped bit list");
+        let cells = g.active_cells();
+        assert!(cells.contains(&spare.cell(1)));
+        let block = g.harvest_block().unwrap();
+        assert_eq!(block.len(), before + 3);
+        // The promoted row was pattern-filled: sampling restores it.
+        let stored = g.ctrl.device().peek(spare).unwrap();
+        assert_eq!(stored, 0, "Solid0 pattern written to the promoted row");
+    }
+
+    #[test]
+    fn promote_word_rejects_plan_violations() {
+        let catalog = sparse_catalog(&[0, 1]);
+        let mut g = DRange::new(fresh_ctrl(), &catalog, DRangeConfig::default()).unwrap();
+        let planned = g.planned_word_addrs()[0];
+        // Duplicate word.
+        assert!(g.promote_word(planned, &[0]).is_err());
+        // Bank already samples two words.
+        assert!(g
+            .promote_word(dram_sim::WordAddr::new(0, 9, 0), &[0])
+            .is_err());
+        // Empty and out-of-range bit lists.
+        assert!(g
+            .promote_word(dram_sim::WordAddr::new(5, 0, 0), &[])
+            .is_err());
+        assert!(g
+            .promote_word(dram_sim::WordAddr::new(5, 0, 0), &[64])
+            .is_err());
+        // Row collision within a bank: retire bank 1's row-0 word, then
+        // a same-row promotion into the remaining single-word bank.
+        let w10 = dram_sim::WordAddr::new(1, 0, 0);
+        for bit in [0, 1, 2] {
+            assert!(g.retire_cell(w10.cell(bit)));
+        }
+        assert!(
+            g.promote_word(dram_sim::WordAddr::new(1, 1, 3), &[0])
+                .is_err(),
+            "row 1 already sampled in bank 1"
+        );
+        // A distinct row is accepted.
+        g.promote_word(dram_sim::WordAddr::new(1, 12, 0), &[7])
+            .unwrap();
     }
 
     #[test]

@@ -306,6 +306,20 @@ impl RandomnessService {
         &self.engine
     }
 
+    /// Whether any harvest worker currently reports a degraded RNG-cell
+    /// population (live cells below the configured fraction of the
+    /// initial catalog). Always `false` for sources without a lifecycle
+    /// manager.
+    pub fn is_degraded(&self) -> bool {
+        self.engine.stats().is_degraded()
+    }
+
+    /// Aggregated RNG-cell lifecycle statistics across all workers, or
+    /// `None` when no source reports lifecycle state.
+    pub fn lifecycle(&self) -> Option<crate::lifecycle::LifecycleStats> {
+        self.engine.stats().lifecycle
+    }
+
     /// Stops harvesting, joins the engine's threads, and returns the
     /// final statistics. Dropping the service performs the same join
     /// implicitly.
@@ -424,6 +438,49 @@ mod tests {
         s.process().unwrap();
         assert_eq!(s.receive(id).unwrap().len(), 64);
         assert_eq!(s.discarded_bits(), 0);
+    }
+
+    #[test]
+    fn degraded_mode_surfaces_through_the_service() {
+        // A plain DRange source carries no lifecycle manager.
+        let plain = service();
+        assert!(!plain.is_degraded());
+        assert!(plain.lifecycle().is_none());
+
+        // A resilient source reports lifecycle statistics once its
+        // worker has completed a batch.
+        let resilient = crate::lifecycle::ResilientDRange::new(
+            fresh_ctrl(),
+            catalog(),
+            DRangeConfig::default(),
+            crate::lifecycle::LifecycleConfig::default(),
+        )
+        .unwrap();
+        let s = RandomnessService::with_sources(
+            vec![resilient],
+            ServiceConfig {
+                queue_capacity: 2048,
+                low_watermark: 256,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let id = s.request(16).unwrap();
+        s.process().unwrap();
+        assert_eq!(s.receive(id).unwrap().len(), 16);
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let lc = loop {
+            if let Some(lc) = s.lifecycle() {
+                break lc;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "worker never published lifecycle statistics"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        assert!(lc.live_cells > 0);
+        assert!(!s.is_degraded(), "a fault-free run must not degrade");
     }
 
     #[test]

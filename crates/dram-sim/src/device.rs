@@ -25,6 +25,7 @@
 use crate::data_pattern::DataPattern;
 use crate::entropy::{NoiseSource, OsNoise, SeededNoise};
 use crate::error::{DramError, Result};
+use crate::faults::{AgedCell, FaultStats, StuckWord};
 use crate::geometry::{CellAddr, Geometry, WordAddr};
 use crate::manufacturer::{Manufacturer, PhysicsProfile};
 use crate::math::phi;
@@ -154,6 +155,26 @@ pub struct DramDevice {
     /// Whether READs sense through the cache (default) or the original
     /// per-cell slow path (the equivalence oracle).
     sense_fast: bool,
+    /// Per-(bank, row) activation counts: `act_counts[bank * rows + row]`.
+    /// Feeds activation-driven aging wear.
+    act_counts: Vec<u64>,
+    /// Injected environmental faults (aging, stuck-at, voltage noise).
+    faults: FaultState,
+}
+
+/// The device's injected-fault state. Margin-affecting members
+/// (`margin_bias_v`, aging wear) may only change through methods that
+/// bump the sensing cache's resolve epoch.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// Global transient margin bias in volts (voltage-noise bursts).
+    margin_bias_v: f64,
+    /// Activation-driven aging records, per cell.
+    aging: std::collections::HashMap<CellAddr, AgedCell>,
+    /// Stuck-at masks, per word.
+    stuck: std::collections::HashMap<WordAddr, StuckWord>,
+    /// Cumulative injection counters.
+    stats: FaultStats,
 }
 
 impl std::fmt::Debug for DramDevice {
@@ -215,6 +236,8 @@ impl DramDevice {
             noise,
             cache: SenseCache::default(),
             sense_fast: true,
+            act_counts: vec![0u64; geometry.banks * geometry.rows],
+            faults: FaultState::default(),
         }
     }
 
@@ -422,6 +445,7 @@ impl DramDevice {
         }
         state.open_row = Some(row);
         state.fresh = true;
+        self.act_counts[bank * self.geometry.rows + row] += 1;
         Ok(())
     }
 
@@ -471,20 +495,26 @@ impl DramDevice {
         let idx = row * self.geometry.cols + col;
         let stored = self.data[bank][idx];
         if !state.fresh {
-            return Ok(stored);
+            return Ok(self.apply_stuck(bank, row, col, stored));
         }
         self.banks[bank].fresh = false;
         if trcd_ns >= self.profile.fail_guard_ns {
             // Within the guard-banded operating region: datasheet-
             // compliant (and near-compliant) reads are always correct.
             // The paper observes failures only for tRCD in 6-13 ns.
-            return Ok(stored);
+            return Ok(self.apply_stuck(bank, row, col, stored));
         }
         let sensed = if self.sense_fast {
             self.sense_word_fast(bank, row, col, stored, trcd_ns)
         } else {
             self.sense_word(bank, row, col, stored, trcd_ns)
         };
+        // Stuck bits override whatever the sense amplifiers latched;
+        // applied after sensing so the noise-stream consumption (and
+        // the fast/slow path equivalence) is unperturbed. The override
+        // flows into the restore below, corrupting the stored word just
+        // like a natural activation failure.
+        let sensed = self.apply_stuck(bank, row, col, sensed);
         if sensed != stored {
             // Restoration writes the (wrong) sensed value back. The
             // sense cache needs no explicit hook: every non-skip sense
@@ -714,7 +744,14 @@ impl DramDevice {
             * self.profile.tempco_v_per_c
             * lat.temp_sens;
 
-        let margin = base + charge_term - couple + temp_term + lat.eps_v;
+        // Injected environmental faults: a global transient voltage
+        // bias plus per-cell aging wear. Both live in this shared
+        // expression so the slow path, the cached fast path, and the
+        // analytic failure_probability stay bit-identical, and both
+        // may only change through resolve-epoch-bumping methods.
+        let fault_term = self.faults.margin_bias_v - self.wear_of(cell);
+
+        let margin = base + charge_term - couple + temp_term + lat.eps_v + fault_term;
         // Metastable dead zone: margins within ±dz resolve 50/50 on
         // thermal noise alone (true metastability); outside it, the
         // residual margin beyond the dead zone drives the probit.
@@ -780,6 +817,204 @@ impl DramDevice {
         let sub = self.geometry.subarray_of(cell.row);
         let bl = self.geometry.bitline_of(cell.col, cell.bit);
         self.variation.is_weak(cell.bank, sub, bl)
+    }
+
+    // ------------------------------------------------------------------
+    // Environmental fault injection (see crate::faults).
+    // ------------------------------------------------------------------
+
+    /// Applies any stuck-at overrides to a freshly read word.
+    #[inline]
+    fn apply_stuck(&mut self, bank: usize, row: usize, col: usize, sensed: u64) -> u64 {
+        if self.faults.stuck.is_empty() {
+            return sensed;
+        }
+        match self.faults.stuck.get(&WordAddr::new(bank, row, col)) {
+            Some(s) => {
+                let out = (sensed & !s.mask) | (s.value & s.mask);
+                if out != sensed {
+                    self.faults.stats.stuck_read_overrides += 1;
+                }
+                out
+            }
+            None => sensed,
+        }
+    }
+
+    /// Aging wear currently in effect for a cell, volts.
+    #[inline]
+    fn wear_of(&self, cell: CellAddr) -> f64 {
+        if self.faults.aging.is_empty() {
+            return 0.0;
+        }
+        self.faults.aging.get(&cell).map_or(0.0, |a| a.wear_v)
+    }
+
+    /// Cumulative injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.stats
+    }
+
+    /// The transient margin bias currently injected, volts.
+    pub fn margin_bias_v(&self) -> f64 {
+        self.faults.margin_bias_v
+    }
+
+    /// Injects a global transient margin bias (a voltage-noise burst);
+    /// negative values steal margin and raise failure probabilities.
+    /// `0.0` ends the burst. Any actual change invalidates every
+    /// memoized sensing probability.
+    pub fn set_margin_bias(&mut self, bias_v: f64) {
+        if bias_v.to_bits() == self.faults.margin_bias_v.to_bits() {
+            return;
+        }
+        self.faults.margin_bias_v = bias_v;
+        self.faults.stats.noise_bias_events += 1;
+        self.faults.stats.margin_flushes += 1;
+        self.cache.invalidate_resolved();
+    }
+
+    /// Schedule-driven temperature change: behaves exactly like
+    /// [`DramDevice::set_temperature`] but is counted as an injected
+    /// environmental fault.
+    pub fn inject_temperature(&mut self, t: Celsius) {
+        self.faults.stats.temperature_events += 1;
+        self.set_temperature(t);
+    }
+
+    /// Registers (or re-parameterizes) activation-driven aging on a
+    /// cell: its margin is attenuated by `wear_v_per_kiloact` volts per
+    /// 1000 activations of the cell's row. The wear in effect is
+    /// recomputed only by [`DramDevice::refresh_aging`] — schedule-step
+    /// granularity — so memoized sensing probabilities stay valid
+    /// between steps. Registration itself refreshes the cell's wear.
+    ///
+    /// # Errors
+    ///
+    /// Returns an addressing error if the cell is outside geometry.
+    pub fn age_cell(&mut self, cell: CellAddr, wear_v_per_kiloact: f64) -> Result<()> {
+        self.check_addr(cell.bank, cell.row, cell.col)?;
+        let acts = self.act_counts[cell.bank * self.geometry.rows + cell.row];
+        let wear_v = wear_v_per_kiloact * (acts as f64 / 1000.0);
+        let prev = self.faults.aging.insert(
+            cell,
+            AgedCell {
+                wear_v_per_kiloact,
+                wear_v,
+            },
+        );
+        match prev {
+            None => {
+                self.faults.stats.cells_aged += 1;
+                if wear_v != 0.0 {
+                    self.faults.stats.margin_flushes += 1;
+                    self.cache.invalidate_resolved();
+                }
+            }
+            Some(old) => {
+                if old.wear_v.to_bits() != wear_v.to_bits() {
+                    self.faults.stats.margin_flushes += 1;
+                    self.cache.invalidate_resolved();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes every aged cell's wear from the current activation
+    /// counts, invalidating memoized probabilities if any changed.
+    /// Returns the number of cells whose wear moved. Called by
+    /// [`crate::EnvSchedule::step`]; this is the *only* place wear
+    /// changes, which keeps margins constant between schedule steps.
+    pub fn refresh_aging(&mut self) -> usize {
+        let mut changed = 0;
+        for (cell, aged) in self.faults.aging.iter_mut() {
+            let acts = self.act_counts[cell.bank * self.geometry.rows + cell.row];
+            let wear_v = aged.wear_v_per_kiloact * (acts as f64 / 1000.0);
+            if wear_v.to_bits() != aged.wear_v.to_bits() {
+                aged.wear_v = wear_v;
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.faults.stats.margin_flushes += 1;
+            self.cache.invalidate_resolved();
+        }
+        changed
+    }
+
+    /// Aging wear currently in effect for a cell, volts (0 for cells
+    /// never registered).
+    pub fn cell_wear_v(&self, cell: CellAddr) -> f64 {
+        self.wear_of(cell)
+    }
+
+    /// Number of cells registered for aging.
+    pub fn aged_cell_count(&self) -> usize {
+        self.faults.aging.len()
+    }
+
+    /// Forces a cell to read as `value` regardless of what the sense
+    /// amplifiers latch. Applied after sensing, so noise-stream
+    /// consumption is unperturbed; on the reduced-latency path the
+    /// override flows into the restore and corrupts the stored word
+    /// like a natural failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns an addressing error if the cell is outside geometry.
+    pub fn set_stuck(&mut self, cell: CellAddr, value: bool) -> Result<()> {
+        self.check_addr(cell.bank, cell.row, cell.col)?;
+        let entry = self.faults.stuck.entry(cell.word()).or_default();
+        let bit = 1u64 << cell.bit;
+        if entry.mask & bit == 0 {
+            self.faults.stats.cells_stuck += 1;
+        }
+        entry.mask |= bit;
+        if value {
+            entry.value |= bit;
+        } else {
+            entry.value &= !bit;
+        }
+        Ok(())
+    }
+
+    /// Releases a stuck cell (no-op if it was not stuck). Corruption
+    /// the stuck reads left in the array persists, as it would on real
+    /// hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns an addressing error if the cell is outside geometry.
+    pub fn clear_stuck(&mut self, cell: CellAddr) -> Result<()> {
+        self.check_addr(cell.bank, cell.row, cell.col)?;
+        if let Some(entry) = self.faults.stuck.get_mut(&cell.word()) {
+            let bit = 1u64 << cell.bit;
+            entry.mask &= !bit;
+            entry.value &= !bit;
+            if entry.mask == 0 {
+                self.faults.stuck.remove(&cell.word());
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of cells currently forced stuck-at.
+    pub fn stuck_cell_count(&self) -> usize {
+        self.faults
+            .stuck
+            .values()
+            .map(|s| s.mask.count_ones() as usize)
+            .sum()
+    }
+
+    /// How many times a (bank, row) pair has been activated — the
+    /// quantity aging wear accrues over.
+    pub fn activation_count(&self, bank: usize, row: usize) -> u64 {
+        self.act_counts
+            .get(bank * self.geometry.rows + row)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Replaces the noise source (tests).

@@ -58,6 +58,7 @@ pub mod device;
 pub mod energy;
 pub mod entropy;
 pub mod error;
+pub mod faults;
 pub mod geometry;
 pub mod manufacturer;
 pub mod math;
@@ -78,6 +79,7 @@ pub use device::{DeviceConfig, DramDevice};
 pub use energy::EnergyModel;
 pub use entropy::{NoiseSource, OsNoise, SeededNoise};
 pub use error::{DramError, Result};
+pub use faults::{select_fraction, EnvEvent, EnvSchedule, FaultStats};
 pub use geometry::{CellAddr, Geometry, WordAddr};
 pub use manufacturer::{Manufacturer, PhysicsProfile};
 pub use sense_cache::SenseCacheStats;

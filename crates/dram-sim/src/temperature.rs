@@ -31,6 +31,21 @@ impl Celsius {
     pub fn plus(self, delta: f64) -> Celsius {
         Celsius(self.0 + delta)
     }
+
+    /// `steps + 1` evenly spaced temperatures from `self` to `to`
+    /// inclusive — the set-points of a linear chamber ramp. With
+    /// `steps == 0` the ramp is just the destination.
+    pub fn ramp_to(self, to: Celsius, steps: usize) -> Vec<Celsius> {
+        if steps == 0 {
+            return vec![to];
+        }
+        (0..=steps)
+            .map(|i| {
+                let f = i as f64 / steps as f64;
+                Celsius(self.0 + (to.0 - self.0) * f)
+            })
+            .collect()
+    }
 }
 
 impl Default for Celsius {
@@ -65,6 +80,14 @@ mod tests {
         for w in Celsius::SWEEP.windows(2) {
             assert!((w[1].degrees() - w[0].degrees() - 5.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn ramp_to_is_inclusive_and_even() {
+        let ramp = Celsius(45.0).ramp_to(Celsius(65.0), 4);
+        let degrees: Vec<f64> = ramp.iter().map(|t| t.degrees()).collect();
+        assert_eq!(degrees, vec![45.0, 50.0, 55.0, 60.0, 65.0]);
+        assert_eq!(Celsius(45.0).ramp_to(Celsius(70.0), 0), vec![Celsius(70.0)]);
     }
 
     #[test]

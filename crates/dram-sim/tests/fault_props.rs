@@ -1,0 +1,239 @@
+//! Property-based tests of the environmental fault layer: failure
+//! probability must drift monotonically with temperature (the Section
+//! 5.3 direction), every margin-affecting schedule step must fire the
+//! sensing cache's resolve-epoch invalidation, and the memoizing fast
+//! path must stay bit-identical to the uncached oracle under arbitrary
+//! interleavings of schedule steps and reduced-tRCD sensing.
+
+use dram_sim::variation::cell_latents;
+use dram_sim::{
+    CellAddr, Celsius, DataPattern, DeviceConfig, DramDevice, EnvSchedule, Geometry, Manufacturer,
+    WordAddr,
+};
+use proptest::prelude::*;
+
+fn small_geometry() -> Geometry {
+    Geometry {
+        banks: 2,
+        rows: 32,
+        cols: 4,
+        word_bits: 64,
+        subarray_rows: 16,
+    }
+}
+
+fn device(seed: u64) -> DramDevice {
+    let mut d = DramDevice::build(
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(seed)
+            .with_noise_seed(seed ^ 0xFA17)
+            .with_geometry(small_geometry()),
+    );
+    d.fill_bank(0, DataPattern::Solid0);
+    d
+}
+
+/// A fast-path device and its uncached oracle twin.
+fn device_pair(seed: u64) -> (DramDevice, DramDevice) {
+    let fast = device(seed);
+    let mut slow = device(seed);
+    slow.set_sense_fast_path(false);
+    (fast, slow)
+}
+
+/// One abstract step: advance the environment or sense a row.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Apply the next event of the fault schedule.
+    Env,
+    /// One ACT → READ-all-columns → PRE burst at a reduced tRCD.
+    Sense(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Env),
+        5 => (0u8..2, 0u8..32).prop_map(|(b, r)| Op::Sense(b, r)),
+    ]
+}
+
+/// A chaos schedule touching every fault class: a step shock, a ramp,
+/// a margin-stealing noise burst, aging on a deterministic 20% of the
+/// scanned cells, and a stuck-at pair.
+fn chaos_schedule(seed: u64) -> EnvSchedule {
+    let g = small_geometry();
+    let cells: Vec<CellAddr> = (0..g.rows)
+        .flat_map(|row| (0..g.word_bits).map(move |bit| CellAddr::new(0, row, bit % 4, bit)))
+        .collect();
+    let schedule = EnvSchedule::new(seed);
+    let aged = schedule.select_fraction(&cells, 0.2);
+    let stuck = schedule.select_fraction(&cells, 0.02);
+    schedule
+        .shock(20.0)
+        .hold(1)
+        .noise_burst(-0.015, 2)
+        .age_cells(&aged, 0.05)
+        .stuck_at(&stuck, true)
+        .ramp(-20.0, 4)
+        .clear_stuck(&stuck)
+}
+
+fn apply(device: &mut DramDevice, schedule: &mut EnvSchedule, op: Op) -> Vec<u64> {
+    match op {
+        Op::Env => {
+            schedule.step(device).expect("in-range schedule cells");
+            Vec::new()
+        }
+        Op::Sense(b, r) => {
+            let (b, r) = (b as usize, r as usize);
+            (0..small_geometry().cols)
+                .map(|c| {
+                    device.activate(b, r).expect("bank closed");
+                    let word = device.read(b, r, c, 10.0).expect("open row");
+                    device.precharge(b).expect("bank open");
+                    word
+                })
+                .collect()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Section 5.3 direction: for any cell whose temperature
+    /// sensitivity is positive (the overwhelming majority — the latent
+    /// is 1 + sd·gauss), the analytic failure probability is monotone
+    /// nondecreasing in temperature.
+    #[test]
+    fn failure_probability_is_monotone_in_temperature(
+        seed in 0u64..16,
+        row in 0u8..32,
+        col in 0u8..4,
+        bit in 0u8..64,
+        t_lo in 20.0f64..70.0,
+        dt in 0.5f64..30.0,
+    ) {
+        let d = device(seed);
+        let cell = CellAddr::new(0, row as usize, col as usize, bit as usize);
+        prop_assume!(cell_latents(seed, d.profile(), cell).temp_sens > 0.0);
+        let p_at = |t: f64| {
+            let mut d = device(seed);
+            d.set_temperature(Celsius(t));
+            d.failure_probability(cell, 10.0)
+        };
+        let p_lo = p_at(t_lo);
+        let p_hi = p_at(t_lo + dt);
+        prop_assert!(
+            p_hi >= p_lo,
+            "hotter must fail at least as often: p({}) = {} vs p({}) = {}",
+            t_lo, p_lo, t_lo + dt, p_hi
+        );
+    }
+
+    /// Every margin-affecting schedule step (temperature shift, noise
+    /// bias change) fires the resolve-epoch invalidation exactly once;
+    /// holds fire none.
+    #[test]
+    fn margin_affecting_schedule_steps_each_flush_resolutions(
+        steps in proptest::collection::vec((0u8..4, 1u8..25), 1..40),
+        seed in 0u64..16,
+    ) {
+        let mut d = device(seed);
+        let mut schedule = EnvSchedule::new(seed);
+        let mut bias_step = 0u32;
+        for &(kind, mag) in &steps {
+            schedule = match kind {
+                0 => schedule.hold(1),
+                // Unique bias per burst event guarantees each one is an
+                // actual change (and hence must flush).
+                1 => {
+                    bias_step += 1;
+                    schedule.push(dram_sim::EnvEvent::NoiseBias(-0.001 * bias_step as f64))
+                }
+                2 => schedule.shock(mag as f64),
+                _ => schedule.shock(-(mag as f64)),
+            };
+        }
+        let mut expected = d.sense_cache_stats().flushes;
+        let mut i = 0usize;
+        while let Some(event) = schedule.step(&mut d).expect("schedule applies") {
+            match event {
+                dram_sim::EnvEvent::Hold => {}
+                _ => expected += 1,
+            }
+            let got = d.sense_cache_stats().flushes;
+            prop_assert_eq!(
+                got, expected,
+                "step {} ({:?}) must flush exactly the margin changes", i, event
+            );
+            i += 1;
+        }
+    }
+
+    /// Seed-for-seed equivalence under fault schedules: with the same
+    /// chaos schedule applied to both, the memoizing fast path and the
+    /// uncached oracle must emit identical words and end with identical
+    /// stored data and ground-truth probabilities.
+    #[test]
+    fn fast_path_matches_oracle_under_fault_schedules(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        seed in 0u64..16,
+    ) {
+        let (mut fast, mut slow) = device_pair(seed);
+        let mut sched_fast = chaos_schedule(seed);
+        let mut sched_slow = chaos_schedule(seed);
+        for (i, &op) in ops.iter().enumerate() {
+            let a = apply(&mut fast, &mut sched_fast, op);
+            let b = apply(&mut slow, &mut sched_slow, op);
+            prop_assert_eq!(a, b, "divergence at step {} ({:?})", i, op);
+        }
+        prop_assert_eq!(fast.fault_stats(), slow.fault_stats());
+        let g = small_geometry();
+        for row in 0..g.rows {
+            for col in 0..g.cols {
+                let addr = WordAddr::new(0, row, col);
+                prop_assert_eq!(fast.peek(addr), slow.peek(addr));
+            }
+        }
+        for bit in (0..64).step_by(7) {
+            let cell = CellAddr::new(0, 5, 2, bit);
+            let pf = fast.failure_probability(cell, 10.0);
+            let ps = slow.failure_probability(cell, 10.0);
+            prop_assert_eq!(pf.to_bits(), ps.to_bits(), "ground truth moved");
+        }
+    }
+
+    /// Aging only bites at schedule steps: between steps the wear (and
+    /// hence every memoized probability) is frozen no matter how many
+    /// activations land, and a step after heavy activation strictly
+    /// increases an aged cell's failure probability once wear exceeds
+    /// the dead zone.
+    #[test]
+    fn aging_wear_moves_only_at_schedule_steps(
+        seed in 0u64..16,
+        row in 0u8..32,
+        acts in 200u32..2000,
+    ) {
+        let mut d = device(seed);
+        let cell = CellAddr::new(0, row as usize, 1, 9);
+        let mut schedule = EnvSchedule::new(seed).age_cells(&[cell], 0.04).hold(1);
+        schedule.step(&mut d).expect("registration applies");
+        let wear0 = d.cell_wear_v(cell);
+        let p0 = d.failure_probability(cell, 10.0);
+        for _ in 0..acts {
+            d.activate(0, cell.row).expect("bank closed");
+            d.precharge(0).expect("bank open");
+        }
+        prop_assert_eq!(d.cell_wear_v(cell).to_bits(), wear0.to_bits(),
+            "wear frozen between steps");
+        prop_assert_eq!(d.failure_probability(cell, 10.0).to_bits(), p0.to_bits(),
+            "probability frozen between steps");
+        schedule.step(&mut d).expect("hold applies");
+        let expected = 0.04 * (acts as f64 / 1000.0);
+        prop_assert!((d.cell_wear_v(cell) - expected).abs() < 1e-12,
+            "wear tracks activation count at the step");
+        prop_assert!(d.failure_probability(cell, 10.0) >= p0,
+            "lost margin can only raise failure probability");
+    }
+}
