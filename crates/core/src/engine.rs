@@ -9,8 +9,9 @@
 //! channel level: `N` worker threads, each owning its own memory
 //! controller and [`DRange`] instance (one per simulated channel),
 //! continuously harvest health-screened bit batches and push them
-//! through a bounded [`crossbeam`] channel into a shared bit pool that
-//! many client threads drain concurrently.
+//! through a bounded notification-driven channel
+//! ([`crate::channel::BatchChannel`]) into a shared bit pool that many
+//! client threads drain concurrently.
 //!
 //! ## Topology
 //!
@@ -35,8 +36,10 @@
 //! Backpressure is two-staged: the collector stops draining the channel
 //! once the pool reaches the high watermark (and resumes below the low
 //! watermark), which lets the bounded channel fill up, which in turn
-//! blocks the workers — so an idle engine consumes no CPU beyond
-//! periodic shutdown checks. Every batch is screened by a per-worker
+//! blocks the workers — so an idle engine consumes no CPU at all: every
+//! blocking wait in the pipeline is notification-driven (a plain
+//! condvar wait woken by the state change it is waiting for, never a
+//! timeout poll). Every batch is screened by a per-worker
 //! [`HealthMonitor`] before it is published; rejected batches are
 //! discarded and counted, and a worker that rejects more than
 //! [`EngineConfig::max_consecutive_rejects`] batches *in a row* (the
@@ -45,24 +48,21 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use dram_sim::{DeviceConfig, FaultStats, SenseCacheStats};
 use drange_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use memctrl::MemoryController;
 use parking_lot::{Condvar, Mutex};
 
 use crate::bits::{BitBlock, BitQueue};
+use crate::channel::BatchChannel;
 use crate::error::{DrangeError, Result};
 use crate::health::HealthMonitor;
 use crate::identify::RngCellCatalog;
 use crate::lifecycle::{LifecycleStats, ResilientDRange};
 use crate::sampler::{DRange, DRangeConfig};
-use crate::sync::{BitLedger, CounterCell, Flag, LiveCount, WatermarkGate};
-
-/// How long blocked threads sleep between shutdown checks.
-const POLL: Duration = Duration::from_millis(20);
+use crate::sync::{deadline_after, BitLedger, CounterCell, Flag, LiveCount, WatermarkGate};
 
 /// A source of raw random-bit batches that a worker thread can own.
 ///
@@ -564,6 +564,7 @@ impl EngineStats {
 pub struct HarvestEngine {
     config: EngineConfig,
     shared: Arc<Shared>,
+    channel: Arc<BatchChannel<BitBlock>>,
     counters: Vec<Arc<WorkerCounters>>,
     telemetry: EngineTelemetry,
     workers: Vec<JoinHandle<()>>,
@@ -615,7 +616,10 @@ impl HarvestEngine {
             served_bits: CounterCell::new(),
             first_error: Mutex::new(None),
         });
-        let (tx, rx) = bounded::<BitBlock>(config.channel_batches);
+        let channel = Arc::new(BatchChannel::<BitBlock>::new(
+            config.channel_batches,
+            sources.len(),
+        ));
         let mut counters = Vec::with_capacity(sources.len());
         let mut workers = Vec::with_capacity(sources.len());
         for (index, source) in sources.into_iter().enumerate() {
@@ -626,30 +630,29 @@ impl HarvestEngine {
                 .name(format!("drange-worker-{index}"))
                 .spawn({
                     let shared = Arc::clone(&shared);
-                    let tx = tx.clone();
+                    let channel = Arc::clone(&channel);
                     let min_entropy = config.min_entropy;
                     let max_rejects = config.max_consecutive_rejects;
-                    move || worker_loop(source, tx, shared, ctr, tel, min_entropy, max_rejects)
+                    move || worker_loop(source, channel, shared, ctr, tel, min_entropy, max_rejects)
                 })
                 .map_err(|e| DrangeError::Engine(format!("spawning worker {index}: {e}")))?;
             workers.push(handle);
         }
-        // The workers hold the only senders: when the last worker
-        // exits, the collector sees the channel disconnect and drains.
-        drop(tx);
         let collector_tel = CollectorTelemetry::new(registry);
         let collector = std::thread::Builder::new()
             .name("drange-collector".into())
             .spawn({
                 let shared = Arc::clone(&shared);
+                let channel = Arc::clone(&channel);
                 let low = config.low_watermark;
                 let high = config.high_watermark;
-                move || collector_loop(rx, shared, collector_tel, low, high)
+                move || collector_loop(&channel, &shared, &collector_tel, low, high)
             })
             .map_err(|e| DrangeError::Engine(format!("spawning collector: {e}")))?;
         Ok(HarvestEngine {
             config,
             shared,
+            channel,
             counters,
             telemetry: EngineTelemetry::new(registry),
             workers,
@@ -699,14 +702,32 @@ impl HarvestEngine {
     }
 
     fn take_bits_inner(&self, bits: usize) -> Result<Vec<bool>> {
-        self.drain_pool(bits, |pool| pool.pop_bools(bits))
+        match self.drain_pool(bits, None, |pool| pool.pop_bools(bits))? {
+            Some(out) => Ok(out),
+            // Unreachable: an untimed drain only returns on success or
+            // error, but the no-panic policy forbids asserting so.
+            None => Err(DrangeError::Engine(
+                "untimed pool drain reported a timeout".into(),
+            )),
+        }
     }
 
     /// Blocks until `bits` bits are pooled, then removes them with
-    /// `drain` under the pool lock. All client-facing accessors funnel
-    /// through here so the waiting/demand/accounting protocol exists
-    /// exactly once.
-    fn drain_pool<T>(&self, bits: usize, drain: impl FnOnce(&mut BitQueue) -> T) -> Result<T> {
+    /// `drain` under the pool lock; `Ok(None)` when `deadline` passes
+    /// first. All client-facing accessors funnel through here so the
+    /// waiting/demand/accounting protocol exists exactly once.
+    ///
+    /// The wait is notification-driven: the collector notifies
+    /// `bits_available` on every publish, and every terminal transition
+    /// (shutdown, worker retirement, collector exit) notifies through a
+    /// lock barrier — so a plain, untimed wait cannot miss a wakeup and
+    /// no polling interval is needed (see `tests/loom_engine.rs`).
+    fn drain_pool<T>(
+        &self,
+        bits: usize,
+        deadline: Option<Instant>,
+        drain: impl FnOnce(&mut BitQueue) -> T,
+    ) -> Result<Option<T>> {
         if bits > self.config.queue_capacity {
             return Err(DrangeError::InvalidSpec(format!(
                 "request of {bits} bits exceeds pool capacity {}",
@@ -718,6 +739,7 @@ impl HarvestEngine {
         // to block, so the fast path never reads the clock.
         let mut wait_t0 = None;
         let mut waiting = false;
+        let mut expired = false;
         let finish_wait = |shared: &Shared, tel: &EngineTelemetry, waiting: bool, wait_t0| {
             if waiting {
                 shared.demand_bits.retire(bits as u64);
@@ -734,7 +756,7 @@ impl HarvestEngine {
                 self.telemetry.pool_bits.set(remaining as u64);
                 self.shared.served_bits.add(bits as u64);
                 self.shared.space_available.notify_all();
-                return Ok(out);
+                return Ok(Some(out));
             }
             let workers_gone =
                 self.shared.live_workers.all_retired() && self.shared.collector_done.is_raised();
@@ -744,6 +766,15 @@ impl HarvestEngine {
                 return Err(self.first_error().unwrap_or_else(|| {
                     DrangeError::Engine("engine stopped before the request could be served".into())
                 }));
+            }
+            if expired {
+                // The deadline passed and the re-check above still came
+                // up short: report the timeout with the demand retired,
+                // so the collector's gate bypass does not outlive the
+                // request.
+                drop(pool);
+                finish_wait(&self.shared, &self.telemetry, waiting, wait_t0);
+                return Ok(None);
             }
             if !waiting {
                 waiting = true;
@@ -757,7 +788,18 @@ impl HarvestEngine {
                 wait_t0 = self.telemetry.pool_wait_ns.start();
                 self.telemetry.pool_waiters.add(1);
             }
-            let _ = self.shared.bits_available.wait_for(&mut pool, POLL);
+            match deadline {
+                None => self.shared.bits_available.wait(&mut pool),
+                Some(d) => {
+                    // One more pass through the checks after a timeout:
+                    // a publish may have raced the deadline.
+                    expired = self
+                        .shared
+                        .bits_available
+                        .wait_until(&mut pool, d)
+                        .timed_out();
+                }
+            }
         }
     }
 
@@ -769,6 +811,58 @@ impl HarvestEngine {
     /// As [`HarvestEngine::take_bits`]; additionally rejects byte
     /// counts whose bit count overflows `usize`.
     pub fn take_bytes(&self, bytes: usize) -> Result<Vec<u8>> {
+        match self.take_bytes_inner(bytes, None)? {
+            Some(out) => Ok(out),
+            // Unreachable: an untimed drain only returns on success or
+            // error, but the no-panic policy forbids asserting so.
+            None => Err(DrangeError::Engine(
+                "untimed pool drain reported a timeout".into(),
+            )),
+        }
+    }
+
+    /// As [`HarvestEngine::take_bytes`], but gives up and returns
+    /// `Ok(None)` once `deadline` passes without enough screened bits
+    /// pooled. On timeout the request's demand registration is retired,
+    /// so the collector's watermark-gate bypass does not outlive it.
+    ///
+    /// # Errors
+    ///
+    /// As [`HarvestEngine::take_bytes`].
+    pub fn take_bytes_deadline(&self, bytes: usize, deadline: Instant) -> Result<Option<Vec<u8>>> {
+        self.take_bytes_inner(bytes, Some(deadline))
+    }
+
+    /// As [`HarvestEngine::take_bytes_deadline`] with a relative
+    /// timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`HarvestEngine::take_bytes`].
+    pub fn take_bytes_timeout(&self, bytes: usize, timeout: Duration) -> Result<Option<Vec<u8>>> {
+        self.take_bytes_inner(bytes, Some(deadline_after(timeout)))
+    }
+
+    /// As [`HarvestEngine::take_bits`], but gives up and returns
+    /// `Ok(None)` once `timeout` elapses without enough screened bits
+    /// pooled.
+    ///
+    /// # Errors
+    ///
+    /// As [`HarvestEngine::take_bits`].
+    pub fn take_bits_timeout(&self, bits: usize, timeout: Duration) -> Result<Option<Vec<bool>>> {
+        let t0 = self.telemetry.take_bits_ns.start();
+        let out = self.drain_pool(bits, Some(deadline_after(timeout)), |pool| {
+            pool.pop_bools(bits)
+        });
+        self.telemetry.take_bits_ns.observe_since(t0);
+        if let Ok(Some(_)) = &out {
+            self.telemetry.served_bits.add(bits as u64);
+        }
+        out
+    }
+
+    fn take_bytes_inner(&self, bytes: usize, deadline: Option<Instant>) -> Result<Option<Vec<u8>>> {
         let bits = bytes.checked_mul(8).ok_or_else(|| {
             DrangeError::InvalidSpec(format!("request of {bytes} bytes overflows bit count"))
         })?;
@@ -776,7 +870,7 @@ impl HarvestEngine {
         // Drain straight from the packed pool: whole words big-endian
         // while at least 8 bytes remain, then byte-sized pops — the
         // same MSB-first packing `take_bits` + manual packing produced.
-        let out = self.drain_pool(bits, |pool| {
+        let out = self.drain_pool(bits, deadline, |pool| {
             let mut out = Vec::with_capacity(bytes);
             while out.len() + 8 <= bytes {
                 match pool.pop_word() {
@@ -793,7 +887,7 @@ impl HarvestEngine {
             out
         });
         self.telemetry.take_bits_ns.observe_since(t0);
-        if out.is_ok() {
+        if let Ok(Some(_)) = &out {
             self.telemetry.served_bits.add(bits as u64);
         }
         out
@@ -856,13 +950,18 @@ impl HarvestEngine {
     /// Idempotent stop-and-join.
     fn halt(&mut self) {
         self.shared.shutdown.raise();
+        // Close the worker→collector channel: workers blocked on a full
+        // channel fail their send, account the batch as discarded, and
+        // retire (the close itself notifies under the channel lock, so
+        // that wakeup cannot be lost either).
+        self.channel.close();
         // Lock barrier: a waiter that checked the shutdown flag just
         // before it was raised still holds the pool mutex until it
         // parks, so acquiring (and releasing) the mutex here orders
-        // this notify after that park — without it the wakeup can land
-        // in the check-to-park window and be lost (a POLL stall in
-        // real time, a deadlock under the timeout-free loom model; see
-        // tests/loom_engine.rs).
+        // this notify after that park — without it the wakeup lands in
+        // the check-to-park window and is lost: with the timeout polls
+        // gone that is a real deadlock, not a latency blip, and the
+        // timeout-free loom model catches it (see tests/loom_engine.rs).
         drop(self.shared.pool.lock());
         self.shared.bits_available.notify_all();
         self.shared.space_available.notify_all();
@@ -884,7 +983,7 @@ impl Drop for HarvestEngine {
 /// Body of one worker thread: harvest, screen, publish, repeat.
 fn worker_loop<S: HarvestSource>(
     source: S,
-    tx: Sender<BitBlock>,
+    channel: Arc<BatchChannel<BitBlock>>,
     shared: Arc<Shared>,
     counters: Arc<WorkerCounters>,
     tel: WorkerTelemetry,
@@ -893,7 +992,7 @@ fn worker_loop<S: HarvestSource>(
 ) {
     let error = worker_run(
         source,
-        &tx,
+        &channel,
         &shared,
         &counters,
         &tel,
@@ -906,11 +1005,13 @@ fn worker_loop<S: HarvestSource>(
             *slot = Some(e);
         }
     }
-    // Dropping `tx` (by returning) disconnects the channel once the
-    // last worker exits; wake anyone waiting so they observe the state.
+    // Detach from the channel: when the last worker retires, a blocked
+    // collector `recv` wakes, drains, and observes the end of the
+    // stream. Then wake pool waiters so they observe the worker count.
     // The lock barrier orders the notify after any in-progress
     // predicate check parks (see `HarvestEngine::halt`).
     shared.live_workers.retire();
+    channel.retire_sender();
     drop(shared.pool.lock());
     shared.bits_available.notify_all();
     shared.space_available.notify_all();
@@ -918,7 +1019,7 @@ fn worker_loop<S: HarvestSource>(
 
 fn worker_run<S: HarvestSource>(
     mut source: S,
-    tx: &Sender<BitBlock>,
+    channel: &BatchChannel<BitBlock>,
     shared: &Shared,
     counters: &WorkerCounters,
     tel: &WorkerTelemetry,
@@ -1023,30 +1124,16 @@ fn worker_run<S: HarvestSource>(
         consecutive_rejects = 0;
         shared.in_flight_bits.publish(batch.len() as u64);
         let publish_t0 = tel.publish_ns.start();
-        let mut message = batch;
-        loop {
-            match tx.send_timeout(message, POLL) {
-                Ok(()) => {
-                    tel.publish_ns.observe_since(publish_t0);
-                    break;
-                }
-                Err(SendTimeoutError::Timeout(m)) => {
-                    if shared.shutdown.is_raised() {
-                        // Undeliverable during shutdown: account the
-                        // batch as discarded so no bits go missing.
-                        shared.in_flight_bits.retire(m.len() as u64);
-                        counters.discarded_bits.add(m.len() as u64);
-                        tel.discarded_bits.add(m.len() as u64);
-                        return None;
-                    }
-                    message = m;
-                }
-                Err(SendTimeoutError::Disconnected(m)) => {
-                    shared.in_flight_bits.retire(m.len() as u64);
-                    counters.discarded_bits.add(m.len() as u64);
-                    tel.discarded_bits.add(m.len() as u64);
-                    return None;
-                }
+        match channel.send(batch) {
+            Ok(()) => tel.publish_ns.observe_since(publish_t0),
+            Err(m) => {
+                // The channel closed (engine shutdown) before space
+                // opened up: the batch is undeliverable. Account it as
+                // discarded so no bits go missing.
+                shared.in_flight_bits.retire(m.len() as u64);
+                counters.discarded_bits.add(m.len() as u64);
+                tel.discarded_bits.add(m.len() as u64);
+                return None;
             }
         }
     }
@@ -1054,34 +1141,42 @@ fn worker_run<S: HarvestSource>(
 }
 
 /// Body of the collector thread: gate on the watermarks, drain batches
-/// into the pool, and on disconnect (all workers gone) stop.
+/// into the pool, and once every worker has retired (end of stream)
+/// stop.
 fn collector_loop(
-    rx: Receiver<BitBlock>,
-    shared: Arc<Shared>,
-    tel: CollectorTelemetry,
+    channel: &BatchChannel<BitBlock>,
+    shared: &Shared,
+    tel: &CollectorTelemetry,
     low: usize,
     high: usize,
 ) {
     let mut gate = WatermarkGate::new(low, high);
     loop {
-        let shutting_down = shared.shutdown.is_raised();
-        if !shutting_down {
+        if !shared.shutdown.is_raised() {
             // Hysteresis gate: pause at the high watermark, resume at
             // the low one (see [`WatermarkGate`]). The gate is bypassed
             // while a blocked client wants more bits than the pool
             // holds (`demand_bits`) — the gate alone would wedge any
             // request larger than `high` — and during shutdown, so
-            // workers blocked on the channel always drain out.
+            // workers blocked on the channel always drain out. The wait
+            // is plain (untimed): every transition in the predicate
+            // notifies `space_available` — clients draining the pool or
+            // publishing demand, and shutdown through the lock barrier
+            // in `HarvestEngine::halt`.
             let mut pool = shared.pool.lock();
             while !gate.admit(pool.len())
                 && (pool.len() as u64) >= shared.demand_bits.outstanding()
                 && !shared.shutdown.is_raised()
             {
-                let _ = shared.space_available.wait_for(&mut pool, POLL);
+                shared.space_available.wait(&mut pool);
             }
         }
-        match rx.recv_timeout(POLL) {
-            Ok(batch) => {
+        // Blocks until a worker publishes; returns None when the last
+        // worker has retired and the channel is drained — including
+        // after shutdown, so successfully-sent batches always reach the
+        // pool and the bit-conservation invariant holds.
+        match channel.recv() {
+            Some(batch) => {
                 let n = batch.len() as u64;
                 let collect_t0 = tel.collect_ns.start();
                 let queued = {
@@ -1094,10 +1189,7 @@ fn collector_loop(
                 shared.in_flight_bits.retire(n);
                 shared.bits_available.notify_all();
             }
-            Err(RecvTimeoutError::Timeout) => continue,
-            // All senders dropped: every worker has exited and every
-            // published batch has been received. Nothing is in flight.
-            Err(RecvTimeoutError::Disconnected) => break,
+            None => break,
         }
     }
     // The lock barrier orders the notify after any in-progress

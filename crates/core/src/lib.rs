@@ -53,6 +53,7 @@
 
 pub mod bits;
 pub mod calibrate;
+pub mod channel;
 pub mod dpd;
 pub mod engine;
 pub mod entropy;
@@ -73,6 +74,7 @@ pub mod sync;
 pub mod throughput;
 
 pub use bits::{BitBlock, BitQueue};
+pub use channel::BatchChannel;
 pub use drange_telemetry as telemetry;
 pub use engine::{
     channel_sources, channel_sources_with_telemetry, resilient_channel_sources, EngineConfig,

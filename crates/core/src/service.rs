@@ -14,7 +14,7 @@
 //! available DRAM bandwidth", generalized to a multi-channel system).
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use drange_telemetry::{Counter, Histogram, MetricsRegistry};
 use parking_lot::{Condvar, Mutex};
@@ -22,7 +22,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::engine::{EngineConfig, EngineStats, HarvestEngine, HarvestSource};
 use crate::error::{DrangeError, Result};
 use crate::sampler::DRange;
-use crate::sync::SequenceCounter;
+use crate::sync::{deadline_after, SequenceCounter};
 
 /// Identifier of a pending randomness request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -75,6 +75,8 @@ struct ServiceTelemetry {
     requests: Counter,
     request_bytes: Counter,
     completed: Counter,
+    canceled: Counter,
+    timeouts: Counter,
     wait_receive_ns: Histogram,
 }
 
@@ -87,6 +89,8 @@ impl ServiceTelemetry {
             requests: reg.counter("drange_requests_total", &[]),
             request_bytes: reg.counter("drange_request_bytes_total", &[]),
             completed: reg.counter("drange_requests_completed_total", &[]),
+            canceled: reg.counter("drange_requests_canceled_total", &[]),
+            timeouts: reg.counter("drange_wait_timeouts_total", &[]),
             wait_receive_ns: reg.histogram("drange_wait_receive_latency_ns", &[]),
         }
     }
@@ -177,6 +181,11 @@ impl RandomnessService {
 
     /// Files a request for `bytes` random bytes, returning its id.
     ///
+    /// A zero-byte request completes immediately: its (empty) result is
+    /// ready the moment this returns, without ever entering the pending
+    /// queue — it cannot block behind harvesting or be starved by
+    /// larger requests.
+    ///
     /// # Errors
     ///
     /// Returns [`DrangeError::InvalidSpec`] when a single request
@@ -197,8 +206,38 @@ impl RandomnessService {
         self.telemetry.request_bytes.add(bytes as u64);
         let mut inner = self.inner.lock();
         inner.outstanding.insert(id);
-        inner.pending.push_back(Pending { id, bytes });
+        if bytes == 0 {
+            inner.ready.insert(id, Vec::new());
+            self.telemetry.completed.inc();
+        } else {
+            inner.pending.push_back(Pending { id, bytes });
+        }
         Ok(id)
+    }
+
+    /// Cancels an outstanding request. Returns `true` when the id was
+    /// outstanding (its queued work and any ready bytes are dropped),
+    /// `false` when it was unknown or already received.
+    ///
+    /// A request whose bytes are being fetched by a concurrent
+    /// `process` call when it is canceled completes into the void: the
+    /// fetched bytes are dropped, not delivered. A thread blocked in
+    /// [`RandomnessService::wait_receive`] on the canceled id is woken
+    /// and gets the unknown-id error.
+    pub fn cancel(&self, id: RequestId) -> bool {
+        let mut inner = self.inner.lock();
+        if !inner.outstanding.remove(&id) {
+            return false;
+        }
+        inner.pending.retain(|p| p.id != id);
+        inner.ready.remove(&id);
+        drop(inner);
+        // Mutation happened under the lock, so this notify cannot land
+        // in a waiter's check-to-park window: wake waiters so one
+        // blocked on this id observes the cancellation.
+        self.ready_cv.notify_all();
+        self.telemetry.canceled.inc();
+        true
     }
 
     /// Runs the firmware loop: fulfills pending requests in order from
@@ -212,27 +251,56 @@ impl RandomnessService {
     /// retiring the last worker); the request being served is requeued
     /// so no id is lost.
     pub fn process(&self) -> Result<usize> {
+        self.process_deadline(None).map(|(completed, _)| completed)
+    }
+
+    /// The firmware loop with an optional give-up deadline. Returns
+    /// `(completed, expired)`; when `expired` is true the request being
+    /// served hit the deadline while waiting for bits and was requeued
+    /// (with waiters notified), not lost.
+    ///
+    /// Every exit that leaves work in the pending queue — engine error
+    /// or deadline — requeues under the lock *and* notifies `ready_cv`:
+    /// a waiter parked on an id this call was serving must wake and
+    /// re-drive the firmware loop itself, or it would wait forever on a
+    /// completion that no thread is producing anymore (the lost wakeup
+    /// pinned by `tests/loom_service.rs`).
+    fn process_deadline(&self, deadline: Option<Instant>) -> Result<(usize, bool)> {
         let mut completed = 0usize;
         loop {
             let head = { self.inner.lock().pending.pop_front() };
             let Some(head) = head else { break };
-            match self.engine.take_bytes(head.bytes) {
-                Ok(bytes) => {
+            let outcome = match deadline {
+                None => self.engine.take_bytes(head.bytes).map(Some),
+                Some(d) => self.engine.take_bytes_deadline(head.bytes, d),
+            };
+            match outcome {
+                Ok(Some(bytes)) => {
                     {
                         let mut inner = self.inner.lock();
-                        inner.ready.insert(head.id, bytes);
+                        // A request canceled while its bytes were being
+                        // fetched completes into the void.
+                        if inner.outstanding.contains(&head.id) {
+                            inner.ready.insert(head.id, bytes);
+                        }
                     }
                     self.ready_cv.notify_all();
                     self.telemetry.completed.inc();
                     completed += 1;
                 }
+                Ok(None) => {
+                    self.inner.lock().pending.push_front(head);
+                    self.ready_cv.notify_all();
+                    return Ok((completed, true));
+                }
                 Err(e) => {
                     self.inner.lock().pending.push_front(head);
+                    self.ready_cv.notify_all();
                     return Err(e);
                 }
             }
         }
-        Ok(completed)
+        Ok((completed, false))
     }
 
     /// Retrieves a completed request's bytes, if ready. Each request is
@@ -255,26 +323,95 @@ impl RandomnessService {
     /// this service or was already received.
     pub fn wait_receive(&self, id: RequestId) -> Result<Vec<u8>> {
         let t0 = self.telemetry.wait_receive_ns.start();
-        let out = self.wait_receive_inner(id);
+        let out = match self.wait_receive_inner(id, None) {
+            Ok(Some(bytes)) => Ok(bytes),
+            // Unreachable: an untimed wait only returns on success or
+            // error, but the no-panic policy forbids asserting so.
+            Ok(None) => Err(DrangeError::Engine(
+                "untimed wait_receive reported a timeout".into(),
+            )),
+            Err(e) => Err(e),
+        };
         self.telemetry.wait_receive_ns.observe_since(t0);
         out
     }
 
-    fn wait_receive_inner(&self, id: RequestId) -> Result<Vec<u8>> {
+    /// As [`RandomnessService::wait_receive`], but gives up and returns
+    /// `Ok(None)` once `timeout` elapses without the request
+    /// completing. On timeout the request stays outstanding — it keeps
+    /// its place in the queue and a later `wait_receive`,
+    /// `wait_receive_timeout`, or [`RandomnessService::receive`] (after
+    /// some thread processes it) can still collect the bytes; call
+    /// [`RandomnessService::cancel`] to abandon it instead.
+    ///
+    /// # Errors
+    ///
+    /// As [`RandomnessService::wait_receive`].
+    pub fn wait_receive_timeout(
+        &self,
+        id: RequestId,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>> {
+        let t0 = self.telemetry.wait_receive_ns.start();
+        let out = self.wait_receive_inner(id, Some(deadline_after(timeout)));
+        self.telemetry.wait_receive_ns.observe_since(t0);
+        if let Ok(None) = &out {
+            self.telemetry.timeouts.inc();
+        }
+        out
+    }
+
+    /// The blocking receive loop. Alternates between driving the
+    /// firmware loop and a notification-driven wait on `ready_cv`.
+    ///
+    /// The wait protocol (model-checked in `tests/loom_service.rs`):
+    /// a waiter parks only while its id is *in flight* on another
+    /// thread — not ready, still outstanding, and not in the pending
+    /// queue. Every transition out of that state notifies `ready_cv`
+    /// under the inner lock: completion and cancellation remove the id
+    /// from flight, and an error or timeout in the serving thread
+    /// requeues the id (the waiter then sees it in `pending`, stops
+    /// waiting, and drives `process` itself). The old implementation
+    /// skipped the requeue notify and papered over the lost wakeup with
+    /// a 5 ms poll; with plain waits that bug would be a deadlock, so
+    /// the predicate and the notifies must stay in lockstep.
+    fn wait_receive_inner(
+        &self,
+        id: RequestId,
+        deadline: Option<Instant>,
+    ) -> Result<Option<Vec<u8>>> {
         loop {
-            self.process()?;
+            let (_, mut expired) = self.process_deadline(deadline)?;
             let mut inner = self.inner.lock();
-            if let Some(bytes) = inner.ready.remove(&id) {
-                inner.outstanding.remove(&id);
-                return Ok(bytes);
+            loop {
+                if let Some(bytes) = inner.ready.remove(&id) {
+                    inner.outstanding.remove(&id);
+                    return Ok(Some(bytes));
+                }
+                if !inner.outstanding.contains(&id) {
+                    return Err(DrangeError::InvalidSpec(
+                        "unknown, canceled, or already-received request id".into(),
+                    ));
+                }
+                if expired {
+                    return Ok(None);
+                }
+                if inner.pending.iter().any(|p| p.id == id) {
+                    // Our id is (back) in the queue and no thread owns
+                    // it: drive the firmware loop ourselves.
+                    break;
+                }
+                // In flight on another thread; wait for its completion
+                // (or requeue/cancel) notify.
+                match deadline {
+                    None => self.ready_cv.wait(&mut inner),
+                    Some(d) => {
+                        // On timeout, loop once more: ready/outstanding
+                        // may have changed while we raced the deadline.
+                        expired = self.ready_cv.wait_until(&mut inner, d).timed_out();
+                    }
+                }
             }
-            if !inner.outstanding.contains(&id) {
-                return Err(DrangeError::InvalidSpec(
-                    "unknown or already-received request id".into(),
-                ));
-            }
-            // Another client thread is fulfilling this id; wait for it.
-            let _ = self.ready_cv.wait_for(&mut inner, Duration::from_millis(5));
         }
     }
 
@@ -293,6 +430,14 @@ impl RandomnessService {
     /// counted).
     pub fn pending_requests(&self) -> usize {
         self.inner.lock().pending.len()
+    }
+
+    /// Ids filed and not yet received or canceled — pending, in flight,
+    /// or ready. A front-end that files a request per connection can
+    /// assert this returns to zero when its clients disconnect: a
+    /// nonzero steady-state value means request ids are leaking.
+    pub fn outstanding_requests(&self) -> usize {
+        self.inner.lock().outstanding.len()
     }
 
     /// Engine-level statistics (harvested/discarded/queued bits and
@@ -595,5 +740,146 @@ mod tests {
         let bytes = s.wait_receive(id).unwrap();
         assert_eq!(bytes.len(), 24);
         assert!(s.wait_receive(id).is_err(), "an id is consumed once");
+    }
+
+    fn small_prng_service() -> RandomnessService {
+        RandomnessService::with_sources(
+            vec![PrngSource { state: 7 }],
+            ServiceConfig {
+                queue_capacity: 2048,
+                low_watermark: 256,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_byte_request_completes_immediately() {
+        let s = small_prng_service();
+        let id = s.request(0).unwrap();
+        assert_eq!(s.pending_requests(), 0, "never enters the queue");
+        assert_eq!(
+            s.receive(id).as_deref(),
+            Some(&[][..]),
+            "ready without any process call"
+        );
+        assert_eq!(s.outstanding_requests(), 0);
+        // The blocking paths agree.
+        let id = s.request(0).unwrap();
+        assert_eq!(s.wait_receive(id).unwrap(), Vec::<u8>::new());
+        let id = s.request(0).unwrap();
+        assert_eq!(
+            s.wait_receive_timeout(id, Duration::from_secs(5)).unwrap(),
+            Some(Vec::new())
+        );
+    }
+
+    #[test]
+    fn cancel_drops_a_pending_request() {
+        let s = small_prng_service();
+        let id = s.request(16).unwrap();
+        assert_eq!(s.outstanding_requests(), 1);
+        assert!(s.cancel(id));
+        assert_eq!(s.outstanding_requests(), 0);
+        assert_eq!(s.pending_requests(), 0);
+        assert!(!s.cancel(id), "cancel consumes the id");
+        assert!(s.receive(id).is_none());
+        assert!(s.wait_receive(id).is_err(), "canceled ids are unknown");
+        // Later requests are unaffected.
+        let id2 = s.request(8).unwrap();
+        assert_eq!(s.wait_receive(id2).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn cancel_drops_a_ready_request() {
+        let s = small_prng_service();
+        let id = s.request(16).unwrap();
+        s.process().unwrap();
+        assert!(s.cancel(id));
+        assert!(s.receive(id).is_none(), "ready bytes were dropped");
+        assert_eq!(s.outstanding_requests(), 0);
+    }
+
+    /// A healthy source that takes real time per batch, so timed waits
+    /// engage deterministically.
+    #[derive(Debug)]
+    struct SlowSource {
+        state: u64,
+        delay: Duration,
+    }
+
+    impl HarvestSource for SlowSource {
+        fn harvest_batch(&mut self) -> Result<BitBlock> {
+            std::thread::sleep(self.delay);
+            Ok((0..1024)
+                .map(|_| {
+                    self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = self.state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    (z ^ (z >> 31)) & 1 == 1
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn wait_receive_timeout_expires_then_the_request_survives() {
+        let s = RandomnessService::with_sources(
+            vec![SlowSource {
+                state: 3,
+                delay: Duration::from_millis(100),
+            }],
+            ServiceConfig {
+                queue_capacity: 2048,
+                low_watermark: 256,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let id = s.request(16).unwrap();
+        // Far shorter than the first batch's harvest delay.
+        let out = s
+            .wait_receive_timeout(id, Duration::from_millis(5))
+            .unwrap();
+        assert_eq!(out, None, "timed out before any bits arrived");
+        assert_eq!(s.outstanding_requests(), 1, "the request is not lost");
+        // The untimed wait picks the same request back up and serves it.
+        assert_eq!(s.wait_receive(id).unwrap().len(), 16);
+        assert_eq!(s.outstanding_requests(), 0);
+    }
+
+    #[test]
+    fn canceled_in_flight_request_completes_into_the_void() {
+        let s = std::sync::Arc::new(
+            RandomnessService::with_sources(
+                vec![SlowSource {
+                    state: 5,
+                    delay: Duration::from_millis(50),
+                }],
+                ServiceConfig {
+                    queue_capacity: 2048,
+                    low_watermark: 256,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let id = s.request(16).unwrap();
+        let worker = std::thread::spawn({
+            let s = std::sync::Arc::clone(&s);
+            move || s.process()
+        });
+        // Cancel while the processor is (most likely) blocked in the
+        // engine fetching this id's bytes. Whichever side wins the
+        // race, the invariant is the same: nothing is delivered and no
+        // id leaks.
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(s.cancel(id));
+        worker.join().unwrap().unwrap();
+        assert!(s.receive(id).is_none());
+        assert_eq!(s.outstanding_requests(), 0);
+        assert_eq!(s.pending_requests(), 0);
     }
 }

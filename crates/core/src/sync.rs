@@ -9,9 +9,9 @@
 //!
 //! * every call site names the protocol action (`ledger.publish(n)`,
 //!   `live.retire()`, `shutdown.raise()`) rather than the memory
-//!   operation, so the bit-accounting invariant — *harvested = served
-//!   + queued + discarded + in flight* — reads directly out of the
-//!   code; and
+//!   operation, so the bit-accounting invariant — *harvested =
+//!   served + queued + discarded + in flight* — reads directly out
+//!   of the code; and
 //! * under `RUSTFLAGS="--cfg loom"` the wrappers switch to the
 //!   [`loomlite`] model-checking shims, making every access a
 //!   scheduling point so `tests/loom_engine.rs` can explore the
@@ -225,6 +225,23 @@ impl WatermarkGate {
     pub fn is_filling(&self) -> bool {
         self.filling
     }
+}
+
+/// Converts a relative timeout into an absolute deadline.
+///
+/// This is the one audited wall-clock read behind the timed-wait APIs:
+/// the hot-path modules that consume deadlines ([`crate::engine`],
+/// [`crate::service`]) are linted against ad-hoc `Instant::now()` pairs
+/// (`instant-hot-path`), so deadline computation routes through here —
+/// one clock read per timed request, on the slow (about-to-block) path.
+///
+/// Saturates far in the future instead of panicking when `now +
+/// timeout` would overflow the `Instant` domain.
+#[must_use]
+pub fn deadline_after(timeout: std::time::Duration) -> std::time::Instant {
+    let now = std::time::Instant::now();
+    now.checked_add(timeout)
+        .unwrap_or_else(|| now + std::time::Duration::from_secs(60 * 60 * 24 * 365))
 }
 
 #[cfg(test)]

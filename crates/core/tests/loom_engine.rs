@@ -1,19 +1,20 @@
 //! Model checks for the harvesting engine's cross-thread protocols.
 //!
 //! Run with `RUSTFLAGS="--cfg loom" cargo test -p drange-core --test
-//! loom_engine`. The engine itself runs on `crossbeam` channels and
-//! `parking_lot` primitives that the model checker cannot instrument,
-//! so these tests re-state the protocols of `src/engine.rs` —
-//! worker publish, collector watermark gate, client wait, shutdown
-//! handshake — line for line over the *real* [`drange_core::sync`]
-//! types (which switch to `loomlite` shims under `--cfg loom`) and
-//! `loomlite`'s own Mutex/Condvar. Modeled condvar waits never time
-//! out, so anything the engine's `POLL`-bounded waits would paper over
-//! (a lost wakeup, a missing notify on an exit path) shows up here as
-//! a hard deadlock.
+//! loom_engine`. The engine runs on `parking_lot` primitives that the
+//! model checker cannot instrument, so these tests re-state the
+//! protocols of `src/engine.rs` and `src/channel.rs` — worker publish
+//! through the notification-driven [`drange_core::channel`] hand-off,
+//! collector watermark gate, client wait, shutdown handshake — line
+//! for line over the *real* [`drange_core::sync`] types (which switch
+//! to `loomlite` shims under `--cfg loom`) and `loomlite`'s own
+//! Mutex/Condvar. Every blocking wait in the engine is a plain,
+//! untimed condvar wait, and the modeled waits never time out either:
+//! a lost wakeup or a missing notify on an exit path is a hard
+//! deadlock here, exactly as it would be in production.
 //!
-//! The model and `src/engine.rs` must be kept in sync by hand; each
-//! model function cites the code it mirrors.
+//! The model and `src/engine.rs`/`src/channel.rs` must be kept in sync
+//! by hand; each model function cites the code it mirrors.
 
 #![cfg(loom)]
 
@@ -29,17 +30,26 @@ const BATCH: u64 = 8;
 /// Modeled worker→collector channel capacity, in batches.
 const CHANNEL_CAP: usize = 1;
 
+/// Mirrors `channel::ChannelState`: the queue plus the sender
+/// population and closed flag, all behind one lock so every transition
+/// a peer waits on is mutated under it.
+struct ChannelState {
+    queue: VecDeque<u64>,
+    senders: usize,
+    closed: bool,
+}
+
 /// The engine's `Shared` state, reduced to what the protocols touch:
-/// the pool is a bit count, the bounded crossbeam channel is a
-/// `VecDeque` of batch sizes with its own mutex and a condvar per
-/// direction.
+/// the pool is a bit count, the worker→collector hand-off is the
+/// [`drange_core::channel::BatchChannel`] protocol restated over the
+/// model-checked primitives.
 struct Model {
-    channel: Mutex<VecDeque<u64>>,
-    /// Worker-side: space freed in the channel (crossbeam's internal
-    /// sender parking).
+    channel: Mutex<ChannelState>,
+    /// Worker-side: space freed in the channel, or close
+    /// (`BatchChannel::space`).
     channel_space: Condvar,
-    /// Collector-side: data available, or disconnect (last worker
-    /// retired).
+    /// Collector-side: data available, sender retirement, or close
+    /// (`BatchChannel::data`).
     channel_data: Condvar,
     pool: Mutex<u64>,
     bits_available: Condvar,
@@ -59,7 +69,11 @@ struct Model {
 impl Model {
     fn new(workers: usize) -> Self {
         Model {
-            channel: Mutex::new(VecDeque::new()),
+            channel: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                senders: workers,
+                closed: false,
+            }),
             channel_space: Condvar::new(),
             channel_data: Condvar::new(),
             pool: Mutex::new(0),
@@ -77,10 +91,67 @@ impl Model {
     }
 }
 
+/// Mirrors `BatchChannel::send`: block on space, fail fast (returning
+/// the batch) once the channel closes.
+fn ch_send(m: &Model, batch: u64) -> Result<(), u64> {
+    let mut ch = m.channel.lock().expect("model lock");
+    loop {
+        if ch.closed {
+            return Err(batch);
+        }
+        if ch.queue.len() < CHANNEL_CAP {
+            ch.queue.push_back(batch);
+            drop(ch);
+            m.channel_data.notify_one();
+            return Ok(());
+        }
+        ch = m.channel_space.wait(ch).expect("model wait");
+    }
+}
+
+/// Mirrors `BatchChannel::recv`: drain queued batches (even after
+/// close), end the stream only when every sender has retired.
+fn ch_recv(m: &Model) -> Option<u64> {
+    let mut ch = m.channel.lock().expect("model lock");
+    loop {
+        if let Some(b) = ch.queue.pop_front() {
+            drop(ch);
+            m.channel_space.notify_one();
+            return Some(b);
+        }
+        if ch.senders == 0 {
+            return None;
+        }
+        ch = m.channel_data.wait(ch).expect("model wait");
+    }
+}
+
+/// Mirrors `BatchChannel::retire_sender`: the count drops under the
+/// channel lock, so the end-of-stream notify cannot land in the
+/// collector's check-to-park window.
+fn ch_retire(m: &Model) {
+    let mut ch = m.channel.lock().expect("model lock");
+    ch.senders = ch.senders.saturating_sub(1);
+    let last = ch.senders == 0;
+    drop(ch);
+    if last {
+        m.channel_data.notify_all();
+    }
+}
+
+/// Mirrors `BatchChannel::close`: mark closed under the lock, then
+/// wake both sides.
+fn ch_close(m: &Model) {
+    let mut ch = m.channel.lock().expect("model lock");
+    ch.closed = true;
+    drop(ch);
+    m.channel_space.notify_all();
+    m.channel_data.notify_all();
+}
+
 /// Mirrors `worker_run` + `worker_loop`: harvest, publish into the
-/// bounded channel (blocking on space like crossbeam's sender), retire
-/// with the lock barrier, wake the channel (disconnect) and any pool
-/// waiters.
+/// bounded channel, account undeliverable batches as discarded, retire
+/// with the lock barrier, and wake any pool waiters.
 fn worker(m: &Model, batches: usize) {
     for _ in 0..batches {
         if m.shutdown.is_raised() {
@@ -88,31 +159,25 @@ fn worker(m: &Model, batches: usize) {
         }
         m.harvested.add(BATCH);
         m.in_flight.publish(BATCH);
-        let mut ch = m.channel.lock().expect("model lock");
-        while ch.len() >= CHANNEL_CAP {
-            ch = m.channel_space.wait(ch).expect("model wait");
+        if let Err(batch) = ch_send(m, BATCH) {
+            // The channel closed before space opened up: the batch is
+            // undeliverable; account it so no bits go missing
+            // (mirrors the `channel.send` error arm of `worker_run`).
+            m.in_flight.retire(batch);
+            m.discarded.add(batch);
+            break;
         }
-        ch.push_back(BATCH);
-        drop(ch);
-        m.channel_data.notify_all();
     }
     m.live.retire();
-    // Channel-lock barrier for the disconnect notify: the collector
-    // checks `all_retired` under the *channel* mutex, so the pool
-    // barrier below does not order this wakeup against its park. In
-    // the real engine this is crossbeam's sender-drop disconnect,
-    // which parks and wakes receivers internally; the hand-rolled
-    // channel has to do it explicitly.
-    drop(m.channel.lock().expect("model lock"));
-    m.channel_data.notify_all();
+    ch_retire(m);
     drop(m.pool.lock().expect("model lock"));
     m.bits_available.notify_all();
     m.space_available.notify_all();
 }
 
 /// Mirrors `collector_loop`: hysteresis-gate on the pool (bypassed
-/// during shutdown), drain the channel into the pool, exit on
-/// disconnect, raise `collector_done` behind the lock barrier.
+/// during shutdown), drain the channel into the pool, exit at the end
+/// of the stream, raise `collector_done` behind the lock barrier.
 ///
 /// `pool_bound`: when set, asserts the pool never exceeds it right
 /// after a batch lands (the backpressure property).
@@ -127,20 +192,7 @@ fn collector(m: &Model, mut gate: WatermarkGate, pool_bound: Option<u64>) {
                 pool = m.space_available.wait(pool).expect("model wait");
             }
         }
-        let mut ch = m.channel.lock().expect("model lock");
-        let batch = loop {
-            if let Some(b) = ch.pop_front() {
-                break Some(b);
-            }
-            if m.live.all_retired() {
-                // All senders dropped: crossbeam disconnect.
-                break None;
-            }
-            ch = m.channel_data.wait(ch).expect("model wait");
-        };
-        drop(ch);
-        let Some(n) = batch else { break };
-        m.channel_space.notify_all();
+        let Some(n) = ch_recv(m) else { break };
         let mut pool = m.pool.lock().expect("model lock");
         *pool += n;
         if let Some(bound) = pool_bound {
@@ -194,10 +246,11 @@ fn take_bits(m: &Model, bits: u64) -> Result<(), &'static str> {
     }
 }
 
-/// Mirrors `HarvestEngine::halt`: raise the flag, lock barrier, wake
-/// everything.
+/// Mirrors `HarvestEngine::halt`: raise the flag, close the channel,
+/// lock barrier, wake everything.
 fn halt(m: &Model) {
     m.shutdown.raise();
+    ch_close(m);
     drop(m.pool.lock().expect("model lock"));
     m.bits_available.notify_all();
     m.space_available.notify_all();
@@ -354,6 +407,83 @@ fn oversized_request_is_served_via_demand_bypass() {
 /// real engine the `POLL`-bounded wait papers over the loss as a 20 ms
 /// stall; under the model (no timeouts) it is a deadlock the checker
 /// must report.
+/// Shutdown with a sender blocked on a full channel: `close` must fail
+/// the blocked send (the worker accounts the batch as discarded), and
+/// the delivered batch must stay receivable after close — draining it
+/// keeps *harvested = queued + served + discarded* exact. No collector
+/// runs concurrently, so the blocked sender can only be freed by the
+/// close notify itself.
+#[test]
+fn close_fails_blocked_senders_and_drains_delivered_batches() {
+    let bounded = Builder {
+        preemption_bound: Some(2),
+        max_iterations: None,
+    };
+    bounded.check(|| {
+        let m = Arc::new(Model::new(1));
+        // Two batches against a capacity-1 channel with no consumer:
+        // unless shutdown wins the race outright, the second send
+        // parks and only `ch_close`'s notify can free it.
+        let w = thread::spawn({
+            let m = Arc::clone(&m);
+            move || worker(&m, 2)
+        });
+        halt(&m);
+        w.join().expect("worker thread");
+        // Whatever the schedule, the stream has ended; drain what was
+        // delivered (recv keeps working after close) and balance the
+        // ledger.
+        let mut queued = 0;
+        while let Some(n) = ch_recv(&m) {
+            queued += n;
+            m.in_flight.retire(n);
+        }
+        assert_eq!(m.in_flight.outstanding(), 0, "bits left in flight");
+        assert_eq!(
+            m.harvested.get(),
+            queued + m.discarded.get(),
+            "bit conservation violated across close"
+        );
+    });
+}
+
+/// Regression model for the close protocol. `BatchChannel::close` must
+/// notify `space` after marking the channel closed: a worker parked on
+/// a full channel has no other wakeup source once the consumer stops
+/// draining. Skip that notify and the worker sleeps through shutdown
+/// forever — the checker reports the schedule as a deadlock.
+#[test]
+fn close_without_the_sender_notify_strands_a_blocked_worker() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loomlite::model(|| {
+            let m = Arc::new(Model::new(1));
+            let w = thread::spawn({
+                let m = Arc::clone(&m);
+                move || worker(&m, 2)
+            });
+            // BUG under test: close marks the state under the lock but
+            // skips the sender-side notify (the receiver-side one is
+            // kept, to pin the failure on `space` specifically).
+            m.shutdown.raise();
+            {
+                let mut ch = m.channel.lock().expect("model lock");
+                ch.closed = true;
+            }
+            m.channel_data.notify_all();
+            w.join().expect("worker thread");
+        });
+    }));
+    let message = result
+        .expect_err("the notify-free close must fail the model check")
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("deadlock"),
+        "expected a deadlock report, got: {message}"
+    );
+}
+
 #[test]
 fn halt_without_the_lock_barrier_loses_the_wakeup() {
     let result = catch_unwind(AssertUnwindSafe(|| {

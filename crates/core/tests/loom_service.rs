@@ -1,0 +1,307 @@
+//! Model checks for the randomness service's REQUEST/RECEIVE wait
+//! protocol.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p drange-core --test
+//! loom_service`. `RandomnessService::wait_receive` parks a client on
+//! `ready_cv` while its request is in flight on another thread; these
+//! models re-state that protocol (`src/service.rs`:
+//! `process_deadline` / `wait_receive_inner`) over `loomlite`'s
+//! Mutex/Condvar, where waits never time out — so the historical bug
+//! this file pins (an error-path requeue that *didn't* notify, papered
+//! over by a 5 ms poll) shows up as a hard deadlock, not a stall.
+//!
+//! The wait protocol has two halves that must stay in lockstep, and
+//! there is a failing model for dropping either one:
+//!
+//! 1. every transition out of the in-flight state — completion,
+//!    cancellation, error/timeout requeue — notifies `ready_cv` under
+//!    the inner lock, and
+//! 2. the waiter's park predicate treats "my id is back in `pending`"
+//!    as a wake condition, re-driving the firmware loop itself instead
+//!    of waiting for a completion no thread is producing.
+//!
+//! The model and `src/service.rs` must be kept in sync by hand; each
+//! model function cites the code it mirrors.
+
+#![cfg(loom)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loomlite::sync::{Arc, Condvar, Mutex};
+use loomlite::{thread, Builder};
+
+/// The single request id the models trace.
+const ID: u64 = 1;
+
+/// Mirrors `ServiceInner`: the request lifecycle state behind one lock.
+struct SvcState {
+    pending: VecDeque<u64>,
+    ready: Vec<u64>,
+    outstanding: Vec<u64>,
+}
+
+/// The service reduced to its wait protocol. The engine is scripted:
+/// `engine_ok` decides whether a fetch completes or fails (a real
+/// engine error — e.g. an unhealthy source retiring the last worker —
+/// is global and permanent, which the constant models exactly). The
+/// two `bug_*` switches re-introduce the historical defects.
+struct Model {
+    inner: Mutex<SvcState>,
+    ready_cv: Condvar,
+    engine_ok: bool,
+    /// BUG switch: when set, the error-path requeue in `process` skips
+    /// its `notify_all` (the pre-fix code).
+    bug_skip_requeue_notify: bool,
+    /// BUG switch: when set, the waiter's predicate ignores `pending`
+    /// (the pre-fix code) and parks even when its own id needs
+    /// driving.
+    bug_skip_pending_recheck: bool,
+}
+
+impl Model {
+    fn new(engine_ok: bool) -> Self {
+        Model {
+            inner: Mutex::new(SvcState {
+                pending: VecDeque::from([ID]),
+                ready: Vec::new(),
+                outstanding: vec![ID],
+            }),
+            ready_cv: Condvar::new(),
+            engine_ok,
+            bug_skip_requeue_notify: false,
+            bug_skip_pending_recheck: false,
+        }
+    }
+}
+
+/// Mirrors `RandomnessService::process_deadline`: pop a pending
+/// request, fetch its bytes from the engine, publish the completion —
+/// or requeue the head and notify on an engine error, so a waiter
+/// parked on that id wakes and drives the loop itself.
+fn process(m: &Model) -> Result<usize, &'static str> {
+    let mut completed = 0usize;
+    loop {
+        let head = {
+            let mut inner = m.inner.lock().expect("model lock");
+            inner.pending.pop_front()
+        };
+        let Some(id) = head else { return Ok(completed) };
+        if m.engine_ok {
+            {
+                let mut inner = m.inner.lock().expect("model lock");
+                // A request canceled while in flight completes into
+                // the void (mirrors the `outstanding` check before the
+                // `ready` insert).
+                if inner.outstanding.contains(&id) {
+                    inner.ready.push(id);
+                }
+            }
+            m.ready_cv.notify_all();
+            completed += 1;
+        } else {
+            {
+                let mut inner = m.inner.lock().expect("model lock");
+                inner.pending.push_front(id);
+            }
+            if !m.bug_skip_requeue_notify {
+                m.ready_cv.notify_all();
+            }
+            return Err("engine error");
+        }
+    }
+}
+
+/// Mirrors `RandomnessService::wait_receive_inner` (untimed): drive the
+/// firmware loop, then park only while the id is in flight on another
+/// thread — not ready, still outstanding, not back in `pending`.
+fn wait_receive(m: &Model, id: u64) -> Result<(), &'static str> {
+    loop {
+        process(m)?;
+        let mut inner = m.inner.lock().expect("model lock");
+        loop {
+            if let Some(i) = inner.ready.iter().position(|&r| r == id) {
+                inner.ready.swap_remove(i);
+                if let Some(o) = inner.outstanding.iter().position(|&r| r == id) {
+                    inner.outstanding.swap_remove(o);
+                }
+                return Ok(());
+            }
+            if !inner.outstanding.contains(&id) {
+                return Err("unknown, canceled, or already-received id");
+            }
+            if !m.bug_skip_pending_recheck && inner.pending.contains(&id) {
+                // Our id is back in the queue and no thread owns it:
+                // drive the firmware loop ourselves.
+                break;
+            }
+            inner = m.ready_cv.wait(inner).expect("model wait");
+        }
+    }
+}
+
+/// Mirrors `RandomnessService::cancel`: drop the id everywhere under
+/// the lock, then wake waiters so one parked on it observes the
+/// cancellation.
+fn cancel(m: &Model, id: u64) -> bool {
+    let mut inner = m.inner.lock().expect("model lock");
+    let Some(o) = inner.outstanding.iter().position(|&r| r == id) else {
+        return false;
+    };
+    inner.outstanding.swap_remove(o);
+    inner.pending.retain(|&p| p != id);
+    inner.ready.retain(|&p| p != id);
+    drop(inner);
+    m.ready_cv.notify_all();
+    true
+}
+
+/// Happy path under every schedule: whichever thread pops the request
+/// (the processor or the waiter driving the loop itself), the waiter
+/// collects the completion — parked waiters are woken by the
+/// completion notify, never stranded.
+#[test]
+fn completion_notify_reaches_a_parked_waiter() {
+    let bounded = Builder {
+        preemption_bound: Some(2),
+        max_iterations: None,
+    };
+    bounded.check(|| {
+        let m = Arc::new(Model::new(true));
+        let processor = thread::spawn({
+            let m = Arc::clone(&m);
+            move || {
+                let _ = process(&m);
+            }
+        });
+        wait_receive(&m, ID).expect("the completion must reach the waiter");
+        processor.join().expect("processor thread");
+        let inner = m.inner.lock().expect("model lock");
+        assert!(inner.outstanding.is_empty(), "the id must be consumed");
+        assert!(inner.ready.is_empty());
+    });
+}
+
+/// The fixed protocol survives the error path under every schedule: a
+/// processor that fails while serving the waiter's id requeues it
+/// *with* a notify, the waiter wakes (or observes `pending` before
+/// parking), re-drives the loop, and surfaces the engine error instead
+/// of deadlocking.
+#[test]
+fn error_requeue_notifies_the_waiter() {
+    let bounded = Builder {
+        preemption_bound: Some(2),
+        max_iterations: None,
+    };
+    bounded.check(|| {
+        let m = Arc::new(Model::new(false));
+        let processor = thread::spawn({
+            let m = Arc::clone(&m);
+            move || {
+                let _ = process(&m);
+            }
+        });
+        let out = wait_receive(&m, ID);
+        assert!(
+            out.is_err(),
+            "a permanently failing engine must surface its error"
+        );
+        processor.join().expect("processor thread");
+    });
+}
+
+/// Regression model for half 1 of the protocol (the notify). This *is*
+/// the pre-fix `service.rs` bug: `process` requeued the head on an
+/// engine error without notifying, so a waiter already parked on the
+/// id slept forever — invisibly in production, because a 5 ms
+/// `wait_for` poll retried the loop. With the poll gone the checker
+/// reports the schedule as a deadlock.
+#[test]
+fn requeue_without_notify_loses_the_wakeup() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loomlite::model(|| {
+            let mut m = Model::new(false);
+            m.bug_skip_requeue_notify = true;
+            let m = Arc::new(m);
+            let processor = thread::spawn({
+                let m = Arc::clone(&m);
+                move || {
+                    let _ = process(&m);
+                }
+            });
+            let _ = wait_receive(&m, ID);
+            processor.join().expect("processor thread");
+        });
+    }));
+    let message = result
+        .expect_err("the notify-free requeue must fail the model check")
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("deadlock"),
+        "expected a deadlock report, got: {message}"
+    );
+}
+
+/// Regression model for half 2 of the protocol (the predicate). The
+/// requeue notify alone is not enough: a waiter whose park predicate
+/// ignores `pending` re-parks right after the wakeup — its id is
+/// queued, but it waits for a completion no thread will produce. Both
+/// halves of the fix are load-bearing.
+#[test]
+fn waiter_without_the_pending_recheck_parks_forever() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loomlite::model(|| {
+            let mut m = Model::new(false);
+            m.bug_skip_pending_recheck = true;
+            let m = Arc::new(m);
+            let processor = thread::spawn({
+                let m = Arc::clone(&m);
+                move || {
+                    let _ = process(&m);
+                }
+            });
+            let _ = wait_receive(&m, ID);
+            processor.join().expect("processor thread");
+        });
+    }));
+    let message = result
+        .expect_err("the predicate-free waiter must fail the model check")
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("deadlock"),
+        "expected a deadlock report, got: {message}"
+    );
+}
+
+/// Cancellation under every schedule: either the waiter wins (receives
+/// the bytes; cancel finds nothing) or the cancel wins (the waiter is
+/// woken and gets the unknown-id error; an in-flight fetch completes
+/// into the void) — never both, never a deadlock, never a leaked id.
+#[test]
+fn cancel_wakes_the_waiter_exactly_once() {
+    let bounded = Builder {
+        preemption_bound: Some(2),
+        max_iterations: None,
+    };
+    bounded.check(|| {
+        let m = Arc::new(Model::new(true));
+        let canceler = thread::spawn({
+            let m = Arc::clone(&m);
+            move || cancel(&m, ID)
+        });
+        let out = wait_receive(&m, ID);
+        let canceled = canceler.join().expect("canceler thread");
+        assert_eq!(
+            out.is_ok(),
+            !canceled,
+            "exactly one side must win the id: wait={out:?} canceled={canceled}"
+        );
+        let inner = m.inner.lock().expect("model lock");
+        assert!(inner.outstanding.is_empty(), "no id may leak");
+        assert!(inner.ready.is_empty(), "no bytes may linger");
+    });
+}

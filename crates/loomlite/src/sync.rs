@@ -4,7 +4,9 @@
 //! protocols that rely on them for progress deadlock visibly).
 
 pub use std::sync::Arc;
-use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock, PoisonError};
+use std::sync::{
+    LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock, PoisonError,
+};
 use std::time::Duration;
 
 use crate::exec::{self, AbortExecution};

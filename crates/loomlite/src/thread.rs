@@ -110,20 +110,20 @@ where
         .name(format!("loomlite-{tid}"))
         .spawn(move || {
             exec::set_ctx(Arc::clone(&trampoline_exec), tid);
-            let result: std::thread::Result<T> =
-                if trampoline_exec.wait_first_schedule(tid).is_ok() {
-                    match panic::catch_unwind(AssertUnwindSafe(f)) {
-                        Ok(v) => Ok(v),
-                        Err(payload) => {
-                            if !payload.is::<AbortExecution>() {
-                                trampoline_exec.record_panic(tid, payload.as_ref());
-                            }
-                            Err(payload)
+            let result: std::thread::Result<T> = if trampoline_exec.wait_first_schedule(tid).is_ok()
+            {
+                match panic::catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => Ok(v),
+                    Err(payload) => {
+                        if !payload.is::<AbortExecution>() {
+                            trampoline_exec.record_panic(tid, payload.as_ref());
                         }
+                        Err(payload)
                     }
-                } else {
-                    Err(Box::new(AbortExecution) as PanicPayload)
-                };
+                }
+            } else {
+                Err(Box::new(AbortExecution) as PanicPayload)
+            };
             *trampoline_slot
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner) = Some(result);

@@ -1,0 +1,383 @@
+//! A deliberately small HTTP/1.1 subset over `std::net::TcpStream`.
+//!
+//! The server speaks exactly what its endpoints need: request line +
+//! headers (bounded), an optional discarded body, keep-alive
+//! semantics, and plain `Content-Length` responses. No chunked
+//! encoding, no continuation lines, no percent-decoding — `bytes=N`
+//! query strings never need it. Anything outside the subset is
+//! answered with `400`/`431` and the connection is closed, which is
+//! the safe failure mode for a randomness endpoint.
+//!
+//! Reads go through [`Conn`], which carries the spill buffer between
+//! keep-alive requests so pipelined bytes are never dropped on the
+//! floor.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on a request body we are willing to read-and-discard.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded-enough path: the target up to `?`.
+    pub path: String,
+    /// Raw query pairs, split on `&` and `=` (no percent-decoding).
+    pub query: Vec<(String, String)>,
+    /// Header names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Whether the connection should be kept open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of the query parameter `name`, if present.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of the (lower-cased) header `name`, if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What one attempt to read a request produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, parseable request head (body already discarded).
+    Request(Request),
+    /// Clean EOF before any byte of a new request — the client hung
+    /// up between requests, which is not an error.
+    Closed,
+    /// The socket's read timeout elapsed (keep-alive idle timeout).
+    TimedOut,
+    /// Bytes arrived but did not form a request within the subset.
+    Malformed(&'static str),
+    /// The head outgrew [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+}
+
+/// A connection with its spill buffer: bytes read past the end of one
+/// request head are kept for the next request on the same connection.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    spill: Vec<u8>,
+}
+
+impl Conn {
+    /// Wraps an accepted stream.
+    #[must_use]
+    pub fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            spill: Vec::new(),
+        }
+    }
+
+    /// The underlying stream (for writes and socket options).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Reads and parses the next request on this connection.
+    pub fn read_request(&mut self) -> ReadOutcome {
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.spill) {
+                break end;
+            }
+            if self.spill.len() >= MAX_HEAD_BYTES {
+                return ReadOutcome::HeadTooLarge;
+            }
+            let mut chunk = [0u8; 2048];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if self.spill.is_empty() {
+                        return ReadOutcome::Closed;
+                    }
+                    return ReadOutcome::Malformed("eof inside request head");
+                }
+                Ok(n) => self.spill.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return ReadOutcome::TimedOut;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Closed,
+            }
+        };
+        let head: Vec<u8> = self.spill.drain(..head_end).collect();
+        let request = match parse_head(&head) {
+            Ok(r) => r,
+            Err(msg) => return ReadOutcome::Malformed(msg),
+        };
+        let body_len = match request
+            .header("content-length")
+            .map(str::parse::<usize>)
+            .transpose()
+        {
+            Ok(n) => n.unwrap_or(0),
+            Err(_) => return ReadOutcome::Malformed("unparseable content-length"),
+        };
+        if body_len > MAX_BODY_BYTES {
+            return ReadOutcome::Malformed("request body too large");
+        }
+        if let Err(outcome) = self.discard_body(body_len) {
+            return outcome;
+        }
+        ReadOutcome::Request(request)
+    }
+
+    /// Consumes `len` body bytes (spill first, then the socket).
+    fn discard_body(&mut self, len: usize) -> Result<(), ReadOutcome> {
+        let from_spill = len.min(self.spill.len());
+        self.spill.drain(..from_spill);
+        let mut remaining = len - from_spill;
+        let mut chunk = [0u8; 2048];
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            match self.stream.read(&mut chunk[..want]) {
+                Ok(0) => return Err(ReadOutcome::Malformed("eof inside request body")),
+                Ok(n) => remaining -= n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(ReadOutcome::TimedOut);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(ReadOutcome::Closed),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Index one past the `\r\n\r\n` (or bare `\n\n`) head terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+/// Parses the request line and headers out of a complete head.
+fn parse_head(head: &[u8]) -> Result<Request, &'static str> {
+    let text = std::str::from_utf8(head).map_err(|_| "request head is not utf-8")?;
+    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().ok_or("empty request head")?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_ascii_uppercase();
+    let target = parts.next().ok_or("missing request target")?;
+    let version = parts.next().ok_or("missing http version")?;
+    if parts.next().is_some() {
+        return Err("malformed request line");
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err("unsupported http version");
+    }
+    let http11 = version == "HTTP/1.1";
+
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or("malformed header line")?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method,
+        path: path.to_string(),
+        query,
+        headers,
+        keep_alive: false,
+    };
+    let keep_alive = match request.header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+    Ok(Request {
+        keep_alive,
+        ..request
+    })
+}
+
+/// One response, rendered by [`write_response`].
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (`200`, `503`, …).
+    pub status: u16,
+    /// Content type of `body` (`application/octet-stream`, …).
+    pub content_type: &'static str,
+    /// Response body, sent verbatim with a `Content-Length`.
+    pub body: Vec<u8>,
+    /// Extra headers (`Retry-After`, `X-Drange-Degraded`, …).
+    pub extra_headers: Vec<(String, String)>,
+    /// Whether to advertise and perform `Connection: close`.
+    pub close: bool,
+    /// Suppress the body bytes (HEAD) while keeping the headers.
+    pub head_only: bool,
+}
+
+impl Response {
+    /// A fresh response with the given status and body.
+    #[must_use]
+    pub fn new(status: u16, content_type: &'static str, body: Vec<u8>) -> Self {
+        Response {
+            status,
+            content_type,
+            body,
+            extra_headers: Vec::new(),
+            close: false,
+            head_only: false,
+        }
+    }
+
+    /// Plain-text convenience constructor.
+    #[must_use]
+    pub fn text(status: u16, body: &str) -> Self {
+        Response::new(
+            status,
+            "text/plain; charset=utf-8",
+            body.as_bytes().to_vec(),
+        )
+    }
+
+    /// Adds one extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.extra_headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Marks the connection for closing after this response.
+    #[must_use]
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+}
+
+/// The canonical reason phrase for the status codes the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes and writes `resp` to the stream.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+    );
+    for (name, value) in &resp.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    if resp.close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    if !resp.head_only {
+        stream.write_all(&resp.body)?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, &'static str> {
+        parse_head(text.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let r = parse("GET /random?bytes=32&x=1 HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/random");
+        assert_eq!(r.query_param("bytes"), Some("32"));
+        assert_eq!(r.query_param("x"), Some("1"));
+        assert_eq!(r.query_param("missing"), None);
+        assert!(r.keep_alive, "http/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_and_http10_defaults() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive);
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive, "http/1.0 defaults to close");
+        let r = parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive);
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let r = parse("POST /-/shutdown HTTP/1.1\r\nContent-LENGTH: 5\r\n\r\n").unwrap();
+        assert_eq!(r.header("content-length"), Some("5"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("NOT A REQUEST AT ALL\r\n\r\n").is_err());
+        assert!(parse("GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nbroken header line\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn finds_head_terminators() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\nrest"), Some(16));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+}

@@ -1,0 +1,541 @@
+//! # drange-serve — the network-facing randomness server
+//!
+//! An HTTP/1.1-over-TCP front-end on [`drange_core::RandomnessService`]
+//! built from `std::net` only: an acceptor thread feeds accepted
+//! connections through the engine's own [`drange_core::BatchChannel`]
+//! to a fixed pool of worker threads, each of which owns a connection
+//! for its keep-alive lifetime. Every wait on the serve path is
+//! notification-driven — the connection queue, the request coalescer,
+//! and the engine pool all park on condvars and are woken by the state
+//! transition they wait for; the only clocks are socket read timeouts
+//! (protocol idle limits) and the engine-side fetch timeout that maps
+//! pool underruns to `503`.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Method | Success | Failure |
+//! |---|---|---|---|
+//! | `/random?bytes=N` | GET/HEAD | `200` octet-stream | `400` bad/zero/oversized count, `429 + Retry-After` rate limit, `503 + Retry-After` overload/underrun |
+//! | `/healthz` | GET | `200 ok` | `503 degraded` |
+//! | `/metrics` | GET | `200` Prometheus text | — |
+//! | `/-/shutdown` | POST | `200`, then graceful stop | `404` unless enabled |
+//!
+//! `/random` and `/healthz` responses carry `X-Drange-Degraded:
+//! true|false`, surfacing the engine's cell-lifecycle degradation to
+//! clients that want to react before `/healthz` flips.
+//!
+//! ## Backpressure
+//!
+//! Load sheds in three layers, cheapest first: the per-IP token bucket
+//! (`429`) spends no engine resources; the admission watermark (`503`
+//! when the service's pending queue is already deeper than
+//! [`ServerConfig::max_pending_requests`]) sheds before parking a
+//! worker; and the coalescer's fetch timeout (`503`) bounds how long
+//! an admitted request may wait out a pool underrun. Both `503`s
+//! advertise [`ServerConfig::retry_after`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod http;
+pub mod ratelimit;
+pub mod source;
+
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use drange_core::sync::Flag;
+use drange_core::telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use drange_core::{BatchChannel, RandomnessService};
+use parking_lot::{Condvar, Mutex};
+
+pub use coalesce::{Coalescer, FetchError};
+pub use http::{Request, Response};
+pub use ratelimit::{Admission, RateLimitConfig, RateLimiter};
+
+/// Server tuning knobs. The defaults serve a localhost deployment;
+/// benches and tests override the timeouts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Connection-serving worker threads.
+    pub worker_threads: usize,
+    /// Accepted connections queued for a free worker before the
+    /// acceptor itself blocks (TCP's own backlog absorbs the rest).
+    pub connection_backlog: usize,
+    /// Keep-alive idle limit: a connection with no next request within
+    /// this window is closed (also the slow-header read bound).
+    pub keep_alive: Duration,
+    /// Bytes served when `/random` has no `bytes` parameter.
+    pub default_bytes: usize,
+    /// Largest single `/random` request; beyond it is a `400`.
+    pub max_request_bytes: usize,
+    /// Engine-side wait bound per fetch; expiry is an underrun `503`.
+    pub fetch_timeout: Duration,
+    /// `Retry-After` advertised on `503` responses.
+    pub retry_after: Duration,
+    /// Requests at most this large are coalesced into combined engine
+    /// requests; larger ones go straight through.
+    pub coalesce_max_bytes: usize,
+    /// Cap on requests combined into one engine request.
+    pub coalesce_max_batch: usize,
+    /// Admission watermark: when the service already has this many
+    /// pending engine requests, new work is shed with `503`.
+    pub max_pending_requests: usize,
+    /// Per-IP token bucket; `None` disables rate limiting.
+    pub rate_limit: Option<RateLimitConfig>,
+    /// Whether `POST /-/shutdown` stops the server (off by default;
+    /// meant for supervised deployments and CI smoke tests).
+    pub allow_shutdown: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            worker_threads: 8,
+            connection_backlog: 256,
+            keep_alive: Duration::from_secs(5),
+            default_bytes: 32,
+            max_request_bytes: 64 * 1024,
+            fetch_timeout: Duration::from_secs(2),
+            retry_after: Duration::from_secs(1),
+            coalesce_max_bytes: 1024,
+            coalesce_max_batch: 64,
+            max_pending_requests: 1024,
+            rate_limit: None,
+            allow_shutdown: false,
+        }
+    }
+}
+
+/// Server-side metric handles (no-ops without a registry).
+#[derive(Debug, Clone, Default)]
+struct ServerTelemetry {
+    connections_total: Counter,
+    open_connections: Gauge,
+    requests_total: Counter,
+    bytes_served: Counter,
+    rejected_ratelimit: Counter,
+    rejected_overload: Counter,
+    rejected_bad_request: Counter,
+    underruns: Counter,
+    engine_failures: Counter,
+    request_latency_ns: Histogram,
+}
+
+impl ServerTelemetry {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let rejected =
+            |cause: &str| registry.counter("drange_server_rejected_total", &[("cause", cause)]);
+        ServerTelemetry {
+            connections_total: registry.counter("drange_server_connections_total", &[]),
+            open_connections: registry.gauge("drange_server_open_connections", &[]),
+            requests_total: registry.counter("drange_server_requests_total", &[]),
+            bytes_served: registry.counter("drange_server_bytes_served_total", &[]),
+            rejected_ratelimit: rejected("ratelimit"),
+            rejected_overload: rejected("overload"),
+            rejected_bad_request: rejected("bad_request"),
+            underruns: registry.counter("drange_server_underruns_total", &[]),
+            engine_failures: registry.counter("drange_server_engine_failures_total", &[]),
+            request_latency_ns: registry.histogram("drange_server_request_latency_ns", &[]),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and shutdown handles.
+#[derive(Debug)]
+struct ServerShared {
+    service: Arc<RandomnessService>,
+    registry: MetricsRegistry,
+    config: ServerConfig,
+    coalescer: Coalescer,
+    limiter: Option<RateLimiter>,
+    telemetry: ServerTelemetry,
+    /// Raised exactly once; workers and the acceptor observe it at
+    /// their next loop head.
+    stopping: Flag,
+    /// Blocks [`Server::run_until_stopped`] until the stop signal.
+    stop_state: Mutex<bool>,
+    stop_cv: Condvar,
+    /// The accepted-connection queue between acceptor and workers.
+    /// Carries [`http::Conn`] (not bare streams) so a rotated
+    /// keep-alive connection keeps its pipelined spill bytes.
+    connections: BatchChannel<http::Conn>,
+    /// Dialed to unblock the acceptor's `accept()` on stop.
+    local_addr: SocketAddr,
+}
+
+impl ServerShared {
+    /// Requests a stop: raise the latch, fail the connection queue's
+    /// sender, wake the acceptor with a dummy dial, wake the owner.
+    fn signal_stop(&self) {
+        self.stopping.raise();
+        self.connections.close();
+        // An accept() with nobody dialing blocks forever; a throwaway
+        // local connection is the portable std-only wakeup.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+        let mut stopped = self.stop_state.lock();
+        *stopped = true;
+        drop(stopped);
+        self.stop_cv.notify_all();
+    }
+}
+
+/// A handle that can stop a running [`Server`] from another thread
+/// (used by the `/-/shutdown` endpoint and signal handlers).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<ServerShared>,
+}
+
+impl ShutdownHandle {
+    /// Requests a graceful stop (idempotent).
+    pub fn signal(&self) {
+        self.shared.signal_stop();
+    }
+}
+
+/// The running server: an acceptor, a worker pool, and the listener's
+/// bound address.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<ServerShared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (port 0 picks a free port) and starts serving
+    /// `service`. Engine and server metrics render at `/metrics` when
+    /// they share `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener.
+    pub fn bind(
+        addr: SocketAddr,
+        service: Arc<RandomnessService>,
+        registry: MetricsRegistry,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = config.worker_threads.max(1);
+        let coalescer = Coalescer::new(
+            config.coalesce_max_bytes,
+            config.coalesce_max_batch,
+            config.coalesce_max_batch.max(1) * config.coalesce_max_bytes.max(1),
+            config.fetch_timeout,
+        );
+        let limiter = config.rate_limit.map(RateLimiter::new);
+        let telemetry = ServerTelemetry::new(&registry);
+        let shared = Arc::new(ServerShared {
+            service,
+            registry,
+            coalescer,
+            limiter,
+            telemetry,
+            stopping: Flag::new(),
+            stop_state: Mutex::new(false),
+            stop_cv: Condvar::new(),
+            connections: BatchChannel::new(config.connection_backlog, 1),
+            local_addr,
+            config,
+        });
+
+        let acceptor = thread::Builder::new().name("drange-accept".into()).spawn({
+            let shared = Arc::clone(&shared);
+            move || acceptor_loop(&shared, &listener)
+        })?;
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("drange-worker-{i}"))
+                    .spawn({
+                        let shared = Arc::clone(&shared);
+                        move || worker_loop(&shared)
+                    })?,
+            );
+        }
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// A cloneable handle that can stop this server from anywhere.
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Parks until a [`ShutdownHandle::signal`] (e.g. the `/-/shutdown`
+    /// endpoint) fires, then joins the threads. The binary's main
+    /// thread lives here.
+    pub fn run_until_stopped(mut self) {
+        {
+            let mut stopped = self.shared.stop_state.lock();
+            while !*stopped {
+                self.shared.stop_cv.wait(&mut stopped);
+            }
+        }
+        self.join_threads();
+    }
+
+    /// Stops the server and joins its threads (idempotent with an
+    /// earlier `/-/shutdown`). In-flight responses complete; idle
+    /// keep-alive connections close within the keep-alive window.
+    pub fn shutdown(mut self) {
+        self.shared.signal_stop();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.shared.stopping.is_raised() {
+            self.shared.signal_stop();
+        }
+        self.join_threads();
+    }
+}
+
+/// Accepts connections into the worker queue until stopped.
+fn acceptor_loop(shared: &ServerShared, listener: &TcpListener) {
+    loop {
+        if shared.stopping.is_raised() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.telemetry.connections_total.inc();
+                if shared.stopping.is_raised() {
+                    break;
+                }
+                if shared.connections.send(http::Conn::new(stream)).is_err() {
+                    // Queue closed: we are stopping; the stream drops
+                    // and the client sees a reset, which is the
+                    // documented shutdown behavior for unserved
+                    // connections.
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                if shared.stopping.is_raised() {
+                    break;
+                }
+                // Transient accept errors (EMFILE under load) — the
+                // listener itself is still good; keep accepting.
+            }
+        }
+    }
+    shared.connections.retire_sender();
+}
+
+/// Serves connections from the queue until it drains after shutdown.
+///
+/// Fairness: a worker does not own a keep-alive connection for its
+/// whole lifetime. After each response, if other connections are
+/// queued waiting for a worker, the current one is *rotated* — pushed
+/// back onto the queue ([`BatchChannel::try_send`], never blocking) so
+/// queued clients are served round-robin instead of starving behind
+/// long-lived keep-alive sessions.
+fn worker_loop(shared: &ServerShared) {
+    while let Some(conn) = shared.connections.recv() {
+        if shared.stopping.is_raised() {
+            // Drain-and-drop: connections queued behind the stop signal
+            // are closed, not served.
+            continue;
+        }
+        shared.telemetry.open_connections.add(1);
+        let mut current = Some(conn);
+        while let Some(conn) = current.take() {
+            if let Some(conn) = serve_connection(shared, conn) {
+                if shared.stopping.is_raised() {
+                    break;
+                }
+                if let Err(conn) = shared.connections.try_send(conn) {
+                    // No room to rotate (queue refilled or closing):
+                    // keep serving this connection ourselves.
+                    current = Some(conn);
+                }
+            }
+        }
+        shared.telemetry.open_connections.sub(1);
+    }
+}
+
+/// Serves requests on one connection until it closes (`None`) or
+/// yields for rotation (`Some` — the connection is still live and owed
+/// to the queue).
+fn serve_connection(shared: &ServerShared, mut conn: http::Conn) -> Option<http::Conn> {
+    let peer_ip = conn
+        .stream()
+        .peer_addr()
+        .map(|a| a.ip())
+        .unwrap_or(IpAddr::V4(Ipv4Addr::UNSPECIFIED));
+    if conn
+        .stream()
+        .set_read_timeout(Some(shared.config.keep_alive))
+        .is_err()
+    {
+        return None;
+    }
+    loop {
+        if shared.stopping.is_raised() {
+            return None;
+        }
+        match conn.read_request() {
+            http::ReadOutcome::Request(request) => {
+                let keep_alive = request.keep_alive && !shared.stopping.is_raised();
+                let t0 = shared.telemetry.request_latency_ns.start();
+                let mut response = handle_request(shared, &request, peer_ip);
+                shared.telemetry.requests_total.inc();
+                if !keep_alive {
+                    response.close = true;
+                }
+                if request.method == "HEAD" {
+                    response.head_only = true;
+                }
+                let write_ok = http::write_response(conn.stream(), &response).is_ok();
+                shared.telemetry.request_latency_ns.observe_since(t0);
+                if !write_ok || response.close {
+                    return None;
+                }
+                if !shared.connections.is_empty() {
+                    return Some(conn);
+                }
+            }
+            http::ReadOutcome::Closed | http::ReadOutcome::TimedOut => return None,
+            http::ReadOutcome::Malformed(msg) => {
+                let resp = Response::text(400, &format!("bad request: {msg}\n")).closing();
+                let _ = http::write_response(conn.stream(), &resp);
+                return None;
+            }
+            http::ReadOutcome::HeadTooLarge => {
+                let resp = Response::text(431, "request head too large\n").closing();
+                let _ = http::write_response(conn.stream(), &resp);
+                return None;
+            }
+        }
+    }
+}
+
+/// Routes one parsed request to its endpoint.
+fn handle_request(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET" | "HEAD", "/random") => handle_random(shared, request, peer_ip),
+        ("GET" | "HEAD", "/healthz") => handle_healthz(shared),
+        ("GET" | "HEAD", "/metrics") => Response::text(200, &shared.registry.render_prometheus()),
+        ("POST", "/-/shutdown") if shared.config.allow_shutdown => {
+            shared.signal_stop();
+            Response::text(200, "shutting down\n").closing()
+        }
+        (_, "/random" | "/healthz" | "/metrics") => {
+            Response::text(405, "method not allowed\n").with_header("Allow", "GET, HEAD".into())
+        }
+        _ => Response::text(404, "not found\n"),
+    }
+}
+
+/// `GET /random?bytes=N` — the randomness endpoint.
+fn handle_random(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> Response {
+    let tel = &shared.telemetry;
+    let retry_after_secs = shared.config.retry_after.as_secs().max(1).to_string();
+
+    if let Some(limiter) = &shared.limiter {
+        if let Admission::Limited { retry_after } = limiter.check_at(peer_ip, Instant::now()) {
+            tel.rejected_ratelimit.inc();
+            return Response::text(429, "rate limit exceeded\n")
+                .with_header("Retry-After", retry_after.as_secs().max(1).to_string());
+        }
+    }
+
+    let bytes = match request.query_param("bytes") {
+        None => shared.config.default_bytes,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                tel.rejected_bad_request.inc();
+                return Response::text(400, "bytes must be a non-negative integer\n");
+            }
+        },
+    };
+    if bytes == 0 {
+        tel.rejected_bad_request.inc();
+        return Response::text(400, "bytes must be at least 1\n");
+    }
+    if bytes > shared.config.max_request_bytes {
+        tel.rejected_bad_request.inc();
+        return Response::text(
+            400,
+            &format!(
+                "bytes exceeds the per-request limit of {}\n",
+                shared.config.max_request_bytes
+            ),
+        );
+    }
+    if shared.service.pending_requests() >= shared.config.max_pending_requests {
+        tel.rejected_overload.inc();
+        return Response::text(503, "server overloaded\n")
+            .with_header("Retry-After", retry_after_secs);
+    }
+
+    let degraded = shared.service.is_degraded();
+    match shared.coalescer.fetch(&shared.service, bytes) {
+        Ok(body) => {
+            tel.bytes_served.add(body.len() as u64);
+            Response::new(200, "application/octet-stream", body)
+                .with_header("X-Drange-Degraded", degraded.to_string())
+                .with_header("Cache-Control", "no-store".into())
+        }
+        Err(FetchError::Rejected(msg)) => {
+            tel.rejected_bad_request.inc();
+            Response::text(400, &format!("unserviceable request: {msg}\n"))
+        }
+        Err(FetchError::Underrun) => {
+            tel.underruns.inc();
+            Response::text(503, "randomness pool underrun\n")
+                .with_header("Retry-After", retry_after_secs)
+                .with_header("X-Drange-Degraded", degraded.to_string())
+        }
+        Err(FetchError::Engine(msg)) => {
+            tel.engine_failures.inc();
+            Response::text(500, &format!("engine failure: {msg}\n")).closing()
+        }
+    }
+}
+
+/// `GET /healthz` — liveness plus degradation.
+fn handle_healthz(shared: &ServerShared) -> Response {
+    let degraded = shared.service.is_degraded();
+    let response = if degraded {
+        Response::text(503, "degraded\n")
+    } else {
+        Response::text(200, "ok\n")
+    };
+    response.with_header("X-Drange-Degraded", degraded.to_string())
+}

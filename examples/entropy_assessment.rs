@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             p.trcd_ns, p.failing_cells, p.band_cells
         );
     }
-    let trcd = calibration.best_trcd_ns();
+    let trcd = calibration
+        .best_trcd_ns()
+        .ok_or("calibration produced no usable sampling tRCD")?;
     println!("selected sampling tRCD: {trcd} ns\n");
 
     // 2. Identify and sample at the calibrated timing.

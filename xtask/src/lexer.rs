@@ -154,7 +154,8 @@ pub fn scan(src: &str) -> Vec<Token<'_>> {
                 let start = i;
                 while i < bytes.len()
                     && (is_ident_continue(bytes[i])
-                        || (bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())))
+                        || (bytes[i] == b'.'
+                            && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())))
                 {
                     i += 1;
                 }
@@ -186,7 +187,10 @@ fn looks_like_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
         return false;
     }
     match bytes[i] {
-        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) && raw_fence_len(bytes, i + 1).is_some(),
+        b'r' => {
+            matches!(bytes.get(i + 1), Some(b'"') | Some(b'#'))
+                && raw_fence_len(bytes, i + 1).is_some()
+        }
         b'b' => match bytes.get(i + 1) {
             Some(b'"') | Some(b'\'') => true,
             Some(b'r') => raw_fence_len(bytes, i + 2).is_some(),
@@ -236,7 +240,14 @@ fn skip_raw_or_byte_literal(bytes: &[u8], i: usize, line: &mut u32) -> usize {
         if bytes[idx] == b'\n' {
             *line += 1;
             idx += 1;
-        } else if bytes[idx] == b'"' && bytes[idx + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+        } else if bytes[idx] == b'"'
+            && bytes[idx + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
             return idx + 1 + hashes;
         } else {
             idx += 1;
@@ -272,9 +283,7 @@ pub fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
                 }
             } else if toks[j].is_ident("test") || toks[j].is_ident("bench") {
                 // `#[cfg(not(test))]` guards *production* code.
-                let negated = j >= 2
-                    && toks[j - 1].is_punct('(')
-                    && toks[j - 2].is_ident("not");
+                let negated = j >= 2 && toks[j - 1].is_punct('(') && toks[j - 2].is_ident("not");
                 if !negated {
                     mentions_test = true;
                 }

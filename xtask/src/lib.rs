@@ -86,8 +86,8 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let policy_path = root.join("xtask/lint_policy.toml");
     let policy_text = std::fs::read_to_string(&policy_path)
         .map_err(|e| format!("cannot read {}: {e}", policy_path.display()))?;
-    let policy = Policy::parse(&policy_text)
-        .map_err(|e| format!("{}: {e}", policy_path.display()))?;
+    let policy =
+        Policy::parse(&policy_text).map_err(|e| format!("{}: {e}", policy_path.display()))?;
 
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
@@ -265,7 +265,8 @@ mod tests {
 
     #[test]
     fn test_code_is_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
         assert!(lint_source("crates/a/src/lib.rs", src, &policy()).is_empty());
     }
 

@@ -28,7 +28,10 @@ impl Policy {
     /// it).
     pub fn matches(&self, section: &str, key: &str, relpath: &str) -> bool {
         self.paths(section, key).iter().any(|p| {
-            relpath == p || relpath.strip_prefix(p.as_str()).is_some_and(|rest| rest.starts_with('/'))
+            relpath == p
+                || relpath
+                    .strip_prefix(p.as_str())
+                    .is_some_and(|rest| rest.starts_with('/'))
         })
     }
 
@@ -131,8 +134,9 @@ hot = [
 
     #[test]
     fn prefix_matching_covers_directories_not_substrings() {
-        let p = Policy::parse("[r]\nallow = [\"crates/core/src/sync.rs\", \"crates/loomlite/src\"]\n")
-            .expect("valid policy");
+        let p =
+            Policy::parse("[r]\nallow = [\"crates/core/src/sync.rs\", \"crates/loomlite/src\"]\n")
+                .expect("valid policy");
         assert!(p.matches("r", "allow", "crates/core/src/sync.rs"));
         assert!(p.matches("r", "allow", "crates/loomlite/src/sync.rs"));
         assert!(!p.matches("r", "allow", "crates/loomlite/src2/x.rs"));
@@ -141,9 +145,18 @@ hot = [
 
     #[test]
     fn malformed_lines_are_hard_errors() {
-        assert!(Policy::parse("key = [\"a\"]\n").is_err(), "key outside section");
+        assert!(
+            Policy::parse("key = [\"a\"]\n").is_err(),
+            "key outside section"
+        );
         assert!(Policy::parse("[s]\nkey [\"a\"]\n").is_err(), "missing =");
-        assert!(Policy::parse("[s]\nkey = [\"a\"\n").is_err(), "unterminated");
-        assert!(Policy::parse("[s]\nkey = [unquoted]\n").is_err(), "unquoted");
+        assert!(
+            Policy::parse("[s]\nkey = [\"a\"\n").is_err(),
+            "unterminated"
+        );
+        assert!(
+            Policy::parse("[s]\nkey = [unquoted]\n").is_err(),
+            "unquoted"
+        );
     }
 }

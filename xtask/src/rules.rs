@@ -75,9 +75,8 @@ fn no_panic(relpath: &str, toks: &[Token<'_>], policy: &Policy, out: &mut Vec<Di
     const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
     for (i, t) in toks.iter().enumerate() {
         let followed_by_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
-        let method_call = i > 0
-            && toks[i - 1].is_punct('.')
-            && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let method_call =
+            i > 0 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
         if method_call && METHODS.contains(&t.text) {
             diag(
                 out,
@@ -103,7 +102,10 @@ fn no_panic(relpath: &str, toks: &[Token<'_>], policy: &Policy, out: &mut Vec<Di
                     relpath,
                     t.line,
                     "no-panic",
-                    format!("{}! aborts the process; return a typed error instead", t.text),
+                    format!(
+                        "{}! aborts the process; return a typed error instead",
+                        t.text
+                    ),
                 );
             }
         }
@@ -120,8 +122,18 @@ fn raw_atomics(relpath: &str, toks: &[Token<'_>], policy: &Policy, out: &mut Vec
         return;
     }
     const ATOMIC_TYPES: &[&str] = &[
-        "AtomicBool", "AtomicU8", "AtomicU16", "AtomicU32", "AtomicU64", "AtomicUsize",
-        "AtomicI8", "AtomicI16", "AtomicI32", "AtomicI64", "AtomicIsize", "AtomicPtr",
+        "AtomicBool",
+        "AtomicU8",
+        "AtomicU16",
+        "AtomicU32",
+        "AtomicU64",
+        "AtomicUsize",
+        "AtomicI8",
+        "AtomicI16",
+        "AtomicI32",
+        "AtomicI64",
+        "AtomicIsize",
+        "AtomicPtr",
     ];
     for (i, t) in toks.iter().enumerate() {
         if t.is_ident("atomic")
@@ -185,11 +197,11 @@ fn timing_writes(relpath: &str, toks: &[Token<'_>], policy: &Policy, out: &mut V
             && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
             // `trcd_ps::` is a path, not a field init.
             && !toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
-            // In a field *declaration* the init form is preceded by
-            // `pub` or a brace/comma too, so only flag when the next
-            // token after `:` is a value, not a bare type keyword —
-            // token-level we cannot tell; rely on the allowlist for the
-            // two definition sites and flag everything else.
+        // In a field *declaration* the init form is preceded by
+        // `pub` or a brace/comma too, so only flag when the next
+        // token after `:` is a value, not a bare type keyword —
+        // token-level we cannot tell; rely on the allowlist for the
+        // two definition sites and flag everything else.
         {
             diag(
                 out,
