@@ -51,7 +51,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dram_sim::{DeviceConfig, FaultStats, SenseCacheStats};
-use drange_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use drange_telemetry::{Counter, Gauge, Histogram, MetricsRegistry, TraceId, Tracer};
 use memctrl::MemoryController;
 use parking_lot::{Condvar, Mutex};
 
@@ -424,6 +424,12 @@ struct Shared {
     /// collector wait on each other forever (found by the loom model
     /// `oversized_request_is_served_via_demand_bypass`).
     demand_bits: BitLedger,
+    /// Raw [`TraceId`] of the most recent request blocked on the pool
+    /// (0: none). Advisory, best-effort: workers and the collector
+    /// stamp it onto their per-batch trace spans (`serving_trace`), so
+    /// a slow request's flight recording shows *which* harvest work was
+    /// unblocking it without threading context through the channel.
+    demand_trace: CounterCell,
     served_bits: CounterCell,
     first_error: Mutex<Option<DrangeError>>,
 }
@@ -567,6 +573,7 @@ pub struct HarvestEngine {
     channel: Arc<BatchChannel<BitBlock>>,
     counters: Vec<Arc<WorkerCounters>>,
     telemetry: EngineTelemetry,
+    tracer: Tracer,
     workers: Vec<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
 }
@@ -598,6 +605,25 @@ impl HarvestEngine {
         config: EngineConfig,
         registry: Option<&MetricsRegistry>,
     ) -> Result<Self> {
+        Self::spawn_traced(sources, config, registry, Tracer::noop())
+    }
+
+    /// As [`HarvestEngine::spawn_with_telemetry`], additionally
+    /// recording per-batch trace spans (`engine.batch` with `harvest`/
+    /// `health`/`publish` children on each worker, `engine.collect` on
+    /// the collector, `engine.pool_drain` on client threads) through
+    /// `tracer`. A noop tracer (the other constructors) keeps every
+    /// span inert — no clock reads on the harvest hot path.
+    ///
+    /// # Errors
+    ///
+    /// As [`HarvestEngine::spawn`].
+    pub fn spawn_traced<S: HarvestSource>(
+        sources: Vec<S>,
+        config: EngineConfig,
+        registry: Option<&MetricsRegistry>,
+        tracer: Tracer,
+    ) -> Result<Self> {
         config.validate()?;
         if sources.is_empty() {
             return Err(DrangeError::InvalidSpec(
@@ -613,6 +639,7 @@ impl HarvestEngine {
             collector_done: Flag::new(),
             in_flight_bits: BitLedger::new(),
             demand_bits: BitLedger::new(),
+            demand_trace: CounterCell::new(),
             served_bits: CounterCell::new(),
             first_error: Mutex::new(None),
         });
@@ -633,7 +660,20 @@ impl HarvestEngine {
                     let channel = Arc::clone(&channel);
                     let min_entropy = config.min_entropy;
                     let max_rejects = config.max_consecutive_rejects;
-                    move || worker_loop(source, channel, shared, ctr, tel, min_entropy, max_rejects)
+                    let tracer = tracer.clone();
+                    move || {
+                        worker_loop(
+                            index,
+                            source,
+                            channel,
+                            shared,
+                            ctr,
+                            tel,
+                            tracer,
+                            min_entropy,
+                            max_rejects,
+                        );
+                    }
                 })
                 .map_err(|e| DrangeError::Engine(format!("spawning worker {index}: {e}")))?;
             workers.push(handle);
@@ -646,7 +686,8 @@ impl HarvestEngine {
                 let channel = Arc::clone(&channel);
                 let low = config.low_watermark;
                 let high = config.high_watermark;
-                move || collector_loop(&channel, &shared, &collector_tel, low, high)
+                let tracer = tracer.clone();
+                move || collector_loop(&channel, &shared, &collector_tel, &tracer, low, high)
             })
             .map_err(|e| DrangeError::Engine(format!("spawning collector: {e}")))?;
         Ok(HarvestEngine {
@@ -655,6 +696,7 @@ impl HarvestEngine {
             channel,
             counters,
             telemetry: EngineTelemetry::new(registry),
+            tracer,
             workers,
             collector: Some(collector),
         })
@@ -734,6 +776,11 @@ impl HarvestEngine {
                 self.config.queue_capacity
             )));
         }
+        // Inert (no clock read) unless a recorder is attached; with one
+        // attached it nests under the calling request's trace and its
+        // duration is the request's pool-wait share.
+        let mut drain_span = self.tracer.span("engine.pool_drain");
+        drain_span.attr_u64("bits", bits as u64);
         let mut pool = self.shared.pool.lock();
         // `wait_t0` stays None until (unless) the request actually has
         // to block, so the fast path never reads the clock.
@@ -743,6 +790,9 @@ impl HarvestEngine {
         let finish_wait = |shared: &Shared, tel: &EngineTelemetry, waiting: bool, wait_t0| {
             if waiting {
                 shared.demand_bits.retire(bits as u64);
+                if shared.demand_bits.outstanding() == 0 {
+                    shared.demand_trace.set(0);
+                }
                 tel.pool_waiters.sub(1);
                 tel.pool_wait_ns.observe_since(wait_t0);
             }
@@ -774,16 +824,23 @@ impl HarvestEngine {
                 // request.
                 drop(pool);
                 finish_wait(&self.shared, &self.telemetry, waiting, wait_t0);
+                drain_span.attr_bool("timed_out", true);
                 return Ok(None);
             }
             if !waiting {
                 waiting = true;
+                drain_span.event("blocked");
                 // Publish the unmet request so the collector bypasses
                 // the watermark gate until it is served. The pool mutex
                 // is held here, which doubles as the lock barrier: the
                 // collector's gate check runs under the same mutex, so
                 // this notify cannot land in its check-to-park window.
                 self.shared.demand_bits.publish(bits as u64);
+                // Advertise which trace is now blocked on the pool so
+                // harvest-side spans can link back to it.
+                if let Some(trace) = Tracer::current_trace() {
+                    self.shared.demand_trace.set(trace.as_u64());
+                }
                 self.shared.space_available.notify_all();
                 wait_t0 = self.telemetry.pool_wait_ns.start();
                 self.telemetry.pool_waiters.add(1);
@@ -981,21 +1038,26 @@ impl Drop for HarvestEngine {
 }
 
 /// Body of one worker thread: harvest, screen, publish, repeat.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<S: HarvestSource>(
+    index: usize,
     source: S,
     channel: Arc<BatchChannel<BitBlock>>,
     shared: Arc<Shared>,
     counters: Arc<WorkerCounters>,
     tel: WorkerTelemetry,
+    tracer: Tracer,
     min_entropy: f64,
     max_rejects: u32,
 ) {
     let error = worker_run(
+        index,
         source,
         &channel,
         &shared,
         &counters,
         &tel,
+        &tracer,
         min_entropy,
         max_rejects,
     );
@@ -1017,12 +1079,15 @@ fn worker_loop<S: HarvestSource>(
     shared.space_available.notify_all();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_run<S: HarvestSource>(
+    worker: usize,
     mut source: S,
     channel: &BatchChannel<BitBlock>,
     shared: &Shared,
     counters: &WorkerCounters,
     tel: &WorkerTelemetry,
+    tracer: &Tracer,
     min_entropy: f64,
     max_rejects: u32,
 ) -> Option<DrangeError> {
@@ -1032,12 +1097,25 @@ fn worker_run<S: HarvestSource>(
     // the previous snapshot so the shared counters stay additive.
     let mut last_cache = SenseCacheStats::default();
     while !shared.shutdown.is_raised() {
+        // Each batch is its own root trace on this thread. Requests
+        // blocked on the pool advertise their trace id through
+        // `demand_trace`; stamping it here links harvest work to the
+        // request it unblocks without moving contexts across threads.
+        let mut batch_span = tracer.span("engine.batch");
+        if batch_span.is_recording() {
+            batch_span.attr_u64("worker", worker as u64);
+            if let Some(serving) = TraceId::from_u64(shared.demand_trace.get()) {
+                batch_span.attr_str("serving_trace", &format!("{serving}"));
+            }
+        }
+        let span_harvest_t0 = tracer.clock();
         let harvest_t0 = tel.harvest_ns.start();
         let batch = match source.harvest_batch() {
             Ok(b) => b,
             Err(e) => return Some(e),
         };
         tel.harvest_ns.observe_since(harvest_t0);
+        batch_span.child_since("engine.harvest", span_harvest_t0);
         let device_time_ps = source.device_time_ps();
         counters.device_time_ps.set(device_time_ps);
         counters.batches.add(1);
@@ -1057,6 +1135,11 @@ fn worker_run<S: HarvestSource>(
             tel.cache_hit_reads.add(hit);
             tel.cache_resolve_reads.add(resolve);
             last_cache = cache;
+            if batch_span.is_recording() {
+                batch_span.attr_u64("cache_skip", skip);
+                batch_span.attr_u64("cache_hit", hit);
+                batch_span.attr_u64("cache_resolve", resolve);
+            }
         }
         if let Some(lc) = source.lifecycle_stats() {
             // Gauges mirror the snapshot; event counters are diffed
@@ -1067,10 +1150,16 @@ fn worker_run<S: HarvestSource>(
             tel.lifecycle_quarantined.set(lc.quarantined_cells);
             tel.lifecycle_retired.set(lc.retired_cells);
             tel.degraded.set(u64::from(lc.degraded));
-            tel.quarantine_events
-                .add(lc.quarantine_events.saturating_sub(prev.quarantine_events));
-            tel.reinstated_cells
-                .add(lc.reinstated_cells.saturating_sub(prev.reinstated_cells));
+            let quarantined = lc.quarantine_events.saturating_sub(prev.quarantine_events);
+            let reinstated = lc.reinstated_cells.saturating_sub(prev.reinstated_cells);
+            if quarantined > 0 {
+                batch_span.event_u64("lifecycle.quarantine", quarantined);
+            }
+            if reinstated > 0 {
+                batch_span.event_u64("lifecycle.reinstate", reinstated);
+            }
+            tel.quarantine_events.add(quarantined);
+            tel.reinstated_cells.add(reinstated);
             tel.promoted_words
                 .add(lc.promoted_words.saturating_sub(prev.promoted_words));
             tel.recharacterizations.add(
@@ -1100,10 +1189,13 @@ fn worker_run<S: HarvestSource>(
             let bps = harvested as f64 / (device_time_ps as f64 * 1e-12);
             tel.throughput_bps.set(bps as u64);
         }
+        let span_health_t0 = tracer.clock();
         let health_t0 = tel.health_ns.start();
         let trips = health.feed_bits(batch.iter());
         tel.health_ns.observe_since(health_t0);
+        batch_span.child_since("engine.health", span_health_t0);
         if trips.total() > 0 {
+            batch_span.event_u64("health.reject", trips.total());
             counters.health_trips.add(trips.total());
             counters.repetition_trips.add(trips.repetition);
             counters.adaptive_trips.add(trips.adaptive);
@@ -1122,10 +1214,15 @@ fn worker_run<S: HarvestSource>(
             continue;
         }
         consecutive_rejects = 0;
+        batch_span.attr_u64("bits", batch.len() as u64);
         shared.in_flight_bits.publish(batch.len() as u64);
+        let span_publish_t0 = tracer.clock();
         let publish_t0 = tel.publish_ns.start();
         match channel.send(batch) {
-            Ok(()) => tel.publish_ns.observe_since(publish_t0),
+            Ok(()) => {
+                tel.publish_ns.observe_since(publish_t0);
+                batch_span.child_since("engine.publish", span_publish_t0);
+            }
             Err(m) => {
                 // The channel closed (engine shutdown) before space
                 // opened up: the batch is undeliverable. Account it as
@@ -1147,6 +1244,7 @@ fn collector_loop(
     channel: &BatchChannel<BitBlock>,
     shared: &Shared,
     tel: &CollectorTelemetry,
+    tracer: &Tracer,
     low: usize,
     high: usize,
 ) {
@@ -1178,6 +1276,15 @@ fn collector_loop(
         match channel.recv() {
             Some(batch) => {
                 let n = batch.len() as u64;
+                // Root span per delivered batch; like the workers it
+                // links back to a pool-blocked request by annotation.
+                let mut span = tracer.span("engine.collect");
+                if span.is_recording() {
+                    span.attr_u64("bits", n);
+                    if let Some(serving) = TraceId::from_u64(shared.demand_trace.get()) {
+                        span.attr_str("serving_trace", &format!("{serving}"));
+                    }
+                }
                 let collect_t0 = tel.collect_ns.start();
                 let queued = {
                     let mut pool = shared.pool.lock();
@@ -1188,6 +1295,7 @@ fn collector_loop(
                 tel.pool_bits.set(queued as u64);
                 shared.in_flight_bits.retire(n);
                 shared.bits_available.notify_all();
+                drop(span);
             }
             None => break,
         }

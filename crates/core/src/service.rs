@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
-use drange_telemetry::{Counter, Histogram, MetricsRegistry};
+use drange_telemetry::{Counter, Histogram, MetricsRegistry, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 use crate::engine::{EngineConfig, EngineStats, HarvestEngine, HarvestSource};
@@ -109,6 +109,7 @@ pub struct RandomnessService {
     next_id: SequenceCounter,
     config: ServiceConfig,
     telemetry: ServiceTelemetry,
+    tracer: Tracer,
 }
 
 impl RandomnessService {
@@ -147,6 +148,25 @@ impl RandomnessService {
         config: ServiceConfig,
         registry: Option<&MetricsRegistry>,
     ) -> Result<Self> {
+        Self::with_sources_traced(sources, config, registry, Tracer::noop())
+    }
+
+    /// As [`RandomnessService::with_sources_telemetry`], additionally
+    /// attaching a [`Tracer`]: the request path (`request`,
+    /// `wait_receive`, the engine's pool drain) and the engine's
+    /// harvest/collector threads emit spans into the tracer's flight
+    /// recorder. With [`Tracer::noop`] (what the other constructors
+    /// pass) every span is inert and never reads the clock.
+    ///
+    /// # Errors
+    ///
+    /// As [`RandomnessService::with_sources`].
+    pub fn with_sources_traced<S: HarvestSource>(
+        sources: Vec<S>,
+        config: ServiceConfig,
+        registry: Option<&MetricsRegistry>,
+        tracer: Tracer,
+    ) -> Result<Self> {
         if config.low_watermark > config.queue_capacity || config.queue_capacity == 0 {
             return Err(DrangeError::InvalidSpec(format!(
                 "watermark {} exceeds capacity {}",
@@ -158,7 +178,7 @@ impl RandomnessService {
                 "min_entropy must be in (0,1]".into(),
             ));
         }
-        let engine = HarvestEngine::spawn_with_telemetry(
+        let engine = HarvestEngine::spawn_traced(
             sources,
             EngineConfig {
                 queue_capacity: config.queue_capacity,
@@ -168,6 +188,7 @@ impl RandomnessService {
                 ..EngineConfig::default()
             },
             registry,
+            tracer.clone(),
         )?;
         Ok(RandomnessService {
             engine,
@@ -176,6 +197,7 @@ impl RandomnessService {
             next_id: SequenceCounter::new(),
             config,
             telemetry: ServiceTelemetry::new(registry),
+            tracer,
         })
     }
 
@@ -202,6 +224,11 @@ impl RandomnessService {
             )));
         }
         let id = RequestId(self.next_id.next());
+        let mut span = self.tracer.span("service.request");
+        if span.is_recording() {
+            span.attr_u64("bytes", bytes as u64);
+            span.attr_u64("request_id", id.0);
+        }
         self.telemetry.requests.inc();
         self.telemetry.request_bytes.add(bytes as u64);
         let mut inner = self.inner.lock();
@@ -380,6 +407,12 @@ impl RandomnessService {
         id: RequestId,
         deadline: Option<Instant>,
     ) -> Result<Option<Vec<u8>>> {
+        // The wait span covers the whole loop, so the engine's
+        // `engine.pool_drain` spans (emitted inline by the
+        // `process_deadline` call below) nest under it through the
+        // thread-local context.
+        let mut span = self.tracer.span("service.wait");
+        span.attr_u64("request_id", id.0);
         loop {
             let (_, mut expired) = self.process_deadline(deadline)?;
             let mut inner = self.inner.lock();
@@ -394,6 +427,7 @@ impl RandomnessService {
                     ));
                 }
                 if expired {
+                    span.attr_bool("timed_out", true);
                     return Ok(None);
                 }
                 if inner.pending.iter().any(|p| p.id == id) {
@@ -449,6 +483,12 @@ impl RandomnessService {
     /// The underlying harvesting engine.
     pub fn engine(&self) -> &HarvestEngine {
         &self.engine
+    }
+
+    /// The tracer this service emits spans into ([`Tracer::noop`]
+    /// unless built via [`RandomnessService::with_sources_traced`]).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Whether any harvest worker currently reports a degraded RNG-cell
@@ -731,6 +771,45 @@ mod tests {
         // The engine's metrics ride along on the same registry.
         assert!(text.contains("drange_stage_latency_ns"), "{text}");
         s.shutdown();
+    }
+
+    #[test]
+    fn traced_service_records_nested_request_spans() {
+        use drange_telemetry::{FlightRecorder, RecorderConfig};
+        let recorder = FlightRecorder::with_config(RecorderConfig::default());
+        let s = RandomnessService::with_sources_traced(
+            vec![PrngSource { state: 11 }],
+            ServiceConfig {
+                queue_capacity: 2048,
+                low_watermark: 256,
+                ..Default::default()
+            },
+            None,
+            recorder.tracer(),
+        )
+        .unwrap();
+        let id = s.request(64).unwrap();
+        assert_eq!(s.wait_receive(id).unwrap().len(), 64);
+        s.shutdown();
+
+        let records = recorder.records();
+        let find = |name: &str| records.iter().find(|r| r.name == name);
+        let request = find("service.request").expect("service.request span");
+        let wait = find("service.wait").expect("service.wait span");
+        let drain = find("engine.pool_drain").expect("engine.pool_drain span");
+        assert_eq!(
+            drain.parent,
+            Some(wait.span),
+            "pool drain nests under the wait"
+        );
+        assert_eq!(drain.trace, wait.trace, "one trace per request");
+        assert!(request.parent.is_none() && wait.parent.is_none());
+        // The harvest threads record their own root traces with
+        // harvest/health/publish children.
+        let batch = find("engine.batch").expect("engine.batch span");
+        assert!(records
+            .iter()
+            .any(|r| r.name == "engine.harvest" && r.trace == batch.trace));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!              [--source prng|sim] [--seed 1] [--channels 2]
 //!              [--queue-bits 65536] [--fetch-timeout-ms 2000]
 //!              [--rate-limit RPS[:BURST]] [--allow-remote-shutdown]
+//!              [--debug-endpoints] [--trace-threshold-ms N]
 //! ```
 //!
 //! `--source sim` profiles and identifies RNG cells on the simulated
@@ -18,7 +19,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dram_sim::{DeviceConfig, Manufacturer};
-use drange_core::telemetry::MetricsRegistry;
+use drange_core::telemetry::{FlightRecorder, MetricsRegistry, RecorderConfig, Tracer};
 use drange_core::{
     channel_sources, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RandomnessService,
     RngCellCatalog, ServiceConfig,
@@ -37,6 +38,8 @@ struct Cli {
     fetch_timeout: Duration,
     rate_limit: Option<RateLimitConfig>,
     allow_shutdown: bool,
+    debug_endpoints: bool,
+    trace_threshold: Option<Duration>,
 }
 
 /// `Ok(None)` means `--help` was handled and the process should exit
@@ -52,6 +55,8 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         fetch_timeout: Duration::from_millis(2000),
         rate_limit: None,
         allow_shutdown: false,
+        debug_endpoints: false,
+        trace_threshold: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +112,13 @@ fn parse_cli() -> Result<Option<Cli>, String> {
                 });
             }
             "--allow-remote-shutdown" => cli.allow_shutdown = true,
+            "--debug-endpoints" => cli.debug_endpoints = true,
+            "--trace-threshold-ms" => {
+                let ms: u64 = value("--trace-threshold-ms")?
+                    .parse()
+                    .map_err(|e| format!("--trace-threshold-ms: {e}"))?;
+                cli.trace_threshold = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => {
                 println!(
                     "drange-serve: HTTP randomness server over the D-RaNGe engine\n\n\
@@ -119,7 +131,10 @@ fn parse_cli() -> Result<Option<Cli>, String> {
                      --queue-bits N            engine pool capacity in bits (65536)\n  \
                      --fetch-timeout-ms N      engine wait before 503 (2000)\n  \
                      --rate-limit RPS[:BURST]  per-IP token bucket (off)\n  \
-                     --allow-remote-shutdown   enable POST /-/shutdown"
+                     --allow-remote-shutdown   enable POST /-/shutdown\n  \
+                     --debug-endpoints         enable GET /debug/trace and /debug/slow\n  \
+                     --trace-threshold-ms N    record only traces slower than N ms\n  \
+                     \x20                          (default: record every trace)"
                 );
                 return Ok(None);
             }
@@ -129,7 +144,11 @@ fn parse_cli() -> Result<Option<Cli>, String> {
     Ok(Some(cli))
 }
 
-fn build_service(cli: &Cli, registry: &MetricsRegistry) -> Result<RandomnessService, String> {
+fn build_service(
+    cli: &Cli,
+    registry: &MetricsRegistry,
+    tracer: Tracer,
+) -> Result<RandomnessService, String> {
     let service_config = ServiceConfig {
         queue_capacity: cli.queue_bits,
         low_watermark: (cli.queue_bits / 16).max(1),
@@ -140,7 +159,7 @@ fn build_service(cli: &Cli, registry: &MetricsRegistry) -> Result<RandomnessServ
             let sources: Vec<PrngHarvestSource> = (0..cli.channels.max(1))
                 .map(|i| PrngHarvestSource::new(cli.seed.wrapping_add(i as u64)))
                 .collect();
-            RandomnessService::with_sources_telemetry(sources, service_config, Some(registry))
+            RandomnessService::with_sources_traced(sources, service_config, Some(registry), tracer)
                 .map_err(|e| e.to_string())
         }
         "sim" => {
@@ -159,7 +178,7 @@ fn build_service(cli: &Cli, registry: &MetricsRegistry) -> Result<RandomnessServ
                 cli.channels.max(1),
             )
             .map_err(|e| format!("channel setup failed: {e}"))?;
-            RandomnessService::with_sources_telemetry(sources, service_config, Some(registry))
+            RandomnessService::with_sources_traced(sources, service_config, Some(registry), tracer)
                 .map_err(|e| e.to_string())
         }
         other => Err(format!("unknown --source `{other}` (prng|sim)")),
@@ -176,7 +195,19 @@ fn main() -> ExitCode {
         }
     };
     let registry = MetricsRegistry::new();
-    let service = match build_service(&cli, &registry) {
+    // The flight recorder rides along with the debug endpoints: without
+    // them there is nobody to read the ring, so the tracer stays noop
+    // and the span plumbing costs nothing.
+    let recorder = cli.debug_endpoints.then(|| {
+        FlightRecorder::with_config(RecorderConfig {
+            latency_threshold: cli.trace_threshold,
+            ..RecorderConfig::default()
+        })
+    });
+    let tracer = recorder
+        .as_ref()
+        .map_or_else(Tracer::noop, FlightRecorder::tracer);
+    let service = match build_service(&cli, &registry, tracer) {
         Ok(service) => Arc::new(service),
         Err(e) => {
             eprintln!("drange-serve: {e}");
@@ -188,9 +219,10 @@ fn main() -> ExitCode {
         fetch_timeout: cli.fetch_timeout,
         rate_limit: cli.rate_limit,
         allow_shutdown: cli.allow_shutdown,
+        debug_endpoints: cli.debug_endpoints,
         ..ServerConfig::default()
     };
-    let server = match Server::bind(cli.addr, service, registry, config) {
+    let server = match Server::bind_with_recorder(cli.addr, service, registry, config, recorder) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("drange-serve: cannot bind {}: {e}", cli.addr);

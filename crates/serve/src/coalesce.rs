@@ -24,6 +24,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
+use drange_core::telemetry::{TraceId, Tracer};
 use drange_core::{DrangeError, RandomnessService};
 use parking_lot::{Condvar, Mutex};
 
@@ -55,6 +56,11 @@ struct CoalesceInner {
     results: HashMap<u64, Result<Vec<u8>, FetchError>>,
     next_ticket: u64,
     leader_active: bool,
+    /// Raw [`TraceId`] of the most recent leader's request trace
+    /// (0 = none). Advisory: followers annotate their own spans with it
+    /// so a trace viewer can jump to the combined fetch that actually
+    /// talked to the engine on their behalf.
+    leader_trace: u64,
 }
 
 /// The combining front-end over [`RandomnessService`].
@@ -71,6 +77,8 @@ pub struct Coalescer {
     max_batch_bytes: usize,
     /// Engine-side wait bound; expiry is an underrun.
     fetch_timeout: Duration,
+    /// Span source for fetch/combine instrumentation (noop by default).
+    tracer: Tracer,
 }
 
 impl Coalescer {
@@ -91,14 +99,27 @@ impl Coalescer {
             max_batch_tickets: max_batch_tickets.max(1),
             max_batch_bytes: max_batch_bytes.max(1),
             fetch_timeout,
+            tracer: Tracer::noop(),
         }
+    }
+
+    /// Attaches a tracer: every fetch records a `serve.fetch` span
+    /// (mode direct/leader/follower) and each combined engine
+    /// round-trip a `serve.combine` span.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Fetches `bytes` random bytes, combining with concurrent callers
     /// when the request is small. Blocks until the bytes arrive or the
     /// engine-side wait times out ([`FetchError::Underrun`]).
     pub fn fetch(&self, service: &RandomnessService, bytes: usize) -> Result<Vec<u8>, FetchError> {
+        let mut span = self.tracer.span("serve.fetch");
+        span.attr_u64("bytes", bytes as u64);
         if bytes > self.max_coalesced_bytes {
+            span.attr_str("mode", "direct");
             return self.fetch_direct(service, bytes);
         }
         let ticket = {
@@ -108,9 +129,22 @@ impl Coalescer {
             inner.queue.push_back(Ticket { id, bytes });
             id
         };
+        let mut led = false;
         loop {
             let mut inner = self.inner.lock();
             if let Some(result) = inner.results.remove(&ticket) {
+                if span.is_recording() {
+                    span.attr_str("mode", if led { "leader" } else { "follower" });
+                    if !led {
+                        // Advisory: the leader serving this ticket's
+                        // batch stamped its trace last; a later batch
+                        // may have overwritten it, so this is a hint,
+                        // not a guarantee.
+                        if let Some(leader) = TraceId::from_u64(inner.leader_trace) {
+                            span.attr_str("leader_trace", &format!("{leader}"));
+                        }
+                    }
+                }
                 return result;
             }
             if !inner.leader_active {
@@ -118,6 +152,7 @@ impl Coalescer {
                 // nobody driving — combine and fetch ourselves.
                 inner.leader_active = true;
                 drop(inner);
+                led = true;
                 self.lead(service);
                 continue;
             }
@@ -172,10 +207,19 @@ impl Coalescer {
                     self.cv.notify_all();
                     return;
                 }
+                if let Some(trace) = Tracer::current_trace() {
+                    inner.leader_trace = trace.as_u64();
+                }
                 batch
             };
             let total: usize = batch.iter().map(|t| t.bytes).sum();
+            let mut combine_span = self.tracer.span("serve.combine");
+            if combine_span.is_recording() {
+                combine_span.attr_u64("tickets", batch.len() as u64);
+                combine_span.attr_u64("bytes", total as u64);
+            }
             let outcome = self.fetch_direct(service, total);
+            drop(combine_span);
             {
                 let mut inner = self.inner.lock();
                 match outcome {

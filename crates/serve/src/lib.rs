@@ -19,10 +19,28 @@
 //! | `/healthz` | GET | `200 ok` | `503 degraded` |
 //! | `/metrics` | GET | `200` Prometheus text | — |
 //! | `/-/shutdown` | POST | `200`, then graceful stop | `404` unless enabled |
+//! | `/debug/trace?n=N` | GET/HEAD | `200` Chrome trace JSON | `404` unless [`ServerConfig::debug_endpoints`] |
+//! | `/debug/slow` | GET/HEAD | `200` slowest-requests table | `404` unless [`ServerConfig::debug_endpoints`] |
 //!
-//! `/random` and `/healthz` responses carry `X-Drange-Degraded:
-//! true|false`, surfacing the engine's cell-lifecycle degradation to
-//! clients that want to react before `/healthz` flips.
+//! Every `/random` response — including `429`/`503` rejections —
+//! carries `X-Drange-Request-Id`, the request's trace id, so clients
+//! can correlate an error with the server-side trace in
+//! `/debug/trace`. `/random` and `/healthz` responses that touched
+//! engine state also carry `X-Drange-Degraded: true|false`, surfacing
+//! the engine's cell-lifecycle degradation to clients that want to
+//! react before `/healthz` flips (the `429` path deliberately omits it:
+//! rate limiting never reads engine state).
+//!
+//! ## Tracing
+//!
+//! [`Server::bind_with_recorder`] attaches a
+//! [`drange_core::telemetry::FlightRecorder`]: each request then
+//! records a span tree — parse, rate limit, admission, coalesced fetch,
+//! the service wait, the engine's pool drain, response write — into a
+//! bounded in-memory ring, exported at `/debug/trace` (Chrome
+//! trace-event JSON) and `/debug/slow` (a human-readable table of the
+//! slowest requests). Without a recorder every span is a no-op that
+//! never reads the clock.
 //!
 //! ## Backpressure
 //!
@@ -49,7 +67,9 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use drange_core::sync::Flag;
-use drange_core::telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use drange_core::telemetry::{
+    Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, TraceId, Tracer,
+};
 use drange_core::{BatchChannel, RandomnessService};
 use parking_lot::{Condvar, Mutex};
 
@@ -90,6 +110,11 @@ pub struct ServerConfig {
     /// Whether `POST /-/shutdown` stops the server (off by default;
     /// meant for supervised deployments and CI smoke tests).
     pub allow_shutdown: bool,
+    /// Whether `GET /debug/trace` and `GET /debug/slow` are served (off
+    /// by default; they expose request metadata and are meant for
+    /// operators, not the public edge). Useful only together with a
+    /// flight recorder ([`Server::bind_with_recorder`]).
+    pub debug_endpoints: bool,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +132,7 @@ impl Default for ServerConfig {
             max_pending_requests: 1024,
             rate_limit: None,
             allow_shutdown: false,
+            debug_endpoints: false,
         }
     }
 }
@@ -154,6 +180,10 @@ struct ServerShared {
     coalescer: Coalescer,
     limiter: Option<RateLimiter>,
     telemetry: ServerTelemetry,
+    /// The trace ring behind `/debug/trace` and `/debug/slow`.
+    recorder: Option<FlightRecorder>,
+    /// Span source for the request path (noop without a recorder).
+    tracer: Tracer,
     /// Raised exactly once; workers and the acceptor observe it at
     /// their next loop head.
     stopping: Flag,
@@ -221,15 +251,42 @@ impl Server {
         registry: MetricsRegistry,
         config: ServerConfig,
     ) -> io::Result<Server> {
+        Self::bind_with_recorder(addr, service, registry, config, None)
+    }
+
+    /// As [`Server::bind`], additionally attaching a [`FlightRecorder`]:
+    /// every request records a span tree (parse, rate limit, admission,
+    /// fetch, engine wait, write) into the recorder's ring, and —
+    /// when [`ServerConfig::debug_endpoints`] is set — `/debug/trace`
+    /// and `/debug/slow` export it. The recorder's drop counters
+    /// register on `registry` as `drange_trace_*` metrics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::bind`].
+    pub fn bind_with_recorder(
+        addr: SocketAddr,
+        service: Arc<RandomnessService>,
+        registry: MetricsRegistry,
+        config: ServerConfig,
+        recorder: Option<FlightRecorder>,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let workers = config.worker_threads.max(1);
+        let tracer = recorder
+            .as_ref()
+            .map_or_else(Tracer::noop, FlightRecorder::tracer);
+        if let Some(rec) = &recorder {
+            rec.attach_metrics(&registry);
+        }
         let coalescer = Coalescer::new(
             config.coalesce_max_bytes,
             config.coalesce_max_batch,
             config.coalesce_max_batch.max(1) * config.coalesce_max_bytes.max(1),
             config.fetch_timeout,
-        );
+        )
+        .with_tracer(tracer.clone());
         let limiter = config.rate_limit.map(RateLimiter::new);
         let telemetry = ServerTelemetry::new(&registry);
         let shared = Arc::new(ServerShared {
@@ -238,6 +295,8 @@ impl Server {
             coalescer,
             limiter,
             telemetry,
+            recorder,
+            tracer,
             stopping: Flag::new(),
             stop_state: Mutex::new(false),
             stop_cv: Condvar::new(),
@@ -408,11 +467,29 @@ fn serve_connection(shared: &ServerShared, mut conn: http::Conn) -> Option<http:
         if shared.stopping.is_raised() {
             return None;
         }
+        // Captured before the (possibly idle) socket read so the retro
+        // `serve.parse` child bills read+parse time; on a keep-alive
+        // connection that includes the wait for the next request.
+        let parse_t0 = shared.tracer.clock();
         match conn.read_request() {
             http::ReadOutcome::Request(request) => {
                 let keep_alive = request.keep_alive && !shared.stopping.is_raised();
+                // Every request gets a trace id — even with a noop
+                // tracer, so `X-Drange-Request-Id` is always available
+                // for log correlation.
+                let trace = TraceId::next();
+                let mut span = shared.tracer.root_span("serve.request", trace);
+                if span.is_recording() {
+                    span.attr_str("method", &request.method);
+                    span.attr_str("path", &request.path);
+                    span.attr_str("peer", &peer_ip.to_string());
+                }
+                span.child_since("serve.parse", parse_t0);
                 let t0 = shared.telemetry.request_latency_ns.start();
                 let mut response = handle_request(shared, &request, peer_ip);
+                if request.path == "/random" {
+                    response = response.with_header("X-Drange-Request-Id", format!("{trace}"));
+                }
                 shared.telemetry.requests_total.inc();
                 if !keep_alive {
                     response.close = true;
@@ -420,7 +497,13 @@ fn serve_connection(shared: &ServerShared, mut conn: http::Conn) -> Option<http:
                 if request.method == "HEAD" {
                     response.head_only = true;
                 }
+                let write_t0 = shared.tracer.clock();
                 let write_ok = http::write_response(conn.stream(), &response).is_ok();
+                span.child_since("serve.write", write_t0);
+                if span.is_recording() {
+                    span.attr_u64("status", u64::from(response.status));
+                }
+                drop(span);
                 shared.telemetry.request_latency_ns.observe_since(t0);
                 if !write_ok || response.close {
                     return None;
@@ -454,11 +537,44 @@ fn handle_request(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> 
             shared.signal_stop();
             Response::text(200, "shutting down\n").closing()
         }
+        ("GET" | "HEAD", "/debug/trace") if shared.config.debug_endpoints => {
+            handle_debug_trace(shared, request)
+        }
+        ("GET" | "HEAD", "/debug/slow") if shared.config.debug_endpoints => {
+            match &shared.recorder {
+                Some(rec) => Response::text(200, &rec.render_slow_table()),
+                None => Response::text(404, "no flight recorder attached\n"),
+            }
+        }
         (_, "/random" | "/healthz" | "/metrics") => {
+            Response::text(405, "method not allowed\n").with_header("Allow", "GET, HEAD".into())
+        }
+        (_, "/debug/trace" | "/debug/slow") if shared.config.debug_endpoints => {
             Response::text(405, "method not allowed\n").with_header("Allow", "GET, HEAD".into())
         }
         _ => Response::text(404, "not found\n"),
     }
+}
+
+/// `GET /debug/trace?n=N` — Chrome trace-event JSON from the flight
+/// recorder's ring (`?n=` keeps only the most recent N spans). Load it
+/// in `chrome://tracing` or Perfetto.
+fn handle_debug_trace(shared: &ServerShared, request: &Request) -> Response {
+    let Some(rec) = &shared.recorder else {
+        return Response::text(404, "no flight recorder attached\n");
+    };
+    let last_n = match request.query_param("n") {
+        None => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => return Response::text(400, "n must be a non-negative integer\n"),
+        },
+    };
+    Response::new(
+        200,
+        "application/json",
+        rec.render_chrome_trace(last_n).into_bytes(),
+    )
 }
 
 /// `GET /random?bytes=N` — the randomness endpoint.
@@ -467,8 +583,15 @@ fn handle_random(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> R
     let retry_after_secs = shared.config.retry_after.as_secs().max(1).to_string();
 
     if let Some(limiter) = &shared.limiter {
+        let mut limit_span = shared.tracer.span("serve.ratelimit");
+        // xtask:allow(instant-hot-path) -- the token bucket needs the real wall clock; the span clock is only live with a recorder
         if let Admission::Limited { retry_after } = limiter.check_at(peer_ip, Instant::now()) {
+            limit_span.attr_bool("limited", true);
+            drop(limit_span);
             tel.rejected_ratelimit.inc();
+            // No `X-Drange-Degraded` here by design: the rate-limit
+            // path must stay the cheapest rejection and never touch
+            // engine state.
             return Response::text(429, "rate limit exceeded\n")
                 .with_header("Retry-After", retry_after.as_secs().max(1).to_string());
         }
@@ -498,13 +621,23 @@ fn handle_random(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> R
             ),
         );
     }
-    if shared.service.pending_requests() >= shared.config.max_pending_requests {
+    let degraded = shared.service.is_degraded();
+    let mut admit_span = shared.tracer.span("serve.admission");
+    let pending = shared.service.pending_requests();
+    if admit_span.is_recording() {
+        admit_span.attr_u64("bytes", bytes as u64);
+        admit_span.attr_u64("pending", pending as u64);
+    }
+    if pending >= shared.config.max_pending_requests {
+        admit_span.attr_bool("shed", true);
+        drop(admit_span);
         tel.rejected_overload.inc();
         return Response::text(503, "server overloaded\n")
-            .with_header("Retry-After", retry_after_secs);
+            .with_header("Retry-After", retry_after_secs)
+            .with_header("X-Drange-Degraded", degraded.to_string());
     }
+    drop(admit_span);
 
-    let degraded = shared.service.is_degraded();
     match shared.coalescer.fetch(&shared.service, bytes) {
         Ok(body) => {
             tel.bytes_served.add(body.len() as u64);
@@ -524,7 +657,9 @@ fn handle_random(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> R
         }
         Err(FetchError::Engine(msg)) => {
             tel.engine_failures.inc();
-            Response::text(500, &format!("engine failure: {msg}\n")).closing()
+            Response::text(500, &format!("engine failure: {msg}\n"))
+                .with_header("X-Drange-Degraded", degraded.to_string())
+                .closing()
         }
     }
 }

@@ -211,6 +211,9 @@ fn unknown_paths_and_methods_map_to_404_and_405() {
     let addr = server.local_addr();
 
     assert_eq!(get(addr, "/nope").status, 404);
+    // Debug endpoints are hidden (404, not 405) unless enabled.
+    assert_eq!(get(addr, "/debug/trace").status, 404);
+    assert_eq!(get(addr, "/debug/slow").status, 404);
     let resp = roundtrip(
         addr,
         "DELETE /random HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
@@ -260,6 +263,14 @@ fn pool_exhaustion_returns_503_with_retry_after() {
     let resp = get(addr, "/random?bytes=3000");
     assert_eq!(resp.status, 503, "body: {:?}", resp.body);
     assert_eq!(resp.header("Retry-After"), Some("2"));
+    assert!(
+        resp.header("X-Drange-Request-Id").is_some(),
+        "503 responses still identify the request"
+    );
+    assert!(
+        resp.header("X-Drange-Degraded").is_some(),
+        "underrun 503 reports degradation state"
+    );
     assert_eq!(
         service.outstanding_requests(),
         0,
@@ -340,6 +351,10 @@ fn rate_limit_returns_429_with_retry_after() {
         .parse()
         .expect("numeric Retry-After");
     assert!(retry >= 1);
+    assert!(
+        resp.header("X-Drange-Request-Id").is_some(),
+        "even rate-limited responses identify the request"
+    );
     // Rejections spend no engine resources and leak nothing.
     assert_eq!(service.outstanding_requests(), 0);
     server.shutdown();
@@ -401,6 +416,83 @@ fn client_disconnect_mid_request_leaks_nothing() {
         );
         thread::sleep(Duration::from_millis(10));
     }
+    server.shutdown();
+}
+
+#[test]
+fn debug_endpoints_export_traces_and_request_ids() {
+    use drange_core::telemetry::{FlightRecorder, RecorderConfig};
+    let recorder = FlightRecorder::with_config(RecorderConfig::default());
+    let sources = vec![
+        PrngHarvestSource::new(0xCCCC_0003),
+        PrngHarvestSource::new(0xDDDD_0004),
+    ];
+    let service = Arc::new(
+        RandomnessService::with_sources_traced(
+            sources,
+            ServiceConfig {
+                queue_capacity: 1 << 16,
+                low_watermark: 1 << 12,
+                min_entropy: 0.9,
+            },
+            None,
+            recorder.tracer(),
+        )
+        .expect("traced service"),
+    );
+    let server = Server::bind_with_recorder(
+        "127.0.0.1:0".parse().expect("loopback"),
+        Arc::clone(&service),
+        MetricsRegistry::new(),
+        ServerConfig {
+            debug_endpoints: true,
+            ..ServerConfig::default()
+        },
+        Some(recorder),
+    )
+    .expect("bind traced server");
+    let addr = server.local_addr();
+
+    for _ in 0..4 {
+        let resp = get(addr, "/random?bytes=64");
+        assert_eq!(resp.status, 200);
+        let id = resp
+            .header("X-Drange-Request-Id")
+            .expect("200 carries a request id");
+        assert_eq!(id.len(), 16, "trace ids are 16 hex digits: {id}");
+        assert!(id.chars().all(|c| c.is_ascii_hexdigit()), "{id}");
+    }
+
+    // The Chrome export carries the whole span tree: HTTP edge, the
+    // coalesced fetch, the service wait, and the engine's pool drain
+    // and harvest batches.
+    let resp = get(addr, "/debug/trace");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("Content-Type"), Some("application/json"));
+    let text = String::from_utf8(resp.body).expect("utf-8 trace json");
+    assert!(text.contains("\"traceEvents\""), "{text}");
+    for span in [
+        "serve.request",
+        "serve.parse",
+        "serve.admission",
+        "serve.fetch",
+        "serve.write",
+        "service.wait",
+        "engine.pool_drain",
+        "engine.batch",
+        "engine.harvest",
+    ] {
+        assert!(text.contains(span), "missing span {span} in trace export");
+    }
+
+    assert_eq!(get(addr, "/debug/trace?n=5").status, 200);
+    assert_eq!(get(addr, "/debug/trace?n=bogus").status, 400);
+
+    let resp = get(addr, "/debug/slow");
+    assert_eq!(resp.status, 200);
+    let table = String::from_utf8(resp.body).expect("utf-8 slow table");
+    assert!(table.contains("rank"), "{table}");
+    assert!(table.contains("serve.request"), "{table}");
     server.shutdown();
 }
 

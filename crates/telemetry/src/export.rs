@@ -90,8 +90,9 @@ pub fn render_prometheus(registry: &MetricsRegistry) -> String {
     out
 }
 
-/// Escapes a string for embedding in a JSON document.
-fn escape_json(value: &str) -> String {
+/// Escapes a string for embedding in a JSON document (shared with the
+/// flight recorder's Chrome-trace exporter).
+pub(crate) fn escape_json(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for ch in value.chars() {
         match ch {
@@ -299,6 +300,73 @@ drange_stage_latency_ns_count{stage=\"harvest\",worker=\"0\"} 3
         reg.counter("c", &[("k", "a\"b\\c\nd")]).inc();
         let text = reg.render_prometheus();
         assert!(text.contains(r#"c{k="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    /// The exposition format requires exactly three escapes in label
+    /// values — backslash, double-quote, and line feed — each checked
+    /// in isolation so a regression in one cannot hide behind the
+    /// others.
+    #[test]
+    fn label_escaping_covers_each_required_character() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("path", r"C:\temp\x")]).inc();
+        assert!(
+            reg.render_prometheus()
+                .contains(r#"c{path="C:\\temp\\x"} 1"#),
+            "backslash: {}",
+            reg.render_prometheus()
+        );
+
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("q", "say \"hi\"")]).inc();
+        assert!(
+            reg.render_prometheus().contains(r#"c{q="say \"hi\""} 1"#),
+            "double quote: {}",
+            reg.render_prometheus()
+        );
+
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("n", "line1\nline2")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"c{n="line1\nline2"} 1"#), "newline: {text}");
+        // The escape keeps the series on one physical line — a raw
+        // newline would split it and corrupt the whole exposition.
+        assert!(
+            text.lines()
+                .any(|l| l.starts_with("c{") && l.ends_with(" 1")),
+            "{text}"
+        );
+    }
+
+    /// A backslash that already looks like an escape sequence must
+    /// still be doubled — the format has no pass-through.
+    #[test]
+    fn label_escaping_doubles_preescaped_input() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("k", r"already\nescaped")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"c{k="already\\nescaped"} 1"#), "{text}");
+    }
+
+    /// Escaping applies to every label slot, including the synthesized
+    /// `le` path used for histogram buckets (the `extra` argument of
+    /// `label_block`).
+    #[test]
+    fn histogram_series_escape_user_labels_in_every_line() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[("src", "a\\b\"c")]);
+        h.record_ns(1);
+        let text = reg.render_prometheus();
+        assert!(
+            text.contains(r#"lat_bucket{src="a\\b\"c",le="1"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"lat_bucket{src="a\\b\"c",le="+Inf"} 1"#),
+            "{text}"
+        );
+        assert!(text.contains(r#"lat_sum{src="a\\b\"c"} 1"#), "{text}");
+        assert!(text.contains(r#"lat_count{src="a\\b\"c"} 1"#), "{text}");
     }
 
     #[test]

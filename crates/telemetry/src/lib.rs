@@ -20,6 +20,10 @@
 //!   ([`MetricsRegistry::render_prometheus`]), a JSON snapshot
 //!   ([`MetricsRegistry::render_json`]), and a periodic [`Reporter`]
 //!   thread that logs a one-line summary.
+//! * **Tracing** — [`Tracer`]/[`Span`] request spans with the same
+//!   noop-by-default cost model, draining into a bounded
+//!   [`FlightRecorder`] ring with Chrome trace-event JSON and
+//!   slowest-requests exporters (see [`trace`] and [`recorder`]).
 //!
 //! ## Example
 //!
@@ -48,14 +52,18 @@
 
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod registry;
 pub mod reporter;
 mod sync_shim;
+pub mod trace;
 
 pub use export::{render_json, render_prometheus, summary_line};
 pub use metrics::{
     bucket_bound, bucket_index, fmt_ns, Counter, Gauge, Histogram, HistogramSnapshot,
     HISTOGRAM_BUCKETS,
 };
+pub use recorder::{FlightRecorder, RecorderConfig, RecorderStats};
 pub use registry::{MetricKind, MetricSample, MetricValue, MetricsRegistry};
 pub use reporter::Reporter;
+pub use trace::{AttrValue, Span, SpanEvent, SpanId, SpanRecord, TraceId, Tracer};

@@ -352,14 +352,16 @@ impl HistogramSnapshot {
     }
 
     /// Merges another snapshot into this one (bucket-wise sum; used for
-    /// cross-label aggregation in summaries).
+    /// cross-label aggregation in summaries). All additions saturate:
+    /// two near-ceiling snapshots merge to pinned values instead of
+    /// wrapping (release) or panicking (debug).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.overflow += other.overflow;
-        self.count += other.count;
-        self.sum += other.sum;
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 }
@@ -540,6 +542,68 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let h = Histogram::live(Arc::new(HistogramCore::new()));
+        for v in [1, 700, 1 << 45] {
+            h.record_ns(v);
+        }
+        let full = h.snapshot();
+
+        let mut into_full = full.clone();
+        into_full.merge(&HistogramSnapshot::empty());
+        assert_eq!(into_full, full, "merging an empty snapshot changes nothing");
+
+        let mut into_empty = HistogramSnapshot::empty();
+        into_empty.merge(&full);
+        assert_eq!(into_empty, full, "merging into empty copies everything");
+
+        let mut both_empty = HistogramSnapshot::empty();
+        both_empty.merge(&HistogramSnapshot::empty());
+        assert_eq!(both_empty, HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = HistogramSnapshot::empty();
+        a.buckets[0] = u64::MAX - 1;
+        a.overflow = u64::MAX;
+        a.count = u64::MAX;
+        a.sum = u64::MAX - 10;
+        a.max = 5;
+        let mut b = HistogramSnapshot::empty();
+        b.buckets[0] = 100;
+        b.overflow = 1;
+        b.count = 100;
+        b.sum = 100;
+        b.max = 7;
+        a.merge(&b);
+        assert_eq!(a.buckets[0], u64::MAX);
+        assert_eq!(a.overflow, u64::MAX);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.sum, u64::MAX);
+        assert_eq!(a.max, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1]")]
+    fn quantile_rejects_zero() {
+        let _ = HistogramSnapshot::empty().quantile(0.0);
+    }
+
+    #[test]
+    fn quantile_one_reports_the_top_occupied_bucket() {
+        let h = Histogram::live(Arc::new(HistogramCore::new()));
+        h.record_ns(1);
+        let top = bucket_bound(HISTOGRAM_BUCKETS - 1);
+        h.record_ns(top);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1, "exact bound is finite");
+        assert_eq!(s.quantile(1.0), top);
+        // The smallest valid quantile reports the bottom bucket.
+        assert_eq!(s.quantile(f64::MIN_POSITIVE), bucket_bound(0));
+    }
+
+    #[test]
     fn saturating_cast_boundaries() {
         // Negative and NaN inputs clamp to zero rather than wrapping.
         assert_eq!(saturating_f64_to_u64(-1.0), 0);
@@ -606,6 +670,22 @@ mod tests {
         assert_eq!(fmt_ns(1_500), "1.50µs");
         assert_eq!(fmt_ns(2_500_000), "2.50ms");
         assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+
+    #[test]
+    fn fmt_ns_unit_boundaries() {
+        // Each unit switches exactly at its power of 1000.
+        assert_eq!(fmt_ns(1_000), "1.00µs");
+        assert_eq!(fmt_ns(999_999), "1000.00µs", "stays µs below the cutover");
+        assert_eq!(fmt_ns(1_000_000), "1.00ms");
+        assert_eq!(
+            fmt_ns(999_999_999),
+            "1000.00ms",
+            "stays ms below the cutover"
+        );
+        assert_eq!(fmt_ns(1_000_000_000), "1.00s");
+        // The extreme top end still formats (as seconds).
+        assert!(fmt_ns(u64::MAX).ends_with('s'));
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! topped up between watermarks, while several application threads file
 //! and collect randomness requests concurrently.
 //!
+//! The engine runs with a flight recorder attached, so alongside the
+//! aggregate metrics every request leaves a trace: client-side spans
+//! nest over the service's internal ones, and the run ends by printing
+//! the recorder's slowest-trace table.
+//!
 //! ```sh
 //! cargo run --release --example engine_service
 //! ```
@@ -16,7 +21,7 @@ use d_range::drange::{
     RandomnessService, RngCellCatalog, ServiceConfig,
 };
 use d_range::memctrl::MemoryController;
-use d_range::telemetry::{MetricsRegistry, Reporter};
+use d_range::telemetry::{FlightRecorder, MetricsRegistry, Reporter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One profiling + identification pass; the catalog is valid for
@@ -50,10 +55,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         2,
         Some(&registry),
     )?;
-    let service = RandomnessService::with_sources_telemetry(
+    // The flight recorder turns the span instrumentation live: worker
+    // batches and client requests land in its ring buffer, and the
+    // drop/sampling counters surface as drange_trace_* series.
+    let recorder = FlightRecorder::new();
+    recorder.attach_metrics(&registry);
+    let service = RandomnessService::with_sources_traced(
         sources,
         ServiceConfig::default(),
         Some(&registry),
+        recorder.tracer(),
     )?;
 
     // A background reporter logs a one-line summary while clients run.
@@ -62,11 +73,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     // Four application threads file and collect requests concurrently.
+    // Each round opens a client-side root span; the service's own
+    // service.request / service.wait spans nest under it, giving each
+    // round a complete client-to-engine trace.
     std::thread::scope(|scope| {
         for client in 0..4usize {
             let service = &service;
+            let tracer = service.tracer().clone();
             scope.spawn(move || {
                 for round in 0..3usize {
+                    let mut span = tracer.span("client.round");
+                    span.attr_u64("client", client as u64);
+                    span.attr_u64("round", round as u64);
                     let len = 16 + 8 * client + round;
                     let id = service.request(len).expect("request");
                     let bytes = service.wait_receive(id).expect("receive");
@@ -103,6 +121,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  aggregate : {:.1} Mb/s of device time across channels",
         stats.aggregate_device_bps() / 1e6
     );
+
+    let trace_stats = recorder.stats();
+    println!(
+        "\nflight recorder: {} spans kept ({} dropped); slowest traces:",
+        trace_stats.recorded_spans, trace_stats.dropped_spans
+    );
+    print!("{}", recorder.render_slow_table());
 
     println!("\nPrometheus exposition of the full metric set:\n");
     print!("{}", registry.render_prometheus());

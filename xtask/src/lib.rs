@@ -1,4 +1,9 @@
-//! Workspace automation: `cargo xtask lint`.
+//! Workspace automation: `cargo xtask lint` and `cargo xtask
+//! check-trace`.
+//!
+//! `check-trace` validates Chrome trace-event JSON captured from the
+//! server's `GET /debug/trace` endpoint (see [`tracecheck`]); CI's
+//! server-smoke job pipes a live capture through it.
 //!
 //! A dependency-free, token-level lint pass enforcing the domain rules
 //! the compiler cannot see (see [`rules`] for the rule set and
@@ -13,6 +18,7 @@
 pub mod lexer;
 pub mod policy;
 pub mod rules;
+pub mod tracecheck;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -25,6 +31,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> i32 {
     let args: Vec<String> = args.into_iter().collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_command(&args[1..]),
+        Some("check-trace") => check_trace_command(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             0
@@ -41,7 +48,45 @@ usage: cargo xtask <command>
 
 commands:
   lint [--root DIR]   run the domain lint pass over crates/*/src
-                      (policy: xtask/lint_policy.toml)";
+                      (policy: xtask/lint_policy.toml)
+  check-trace [FILE]  validate Chrome trace-event JSON (from FILE, or
+                      stdin when FILE is `-` or omitted) as exported
+                      by GET /debug/trace";
+
+fn check_trace_command(args: &[String]) -> i32 {
+    let input = match args {
+        [] => read_stdin(),
+        [path] if path == "-" => read_stdin(),
+        [path] => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
+        _ => Err("check-trace takes at most one FILE argument".into()),
+    };
+    let input = match input {
+        Ok(input) => input,
+        Err(e) => {
+            eprintln!("xtask check-trace: {e}");
+            return 2;
+        }
+    };
+    match tracecheck::check_trace(&input) {
+        Ok(summary) => {
+            eprintln!("xtask check-trace: ok — {summary}");
+            0
+        }
+        Err(e) => {
+            eprintln!("xtask check-trace: {e}");
+            1
+        }
+    }
+}
+
+fn read_stdin() -> Result<String, String> {
+    use std::io::Read as _;
+    let mut buf = String::new();
+    std::io::stdin()
+        .read_to_string(&mut buf)
+        .map_err(|e| format!("cannot read stdin: {e}"))?;
+    Ok(buf)
+}
 
 fn lint_command(args: &[String]) -> i32 {
     let mut root = PathBuf::from(".");
