@@ -42,18 +42,21 @@ impl CounterCell {
 
     /// Adds `n` events to the tally.
     pub fn add(&self, n: u64) {
+        // xtask:allow(atomics-policy) -- feeds the conservation invariant; per-batch frequency makes SeqCst free
         self.0.fetch_add(n, Ordering::SeqCst);
     }
 
     /// Overwrites the tally with an externally tracked total (used for
     /// cumulative readings the source reports, e.g. device time).
     pub fn set(&self, total: u64) {
+        // xtask:allow(atomics-policy) -- cumulative totals must not appear to run backwards between snapshots
         self.0.store(total, Ordering::SeqCst);
     }
 
     /// Current tally.
     #[must_use]
     pub fn get(&self) -> u64 {
+        // xtask:allow(atomics-policy) -- stats snapshots cross-check counters against each other; one total order keeps them coherent
         self.0.load(Ordering::SeqCst)
     }
 }
@@ -73,12 +76,14 @@ impl Flag {
 
     /// Raises the flag (idempotent).
     pub fn raise(&self) {
+        // xtask:allow(atomics-policy) -- shutdown latch: must not reorder after the condvar notify that follows it
         self.0.store(true, Ordering::SeqCst);
     }
 
     /// Whether the flag has been raised.
     #[must_use]
     pub fn is_raised(&self) -> bool {
+        // xtask:allow(atomics-policy) -- checked under the pool mutex as a park gate; SeqCst keeps loom and std equivalent
         self.0.load(Ordering::SeqCst)
     }
 }
@@ -97,6 +102,7 @@ impl SequenceCounter {
 
     /// Claims and returns the next identifier.
     pub fn next(&self) -> u64 {
+        // xtask:allow(atomics-policy) -- ids must be strictly increasing across threads for trace correlation
         self.0.fetch_add(1, Ordering::SeqCst)
     }
 }
@@ -121,6 +127,7 @@ impl LiveCount {
         // wrapping to usize::MAX and wedging `all_retired`.
         let prev = self
             .0
+            // xtask:allow(atomics-policy) -- retirement orders against the pool-waiter wakeup; loom explores this handshake
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
                 Some(v.saturating_sub(1))
             })
@@ -131,6 +138,7 @@ impl LiveCount {
     /// Number of still-live members.
     #[must_use]
     pub fn live(&self) -> usize {
+        // xtask:allow(atomics-policy) -- "no bits ever again" verdict: a stale read here would end a blocking request early
         self.0.load(Ordering::SeqCst)
     }
 
@@ -159,6 +167,7 @@ impl BitLedger {
     /// Records `bits` entering flight (screened and handed to the
     /// channel).
     pub fn publish(&self, bits: u64) {
+        // xtask:allow(atomics-policy) -- in-flight bits must be visible before the channel send they account for
         self.0.fetch_add(bits, Ordering::SeqCst);
     }
 
@@ -172,6 +181,7 @@ impl BitLedger {
     pub fn retire(&self, bits: u64) {
         let _ = self
             .0
+            // xtask:allow(atomics-policy) -- ledger drain participates in the shutdown handshake's total order (loom_engine.rs)
             .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
                 Some(v.saturating_sub(bits))
             });
@@ -180,6 +190,7 @@ impl BitLedger {
     /// Bits currently in flight.
     #[must_use]
     pub fn outstanding(&self) -> u64 {
+        // xtask:allow(atomics-policy) -- conservation check: must observe every publish/retire already ordered before shutdown
         self.0.load(Ordering::SeqCst)
     }
 }

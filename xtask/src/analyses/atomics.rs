@@ -1,0 +1,81 @@
+//! Atomics-ordering policy: every `Ordering::*` use must match the
+//! per-file allow-table in `lint_policy.toml`.
+//!
+//! - `Relaxed` is legal only in files listed under `[atomics-policy]
+//!   relaxed` — pure counters/gauges where no other memory depends on
+//!   the value.
+//! - `Acquire` / `Release` / `AcqRel` are legal only in files listed
+//!   under `[atomics-policy] acquire-release` — documented
+//!   publication protocols.
+//! - `SeqCst` is never blanket-legal: each site needs an inline
+//!   `// xtask:allow(atomics-policy) -- rationale` waiver, so every
+//!   sequential-consistency dependency in the tree is written down.
+//!
+//! This pass scans the whole token stream (not just function bodies):
+//! orderings in statics, consts, and default-parameter positions all
+//! count. Only the five atomic variants match — `cmp::Ordering`'s
+//! `Less`/`Equal`/`Greater` never collide.
+
+use crate::parse::{ParsedFile, ATOMIC_ORDERINGS};
+use crate::policy::Policy;
+use crate::rules::Diagnostic;
+
+/// Runs the atomics-ordering policy over every parsed file.
+pub fn check(ws: &crate::symbols::Workspace<'_>, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    for file in &ws.files {
+        check_file(file, policy, out);
+    }
+}
+
+fn check_file(file: &ParsedFile<'_>, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    let relpath = file.relpath.as_str();
+    let relaxed_ok = policy.matches("atomics-policy", "relaxed", relpath);
+    let acqrel_ok = policy.matches("atomics-policy", "acquire-release", relpath);
+    for (i, t) in file.toks.iter().enumerate() {
+        if !t.is_ident("Ordering")
+            || file.mask.get(i).copied().unwrap_or(false)
+            || !file.toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            || !file.toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            continue;
+        }
+        let Some(variant) = file
+            .toks
+            .get(i + 3)
+            .filter(|v| ATOMIC_ORDERINGS.contains(&v.text))
+        else {
+            continue;
+        };
+        let allowed = match variant.text {
+            "Relaxed" => relaxed_ok,
+            "Acquire" | "Release" | "AcqRel" => acqrel_ok,
+            _ => false, // SeqCst: per-site waiver only
+        };
+        if allowed {
+            continue;
+        }
+        let remedy = match variant.text {
+            "Relaxed" => {
+                "list the file under [atomics-policy] relaxed in \
+                 xtask/lint_policy.toml if it only carries counters"
+            }
+            "SeqCst" => {
+                "SeqCst needs a per-site rationale: \
+                 `// xtask:allow(atomics-policy) -- why seq-cst is required`"
+            }
+            _ => {
+                "list the file under [atomics-policy] acquire-release in \
+                 xtask/lint_policy.toml with the protocol documented"
+            }
+        };
+        out.push(Diagnostic {
+            file: relpath.to_string(),
+            line: variant.line,
+            rule: "atomics-policy",
+            message: format!(
+                "`Ordering::{}` not covered by the atomics policy; {remedy}",
+                variant.text
+            ),
+        });
+    }
+}

@@ -1,0 +1,177 @@
+//! Entropy-flow taint: no publication of harvested bits without a
+//! health-test feed on the path.
+//!
+//! The model is call-graph-level, not value-level: a function
+//! *violates* when it can transitively reach both a **source** call
+//! (raw-bit harvesting: `sample_pass`, `HarvestSource::harvest_batch`,
+//! …) and a **sink** call (publication: `BitQueue::push_block` into the
+//! screened pool, `BatchChannel::{send,try_send}`) while reaching no
+//! **sanitizer** call (`HealthMonitor::feed_all` /
+//! `feed_all_counted` / `feed_bits`). That over-approximates real data
+//! flow — any reachable feed call pardons the whole function — but it
+//! is exactly the property the pipeline relies on: the only functions
+//! that both harvest and publish are the worker loops, and those must
+//! feed the health monitor in between. A new code path that harvests
+//! and publishes without ever touching the monitor cannot satisfy the
+//! predicate and is flagged.
+//!
+//! Findings are reported at the innermost violating function (callers
+//! that only inherit the violation from a callee are suppressed), on
+//! the line of the first sink-contributing call.
+//!
+//! The name lists can be overridden per-workspace via `[entropy-taint]`
+//! `sources` / `sinks` / `sanitizers` in `lint_policy.toml`.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::callgraph::CallGraph;
+use crate::parse::{self, EventKind};
+use crate::policy::Policy;
+use crate::rules::Diagnostic;
+use crate::symbols::{FnId, Workspace};
+
+const DEFAULT_SOURCES: &[&str] = &[
+    "sample_pass",
+    "harvest_batch",
+    "harvest_block",
+    "next_batch",
+];
+const DEFAULT_SINKS: &[&str] = &["push_block", "send", "try_send"];
+const DEFAULT_SANITIZERS: &[&str] = &["feed_all", "feed_all_counted", "feed_bits"];
+
+fn configured(policy: &Policy, key: &str, default: &[&str]) -> Vec<String> {
+    let given = policy.paths("entropy-taint", key);
+    if given.is_empty() {
+        default.iter().map(|s| (*s).to_string()).collect()
+    } else {
+        given.to_vec()
+    }
+}
+
+/// Runs the taint analysis over the workspace.
+pub fn check(ws: &Workspace<'_>, graph: &CallGraph, policy: &Policy, out: &mut Vec<Diagnostic>) {
+    let sources = configured(policy, "sources", DEFAULT_SOURCES);
+    let sinks = configured(policy, "sinks", DEFAULT_SINKS);
+    let sanitizers = configured(policy, "sanitizers", DEFAULT_SANITIZERS);
+
+    // Per-item call sites: (name, line), body order.
+    let mut calls: HashMap<FnId, Vec<(String, u32)>> = HashMap::new();
+    for id in ws.all_ids() {
+        let sites = parse::body_events(ws.file(id), ws.item(id))
+            .into_iter()
+            .filter_map(|ev| match ev.kind {
+                EventKind::Call(c) => Some((c.name.to_string(), ev.line)),
+                _ => None,
+            })
+            .collect();
+        calls.insert(id, sites);
+    }
+    let body_hits = |id: FnId, names: &[String]| -> bool {
+        !ws.item(id).test && calls[&id].iter().any(|(n, _)| names.iter().any(|m| m == n))
+    };
+
+    let can_src = graph.reaches(ws, |id| body_hits(id, &sources));
+    let can_sink = graph.reaches(ws, |id| body_hits(id, &sinks));
+    let can_san = graph.reaches(ws, |id| body_hits(id, &sanitizers));
+
+    let violators: HashSet<FnId> = ws
+        .all_ids()
+        .filter(|id| {
+            !ws.item(*id).test
+                && can_src.contains(id)
+                && can_sink.contains(id)
+                && !can_san.contains(id)
+        })
+        .collect();
+
+    let mut reported: Vec<FnId> = violators
+        .iter()
+        .copied()
+        .filter(|&id| {
+            // Innermost-only: skip when a callee already carries it.
+            !graph
+                .callees_of(id)
+                .iter()
+                .any(|callee| violators.contains(callee))
+        })
+        .collect();
+    reported.sort_unstable();
+
+    for id in reported {
+        let item = ws.item(id);
+        let src_names = reachable_names(graph, &calls, id, &sources);
+        let sink_names = reachable_names(graph, &calls, id, &sinks);
+        let line = sink_line(ws, &calls, id, &sinks, &can_sink).unwrap_or(item.line);
+        out.push(Diagnostic {
+            file: ws.path(id).to_string(),
+            line,
+            rule: "entropy-taint",
+            message: format!(
+                "`{}` can publish harvested bits (source {} -> sink {}) without a \
+                 health-test feed on the path; call HealthMonitor::{} before \
+                 publication, or waive with `// xtask:allow(entropy-taint) -- reason`",
+                item.name,
+                join_names(&src_names),
+                join_names(&sink_names),
+                sanitizers.join("/")
+            ),
+        });
+    }
+}
+
+/// Which of `names` appear as call sites in `id`'s downward closure.
+fn reachable_names(
+    graph: &CallGraph,
+    calls: &HashMap<FnId, Vec<(String, u32)>>,
+    id: FnId,
+    names: &[String],
+) -> BTreeSet<String> {
+    let mut found = BTreeSet::new();
+    let mut seen = HashSet::new();
+    let mut work = vec![id];
+    while let Some(f) = work.pop() {
+        if !seen.insert(f) {
+            continue;
+        }
+        for (n, _) in &calls[&f] {
+            if names.iter().any(|m| m == n) {
+                found.insert(n.clone());
+            }
+        }
+        work.extend(graph.callees_of(f));
+    }
+    found
+}
+
+/// The line of the first call in `id`'s body that contributes to the
+/// sink reach: a direct sink call, or a call resolving to an item that
+/// can reach a sink.
+fn sink_line(
+    ws: &Workspace<'_>,
+    calls: &HashMap<FnId, Vec<(String, u32)>>,
+    id: FnId,
+    sinks: &[String],
+    can_sink: &HashSet<FnId>,
+) -> Option<u32> {
+    for (name, line) in &calls[&id] {
+        if sinks.iter().any(|s| s == name) {
+            return Some(*line);
+        }
+        if ws.lookup(name).iter().any(|t| can_sink.contains(t)) {
+            return Some(*line);
+        }
+    }
+    None
+}
+
+fn join_names(names: &BTreeSet<String>) -> String {
+    if names.is_empty() {
+        "<indirect>".to_string()
+    } else {
+        names
+            .iter()
+            .map(|n| format!("`{n}`"))
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+}

@@ -1,0 +1,183 @@
+//! Diagnostic output formats shared by `lint` and `analyze`.
+//!
+//! Three formats, selected with `--format`:
+//!
+//! - `text` (default): `file:line: [rule] message`, one per line — the
+//!   historical human-oriented output.
+//! - `json`: a self-contained array of `{file, line, rule, message}`
+//!   objects for tooling (the nightly workflow publishes this as an
+//!   artifact). Hand-rolled emission, matching the crate's no-deps
+//!   rule; escaping covers everything the diagnostics can contain.
+//! - `github`: GitHub Actions workflow commands
+//!   (`::error file=…,line=…,title=…::message`) so findings surface as
+//!   inline PR annotations when a CI job runs with this format.
+
+use crate::rules::Diagnostic;
+
+/// Output format for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// `file:line: [rule] message` lines.
+    #[default]
+    Text,
+    /// A JSON array of finding objects.
+    Json,
+    /// GitHub Actions `::error` workflow commands.
+    Github,
+}
+
+impl Format {
+    /// Parses a `--format` argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the valid formats.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            "github" => Ok(Format::Github),
+            other => Err(format!(
+                "unknown format `{other}` (expected text, json, or github)"
+            )),
+        }
+    }
+}
+
+/// Renders `diags` in the requested format. The result is a complete
+/// document (including a trailing newline when nonempty) ready for
+/// stdout.
+pub fn render(diags: &[Diagnostic], format: Format) -> String {
+    match format {
+        Format::Text => {
+            let mut out = String::new();
+            for d in diags {
+                out.push_str(&format!(
+                    "{}:{}: [{}] {}\n",
+                    d.file, d.line, d.rule, d.message
+                ));
+            }
+            out
+        }
+        Format::Json => render_json(diags),
+        Format::Github => {
+            let mut out = String::new();
+            for d in diags {
+                out.push_str(&format!(
+                    "::error file={},line={},title={}::{}\n",
+                    escape_property(&d.file),
+                    d.line,
+                    escape_property(&format!("xtask {}", d.rule)),
+                    escape_data(&d.message)
+                ));
+            }
+            out
+        }
+    }
+}
+
+fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&d.file),
+            d.line,
+            json_string(d.rule),
+            json_string(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for JSON (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Escapes the message part of a workflow command.
+fn escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property value (file, title).
+fn escape_property(s: &str) -> String {
+    escape_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                file: "crates/a/src/lib.rs".into(),
+                line: 3,
+                rule: "no-panic",
+                message: "uses \"quotes\" and\nnewlines, 100%".into(),
+            },
+            Diagnostic {
+                file: "crates/b/src/x.rs".into(),
+                line: 9,
+                rule: "lock-order",
+                message: "cycle".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_format_matches_historical_lines() {
+        let out = render(&sample()[1..], Format::Text);
+        assert_eq!(out, "crates/b/src/x.rs:9: [lock-order] cycle\n");
+    }
+
+    #[test]
+    fn json_is_escaped_and_well_formed() {
+        let out = render(&sample(), Format::Json);
+        assert!(out.contains("\\\"quotes\\\""), "quote escaping: {out}");
+        assert!(out.contains("and\\nnewlines"), "newline escaping: {out}");
+        assert!(out.starts_with('[') && out.ends_with("]\n"));
+        // No raw control characters may survive into the document.
+        assert!(!out
+            .chars()
+            .any(|c| c == '\r' || (c != '\n' && (c as u32) < 0x20)));
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        assert_eq!(render(&[], Format::Json), "[]\n");
+    }
+
+    #[test]
+    fn github_annotations_escape_commands() {
+        let out = render(&sample(), Format::Github);
+        assert!(out.starts_with("::error file=crates/a/src/lib.rs,line=3,"));
+        assert!(out.contains("title=xtask no-panic::"));
+        assert!(out.contains("and%0Anewlines"), "newline → %0A: {out}");
+        assert!(out.contains("100%25"), "percent → %25: {out}");
+    }
+}

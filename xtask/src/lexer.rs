@@ -62,24 +62,6 @@ pub fn scan(src: &str) -> Vec<Token<'_>> {
     let mut i = 0usize;
     let mut line = 1u32;
 
-    // Advances `idx` past a quoted literal body (after the opening
-    // quote), honoring backslash escapes, and returns the new index
-    // (past the closing quote) plus newlines seen.
-    fn skip_quoted(bytes: &[u8], mut idx: usize, quote: u8, line: &mut u32) -> usize {
-        while idx < bytes.len() {
-            match bytes[idx] {
-                b'\\' => idx += 2,
-                b'\n' => {
-                    *line += 1;
-                    idx += 1;
-                }
-                b if b == quote => return idx + 1,
-                _ => idx += 1,
-            }
-        }
-        idx
-    }
-
     while i < bytes.len() {
         let b = bytes[i];
         match b {
@@ -179,6 +161,31 @@ pub fn scan(src: &str) -> Vec<Token<'_>> {
     toks
 }
 
+/// Advances `idx` past a quoted literal body (after the opening
+/// quote), honoring backslash escapes, and returns the new index
+/// (past the closing quote). Newlines — including one consumed as the
+/// escaped character of a `\<newline>` line continuation — bump
+/// `line`, so tokens after a multi-line string keep correct lines.
+fn skip_quoted(bytes: &[u8], mut idx: usize, quote: u8, line: &mut u32) -> usize {
+    while idx < bytes.len() {
+        match bytes[idx] {
+            b'\\' => {
+                if bytes.get(idx + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                idx += 2;
+            }
+            b'\n' => {
+                *line += 1;
+                idx += 1;
+            }
+            b if b == quote => return idx + 1,
+            _ => idx += 1,
+        }
+    }
+    idx
+}
+
 /// Whether position `i` (at `r` or `b`) starts a raw string, byte
 /// string, or byte char literal rather than an identifier.
 fn looks_like_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
@@ -220,19 +227,7 @@ fn skip_raw_or_byte_literal(bytes: &[u8], i: usize, line: &mut u32) -> usize {
     };
     if !is_raw {
         let quote = bytes[fence_at];
-        let mut idx = fence_at + 1;
-        while idx < bytes.len() {
-            match bytes[idx] {
-                b'\\' => idx += 2,
-                b'\n' => {
-                    *line += 1;
-                    idx += 1;
-                }
-                b if b == quote => return idx + 1,
-                _ => idx += 1,
-            }
-        }
-        return idx;
+        return skip_quoted(bytes, fence_at + 1, quote, line);
     }
     let hashes = raw_fence_len(bytes, fence_at).unwrap_or(0);
     let mut idx = fence_at + hashes + 1; // past the opening quote
@@ -320,4 +315,110 @@ pub fn test_mask(toks: &[Token<'_>]) -> Vec<bool> {
         i = end;
     }
     mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(&str, u32)> {
+        scan(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text, t.line))
+            .collect()
+    }
+
+    #[test]
+    fn byte_string_contents_are_not_code() {
+        // `unwrap` and `//` inside the byte string must not register as
+        // a method call or start a comment that swallows `after`.
+        let src = "let x = b\"unwrap() // not a comment\"; after();\n";
+        let ids = idents(src);
+        assert!(ids.iter().any(|(t, _)| *t == "after"));
+        assert!(!ids.iter().any(|(t, _)| *t == "unwrap"));
+    }
+
+    #[test]
+    fn byte_char_and_escaped_byte_char_skip_cleanly() {
+        let ids = idents("let a = b'x'; let b = b'\\''; done();\n");
+        assert!(ids.iter().any(|(t, _)| *t == "done"));
+        assert!(!ids.iter().any(|(t, _)| *t == "x"));
+    }
+
+    #[test]
+    fn raw_byte_string_with_fences_and_inner_quotes() {
+        // The `"#` inside the 2-hash fence must not close the literal.
+        let src = "let x = br##\"quote \"# unwrap() \"##; tail();\n";
+        let ids = idents(src);
+        assert!(ids.iter().any(|(t, _)| *t == "tail"));
+        assert!(!ids.iter().any(|(t, _)| *t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_byte_string_counts_interior_newlines() {
+        let src = "let x = br#\"a\nb\nc\"#;\nmarker();\n";
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().find(|(t, _)| *t == "marker").map(|(_, l)| *l),
+            Some(4),
+            "line numbers after a multi-line raw byte string"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* outer /* inner */ still comment */ real();\n/* /*/*x*/*/ */ deep();\n";
+        let ids = idents(src);
+        assert_eq!(
+            ids,
+            vec![("real", 1), ("deep", 2)],
+            "nested block comments must end only at the matching close"
+        );
+    }
+
+    #[test]
+    fn block_comment_newlines_keep_line_numbers() {
+        let src = "/* a\n * b\n */\nhere();\n";
+        assert_eq!(idents(src), vec![("here", 4)]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // A `\<newline>` line continuation consumes the newline as the
+        // escaped character; the next line's tokens must still land on
+        // line 2 (this was off by one per continuation).
+        let src = "let s = \"a\\\nb\"; two();\nthree();\n";
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().find(|(t, _)| *t == "two").map(|(_, l)| *l),
+            Some(2)
+        );
+        assert_eq!(
+            ids.iter().find(|(t, _)| *t == "three").map(|(_, l)| *l),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn escaped_newline_in_byte_string_keeps_line_numbers() {
+        let src = "let s = b\"a\\\nb\"; after();\nnext();\n";
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().find(|(t, _)| *t == "next").map(|(_, l)| *l),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn identifiers_ending_in_b_or_r_are_not_literals() {
+        // `curb "x"` / `attr "y"`: the trailing b/r belongs to the
+        // identifier, not a byte/raw-string prefix.
+        let ids = idents("let curb = 1; let attr = 2; b_var();\nr();\n");
+        let names: Vec<&str> = ids.iter().map(|(t, _)| *t).collect();
+        assert!(names.contains(&"curb"));
+        assert!(names.contains(&"attr"));
+        assert!(names.contains(&"b_var"));
+        assert!(names.contains(&"r"));
+    }
 }

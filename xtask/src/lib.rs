@@ -1,36 +1,50 @@
-//! Workspace automation: `cargo xtask lint` and `cargo xtask
-//! check-trace`.
+//! Workspace automation: `cargo xtask lint`, `cargo xtask analyze`,
+//! and `cargo xtask check-trace`.
 //!
 //! `check-trace` validates Chrome trace-event JSON captured from the
 //! server's `GET /debug/trace` endpoint (see [`tracecheck`]); CI's
 //! server-smoke job pipes a live capture through it.
 //!
-//! A dependency-free, token-level lint pass enforcing the domain rules
-//! the compiler cannot see (see [`rules`] for the rule set and
-//! `xtask/lint_policy.toml` for the allowlists). Scope: library code
-//! under `crates/*/src/`, excluding binaries (`src/bin/`, `src/main.rs`)
-//! and anything behind `#[cfg(test)]` / `#[test]`.
+//! `lint` is a dependency-free, token-level pass enforcing the domain
+//! rules the compiler cannot see (see [`rules`] for the rule set and
+//! `xtask/lint_policy.toml` for the allowlists). `analyze` builds an
+//! item-level front-end over the same lexer ([`parse`], [`symbols`],
+//! [`callgraph`]) and runs whole-workspace semantic checks: entropy
+//! taint, lock ordering, and the atomics-ordering policy (see
+//! [`analyses`]). Scope for both: library code under `crates/*/src/`,
+//! excluding binaries (`src/bin/`, `src/main.rs`) and anything behind
+//! `#[cfg(test)]` / `#[test]`.
 //!
 //! Individual findings can be waived at the call site with
 //! `// xtask:allow(<rule>) -- <reason>` on the same line or the line
-//! above; a waiver without a reason is itself an error.
+//! above; a waiver without a reason is itself an error. Each pass
+//! applies (and audits for staleness) only waivers naming its own
+//! rules, so a lint run never flags an analyze waiver as unused and
+//! vice versa.
 
+pub mod analyses;
+pub mod callgraph;
+pub mod diag;
 pub mod lexer;
+pub mod parse;
 pub mod policy;
 pub mod rules;
+pub mod symbols;
 pub mod tracecheck;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
+pub use diag::Format;
 pub use policy::Policy;
-pub use rules::{Diagnostic, RULE_NAMES};
+pub use rules::{Diagnostic, ANALYZE_RULE_NAMES, LINT_RULE_NAMES, RULE_NAMES};
 
 /// Entry point for the `xtask` binary. Returns the process exit code.
 pub fn run<I: IntoIterator<Item = String>>(args: I) -> i32 {
     let args: Vec<String> = args.into_iter().collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_command(&args[1..]),
+        Some("analyze") => analyze_command(&args[1..]),
         Some("check-trace") => check_trace_command(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
@@ -47,8 +61,12 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  lint [--root DIR]   run the domain lint pass over crates/*/src
-                      (policy: xtask/lint_policy.toml)
+  lint [--root DIR] [--format text|json|github]
+                      run the token-level domain lint pass over
+                      crates/*/src (policy: xtask/lint_policy.toml)
+  analyze [--root DIR] [--format text|json|github]
+                      run the cross-crate semantic analyses (entropy
+                      taint, lock order, atomics-ordering policy)
   check-trace [FILE]  validate Chrome trace-event JSON (from FILE, or
                       stdin when FILE is `-` or omitted) as exported
                       by GET /debug/trace";
@@ -89,51 +107,148 @@ fn read_stdin() -> Result<String, String> {
 }
 
 fn lint_command(args: &[String]) -> i32 {
+    run_pass("lint", args, lint_workspace)
+}
+
+fn analyze_command(args: &[String]) -> i32 {
+    run_pass("analyze", args, analyze_workspace)
+}
+
+/// Shared command plumbing for `lint` and `analyze`: `--root` /
+/// `--format` parsing, rendering, and exit-code mapping (0 clean,
+/// 1 findings, 2 usage or I/O error).
+fn run_pass(
+    name: &str,
+    args: &[String],
+    pass: fn(&Path) -> Result<Vec<Diagnostic>, String>,
+) -> i32 {
     let mut root = PathBuf::from(".");
+    let mut format = Format::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--root" => match it.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
-                    eprintln!("xtask lint: --root needs a directory");
+                    eprintln!("xtask {name}: --root needs a directory");
+                    return 2;
+                }
+            },
+            "--format" => match it.next().map(|f| Format::parse(f)) {
+                Some(Ok(f)) => format = f,
+                Some(Err(e)) => {
+                    eprintln!("xtask {name}: {e}");
+                    return 2;
+                }
+                None => {
+                    eprintln!("xtask {name}: --format needs a value (text, json, github)");
                     return 2;
                 }
             },
             other => {
-                eprintln!("xtask lint: unknown argument `{other}`");
+                eprintln!("xtask {name}: unknown argument `{other}`");
                 return 2;
             }
         }
     }
-    match lint_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            eprintln!("xtask lint: clean");
-            0
-        }
+    match pass(&root) {
         Ok(diags) => {
-            for d in &diags {
-                println!("{}:{}: [{}] {}", d.file, d.line, d.rule, d.message);
+            let rendered = diag::render(&diags, format);
+            if !rendered.is_empty() {
+                print!("{rendered}");
             }
-            eprintln!("xtask lint: {} finding(s)", diags.len());
-            1
+            if diags.is_empty() {
+                eprintln!("xtask {name}: clean");
+                0
+            } else {
+                eprintln!("xtask {name}: {} finding(s)", diags.len());
+                1
+            }
         }
         Err(e) => {
-            eprintln!("xtask lint: {e}");
+            eprintln!("xtask {name}: {e}");
             2
         }
     }
 }
 
 /// Lints every in-scope file under `root`, returning the surviving
-/// diagnostics (waived findings removed, bad waivers added).
+/// diagnostics (waived findings removed, bad waivers added), plus an
+/// audit of the policy file itself: every path listed in
+/// `lint_policy.toml` must still exist on disk, or the entry has
+/// rotted and silently allows nothing (or will silently allow a future
+/// file nobody reviewed).
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let (policy, policy_text) = load_policy(root)?;
+
+    let mut diags = Vec::new();
+    for (relpath, source) in load_workspace_sources(root)? {
+        diags.extend(lint_source(&relpath, &source, &policy));
+    }
+
+    for (key, path) in policy.all_entries() {
+        if !root.join(path).exists() {
+            diags.push(Diagnostic {
+                file: "xtask/lint_policy.toml".to_string(),
+                line: policy_entry_line(&policy_text, path),
+                rule: "stale-policy-path",
+                message: format!(
+                    "[{key}] lists `{path}`, which no longer exists; remove the \
+                     entry or fix the path"
+                ),
+            });
+        }
+    }
+    Ok(diags)
+}
+
+/// Runs the semantic analyses over every in-scope file under `root`,
+/// returning the surviving diagnostics (waivers applied per analyze
+/// rule).
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let (policy, _) = load_policy(root)?;
+    let sources = load_workspace_sources(root)?;
+    Ok(analyze_source_set(&sources, &policy))
+}
+
+/// Analyzes a set of `(relpath, source)` files as one workspace and
+/// applies analyze-scoped waivers (pure; used by the fixture tests).
+pub fn analyze_source_set(sources: &[(String, String)], policy: &Policy) -> Vec<Diagnostic> {
+    let raw = analyses::analyze_sources(sources, policy);
+    let mut by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    for d in raw {
+        by_file.entry(d.file.clone()).or_default().push(d);
+    }
+    let mut out = Vec::new();
+    for (relpath, source) in sources {
+        let raw_for_file = by_file.remove(relpath.as_str()).unwrap_or_default();
+        out.extend(apply_waivers(
+            relpath,
+            source,
+            raw_for_file,
+            WaiverScope::Analyze,
+        ));
+    }
+    // Findings for files outside `sources` cannot happen (analyses only
+    // see parsed sources), but never drop a diagnostic on the floor.
+    out.extend(by_file.into_values().flatten());
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// Reads and parses `xtask/lint_policy.toml` under `root`.
+fn load_policy(root: &Path) -> Result<(Policy, String), String> {
     let policy_path = root.join("xtask/lint_policy.toml");
     let policy_text = std::fs::read_to_string(&policy_path)
         .map_err(|e| format!("cannot read {}: {e}", policy_path.display()))?;
     let policy =
         Policy::parse(&policy_text).map_err(|e| format!("{}: {e}", policy_path.display()))?;
+    Ok((policy, policy_text))
+}
 
+/// Collects every in-scope file under `root` with its contents, sorted
+/// by path.
+fn load_workspace_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let entries = std::fs::read_dir(&crates_dir)
@@ -147,7 +262,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     }
     files.sort();
 
-    let mut diags = Vec::new();
+    let mut sources = Vec::new();
     for file in &files {
         let source = std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
@@ -156,9 +271,22 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
             .unwrap_or(file)
             .to_string_lossy()
             .replace('\\', "/");
-        diags.extend(lint_source(&relpath, &source, &policy));
+        sources.push((relpath, source));
     }
-    Ok(diags)
+    Ok(sources)
+}
+
+/// The 1-based line on which a policy path literal appears (for
+/// stale-entry diagnostics); line 1 when not found (multi-line arrays
+/// aside, every entry is written as a quoted literal).
+fn policy_entry_line(policy_text: &str, path: &str) -> u32 {
+    let needle = format!("\"{path}\"");
+    for (idx, line) in policy_text.lines().enumerate() {
+        if line.contains(&needle) {
+            return idx as u32 + 1;
+        }
+    }
+    1
 }
 
 /// Lints one file's source text (pure; used by the fixture tests).
@@ -167,7 +295,7 @@ pub fn lint_source(relpath: &str, source: &str, policy: &Policy) -> Vec<Diagnost
     let mask = lexer::test_mask(&toks);
     let mut raw = Vec::new();
     rules::check_file(relpath, &toks, &mask, policy, &mut raw);
-    apply_waivers(relpath, source, raw)
+    apply_waivers(relpath, source, raw, WaiverScope::Lint)
 }
 
 /// In-scope: `.rs` files under a crate's `src/`, excluding binary
@@ -191,11 +319,43 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
+/// Which pass is applying waivers; each pass only registers (and
+/// audits staleness of) waivers naming its own rules, while syntax
+/// problems — malformed markers, unknown rules, missing reasons — are
+/// reported by the lint pass alone so they surface exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaiverScope {
+    /// `cargo xtask lint`: token-level rules.
+    Lint,
+    /// `cargo xtask analyze`: semantic rules.
+    Analyze,
+}
+
+impl WaiverScope {
+    fn rules(self) -> &'static [&'static str] {
+        match self {
+            WaiverScope::Lint => LINT_RULE_NAMES,
+            WaiverScope::Analyze => ANALYZE_RULE_NAMES,
+        }
+    }
+
+    /// Only the lint pass reports waiver-syntax problems.
+    fn audits_syntax(self) -> bool {
+        self == WaiverScope::Lint
+    }
+}
+
 /// Applies `// xtask:allow(<rule>) -- reason` waivers: a finding is
 /// waived by a matching comment on its own line or the line directly
 /// above. Waivers without a reason, naming an unknown rule, or waiving
-/// nothing are reported as findings themselves.
-fn apply_waivers(relpath: &str, source: &str, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+/// nothing are reported as findings themselves (syntax problems by the
+/// lint pass; staleness by whichever pass owns the named rule).
+fn apply_waivers(
+    relpath: &str,
+    source: &str,
+    raw: Vec<Diagnostic>,
+    scope: WaiverScope,
+) -> Vec<Diagnostic> {
     // (line, rule) → whether some finding actually used the waiver.
     let mut waivers: BTreeMap<(u32, String), bool> = BTreeMap::new();
     let mut out = Vec::new();
@@ -209,25 +369,29 @@ fn apply_waivers(relpath: &str, source: &str, raw: Vec<Diagnostic>) -> Vec<Diagn
         }
         let rest = &line[pos + "xtask:allow(".len()..];
         let Some(close) = rest.find(')') else {
-            out.push(Diagnostic {
-                file: relpath.to_string(),
-                line: lineno,
-                rule: "no-panic",
-                message: "malformed waiver: missing `)`".into(),
-            });
+            if scope.audits_syntax() {
+                out.push(Diagnostic {
+                    file: relpath.to_string(),
+                    line: lineno,
+                    rule: "no-panic",
+                    message: "malformed waiver: missing `)`".into(),
+                });
+            }
             continue;
         };
         let rule = rest[..close].trim().to_string();
         let Some(matched) = RULE_NAMES.iter().find(|r| **r == rule) else {
-            out.push(Diagnostic {
-                file: relpath.to_string(),
-                line: lineno,
-                rule: "no-panic",
-                message: format!(
-                    "waiver names unknown rule `{rule}` (known: {})",
-                    RULE_NAMES.join(", ")
-                ),
-            });
+            if scope.audits_syntax() {
+                out.push(Diagnostic {
+                    file: relpath.to_string(),
+                    line: lineno,
+                    rule: "no-panic",
+                    message: format!(
+                        "waiver names unknown rule `{rule}` (known: {})",
+                        RULE_NAMES.join(", ")
+                    ),
+                });
+            }
             continue;
         };
         let reason = rest[close + 1..].trim();
@@ -235,17 +399,23 @@ fn apply_waivers(relpath: &str, source: &str, raw: Vec<Diagnostic>) -> Vec<Diagn
             .strip_prefix("--")
             .is_some_and(|r| !r.trim().is_empty());
         if !reason_ok {
-            out.push(Diagnostic {
-                file: relpath.to_string(),
-                line: lineno,
-                rule: matched,
-                message: "waiver has no justification: write \
-                          `// xtask:allow(rule) -- why this site is safe`"
-                    .into(),
-            });
+            // A reason-less waiver never suppresses; only lint reports
+            // it so the finding appears once across both passes.
+            if scope.audits_syntax() {
+                out.push(Diagnostic {
+                    file: relpath.to_string(),
+                    line: lineno,
+                    rule: matched,
+                    message: "waiver has no justification: write \
+                              `// xtask:allow(rule) -- why this site is safe`"
+                        .into(),
+                });
+            }
             continue;
         }
-        waivers.insert((lineno, rule), false);
+        if scope.rules().contains(matched) {
+            waivers.insert((lineno, rule), false);
+        }
     }
 
     for d in raw {

@@ -35,6 +35,14 @@ impl Policy {
         })
     }
 
+    /// Every `(section.key, path)` pair in the policy, for auditing
+    /// entries against the filesystem.
+    pub fn all_entries(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries
+            .iter()
+            .flat_map(|(key, paths)| paths.iter().map(move |p| (key.as_str(), p.as_str())))
+    }
+
     /// Parses the policy text. Returns `Err` with a description of the
     /// first malformed line.
     pub fn parse(text: &str) -> Result<Self, String> {
@@ -141,6 +149,37 @@ hot = [
         assert!(p.matches("r", "allow", "crates/loomlite/src/sync.rs"));
         assert!(!p.matches("r", "allow", "crates/loomlite/src2/x.rs"));
         assert!(!p.matches("r", "allow", "crates/core/src/sync.rs.bak"));
+    }
+
+    #[test]
+    fn directory_entries_do_not_match_name_prefixed_siblings() {
+        // `crates/serve` must cover files *under* that directory, not a
+        // sibling directory whose name merely starts with it.
+        let p = Policy::parse("[r]\nallow = [\"crates/serve\"]\n").expect("valid policy");
+        assert!(p.matches("r", "allow", "crates/serve/src/lib.rs"));
+        assert!(p.matches("r", "allow", "crates/serve/src/nested/deep.rs"));
+        assert!(!p.matches("r", "allow", "crates/server/src/lib.rs"));
+        assert!(!p.matches("r", "allow", "crates/serve-next/src/lib.rs"));
+    }
+
+    #[test]
+    fn exact_file_entries_do_not_match_name_extensions() {
+        let p =
+            Policy::parse("[r]\nallow = [\"crates/core/src/engine.rs\"]\n").expect("valid policy");
+        assert!(p.matches("r", "allow", "crates/core/src/engine.rs"));
+        // A file whose name merely extends the entry is a different file.
+        assert!(!p.matches("r", "allow", "crates/core/src/engine.rs.orig"));
+        assert!(!p.matches("r", "allow", "crates/core/src/engine_ext.rs"));
+        // An entry never matches its own parent directory's siblings.
+        assert!(!p.matches("r", "allow", "crates/core/src"));
+    }
+
+    #[test]
+    fn all_entries_enumerates_every_section_key_path_pair() {
+        let p = Policy::parse("[a]\nx = [\"p1\", \"p2\"]\n\n[b]\ny = [\"p3\"]\n")
+            .expect("valid policy");
+        let got: Vec<(&str, &str)> = p.all_entries().collect();
+        assert_eq!(got, vec![("a.x", "p1"), ("a.x", "p2"), ("b.y", "p3")]);
     }
 
     #[test]

@@ -9,12 +9,37 @@
 use crate::lexer::Token;
 use crate::policy::Policy;
 
-/// Every rule the pass knows, with its waiver key.
+/// The token-level rules `cargo xtask lint` runs, with their waiver
+/// keys.
+pub const LINT_RULE_NAMES: &[&str] = &[
+    "no-panic",
+    "raw-atomics",
+    "timing-writes",
+    "instant-hot-path",
+];
+
+/// The semantic rules `cargo xtask analyze` runs (see
+/// [`crate::analyses`]), with their waiver keys.
+pub const ANALYZE_RULE_NAMES: &[&str] = &[
+    "entropy-taint",
+    "lock-order",
+    "condvar-loop",
+    "atomics-policy",
+];
+
+/// Every waivable rule either pass knows. Keep this the concatenation
+/// of [`LINT_RULE_NAMES`] and [`ANALYZE_RULE_NAMES`] (asserted by a
+/// unit test): waiver validation accepts any of them, while each pass
+/// only *applies* waivers for its own rules.
 pub const RULE_NAMES: &[&str] = &[
     "no-panic",
     "raw-atomics",
     "timing-writes",
     "instant-hot-path",
+    "entropy-taint",
+    "lock-order",
+    "condvar-loop",
+    "atomics-policy",
 ];
 
 /// One finding: where, which rule, and what to do about it.
@@ -244,5 +269,20 @@ fn instant_hot_path(relpath: &str, toks: &[Token<'_>], policy: &Policy, out: &mu
                     .to_string(),
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod rule_name_tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_is_the_union_of_both_passes() {
+        let union: Vec<&str> = LINT_RULE_NAMES
+            .iter()
+            .chain(ANALYZE_RULE_NAMES)
+            .copied()
+            .collect();
+        assert_eq!(RULE_NAMES, union.as_slice());
     }
 }

@@ -1,0 +1,26 @@
+//! Known-good fixture: the test policy grants this file `Relaxed` and
+//! Acquire/Release; the one `SeqCst` carries a per-site waiver; and
+//! `cmp::Ordering` paths are not atomics. Never compiled — parsed by
+//! `tests/analyze_fixtures.rs`.
+
+pub fn tally(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+pub fn observe(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}
+
+pub fn fence_total(flag: &AtomicBool) {
+    // xtask:allow(atomics-policy) -- fixture: the total order is the point
+    flag.store(true, Ordering::SeqCst);
+}
+
+/// `cmp::Ordering` variants must not be mistaken for atomic orderings.
+pub fn ascending(a: u32, b: u32) -> bool {
+    matches!(a.cmp(&b), Ordering::Less | Ordering::Equal)
+}

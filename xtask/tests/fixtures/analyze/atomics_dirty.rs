@@ -1,0 +1,14 @@
+//! Known-bad fixture: orderings the policy does not grant this file.
+//! Never compiled — parsed by `tests/analyze_fixtures.rs`.
+
+pub fn latch(flag: &AtomicBool) {
+    flag.store(true, Ordering::SeqCst); // FINDING atomics-policy
+}
+
+pub fn tally(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed) // FINDING atomics-policy
+}
+
+pub fn acquire_view(cell: &AtomicUsize) -> usize {
+    cell.load(Ordering::Acquire) // FINDING atomics-policy
+}

@@ -1,0 +1,60 @@
+//! Known-good fixture: a single global lock order, handoff via drop,
+//! scope-bounded guards, and loop-checked / predicate-form condvar
+//! waits. Never compiled — parsed by `tests/analyze_fixtures.rs`.
+
+pub struct Pair {
+    alpha: Mutex<bool>,
+    beta: Mutex<bool>,
+    ready: Condvar,
+}
+
+impl Pair {
+    /// The global order: `alpha` then `beta`, everywhere.
+    pub fn transfer(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    /// Same order from a second entry point: consistent, no cycle.
+    pub fn audit(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    /// Releases before taking the lock again: not a re-acquisition.
+    pub fn handoff(&self) {
+        let g = self.alpha.lock();
+        drop(g);
+        let g = self.alpha.lock();
+        drop(g);
+    }
+
+    /// Scope-bounded guard: the block close releases it.
+    pub fn scoped(&self) {
+        {
+            let g = self.alpha.lock();
+            let _ = g;
+        }
+        let g = self.alpha.lock();
+        drop(g);
+    }
+
+    /// The wait re-checks its predicate in a loop.
+    pub fn wait_ready(&self) {
+        let mut g = self.alpha.lock();
+        while !*g {
+            self.ready.wait(&mut g);
+        }
+        drop(g);
+    }
+
+    /// `wait_while` carries its own predicate loop and is exempt.
+    pub fn wait_ready_predicate(&self) {
+        let g = self.ready.wait_while(self.alpha.lock(), |ready| !*ready);
+        drop(g);
+    }
+}

@@ -1,0 +1,56 @@
+//! Known-bad fixture: inverted lock order, re-acquisition (direct and
+//! via a call), and a naked condvar wait. Never compiled — parsed by
+//! `tests/analyze_fixtures.rs`.
+
+pub struct Pair {
+    alpha: Mutex<bool>,
+    beta: Mutex<bool>,
+    gamma: Mutex<bool>,
+    ready: Condvar,
+}
+
+impl Pair {
+    /// One order: `alpha` then `beta`.
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    /// The same pair in the opposite order: closes the cycle.
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock(); // FINDING lock-order
+        drop(a);
+        drop(b);
+    }
+
+    /// Re-acquires a lock it already holds.
+    pub fn double(&self) {
+        let first = self.gamma.lock();
+        let second = self.gamma.lock(); // FINDING lock-order
+        drop(second);
+        drop(first);
+    }
+
+    fn helper(&self) {
+        let g = self.gamma.lock();
+        drop(g);
+    }
+
+    /// Re-acquires through a call: `helper` takes `gamma` again.
+    pub fn nested(&self) {
+        let g = self.gamma.lock();
+        self.helper(); // FINDING lock-order
+        drop(g);
+    }
+
+    /// Waits with no enclosing loop: a spurious wakeup skips the
+    /// predicate re-check.
+    pub fn naked_wait(&self) {
+        let mut g = self.alpha.lock();
+        self.ready.wait(&mut g); // FINDING condvar-loop
+        drop(g);
+    }
+}

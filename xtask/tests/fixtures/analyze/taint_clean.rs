@@ -1,0 +1,42 @@
+//! Known-good fixture: every publication of harvested bits passes a
+//! health-test feed first, or the function handles only one side of
+//! the flow. Never compiled — parsed by `tests/analyze_fixtures.rs`.
+
+pub struct Worker {
+    source: Source,
+    monitor: Monitor,
+    chan: Chan,
+}
+
+impl Worker {
+    /// Sanitized: the feed between harvest and publish pardons the
+    /// whole path.
+    pub fn run(&self) {
+        let bits = self.source.harvest_batch();
+        self.monitor.feed_all(&bits);
+        self.chan.send(bits);
+    }
+
+    /// Source-only: harvests but never publishes.
+    pub fn observe(&self) -> usize {
+        let bits = self.source.sample_pass();
+        bits.len()
+    }
+
+    /// Sink-only: publishes bits that were screened upstream.
+    pub fn forward(&self, screened: Vec<u8>) {
+        self.chan.try_send(screened);
+    }
+}
+
+/// A sanitizer reached through a helper still pardons callers that
+/// harvest and publish around it.
+fn screen(monitor: &Monitor, bits: &[u8]) {
+    monitor.feed_bits(bits);
+}
+
+pub fn pipeline(source: &Source, monitor: &Monitor, chan: &Chan) {
+    let bits = source.harvest_block();
+    screen(monitor, &bits);
+    chan.push_block(&bits);
+}

@@ -1,0 +1,35 @@
+//! Known-bad fixture: publishes harvested bits with no health feed.
+//!
+//! Never compiled — parsed by `tests/analyze_fixtures.rs`. The marker
+//! comments name the exact findings the analyze pass must report, on
+//! the marked line.
+
+pub struct Rig {
+    source: Source,
+    chan: Chan,
+}
+
+impl Rig {
+    /// Direct: harvests and publishes in one body.
+    pub fn pump(&self) {
+        let bits = self.source.sample_pass();
+        self.chan.send(bits); // FINDING entropy-taint
+    }
+}
+
+/// Indirect source: the harvest happens in a helper.
+fn gather(source: &Source) -> Vec<u8> {
+    source.harvest_block()
+}
+
+/// Indirect sink: the publication happens in a helper.
+fn ship(chan: &Chan, bits: Vec<u8>) {
+    chan.push_block(&bits);
+}
+
+/// Violates through both helpers; reported here — the innermost
+/// function that can see both ends of the flow — not in the helpers.
+pub fn relay(source: &Source, chan: &Chan) {
+    let bits = gather(source);
+    ship(chan, bits); // FINDING entropy-taint
+}

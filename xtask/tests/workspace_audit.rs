@@ -1,0 +1,63 @@
+//! Integration test for the policy-file audit: every path listed in
+//! `lint_policy.toml` must still exist under the workspace root, or
+//! `cargo xtask lint` reports the entry as stale.
+
+use std::fs;
+use std::path::PathBuf;
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("xtask-audit-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("xtask")).expect("create scratch xtask dir");
+    fs::create_dir_all(root.join("crates/demo/src")).expect("create scratch crate");
+    root
+}
+
+#[test]
+fn stale_policy_paths_are_reported_with_their_line() {
+    let root = scratch_root("stale");
+    fs::write(root.join("crates/demo/src/ok.rs"), "pub fn ok() {}\n").expect("write source");
+    fs::write(
+        root.join("xtask/lint_policy.toml"),
+        concat!(
+            "# audit fixture\n",
+            "[no-panic]\n",
+            "allow = [\n",
+            "    \"crates/demo/src/ok.rs\",\n",
+            "    \"crates/demo/src/gone.rs\",\n",
+            "]\n",
+        ),
+    )
+    .expect("write policy");
+
+    let diags = xtask::lint_workspace(&root).expect("lint runs");
+    assert_eq!(
+        diags.len(),
+        1,
+        "only the missing entry is stale: {diags:#?}"
+    );
+    let d = &diags[0];
+    assert_eq!(d.rule, "stale-policy-path");
+    assert_eq!(d.file, "xtask/lint_policy.toml");
+    assert_eq!(d.line, 5, "diagnostic points at the stale entry's line");
+    assert!(d.message.contains("crates/demo/src/gone.rs"));
+    assert!(d.message.contains("no-panic"));
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn existing_policy_paths_pass_the_audit() {
+    let root = scratch_root("fresh");
+    fs::write(root.join("crates/demo/src/ok.rs"), "pub fn ok() {}\n").expect("write source");
+    fs::write(
+        root.join("xtask/lint_policy.toml"),
+        "[no-panic]\nallow = [\"crates/demo/src/ok.rs\"]\n",
+    )
+    .expect("write policy");
+
+    let diags = xtask::lint_workspace(&root).expect("lint runs");
+    assert!(diags.is_empty(), "fresh policy audited clean: {diags:#?}");
+
+    let _ = fs::remove_dir_all(&root);
+}
