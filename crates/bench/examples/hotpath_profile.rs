@@ -1,0 +1,360 @@
+//! Hot-path cost breakdown: where does the fig8 fast-path ns/READ go?
+//!
+//! A diagnostic companion to `fig8_throughput` (not part of the bench
+//! suite, writes no report): re-times the same steady-state harvest
+//! loop, probes how many noise draws a plan READ performs, and
+//! micro-times the isolated stages (probit kernel, Bernoulli draw,
+//! cache-map probe) so a regression flagged by `cargo xtask
+//! bench-gate` can be attributed to a layer. Run with
+//! `cargo run -p drange-bench --release --example hotpath_profile`.
+
+use dram_sim::probit::fast_phi;
+use dram_sim::{DeviceConfig, DramDevice, Manufacturer, NoiseSource, SeededNoise, WordAddr};
+use drange_bench::pipeline;
+use drange_core::{DRange, DRangeConfig};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn main() {
+    // -- 1. Full-scale fig8 fast-path harvest loop.
+    let config = DeviceConfig::new(Manufacturer::A)
+        .with_seed(0xF18)
+        .with_noise_seed(0xF19);
+    let (mut ctrl, catalog) = pipeline(config, 8, 256, 40, 1000);
+    ctrl.device_mut().set_sense_fast_path(true);
+    let mut drange = DRange::new(ctrl, &catalog, DRangeConfig::default()).expect("plan");
+    drange.harvest_block().expect("first pass");
+    // Invalidate resolves so the next pass bulk-resolves exactly the 16
+    // plan words: bulk_cells delta / 16 = noise draws per READ.
+    let s0 = drange.sense_cache_stats().bulk_cells;
+    drange
+        .controller_mut()
+        .device_mut()
+        .set_temperature(dram_sim::Celsius(45.1));
+    drange.harvest_block().expect("probe pass");
+    let s1 = drange.sense_cache_stats().bulk_cells;
+    drange
+        .controller_mut()
+        .device_mut()
+        .set_temperature(dram_sim::Celsius(45.0));
+    println!(
+        "plan resolve probe: {} bulk cells over 16 words -> {:.1} draws/READ",
+        s1 - s0,
+        (s1 - s0) as f64 / 16.0
+    );
+    for _ in 0..62 {
+        drange.harvest_block().expect("warmup");
+    }
+    let cache0 = drange.sense_cache_stats();
+    let t0 = Instant::now();
+    let mut bits = 0u64;
+    let passes = 2000u64;
+    for _ in 0..passes {
+        bits += drange.harvest_block().expect("pass").len() as u64;
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    let cache1 = drange.sense_cache_stats();
+    let reads = cache1.sensed_reads() - cache0.sensed_reads();
+    println!(
+        "harvest loop: {bits} bits, {reads} reads, {:.1} ns/read, {:.1} ns/pass, {:.2} Mb/s",
+        wall / reads as f64,
+        wall / passes as f64,
+        bits as f64 / wall * 1e3
+    );
+    println!(
+        "  cache deltas: classified {} resolve {} hit {} skip {} bulk_cells {} lane {}",
+        cache1.classified_words - cache0.classified_words,
+        cache1.resolve_reads - cache0.resolve_reads,
+        cache1.hit_reads - cache0.hit_reads,
+        cache1.skip_word_reads - cache0.skip_word_reads,
+        cache1.bulk_cells - cache0.bulk_cells,
+        cache1.bulk_lane_cells - cache0.bulk_lane_cells,
+    );
+
+    // -- 1b. sample_once only (no pop_block / BitBlock handover).
+    let t0 = Instant::now();
+    let mut bits = 0u64;
+    for _ in 0..passes {
+        bits += drange.sample_once().expect("pass") as u64;
+        if drange.stats().bits % 4096 == 0 {
+            // keep the queue from trimming costs into the loop
+        }
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    println!(
+        "sample_once loop: {bits} bits, {:.1} ns/pass, {:.2} Mb/s",
+        wall / passes as f64,
+        bits as f64 / wall * 1e3
+    );
+
+    // -- 1c. Bare ctrl loop over the REAL planned words (no sampler, no
+    // queue, no tRCD reprogram): the floor the sampler layer sits on.
+    let words = drange.planned_word_addrs();
+    let mut ctrl2 = drange.into_controller();
+    ctrl2.set_trcd_ns(10.0);
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..passes {
+        for w in &words {
+            ctrl2.act(w.bank, w.row).unwrap();
+            let got = ctrl2.rd(w.bank, w.row, w.col).unwrap();
+            acc ^= got;
+            if got != 0 {
+                ctrl2.wr(w.bank, w.row, w.col, 0).unwrap();
+            }
+            ctrl2.pre(w.bank).unwrap();
+        }
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    println!(
+        "ctrl loop over planned words: {:.1} ns/read (acc {acc:x})",
+        wall / (passes * words.len() as u64) as f64
+    );
+
+    // -- 1d. Same planned-words ctrl loop on a FRESH pipeline (small
+    // cache map, compact heap): isolates post-harvest state effects.
+    let config = DeviceConfig::new(Manufacturer::A)
+        .with_seed(0xF18)
+        .with_noise_seed(0xF19);
+    let (mut ctrl3, _catalog) = pipeline(config, 8, 256, 40, 1000);
+    ctrl3.device_mut().set_sense_fast_path(true);
+    ctrl3.set_trcd_ns(10.0);
+    for _ in 0..64 {
+        for w in &words {
+            ctrl3.act(w.bank, w.row).unwrap();
+            let got = ctrl3.rd(w.bank, w.row, w.col).unwrap();
+            ctrl3.wr(w.bank, w.row, w.col, got).unwrap();
+            ctrl3.pre(w.bank).unwrap();
+        }
+    }
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..passes {
+        for w in &words {
+            ctrl3.act(w.bank, w.row).unwrap();
+            let got = ctrl3.rd(w.bank, w.row, w.col).unwrap();
+            acc ^= got;
+            if got != 0 {
+                ctrl3.wr(w.bank, w.row, w.col, 0).unwrap();
+            }
+            ctrl3.pre(w.bank).unwrap();
+        }
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    println!(
+        "ctrl loop over planned words (fresh pipeline): {:.1} ns/read (acc {acc:x})",
+        wall / (passes * words.len() as u64) as f64
+    );
+
+    // -- 2. Raw device ACT/RD(+restore WR)/PRE loop on the same geometry.
+    let mut dev = DramDevice::build(
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(0xF18)
+            .with_noise_seed(0xF19),
+    );
+    dev.set_sense_fast_path(true);
+    dev.fill_device(dram_sim::DataPattern::Solid0);
+    // Touch a fixed pair of words per bank like Algorithm 2 does.
+    let n = 200_000u64;
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        let bank = (i % 8) as usize;
+        let row = (i % 2) as usize * 7;
+        dev.activate(bank, row).unwrap();
+        let got = dev.read(bank, row, 3, 10.0).unwrap();
+        acc ^= got;
+        if got != 0 {
+            dev.write(bank, row, 3, 0).unwrap();
+        }
+        dev.precharge(bank).unwrap();
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    println!(
+        "device ACT+RD+WR?+PRE: {:.1} ns/read (acc {acc:x})",
+        wall / n as f64
+    );
+
+    // Same but reads with nominal tRCD (no stochastic cells -> no cache work).
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        let bank = (i % 8) as usize;
+        let row = (i % 2) as usize * 7;
+        dev.activate(bank, row).unwrap();
+        acc ^= dev.read(bank, row, 3, 18.0).unwrap();
+        dev.precharge(bank).unwrap();
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    println!(
+        "device ACT+RD(18ns)+PRE: {:.1} ns/read (acc {acc:x})",
+        wall / n as f64
+    );
+
+    // -- 2b. Same cycle through the controller (scheduler + telemetry).
+    let mut ctrl = memctrl::MemoryController::from_config(
+        DeviceConfig::new(Manufacturer::A)
+            .with_seed(0xF18)
+            .with_noise_seed(0xF19),
+    );
+    ctrl.device_mut().set_sense_fast_path(true);
+    ctrl.device_mut().fill_device(dram_sim::DataPattern::Solid0);
+    ctrl.set_trcd_ns(10.0);
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        let bank = (i % 8) as usize;
+        let row = (i % 2) as usize * 7;
+        ctrl.act(bank, row).unwrap();
+        let got = ctrl.rd(bank, row, 3).unwrap();
+        acc ^= got;
+        if got != 0 {
+            ctrl.wr(bank, row, 3, 0).unwrap();
+        }
+        ctrl.pre(bank).unwrap();
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    println!(
+        "ctrl ACT+RD+WR?+PRE: {:.1} ns/read (acc {acc:x})",
+        wall / n as f64
+    );
+
+    // 2c. Add the per-pass tRCD program/reset (every 16 reads) like
+    // sample_once does.
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        if i % 16 == 0 {
+            ctrl.try_set_trcd_ns(10.0).unwrap();
+        }
+        let bank = (i % 8) as usize;
+        let row = (i % 2) as usize * 7;
+        ctrl.act(bank, row).unwrap();
+        let got = ctrl.rd(bank, row, 3).unwrap();
+        acc ^= got;
+        if got != 0 {
+            ctrl.wr(bank, row, 3, 0).unwrap();
+        }
+        ctrl.pre(bank).unwrap();
+        if i % 16 == 15 {
+            ctrl.reset_trcd();
+        }
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    println!(
+        "ctrl loop + tRCD program per 16: {:.1} ns/read (acc {acc:x})",
+        wall / n as f64
+    );
+
+    // 2d. Unconditional WR every cycle (the harvest reality: RNG words
+    // fail most reads, so the restore write almost always issues).
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..n {
+        let bank = (i % 8) as usize;
+        let row = (i % 2) as usize * 7;
+        ctrl.act(bank, row).unwrap();
+        acc ^= ctrl.rd(bank, row, 3).unwrap();
+        ctrl.wr(bank, row, 3, 0).unwrap();
+        ctrl.pre(bank).unwrap();
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    println!(
+        "ctrl ACT+RD+WR(always)+PRE: {:.1} ns/read (acc {acc:x})",
+        wall / n as f64
+    );
+
+    // -- 3. Noise draws.
+    let mut noise = SeededNoise::new(42);
+    let m = 10_000_000u64;
+    let t0 = Instant::now();
+    let mut s = 0.0f64;
+    for _ in 0..m {
+        s += noise.uniform();
+    }
+    println!(
+        "SeededNoise::uniform: {:.2} ns/draw (s {s:.1}) ",
+        t0.elapsed().as_nanos() as f64 / m as f64
+    );
+
+    // -- 4. fast_phi.
+    let t0 = Instant::now();
+    let mut s = 0.0f64;
+    for i in 0..m {
+        s += fast_phi(-3.0 + (i % 1000) as f64 * 0.006);
+    }
+    println!(
+        "fast_phi: {:.2} ns/call (s {s:.1})",
+        t0.elapsed().as_nanos() as f64 / m as f64
+    );
+
+    // -- 4b. Probe cost: 16 fixed keys in a 32768-entry map whose
+    // values hold heap Vecs (the steady-state sense-cache shape) vs the
+    // same probes against a 16-entry map.
+    struct FakeState {
+        ps: Vec<f64>,
+        hot_bits: Vec<u8>,
+        flag: bool,
+    }
+    for entries in [16usize, 32768] {
+        let mut map: HashMap<WordAddr, FakeState> = HashMap::new();
+        for i in 0..entries {
+            map.insert(
+                WordAddr {
+                    bank: i % 8,
+                    row: (i / 8) % 256,
+                    col: (i / 2048) % 16,
+                },
+                FakeState {
+                    ps: vec![0.001; 5],
+                    hot_bits: vec![0, 1, 2, 3, 4],
+                    flag: true,
+                },
+            );
+        }
+        let probe: Vec<WordAddr> = (0..16)
+            .map(|i| WordAddr {
+                bank: i % 8,
+                row: (i / 8) % 256,
+                col: 0,
+            })
+            .collect();
+        let t0 = Instant::now();
+        let mut s = 0.0f64;
+        let reps = 1_000_000u64;
+        for r in 0..reps {
+            let w = &probe[(r % 16) as usize];
+            let st = map.get_mut(w).unwrap();
+            st.flag = !st.flag;
+            for (&p, &b) in st.ps.iter().zip(st.hot_bits.iter()) {
+                s += p * b as f64;
+            }
+        }
+        println!(
+            "map probe + ps walk ({entries} entries): {:.2} ns (s {s:.1})",
+            t0.elapsed().as_nanos() as f64 / reps as f64
+        );
+    }
+
+    // -- 5. HashMap<WordAddr, u64> lookup (SipHash) vs plain Vec index.
+    let mut map: HashMap<WordAddr, u64> = HashMap::new();
+    let keys: Vec<WordAddr> = (0..16)
+        .map(|i| WordAddr {
+            bank: i % 8,
+            row: (i % 2) * 7,
+            col: 3,
+        })
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        map.insert(*k, i as u64);
+    }
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..m {
+        acc ^= map[&keys[(i % 16) as usize]];
+    }
+    println!(
+        "HashMap lookup: {:.2} ns/get (acc {acc})",
+        t0.elapsed().as_nanos() as f64 / m as f64
+    );
+}

@@ -210,6 +210,8 @@ fn main() {
     println!("  latency p99         {:.3} ms", p99 as f64 / 1e6);
 
     let mut report = BenchReport::new();
+    // Sole author of its section: wholesale replacement on merge.
+    report.own_section("server_load");
     report.set("server_load", "concurrent_clients", clients as f64);
     report.set("server_load", "duration_s", elapsed);
     report.set("server_load", "requests", total.requests as f64);

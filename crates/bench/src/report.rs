@@ -3,9 +3,13 @@
 //! The workspace has no JSON dependency, so this module hand-rolls the
 //! one shape the benches need: a flat two-level object mapping section
 //! names to `{key: number}` metric maps. Several binaries share one
-//! report file — [`BenchReport::update_file`] merges at section
-//! granularity, so `fig8_throughput` and `engine_scaling` can each
-//! refresh their own section without clobbering the other's.
+//! report file — [`BenchReport::update_file`] merges key by key, so
+//! `fig8_throughput` and `engine_scaling` can both contribute to a
+//! shared `simd` section without the later run clobbering the earlier
+//! one's keys. A binary that is the sole author of a section declares
+//! it with [`BenchReport::own_section`]; owned sections replace the
+//! on-disk section wholesale, so keys a re-run no longer emits (e.g.
+//! a changed sweep grid) cannot linger as stale data.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -23,6 +27,9 @@ pub fn bench_report_path() -> PathBuf {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchReport {
     sections: Vec<(String, Vec<(String, f64)>)>,
+    /// Sections this report is the sole author of: replaced wholesale
+    /// (not key-merged) when folded over an on-disk report.
+    owned: Vec<String>,
 }
 
 impl BenchReport {
@@ -58,12 +65,38 @@ impl BenchReport {
             .map(|(_, v)| *v)
     }
 
-    /// Replaces every section of `self` that `other` also has and
-    /// appends `other`'s new sections (section-level override).
+    /// Declares this report the sole author of `section`: when folded
+    /// over an on-disk report, the section is replaced wholesale
+    /// instead of key-merged, so keys a re-run no longer emits cannot
+    /// linger as stale data (e.g. a sweep whose grid changed).
+    pub fn own_section(&mut self, section: &str) {
+        if !self.owned.iter().any(|s| s == section) {
+            self.owned.push(section.to_string());
+        }
+    }
+
+    /// Folds `other` into `self`: sections `other` [owns](Self::own_section)
+    /// are replaced wholesale; everything else merges key by key —
+    /// matching `section.key` entries are overwritten, new keys and new
+    /// sections are appended, keys `other` doesn't mention survive. The
+    /// key-level default lets binaries share a section (fig8 and
+    /// engine_scaling both contribute to `simd`) without the later run
+    /// clobbering the earlier one's keys.
     pub fn merge_sections_from(&mut self, other: &BenchReport) {
         for (section, entries) in &other.sections {
             match self.sections.iter_mut().find(|(s, _)| s == section) {
-                Some((_, mine)) => *mine = entries.clone(),
+                Some((_, mine)) => {
+                    if other.owned.iter().any(|s| s == section) {
+                        *mine = entries.clone();
+                        continue;
+                    }
+                    for (key, value) in entries {
+                        match mine.iter_mut().find(|(k, _)| k == key) {
+                            Some((_, v)) => *v = *value,
+                            None => mine.push((key.clone(), *value)),
+                        }
+                    }
+                }
                 None => self.sections.push((section.clone(), entries.clone())),
             }
         }
@@ -319,7 +352,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_overrides_matching_sections_and_keeps_others() {
+    fn merge_overrides_matching_keys_and_keeps_others() {
         let mut old = BenchReport::new();
         old.set("fig8_throughput", "speedup", 1.0);
         old.set("engine_scaling", "bits_per_sec", 5.0);
@@ -328,6 +361,46 @@ mod tests {
         old.merge_sections_from(&new);
         assert_eq!(old.get("fig8_throughput", "speedup"), Some(9.0));
         assert_eq!(old.get("engine_scaling", "bits_per_sec"), Some(5.0));
+    }
+
+    #[test]
+    fn owned_sections_replace_wholesale() {
+        // A sweep whose grid changed must not leave the old grid's
+        // keys behind when the binary owns the section.
+        let mut old = BenchReport::new();
+        old.set("engine_scaling", "workers_3_device_bits_per_sec", 1.0);
+        old.set("engine_scaling", "bits_per_sec", 2.0);
+        old.set("server_load", "req_per_s", 9.0);
+        let mut new = BenchReport::new();
+        new.set("engine_scaling", "workers_12_device_bits_per_sec", 5.0);
+        new.own_section("engine_scaling");
+        old.merge_sections_from(&new);
+        assert_eq!(
+            old.get("engine_scaling", "workers_3_device_bits_per_sec"),
+            None
+        );
+        assert_eq!(old.get("engine_scaling", "bits_per_sec"), None);
+        assert_eq!(
+            old.get("engine_scaling", "workers_12_device_bits_per_sec"),
+            Some(5.0)
+        );
+        assert_eq!(old.get("server_load", "req_per_s"), Some(9.0));
+    }
+
+    #[test]
+    fn merge_is_key_level_within_a_shared_section() {
+        // fig8 and engine_scaling both write the `simd` section; the
+        // later run must not clobber the earlier run's keys.
+        let mut old = BenchReport::new();
+        old.set("simd", "engine_lane_utilization", 0.9);
+        old.set("simd", "speedup", 1.0);
+        let mut new = BenchReport::new();
+        new.set("simd", "speedup", 14.7);
+        new.set("simd", "lane_utilization", 0.97);
+        old.merge_sections_from(&new);
+        assert_eq!(old.get("simd", "engine_lane_utilization"), Some(0.9));
+        assert_eq!(old.get("simd", "speedup"), Some(14.7));
+        assert_eq!(old.get("simd", "lane_utilization"), Some(0.97));
     }
 
     #[test]

@@ -214,14 +214,59 @@ impl BitQueue {
         self.len += n;
     }
 
+    /// Appends `len` bits packed MSB-first in `words` (the
+    /// [`BitBlock::words`] layout) as one bulk publication: a single
+    /// capacity reservation for the whole run, whole-word splices, and
+    /// — when the queue's tail is word-aligned — a direct word copy.
+    /// Bits of `words` beyond `len` are ignored.
+    pub fn push_words(&mut self, words: &[u64], len: usize) {
+        debug_assert!(len <= words.len() * 64);
+        if len == 0 {
+            return;
+        }
+        let pos = self.front + self.len;
+        let off = pos % 64;
+        if off == 0 {
+            // Tail is word-aligned (`pos / 64 == self.words.len()` by
+            // the storage invariant): splice whole words directly.
+            self.words
+                .extend(words.iter().take(len.div_ceil(64)).copied());
+            let tail = len % 64;
+            if tail != 0 {
+                // Defensive: callers must keep bits past `len` zero,
+                // but mask like push_bits does so garbage can't alias
+                // a later push.
+                if let Some(w) = self.words.back_mut() {
+                    *w &= u64::MAX << (64 - tail);
+                }
+            }
+        } else {
+            // Shifted splice: each source word lands as `w >> off` in
+            // the current tail word plus `w << (64 - off)` in the next.
+            self.words
+                .reserve((pos + len).div_ceil(64) - self.words.len());
+            let mut remaining = len;
+            for &src in words {
+                if remaining == 0 {
+                    break;
+                }
+                let n = remaining.min(64);
+                let frag = src & (u64::MAX << (64 - n));
+                if let Some(last) = self.words.back_mut() {
+                    *last |= frag >> off;
+                }
+                if n > 64 - off {
+                    self.words.push_back(frag << (64 - off));
+                }
+                remaining -= n;
+            }
+        }
+        self.len += len;
+    }
+
     /// Appends a whole block (FIFO order preserved).
     pub fn push_block(&mut self, block: &BitBlock) {
-        let mut remaining = block.len();
-        for &w in block.words() {
-            let n = remaining.min(64);
-            self.push_bits(w, n);
-            remaining -= n;
-        }
+        self.push_words(block.words(), block.len());
     }
 
     /// Pops the oldest bit.
@@ -307,6 +352,16 @@ impl BitQueue {
     /// `bits ≤ len`; pops everything available otherwise.
     pub fn pop_block(&mut self, bits: usize) -> BitBlock {
         let bits = bits.min(self.len);
+        if bits == 0 {
+            return BitBlock::new();
+        }
+        if self.front == 0 && bits == self.len {
+            // Whole-queue drain at word alignment — the harvest_block
+            // steady state: hand the packed storage over outright.
+            let words: Vec<u64> = std::mem::take(&mut self.words).into();
+            self.clear();
+            return BitBlock { words, len: bits };
+        }
         let mut block = BitBlock::with_capacity(bits);
         let mut remaining = bits;
         while remaining >= 64 {
@@ -317,14 +372,20 @@ impl BitQueue {
                 break;
             }
         }
-        while remaining > 0 {
-            match self.pop_bit() {
-                Some(b) => {
-                    block.push_bit(b);
-                    remaining -= 1;
-                }
-                None => break,
-            }
+        if remaining > 0 {
+            // Sub-word remainder straddles at most two storage words:
+            // gather it in one splice instead of bit-by-bit pops.
+            let w0 = self.words.front().copied().unwrap_or(0);
+            let frag = if self.front == 0 {
+                w0
+            } else {
+                let w1 = self.words.get(1).copied().unwrap_or(0);
+                (w0 << self.front) | (w1 >> (64 - self.front))
+            };
+            block.push_bits(frag, remaining);
+            self.front += remaining;
+            self.len -= remaining;
+            self.normalize();
         }
         block
     }
@@ -487,6 +548,87 @@ mod tests {
         assert_eq!(block.len(), 400);
         assert_eq!(block.iter().collect::<Vec<_>>(), bits);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_words_matches_per_bit_pushes() {
+        // Bulk word-run publication against the incremental paths, at
+        // every tail alignment (aligned direct copy and shifted
+        // splice) and with a non-multiple-of-64 run tail.
+        let mut s = 5u64;
+        for prefix_len in [0usize, 1, 13, 63, 64, 65] {
+            for run_len in [0usize, 1, 7, 64, 65, 130, 257] {
+                let prefix = random_bools(s, prefix_len);
+                let run = random_bools(s.wrapping_add(1), run_len);
+                s = splitmix(&mut s);
+                let run_block = BitBlock::from_bools(&run);
+                let mut bulk = BitQueue::new();
+                let mut serial = BitQueue::new();
+                for &b in &prefix {
+                    bulk.push_bit(b);
+                    serial.push_bit(b);
+                }
+                bulk.push_words(run_block.words(), run_block.len());
+                for &b in &run {
+                    serial.push_bit(b);
+                }
+                assert_eq!(bulk.len(), serial.len());
+                let n = bulk.len();
+                assert_eq!(
+                    bulk.pop_bools(n),
+                    serial.pop_bools(n),
+                    "prefix {prefix_len} run {run_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn push_words_masks_garbage_past_len() {
+        let mut q = BitQueue::new();
+        q.push_words(&[u64::MAX], 3);
+        assert_eq!(q.pop_bools(3), vec![true; 3]);
+        assert!(q.is_empty());
+        q.push_words(&[0], 64);
+        assert_eq!(q.pop_word(), Some(0), "no stale garbage resurfaces");
+    }
+
+    #[test]
+    fn pop_block_full_drain_hands_storage_over() {
+        // The harvest_block steady state: word-aligned whole-queue
+        // drain must match the general path bit-for-bit.
+        for len in [1usize, 50, 64, 100, 128, 131] {
+            let bits = random_bools(len as u64, len);
+            let mut q = BitQueue::new();
+            let block_in = BitBlock::from_bools(&bits);
+            q.push_words(block_in.words(), block_in.len());
+            let out = q.pop_block(len);
+            assert_eq!(out.len(), len);
+            assert_eq!(out.iter().collect::<Vec<_>>(), bits, "len {len}");
+            assert!(q.is_empty());
+            // Refill after the storage handover stays clean.
+            q.push_bit(true);
+            assert_eq!(q.pop_bit(), Some(true));
+        }
+    }
+
+    #[test]
+    fn pop_block_partial_and_offset_drains_match_bits() {
+        let bits = random_bools(77, 300);
+        let mut q = BitQueue::new();
+        for &b in &bits {
+            q.push_bit(b);
+        }
+        q.drop_front(5); // force a nonzero front offset
+        let a = q.pop_block(70); // sub-word remainder at offset
+        assert_eq!(a.iter().collect::<Vec<_>>(), bits[5..75]);
+        let b = q.pop_block(150);
+        assert_eq!(b.iter().collect::<Vec<_>>(), bits[75..225]);
+        // Over-ask pops what's left.
+        let c = q.pop_block(1000);
+        assert_eq!(c.iter().collect::<Vec<_>>(), bits[225..]);
+        assert!(q.is_empty());
+        assert!(q.pop_block(10).is_empty());
     }
 
     #[test]

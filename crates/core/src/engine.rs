@@ -9,19 +9,26 @@
 //! channel level: `N` worker threads, each owning its own memory
 //! controller and [`DRange`] instance (one per simulated channel),
 //! continuously harvest health-screened bit batches and push them
-//! through a bounded notification-driven channel
-//! ([`crate::channel::BatchChannel`]) into a shared bit pool that many
-//! client threads drain concurrently.
+//! through a channel-affine sharded hand-off
+//! ([`crate::channel::ShardedChannel`]: one bounded single-sender
+//! shard per worker, drained round-robin behind a doorbell) into a
+//! shared bit pool that many client threads drain concurrently.
 //!
 //! ## Topology
 //!
 //! ```text
-//!  worker 0 (DRange + HealthMonitor) ──┐
-//!  worker 1 (DRange + HealthMonitor) ──┤  bounded channel   collector      shared pool
-//!  ...                                 ├──────────────────▶ (hysteresis) ─▶ Mutex<BitQueue>
-//!  worker N-1                        ──┘   (BitBlock)                            │
-//!                                                            take_bits() ◀──────┘  (many clients)
+//!  worker 0 (DRange + HealthMonitor) ──▶ shard 0 ──┐
+//!  worker 1 (DRange + HealthMonitor) ──▶ shard 1 ──┤   collector      shared pool
+//!  ...                                             ├─▶ (hysteresis) ─▶ Mutex<BitQueue>
+//!  worker N-1                        ──▶ shard N-1 ┘   round-robin          │
+//!                                          (BitBlock)   take_bits() ◀──────┘  (many clients)
 //! ```
+//!
+//! Each worker is the *sole* sender of its shard, so publishing never
+//! contends on another channel's lock — adding workers adds shards,
+//! not queueing conflicts — while the collector multiplexes the shards
+//! with non-blocking drains and parks on a shared doorbell when all
+//! are empty.
 //!
 //! Bits travel packed end to end: a worker harvests one [`BitBlock`]
 //! (64 bits per `u64` word) per batch, the channel moves whole blocks,
@@ -56,7 +63,7 @@ use memctrl::MemoryController;
 use parking_lot::{Condvar, Mutex};
 
 use crate::bits::{BitBlock, BitQueue};
-use crate::channel::BatchChannel;
+use crate::channel::ShardedChannel;
 use crate::error::{DrangeError, Result};
 use crate::health::HealthMonitor;
 use crate::identify::RngCellCatalog;
@@ -160,7 +167,8 @@ pub struct EngineConfig {
     /// Claimed min-entropy for the per-worker health monitors
     /// (bits/bit).
     pub min_entropy: f64,
-    /// Capacity of the bounded worker→collector channel, in batches.
+    /// Capacity of each worker's shard of the worker→collector
+    /// channel, in batches.
     pub channel_batches: usize,
     /// A worker that rejects more than this many batches consecutively
     /// (no accepted batch in between) records an unhealthy-source error
@@ -227,6 +235,8 @@ struct WorkerCounters {
     cache_skip_reads: CounterCell,
     cache_hit_reads: CounterCell,
     cache_resolve_reads: CounterCell,
+    cache_bulk_cells: CounterCell,
+    cache_bulk_lane_cells: CounterCell,
     /// Latest lifecycle snapshot (sources without a lifecycle leave it
     /// `None`). Snapshots are whole structs, so they live behind a
     /// mutex rather than in counter cells; workers only ever `lock`
@@ -461,6 +471,12 @@ pub struct WorkerStats {
     pub cache_hit_reads: u64,
     /// Sensing READs that re-resolved per-cell probabilities.
     pub cache_resolve_reads: u64,
+    /// Marginal cells resolved through the bulk SoA kernel on this
+    /// worker's channel.
+    pub cache_bulk_cells: u64,
+    /// Of those, cells resolved in full four-wide vector lanes (the
+    /// rest went through the scalar remainder loop).
+    pub cache_bulk_lane_cells: u64,
     /// Latest cell-lifecycle snapshot (`None` for sources without a
     /// lifecycle).
     pub lifecycle: Option<LifecycleStats>,
@@ -491,6 +507,17 @@ impl WorkerStats {
             hits as f64 / total as f64
         }
     }
+
+    /// Fraction of this channel's bulk-resolved cells that went through
+    /// full vector lanes rather than the scalar remainder loop (0.0
+    /// with no bulk activity).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.cache_bulk_cells == 0 {
+            0.0
+        } else {
+            self.cache_bulk_lane_cells as f64 / self.cache_bulk_cells as f64
+        }
+    }
 }
 
 /// A point-in-time snapshot of engine-level statistics, aggregated from
@@ -519,6 +546,11 @@ pub struct EngineStats {
     pub cache_hit_reads: u64,
     /// Sensing READs that re-resolved probabilities, all workers.
     pub cache_resolve_reads: u64,
+    /// Marginal cells resolved through the bulk SoA kernel, all
+    /// workers.
+    pub cache_bulk_cells: u64,
+    /// Of those, cells resolved in full four-wide vector lanes.
+    pub cache_bulk_lane_cells: u64,
     /// Cell-lifecycle counters merged across all lifecycle-running
     /// workers (`None` when no worker runs one).
     pub lifecycle: Option<LifecycleStats>,
@@ -539,6 +571,16 @@ impl EngineStats {
             0.0
         } else {
             hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of bulk-resolved cells across all workers that went
+    /// through full vector lanes (0.0 with no bulk activity).
+    pub fn lane_utilization(&self) -> f64 {
+        if self.cache_bulk_cells == 0 {
+            0.0
+        } else {
+            self.cache_bulk_lane_cells as f64 / self.cache_bulk_cells as f64
         }
     }
 
@@ -570,7 +612,7 @@ impl EngineStats {
 pub struct HarvestEngine {
     config: EngineConfig,
     shared: Arc<Shared>,
-    channel: Arc<BatchChannel<BitBlock>>,
+    channel: Arc<ShardedChannel<BitBlock>>,
     counters: Vec<Arc<WorkerCounters>>,
     telemetry: EngineTelemetry,
     tracer: Tracer,
@@ -643,7 +685,7 @@ impl HarvestEngine {
             served_bits: CounterCell::new(),
             first_error: Mutex::new(None),
         });
-        let channel = Arc::new(BatchChannel::<BitBlock>::new(
+        let channel = Arc::new(ShardedChannel::<BitBlock>::new(
             config.channel_batches,
             sources.len(),
         ));
@@ -968,6 +1010,8 @@ impl HarvestEngine {
                 cache_skip_reads: c.cache_skip_reads.get(),
                 cache_hit_reads: c.cache_hit_reads.get(),
                 cache_resolve_reads: c.cache_resolve_reads.get(),
+                cache_bulk_cells: c.cache_bulk_cells.get(),
+                cache_bulk_lane_cells: c.cache_bulk_lane_cells.get(),
                 lifecycle: *c.lifecycle.lock(),
                 faults: *c.faults.lock(),
             })
@@ -984,6 +1028,8 @@ impl HarvestEngine {
             cache_skip_reads: workers.iter().map(|w| w.cache_skip_reads).sum(),
             cache_hit_reads: workers.iter().map(|w| w.cache_hit_reads).sum(),
             cache_resolve_reads: workers.iter().map(|w| w.cache_resolve_reads).sum(),
+            cache_bulk_cells: workers.iter().map(|w| w.cache_bulk_cells).sum(),
+            cache_bulk_lane_cells: workers.iter().map(|w| w.cache_bulk_lane_cells).sum(),
             lifecycle: workers
                 .iter()
                 .filter_map(|w| w.lifecycle)
@@ -1007,10 +1053,10 @@ impl HarvestEngine {
     /// Idempotent stop-and-join.
     fn halt(&mut self) {
         self.shared.shutdown.raise();
-        // Close the worker→collector channel: workers blocked on a full
-        // channel fail their send, account the batch as discarded, and
-        // retire (the close itself notifies under the channel lock, so
-        // that wakeup cannot be lost either).
+        // Close every worker→collector channel shard: workers blocked
+        // on a full shard fail their send, account the batch as
+        // discarded, and retire (each close notifies under its shard
+        // lock, so that wakeup cannot be lost either).
         self.channel.close();
         // Lock barrier: a waiter that checked the shutdown flag just
         // before it was raised still holds the pool mutex until it
@@ -1042,7 +1088,7 @@ impl Drop for HarvestEngine {
 fn worker_loop<S: HarvestSource>(
     index: usize,
     source: S,
-    channel: Arc<BatchChannel<BitBlock>>,
+    channel: Arc<ShardedChannel<BitBlock>>,
     shared: Arc<Shared>,
     counters: Arc<WorkerCounters>,
     tel: WorkerTelemetry,
@@ -1067,13 +1113,14 @@ fn worker_loop<S: HarvestSource>(
             *slot = Some(e);
         }
     }
-    // Detach from the channel: when the last worker retires, a blocked
-    // collector `recv` wakes, drains, and observes the end of the
-    // stream. Then wake pool waiters so they observe the worker count.
-    // The lock barrier orders the notify after any in-progress
-    // predicate check parks (see `HarvestEngine::halt`).
+    // Detach from this worker's channel shard: when the last worker
+    // retires, a collector parked on the doorbell wakes, drains, and
+    // observes the end of the stream. Then wake pool waiters so they
+    // observe the worker count. The lock barrier orders the notify
+    // after any in-progress predicate check parks (see
+    // `HarvestEngine::halt`).
     shared.live_workers.retire();
-    channel.retire_sender();
+    channel.retire_sender(index);
     drop(shared.pool.lock());
     shared.bits_available.notify_all();
     shared.space_available.notify_all();
@@ -1083,7 +1130,7 @@ fn worker_loop<S: HarvestSource>(
 fn worker_run<S: HarvestSource>(
     worker: usize,
     mut source: S,
-    channel: &BatchChannel<BitBlock>,
+    channel: &ShardedChannel<BitBlock>,
     shared: &Shared,
     counters: &WorkerCounters,
     tel: &WorkerTelemetry,
@@ -1128,9 +1175,15 @@ fn worker_run<S: HarvestSource>(
                 .saturating_sub(last_cache.skip_word_reads);
             let hit = cache.hit_reads.saturating_sub(last_cache.hit_reads);
             let resolve = cache.resolve_reads.saturating_sub(last_cache.resolve_reads);
+            let bulk = cache.bulk_cells.saturating_sub(last_cache.bulk_cells);
+            let bulk_lanes = cache
+                .bulk_lane_cells
+                .saturating_sub(last_cache.bulk_lane_cells);
             counters.cache_skip_reads.add(skip);
             counters.cache_hit_reads.add(hit);
             counters.cache_resolve_reads.add(resolve);
+            counters.cache_bulk_cells.add(bulk);
+            counters.cache_bulk_lane_cells.add(bulk_lanes);
             tel.cache_skip_reads.add(skip);
             tel.cache_hit_reads.add(hit);
             tel.cache_resolve_reads.add(resolve);
@@ -1218,7 +1271,10 @@ fn worker_run<S: HarvestSource>(
         shared.in_flight_bits.publish(batch.len() as u64);
         let span_publish_t0 = tracer.clock();
         let publish_t0 = tel.publish_ns.start();
-        match channel.send(batch) {
+        // Publish into this worker's own shard: the only lock shared
+        // with anyone is the shard lock the collector drains through —
+        // never another channel's worker.
+        match channel.send(worker, batch) {
             Ok(()) => {
                 tel.publish_ns.observe_since(publish_t0);
                 batch_span.child_since("engine.publish", span_publish_t0);
@@ -1241,7 +1297,7 @@ fn worker_run<S: HarvestSource>(
 /// into the pool, and once every worker has retired (end of stream)
 /// stop.
 fn collector_loop(
-    channel: &BatchChannel<BitBlock>,
+    channel: &ShardedChannel<BitBlock>,
     shared: &Shared,
     tel: &CollectorTelemetry,
     tracer: &Tracer,
@@ -1249,6 +1305,9 @@ fn collector_loop(
     high: usize,
 ) {
     let mut gate = WatermarkGate::new(low, high);
+    // Round-robin position across the per-worker shards, persisted
+    // between drains so one prolific channel cannot starve the others.
+    let mut cursor = 0;
     loop {
         if !shared.shutdown.is_raised() {
             // Hysteresis gate: pause at the high watermark, resume at
@@ -1269,11 +1328,12 @@ fn collector_loop(
                 shared.space_available.wait(&mut pool);
             }
         }
-        // Blocks until a worker publishes; returns None when the last
-        // worker has retired and the channel is drained — including
-        // after shutdown, so successfully-sent batches always reach the
-        // pool and the bit-conservation invariant holds.
-        match channel.recv() {
+        // Blocks (on the doorbell) until some worker publishes;
+        // returns None when every worker has retired and all shards
+        // are drained — including after shutdown, so successfully-sent
+        // batches always reach the pool and the bit-conservation
+        // invariant holds.
+        match channel.recv_any(&mut cursor) {
             Some(batch) => {
                 let n = batch.len() as u64;
                 // Root span per delivered batch; like the workers it
@@ -1730,6 +1790,8 @@ mod tests {
                 self.stats.skip_word_reads += 6;
                 self.stats.hit_reads += 3;
                 self.stats.resolve_reads += 1;
+                self.stats.bulk_cells += 10;
+                self.stats.bulk_lane_cells += 8;
                 self.inner.harvest_batch()
             }
             fn sense_cache_stats(&self) -> Option<SenseCacheStats> {
@@ -1748,9 +1810,15 @@ mod tests {
         assert_eq!(w.cache_skip_reads, 6 * w.batches);
         assert_eq!(w.cache_hit_reads, 3 * w.batches);
         assert_eq!(w.cache_resolve_reads, w.batches);
+        assert_eq!(w.cache_bulk_cells, 10 * w.batches);
+        assert_eq!(w.cache_bulk_lane_cells, 8 * w.batches);
         assert_eq!(stats.cache_skip_reads, w.cache_skip_reads);
         assert_eq!(stats.cache_hit_reads, w.cache_hit_reads);
         assert_eq!(stats.cache_resolve_reads, w.cache_resolve_reads);
+        assert_eq!(stats.cache_bulk_cells, w.cache_bulk_cells);
+        assert_eq!(stats.cache_bulk_lane_cells, w.cache_bulk_lane_cells);
+        assert!((w.lane_utilization() - 0.8).abs() < 1e-12);
+        assert!((stats.lane_utilization() - 0.8).abs() < 1e-12);
         assert!((w.cache_hit_rate() - 0.9).abs() < 1e-12);
         assert!((stats.cache_hit_rate() - 0.9).abs() < 1e-12);
         // A stats snapshot with no cache activity reports a 0.0 rate.

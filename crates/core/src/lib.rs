@@ -74,7 +74,7 @@ pub mod sync;
 pub mod throughput;
 
 pub use bits::{BitBlock, BitQueue};
-pub use channel::BatchChannel;
+pub use channel::{BatchChannel, ShardedChannel, TryRecv};
 pub use drange_telemetry as telemetry;
 pub use engine::{
     channel_sources, channel_sources_with_telemetry, resilient_channel_sources, EngineConfig,

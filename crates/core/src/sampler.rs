@@ -69,6 +69,77 @@ struct BankPlan {
     words: Vec<PlannedWord>, // 1 or 2 entries
 }
 
+/// One planned word flattened into exact pass order — everything the
+/// hot loop needs, with the bit positions in a shared pool
+/// (`PassArena::bits[bits_start..bits_end]`) so a pass touches no
+/// nested allocations.
+#[derive(Debug, Clone, Copy)]
+struct PassWord {
+    bank: usize,
+    row: usize,
+    col: usize,
+    original: u64,
+    bits_start: usize,
+    bits_end: usize,
+}
+
+/// Reusable per-pass buffers: a flattened snapshot of the plan in
+/// exact pass order plus the packed harvest buffer. Rebuilt only when
+/// the plan changes (revision-stamped), so steady-state passes
+/// allocate nothing.
+#[derive(Debug, Default)]
+struct PassArena {
+    /// Plan revision ([`DRange::plan_rev`]) the snapshot reflects.
+    rev: u64,
+    built: bool,
+    /// Pass-order word addresses — the device's bulk-resolve run.
+    run: Vec<WordAddr>,
+    /// Flattened plan snapshot in exact pass order.
+    words: Vec<PassWord>,
+    /// Flat bit-position pool backing the `PassWord` ranges.
+    bits: Vec<u32>,
+    /// Packed harvest buffer (MSB-first), reused across passes.
+    buf: Vec<u64>,
+    /// Valid bits in `buf`.
+    buf_len: usize,
+}
+
+impl PassArena {
+    fn rebuild(&mut self, plan: &[BankPlan], rev: u64) {
+        self.run.clear();
+        self.words.clear();
+        self.bits.clear();
+        for word_idx in 0..2 {
+            // Phase-interleaved issue across banks maximizes bank-level
+            // parallelism under tRRD/tFAW.
+            for bp in plan {
+                let Some(w) = bp.words.get(word_idx) else {
+                    continue;
+                };
+                // A fully suspended word (every cell benched by the
+                // lifecycle) is skipped outright — no point burning an
+                // ACT/PRE cycle that harvests nothing.
+                if w.bits.is_empty() {
+                    continue;
+                }
+                let bits_start = self.bits.len();
+                self.bits.extend(w.bits.iter().map(|&b| b as u32));
+                self.run.push(w.addr);
+                self.words.push(PassWord {
+                    bank: bp.bank,
+                    row: w.addr.row,
+                    col: w.addr.col,
+                    original: w.original,
+                    bits_start,
+                    bits_end: self.bits.len(),
+                });
+            }
+        }
+        self.rev = rev;
+        self.built = true;
+    }
+}
+
 /// Sampling statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SampleStats {
@@ -101,6 +172,9 @@ pub struct DRange {
     ctrl: MemoryController,
     config: DRangeConfig,
     plan: Vec<BankPlan>,
+    /// Bumped on every plan mutation; invalidates the pass arena.
+    plan_rev: u64,
+    arena: PassArena,
     queue: BitQueue,
     stats: SampleStats,
     bits_per_iteration: usize,
@@ -183,6 +257,8 @@ impl DRange {
             ctrl,
             config,
             plan,
+            plan_rev: 0,
+            arena: PassArena::default(),
             queue: BitQueue::new(),
             stats: SampleStats::default(),
             bits_per_iteration,
@@ -271,6 +347,7 @@ impl DRange {
             .iter()
             .map(|bp| bp.words.iter().map(|w| w.bits.len()).sum::<usize>())
             .sum();
+        self.plan_rev += 1;
     }
 
     /// Benches a cell: its bit is no longer harvested (honest reduced
@@ -416,10 +493,19 @@ impl DRange {
     /// Propagates controller errors; the `tRCD` register is reset on
     /// the error path.
     pub fn sample_once(&mut self) -> Result<usize> {
+        if !self.arena.built || self.arena.rev != self.plan_rev {
+            self.arena.rebuild(&self.plan, self.plan_rev);
+        }
         let t0 = self.ctrl.now_ps();
         // Line 6: reduce tRCD for the sampling window.
         self.ctrl.try_set_trcd_ns(self.config.trcd_ns)?;
-        let result = sample_pass(&mut self.ctrl, &self.plan, &mut self.queue);
+        // Bulk-prefetch the pass's cell resolutions (SoA lane kernel).
+        // A pure acceleration hint: consumes no noise and READs
+        // re-validate, so the bit stream is untouched.
+        self.ctrl
+            .device_mut()
+            .resolve_run(&self.arena.run, self.config.trcd_ns);
+        let result = sample_pass(&mut self.ctrl, &mut self.arena, &mut self.queue);
         // Line 18: restore the default tRCD.
         self.ctrl.reset_trcd();
         let harvested = result?;
@@ -573,43 +659,59 @@ impl DRange {
     }
 }
 
-/// One pass of Algorithm 2's core loop (lines 7-15) over the plan.
+/// One pass of Algorithm 2's core loop (lines 7-15) over the arena's
+/// flattened plan snapshot. The harvest is packed into the arena's
+/// reusable buffer and published to the queue as one bulk word-run —
+/// the queue sees either the whole pass or (on a controller error)
+/// nothing.
 fn sample_pass(
     ctrl: &mut MemoryController,
-    plan: &[BankPlan],
+    arena: &mut PassArena,
     queue: &mut BitQueue,
 ) -> Result<usize> {
+    let PassArena {
+        words,
+        bits,
+        buf,
+        buf_len,
+        ..
+    } = arena;
+    buf.clear();
+    *buf_len = 0;
     let mut harvested = 0usize;
-    for word_idx in 0..2 {
-        // Phase-interleaved issue across banks maximizes bank-level
-        // parallelism under tRRD/tFAW.
-        for bp in plan {
-            let Some(w) = bp.words.get(word_idx) else {
-                continue;
-            };
-            // A fully suspended word (every cell benched by the
-            // lifecycle) is skipped outright — no point burning an
-            // ACT/PRE cycle that harvests nothing.
-            if w.bits.is_empty() {
-                continue;
-            }
-            ctrl.act(bp.bank, w.addr.row)?;
-            let got = ctrl.rd(bp.bank, w.addr.row, w.addr.col)?;
-            // Lines 9-10: harvest the RNG bits (failure indicators,
-            // sensed XOR written) packed MSB-first, restore original.
-            let diff = got ^ w.original;
-            let mut frag = 0u64;
-            for (k, &bit) in w.bits.iter().enumerate() {
-                frag |= ((diff >> bit) & 1) << (63 - k);
-            }
-            queue.push_bits(frag, w.bits.len());
-            harvested += w.bits.len();
-            if got != w.original {
-                ctrl.wr(bp.bank, w.addr.row, w.addr.col, w.original)?;
-            }
-            ctrl.pre(bp.bank)?;
+    for w in words.iter() {
+        ctrl.act(w.bank, w.row)?;
+        let got = ctrl.rd(w.bank, w.row, w.col)?;
+        // Lines 9-10: harvest the RNG bits (failure indicators,
+        // sensed XOR written) packed MSB-first, restore original.
+        let diff = got ^ w.original;
+        let word_bits = &bits[w.bits_start..w.bits_end];
+        let mut frag = 0u64;
+        for (k, &bit) in word_bits.iter().enumerate() {
+            frag |= ((diff >> bit) & 1) << (63 - k);
         }
+        // Splice the fragment into the packed pass buffer (same
+        // MSB-first layout BitQueue::push_words expects).
+        let n = word_bits.len();
+        let off = *buf_len % 64;
+        if off == 0 {
+            buf.push(frag);
+        } else {
+            if let Some(last) = buf.last_mut() {
+                *last |= frag >> off;
+            }
+            if n > 64 - off {
+                buf.push(frag << (64 - off));
+            }
+        }
+        *buf_len += n;
+        harvested += n;
+        if got != w.original {
+            ctrl.wr(w.bank, w.row, w.col, w.original)?;
+        }
+        ctrl.pre(w.bank)?;
     }
+    queue.push_words(buf, *buf_len);
     Ok(harvested)
 }
 

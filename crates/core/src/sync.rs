@@ -13,7 +13,7 @@
 //!   served + queued + discarded + in flight* — reads directly out
 //!   of the code; and
 //! * under `RUSTFLAGS="--cfg loom"` the wrappers switch to the
-//!   [`loomlite`] model-checking shims, making every access a
+//!   `loomlite` model-checking shims, making every access a
 //!   scheduling point so `tests/loom_engine.rs` can explore the
 //!   engine's shutdown handshake and watermark gate exhaustively.
 //!

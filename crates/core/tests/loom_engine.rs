@@ -21,6 +21,7 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use drange_core::bits::{BitBlock, BitQueue};
 use drange_core::sync::{BitLedger, CounterCell, Flag, LiveCount, WatermarkGate};
 use loomlite::sync::{Arc, Condvar, Mutex};
 use loomlite::{thread, Builder};
@@ -475,6 +476,361 @@ fn close_without_the_sender_notify_strands_a_blocked_worker() {
     }));
     let message = result
         .expect_err("the notify-free close must fail the model check")
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("deadlock"),
+        "expected a deadlock report, got: {message}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Sharded hand-off: `channel::ShardedChannel` + `BitQueue` bulk
+// publication. These models restate the channel-affine protocol the
+// engine now runs — one single-sender shard per worker, a doorbell
+// sequence the collector parks on — and push *real* `BitBlock`s into a
+// *real* `BitQueue` pool (plain data, so the model-checked mutex can
+// guard the genuine `push_words` splice, not a bit-count stand-in).
+// ---------------------------------------------------------------------
+
+/// One shard of the sharded model: mirrors `ShardedChannel`'s
+/// per-producer `BatchChannel`, carrying real bit blocks.
+struct ShardState {
+    queue: VecDeque<BitBlock>,
+    senders: usize,
+    closed: bool,
+}
+
+/// Mirrors `channel::ShardedChannel` + the engine state the sharded
+/// protocol touches. The pool is a real [`BitQueue`]: the collector's
+/// `push_block` goes through the wait-free bulk `push_words` splice,
+/// so the model checks the actual publication code under every
+/// schedule, including unaligned splice offsets (the shard payloads
+/// have non-multiple-of-64 lengths).
+struct ShardedModel {
+    shards: Vec<Mutex<ShardState>>,
+    /// Per-shard space condvar (`BatchChannel::space`): the shard's
+    /// single sender parks here when the shard is full.
+    shard_space: Vec<Condvar>,
+    /// Doorbell sequence (`ShardedChannel::doorbell`): bumped under
+    /// this lock on every consumer-visible transition.
+    doorbell: Mutex<u64>,
+    /// Signaled after every doorbell bump (`ShardedChannel::bell_rung`).
+    bell_rung: Condvar,
+    pool: Mutex<BitQueue>,
+    in_flight: BitLedger,
+    harvested: CounterCell,
+    discarded: CounterCell,
+    /// Population count of every bit successfully delivered — lets the
+    /// end-state assert conservation of bit *values* through the bulk
+    /// splice, not just of counts.
+    ones_delivered: CounterCell,
+}
+
+/// Modeled per-shard capacity, in batches.
+const SHARD_CAP: usize = 1;
+
+impl ShardedModel {
+    fn new(workers: usize) -> Self {
+        ShardedModel {
+            shards: (0..workers)
+                .map(|_| {
+                    Mutex::new(ShardState {
+                        queue: VecDeque::new(),
+                        senders: 1,
+                        closed: false,
+                    })
+                })
+                .collect(),
+            shard_space: (0..workers).map(|_| Condvar::new()).collect(),
+            doorbell: Mutex::new(0),
+            bell_rung: Condvar::new(),
+            pool: Mutex::new(BitQueue::new()),
+            in_flight: BitLedger::new(),
+            harvested: CounterCell::new(),
+            discarded: CounterCell::new(),
+            ones_delivered: CounterCell::new(),
+        }
+    }
+}
+
+/// Mirrors `ShardedChannel::ring`: bump the sequence under the
+/// doorbell lock, then wake the collector.
+fn sh_ring(m: &ShardedModel) {
+    let mut seq = m.doorbell.lock().expect("model lock");
+    *seq = seq.wrapping_add(1);
+    drop(seq);
+    m.bell_rung.notify_all();
+}
+
+/// Mirrors `ShardedChannel::send`: the shard's `BatchChannel::send`
+/// followed by the doorbell ring on success.
+fn sh_send(m: &ShardedModel, shard: usize, batch: BitBlock) -> Result<(), BitBlock> {
+    let mut st = m.shards[shard].lock().expect("model lock");
+    loop {
+        if st.closed {
+            return Err(batch);
+        }
+        if st.queue.len() < SHARD_CAP {
+            st.queue.push_back(batch);
+            drop(st);
+            sh_ring(m);
+            return Ok(());
+        }
+        st = m.shard_space[shard].wait(st).expect("model wait");
+    }
+}
+
+/// Mirrors `ShardedChannel::retire_sender`: shard retirement plus the
+/// doorbell ring that lets a parked collector observe it.
+fn sh_retire(m: &ShardedModel, shard: usize) {
+    let mut st = m.shards[shard].lock().expect("model lock");
+    st.senders = st.senders.saturating_sub(1);
+    drop(st);
+    sh_ring(m);
+}
+
+/// Mirrors `ShardedChannel::close`: close every shard under its own
+/// lock (waking its blocked sender), then ring the doorbell.
+fn sh_close(m: &ShardedModel) {
+    for (shard, space) in m.shards.iter().zip(&m.shard_space) {
+        let mut st = shard.lock().expect("model lock");
+        st.closed = true;
+        drop(st);
+        space.notify_all();
+    }
+    sh_ring(m);
+}
+
+/// One shard's `BatchChannel::try_recv`: `Ok(Some)` = batch,
+/// `Ok(None)` = empty-but-live, `Err(())` = disconnected.
+fn sh_try_recv(m: &ShardedModel, shard: usize) -> Result<Option<BitBlock>, ()> {
+    let mut st = m.shards[shard].lock().expect("model lock");
+    if let Some(batch) = st.queue.pop_front() {
+        drop(st);
+        m.shard_space[shard].notify_one();
+        return Ok(Some(batch));
+    }
+    if st.senders == 0 {
+        Err(())
+    } else {
+        Ok(None)
+    }
+}
+
+/// Mirrors `ShardedChannel::recv_any`: snapshot the doorbell *before*
+/// the scan, round-robin the shards with non-blocking drains, park
+/// only while the sequence still equals the snapshot.
+fn sh_recv_any(m: &ShardedModel, cursor: &mut usize) -> Option<BitBlock> {
+    let n = m.shards.len();
+    loop {
+        let snapshot = *m.doorbell.lock().expect("model lock");
+        let mut live = false;
+        for k in 0..n {
+            let i = (*cursor + k) % n;
+            match sh_try_recv(m, i) {
+                Ok(Some(batch)) => {
+                    *cursor = (i + 1) % n;
+                    return Some(batch);
+                }
+                Ok(None) => live = true,
+                Err(()) => {}
+            }
+        }
+        if !live {
+            return None;
+        }
+        let mut seq = m.doorbell.lock().expect("model lock");
+        while *seq == snapshot {
+            seq = m.bell_rung.wait(seq).expect("model wait");
+        }
+    }
+}
+
+/// Mirrors the sharded `worker_loop`/`worker_run`: publish `payload`
+/// into this worker's own shard, account an undeliverable batch as
+/// discarded, retire the shard.
+fn sharded_worker(m: &ShardedModel, shard: usize, payload: &[bool]) {
+    let batch = BitBlock::from_bools(payload);
+    m.harvested.add(batch.len() as u64);
+    m.in_flight.publish(batch.len() as u64);
+    match sh_send(m, shard, batch) {
+        Ok(()) => {}
+        Err(batch) => {
+            m.in_flight.retire(batch.len() as u64);
+            m.discarded.add(batch.len() as u64);
+        }
+    }
+    sh_retire(m, shard);
+}
+
+/// Mirrors the sharded `collector_loop` (gate elided — the watermark
+/// protocol is covered by the single-channel models above): drain via
+/// `recv_any` into the real `BitQueue` through the bulk `push_block`
+/// splice.
+fn sharded_collector(m: &ShardedModel) {
+    let mut cursor = 0;
+    while let Some(batch) = sh_recv_any(m, &mut cursor) {
+        let n = batch.len() as u64;
+        let ones = batch.iter().filter(|&b| b).count() as u64;
+        let mut pool = m.pool.lock().expect("model lock");
+        pool.push_block(&batch);
+        drop(pool);
+        m.in_flight.retire(n);
+        m.ones_delivered.add(ones);
+    }
+}
+
+/// The sharded hand-off conserves every bit — by *value*, through the
+/// real `BitQueue::push_words` splice — under every schedule: two
+/// workers publish odd-length payloads (so the second splice lands at
+/// an unaligned bit offset in whichever order the collector drains
+/// them), the collector multiplexes the shards behind the doorbell,
+/// and after the joins the pool holds exactly the delivered bits.
+#[test]
+fn sharded_doorbell_conserves_bit_values_through_bitqueue() {
+    let bounded = Builder {
+        preemption_bound: Some(2),
+        max_iterations: None,
+    };
+    bounded.check(|| {
+        let m = Arc::new(ShardedModel::new(2));
+        // 13 and 9 bits: both splices exercise the shifted (non-word-
+        // aligned) path of `push_words`, in either drain order.
+        let w0 = thread::spawn({
+            let m = Arc::clone(&m);
+            move || {
+                sharded_worker(
+                    &m,
+                    0,
+                    &[
+                        true, false, true, true, false, false, true, false, true, true, true,
+                        false, true,
+                    ],
+                )
+            }
+        });
+        let w1 = thread::spawn({
+            let m = Arc::clone(&m);
+            move || {
+                sharded_worker(
+                    &m,
+                    1,
+                    &[false, true, true, false, true, false, false, true, true],
+                )
+            }
+        });
+        let c = thread::spawn({
+            let m = Arc::clone(&m);
+            move || sharded_collector(&m)
+        });
+        w0.join().expect("worker 0");
+        w1.join().expect("worker 1");
+        c.join().expect("collector");
+        assert_eq!(m.in_flight.outstanding(), 0, "bits left in flight");
+        assert_eq!(m.discarded.get(), 0, "nothing closed this run");
+        let mut pool = m.pool.lock().expect("model lock");
+        let pooled = pool.len();
+        assert_eq!(pooled as u64, m.harvested.get(), "13 + 9 bits pooled");
+        let drained = pool.pop_block(pooled);
+        let ones = drained.iter().filter(|&b| b).count() as u64;
+        assert_eq!(
+            ones,
+            m.ones_delivered.get(),
+            "bulk splice must conserve bit values, not just counts"
+        );
+        assert_eq!(ones, 8 + 5, "population count of both payloads");
+    });
+}
+
+/// Shutdown against the sharded hand-off: close lands before, between,
+/// or after the publishes; a worker blocked on its full shard fails
+/// fast and accounts the batch as discarded; delivered batches drain
+/// after close. Conservation (harvested = pooled + discarded) must
+/// hold on every schedule.
+#[test]
+fn sharded_close_conserves_bits_under_shutdown() {
+    let bounded = Builder {
+        preemption_bound: Some(2),
+        max_iterations: None,
+    };
+    bounded.check(|| {
+        let m = Arc::new(ShardedModel::new(1));
+        // Two batches against a capacity-1 shard with no collector:
+        // unless close wins outright, the second send parks on the
+        // shard's space condvar and only `sh_close`'s per-shard notify
+        // can free it.
+        let w = thread::spawn({
+            let m = Arc::clone(&m);
+            move || {
+                sharded_worker(&m, 0, &[true, true, false]);
+                // A second single-batch pass through the same shard
+                // (sharded_worker retires once, so model the second
+                // batch inline).
+                let batch = BitBlock::from_bools(&[false, true]);
+                m.harvested.add(batch.len() as u64);
+                m.in_flight.publish(batch.len() as u64);
+                if let Err(batch) = sh_send(&m, 0, batch) {
+                    m.in_flight.retire(batch.len() as u64);
+                    m.discarded.add(batch.len() as u64);
+                }
+            }
+        });
+        sh_close(&m);
+        w.join().expect("worker thread");
+        // Drain whatever was delivered (try_recv keeps working after
+        // close) and balance the ledger.
+        let mut pooled = 0u64;
+        while let Ok(Some(batch)) = sh_try_recv(&m, 0) {
+            pooled += batch.len() as u64;
+            m.in_flight.retire(batch.len() as u64);
+        }
+        assert_eq!(m.in_flight.outstanding(), 0, "bits left in flight");
+        assert_eq!(
+            m.harvested.get(),
+            pooled + m.discarded.get(),
+            "bit conservation violated across sharded close"
+        );
+    });
+}
+
+/// Pins the doorbell ordering: `recv_any` must snapshot the sequence
+/// *before* scanning the shards. The buggy variant modeled here
+/// snapshots after the scan, so a ring that lands between the (empty)
+/// scan and the snapshot is folded into the snapshot — the collector
+/// parks with the batch already queued and nobody left to ring: a
+/// lost wakeup the checker must report as a deadlock.
+#[test]
+fn recv_any_snapshot_after_the_scan_loses_the_ring() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loomlite::model(|| {
+            let m = Arc::new(ShardedModel::new(1));
+            let w = thread::spawn({
+                let m = Arc::clone(&m);
+                // Send only — no retire, so the collector's only exit
+                // is receiving the batch (pinning the failure on the
+                // doorbell, not on end-of-stream detection).
+                move || {
+                    let _ = sh_send(&m, 0, BitBlock::from_bools(&[true]));
+                }
+            });
+            // BUG under test: scan first, snapshot after.
+            loop {
+                if let Ok(Some(_)) = sh_try_recv(&m, 0) {
+                    break;
+                }
+                let snapshot = *m.doorbell.lock().expect("model lock");
+                let mut seq = m.doorbell.lock().expect("model lock");
+                while *seq == snapshot {
+                    seq = m.bell_rung.wait(seq).expect("model wait");
+                }
+            }
+            w.join().expect("worker thread");
+        });
+    }));
+    let message = result
+        .expect_err("the snapshot-after-scan recv must fail the model check")
         .downcast_ref::<String>()
         .cloned()
         .unwrap_or_default();

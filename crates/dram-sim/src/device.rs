@@ -30,7 +30,7 @@ use crate::geometry::{CellAddr, Geometry, WordAddr};
 use crate::manufacturer::{Manufacturer, PhysicsProfile};
 use crate::math::phi;
 use crate::probit::fast_phi;
-use crate::sense_cache::{FastCell, SenseCache, SenseCacheStats};
+use crate::sense_cache::{FastCell, ResolveArena, SenseCache, SenseCacheStats, WordState};
 use crate::temperature::Celsius;
 use crate::timing::{DramStandard, TimingParams};
 use crate::variation::{cell_latents, CellLatents, VariationMap};
@@ -152,6 +152,8 @@ pub struct DramDevice {
     noise: Box<dyn NoiseSource>,
     /// Memoized per-word bit classification for the sensing hot path.
     cache: SenseCache,
+    /// Reusable gather/scatter buffers for [`DramDevice::resolve_run`].
+    arena: ResolveArena,
     /// Whether READs sense through the cache (default) or the original
     /// per-cell slow path (the equivalence oracle).
     sense_fast: bool,
@@ -235,6 +237,7 @@ impl DramDevice {
             banks,
             noise,
             cache: SenseCache::default(),
+            arena: ResolveArena::default(),
             sense_fast: true,
             act_counts: vec![0u64; geometry.banks * geometry.rows],
             faults: FaultState::default(),
@@ -598,12 +601,161 @@ impl DramDevice {
         stored: u64,
         trcd_ns: f64,
     ) -> u64 {
+        // Steady-state attempt on disjoint field borrows (cache, noise,
+        // and data never alias): a classified, resolved, context-clean
+        // word needs no classification and no Φ work, so the whole read
+        // is a table or map probe, a context compare, and the noise
+        // draws — with no cache detach. Falls through to the detached
+        // slow path on any staleness.
+        {
+            let cache = &mut self.cache;
+            let noise = &mut self.noise;
+            // Dense hot-run table first: Algorithm 2 READs the run in
+            // order, so the cursor compare answers the common case
+            // without touching the word map's scattered buckets and
+            // heap buffers. Every staleness check the map path does is
+            // replayed against the table's snapshots.
+            if cache.hot_valid
+                && cache.hot_class_epoch == cache.class_epoch
+                && cache.hot_trcd_bits == trcd_ns.to_bits()
+                && !cache.hot.is_empty()
+            {
+                let addr = WordAddr::new(bank, row, col);
+                let n = cache.hot.len();
+                let cur = cache.hot_cursor;
+                let found = if cache.hot[cur].addr == addr {
+                    Some(cur)
+                } else {
+                    cache.hot.iter().position(|h| h.addr == addr)
+                };
+                if let Some(k) = found {
+                    cache.hot_cursor = if k + 1 == n { 0 } else { k + 1 };
+                    let hw = &mut cache.hot[k];
+                    if hw.usable {
+                        if hw.len == 0 {
+                            cache.stats.skip_word_reads += 1;
+                            return stored;
+                        }
+                        let ctx = ctx_of_parts(&self.data, &self.geometry, bank, row, col, stored);
+                        if hw.resolve_epoch == cache.resolve_epoch && hw.ctx == ctx {
+                            if hw.prefetched {
+                                hw.prefetched = false;
+                                cache.stats.resolve_reads += 1;
+                            } else {
+                                cache.stats.hit_reads += 1;
+                            }
+                            let off = hw.off as usize;
+                            let len = hw.len as usize;
+                            let mut sensed = stored;
+                            let mut mask = noise.bernoulli_run(&cache.hot_ps[off..off + len]);
+                            while mask != 0 {
+                                let j = mask.trailing_zeros() as usize;
+                                sensed ^= 1u64 << cache.hot_bit_pool[off + j];
+                                mask &= mask - 1;
+                            }
+                            return sensed;
+                        }
+                    }
+                }
+            }
+            if let Some(state) = cache.words.get_mut(&WordAddr::new(bank, row, col)) {
+                if state.classified
+                    && state.class_epoch == cache.class_epoch
+                    && state.trcd_bits == trcd_ns.to_bits()
+                {
+                    if state.active.is_empty() {
+                        cache.stats.skip_word_reads += 1;
+                        return stored;
+                    }
+                    let ctx = ctx_of_parts(&self.data, &self.geometry, bank, row, col, stored);
+                    if state.resolved
+                        && state.resolve_epoch == cache.resolve_epoch
+                        && state.ctx == ctx
+                    {
+                        if state.prefetched {
+                            // First consumption of a bulk-prefetched
+                            // resolution books as a resolve — see
+                            // `sense_word_cached`.
+                            state.prefetched = false;
+                            cache.stats.resolve_reads += 1;
+                        } else {
+                            cache.stats.hit_reads += 1;
+                        }
+                        let mut sensed = stored;
+                        let mut mask = noise.bernoulli_run(&state.ps);
+                        while mask != 0 {
+                            let k = mask.trailing_zeros() as usize;
+                            sensed ^= 1u64 << state.hot_bits[k];
+                            mask &= mask - 1;
+                        }
+                        return sensed;
+                    }
+                }
+            }
+        }
         // Detach the cache so its word states can be borrowed mutably
         // alongside the device's data/profile/variation/noise fields.
         let mut cache = std::mem::take(&mut self.cache);
         let sensed = self.sense_word_cached(&mut cache, bank, row, col, stored, trcd_ns);
         self.cache = cache;
         sensed
+    }
+
+    /// Ensures a word's classification matches the current tRCD and
+    /// classification epoch, recomputing it when stale. Replicates
+    /// [`DramDevice::sense_word`]'s per-bit prefix so `base` is
+    /// computed by the identical expression tree. Returns whether a
+    /// (re)classification ran (the caller books the stats).
+    #[allow(clippy::too_many_arguments)]
+    fn ensure_classified(
+        &self,
+        state: &mut WordState,
+        bank: usize,
+        row: usize,
+        col: usize,
+        trcd_bits: u64,
+        trcd_ns: f64,
+        class_epoch: u32,
+    ) -> bool {
+        if state.classified && state.class_epoch == class_epoch && state.trcd_bits == trcd_bits {
+            return false;
+        }
+        let g = self.profile.settle(trcd_ns);
+        let sub = self.geometry.subarray_of(row);
+        let d = self.geometry.row_in_subarray(row) as f64 / self.geometry.subarray_rows as f64;
+        let row_factor = 1.0 - self.profile.row_alpha * d;
+        state.skip_mask = 0;
+        state.active.clear();
+        state.hot_bits.clear();
+        for bit in 0..self.geometry.word_bits {
+            let bl = self.geometry.bitline_of(col, bit);
+            let s = self.variation.strength(bank, sub, bl);
+            let base = g * s * row_factor - self.profile.theta_v;
+            if base > SLOW_PATH_CUTOFF_V {
+                state.skip_mask |= 1u64 << bit;
+            } else {
+                let cell = CellAddr::new(bank, row, col, bit);
+                let lat = cell_latents(self.seed, &self.profile, cell);
+                state.active.push(FastCell { bit, base, lat });
+                state.hot_bits.push(bit as u8);
+            }
+        }
+        state.ps.clear();
+        state.ps.resize(state.active.len(), 0.0);
+        state.classified = true;
+        state.class_epoch = class_epoch;
+        state.trcd_bits = trcd_bits;
+        state.resolved = false;
+        state.prefetched = false;
+        true
+    }
+
+    /// Coupling-context snapshot of a word: the margins of its cells
+    /// depend only on the stored word itself and its column neighbors
+    /// (bitline b±1 leaves the word only at bits 0 and word_bits−1).
+    /// Missing neighbors use a constant sentinel.
+    fn ctx_of(&self, bank: usize, row: usize, col: usize, stored: u64) -> [u64; 3] {
+        ctx_of_parts(&self.data, &self.geometry, bank, row, col, stored)
     }
 
     fn sense_word_cached(
@@ -620,39 +772,7 @@ impl DramDevice {
             .words
             .entry(WordAddr::new(bank, row, col))
             .or_default();
-        if !state.classified
-            || state.class_epoch != cache.class_epoch
-            || state.trcd_bits != trcd_bits
-        {
-            // Classification: replicate sense_word's per-bit prefix so
-            // `base` is computed by the identical expression tree.
-            let g = self.profile.settle(trcd_ns);
-            let sub = self.geometry.subarray_of(row);
-            let d = self.geometry.row_in_subarray(row) as f64 / self.geometry.subarray_rows as f64;
-            let row_factor = 1.0 - self.profile.row_alpha * d;
-            state.skip_mask = 0;
-            state.active.clear();
-            for bit in 0..self.geometry.word_bits {
-                let bl = self.geometry.bitline_of(col, bit);
-                let s = self.variation.strength(bank, sub, bl);
-                let base = g * s * row_factor - self.profile.theta_v;
-                if base > SLOW_PATH_CUTOFF_V {
-                    state.skip_mask |= 1u64 << bit;
-                } else {
-                    let cell = CellAddr::new(bank, row, col, bit);
-                    let lat = cell_latents(self.seed, &self.profile, cell);
-                    state.active.push(FastCell {
-                        bit,
-                        base,
-                        lat,
-                        p: 0.0,
-                    });
-                }
-            }
-            state.classified = true;
-            state.class_epoch = cache.class_epoch;
-            state.trcd_bits = trcd_bits;
-            state.resolved = false;
+        if self.ensure_classified(state, bank, row, col, trcd_bits, trcd_ns, cache.class_epoch) {
             cache.stats.classified_words += 1;
         }
         if state.active.is_empty() {
@@ -661,41 +781,118 @@ impl DramDevice {
             cache.stats.skip_word_reads += 1;
             return stored;
         }
-        // Coupling-context snapshot: the margins of this word's cells
-        // depend only on the stored word itself and its column
-        // neighbors (bitline b±1 leaves the word only at bits 0 and
-        // word_bits−1). Missing neighbors use a constant sentinel.
-        let left = if col > 0 {
-            self.data[bank][idx_of(&self.geometry, row, col - 1)]
-        } else {
-            0
-        };
-        let right = if col + 1 < self.geometry.cols {
-            self.data[bank][idx_of(&self.geometry, row, col + 1)]
-        } else {
-            0
-        };
-        let ctx = [left, stored, right];
+        let ctx = self.ctx_of(bank, row, col, stored);
         if !state.resolved || state.resolve_epoch != cache.resolve_epoch || state.ctx != ctx {
-            for fc in &mut state.active {
+            for k in 0..state.active.len() {
+                let fc = &state.active[k];
                 let cell = CellAddr::new(bank, row, col, fc.bit);
                 let margin = self.cell_margin_with(cell, fc.base, stored, &fc.lat);
-                fc.p = fast_phi(-margin * self.profile.inv_sigma);
+                state.ps[k] = fast_phi(-margin * self.profile.inv_sigma);
             }
             state.resolved = true;
             state.resolve_epoch = cache.resolve_epoch;
             state.ctx = ctx;
+            state.prefetched = false;
+            cache.stats.resolve_reads += 1;
+            // The map resolution just diverged from any hot-table
+            // snapshot of this word; retire that entry so the table
+            // never serves (or books) a superseded resolution.
+            if cache.hot_valid {
+                let addr = WordAddr::new(bank, row, col);
+                if let Some(h) = cache.hot.iter_mut().find(|h| h.addr == addr) {
+                    h.usable = false;
+                }
+            }
+        } else if state.prefetched {
+            // First consumption of a bulk-prefetched resolution: the Φ
+            // work ran in resolve_run instead of here, so this READ
+            // books as a resolve — counter-for-counter identical to
+            // the non-prefetching fast path.
+            state.prefetched = false;
             cache.stats.resolve_reads += 1;
         } else {
             cache.stats.hit_reads += 1;
         }
+        // One virtual dispatch for the whole word's draws; the mask
+        // comes back in `ps` order, i.e. ascending bit order — the
+        // exact sequence the per-cell loop used to draw.
         let mut sensed = stored;
-        for fc in &state.active {
-            if self.noise.bernoulli(fc.p) {
-                sensed ^= 1u64 << fc.bit;
-            }
+        let mut mask = self.noise.bernoulli_run(&state.ps);
+        while mask != 0 {
+            let k = mask.trailing_zeros() as usize;
+            sensed ^= 1u64 << state.hot_bits[k];
+            mask &= mask - 1;
         }
         sensed
+    }
+
+    /// Bulk-prefetches the stochastic-cell resolutions for a run of
+    /// words — the Algorithm 2 plan of the next sampling pass — by
+    /// gathering every stale word's cell margins into a
+    /// structure-of-arrays arena and evaluating Φ with the four-lane
+    /// probit kernel ([`crate::probit::fast_phi4`]).
+    ///
+    /// Purely an acceleration hint: READs re-validate the epochs and
+    /// the coupling context regardless, the lane kernel is
+    /// bit-identical to the scalar one, and the prefetch consumes no
+    /// noise (Φ is deterministic), so the output stream and the cache
+    /// counters are exactly those of the non-prefetching fast path.
+    /// No-op when the fast path is disabled, when `trcd_ns` is inside
+    /// the guard band (such READs never sense), and when the previous
+    /// run covered the same words under the same tRCD and epochs (the
+    /// steady-state hot streak). Out-of-range addresses are skipped.
+    pub fn resolve_run(&mut self, words: &[WordAddr], trcd_ns: f64) {
+        if !self.sense_fast || trcd_ns >= self.profile.fail_guard_ns {
+            return;
+        }
+        let trcd_bits = trcd_ns.to_bits();
+        let mut cache = std::mem::take(&mut self.cache);
+        if cache.run_valid
+            && cache.run_trcd_bits == trcd_bits
+            && cache.run_class_epoch == cache.class_epoch
+            && cache.run_resolve_epoch == cache.resolve_epoch
+            && cache.run_words == words
+        {
+            self.cache = cache;
+            return;
+        }
+        let mut arena = std::mem::take(&mut self.arena);
+        arena.clear();
+        for &addr in words {
+            let (bank, row, col) = (addr.bank, addr.row, addr.col);
+            if self.check_addr(bank, row, col).is_err() {
+                continue;
+            }
+            let state = cache.words.entry(addr).or_default();
+            if self.ensure_classified(state, bank, row, col, trcd_bits, trcd_ns, cache.class_epoch)
+            {
+                cache.stats.classified_words += 1;
+            }
+            if state.active.is_empty() {
+                continue;
+            }
+            let stored = self.data[bank][idx_of(&self.geometry, row, col)];
+            let ctx = self.ctx_of(bank, row, col, stored);
+            if state.resolved && state.resolve_epoch == cache.resolve_epoch && state.ctx == ctx {
+                continue;
+            }
+            arena.spans.push((addr, ctx, state.active.len() as u32));
+            for fc in &state.active {
+                let cell = CellAddr::new(bank, row, col, fc.bit);
+                let margin = self.cell_margin_with(cell, fc.base, stored, &fc.lat);
+                arena.args.push(-margin * self.profile.inv_sigma);
+            }
+        }
+        cache.resolve_words(&mut arena);
+        cache.build_hot_table(words, trcd_bits);
+        cache.run_words.clear();
+        cache.run_words.extend_from_slice(words);
+        cache.run_trcd_bits = trcd_bits;
+        cache.run_class_epoch = cache.class_epoch;
+        cache.run_resolve_epoch = cache.resolve_epoch;
+        cache.run_valid = true;
+        self.arena = arena;
+        self.cache = cache;
     }
 
     /// Adds the per-cell margin terms to a precomputed `base` margin.
@@ -1038,6 +1235,31 @@ impl DramDevice {
 #[inline]
 fn idx_of(geometry: &Geometry, row: usize, col: usize) -> usize {
     row * geometry.cols + col
+}
+
+/// [`DramDevice::ctx_of`] as a free function, so the steady-state read
+/// path can compute the context while the sense cache is mutably
+/// borrowed (disjoint field borrows instead of a cache detach).
+#[inline]
+fn ctx_of_parts(
+    data: &[Vec<u64>],
+    geometry: &Geometry,
+    bank: usize,
+    row: usize,
+    col: usize,
+    stored: u64,
+) -> [u64; 3] {
+    let left = if col > 0 {
+        data[bank][idx_of(geometry, row, col - 1)]
+    } else {
+        0
+    };
+    let right = if col + 1 < geometry.cols {
+        data[bank][idx_of(geometry, row, col + 1)]
+    } else {
+        0
+    };
+    [left, stored, right]
 }
 
 #[cfg(test)]
@@ -1549,5 +1771,83 @@ mod tests {
         read_once(&mut d, row, col, 9.5);
         let s5 = d.sense_cache_stats();
         assert_eq!(s5.classified_words, 2, "new tRCD reclassifies");
+    }
+
+    /// One Algorithm-2-style pass over `words`: read each at reduced
+    /// tRCD, restore corrupted words, return the sensed values.
+    fn pass_over(d: &mut DramDevice, words: &[WordAddr], trcd: f64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &w in words {
+            d.activate(w.bank, w.row).unwrap();
+            let got = d.read(w.bank, w.row, w.col, trcd).unwrap();
+            if got != 0 {
+                d.write(w.bank, w.row, w.col, 0).unwrap();
+            }
+            d.precharge(w.bank).unwrap();
+            out.push(got);
+        }
+        out
+    }
+
+    #[test]
+    fn resolve_run_prefetch_is_invisible() {
+        // Prefetching via resolve_run must leave the sensed bit stream
+        // AND the cache counters exactly as the plain fast path: the
+        // lane kernel is bit-identical to the scalar and the first READ
+        // of a prefetched word books the resolve.
+        let mut pre = device();
+        let mut plain = device();
+        let g = pre.geometry();
+        let words: Vec<WordAddr> = (0..12)
+            .map(|i| WordAddr::new(i % g.banks.min(4), (i * 7) % 64, i % g.cols))
+            .collect();
+        for step in 0..40 {
+            let trcd = [9.5, 10.0][step % 2];
+            pre.resolve_run(&words, trcd);
+            // Hot-streak probe: a second identical call must be free.
+            pre.resolve_run(&words, trcd);
+            let a = pass_over(&mut pre, &words, trcd);
+            let b = pass_over(&mut plain, &words, trcd);
+            assert_eq!(a, b, "step {step} trcd {trcd}");
+            if step == 20 {
+                // Mid-stream temperature change: re-resolution epoch.
+                pre.set_temperature(Celsius(60.0));
+                plain.set_temperature(Celsius(60.0));
+            }
+        }
+        let sa = pre.sense_cache_stats();
+        let sb = plain.sense_cache_stats();
+        assert_eq!(sa.classified_words, sb.classified_words);
+        assert_eq!(sa.resolve_reads, sb.resolve_reads, "prefetch booking");
+        assert_eq!(sa.hit_reads, sb.hit_reads);
+        assert_eq!(sa.skip_word_reads, sb.skip_word_reads);
+        assert!(sa.bulk_cells > 0, "lane kernel actually ran");
+        assert_eq!(sb.bulk_cells, 0);
+    }
+
+    #[test]
+    fn resolve_run_hot_streak_and_guards() {
+        let mut d = device();
+        let words: Vec<WordAddr> = (0..8).map(|i| WordAddr::new(0, i * 3, i % 4)).collect();
+        // Guard band: no work at nominal tRCD.
+        d.resolve_run(&words, 18.0);
+        assert_eq!(d.sense_cache_stats().bulk_cells, 0);
+        d.resolve_run(&words, 10.0);
+        let first = d.sense_cache_stats().bulk_cells;
+        assert!(first > 0);
+        // Identical repeat run: the stamp short-circuits the whole scan.
+        d.resolve_run(&words, 10.0);
+        assert_eq!(d.sense_cache_stats().bulk_cells, first, "hot streak skip");
+        // Different tRCD breaks the streak and reclassifies.
+        d.resolve_run(&words, 9.5);
+        assert!(d.sense_cache_stats().bulk_cells > first);
+        // Out-of-range addresses are skipped, not fatal.
+        let g = d.geometry();
+        d.resolve_run(&[WordAddr::new(g.banks, 0, 0)], 10.0);
+        // Disabled fast path: complete no-op.
+        d.set_sense_fast_path(false);
+        let before = d.sense_cache_stats().bulk_cells;
+        d.resolve_run(&words, 10.0);
+        assert_eq!(d.sense_cache_stats().bulk_cells, before);
     }
 }

@@ -28,6 +28,24 @@ pub trait NoiseSource: Send {
             self.uniform() < p
         }
     }
+
+    /// One Bernoulli draw per probability in `ps` (at most 64),
+    /// returned as a mask with bit `k` set when the draw for `ps[k]`
+    /// succeeded. Exactly equivalent to calling
+    /// [`NoiseSource::bernoulli`] in slice order — same draws from the
+    /// underlying stream, same saturation behavior at `p ≤ 0` / `p ≥ 1`
+    /// — but a single (mono­morphized, hence inlinable) dispatch for
+    /// the whole run instead of one virtual call per cell.
+    fn bernoulli_run(&mut self, ps: &[f64]) -> u64 {
+        debug_assert!(ps.len() <= 64);
+        let mut mask = 0u64;
+        for (k, &p) in ps.iter().enumerate() {
+            if self.bernoulli(p) {
+                mask |= 1u64 << k;
+            }
+        }
+        mask
+    }
 }
 
 /// OS-seeded noise: the stand-in for true physical nondeterminism.

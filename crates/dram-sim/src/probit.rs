@@ -117,6 +117,20 @@ fn erfc_tail(y: f64) -> f64 {
     ((SQRPI - r) / y) * (-y * y).exp()
 }
 
+/// erfc(y) for y ≥ 0: the region dispatch both the scalar and the
+/// lane kernels share, so every lane evaluates the exact expression
+/// tree the scalar path would.
+#[inline]
+fn erfc_nonneg(y: f64) -> f64 {
+    if y <= THRESH {
+        1.0 - erf_small(y)
+    } else if y <= 4.0 {
+        erfc_mid(y)
+    } else {
+        erfc_tail(y)
+    }
+}
+
 /// The complementary error function, rational-minimax approximation.
 ///
 /// Drop-in accelerated companion of [`crate::math::erfc`]; see the
@@ -125,21 +139,177 @@ pub fn fast_erfc(x: f64) -> f64 {
     if x < 0.0 {
         // Mirror math::erfc's reflection so both implementations
         // saturate to exactly 2.0 at the same argument magnitudes.
-        return 2.0 - fast_erfc(-x);
+        return 2.0 - erfc_nonneg(-x);
     }
-    if x <= THRESH {
-        1.0 - erf_small(x)
-    } else if x <= 4.0 {
-        erfc_mid(x)
-    } else {
-        erfc_tail(x)
-    }
+    erfc_nonneg(x)
 }
 
 /// Standard normal CDF via [`fast_erfc`] — the fast companion of
 /// [`crate::math::phi`], sharing its `0.5 * erfc(-x/√2)` structure.
 pub fn fast_phi(x: f64) -> f64 {
     0.5 * fast_erfc(-x / std::f64::consts::SQRT_2)
+}
+
+// ----------------------------------------------------------------------
+// Explicit-width lane kernels.
+//
+// The bulk resolve path (SenseCache::resolve_words) evaluates Φ over a
+// structure-of-arrays margin buffer four lanes at a time. Each lane
+// performs *exactly* the floating-point operation sequence of the
+// scalar functions above — same coefficients, same association order,
+// same region dispatch — so the results are bit-identical to the
+// scalar path by construction (no cross-lane arithmetic exists that
+// could reassociate anything). When the four lanes fall into one Cody
+// region the polynomial loops run over `[f64; LANES]` operands, which
+// the compiler keeps in vector registers; mixed-region groups fall
+// back to four scalar evaluations.
+// ----------------------------------------------------------------------
+
+/// Lane width of [`fast_erfc4`] / [`fast_phi4`].
+pub const LANES: usize = 4;
+
+/// Cody region of a non-negative argument: 0 = erf series,
+/// 1 = mid rational, 2 = asymptotic tail.
+#[inline]
+fn region(y: f64) -> u8 {
+    if y <= THRESH {
+        0
+    } else if y <= 4.0 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Four-lane [`erf_small`].
+#[inline]
+fn erf_small4(y: [f64; LANES]) -> [f64; LANES] {
+    let mut z = [0.0; LANES];
+    for l in 0..LANES {
+        z[l] = y[l] * y[l];
+    }
+    let mut xnum = [0.0; LANES];
+    let mut xden = z;
+    for l in 0..LANES {
+        xnum[l] = A[4] * z[l];
+    }
+    for i in 0..3 {
+        for l in 0..LANES {
+            xnum[l] = (xnum[l] + A[i]) * z[l];
+        }
+        for l in 0..LANES {
+            xden[l] = (xden[l] + B[i]) * z[l];
+        }
+    }
+    let mut out = [0.0; LANES];
+    for l in 0..LANES {
+        out[l] = y[l] * (xnum[l] + A[3]) / (xden[l] + B[3]);
+    }
+    out
+}
+
+/// Four-lane [`erfc_mid`].
+#[inline]
+fn erfc_mid4(y: [f64; LANES]) -> [f64; LANES] {
+    let mut xnum = [0.0; LANES];
+    let mut xden = y;
+    for l in 0..LANES {
+        xnum[l] = C[8] * y[l];
+    }
+    for i in 0..7 {
+        for l in 0..LANES {
+            xnum[l] = (xnum[l] + C[i]) * y[l];
+        }
+        for l in 0..LANES {
+            xden[l] = (xden[l] + D[i]) * y[l];
+        }
+    }
+    let mut out = [0.0; LANES];
+    for l in 0..LANES {
+        out[l] = ((xnum[l] + C[7]) / (xden[l] + D[7])) * (-y[l] * y[l]).exp();
+    }
+    out
+}
+
+/// Four-lane [`erfc_tail`].
+#[inline]
+fn erfc_tail4(y: [f64; LANES]) -> [f64; LANES] {
+    let mut z = [0.0; LANES];
+    for l in 0..LANES {
+        z[l] = 1.0 / (y[l] * y[l]);
+    }
+    let mut xnum = [0.0; LANES];
+    let mut xden = z;
+    for l in 0..LANES {
+        xnum[l] = P[5] * z[l];
+    }
+    for i in 0..4 {
+        for l in 0..LANES {
+            xnum[l] = (xnum[l] + P[i]) * z[l];
+        }
+        for l in 0..LANES {
+            xden[l] = (xden[l] + Q[i]) * z[l];
+        }
+    }
+    let mut out = [0.0; LANES];
+    for l in 0..LANES {
+        let r = z[l] * (xnum[l] + P[4]) / (xden[l] + Q[4]);
+        out[l] = ((SQRPI - r) / y[l]) * (-y[l] * y[l]).exp();
+    }
+    out
+}
+
+/// Four-lane [`fast_erfc`]: bit-identical to four scalar calls.
+pub fn fast_erfc4(x: [f64; LANES]) -> [f64; LANES] {
+    let mut y = [0.0; LANES];
+    for l in 0..LANES {
+        y[l] = x[l].abs();
+    }
+    let r0 = region(y[0]);
+    let uniform = region(y[1]) == r0 && region(y[2]) == r0 && region(y[3]) == r0;
+    let mut out = if uniform {
+        match r0 {
+            0 => {
+                let e = erf_small4(y);
+                let mut o = [0.0; LANES];
+                for l in 0..LANES {
+                    o[l] = 1.0 - e[l];
+                }
+                o
+            }
+            1 => erfc_mid4(y),
+            _ => erfc_tail4(y),
+        }
+    } else {
+        let mut o = [0.0; LANES];
+        for l in 0..LANES {
+            o[l] = erfc_nonneg(y[l]);
+        }
+        o
+    };
+    for l in 0..LANES {
+        if x[l] < 0.0 {
+            // Same reflection as the scalar path (NaN and -0.0 lanes
+            // fall through unreflected there too, since `x < 0.0` is
+            // false for both).
+            out[l] = 2.0 - out[l];
+        }
+    }
+    out
+}
+
+/// Four-lane [`fast_phi`]: bit-identical to four scalar calls.
+pub fn fast_phi4(x: [f64; LANES]) -> [f64; LANES] {
+    let mut a = [0.0; LANES];
+    for l in 0..LANES {
+        a[l] = -x[l] / std::f64::consts::SQRT_2;
+    }
+    let e = fast_erfc4(a);
+    let mut out = [0.0; LANES];
+    for l in 0..LANES {
+        out[l] = 0.5 * e[l];
+    }
+    out
 }
 
 #[cfg(test)]
@@ -233,6 +403,75 @@ mod tests {
             let v = fast_erfc(x);
             assert!(v <= prev, "erfc must not increase at {x}");
             prev = v;
+        }
+    }
+
+    #[test]
+    fn lane_erfc_is_bitwise_scalar_on_sweep() {
+        // Consecutive sweep points land in the same region most of the
+        // time (the vector path) but every region boundary produces a
+        // mixed group (the scalar fallback) — both paths must be
+        // bit-identical to four scalar calls.
+        let xs: Vec<f64> = sweep().collect();
+        for g in xs.chunks_exact(LANES) {
+            let group = [g[0], g[1], g[2], g[3]];
+            let got = fast_erfc4(group);
+            for l in 0..LANES {
+                assert_eq!(
+                    got[l].to_bits(),
+                    fast_erfc(group[l]).to_bits(),
+                    "erfc lane {l} of {group:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_phi_is_bitwise_scalar_on_mixed_region_groups() {
+        // Hand-picked groups spanning every region combination the
+        // resolve path can gather: series/mid/tail, both signs, the
+        // exact region switch points, zero, and saturated lanes.
+        let groups = [
+            [0.0, 0.1, -0.2, 0.3],
+            [THRESH, -THRESH, 4.0, -4.0],
+            [0.2, 2.0, 8.0, -0.2],
+            [-9.0, 9.0, 0.46876, -0.46874],
+            [26.0, -26.0, 3.9999, 0.00001],
+            [5.0, 6.0, 7.0, 8.0],
+            [1.0, 1.5, 2.5, 3.5],
+        ];
+        for group in groups {
+            let phi4 = fast_phi4(group);
+            let erfc4 = fast_erfc4(group);
+            for l in 0..LANES {
+                assert_eq!(
+                    phi4[l].to_bits(),
+                    fast_phi(group[l]).to_bits(),
+                    "phi lane {l} of {group:?}"
+                );
+                assert_eq!(
+                    erfc4[l].to_bits(),
+                    fast_erfc(group[l]).to_bits(),
+                    "erfc lane {l} of {group:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_phi_saturates_with_scalar() {
+        // The Bernoulli no-draw classification (p <= 0, p >= 1) must
+        // agree lane-for-lane, or a bulk-resolved word would consume a
+        // different number of uniforms than a scalar-resolved one.
+        let xs: Vec<f64> = sweep().collect();
+        for g in xs.chunks_exact(LANES) {
+            let group = [g[0], g[1], g[2], g[3]];
+            let got = fast_phi4(group);
+            for l in 0..LANES {
+                let s = fast_phi(group[l]);
+                assert_eq!(got[l] >= 1.0, s >= 1.0, "p==1 split at {}", group[l]);
+                assert_eq!(got[l] <= 0.0, s <= 0.0, "p==0 split at {}", group[l]);
+            }
         }
     }
 }

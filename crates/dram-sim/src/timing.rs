@@ -31,7 +31,7 @@ impl std::fmt::Display for DramStandard {
 /// except `tck_ps` which is the command-clock period).
 ///
 /// The memory controller may legally program any values it likes into its
-/// timing registers — including a `trcd` below [`TimingParams::trcd`]'s
+/// timing registers — including a `trcd` below [`TimingParams::trcd_ps`]'s
 /// datasheet value, which is exactly the violation D-RaNGe exploits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TimingParams {

@@ -175,7 +175,7 @@ fn poisson_for_key(key: u64, lambda: f64) -> u64 {
 }
 
 /// Per-cell fixed latent parameters, derived on demand.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CellLatents {
     /// Fixed margin offset in volts (manufacturing variation).
     pub eps_v: f64,

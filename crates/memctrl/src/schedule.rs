@@ -40,10 +40,57 @@ struct BankTiming {
     has_history: bool,
 }
 
+/// Division-free round-up-to-clock-edge.
+///
+/// The scheduler issues three to four commands per harvested word and
+/// the `u64` division inside [`TimingParams::to_clock_ps`] was one of
+/// the largest single costs on the sampling hot path. `ClockRound`
+/// precomputes `⌊2⁶⁴ / tck⌋` once per timing reprogram and replaces
+/// the division with a 128-bit multiply plus a bounded fixup — exact
+/// (`ps.div_ceil(tck) * tck`) for every `u64` input: the reciprocal
+/// estimate undershoots the true quotient by at most
+/// `ps·(2⁶⁴/tck − inv)/2⁶⁴ < ps/2⁶⁴ + 1 < 2`, so the fixup loop runs
+/// at most twice.
+#[derive(Debug, Clone, Copy)]
+struct ClockRound {
+    tck_ps: u64,
+    /// `⌊2⁶⁴ / tck_ps⌋`.
+    inv: u128,
+}
+
+impl ClockRound {
+    fn new(tck_ps: u64) -> Self {
+        // tck 0 would make every command instantaneous; treat it as 1
+        // (identity rounding), matching div_ceil-by-1.
+        let d = tck_ps.max(1);
+        ClockRound {
+            tck_ps: d,
+            inv: (1u128 << 64) / u128::from(d),
+        }
+    }
+
+    /// `ps.div_ceil(self.tck_ps) * self.tck_ps` without a division.
+    #[inline]
+    fn round_up(&self, ps: u64) -> u64 {
+        let d = self.tck_ps;
+        let mut q = ((u128::from(ps) * self.inv) >> 64) as u64;
+        while (u128::from(q) + 1) * u128::from(d) <= u128::from(ps) {
+            q += 1;
+        }
+        let floor = q * d;
+        if floor == ps {
+            ps
+        } else {
+            floor + d
+        }
+    }
+}
+
 /// Issues commands at the earliest legal time and tracks the clock.
 #[derive(Debug, Clone)]
 pub struct CommandScheduler {
     timing: TimingParams,
+    clock: ClockRound,
     overhead_ps: u64,
     now_ps: u64,
     banks: Vec<BankTiming>,
@@ -58,6 +105,7 @@ impl CommandScheduler {
     pub fn new(banks: usize, timing: TimingParams) -> Self {
         CommandScheduler {
             timing,
+            clock: ClockRound::new(timing.tck_ps),
             overhead_ps: 0,
             now_ps: 0,
             banks: vec![BankTiming::default(); banks],
@@ -71,6 +119,7 @@ impl CommandScheduler {
     /// Replaces the effective timing parameters (register reprogram).
     pub fn set_timing(&mut self, timing: TimingParams) {
         self.timing = timing;
+        self.clock = ClockRound::new(timing.tck_ps);
     }
 
     /// The effective timing parameters in force.
@@ -197,7 +246,8 @@ impl CommandScheduler {
                 }
             }
         }
-        Ok(t.to_clock_ps(at))
+        // Same value as `t.to_clock_ps(at)`, division-free.
+        Ok(self.clock.round_up(at))
     }
 
     /// Issues a command at its earliest legal time, updating the clock
@@ -450,5 +500,45 @@ mod tests {
     fn bank_out_of_range_is_illegal() {
         let mut s = sched();
         assert!(s.issue(CommandKind::Act, 99, 0, 0).is_err());
+    }
+
+    #[test]
+    fn clock_round_matches_div_ceil_exactly() {
+        // The division-free rounder must agree with
+        // `TimingParams::to_clock_ps` (`div_ceil * tck`) on every input,
+        // or command timestamps would drift from the recorded baselines.
+        let tcks = [1u64, 2, 3, 5, 416, 625, 938, 1_000, 1_250, 65_537];
+        for &tck in &tcks {
+            let r = ClockRound::new(tck);
+            let mut t = TimingParams::lpddr4_3200();
+            t.tck_ps = tck;
+            // Clock-edge neighborhoods plus a multiplicative sweep to
+            // cover large magnitudes.
+            for k in 0..2_000u64 {
+                let edge = k * tck;
+                for ps in edge.saturating_sub(2)..=edge + 2 {
+                    assert_eq!(r.round_up(ps), t.to_clock_ps(ps), "tck {tck} ps {ps}");
+                }
+            }
+            let mut ps = 1u64;
+            while ps < u64::MAX / 2 {
+                for probe in [ps - 1, ps, ps + 1] {
+                    assert_eq!(
+                        r.round_up(probe),
+                        probe.div_ceil(tck) * tck,
+                        "tck {tck} ps {probe}"
+                    );
+                }
+                ps = ps.wrapping_mul(3).wrapping_add(7);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_round_zero_tck_is_identity() {
+        let r = ClockRound::new(0);
+        for ps in [0u64, 1, 17, 1 << 40] {
+            assert_eq!(r.round_up(ps), ps);
+        }
     }
 }

@@ -36,7 +36,7 @@ fn splitmix(state: &mut u64) -> u64 {
 }
 
 /// A deterministic uniform bit source (splitmix64), one batch of
-/// [`BATCH_BITS`] per harvest call.
+/// `BATCH_BITS` (4096) per harvest call.
 #[derive(Debug)]
 pub struct PrngHarvestSource {
     state: u64,

@@ -212,21 +212,21 @@ pub fn summary_line(registry: &MetricsRegistry) -> String {
 
 impl MetricsRegistry {
     /// Prometheus text-format rendering; see
-    /// [`render_prometheus`](crate::export::render_prometheus).
+    /// [`crate::export::render_prometheus`].
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         render_prometheus(self)
     }
 
     /// JSON snapshot rendering; see
-    /// [`render_json`](crate::export::render_json).
+    /// [`crate::export::render_json`].
     #[must_use]
     pub fn render_json(&self) -> String {
         render_json(self)
     }
 
     /// One-line cross-label summary; see
-    /// [`summary_line`](crate::export::summary_line).
+    /// [`crate::export::summary_line`].
     #[must_use]
     pub fn summary_line(&self) -> String {
         summary_line(self)

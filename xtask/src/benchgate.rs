@@ -1,0 +1,323 @@
+//! `cargo xtask bench-gate` — fail when the harvest fast path regresses.
+//!
+//! Compares the `fig8_throughput.fast_ns_per_read` of a freshly
+//! produced `BENCH_harvest.json` against the recorded baseline (the
+//! committed report, snapshotted before the bench run overwrites it)
+//! and exits non-zero when the per-READ cost implies a throughput
+//! regression beyond the allowed fraction. Per-READ cost is the
+//! scale-independent metric: the quick and full bench scales run the
+//! same steady-state loop and differ only in pass count, so CI's quick
+//! run gates against the committed full-scale number.
+//!
+//! The report format is the two-level `{section: {key: number}}` JSON
+//! that `drange-bench`'s hand-rolled `BenchReport` emits; the parser
+//! here accepts exactly that shape (plus string values, skipped) and
+//! rejects anything deeper, so a corrupted report fails the gate
+//! loudly instead of green-lighting a regression.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The gated metric: lower is better (ns of wall time per sensed READ
+/// on the memoizing fast path).
+const SECTION: &str = "fig8_throughput";
+const KEY: &str = "fast_ns_per_read";
+
+/// Default allowed throughput regression (fraction). Throughput is
+/// 1/ns_per_read, so a 10 % throughput loss corresponds to a ~11.1 %
+/// ns/READ increase — the gate converts accordingly.
+const DEFAULT_MAX_REGRESSION: f64 = 0.10;
+
+/// Parses the `{section: {key: value}}` report shape into a flat map.
+/// String values are tolerated (and ignored by the gate); any other
+/// nesting is an error.
+pub fn parse_report(text: &str) -> Result<BTreeMap<(String, String), f64>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut out = BTreeMap::new();
+    p.ws();
+    p.expect(b'{')?;
+    p.ws();
+    if p.peek() == Some(b'}') {
+        p.expect(b'}')?;
+        return Ok(out);
+    }
+    loop {
+        p.ws();
+        let section = p.string()?;
+        p.ws();
+        p.expect(b':')?;
+        p.ws();
+        p.expect(b'{')?;
+        p.ws();
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+        } else {
+            loop {
+                p.ws();
+                let key = p.string()?;
+                p.ws();
+                p.expect(b':')?;
+                p.ws();
+                match p.peek() {
+                    Some(b'"') => {
+                        p.string()?; // string metric: not gateable, skip
+                    }
+                    _ => {
+                        let value = p.number()?;
+                        out.insert((section.clone(), key), value);
+                    }
+                }
+                p.ws();
+                match p.next_byte()? {
+                    b',' => continue,
+                    b'}' => break,
+                    c => {
+                        return Err(format!(
+                            "expected `,` or `}}` in section, got `{}`",
+                            c as char
+                        ))
+                    }
+                }
+            }
+        }
+        p.ws();
+        match p.next_byte()? {
+            b',' => continue,
+            b'}' => break,
+            c => {
+                return Err(format!(
+                    "expected `,` or `}}` at top level, got `{}`",
+                    c as char
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next_byte(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of report")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next_byte()? {
+            b if b == want => Ok(()),
+            b => Err(format!("expected `{}`, got `{}`", want as char, b as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.next_byte()? {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    // BenchReport only escapes `"`, `\` and control
+                    // characters; pass the escaped byte through and
+                    // keep `\uXXXX` opaque (keys are never gated on).
+                    let e = self.next_byte()?;
+                    s.push(e as char);
+                }
+                b => s.push(b as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-UTF8 number token".to_string())?;
+        tok.parse::<f64>()
+            .map_err(|e| format!("bad number `{tok}`: {e}"))
+    }
+}
+
+/// Runs the gate: `Ok(summary)` when the current fast path is within
+/// the allowed regression of the baseline, `Err(reason)` otherwise
+/// (including unreadable/ill-formed reports and missing metrics — a
+/// gate that cannot measure must not pass).
+pub fn gate(baseline: &str, current: &str, max_regression: f64) -> Result<String, String> {
+    if !(0.0..1.0).contains(&max_regression) {
+        return Err(format!(
+            "--max-regression must be in [0, 1), got {max_regression}"
+        ));
+    }
+    let metric = |text: &str, which: &str| -> Result<f64, String> {
+        let report = parse_report(text).map_err(|e| format!("{which} report: {e}"))?;
+        report
+            .get(&(SECTION.to_string(), KEY.to_string()))
+            .copied()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("{which} report has no usable `{SECTION}.{KEY}`"))
+    };
+    let base_ns = metric(baseline, "baseline")?;
+    let cur_ns = metric(current, "current")?;
+    // throughput ∝ 1/ns_per_read: a `max_regression` throughput loss
+    // allows ns/READ up to baseline / (1 - max_regression).
+    let allowed_ns = base_ns / (1.0 - max_regression);
+    let mut summary = String::new();
+    let _ = writeln!(
+        summary,
+        "bench-gate: {SECTION}.{KEY} baseline {base_ns:.1} ns, current {cur_ns:.1} ns \
+         (allowed ≤ {allowed_ns:.1} ns for a ≤{:.0}% throughput regression)",
+        max_regression * 100.0
+    );
+    if cur_ns > allowed_ns {
+        let loss = (1.0 - base_ns / cur_ns) * 100.0;
+        Err(format!(
+            "{summary}fast path regressed: {cur_ns:.1} ns/READ is a {loss:.1}% throughput \
+             loss vs the recorded baseline ({base_ns:.1} ns)"
+        ))
+    } else {
+        let _ = write!(
+            summary,
+            "bench-gate: OK ({:+.1}% throughput vs baseline)",
+            (base_ns / cur_ns - 1.0) * 100.0
+        );
+        Ok(summary)
+    }
+}
+
+/// CLI front-end: `bench-gate --baseline FILE --current FILE
+/// [--max-regression FRACTION]`.
+pub fn command(args: &[String]) -> i32 {
+    let mut baseline = None;
+    let mut current = None;
+    let mut max_regression = DEFAULT_MAX_REGRESSION;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = it.next().cloned(),
+            "--current" => current = it.next().cloned(),
+            "--max-regression" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => max_regression = v,
+                _ => {
+                    eprintln!("bench-gate: --max-regression needs a numeric fraction");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("bench-gate: unknown argument `{other}`");
+                return 2;
+            }
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        eprintln!("usage: cargo xtask bench-gate --baseline FILE --current FILE [--max-regression FRACTION]");
+        return 2;
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let result = read(&baseline).and_then(|b| {
+        let c = read(&current)?;
+        gate(&b, &c, max_regression)
+    });
+    match result {
+        Ok(summary) => {
+            println!("{summary}");
+            0
+        }
+        Err(reason) => {
+            eprintln!("bench-gate: FAIL\n{reason}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(fast_ns: f64) -> String {
+        format!(
+            "{{\n  \"fig8_throughput\": {{\n    \"fast_ns_per_read\": {fast_ns},\n    \
+             \"speedup\": 5.1\n  }},\n  \"simd\": {{\n    \"lane_utilization\": 1\n  }}\n}}"
+        )
+    }
+
+    #[test]
+    fn parses_the_bench_report_shape() {
+        let map = parse_report(&report(352.5)).expect("parses");
+        assert_eq!(
+            map[&("fig8_throughput".into(), "fast_ns_per_read".into())],
+            352.5
+        );
+        assert_eq!(map[&("simd".into(), "lane_utilization".into())], 1.0);
+        assert!(parse_report("{}").expect("empty object").is_empty());
+    }
+
+    #[test]
+    fn tolerates_string_values_and_escapes() {
+        let text = "{\"s\": {\"note\": \"a \\\"quoted\\\" label\", \"v\": -1.5e2}}";
+        let map = parse_report(text).expect("parses");
+        assert_eq!(map[&("s".into(), "v".into())], -150.0);
+        assert_eq!(map.len(), 1, "string metrics are skipped, not gated");
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        for bad in ["", "{", "{\"a\": 1}", "{\"a\": {\"b\": }}", "[1, 2]"] {
+            assert!(parse_report(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn passes_within_the_allowed_regression() {
+        // 10% throughput regression allows ns/READ up to base/0.9.
+        let ok = gate(&report(100.0), &report(110.0), 0.10).expect("within bound");
+        assert!(ok.contains("OK"), "{ok}");
+        gate(&report(100.0), &report(90.0), 0.10).expect("improvement passes");
+    }
+
+    #[test]
+    fn fails_beyond_the_allowed_regression() {
+        let err = gate(&report(100.0), &report(112.0), 0.10).expect_err("beyond bound");
+        assert!(err.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn fails_when_the_metric_is_missing_or_unusable() {
+        let no_metric = "{\"other\": {\"k\": 1}}";
+        assert!(gate(no_metric, &report(100.0), 0.10).is_err());
+        assert!(gate(&report(100.0), no_metric, 0.10).is_err());
+        assert!(
+            gate(&report(0.0), &report(100.0), 0.10).is_err(),
+            "zero baseline"
+        );
+        assert!(
+            gate(&report(100.0), &report(100.0), 1.5).is_err(),
+            "bad fraction"
+        );
+    }
+}

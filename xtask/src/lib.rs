@@ -1,5 +1,11 @@
 //! Workspace automation: `cargo xtask lint`, `cargo xtask analyze`,
-//! and `cargo xtask check-trace`.
+//! `cargo xtask check-trace`, and `cargo xtask bench-gate`.
+//!
+//! `bench-gate` guards the recorded harvest-throughput baseline: CI's
+//! bench-smoke job snapshots the committed `BENCH_harvest.json`, runs
+//! the quick-scale fig8 bench, and fails the job when the fast-path
+//! per-READ cost implies a throughput regression beyond the bound
+//! (see [`benchgate`]).
 //!
 //! `check-trace` validates Chrome trace-event JSON captured from the
 //! server's `GET /debug/trace` endpoint (see [`tracecheck`]); CI's
@@ -23,6 +29,7 @@
 //! vice versa.
 
 pub mod analyses;
+pub mod benchgate;
 pub mod callgraph;
 pub mod diag;
 pub mod lexer;
@@ -46,6 +53,7 @@ pub fn run<I: IntoIterator<Item = String>>(args: I) -> i32 {
         Some("lint") => lint_command(&args[1..]),
         Some("analyze") => analyze_command(&args[1..]),
         Some("check-trace") => check_trace_command(&args[1..]),
+        Some("bench-gate") => benchgate::command(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             0
@@ -69,7 +77,12 @@ commands:
                       taint, lock order, atomics-ordering policy)
   check-trace [FILE]  validate Chrome trace-event JSON (from FILE, or
                       stdin when FILE is `-` or omitted) as exported
-                      by GET /debug/trace";
+                      by GET /debug/trace
+  bench-gate --baseline FILE --current FILE [--max-regression FRACTION]
+                      compare a fresh BENCH_harvest.json against the
+                      recorded baseline; fail when the fig8 fast-path
+                      throughput regressed beyond the bound (default
+                      0.10)";
 
 fn check_trace_command(args: &[String]) -> i32 {
     let input = match args {
