@@ -137,6 +137,7 @@ fn main() {
                 queue_capacity: 1 << 20,
                 low_watermark: 1 << 16,
                 min_entropy: 0.9,
+                ..ServiceConfig::default()
             },
             Some(&registry),
         )

@@ -1,0 +1,154 @@
+//! A std-only ChaCha20 core (RFC 8439), the conditioning primitive
+//! behind the DRBG tier.
+//!
+//! The workspace deliberately carries no cryptography dependency, so
+//! the block function lives here in ~100 lines of plain integer
+//! arithmetic. Correctness is pinned bit-exactly against the RFC's own
+//! test vectors, committed under `tests/vectors/` and checked by the
+//! `drbg_kat` test binary (the CI `drbg-kat` job): the quarter-round
+//! vector (§2.1.1), the keystream block vectors (§2.3.2, appendix
+//! A.1), and the full §2.4.2 encryption example.
+//!
+//! Only the keystream shape the DRBG needs is exposed: a 256-bit key,
+//! a 96-bit nonce, and a 32-bit block counter. The DRBG ratchets its
+//! key on every generate (fast key erasure), so a single key never
+//! produces more than [`MAX_STREAM_BYTES`] of keystream and the block
+//! counter cannot wrap.
+
+/// ChaCha20 keystream block size in bytes.
+pub const BLOCK_BYTES: usize = 64;
+
+/// Longest keystream a single `(key, nonce)` pair may emit through
+/// [`keystream`]: the 32-bit block counter bounds it at `2^32 - 1`
+/// blocks, but the DRBG caps requests far below that (see
+/// [`crate::drbg::DrbgConfig::max_generate_bytes`]), so the counter
+/// arithmetic below never wraps in practice.
+pub const MAX_STREAM_BYTES: u64 = (u32::MAX as u64) * BLOCK_BYTES as u64;
+
+/// The RFC 8439 §2.3 constant words: `expand 32-byte k`.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// The ChaCha quarter round (RFC 8439 §2.1) on four state words.
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Assembles the RFC 8439 §2.3 initial state: four constant words,
+/// eight little-endian key words, the block counter, and three
+/// little-endian nonce words.
+fn initial_state(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for (i, chunk) in key.chunks_exact(4).enumerate() {
+        state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state[12] = counter;
+    for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+        state[13 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    state
+}
+
+/// The ChaCha20 block function (RFC 8439 §2.3): 10 double rounds over
+/// the initial state, the feed-forward add, little-endian
+/// serialization.
+#[must_use]
+pub fn block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; BLOCK_BYTES] {
+    let input = initial_state(key, counter, nonce);
+    let mut state = input;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_BYTES];
+    for (i, (word, init)) in state.iter().zip(input.iter()).enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.wrapping_add(*init).to_le_bytes());
+    }
+    out
+}
+
+/// Fills `out` with keystream starting at `counter` (RFC 8439 §2.4's
+/// block loop). The counter advances once per 64-byte block; callers
+/// bound `out` far below [`MAX_STREAM_BYTES`] so the wrapping add
+/// never actually wraps.
+pub fn keystream(key: &[u8; 32], counter: u32, nonce: &[u8; 12], out: &mut [u8]) {
+    for (i, chunk) in out.chunks_mut(BLOCK_BYTES).enumerate() {
+        let ks = block(key, counter.wrapping_add(i as u32), nonce);
+        chunk.copy_from_slice(&ks[..chunk.len()]);
+    }
+}
+
+/// XORs keystream into `data` in place — RFC 8439 §2.4 encryption,
+/// used by the KAT test to check the §2.4.2 example end to end.
+pub fn xor_keystream(key: &[u8; 32], counter: u32, nonce: &[u8; 12], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(BLOCK_BYTES).enumerate() {
+        let ks = block(key, counter.wrapping_add(i as u32), nonce);
+        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+            *byte ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.1.1: the quarter-round test vector.
+    #[test]
+    fn quarter_round_vector() {
+        let mut state = [0u32; 16];
+        state[0] = 0x1111_1111;
+        state[1] = 0x0102_0304;
+        state[2] = 0x9b8d_6f43;
+        state[3] = 0x0123_4567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a_92f4);
+        assert_eq!(state[1], 0xcb1c_f8ce);
+        assert_eq!(state[2], 0x4581_472e);
+        assert_eq!(state[3], 0x5881_c4bb);
+    }
+
+    /// Keystream over several blocks equals independent block calls.
+    #[test]
+    fn keystream_matches_blocks() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let mut long = [0u8; 3 * BLOCK_BYTES + 17];
+        keystream(&key, 5, &nonce, &mut long);
+        for i in 0..4 {
+            let b = block(&key, 5 + i as u32, &nonce);
+            let start = i * BLOCK_BYTES;
+            let end = (start + BLOCK_BYTES).min(long.len());
+            assert_eq!(&long[start..end], &b[..end - start], "block {i}");
+        }
+    }
+
+    /// XOR with the keystream is an involution (decrypt = encrypt).
+    #[test]
+    fn xor_keystream_round_trips() {
+        let key = [0xAB; 32];
+        let nonce = [0x01; 12];
+        let original = *b"attack at dawn, bring 64 bytes of keystream and a spare block!!";
+        let mut data = original;
+        xor_keystream(&key, 1, &nonce, &mut data);
+        assert_ne!(data, original);
+        xor_keystream(&key, 1, &nonce, &mut data);
+        assert_eq!(data, original);
+    }
+}

@@ -65,7 +65,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::bits::{BitBlock, BitQueue};
 use crate::channel::ShardedChannel;
 use crate::error::{DrangeError, Result};
-use crate::health::HealthMonitor;
+use crate::health::{HealthMonitor, TripCounts};
 use crate::identify::RngCellCatalog;
 use crate::lifecycle::{LifecycleStats, ResilientDRange};
 use crate::sampler::{DRange, DRangeConfig};
@@ -757,6 +757,21 @@ impl HarvestEngine {
     /// Bits currently queued in the shared pool.
     pub fn queued_bits(&self) -> usize {
         self.shared.pool.lock().len()
+    }
+
+    /// Cumulative RCT/APT health-trip counts summed over all workers.
+    ///
+    /// A cheap read of the workers' lock-free counter cells — unlike
+    /// [`HarvestEngine::stats`] it allocates nothing, so the DRBG tier
+    /// can consult it on every reseed decision
+    /// ([`crate::drbg::SeedSource`]).
+    pub fn health_trip_counts(&self) -> TripCounts {
+        let mut trips = TripCounts::default();
+        for counters in &self.counters {
+            trips.repetition += counters.repetition_trips.get();
+            trips.adaptive += counters.adaptive_trips.get();
+        }
+        trips
     }
 
     /// The first error any worker recorded, if one has.

@@ -26,7 +26,11 @@
 //! sampling loop per simulated channel on its own worker thread behind
 //! a watermarked, health-screened bit pool ([`HarvestEngine`]), and
 //! [`RandomnessService`] layers the firmware REQUEST/RECEIVE interface
-//! of Section 6.3 on top of it.
+//! of Section 6.3 on top of it. The [`drbg`] module adds the
+//! cryptographic conditioning tier: per-shard ChaCha20 DRBGs
+//! continuously reseeded from the screened pool with entropy-credit
+//! accounting, serving the `fast` QoS tier at rates decoupled from
+//! harvest throughput (DESIGN.md §5k).
 //!
 //! ## Example
 //!
@@ -55,6 +59,7 @@ pub mod bits;
 pub mod calibrate;
 pub mod channel;
 pub mod dpd;
+pub mod drbg;
 pub mod engine;
 pub mod entropy;
 pub mod error;
@@ -76,6 +81,7 @@ pub mod throughput;
 pub use bits::{BitBlock, BitQueue};
 pub use channel::{BatchChannel, ShardedChannel, TryRecv};
 pub use drange_telemetry as telemetry;
+pub use drbg::{CreditLedger, DrbgConfig, DrbgFarm, DrbgStats, SeedSource};
 pub use engine::{
     channel_sources, channel_sources_with_telemetry, resilient_channel_sources, EngineConfig,
     EngineStats, HarvestEngine, HarvestSource, WorkerStats,

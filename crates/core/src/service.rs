@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use drange_telemetry::{Counter, Histogram, MetricsRegistry, Tracer};
 use parking_lot::{Condvar, Mutex};
 
+use crate::drbg::{DrbgConfig, DrbgFarm, DrbgStats};
 use crate::engine::{EngineConfig, EngineStats, HarvestEngine, HarvestSource};
 use crate::error::{DrangeError, Result};
 use crate::sampler::DRange;
@@ -37,6 +38,12 @@ pub struct ServiceConfig {
     pub low_watermark: usize,
     /// Claimed min-entropy for the health monitors (bits/bit).
     pub min_entropy: f64,
+    /// Conditioning tier behind [`RandomnessService::generate_fast`]:
+    /// `Some` builds a per-shard ChaCha20 DRBG farm over the engine
+    /// (the `fast` QoS tier, DESIGN.md §5k), `None` disables it — fast
+    /// generates then fail with [`DrangeError::InvalidSpec`] while the
+    /// raw REQUEST/RECEIVE (`true`) tier is unaffected.
+    pub drbg: Option<DrbgConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +52,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1 << 16,
             low_watermark: 1 << 12,
             min_entropy: 0.95,
+            drbg: Some(DrbgConfig::default()),
         }
     }
 }
@@ -110,6 +118,8 @@ pub struct RandomnessService {
     config: ServiceConfig,
     telemetry: ServiceTelemetry,
     tracer: Tracer,
+    /// The conditioning tier (`fast` QoS), when configured.
+    drbg: Option<DrbgFarm>,
 }
 
 impl RandomnessService {
@@ -190,6 +200,15 @@ impl RandomnessService {
             registry,
             tracer.clone(),
         )?;
+        let drbg = match config.drbg {
+            Some(drbg_config) => Some(DrbgFarm::new(
+                drbg_config,
+                engine.workers(),
+                registry,
+                tracer.clone(),
+            )?),
+            None => None,
+        };
         Ok(RandomnessService {
             engine,
             inner: Mutex::new(ServiceInner::default()),
@@ -198,6 +217,7 @@ impl RandomnessService {
             config,
             telemetry: ServiceTelemetry::new(registry),
             tracer,
+            drbg,
         })
     }
 
@@ -386,6 +406,66 @@ impl RandomnessService {
             self.telemetry.timeouts.inc();
         }
         out
+    }
+
+    /// Serves `bytes` of conditioned output from the DRBG tier — the
+    /// `fast` QoS path (DESIGN.md §5k). Synchronous and lock-light:
+    /// one round-robin shard mutex, no request id, no pending queue,
+    /// no engine wait unless the picked shard is due a reseed.
+    ///
+    /// A zero-byte request completes immediately without minting a
+    /// DRBG generate (no shard is touched, no reseed can trigger, and
+    /// `drange_drbg_generates_total` does not move) — the fast-tier
+    /// analogue of [`RandomnessService::request`]'s zero-byte path.
+    ///
+    /// # Errors
+    ///
+    /// [`DrangeError::InvalidSpec`] when the service was built with
+    /// [`ServiceConfig::drbg`] `None` or the request exceeds
+    /// [`DrbgConfig::max_generate_bytes`]; [`DrangeError::Unhealthy`] /
+    /// [`DrangeError::Engine`] when the shard needs its first seed and
+    /// the reseed is blocked by a health trip or starved by the pool.
+    pub fn generate_fast(&self, bytes: usize) -> Result<Vec<u8>> {
+        if bytes == 0 {
+            return Ok(Vec::new());
+        }
+        self.farm()?.generate(&self.engine, bytes)
+    }
+
+    /// As [`RandomnessService::generate_fast`], with prediction
+    /// resistance: the serving shard absorbs fresh pool entropy
+    /// immediately before generating, or the call fails.
+    ///
+    /// # Errors
+    ///
+    /// As [`RandomnessService::generate_fast`], plus
+    /// [`DrangeError::Unhealthy`] when the forced reseed is blocked by
+    /// a health trip and [`DrangeError::Engine`] when it starves.
+    pub fn generate_fast_pr(&self, bytes: usize) -> Result<Vec<u8>> {
+        if bytes == 0 {
+            return Ok(Vec::new());
+        }
+        self.farm()?.generate_pr(&self.engine, bytes)
+    }
+
+    /// Whether the conditioning tier is configured (fast generates can
+    /// be served).
+    pub fn conditioning_enabled(&self) -> bool {
+        self.drbg.is_some()
+    }
+
+    /// Aggregated DRBG-farm statistics, or `None` when the
+    /// conditioning tier is disabled.
+    pub fn drbg_stats(&self) -> Option<DrbgStats> {
+        self.drbg.as_ref().map(DrbgFarm::stats)
+    }
+
+    fn farm(&self) -> Result<&DrbgFarm> {
+        self.drbg.as_ref().ok_or_else(|| {
+            DrangeError::InvalidSpec(
+                "the conditioning tier is disabled (ServiceConfig::drbg is None)".into(),
+            )
+        })
     }
 
     /// The blocking receive loop. Alternates between driving the
@@ -852,6 +932,55 @@ mod tests {
             s.wait_receive_timeout(id, Duration::from_secs(5)).unwrap(),
             Some(Vec::new())
         );
+    }
+
+    /// The fast-tier analog of the zero-byte contract: a zero-byte
+    /// fast request completes immediately and never mints a DRBG
+    /// generate — the shard is untouched, no instantiation reseed, no
+    /// pool draw.
+    #[test]
+    fn zero_byte_fast_request_mints_no_generate() {
+        let s = small_prng_service();
+        assert!(s.conditioning_enabled());
+        assert_eq!(s.generate_fast(0).unwrap(), Vec::<u8>::new());
+        assert_eq!(s.generate_fast_pr(0).unwrap(), Vec::<u8>::new());
+        let stats = s.drbg_stats().expect("conditioning on by default");
+        assert_eq!(stats.generates, 0, "no generate minted");
+        assert_eq!(stats.reseeds, 0, "no instantiation triggered");
+        assert_eq!(stats.entropy_credited_bits, 0, "no pool draw");
+        // A real request after the zero-byte ones instantiates lazily.
+        let out = s.generate_fast(16).unwrap();
+        assert_eq!(out.len(), 16);
+        let stats = s.drbg_stats().unwrap();
+        assert_eq!(stats.generates, 1);
+        assert_eq!(stats.reseeds, 1);
+    }
+
+    /// The fast tier serves through the same service even when raw
+    /// requests are queued, and a disabled tier is an explicit
+    /// `InvalidSpec`, never a panic.
+    #[test]
+    fn fast_tier_disabled_is_an_explicit_error() {
+        let s = RandomnessService::with_sources(
+            vec![PrngSource { state: 11 }],
+            ServiceConfig {
+                queue_capacity: 2048,
+                low_watermark: 256,
+                drbg: None,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!s.conditioning_enabled());
+        assert!(s.drbg_stats().is_none());
+        let err = s.generate_fast(16).unwrap_err();
+        assert!(
+            matches!(err, DrangeError::InvalidSpec(_)),
+            "expected InvalidSpec, got {err:?}"
+        );
+        // Zero-byte short-circuits before the farm lookup even when
+        // the tier is disabled.
+        assert_eq!(s.generate_fast(0).unwrap(), Vec::<u8>::new());
     }
 
     #[test]

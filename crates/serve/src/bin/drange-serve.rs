@@ -21,11 +21,11 @@ use std::time::Duration;
 use dram_sim::{DeviceConfig, Manufacturer};
 use drange_core::telemetry::{FlightRecorder, MetricsRegistry, RecorderConfig, Tracer};
 use drange_core::{
-    channel_sources, DRangeConfig, IdentifySpec, ProfileSpec, Profiler, RandomnessService,
-    RngCellCatalog, ServiceConfig,
+    channel_sources, DRangeConfig, DrbgConfig, IdentifySpec, ProfileSpec, Profiler,
+    RandomnessService, RngCellCatalog, ServiceConfig,
 };
 use drange_serve::source::PrngHarvestSource;
-use drange_serve::{RateLimitConfig, Server, ServerConfig};
+use drange_serve::{RateLimitConfig, Server, ServerConfig, SourceMode};
 use memctrl::MemoryController;
 
 struct Cli {
@@ -40,6 +40,8 @@ struct Cli {
     allow_shutdown: bool,
     debug_endpoints: bool,
     trace_threshold: Option<Duration>,
+    conditioning: bool,
+    default_source: SourceMode,
 }
 
 /// `Ok(None)` means `--help` was handled and the process should exit
@@ -57,6 +59,8 @@ fn parse_cli() -> Result<Option<Cli>, String> {
         allow_shutdown: false,
         debug_endpoints: false,
         trace_threshold: None,
+        conditioning: true,
+        default_source: SourceMode::True,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -113,6 +117,12 @@ fn parse_cli() -> Result<Option<Cli>, String> {
             }
             "--allow-remote-shutdown" => cli.allow_shutdown = true,
             "--debug-endpoints" => cli.debug_endpoints = true,
+            "--no-conditioning" => cli.conditioning = false,
+            "--default-source" => {
+                let raw = value("--default-source")?;
+                cli.default_source = SourceMode::parse(&raw)
+                    .ok_or_else(|| format!("--default-source must be fast|true, got `{raw}`"))?;
+            }
             "--trace-threshold-ms" => {
                 let ms: u64 = value("--trace-threshold-ms")?
                     .parse()
@@ -132,6 +142,8 @@ fn parse_cli() -> Result<Option<Cli>, String> {
                      --fetch-timeout-ms N      engine wait before 503 (2000)\n  \
                      --rate-limit RPS[:BURST]  per-IP token bucket (off)\n  \
                      --allow-remote-shutdown   enable POST /-/shutdown\n  \
+                     --no-conditioning         disable the ChaCha20 DRBG fast tier\n  \
+                     --default-source MODE     tier for /random without ?source= — fast|true (true)\n  \
                      --debug-endpoints         enable GET /debug/trace and /debug/slow\n  \
                      --trace-threshold-ms N    record only traces slower than N ms\n  \
                      \x20                          (default: record every trace)"
@@ -153,6 +165,7 @@ fn build_service(
         queue_capacity: cli.queue_bits,
         low_watermark: (cli.queue_bits / 16).max(1),
         min_entropy: 0.9,
+        drbg: cli.conditioning.then(DrbgConfig::default),
     };
     match cli.source.as_str() {
         "prng" => {
@@ -220,6 +233,7 @@ fn main() -> ExitCode {
         rate_limit: cli.rate_limit,
         allow_shutdown: cli.allow_shutdown,
         debug_endpoints: cli.debug_endpoints,
+        default_source: cli.default_source,
         ..ServerConfig::default()
     };
     let server = match Server::bind_with_recorder(cli.addr, service, registry, config, recorder) {

@@ -15,7 +15,7 @@
 //!
 //! | Endpoint | Method | Success | Failure |
 //! |---|---|---|---|
-//! | `/random?bytes=N` | GET/HEAD | `200` octet-stream | `400` bad/zero/oversized count, `429 + Retry-After` rate limit, `503 + Retry-After` overload/underrun |
+//! | `/random?bytes=N&source=fast\|true` | GET/HEAD | `200` octet-stream | `400` bad/zero/oversized count or unknown/disabled source, `429 + Retry-After` rate limit, `503 + Retry-After` overload/underrun |
 //! | `/healthz` | GET | `200 ok` | `503 degraded` |
 //! | `/metrics` | GET | `200` Prometheus text | — |
 //! | `/-/shutdown` | POST | `200`, then graceful stop | `404` unless enabled |
@@ -30,6 +30,26 @@
 //! the engine's cell-lifecycle degradation to clients that want to
 //! react before `/healthz` flips (the `429` path deliberately omits it:
 //! rate limiting never reads engine state).
+//!
+//! ## QoS tiers
+//!
+//! `/random` serves two sources, selected per request with
+//! `?source=fast|true` (default [`ServerConfig::default_source`]):
+//!
+//! * **`true`** — raw health-screened harvest bits through the
+//!   coalescer and the REQUEST/RECEIVE service: every served byte is
+//!   physical DRAM entropy, rate-bound by harvest throughput.
+//! * **`fast`** — the per-shard ChaCha20 DRBG conditioning tier
+//!   ([`drange_core::DrbgFarm`], DESIGN.md §5k): cryptographically
+//!   conditioned output continuously reseeded from the same screened
+//!   pool, served synchronously (no coalescer, no admission queue) at
+//!   rates decoupled from harvest throughput. Requires the service's
+//!   conditioning tier ([`drange_core::ServiceConfig::drbg`]); `400`
+//!   when disabled.
+//!
+//! Every `/random` response past the rate limiter carries
+//! `X-Drange-Source: fast|true` naming the tier that handled it, so
+//! clients and smoke tests can assert which path served them.
 //!
 //! ## Tracing
 //!
@@ -77,6 +97,40 @@ pub use coalesce::{Coalescer, FetchError};
 pub use http::{Request, Response};
 pub use ratelimit::{Admission, RateLimitConfig, RateLimiter};
 
+/// Which randomness tier serves a `/random` request (the
+/// `?source=fast|true` query parameter; see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceMode {
+    /// Raw health-screened harvest bits via the coalescer and the
+    /// REQUEST/RECEIVE service — every byte is physical DRAM entropy.
+    #[default]
+    True,
+    /// The ChaCha20 DRBG conditioning tier, reseeded from the screened
+    /// pool — conditioned output at rates decoupled from harvest.
+    Fast,
+}
+
+impl SourceMode {
+    /// The wire name used in `?source=` and `X-Drange-Source`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SourceMode::True => "true",
+            SourceMode::Fast => "fast",
+        }
+    }
+
+    /// Parses a `?source=` value (`"fast"` / `"true"`).
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<SourceMode> {
+        match raw {
+            "true" => Some(SourceMode::True),
+            "fast" => Some(SourceMode::Fast),
+            _ => None,
+        }
+    }
+}
+
 /// Server tuning knobs. The defaults serve a localhost deployment;
 /// benches and tests override the timeouts.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +169,10 @@ pub struct ServerConfig {
     /// operators, not the public edge). Useful only together with a
     /// flight recorder ([`Server::bind_with_recorder`]).
     pub debug_endpoints: bool,
+    /// The tier serving `/random` requests that carry no `?source=`
+    /// parameter (default [`SourceMode::True`]: raw harvest bits, the
+    /// conservative choice — clients opt *in* to conditioned output).
+    pub default_source: SourceMode,
 }
 
 impl Default for ServerConfig {
@@ -133,6 +191,7 @@ impl Default for ServerConfig {
             rate_limit: None,
             allow_shutdown: false,
             debug_endpoints: false,
+            default_source: SourceMode::True,
         }
     }
 }
@@ -150,6 +209,8 @@ struct ServerTelemetry {
     underruns: Counter,
     engine_failures: Counter,
     request_latency_ns: Histogram,
+    served_true: Counter,
+    served_fast: Counter,
 }
 
 impl ServerTelemetry {
@@ -167,6 +228,8 @@ impl ServerTelemetry {
             underruns: registry.counter("drange_server_underruns_total", &[]),
             engine_failures: registry.counter("drange_server_engine_failures_total", &[]),
             request_latency_ns: registry.histogram("drange_server_request_latency_ns", &[]),
+            served_true: registry.counter("drange_server_served_total", &[("source", "true")]),
+            served_fast: registry.counter("drange_server_served_total", &[("source", "fast")]),
         }
     }
 }
@@ -597,6 +660,16 @@ fn handle_random(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> R
         }
     }
 
+    let source = match request.query_param("source") {
+        None => shared.config.default_source,
+        Some(raw) => match SourceMode::parse(raw) {
+            Some(mode) => mode,
+            None => {
+                tel.rejected_bad_request.inc();
+                return Response::text(400, "source must be `fast` or `true`\n");
+            }
+        },
+    };
     let bytes = match request.query_param("bytes") {
         None => shared.config.default_bytes,
         Some(raw) => match raw.parse::<usize>() {
@@ -621,6 +694,10 @@ fn handle_random(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> R
             ),
         );
     }
+    if source == SourceMode::Fast {
+        return handle_fast(shared, bytes)
+            .with_header("X-Drange-Source", SourceMode::Fast.as_str().into());
+    }
     let degraded = shared.service.is_degraded();
     let mut admit_span = shared.tracer.span("serve.admission");
     let pending = shared.service.pending_requests();
@@ -638,9 +715,10 @@ fn handle_random(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> R
     }
     drop(admit_span);
 
-    match shared.coalescer.fetch(&shared.service, bytes) {
+    let response = match shared.coalescer.fetch(&shared.service, bytes) {
         Ok(body) => {
             tel.bytes_served.add(body.len() as u64);
+            tel.served_true.inc();
             Response::new(200, "application/octet-stream", body)
                 .with_header("X-Drange-Degraded", degraded.to_string())
                 .with_header("Cache-Control", "no-store".into())
@@ -660,6 +738,57 @@ fn handle_random(shared: &ServerShared, request: &Request, peer_ip: IpAddr) -> R
             Response::text(500, &format!("engine failure: {msg}\n"))
                 .with_header("X-Drange-Degraded", degraded.to_string())
                 .closing()
+        }
+    };
+    response.with_header("X-Drange-Source", SourceMode::True.as_str().into())
+}
+
+/// The `fast` tier: a synchronous DRBG generate — no coalescer, no
+/// admission queue, no engine wait. The farm's own shard mutexes are
+/// the only contention point, so this path's throughput is decoupled
+/// from harvest rate (reseeds draw from the pool on their interval,
+/// not per request).
+fn handle_fast(shared: &ServerShared, bytes: usize) -> Response {
+    let tel = &shared.telemetry;
+    let retry_after_secs = shared.config.retry_after.as_secs().max(1).to_string();
+    let mut span = shared.tracer.span("serve.fast");
+    if span.is_recording() {
+        span.attr_u64("bytes", bytes as u64);
+    }
+    match shared.service.generate_fast(bytes) {
+        Ok(body) => {
+            drop(span);
+            tel.bytes_served.add(body.len() as u64);
+            tel.served_fast.inc();
+            Response::new(200, "application/octet-stream", body)
+                .with_header("Cache-Control", "no-store".into())
+        }
+        Err(e) => {
+            span.attr_bool("failed", true);
+            drop(span);
+            match e {
+                drange_core::DrangeError::InvalidSpec(msg) => {
+                    tel.rejected_bad_request.inc();
+                    Response::text(400, &format!("unserviceable request: {msg}\n"))
+                }
+                // The shard has never been seeded and its first reseed
+                // is blocked (health trip) or starved (pool timeout):
+                // retryable, the same contract as a pool underrun.
+                drange_core::DrangeError::Unhealthy(msg) => {
+                    tel.underruns.inc();
+                    Response::text(503, &format!("conditioning tier unhealthy: {msg}\n"))
+                        .with_header("Retry-After", retry_after_secs)
+                }
+                drange_core::DrangeError::Engine(msg) => {
+                    tel.underruns.inc();
+                    Response::text(503, &format!("conditioning tier starved: {msg}\n"))
+                        .with_header("Retry-After", retry_after_secs)
+                }
+                other => {
+                    tel.engine_failures.inc();
+                    Response::text(500, &format!("engine failure: {other}\n")).closing()
+                }
+            }
         }
     }
 }

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use drange_core::telemetry::MetricsRegistry;
 use drange_core::{RandomnessService, ServiceConfig};
 use drange_serve::source::{PrngHarvestSource, ScriptedSource, ScriptedState};
-use drange_serve::{RateLimitConfig, Server, ServerConfig};
+use drange_serve::{RateLimitConfig, Server, ServerConfig, SourceMode};
 
 /// A parsed test-side response.
 #[derive(Debug)]
@@ -108,6 +108,7 @@ fn prng_service(queue_bits: usize) -> Arc<RandomnessService> {
                 queue_capacity: queue_bits,
                 low_watermark: queue_bits / 16,
                 min_entropy: 0.9,
+                ..ServiceConfig::default()
             },
         )
         .expect("prng service"),
@@ -244,6 +245,7 @@ fn pool_exhaustion_returns_503_with_retry_after() {
                 queue_capacity: 1 << 15,
                 low_watermark: 1 << 10,
                 min_entropy: 0.9,
+                ..ServiceConfig::default()
             },
         )
         .expect("scripted service"),
@@ -290,6 +292,7 @@ fn degraded_source_flips_healthz_and_the_response_header() {
                 queue_capacity: 1 << 14,
                 low_watermark: 1 << 12,
                 min_entropy: 0.9,
+                ..ServiceConfig::default()
             },
         )
         .expect("scripted service"),
@@ -434,6 +437,7 @@ fn debug_endpoints_export_traces_and_request_ids() {
                 queue_capacity: 1 << 16,
                 low_watermark: 1 << 12,
                 min_entropy: 0.9,
+                ..ServiceConfig::default()
             },
             None,
             recorder.tracer(),
@@ -522,4 +526,146 @@ fn shutdown_endpoint_stops_the_server_when_enabled() {
         thread::sleep(Duration::from_millis(10));
     }
     joiner.join().expect("server joined");
+}
+
+#[test]
+fn source_param_selects_the_tier_and_stamps_the_source_header() {
+    let service = prng_service(1 << 16);
+    let server = boot(Arc::clone(&service), ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Default (no ?source=) is the raw `true` tier.
+    let resp = get(addr, "/random?bytes=32");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("X-Drange-Source"), Some("true"));
+    assert_eq!(resp.body.len(), 32);
+
+    // Explicit selections stamp their tier.
+    let resp = get(addr, "/random?bytes=32&source=true");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("X-Drange-Source"), Some("true"));
+
+    let resp = get(addr, "/random?bytes=32&source=fast");
+    assert_eq!(resp.status, 200, "body: {:?}", resp.body);
+    assert_eq!(resp.header("X-Drange-Source"), Some("fast"));
+    assert_eq!(resp.body.len(), 32);
+    assert_eq!(resp.header("Cache-Control"), Some("no-store"));
+    assert!(
+        resp.header("X-Drange-Request-Id").is_some(),
+        "fast responses carry the trace id too"
+    );
+
+    // Consecutive fast responses never repeat (fast-key-erasure
+    // ratchets between generates).
+    let a = get(addr, "/random?bytes=32&source=fast");
+    let b = get(addr, "/random?bytes=32&source=fast");
+    assert_eq!((a.status, b.status), (200, 200));
+    assert_ne!(a.body, b.body, "fast tier repeated output");
+
+    // An unknown source is a client error, not a silent default.
+    let resp = get(addr, "/random?bytes=32&source=bogus");
+    assert_eq!(resp.status, 400);
+
+    // The fast tier minted DRBG generates and credited entropy.
+    let stats = service.drbg_stats().expect("conditioning on by default");
+    assert!(stats.generates >= 3, "fast requests mint generates");
+    assert!(stats.entropy_credited_bits > 0, "instantiation credited");
+    server.shutdown();
+}
+
+#[test]
+fn default_source_fast_serves_unannotated_requests_from_the_drbg() {
+    let service = prng_service(1 << 16);
+    let server = boot(
+        Arc::clone(&service),
+        ServerConfig {
+            default_source: SourceMode::Fast,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = server.local_addr();
+
+    let resp = get(addr, "/random?bytes=64");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("X-Drange-Source"), Some("fast"));
+    assert_eq!(resp.body.len(), 64);
+    // Clients can still opt back into raw harvest bits per request.
+    let resp = get(addr, "/random?bytes=64&source=true");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("X-Drange-Source"), Some("true"));
+    server.shutdown();
+}
+
+#[test]
+fn fast_requests_against_a_disabled_tier_are_client_errors() {
+    let sources = vec![PrngHarvestSource::new(0xEEEE_0005)];
+    let service = Arc::new(
+        RandomnessService::with_sources(
+            sources,
+            ServiceConfig {
+                queue_capacity: 1 << 16,
+                low_watermark: 1 << 12,
+                min_entropy: 0.9,
+                drbg: None,
+            },
+        )
+        .expect("prng service without conditioning"),
+    );
+    let server = boot(Arc::clone(&service), ServerConfig::default());
+    let addr = server.local_addr();
+
+    let resp = get(addr, "/random?bytes=32&source=fast");
+    assert_eq!(resp.status, 400, "body: {:?}", resp.body);
+    assert_eq!(resp.header("X-Drange-Source"), Some("fast"));
+    // The raw tier is unaffected by the disabled conditioning tier.
+    let resp = get(addr, "/random?bytes=32");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("X-Drange-Source"), Some("true"));
+    server.shutdown();
+}
+
+#[test]
+fn served_by_source_metrics_split_the_tiers() {
+    let sources = vec![
+        PrngHarvestSource::new(0xFFFF_0006),
+        PrngHarvestSource::new(0xFFFF_0007),
+    ];
+    let registry = MetricsRegistry::new();
+    let service = Arc::new(
+        RandomnessService::with_sources_telemetry(
+            sources,
+            ServiceConfig::default(),
+            Some(&registry),
+        )
+        .expect("prng service"),
+    );
+    let server = Server::bind(
+        "127.0.0.1:0".parse().expect("loopback"),
+        Arc::clone(&service),
+        registry,
+        ServerConfig::default(),
+    )
+    .expect("bind test server");
+    let addr = server.local_addr();
+
+    assert_eq!(get(addr, "/random?bytes=16&source=fast").status, 200);
+    assert_eq!(get(addr, "/random?bytes=16&source=fast").status, 200);
+    assert_eq!(get(addr, "/random?bytes=16&source=true").status, 200);
+
+    let resp = get(addr, "/metrics");
+    let text = String::from_utf8(resp.body).expect("utf-8 metrics");
+    assert!(
+        text.contains("drange_server_served_total{source=\"fast\"} 2"),
+        "missing fast served counter:\n{text}"
+    );
+    assert!(
+        text.contains("drange_server_served_total{source=\"true\"} 1"),
+        "missing true served counter:\n{text}"
+    );
+    // The conditioning tier's own telemetry rides the same registry.
+    assert!(
+        text.contains("drange_drbg_generates_total"),
+        "missing DRBG series:\n{text}"
+    );
+    server.shutdown();
 }

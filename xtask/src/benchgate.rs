@@ -1,13 +1,20 @@
-//! `cargo xtask bench-gate` — fail when the harvest fast path regresses.
+//! `cargo xtask bench-gate` — fail when a gated bench metric regresses.
 //!
-//! Compares the `fig8_throughput.fast_ns_per_read` of a freshly
-//! produced `BENCH_harvest.json` against the recorded baseline (the
-//! committed report, snapshotted before the bench run overwrites it)
-//! and exits non-zero when the per-READ cost implies a throughput
-//! regression beyond the allowed fraction. Per-READ cost is the
-//! scale-independent metric: the quick and full bench scales run the
-//! same steady-state loop and differ only in pass count, so CI's quick
-//! run gates against the committed full-scale number.
+//! Compares a freshly produced `BENCH_harvest.json` against the
+//! recorded baseline (the committed report, snapshotted before the
+//! bench run overwrites it) and exits non-zero when any gate fails:
+//!
+//! * `fig8_throughput.fast_ns_per_read` — the harvest fast path's
+//!   per-READ cost (lower is better). Per-READ cost is the
+//!   scale-independent metric: the quick and full bench scales run the
+//!   same steady-state loop and differ only in pass count, so CI's
+//!   quick run gates against the committed full-scale number.
+//! * `drbg.fast_serve_mbps` — the conditioning tier's serve rate
+//!   (higher is better), held to the same allowed-regression fraction.
+//! * the tier split: the current report's `drbg.fast_serve_mbps` must
+//!   be at least 10x its `drbg.raw_serve_mbps` — the fast tier exists
+//!   to decouple serve rate from harvest rate, and a fast path within
+//!   10x of raw has silently re-coupled them.
 //!
 //! The report format is the two-level `{section: {key: number}}` JSON
 //! that `drange-bench`'s hand-rolled `BenchReport` emits; the parser
@@ -18,10 +25,21 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// The gated metric: lower is better (ns of wall time per sensed READ
+/// The harvest gate: lower is better (ns of wall time per sensed READ
 /// on the memoizing fast path).
 const SECTION: &str = "fig8_throughput";
 const KEY: &str = "fast_ns_per_read";
+
+/// The conditioning-tier gate: higher is better (sustained Mbit/s of
+/// single-threaded DRBG serve), plus the in-report tier split.
+const DRBG_SECTION: &str = "drbg";
+const DRBG_FAST_KEY: &str = "fast_serve_mbps";
+const DRBG_RAW_KEY: &str = "raw_serve_mbps";
+
+/// Minimum ratio of `fast_serve_mbps` over `raw_serve_mbps` in the
+/// *current* report: the fast tier must outserve raw harvest by at
+/// least this factor or the QoS split has lost its point.
+const DRBG_MIN_TIER_SPLIT: f64 = 10.0;
 
 /// Default allowed throughput regression (fraction). Throughput is
 /// 1/ns_per_read, so a 10 % throughput loss corresponds to a ~11.1 %
@@ -163,8 +181,9 @@ impl Parser<'_> {
     }
 }
 
-/// Runs the gate: `Ok(summary)` when the current fast path is within
-/// the allowed regression of the baseline, `Err(reason)` otherwise
+/// Runs every gate: `Ok(summary)` when the current report is within
+/// the allowed regression of the baseline on all gated metrics and
+/// satisfies the tier-split invariant, `Err(reason)` otherwise
 /// (including unreadable/ill-formed reports and missing metrics — a
 /// gate that cannot measure must not pass).
 pub fn gate(baseline: &str, current: &str, max_regression: f64) -> Result<String, String> {
@@ -173,20 +192,28 @@ pub fn gate(baseline: &str, current: &str, max_regression: f64) -> Result<String
             "--max-regression must be in [0, 1), got {max_regression}"
         ));
     }
-    let metric = |text: &str, which: &str| -> Result<f64, String> {
-        let report = parse_report(text).map_err(|e| format!("{which} report: {e}"))?;
-        report
-            .get(&(SECTION.to_string(), KEY.to_string()))
+    let base_map = parse_report(baseline).map_err(|e| format!("baseline report: {e}"))?;
+    let cur_map = parse_report(current).map_err(|e| format!("current report: {e}"))?;
+    let metric = |map: &BTreeMap<(String, String), f64>,
+                  which: &str,
+                  section: &str,
+                  key: &str|
+     -> Result<f64, String> {
+        map.get(&(section.to_string(), key.to_string()))
             .copied()
             .filter(|v| v.is_finite() && *v > 0.0)
-            .ok_or_else(|| format!("{which} report has no usable `{SECTION}.{KEY}`"))
+            .ok_or_else(|| format!("{which} report has no usable `{section}.{key}`"))
     };
-    let base_ns = metric(baseline, "baseline")?;
-    let cur_ns = metric(current, "current")?;
-    // throughput ∝ 1/ns_per_read: a `max_regression` throughput loss
-    // allows ns/READ up to baseline / (1 - max_regression).
-    let allowed_ns = base_ns / (1.0 - max_regression);
+
     let mut summary = String::new();
+    let mut failures = String::new();
+
+    // Gate 1: harvest fast path, lower is better. throughput ∝
+    // 1/ns_per_read: a `max_regression` throughput loss allows ns/READ
+    // up to baseline / (1 - max_regression).
+    let base_ns = metric(&base_map, "baseline", SECTION, KEY)?;
+    let cur_ns = metric(&cur_map, "current", SECTION, KEY)?;
+    let allowed_ns = base_ns / (1.0 - max_regression);
     let _ = writeln!(
         summary,
         "bench-gate: {SECTION}.{KEY} baseline {base_ns:.1} ns, current {cur_ns:.1} ns \
@@ -195,17 +222,57 @@ pub fn gate(baseline: &str, current: &str, max_regression: f64) -> Result<String
     );
     if cur_ns > allowed_ns {
         let loss = (1.0 - base_ns / cur_ns) * 100.0;
-        Err(format!(
-            "{summary}fast path regressed: {cur_ns:.1} ns/READ is a {loss:.1}% throughput \
+        let _ = writeln!(
+            failures,
+            "fast path regressed: {cur_ns:.1} ns/READ is a {loss:.1}% throughput \
              loss vs the recorded baseline ({base_ns:.1} ns)"
-        ))
-    } else {
+        );
+    }
+
+    // Gate 2: conditioning tier serve rate, higher is better.
+    let base_mbps = metric(&base_map, "baseline", DRBG_SECTION, DRBG_FAST_KEY)?;
+    let cur_mbps = metric(&cur_map, "current", DRBG_SECTION, DRBG_FAST_KEY)?;
+    let floor_mbps = base_mbps * (1.0 - max_regression);
+    let _ = writeln!(
+        summary,
+        "bench-gate: {DRBG_SECTION}.{DRBG_FAST_KEY} baseline {base_mbps:.0} Mbit/s, \
+         current {cur_mbps:.0} Mbit/s (allowed ≥ {floor_mbps:.0} Mbit/s)",
+    );
+    if cur_mbps < floor_mbps {
+        let loss = (1.0 - cur_mbps / base_mbps) * 100.0;
+        let _ = writeln!(
+            failures,
+            "conditioning tier regressed: {cur_mbps:.0} Mbit/s is a {loss:.1}% serve-rate \
+             loss vs the recorded baseline ({base_mbps:.0} Mbit/s)"
+        );
+    }
+
+    // Gate 3: the tier split inside the current report.
+    let cur_raw_mbps = metric(&cur_map, "current", DRBG_SECTION, DRBG_RAW_KEY)?;
+    let split = cur_mbps / cur_raw_mbps;
+    let _ = writeln!(
+        summary,
+        "bench-gate: tier split {split:.1}x (fast {cur_mbps:.0} / raw {cur_raw_mbps:.0} \
+         Mbit/s, required ≥ {DRBG_MIN_TIER_SPLIT:.0}x)",
+    );
+    if split < DRBG_MIN_TIER_SPLIT {
+        let _ = writeln!(
+            failures,
+            "tier split collapsed: fast serves only {split:.1}x raw (required ≥ \
+             {DRBG_MIN_TIER_SPLIT:.0}x) — the fast tier has re-coupled to harvest rate"
+        );
+    }
+
+    if failures.is_empty() {
         let _ = write!(
             summary,
-            "bench-gate: OK ({:+.1}% throughput vs baseline)",
-            (base_ns / cur_ns - 1.0) * 100.0
+            "bench-gate: OK ({:+.1}% harvest throughput, {:+.1}% fast serve rate vs baseline)",
+            (base_ns / cur_ns - 1.0) * 100.0,
+            (cur_mbps / base_mbps - 1.0) * 100.0
         );
         Ok(summary)
+    } else {
+        Err(format!("{summary}{failures}"))
     }
 }
 
@@ -259,11 +326,17 @@ pub fn command(args: &[String]) -> i32 {
 mod tests {
     use super::*;
 
-    fn report(fast_ns: f64) -> String {
+    fn full_report(fast_ns: f64, fast_mbps: f64, raw_mbps: f64) -> String {
         format!(
             "{{\n  \"fig8_throughput\": {{\n    \"fast_ns_per_read\": {fast_ns},\n    \
-             \"speedup\": 5.1\n  }},\n  \"simd\": {{\n    \"lane_utilization\": 1\n  }}\n}}"
+             \"speedup\": 5.1\n  }},\n  \"drbg\": {{\n    \"fast_serve_mbps\": {fast_mbps},\n    \
+             \"raw_serve_mbps\": {raw_mbps}\n  }},\n  \"simd\": {{\n    \
+             \"lane_utilization\": 1\n  }}\n}}"
         )
+    }
+
+    fn report(fast_ns: f64) -> String {
+        full_report(fast_ns, 3000.0, 100.0)
     }
 
     #[test]
@@ -319,5 +392,44 @@ mod tests {
             gate(&report(100.0), &report(100.0), 1.5).is_err(),
             "bad fraction"
         );
+        // A report without the drbg section cannot pass either side.
+        let fig8_only = "{\"fig8_throughput\": {\"fast_ns_per_read\": 100.0}}";
+        let err = gate(fig8_only, &report(100.0), 0.10).expect_err("missing drbg baseline");
+        assert!(err.contains("drbg.fast_serve_mbps"), "{err}");
+        assert!(gate(&report(100.0), fig8_only, 0.10).is_err());
+    }
+
+    #[test]
+    fn gates_the_conditioning_tier_serve_rate() {
+        // A 5% serve-rate dip passes the 10% gate; a 20% dip fails it.
+        let base = full_report(100.0, 3000.0, 100.0);
+        gate(&base, &full_report(100.0, 2850.0, 100.0), 0.10).expect("within bound");
+        let err = gate(&base, &full_report(100.0, 2400.0, 100.0), 0.10)
+            .expect_err("serve-rate regression");
+        assert!(err.contains("conditioning tier regressed"), "{err}");
+        // Improvements pass and are reported.
+        let ok = gate(&base, &full_report(100.0, 4000.0, 100.0), 0.10).expect("improvement");
+        assert!(ok.contains("OK"), "{ok}");
+    }
+
+    #[test]
+    fn enforces_the_tier_split_in_the_current_report() {
+        let base = full_report(100.0, 3000.0, 100.0);
+        // fast = 9x raw: the serve rate is fine vs baseline (higher,
+        // even), but the split invariant fails.
+        let err = gate(&base, &full_report(100.0, 3600.0, 400.0), 0.10)
+            .expect_err("collapsed tier split");
+        assert!(err.contains("tier split collapsed"), "{err}");
+        // Exactly 10x passes.
+        gate(&base, &full_report(100.0, 4000.0, 400.0), 0.10).expect("10x split passes");
+    }
+
+    #[test]
+    fn reports_every_failing_gate_at_once() {
+        let base = full_report(100.0, 3000.0, 100.0);
+        let err =
+            gate(&base, &full_report(150.0, 900.0, 100.0), 0.10).expect_err("both gates fail");
+        assert!(err.contains("fast path regressed"), "{err}");
+        assert!(err.contains("conditioning tier regressed"), "{err}");
     }
 }
